@@ -1,0 +1,41 @@
+//! Workspace-level examples and integration tests.
+//!
+//! This crate carries no library code of its own — it exists to host the
+//! runnable examples in the repository-root `examples/` directory and the
+//! cross-crate integration tests in the root `tests/` directory as cargo
+//! targets:
+//!
+//! ```text
+//! cargo run --release -p pbte-apps --example quickstart
+//! cargo run --release -p pbte-apps --example hotspot_2d
+//! cargo run --release -p pbte-apps --example elongated
+//! cargo run --release -p pbte-apps --example gpu_hybrid
+//! cargo run --release -p pbte-apps --example partitioning
+//! cargo run --release -p pbte-apps --example bte_3d
+//! cargo test -p pbte-apps
+//! ```
+
+/// Parse a `KEY=value`-style override from the command line, e.g.
+/// `cargo run --example hotspot_2d -- n=64 steps=2000`.
+pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    let prefix = format!("{key}=");
+    args.iter()
+        .find_map(|a| a.strip_prefix(&prefix))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = vec!["n=32".into(), "steps=100".into()];
+        assert_eq!(arg_usize(&args, "n", 8), 32);
+        assert_eq!(arg_usize(&args, "steps", 5), 100);
+        assert_eq!(arg_usize(&args, "missing", 7), 7);
+        let bad: Vec<String> = vec!["n=xyz".into()];
+        assert_eq!(arg_usize(&bad, "n", 8), 8);
+    }
+}

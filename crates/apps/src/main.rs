@@ -1,0 +1,174 @@
+//! `pbte` — command-line driver for the BTE scenarios and codegen
+//! inspection.
+//!
+//! ```text
+//! pbte hotspot   [n=48] [steps=2000] [dirs=8] [bands=10] [target=par]
+//! pbte elongated [n=24] [steps=3000] [target=par]
+//! pbte bte3d     [n=8]  [steps=400]
+//! pbte codegen   [target=seq|par|gpu|cells:<ranks>|bands:<ranks>]
+//! pbte info
+//! ```
+//!
+//! `target` values: `seq`, `par` (threads), `gpu` (hybrid, simulated
+//! A6000), `cells:<r>` / `bands:<r>` (distributed ranks).
+
+use pbte_apps::arg_usize;
+use pbte_bte::output::{render_ascii, summary, temperature_grid};
+use pbte_bte::scenario::{coarse_3d, elongated, hotspot_2d, BteConfig};
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::GpuStrategy;
+use pbte_gpu::DeviceSpec;
+
+fn parse_target(args: &[String]) -> ExecTarget {
+    let spec = args
+        .iter()
+        .find_map(|a| a.strip_prefix("target="))
+        .unwrap_or("par");
+    match spec {
+        "seq" => ExecTarget::CpuSeq,
+        "par" => ExecTarget::CpuParallel,
+        "gpu" => ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+        other => {
+            if let Some(r) = other.strip_prefix("cells:") {
+                ExecTarget::DistCells {
+                    ranks: r.parse().expect("cells:<ranks>"),
+                }
+            } else if let Some(r) = other.strip_prefix("bands:") {
+                ExecTarget::DistBands {
+                    ranks: r.parse().expect("bands:<ranks>"),
+                    index: "b".into(),
+                }
+            } else {
+                eprintln!("unknown target `{other}`; using par");
+                ExecTarget::CpuParallel
+            }
+        }
+    }
+}
+
+fn cfg_from(args: &[String], default_n: usize, default_steps: usize) -> BteConfig {
+    let n = arg_usize(args, "n", default_n);
+    let steps = arg_usize(args, "steps", default_steps);
+    let dirs = arg_usize(args, "dirs", 8);
+    let bands = arg_usize(args, "bands", 10);
+    let mut cfg = BteConfig::small(n, dirs, bands, steps);
+    cfg.hot_width = 50e-6;
+    cfg
+}
+
+fn run_2d(bte: pbte_bte::scenario::BteProblem, target: ExecTarget, nx: usize, ny: usize) {
+    let vars = bte.vars;
+    let mut solver = bte.solver(target).expect("valid scenario");
+    let start = std::time::Instant::now();
+    let report = solver.solve().expect("solve succeeds");
+    let wall = start.elapsed().as_secs_f64();
+    let grid = temperature_grid(solver.fields(), vars.t, nx, ny);
+    println!("{}", render_ascii(&grid, nx));
+    let (mean, lo, hi) = summary(&grid);
+    println!("mean {mean:.3} K, min {lo:.3} K, max {hi:.3} K");
+    println!(
+        "{} steps, {:.1} s wall, {} dof updates, comm {} B",
+        report.steps, wall, report.work.dof_updates, report.comm.bytes
+    );
+    println!("\nphase breakdown:\n{}", report.timer.breakdown().render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let rest = if args.is_empty() {
+        &args[..]
+    } else {
+        &args[1..]
+    };
+
+    match command {
+        "hotspot" => {
+            let cfg = cfg_from(rest, 48, 2000);
+            let (nx, ny) = (cfg.nx, cfg.ny);
+            println!(
+                "hot-spot scenario: {nx}x{ny} cells, {} dof/cell, {} steps",
+                cfg.dof().0,
+                cfg.n_steps
+            );
+            run_2d(hotspot_2d(&cfg), parse_target(rest), nx, ny);
+        }
+        "elongated" => {
+            let mut cfg = cfg_from(rest, 24, 3000);
+            cfg.nx = 3 * cfg.ny;
+            cfg.lx = 3.0 * cfg.ly;
+            let (nx, ny) = (cfg.nx, cfg.ny);
+            println!("elongated scenario: {nx}x{ny} cells, {} steps", cfg.n_steps);
+            run_2d(elongated(&cfg), parse_target(rest), nx, ny);
+        }
+        "bte3d" => {
+            let n = arg_usize(rest, "n", 8);
+            let steps = arg_usize(rest, "steps", 400);
+            println!("coarse 3-D scenario: {n}^3 cells, {steps} steps");
+            let bte = coarse_3d(n, 4, 8, 8, steps);
+            let vars = bte.vars;
+            let mut solver = bte.solver(parse_target(rest)).expect("valid scenario");
+            solver.solve().expect("solve succeeds");
+            let fields = solver.fields();
+            for k in 0..n {
+                let mean: f64 = (0..n * n)
+                    .map(|ji| fields.value(vars.t, k * n * n + ji, 0))
+                    .sum::<f64>()
+                    / (n * n) as f64;
+                println!("z-layer {k}: {mean:.4} K");
+            }
+        }
+        "codegen" => {
+            let cfg = cfg_from(rest, 8, 1);
+            let solver = hotspot_2d(&cfg)
+                .solver(parse_target(rest))
+                .expect("valid scenario");
+            println!("{}", solver.generated_source());
+            if let ExecTarget::GpuHybrid { strategy, .. } = parse_target(rest) {
+                println!("{}", solver.compiled.transfer_schedule(strategy).render());
+            }
+        }
+        "info" => {
+            let cfg = BteConfig::paper_headline();
+            let (per_cell, total) = cfg.dof();
+            println!("paper headline configuration:");
+            println!(
+                "  domain        : {:.0} x {:.0} µm",
+                cfg.lx * 1e6,
+                cfg.ly * 1e6
+            );
+            println!("  mesh          : {} x {} cells", cfg.nx, cfg.ny);
+            println!("  directions    : {}", cfg.ndirs);
+            println!(
+                "  spectral bands: {} -> 55 (band, polarization) groups",
+                cfg.n_freq_bands
+            );
+            println!("  dof           : {per_cell}/cell, {total} total");
+            println!("  steps         : {} (performance unit)", cfg.n_steps);
+            // Memory footprint at a reduced shape (same per-cell numbers
+            // scale linearly to the headline mesh).
+            let small = cfg_from(&[], 12, 1);
+            let solver = hotspot_2d(&small)
+                .solver(ExecTarget::CpuSeq)
+                .expect("valid scenario");
+            let report = solver.compiled.memory_report();
+            let scale = (cfg.nx * cfg.ny) as f64 / report.n_cells as f64
+                * (per_cell as f64 / (report.n_dof / report.n_cells) as f64);
+            println!(
+                "  memory        : ~{:.2} GiB device at headline scale",
+                report.device_bytes as f64 * scale / (1u64 << 30) as f64
+            );
+            println!("\ntargets: seq | par | gpu | cells:<ranks> | bands:<ranks>");
+        }
+        _ => {
+            println!(
+                "usage: pbte <hotspot|elongated|bte3d|codegen|info> [key=value ...]\n\
+                 keys: n, steps, dirs, bands, target\n\
+                 targets: seq | par | gpu | cells:<ranks> | bands:<ranks>"
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Micro-benchmarks of the building blocks: the symbolic pipeline, the
+//! kernel VM vs its specialized forms, the temperature Newton solve, the
+//! partitioners, and the simulated device's launch machinery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pbte_bte::material::Material;
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_bte::temperature::{BteVars, TemperatureUpdate};
+use pbte_dsl::bytecode::VmCtx;
+use pbte_dsl::exec::CompiledProblem;
+use pbte_mesh::grid::UniformGrid;
+use pbte_mesh::partition::{Partition, PartitionMethod};
+use std::sync::Arc;
+
+fn compiled() -> CompiledProblem {
+    let cfg = BteConfig::small(8, 8, 6, 1);
+    let bte = hotspot_2d(&cfg);
+    CompiledProblem::compile(bte.problem).expect("compiles").0
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("symbolic_pipeline_bte", |b| {
+        b.iter_batched(
+            || hotspot_2d(&BteConfig::small(6, 8, 6, 1)).problem,
+            |p| black_box(p.analyze().unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("compile_problem_bte", |b| {
+        b.iter_batched(
+            || hotspot_2d(&BteConfig::small(6, 8, 6, 1)).problem,
+            |p| black_box(CompiledProblem::compile(p).unwrap().0),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kernel_eval(c: &mut Criterion) {
+    let cp = compiled();
+    let coefficients = &cp.problem.registry.coefficients;
+    let fields = pbte_dsl::Fields::new(&cp.problem.registry, 64);
+    let vars = fields.as_slices();
+    let idx = [3usize, 2usize];
+
+    c.bench_function("volume_vm_eval", |b| {
+        let vm = VmCtx {
+            vars: &vars,
+            n_cells: 64,
+            coefficients,
+            idx: &idx,
+            cell: 17,
+            u1: 0.0,
+            u2: 0.0,
+            normal: [0.0; 3],
+            position: pbte_mesh::Point::zero(),
+            dt: 1e-12,
+            time: 0.0,
+        };
+        b.iter(|| black_box(cp.volume.eval(&vm)))
+    });
+
+    c.bench_function("volume_bound_eval", |b| {
+        let bound = cp.volume.bind(&idx, 64, 1e-12, 0.0, coefficients);
+        b.iter(|| black_box(bound.eval(&vars, 17, pbte_mesh::Point::zero(), 0.0, coefficients)))
+    });
+
+    c.bench_function("flux_vm_eval", |b| {
+        let vm = VmCtx {
+            vars: &vars,
+            n_cells: 64,
+            coefficients,
+            idx: &idx,
+            cell: 17,
+            u1: 1.2,
+            u2: 0.9,
+            normal: [0.6, 0.8, 0.0],
+            position: pbte_mesh::Point::zero(),
+            dt: 1e-12,
+            time: 0.0,
+        };
+        b.iter(|| black_box(cp.flux.eval(&vm)))
+    });
+
+    c.bench_function("flux_linearized_eval", |b| {
+        let lin = cp.flux_lin.as_ref().expect("BTE flux linearizes");
+        b.iter(|| black_box(lin.eval(13, 1, 1.2, 0.9)))
+    });
+}
+
+fn bench_temperature(c: &mut Criterion) {
+    let material = Arc::new(Material::silicon_2d(40, 20, 250.0, 400.0));
+    let upd = TemperatureUpdate::new(
+        material.clone(),
+        BteVars {
+            i: 0,
+            io: 1,
+            beta: 2,
+            t: 3,
+        },
+    );
+    let n = material.n_bands();
+    let mut beta = vec![0.0; n];
+    material.beta_all(312.0, &mut beta);
+    let four_pi = 4.0 * std::f64::consts::PI;
+    let target: f64 = (0..n)
+        .map(|b| beta[b] * four_pi * material.table.io(b, 312.0))
+        .sum();
+    c.bench_function("temperature_newton_solve", |b| {
+        b.iter(|| black_box(upd.solve(&beta, black_box(target), 300.0)))
+    });
+    c.bench_function("equilibrium_table_lookup", |b| {
+        b.iter(|| black_box(material.table.io(black_box(27), black_box(317.3))))
+    });
+    c.bench_function("equilibrium_direct_quadrature", |b| {
+        b.iter(|| black_box(material.io_exact(black_box(27), black_box(317.3))))
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mesh = UniformGrid::new_2d(120, 120, 1.0, 1.0).build();
+    c.bench_function("rcb_partition_120x120_into_32", |b| {
+        b.iter(|| black_box(Partition::build(&mesh, 32, PartitionMethod::Rcb)))
+    });
+    c.bench_function("greedy_partition_120x120_into_32", |b| {
+        b.iter(|| black_box(Partition::build(&mesh, 32, PartitionMethod::GreedyGraph)))
+    });
+}
+
+fn bench_device(c: &mut Criterion) {
+    use pbte_gpu::{Device, DeviceSpec, KernelCost};
+    c.bench_function("simulated_kernel_launch_64k", |b| {
+        let mut dev = Device::new(DeviceSpec::a6000());
+        let a = dev.alloc("in", 1 << 16);
+        let mut out = dev.alloc("out", 1 << 16);
+        let cost = KernelCost::stencil(10.0, 16.0, 8.0);
+        b.iter(|| {
+            dev.launch("noop", 1 << 16, cost, &[&a], &mut out, |tid, i, o| {
+                *o = i[0][tid] + 1.0;
+            })
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline, bench_kernel_eval, bench_temperature, bench_partitioners, bench_device
+);
+criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! Series generation and rendering for each figure.
+
+use crate::model::{FigureModel, PhasedTime};
+use crate::workload::Workload;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Process counts used on the paper's x axes.
+pub const CPU_COUNTS: [usize; 9] = [1, 2, 5, 10, 20, 40, 80, 160, 320];
+/// Band-limited counts (≤ 55 bands).
+pub const BAND_COUNTS: [usize; 7] = [1, 2, 5, 10, 20, 40, 55];
+/// Breakdown columns of Fig 5.
+pub const FIG5_COUNTS: [usize; 6] = [1, 5, 10, 20, 40, 55];
+/// Breakdown columns of Fig 8.
+pub const FIG8_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One labeled strong-scaling curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingSeries {
+    pub label: String,
+    /// `(processes, seconds)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// A breakdown column: phase percentages at one process count.
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakdownColumn {
+    pub processes: usize,
+    pub intensity_pct: f64,
+    pub temperature_pct: f64,
+    pub communication_pct: f64,
+    pub total_seconds: f64,
+}
+
+fn column(p: usize, t: PhasedTime) -> BreakdownColumn {
+    let (i, tt, c) = t.percentages();
+    BreakdownColumn {
+        processes: p,
+        intensity_pct: i,
+        temperature_pct: tt,
+        communication_pct: c,
+        total_seconds: t.total(),
+    }
+}
+
+/// Fig 3 data: communication volume per step of the two partitionings.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommVolumeRow {
+    pub processes: usize,
+    pub halo_bytes_per_step: u64,
+    pub reduction_bytes_per_step: u64,
+}
+
+/// Fig 3: cell-partition halo volume vs band-partition reduction volume.
+pub fn fig3(model: &FigureModel) -> Vec<CommVolumeRow> {
+    BAND_COUNTS
+        .iter()
+        .skip(1) // p = 1 communicates nothing
+        .map(|&p| CommVolumeRow {
+            processes: p,
+            halo_bytes_per_step: model.work.halo_bytes_per_step(p),
+            reduction_bytes_per_step: model.work.band_bytes_per_step(p),
+        })
+        .collect()
+}
+
+/// Fig 4: band-parallel vs cell-parallel strong scaling (+ ideal).
+pub fn fig4(model: &FigureModel) -> Vec<ScalingSeries> {
+    vec![
+        ScalingSeries {
+            label: "parallel bands".into(),
+            points: BAND_COUNTS
+                .iter()
+                .filter(|&&p| p <= model.work.n_bands)
+                .map(|&p| (p, model.band_parallel(p).total()))
+                .collect(),
+        },
+        ScalingSeries {
+            label: "parallel cells".into(),
+            points: CPU_COUNTS
+                .iter()
+                .map(|&p| (p, model.cell_parallel(p).total()))
+                .collect(),
+        },
+        ScalingSeries {
+            label: "ideal scaling".into(),
+            points: CPU_COUNTS.iter().map(|&p| (p, model.ideal(p))).collect(),
+        },
+    ]
+}
+
+/// Fig 5: execution-time breakdown of the band-parallel strategy.
+pub fn fig5(model: &FigureModel) -> Vec<BreakdownColumn> {
+    FIG5_COUNTS
+        .iter()
+        .filter(|&&p| p <= model.work.n_bands)
+        .map(|&p| column(p, model.band_parallel(p)))
+        .collect()
+}
+
+/// Fig 7: CPU-only vs CPU+GPU (band partitioning, one device per
+/// process) + ideal.
+pub fn fig7(model: &FigureModel) -> Vec<ScalingSeries> {
+    vec![
+        ScalingSeries {
+            label: "CPU only".into(),
+            points: BAND_COUNTS
+                .iter()
+                .filter(|&&p| p <= model.work.n_bands)
+                .map(|&p| (p, model.band_parallel(p).total()))
+                .collect(),
+        },
+        ScalingSeries {
+            label: "CPU + GPU".into(),
+            points: BAND_COUNTS
+                .iter()
+                .filter(|&&p| p <= model.work.n_bands)
+                .map(|&p| (p, model.gpu_hybrid(p).total()))
+                .collect(),
+        },
+        ScalingSeries {
+            label: "ideal".into(),
+            points: BAND_COUNTS.iter().map(|&p| (p, model.ideal(p))).collect(),
+        },
+    ]
+}
+
+/// Fig 8: breakdown of the GPU-accelerated version.
+pub fn fig8(model: &FigureModel) -> Vec<BreakdownColumn> {
+    FIG8_COUNTS
+        .iter()
+        .filter(|&&g| g <= model.work.n_bands)
+        .map(|&g| column(g, model.gpu_hybrid(g)))
+        .collect()
+}
+
+/// Fig 9: every strategy plus the hand-written comparator.
+pub fn fig9(model: &FigureModel) -> Vec<ScalingSeries> {
+    let mut series = fig4(model);
+    series.insert(
+        2,
+        ScalingSeries {
+            label: "GPU".into(),
+            points: BAND_COUNTS
+                .iter()
+                .filter(|&&p| p <= model.work.n_bands)
+                .map(|&p| (p, model.gpu_hybrid(p).total()))
+                .collect(),
+        },
+    );
+    series.insert(
+        3,
+        ScalingSeries {
+            label: "Fortran (hand-written)".into(),
+            points: BAND_COUNTS
+                .iter()
+                .filter(|&&p| p <= model.work.n_bands)
+                .map(|&p| (p, model.fortran(p).total()))
+                .collect(),
+        },
+    );
+    series
+}
+
+/// Render scaling series as an aligned text table (rows = process counts).
+pub fn render_scaling(series: &[ScalingSeries]) -> String {
+    let mut counts: Vec<usize> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(p, _)| *p))
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    let mut out = String::new();
+    let _ = write!(out, "{:>6}", "procs");
+    for s in series {
+        let _ = write!(out, "  {:>22}", s.label);
+    }
+    out.push('\n');
+    for p in counts {
+        let _ = write!(out, "{p:>6}");
+        for s in series {
+            match s.points.iter().find(|(q, _)| *q == p) {
+                Some((_, t)) => {
+                    let _ = write!(out, "  {:>20.2} s", t);
+                }
+                None => {
+                    let _ = write!(out, "  {:>22}", "—");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render breakdown columns the way the paper's stacked bars read.
+pub fn render_breakdown(cols: &[BreakdownColumn], labels: (&str, &str, &str)) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>24}  {:>24}  {:>24}  {:>12}",
+        "procs", labels.0, labels.1, labels.2, "total"
+    );
+    for c in cols {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>23.1}%  {:>23.1}%  {:>23.1}%  {:>10.2} s",
+            c.processes, c.intensity_pct, c.temperature_pct, c.communication_pct, c.total_seconds
+        );
+    }
+    out
+}
+
+/// Build the model every figure binary uses: the genuine headline
+/// workload with freshly measured calibration constants. Prints the
+/// constants so every figure's provenance is visible.
+pub fn headline_model() -> FigureModel {
+    eprintln!("calibrating on this host (release-mode measurements)...");
+    let calib = crate::calibration::Calibration::measure();
+    eprintln!(
+        "  c_dsl   = {:.3e} s/dof   (DSL-generated CPU path)\n  \
+         c_base  = {:.3e} s/dof   (hand-written baseline; DSL overhead {:.2}x)\n  \
+         c_temp  = {:.3e} s/cell  (temperature update)\n  \
+         c_ghost = {:.3e} s/eval  (boundary callback)",
+        calib.c_dsl,
+        calib.c_base,
+        calib.dsl_overhead(),
+        calib.c_temp,
+        calib.c_ghost
+    );
+    eprintln!("building the headline workload (120x120, 20 dirs, 55 groups)...");
+    FigureModel::new(Workload::headline(), calib)
+}
+
+/// Write a JSON artifact next to the textual output.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Calibration;
+    use crate::workload::Workload;
+    use pbte_bte::scenario::BteConfig;
+
+    fn model() -> FigureModel {
+        let mut cfg = BteConfig::small(24, 20, 40, 100);
+        cfg.dt = Some(1e-12);
+        FigureModel::new(Workload::from_config(&cfg), Calibration::nominal())
+    }
+
+    #[test]
+    fn fig4_series_shapes() {
+        let m = model();
+        // Reduced workload has 8 bands; clamp the band axis accordingly.
+        let bands: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&p| (p, m.band_parallel(p).total()))
+            .collect();
+        assert!(
+            bands.windows(2).all(|w| w[1].1 < w[0].1),
+            "monotone decrease"
+        );
+        let cells = &fig4(&m)[1];
+        assert_eq!(cells.label, "parallel cells");
+        assert!(cells.points.last().unwrap().1 < cells.points[0].1 / 10.0);
+    }
+
+    #[test]
+    fn renderers_produce_aligned_tables() {
+        let m = model();
+        let text = render_scaling(&fig4(&m)[1..]); // cells + ideal only
+        assert!(text.contains("procs"));
+        assert!(text.contains("320"));
+        let cols = vec![
+            super::column(1, m.cell_parallel(1)),
+            super::column(4, m.cell_parallel(4)),
+        ];
+        let rendered = render_breakdown(&cols, ("solve", "temp", "comm"));
+        assert!(rendered.contains('%'));
+        assert_eq!(rendered.lines().count(), 3);
+    }
+
+    #[test]
+    fn fig3_rows_have_positive_volumes() {
+        let m = model();
+        for row in fig3(&m) {
+            assert!(row.halo_bytes_per_step > 0);
+            assert!(row.reduction_bytes_per_step > 0);
+        }
+    }
+}

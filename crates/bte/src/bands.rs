@@ -1,0 +1,151 @@
+//! Spectral band discretization.
+//!
+//! The frequency axis `[0, ω_max,LA]` is split into `n` equal bands. Every
+//! band gets a longitudinal group; bands whose center lies below the TA
+//! cutoff also get a transverse group (with 2-fold polarization
+//! degeneracy). For the paper's `n = 40` this yields 40 LA + 15 TA = **55
+//! distinct (band, polarization) PDE groups**, each with its own group
+//! velocity and relaxation time.
+
+use crate::dispersion::{Branch, BranchKind};
+
+/// Re-exported alias used throughout the application code.
+pub type Polarization = BranchKind;
+
+/// One (frequency band, polarization) group — one "band" in the paper's
+/// counting.
+#[derive(Debug, Clone)]
+pub struct Band {
+    /// Band edges, rad/s.
+    pub omega_lo: f64,
+    pub omega_hi: f64,
+    /// Band center, rad/s.
+    pub omega_center: f64,
+    /// Which branch this group belongs to.
+    pub polarization: Polarization,
+    /// Group velocity at the band center, m/s.
+    pub vg: f64,
+    /// Polarization degeneracy folded into the band (2 for TA).
+    pub degeneracy: f64,
+}
+
+/// Build the band set for an `n`-band spectral discretization of silicon.
+pub fn make_bands(n_freq_bands: usize) -> Vec<Band> {
+    assert!(n_freq_bands >= 2, "need at least two frequency bands");
+    let la = Branch::si_la();
+    let ta = Branch::si_ta();
+    let d_omega = la.omega_max() / n_freq_bands as f64;
+    let mut bands = Vec::new();
+    // Longitudinal groups on every band.
+    for i in 0..n_freq_bands {
+        let lo = i as f64 * d_omega;
+        let hi = lo + d_omega;
+        let center = 0.5 * (lo + hi);
+        bands.push(Band {
+            omega_lo: lo,
+            omega_hi: hi,
+            omega_center: center,
+            polarization: BranchKind::Longitudinal,
+            vg: la.group_velocity(center),
+            degeneracy: la.degeneracy,
+        });
+    }
+    // Transverse groups on every band that lies entirely below the TA
+    // cutoff (partial bands are dropped, the counting that yields the
+    // paper's 40 LA + 15 TA for n = 40).
+    for i in 0..n_freq_bands {
+        let lo = i as f64 * d_omega;
+        let hi = lo + d_omega;
+        let center = 0.5 * (lo + hi);
+        if hi <= ta.omega_max() * (1.0 + 1e-12) {
+            bands.push(Band {
+                omega_lo: lo,
+                omega_hi: hi,
+                omega_center: center,
+                polarization: BranchKind::Transverse,
+                vg: ta.group_velocity(center),
+                degeneracy: ta.degeneracy,
+            });
+        }
+    }
+    bands
+}
+
+impl Band {
+    /// The branch this band belongs to.
+    pub fn branch(&self) -> Branch {
+        match self.polarization {
+            BranchKind::Longitudinal => Branch::si_la(),
+            BranchKind::Transverse => Branch::si_ta(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_bands_give_fifty_five_groups() {
+        // The paper: "we use 40 frequency bands, which results in 40
+        // longitudinal bands and an additional 15 transverse bands."
+        let bands = make_bands(40);
+        assert_eq!(bands.len(), 55);
+        let la = bands
+            .iter()
+            .filter(|b| b.polarization == BranchKind::Longitudinal)
+            .count();
+        let ta = bands
+            .iter()
+            .filter(|b| b.polarization == BranchKind::Transverse)
+            .count();
+        assert_eq!(la, 40);
+        assert_eq!(ta, 15);
+    }
+
+    #[test]
+    fn la_bands_tile_the_spectrum() {
+        let bands = make_bands(10);
+        let la: Vec<&Band> = bands
+            .iter()
+            .filter(|b| b.polarization == BranchKind::Longitudinal)
+            .collect();
+        assert_eq!(la.len(), 10);
+        assert!(la[0].omega_lo == 0.0);
+        for w in la.windows(2) {
+            assert!((w[0].omega_hi - w[1].omega_lo).abs() < 1.0);
+        }
+        let la_branch = Branch::si_la();
+        assert!((la.last().unwrap().omega_hi - la_branch.omega_max()).abs() < 1.0);
+    }
+
+    #[test]
+    fn group_velocities_are_physical() {
+        for band in make_bands(40) {
+            assert!(band.vg > 0.0, "vg must be positive");
+            assert!(band.vg < 1e4, "vg below sound speeds");
+        }
+    }
+
+    #[test]
+    fn ta_bands_carry_degeneracy_two() {
+        for band in make_bands(40) {
+            match band.polarization {
+                BranchKind::Longitudinal => assert_eq!(band.degeneracy, 1.0),
+                BranchKind::Transverse => assert_eq!(band.degeneracy, 2.0),
+            }
+        }
+    }
+
+    #[test]
+    fn ta_last_band_is_clipped_to_branch() {
+        let bands = make_bands(40);
+        let ta = Branch::si_ta();
+        for b in bands
+            .iter()
+            .filter(|b| b.polarization == BranchKind::Transverse)
+        {
+            assert!(b.omega_hi <= ta.omega_max() + 1.0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Physical constants and silicon material parameters.
+
+/// Reduced Planck constant, J·s.
+pub const HBAR: f64 = 1.054_571_817e-34;
+
+/// Boltzmann constant, J/K.
+pub const KB: f64 = 1.380_649e-23;
+
+/// Silicon lattice constant, m.
+pub const SI_LATTICE: f64 = 5.43e-10;
+
+/// Brillouin-zone edge wavevector along \[100\], 1/m (`2π/a`).
+pub const SI_K_MAX: f64 = 2.0 * std::f64::consts::PI / SI_LATTICE;
+
+/// Holland-model scattering constants for silicon.
+pub mod holland {
+    /// Impurity scattering: `1/τ_I = A ω⁴`, A in s³.
+    pub const A_IMPURITY: f64 = 1.32e-45;
+    /// Longitudinal N+U processes: `1/τ_L = B_L ω² T³`, B_L in s/K³.
+    pub const B_L: f64 = 2.0e-24;
+    /// Transverse normal processes (below ω₁/₂): `1/τ_TN = B_TN ω T⁴`.
+    pub const B_TN: f64 = 9.3e-13;
+    /// Transverse umklapp (above ω₁/₂): `1/τ_TU = B_TU ω²/sinh(ħω/k_B T)`.
+    pub const B_TU: f64 = 5.5e-18;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_edge_magnitude() {
+        assert!((SI_K_MAX - 1.157e10).abs() / 1.157e10 < 1e-3);
+    }
+
+    #[test]
+    fn thermal_quantum_ratio_at_room_temperature() {
+        // ħω/kBT ≈ 2.5 for a 1e13 rad/s phonon at 300 K — the regime where
+        // Bose–Einstein statistics matter.
+        let x = HBAR * 1e13 / (KB * 300.0);
+        assert!(x > 0.2 && x < 0.3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Silicon phonon dispersion: quadratic branch fits.
+//!
+//! The standard quadratic fits along \[100\] used by Holland-type BTE work
+//! (Mazumder & Majumdar 2001; Ali et al. 2014, the paper's reference
+//! formulation):
+//!
+//! * LA: `ω = 9.01e3·k − 2.0e-7·k²`  (ω_max ≈ 7.75e13 rad/s)
+//! * TA: `ω = 5.23e3·k − 2.26e-7·k²` (ω_max ≈ 3.03e13 rad/s, 2-fold degenerate)
+//!
+//! with `k` up to the zone edge `2π/a ≈ 1.157e10 m⁻¹`.
+
+use crate::constants::SI_K_MAX;
+
+/// Which phonon branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    Longitudinal,
+    Transverse,
+}
+
+/// One acoustic branch with `ω(k) = v_s k + c k²`.
+#[derive(Debug, Clone, Copy)]
+pub struct Branch {
+    pub kind: BranchKind,
+    /// Sound speed (slope at k=0), m/s.
+    pub vs: f64,
+    /// Quadratic coefficient, m²/s (negative: the branch bends down).
+    pub c: f64,
+    /// Zone-edge wavevector, 1/m.
+    pub k_max: f64,
+    /// Polarization degeneracy (TA branches come in pairs).
+    pub degeneracy: f64,
+}
+
+impl Branch {
+    /// Silicon LA branch.
+    pub fn si_la() -> Branch {
+        Branch {
+            kind: BranchKind::Longitudinal,
+            vs: 9.01e3,
+            c: -2.0e-7,
+            k_max: SI_K_MAX,
+            degeneracy: 1.0,
+        }
+    }
+
+    /// Silicon TA branch (degeneracy 2).
+    pub fn si_ta() -> Branch {
+        Branch {
+            kind: BranchKind::Transverse,
+            vs: 5.23e3,
+            c: -2.26e-7,
+            k_max: SI_K_MAX,
+            degeneracy: 2.0,
+        }
+    }
+
+    /// Angular frequency at wavevector `k`, rad/s.
+    pub fn omega(&self, k: f64) -> f64 {
+        self.vs * k + self.c * k * k
+    }
+
+    /// Maximum frequency of the branch (at the zone edge — the fits stay
+    /// monotone up to `k_max` for silicon's constants).
+    pub fn omega_max(&self) -> f64 {
+        self.omega(self.k_max)
+    }
+
+    /// Invert the dispersion: wavevector for a frequency in
+    /// `[0, omega_max]`. Uses the physical (smaller) root of
+    /// `c k² + v_s k − ω = 0`.
+    pub fn k_of_omega(&self, omega: f64) -> f64 {
+        assert!(
+            (0.0..=self.omega_max() * (1.0 + 1e-12)).contains(&omega),
+            "ω = {omega} outside branch range [0, {}]",
+            self.omega_max()
+        );
+        if self.c == 0.0 {
+            return omega / self.vs;
+        }
+        let disc = self.vs * self.vs + 4.0 * self.c * omega;
+        // c < 0: the smaller root (−vs + √disc)/(2c) is the physical one
+        // in [0, k_max].
+        (-self.vs + disc.max(0.0).sqrt()) / (2.0 * self.c)
+    }
+
+    /// Group velocity `dω/dk` at frequency `ω`, m/s.
+    pub fn group_velocity(&self, omega: f64) -> f64 {
+        let k = self.k_of_omega(omega);
+        self.vs + 2.0 * self.c * k
+    }
+
+    /// Density of states per unit volume per polarization,
+    /// `D(ω) = k²/(2π² v_g)`, s/m³ (isotropic Debye-like counting).
+    pub fn dos(&self, omega: f64) -> f64 {
+        let k = self.k_of_omega(omega);
+        let vg = self.group_velocity(omega);
+        k * k / (2.0 * std::f64::consts::PI.powi(2) * vg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_maxima_match_silicon_literature() {
+        let la = Branch::si_la();
+        let ta = Branch::si_ta();
+        // ω_max,LA ≈ 7.75e13 rad/s, ω_max,TA ≈ 3.03e13 rad/s.
+        assert!((la.omega_max() - 7.75e13).abs() / 7.75e13 < 0.01);
+        assert!((ta.omega_max() - 3.03e13).abs() / 3.03e13 < 0.01);
+        // The TA cutoff is what limits transverse bands to the first ~15
+        // of 40 (paper §III-A).
+        let ratio = ta.omega_max() / la.omega_max();
+        assert!((40.0 * ratio).floor() as usize == 15);
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        for branch in [Branch::si_la(), Branch::si_ta()] {
+            for frac in [0.01, 0.1, 0.5, 0.9, 0.999] {
+                let k = branch.k_max * frac;
+                let w = branch.omega(k);
+                let k2 = branch.k_of_omega(w);
+                assert!(
+                    (k - k2).abs() / k < 1e-10,
+                    "{:?} at frac {frac}: {k} vs {k2}",
+                    branch.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_velocity_decreases_toward_zone_edge() {
+        let la = Branch::si_la();
+        let vg_low = la.group_velocity(la.omega(la.k_max * 0.01));
+        let vg_high = la.group_velocity(la.omega(la.k_max * 0.99));
+        assert!(vg_low > vg_high);
+        assert!((vg_low - la.vs).abs() / la.vs < 0.05);
+        assert!(vg_high > 0.0, "group velocity must stay positive");
+    }
+
+    #[test]
+    fn dos_grows_with_frequency() {
+        let la = Branch::si_la();
+        let d1 = la.dos(la.omega(la.k_max * 0.1));
+        let d2 = la.dos(la.omega(la.k_max * 0.5));
+        assert!(d2 > d1);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside branch range")]
+    fn out_of_range_frequency_rejected() {
+        let _ = Branch::si_ta().k_of_omega(1e14);
+    }
+}

@@ -1,0 +1,114 @@
+//! Holland-model phonon relaxation times for silicon.
+//!
+//! `1/τ = 1/τ_impurity + 1/τ_branch` (Matthiessen's rule) with
+//!
+//! * impurity: `1/τ_I = A ω⁴`;
+//! * LA: `1/τ_L = B_L ω² T³` (combined normal + umklapp);
+//! * TA below ω₁/₂ (the frequency at half the zone edge):
+//!   `1/τ_TN = B_TN ω T⁴`;
+//! * TA above ω₁/₂: `1/τ_TU = B_TU ω²/sinh(ħω/k_B T)`.
+//!
+//! The scattering rate `β = 1/τ` is the `beta[b]` variable of the DSL
+//! input; it is re-evaluated from the local temperature every step by the
+//! temperature-update callback.
+
+use crate::constants::{holland, HBAR, KB};
+use crate::dispersion::{Branch, BranchKind};
+
+/// Relaxation time for a phonon of frequency `omega` on `branch` at
+/// temperature `t`, seconds.
+pub fn relaxation_time(branch: &Branch, omega: f64, t: f64) -> f64 {
+    1.0 / scattering_rate(branch, omega, t)
+}
+
+/// Scattering rate `β = 1/τ`, 1/s.
+pub fn scattering_rate(branch: &Branch, omega: f64, t: f64) -> f64 {
+    assert!(t > 0.0, "temperature must be positive");
+    assert!(omega > 0.0, "frequency must be positive");
+    let impurity = holland::A_IMPURITY * omega.powi(4);
+    let branch_rate = match branch.kind {
+        BranchKind::Longitudinal => holland::B_L * omega * omega * t.powi(3),
+        BranchKind::Transverse => {
+            let omega_half = branch.omega(branch.k_max * 0.5);
+            if omega < omega_half {
+                holland::B_TN * omega * t.powi(4)
+            } else {
+                let x = HBAR * omega / (KB * t);
+                holland::B_TU * omega * omega / x.sinh()
+            }
+        }
+    };
+    impurity + branch_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_increase_with_temperature() {
+        let la = Branch::si_la();
+        let w = 2e13;
+        assert!(scattering_rate(&la, w, 400.0) > scattering_rate(&la, w, 300.0));
+        let ta = Branch::si_ta();
+        assert!(scattering_rate(&ta, 1e13, 400.0) > scattering_rate(&ta, 1e13, 300.0));
+    }
+
+    #[test]
+    fn la_relaxation_time_magnitude_at_room_temperature() {
+        // Literature: τ_LA(ω ≈ 1e13, 300 K) is on the order of nanoseconds,
+        // dropping to picoseconds near the zone edge.
+        let la = Branch::si_la();
+        let tau_low = relaxation_time(&la, 1e13, 300.0);
+        let tau_high = relaxation_time(&la, 7e13, 300.0);
+        assert!(tau_low > 1e-10 && tau_low < 1e-7, "τ_low = {tau_low}");
+        assert!(tau_high > 1e-13 && tau_high < 1e-10, "τ_high = {tau_high}");
+        assert!(tau_low > tau_high);
+    }
+
+    #[test]
+    fn ta_rate_crossover_behaves_like_the_holland_fit() {
+        // Holland's TA fit is famously *discontinuous* at ω₁/₂ (the
+        // normal-process branch is fitted to low-T conductivity, the
+        // umklapp branch to high-T): at 300 K the jump is over an order of
+        // magnitude. Verify the documented literature behaviour rather
+        // than smoothness.
+        let ta = Branch::si_ta();
+        let omega_half = ta.omega(ta.k_max * 0.5);
+        let below = scattering_rate(&ta, omega_half * 0.999, 300.0);
+        let above = scattering_rate(&ta, omega_half * 1.001, 300.0);
+        let ratio = below / above;
+        assert!(ratio > 1.0 && ratio < 100.0, "crossover ratio {ratio}");
+    }
+
+    #[test]
+    fn impurity_dominates_at_high_frequency_low_temperature() {
+        let la = Branch::si_la();
+        let w = 7.5e13;
+        let t = 10.0;
+        let total = scattering_rate(&la, w, t);
+        let impurity = holland::A_IMPURITY * w.powi(4);
+        assert!(impurity / total > 0.9);
+    }
+
+    #[test]
+    fn mean_free_path_order_of_magnitude() {
+        // The paper's intro: "the mean free path of energy-conducting
+        // phonons in silicon is approximately 300 nm" at room temperature.
+        // A mid-spectrum LA phonon should be within an order of magnitude.
+        let la = Branch::si_la();
+        let w = 3e13;
+        let tau = relaxation_time(&la, w, 300.0);
+        let mfp = la.group_velocity(w) * tau;
+        assert!(
+            mfp > 3e-8 && mfp < 3e-5,
+            "mfp = {mfp} m should bracket ~300 nm"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_rejected() {
+        let _ = scattering_rate(&Branch::si_la(), 1e13, 0.0);
+    }
+}

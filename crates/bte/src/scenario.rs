@@ -1,0 +1,358 @@
+//! Scenario builders: the paper's demonstration problems encoded in the
+//! DSL, mirroring the appendix input script line for line.
+
+use crate::boundary::{gaussian_wall, isothermal, symmetry};
+use crate::material::Material;
+use crate::temperature::{BteVars, TemperatureUpdate};
+use pbte_dsl::exec::{ExecTarget, Solver};
+use pbte_dsl::problem::{DslError, Problem, SolverType, TimeStepper};
+use pbte_mesh::grid::UniformGrid;
+use pbte_mesh::Point;
+use std::sync::Arc;
+
+/// Configuration of a 2-D BTE run.
+#[derive(Debug, Clone)]
+pub struct BteConfig {
+    /// Mesh cells per axis.
+    pub nx: usize,
+    pub ny: usize,
+    /// Domain extents, m.
+    pub lx: f64,
+    pub ly: f64,
+    /// Discrete directions (even).
+    pub ndirs: usize,
+    /// Frequency bands (40 in the paper → 55 polarization groups).
+    pub n_freq_bands: usize,
+    /// Time step, s. `None` = the largest stable step.
+    pub dt: Option<f64>,
+    /// Number of time steps.
+    pub n_steps: usize,
+    /// Initial/cold-wall temperature, K.
+    pub t_ref: f64,
+    /// Hot-spot peak temperature, K.
+    pub t_hot: f64,
+    /// Hot-spot 1/e² radius, m.
+    pub hot_width: f64,
+}
+
+impl BteConfig {
+    /// The paper's headline configuration (§III-A): 525 µm × 525 µm,
+    /// 120×120 cells, 20 directions, 40 frequency bands (55 groups),
+    /// 1100 dof/cell ≈ 1.6e7 dof, 100 time steps for performance runs.
+    ///
+    /// Note on dt: the paper's text pairs "100 time steps" with "100 ns"
+    /// (dt = 1e-9 s), but that step violates both the scattering
+    /// relaxation bound (τ_min ≈ 2 ps) and the advective CFL of the
+    /// explicit scheme; the appendix script uses dt = 1e-12 s, which is
+    /// the value this builder reproduces via the stability rule.
+    pub fn paper_headline() -> BteConfig {
+        BteConfig {
+            nx: 120,
+            ny: 120,
+            lx: 525e-6,
+            ly: 525e-6,
+            ndirs: 20,
+            n_freq_bands: 40,
+            dt: None,
+            n_steps: 100,
+            t_ref: 300.0,
+            t_hot: 350.0,
+            hot_width: 10e-6,
+        }
+    }
+
+    /// A scaled-down configuration for tests and examples: same physics,
+    /// `n × n` cells, fewer directions/bands.
+    pub fn small(n: usize, ndirs: usize, n_freq_bands: usize, n_steps: usize) -> BteConfig {
+        BteConfig {
+            nx: n,
+            ny: n,
+            lx: 525e-6,
+            ly: 525e-6,
+            ndirs,
+            n_freq_bands,
+            dt: None,
+            n_steps,
+            t_ref: 300.0,
+            t_hot: 350.0,
+            hot_width: 50e-6,
+        }
+    }
+
+    /// Degrees of freedom per cell and total.
+    pub fn dof(&self) -> (usize, usize) {
+        let bands = crate::bands::make_bands(self.n_freq_bands).len();
+        let per_cell = bands * self.ndirs;
+        (per_cell, per_cell * self.nx * self.ny)
+    }
+}
+
+/// A fully encoded BTE problem plus the handles needed to interpret its
+/// fields afterwards.
+pub struct BteProblem {
+    pub problem: Problem,
+    pub material: Arc<Material>,
+    pub vars: BteVars,
+}
+
+impl BteProblem {
+    /// Build the executable solver for a target.
+    pub fn solver(self, target: ExecTarget) -> Result<Solver, DslError> {
+        self.problem.build(target)
+    }
+}
+
+/// Temperature-table range used by all scenarios.
+fn table_range(cfg: &BteConfig) -> (f64, f64) {
+    (cfg.t_ref - 60.0, cfg.t_hot + 60.0)
+}
+
+/// Shared scaffolding: mesh + entities + equation + init + post-step.
+/// The boundary conditions differ per scenario and are applied by `bc`.
+fn build_2d(
+    name: &str,
+    cfg: &BteConfig,
+    bc: impl FnOnce(&mut Problem, usize, &Arc<Material>, &BteConfig),
+) -> BteProblem {
+    let (t_min, t_max) = table_range(cfg);
+    let material = Arc::new(Material::silicon_2d(
+        cfg.n_freq_bands,
+        cfg.ndirs,
+        t_min,
+        t_max,
+    ));
+    let mesh = UniformGrid::new_2d(cfg.nx, cfg.ny, cfg.lx, cfg.ly).build();
+    let dx_min = (cfg.lx / cfg.nx as f64).min(cfg.ly / cfg.ny as f64);
+    let dt = cfg.dt.unwrap_or_else(|| material.stable_dt(dx_min, t_max));
+
+    let mut p = Problem::new(name);
+    p.domain(2);
+    p.solver_type(SolverType::FiniteVolume);
+    p.time_stepper(TimeStepper::EulerExplicit);
+    p.set_steps(dt, cfg.n_steps);
+    p.mesh(mesh);
+
+    // Indices and variables — the appendix listing.
+    let n_bands = material.n_bands();
+    let d = p.index("d", cfg.ndirs);
+    let b = p.index("b", n_bands);
+    let i_var = p.variable("I", &[d, b]);
+    let io_var = p.variable("Io", &[b]);
+    let beta_var = p.variable("beta", &[b]);
+    let t_var = p.variable("T", &[]);
+    p.coefficient_array("Sx", &[d], material.direction_component(0));
+    p.coefficient_array("Sy", &[d], material.direction_component(1));
+    p.coefficient_array("vg", &[b], material.vg_array());
+
+    // Initial condition: equilibrium at t_ref.
+    let m = material.clone();
+    let t_ref = cfg.t_ref;
+    p.initial(i_var, move |_, idx| m.table.io(idx[1], t_ref));
+    let m = material.clone();
+    p.initial(io_var, move |_, idx| m.table.io(idx[0], t_ref));
+    let m = material.clone();
+    p.initial(beta_var, move |_, idx| {
+        let band = &m.bands[idx[0]];
+        crate::scattering::scattering_rate(&band.branch(), band.omega_center, t_ref)
+    });
+    p.initial(t_var, move |_, _| t_ref);
+
+    // Scenario-specific boundary conditions.
+    bc(&mut p, i_var, &material, cfg);
+
+    // §III-C's band-outermost ordering
+    // (`assemblyLoops([band, "cells", direction])`): each (band,
+    // direction) plane is then walked contiguously in the index-major
+    // storage, which measures ~1.6x faster than the appendix's
+    // cells-outer ordering at real BTE shapes on this host. At small
+    // problem sizes the ranking flips — the `assembly_loop_order`
+    // ablation bench shows both regimes, which is exactly why the DSL
+    // exposes the knob.
+    p.assembly_loops(&["b", "cells", "d"]);
+
+    // The post-step temperature update.
+    let vars = BteVars {
+        i: i_var,
+        io: io_var,
+        beta: beta_var,
+        t: t_var,
+    };
+    TemperatureUpdate::new(material.clone(), vars).install(&mut p);
+
+    // The conservation form — verbatim from the paper.
+    p.conservation_form(
+        i_var,
+        "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+    );
+
+    BteProblem {
+        problem: p,
+        material,
+        vars,
+    }
+}
+
+/// The paper's Figs 1–2 domain: cold isothermal bottom wall at `t_ref`,
+/// isothermal top wall with a centered Gaussian hot spot, specular
+/// symmetry on the left and right sides.
+pub fn hotspot_2d(cfg: &BteConfig) -> BteProblem {
+    build_2d("bte-hotspot", cfg, |p, i_var, material, cfg| {
+        let hot = gaussian_wall(
+            cfg.t_ref,
+            cfg.t_hot,
+            Point::xy(cfg.lx * 0.5, cfg.ly),
+            cfg.hot_width,
+        );
+        let t_ref = cfg.t_ref;
+        p.boundary(
+            i_var,
+            "bottom",
+            isothermal(material.clone(), move |_| t_ref),
+        );
+        p.boundary(i_var, "top", isothermal(material.clone(), hot));
+        p.boundary(i_var, "left", symmetry(material.clone()));
+        p.boundary(i_var, "right", symmetry(material.clone()));
+    })
+}
+
+/// The paper's Fig 10 domain: an elongated material with the heat source
+/// in one corner (left end of the top wall), symmetry on left and right,
+/// isothermal bottom.
+pub fn elongated(cfg: &BteConfig) -> BteProblem {
+    build_2d("bte-elongated", cfg, |p, i_var, material, cfg| {
+        let hot = gaussian_wall(cfg.t_ref, cfg.t_hot, Point::xy(0.0, cfg.ly), cfg.hot_width);
+        let t_ref = cfg.t_ref;
+        p.boundary(
+            i_var,
+            "bottom",
+            isothermal(material.clone(), move |_| t_ref),
+        );
+        p.boundary(i_var, "top", isothermal(material.clone(), hot));
+        p.boundary(i_var, "left", symmetry(material.clone()));
+        p.boundary(i_var, "right", symmetry(material.clone()));
+    })
+}
+
+/// A coarse 3-D configuration (the paper: "some very coarse-grained
+/// 3-dimensional runs were also performed"): cold wall at z=0, Gaussian
+/// hot spot centered on the z=lz face, symmetry on the four sides.
+pub fn coarse_3d(
+    n: usize,
+    n_polar: usize,
+    n_azimuthal: usize,
+    n_freq_bands: usize,
+    n_steps: usize,
+) -> BteProblem {
+    let t_ref = 300.0;
+    let t_hot = 350.0;
+    let l = 525e-6;
+    let material = Arc::new(Material::silicon_3d(
+        n_freq_bands,
+        n_polar,
+        n_azimuthal,
+        t_ref - 60.0,
+        t_hot + 60.0,
+    ));
+    let mesh = UniformGrid::new_3d(n, n, n, l, l, l).build();
+    let dt = material.stable_dt(l / n as f64, t_hot + 10.0);
+
+    let mut p = Problem::new("bte-3d");
+    p.domain(3);
+    p.time_stepper(TimeStepper::EulerExplicit);
+    p.set_steps(dt, n_steps);
+    p.mesh(mesh);
+
+    let n_bands = material.n_bands();
+    let ndirs = material.n_dirs();
+    let d = p.index("d", ndirs);
+    let b = p.index("b", n_bands);
+    let i_var = p.variable("I", &[d, b]);
+    let io_var = p.variable("Io", &[b]);
+    let beta_var = p.variable("beta", &[b]);
+    let t_var = p.variable("T", &[]);
+    p.coefficient_array("Sx", &[d], material.direction_component(0));
+    p.coefficient_array("Sy", &[d], material.direction_component(1));
+    p.coefficient_array("Sz", &[d], material.direction_component(2));
+    p.coefficient_array("vg", &[b], material.vg_array());
+
+    let m = material.clone();
+    p.initial(i_var, move |_, idx| m.table.io(idx[1], t_ref));
+    let m = material.clone();
+    p.initial(io_var, move |_, idx| m.table.io(idx[0], t_ref));
+    let m = material.clone();
+    p.initial(beta_var, move |_, idx| {
+        let band = &m.bands[idx[0]];
+        crate::scattering::scattering_rate(&band.branch(), band.omega_center, t_ref)
+    });
+    p.initial(t_var, move |_, _| t_ref);
+
+    let hot = gaussian_wall(t_ref, t_hot, Point::new(l * 0.5, l * 0.5, l), 50e-6);
+    p.boundary(i_var, "front", isothermal(material.clone(), move |_| t_ref));
+    p.boundary(i_var, "back", isothermal(material.clone(), hot));
+    for side in ["left", "right", "top", "bottom"] {
+        p.boundary(i_var, side, symmetry(material.clone()));
+    }
+
+    let vars = BteVars {
+        i: i_var,
+        io: io_var,
+        beta: beta_var,
+        t: t_var,
+    };
+    TemperatureUpdate::new(material.clone(), vars).install(&mut p);
+
+    p.conservation_form(
+        i_var,
+        "(Io[b] - I[d,b]) * beta[b] + \
+         surface(vg[b]*upwind([Sx[d];Sy[d];Sz[d]], I[d,b]))",
+    );
+
+    BteProblem {
+        problem: p,
+        material,
+        vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_dof_count_matches_paper() {
+        let cfg = BteConfig::paper_headline();
+        let (per_cell, total) = cfg.dof();
+        assert_eq!(per_cell, 1100);
+        // "about 1.6e7 overall".
+        assert_eq!(total, 1100 * 14400);
+        assert!((total as f64 - 1.584e7).abs() < 1e5);
+    }
+
+    #[test]
+    fn headline_dt_is_about_a_picosecond() {
+        let cfg = BteConfig::paper_headline();
+        let (t_min, t_max) = table_range(&cfg);
+        let m = Material::silicon_2d(cfg.n_freq_bands, cfg.ndirs, t_min, t_max);
+        let dt = m.stable_dt(cfg.lx / cfg.nx as f64, t_max);
+        assert!(dt > 2e-13 && dt < 5e-12, "dt = {dt}");
+    }
+
+    #[test]
+    fn small_scenario_builds_and_analyzes() {
+        let cfg = BteConfig::small(4, 4, 4, 2);
+        let bte = hotspot_2d(&cfg);
+        let sys = bte.problem.analyze().unwrap();
+        assert_eq!(sys.unknown_name, "I");
+        assert!(sys.flux_expr.contains_symbol("vg"));
+        assert_eq!(bte.material.n_dirs(), 4);
+    }
+
+    #[test]
+    fn elongated_scenario_builds() {
+        let mut cfg = BteConfig::small(4, 4, 4, 2);
+        cfg.nx = 8;
+        cfg.lx = 2.0 * cfg.ly;
+        let bte = elongated(&cfg);
+        assert!(bte.problem.mesh.is_some());
+    }
+}

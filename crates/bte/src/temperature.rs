@@ -1,0 +1,302 @@
+//! The nonlinear temperature update — the CPU callback at the heart of the
+//! paper's hybrid design.
+//!
+//! After every intensity step the local "temperature" of each cell is the
+//! value `T` at which energy-conserving scattering holds:
+//!
+//! `R(T) = Σ_b β_b · 4π·I⁰_b(T)  −  Σ_b β_b · Σ_d w_d I_{d,b}  =  0`
+//!
+//! (the scattering operator integrated over directions and bands must
+//! deposit zero net energy). `R` is strictly increasing in `T`, so a
+//! Newton iteration with the analytic `dI⁰/dT` (bisection-guarded)
+//! converges in a few steps. Then `Io[b] ← I⁰_b(T)` and
+//! `beta[b] ← β_b(T)` are rewritten for the next step.
+//!
+//! **Distribution.** All degrees of freedom of a cell couple here — this
+//! is why the paper calls the bands "loosely coupled". Under band
+//! partitioning every rank computes the partial energy
+//! `S_part = Σ_{b owned} β_b Σ_d w_d I` for every cell and a single
+//! per-cell allreduce produces the full sum (the *only* communication of
+//! the band-parallel strategy, Fig 3 bottom). The rates `β_b(T_old)` for
+//! *all* bands are recomputed locally from the index-free `T` field, so
+//! every rank solves the identical Newton problem and writes only its
+//! owned bands of `Io`/`beta`. Under cell partitioning each rank updates
+//! its owned cells and no reduction is needed.
+
+use crate::material::Material;
+use pbte_dsl::problem::{Problem, StepContext};
+use std::sync::Arc;
+
+/// Handle to the BTE variables inside the DSL problem.
+#[derive(Debug, Clone, Copy)]
+pub struct BteVars {
+    pub i: usize,
+    pub io: usize,
+    pub beta: usize,
+    pub t: usize,
+}
+
+/// Configuration of the update.
+#[derive(Debug, Clone)]
+pub struct TemperatureUpdate {
+    pub material: Arc<Material>,
+    pub vars: BteVars,
+    /// Newton convergence tolerance on |ΔT| in kelvin.
+    pub tol: f64,
+    /// Iteration cap before declaring failure.
+    pub max_iter: usize,
+}
+
+impl TemperatureUpdate {
+    /// Standard settings.
+    pub fn new(material: Arc<Material>, vars: BteVars) -> TemperatureUpdate {
+        TemperatureUpdate {
+            material,
+            vars,
+            tol: 1e-9,
+            max_iter: 50,
+        }
+    }
+
+    /// Register as the problem's post-step function
+    /// (`postStepFunction(temperature_update)`).
+    pub fn install(self, problem: &mut Problem) {
+        problem.post_step(move |ctx| self.run(ctx));
+    }
+
+    /// Execute the update for one step.
+    pub fn run(&self, ctx: &mut StepContext) {
+        let material = &self.material;
+        let n_bands = material.n_bands();
+        let n_dirs = material.n_dirs();
+        let n_cells = ctx.fields.n_cells;
+        let weights = &material.angles.weights;
+
+        // Ownership: a band range under band partitioning, a cell list
+        // under cell partitioning, everything otherwise.
+        let owned_b: std::ops::Range<usize> = match &ctx.owned_index_range {
+            Some((name, range)) => {
+                debug_assert_eq!(name, "b");
+                range.clone()
+            }
+            None => 0..n_bands,
+        };
+        let banded = ctx.owned_index_range.is_some();
+        let cells: Vec<usize> = match ctx.owned_cells {
+            Some(c) => c.to_vec(),
+            None => (0..n_cells).collect(),
+        };
+
+        // Phase 1: partial energy-weighted intensity sums. Swept
+        // plane-by-plane (fixed (d, b), streaming over cells) so the big
+        // intensity array is read sequentially; the per-band energy
+        // accumulator E is the only strided structure and it stays
+        // cache-resident. A cells-outer gather here would cache-miss once
+        // per (d, b) per cell and dominate the whole update.
+        let mut beta_all = vec![0.0; n_bands];
+        let mut s = vec![0.0; n_cells];
+        if ctx.owned_cells.is_none() {
+            // All cells owned: sweep plane-by-plane into E[b][cell].
+            let n_owned = owned_b.len();
+            let mut energy = vec![0.0; n_owned * n_cells];
+            let i_slice = ctx.fields.slice(self.vars.i);
+            for (k, b) in owned_b.clone().enumerate() {
+                let e_row = &mut energy[k * n_cells..(k + 1) * n_cells];
+                for d in 0..n_dirs {
+                    let w = weights[d];
+                    let plane = &i_slice[(d * n_bands + b) * n_cells..][..n_cells];
+                    for (e, &v) in e_row.iter_mut().zip(plane) {
+                        *e += w * v;
+                    }
+                }
+            }
+            for &cell in &cells {
+                let t_old = ctx.fields.value(self.vars.t, cell, 0);
+                material.beta_all(t_old, &mut beta_all);
+                let mut acc = 0.0;
+                for (k, b) in owned_b.clone().enumerate() {
+                    acc += beta_all[b] * energy[k * n_cells + cell];
+                }
+                s[cell] = acc;
+            }
+        } else {
+            // Cell-partitioned: full-grid sweeps would do p times the
+            // work; gather per owned cell instead.
+            for &cell in &cells {
+                let t_old = ctx.fields.value(self.vars.t, cell, 0);
+                material.beta_all(t_old, &mut beta_all);
+                let mut acc = 0.0;
+                for b in owned_b.clone() {
+                    let mut e_b = 0.0;
+                    #[allow(clippy::needless_range_loop)] // d drives a strided offset too
+                    for d in 0..n_dirs {
+                        e_b += weights[d] * ctx.fields.value(self.vars.i, cell, d * n_bands + b);
+                    }
+                    acc += beta_all[b] * e_b;
+                }
+                s[cell] = acc;
+            }
+        }
+
+        // Phase 2: the band-parallel reduction (Fig 3, bottom).
+        if banded {
+            ctx.reducer.allreduce_sum(&mut s);
+        }
+
+        // Phase 3: per-cell Newton solve and rewrite of Io/beta. Under
+        // band partitioning the energy accumulation above divided over
+        // bands (the scalable part), but the Newton solves run
+        // *redundantly on every rank* — each rank needs the new T to
+        // rewrite its own bands' Io/beta, and shipping T instead of
+        // recomputing it trades a second allreduce for the solve. This is
+        // the behaviour the paper's Fig 5 shows (the temperature update's
+        // share grows with process count); dividing the solves over cells
+        // plus a T-allreduce is the natural future optimization.
+        let mut t_new_of = vec![0.0; n_cells];
+        for &cell in &cells {
+            let t_old = ctx.fields.value(self.vars.t, cell, 0);
+            material.beta_all(t_old, &mut beta_all);
+            let t_new = self.solve(&beta_all, s[cell], t_old);
+            t_new_of[cell] = t_new;
+            ctx.fields.set(self.vars.t, cell, 0, t_new);
+        }
+        // Io/beta rewrites band-by-band so the stores stream (the
+        // cells-inner order writes each (b, cell) slot exactly once,
+        // sequentially).
+        match ctx.owned_cells {
+            None => {
+                for b in owned_b.clone() {
+                    #[allow(clippy::needless_range_loop)] // cell feeds two setters
+                    for cell in 0..n_cells {
+                        let t_new = t_new_of[cell];
+                        ctx.fields
+                            .set(self.vars.io, cell, b, material.table.io(b, t_new));
+                        ctx.fields
+                            .set(self.vars.beta, cell, b, material.beta_table.get(b, t_new));
+                    }
+                }
+            }
+            Some(_) => {
+                // Cell-partitioned: only owned cells were solved.
+                for b in owned_b.clone() {
+                    for &cell in &cells {
+                        let t_new = t_new_of[cell];
+                        ctx.fields
+                            .set(self.vars.io, cell, b, material.table.io(b, t_new));
+                        ctx.fields
+                            .set(self.vars.beta, cell, b, material.beta_table.get(b, t_new));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solve `Σ_b β_b 4π I⁰_b(T) = target` for `T`, starting from
+    /// `t_guess`. Newton with analytic derivative, clamped to the table
+    /// range, bisection fallback if Newton leaves the bracket.
+    pub fn solve(&self, beta: &[f64], target: f64, t_guess: f64) -> f64 {
+        let material = &self.material;
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let (mut lo, mut hi) = (material.table.t_min, material.table.t_max);
+        let residual = |t: f64| -> (f64, f64) {
+            let mut r = -target;
+            let mut dr = 0.0;
+            for (b, &bb) in beta.iter().enumerate() {
+                r += bb * four_pi * material.table.io(b, t);
+                dr += bb * four_pi * material.table.dio(b, t);
+            }
+            (r, dr)
+        };
+        let mut t = t_guess.clamp(lo, hi);
+        for _ in 0..self.max_iter {
+            let (r, dr) = residual(t);
+            if r > 0.0 {
+                hi = hi.min(t);
+            } else {
+                lo = lo.max(t);
+            }
+            let step = r / dr;
+            let mut t_next = t - step;
+            if !(lo..=hi).contains(&t_next) {
+                // Newton left the bracket (can only happen near the table
+                // edges): bisect instead.
+                t_next = 0.5 * (lo + hi);
+            }
+            if (t_next - t).abs() < self.tol {
+                return t_next;
+            }
+            t = t_next;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::Material;
+
+    fn setup() -> (Arc<Material>, TemperatureUpdate) {
+        let m = Arc::new(Material::silicon_2d(10, 8, 250.0, 400.0));
+        let upd = TemperatureUpdate::new(
+            m.clone(),
+            BteVars {
+                i: 0,
+                io: 1,
+                beta: 2,
+                t: 3,
+            },
+        );
+        (m, upd)
+    }
+
+    #[test]
+    fn newton_recovers_known_temperature() {
+        let (m, upd) = setup();
+        let n = m.n_bands();
+        let mut beta = vec![0.0; n];
+        for t_true in [260.0, 300.0, 342.7, 395.0] {
+            m.beta_all(t_true, &mut beta);
+            // Target constructed from the exact equilibrium at t_true.
+            let four_pi = 4.0 * std::f64::consts::PI;
+            let target: f64 = (0..n)
+                .map(|b| beta[b] * four_pi * m.table.io(b, t_true))
+                .sum();
+            for guess in [255.0, 300.0, 399.0] {
+                let t = upd.solve(&beta, target, guess);
+                assert!(
+                    (t - t_true).abs() < 1e-6,
+                    "t_true={t_true}, guess={guess}: got {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solution_is_monotone_in_target() {
+        let (m, upd) = setup();
+        let n = m.n_bands();
+        let mut beta = vec![0.0; n];
+        m.beta_all(300.0, &mut beta);
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let base: f64 = (0..n)
+            .map(|b| beta[b] * four_pi * m.table.io(b, 300.0))
+            .sum();
+        let t1 = upd.solve(&beta, base * 0.9, 300.0);
+        let t2 = upd.solve(&beta, base, 300.0);
+        let t3 = upd.solve(&beta, base * 1.1, 300.0);
+        assert!(t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn out_of_table_targets_clamp() {
+        let (m, upd) = setup();
+        let n = m.n_bands();
+        let mut beta = vec![0.0; n];
+        m.beta_all(300.0, &mut beta);
+        let t = upd.solve(&beta, 1e30, 300.0);
+        assert!((t - m.table.t_max).abs() < 1.0);
+        let t = upd.solve(&beta, 0.0, 300.0);
+        assert!((t - m.table.t_min).abs() < 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Physics validation helpers: bulk quantities derivable from the band
+//! model, used to anchor the discretization against silicon literature
+//! values (the reproduction's substitute for the paper's comparison with
+//! experimentally validated results).
+
+use crate::equilibrium::dio_band_dt;
+use crate::material::Material;
+
+/// Bulk thermal conductivity from kinetic theory,
+/// `k = (1/3) Σ_b C_b v_g,b² τ_b(T)`, W/(m·K), where
+/// `C_b = (4π/v_g,b)·dI⁰_b/dT` is the band's volumetric heat capacity.
+///
+/// This is the gray-limit conductivity the solver's diffusive regime
+/// reproduces; for silicon at 300 K the Holland model famously lands near
+/// the measured ≈148 W/(m·K) (the constants were fitted to do exactly
+/// that).
+pub fn thermal_conductivity(material: &Material, t: f64) -> f64 {
+    material
+        .bands
+        .iter()
+        .enumerate()
+        .map(|(b, band)| {
+            let c_b = 4.0 * std::f64::consts::PI / band.vg * dio_band_dt(band, t);
+            let tau = 1.0 / material.beta_exact(b, t);
+            c_b * band.vg * band.vg * tau / 3.0
+        })
+        .sum()
+}
+
+/// Spectral mean free path of band `b` at temperature `t`, meters.
+pub fn mean_free_path(material: &Material, b: usize, t: f64) -> f64 {
+    material.bands[b].vg / material.beta_exact(b, t)
+}
+
+/// Average phonon mean free path weighted by each band's conductivity
+/// contribution — the "~300 nm at room temperature" number the paper's
+/// introduction uses to justify the BTE over Fourier's law.
+pub fn dominant_mean_free_path(material: &Material, t: f64) -> f64 {
+    let mut weighted = 0.0;
+    let mut total = 0.0;
+    for (b, band) in material.bands.iter().enumerate() {
+        let c_b = 4.0 * std::f64::consts::PI / band.vg * dio_band_dt(band, t);
+        let tau = 1.0 / material.beta_exact(b, t);
+        let k_b = c_b * band.vg * band.vg * tau / 3.0;
+        weighted += k_b * band.vg * tau;
+        total += k_b;
+    }
+    weighted / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn material() -> Material {
+        Material::silicon_2d(40, 8, 150.0, 600.0)
+    }
+
+    #[test]
+    fn conductivity_near_silicon_room_temperature_value() {
+        // Bulk silicon: ≈148 W/(m·K) at 300 K. The quadratic-dispersion
+        // Holland model reproduces the order and vicinity; accept a broad
+        // band around the literature value.
+        let k = thermal_conductivity(&material(), 300.0);
+        assert!(
+            (50.0..400.0).contains(&k),
+            "k(300 K) = {k} W/(m·K), expected near 148"
+        );
+    }
+
+    #[test]
+    fn conductivity_decreases_with_temperature_above_room() {
+        // Umklapp scattering: k ~ 1/T in the 300–600 K range.
+        let m = material();
+        let k300 = thermal_conductivity(&m, 300.0);
+        let k450 = thermal_conductivity(&m, 450.0);
+        let k600 = thermal_conductivity(&m, 600.0);
+        assert!(k300 > k450 && k450 > k600, "{k300} > {k450} > {k600}");
+        // Roughly 1/T: the ratio over a factor-2 span lands near 2.
+        let ratio = k300 / k600;
+        assert!((1.3..4.0).contains(&ratio), "k300/k600 = {ratio}");
+    }
+
+    #[test]
+    fn dominant_mean_free_path_is_submicron_to_micron() {
+        // The paper's §I quotes the classic gray estimate of ~300 nm for
+        // "energy-conducting phonons". The conductivity-weighted average
+        // over a spectral model is larger — mfp-accumulation studies show
+        // ~half of silicon's room-temperature conductivity comes from
+        // phonons with mfp above 1 µm — so accept the 0.1–10 µm band and
+        // check the gray estimate sits inside the spectral spread.
+        let m = material();
+        let mfp = dominant_mean_free_path(&m, 300.0);
+        assert!(
+            (1e-7..1e-5).contains(&mfp),
+            "conductivity-weighted mfp = {mfp} m"
+        );
+        // 300 nm lies between the extreme band mfps, as a gray effective
+        // value must.
+        let shortest = (0..m.n_bands())
+            .map(|b| mean_free_path(&m, b, 300.0))
+            .fold(f64::INFINITY, f64::min);
+        let longest = (0..m.n_bands())
+            .map(|b| mean_free_path(&m, b, 300.0))
+            .fold(0.0f64, f64::max);
+        assert!(shortest < 3e-7 && 3e-7 < longest, "{shortest}..{longest}");
+    }
+
+    #[test]
+    fn per_band_mean_free_paths_span_decades() {
+        // Low-frequency bands travel microns; zone-edge bands nanometers —
+        // the spread that makes the non-gray treatment necessary.
+        let m = material();
+        let first = mean_free_path(&m, 0, 300.0);
+        let last = mean_free_path(&m, 39, 300.0);
+        assert!(first / last > 100.0, "{first} vs {last}");
+    }
+}

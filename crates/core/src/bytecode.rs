@@ -1,0 +1,957 @@
+//! Compilation of symbolic kernels to a stack VM.
+//!
+//! The Julia Finch emits Julia/CUDA source and lets the host compiler JIT
+//! it. Rust has no runtime compiler, so the DSL's executable artifact is a
+//! compact stack bytecode specialized per problem: symbol references are
+//! resolved at compile time to direct array offsets (base + Σ index·stride)
+//! and the arithmetic tree is flattened into postfix ops. The same program
+//! runs on every target — sequential, threaded, distributed ranks, and the
+//! simulated GPU — which is what makes cross-target bit-identical results
+//! testable.
+//!
+//! Compilation also counts flops and bytes statically; those counts feed
+//! the GPU roofline model and the cluster performance model.
+
+use crate::entities::{CoefficientValue, Registry};
+use crate::problem::DslError;
+use pbte_mesh::Point;
+use pbte_symbolic::expr::{CmpOp, Expr, ExprRef};
+
+/// Which kernel an expression compiles into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Evaluated once per (cell, index...) — volume terms.
+    Volume,
+    /// Evaluated once per (face, index...) — flux integrands. May use
+    /// `NORMAL_i` and the `CELL1`/`CELL2` unknown values.
+    Flux,
+}
+
+/// Elementary functions the VM supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Sqrt,
+    Abs,
+    Sinh,
+    Cosh,
+    Tanh,
+}
+
+impl Func {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Func::Exp => x.exp(),
+            Func::Log => x.ln(),
+            Func::Sin => x.sin(),
+            Func::Cos => x.cos(),
+            Func::Sqrt => x.sqrt(),
+            Func::Abs => x.abs(),
+            Func::Sinh => x.sinh(),
+            Func::Cosh => x.cosh(),
+            Func::Tanh => x.tanh(),
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "exp" => Func::Exp,
+            "log" => Func::Log,
+            "sin" => Func::Sin,
+            "cos" => Func::Cos,
+            "sqrt" => Func::Sqrt,
+            "abs" => Func::Abs,
+            "sinh" => Func::Sinh,
+            "cosh" => Func::Cosh,
+            "tanh" => Func::Tanh,
+            _ => return None,
+        })
+    }
+}
+
+/// Compile-time resolved index pattern: the flattened entity index is
+/// `base + Σ idx[slot] * stride` over the loop slot values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pattern {
+    pub base: usize,
+    pub terms: Vec<(u8, usize)>,
+}
+
+impl Pattern {
+    #[inline]
+    fn flat(&self, idx: &[usize]) -> usize {
+        let mut f = self.base;
+        for &(slot, stride) in &self.terms {
+            f += idx[slot as usize] * stride;
+        }
+        f
+    }
+}
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    Const(f64),
+    LoadDt,
+    LoadTime,
+    /// 1-based value of a loop index (DSL semantics).
+    LoadIndex(u8),
+    /// A variable's value at the owner cell.
+    LoadVar {
+        var: u16,
+        pattern: Pattern,
+    },
+    /// Unknown at the owner cell (flux kernels).
+    LoadU1,
+    /// Unknown across the face — neighbor value or boundary ghost.
+    LoadU2,
+    /// An array coefficient value.
+    LoadCoef {
+        coef: u16,
+        pattern: Pattern,
+    },
+    /// A function coefficient evaluated at the kernel position.
+    LoadCoefFn {
+        coef: u16,
+    },
+    /// Component of the face normal.
+    LoadNormal(u8),
+    Add,
+    Mul,
+    Pow,
+    Recip,
+    Call(Func),
+    Cmp(CmpOp),
+    /// Pops (else, then, test), pushes `test != 0 ? then : else`.
+    Select,
+}
+
+/// A compiled kernel expression.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub ops: Vec<Op>,
+    /// Static flop count per evaluation.
+    pub flops: usize,
+    /// Static bytes loaded from field/coefficient arrays per evaluation.
+    pub bytes_read: usize,
+    /// Peak stack depth (checked ≤ the VM's fixed stack at compile time).
+    pub max_stack: usize,
+}
+
+/// Everything the VM needs for one evaluation.
+///
+/// Variable storage is passed as raw per-variable slices (index-major, see
+/// [`Fields`](crate::entities::Fields)) so the same programs evaluate
+/// against host fields *and*
+/// simulated device buffers.
+pub struct VmCtx<'a> {
+    /// One slice per variable id, each of length `flat_len * n_cells`.
+    pub vars: &'a [&'a [f64]],
+    /// Cells per variable slice.
+    pub n_cells: usize,
+    pub coefficients: &'a [crate::entities::Coefficient],
+    /// 0-based loop index values, one per slot.
+    pub idx: &'a [usize],
+    /// Owner cell.
+    pub cell: usize,
+    /// Unknown at owner / across the face (flux kernels only).
+    pub u1: f64,
+    pub u2: f64,
+    /// Face normal (flux kernels only).
+    pub normal: [f64; 3],
+    /// Evaluation position (cell centroid / face centroid) for
+    /// function-valued coefficients.
+    pub position: Point,
+    pub dt: f64,
+    pub time: f64,
+}
+
+const MAX_STACK: usize = 32;
+
+impl Program {
+    /// Evaluate against a context.
+    pub fn eval(&self, ctx: &VmCtx) -> f64 {
+        let mut stack = [0.0f64; MAX_STACK];
+        let mut sp = 0usize;
+        macro_rules! push {
+            ($v:expr) => {{
+                stack[sp] = $v;
+                sp += 1;
+            }};
+        }
+        macro_rules! pop {
+            () => {{
+                sp -= 1;
+                stack[sp]
+            }};
+        }
+        for op in &self.ops {
+            match op {
+                Op::Const(v) => push!(*v),
+                Op::LoadDt => push!(ctx.dt),
+                Op::LoadTime => push!(ctx.time),
+                Op::LoadIndex(slot) => push!((ctx.idx[*slot as usize] + 1) as f64),
+                Op::LoadVar { var, pattern } => {
+                    let flat = pattern.flat(ctx.idx);
+                    push!(ctx.vars[*var as usize][flat * ctx.n_cells + ctx.cell])
+                }
+                Op::LoadU1 => push!(ctx.u1),
+                Op::LoadU2 => push!(ctx.u2),
+                Op::LoadCoef { coef, pattern } => {
+                    let c = &ctx.coefficients[*coef as usize];
+                    let v = match &c.value {
+                        CoefficientValue::Scalar(v) => *v,
+                        CoefficientValue::Array(a) => a[pattern.flat(ctx.idx)],
+                        CoefficientValue::Function(_) => {
+                            unreachable!("function coefficients compile to LoadCoefFn")
+                        }
+                    };
+                    push!(v)
+                }
+                Op::LoadCoefFn { coef } => {
+                    let c = &ctx.coefficients[*coef as usize];
+                    let v = match &c.value {
+                        CoefficientValue::Function(f) => f(ctx.position, ctx.time),
+                        _ => unreachable!("LoadCoefFn on a non-function coefficient"),
+                    };
+                    push!(v)
+                }
+                Op::LoadNormal(axis) => push!(ctx.normal[*axis as usize]),
+                Op::Add => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a + b)
+                }
+                Op::Mul => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a * b)
+                }
+                Op::Pow => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a.powf(b))
+                }
+                Op::Recip => {
+                    let a = pop!();
+                    push!(1.0 / a)
+                }
+                Op::Call(f) => {
+                    let a = pop!();
+                    push!(f.apply(a))
+                }
+                Op::Cmp(op) => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(if op.apply(a, b) { 1.0 } else { 0.0 })
+                }
+                Op::Select => {
+                    let else_v = pop!();
+                    let then_v = pop!();
+                    let test = pop!();
+                    push!(if test != 0.0 { then_v } else { else_v })
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "program must leave exactly one value");
+        stack[0]
+    }
+}
+
+/// A volume program specialized to one flat-index value: patterns are
+/// resolved to direct storage offsets, array coefficients and index values
+/// fold to constants, and `dt`/`t` are baked in. This is the
+/// loop-invariant hoisting the generated CPU code performs — the inner
+/// cell loop touches only `Load { offset + cell }` and arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundOp {
+    Const(f64),
+    /// `vars[var][offset + cell]`.
+    Load {
+        var: u16,
+        offset: usize,
+    },
+    /// Function coefficient evaluated at the kernel position.
+    CoefFn(u16),
+    Add,
+    Mul,
+    Pow,
+    Recip,
+    Call(Func),
+    Cmp(CmpOp),
+    Select,
+}
+
+/// A bound (per-flat specialized) program.
+#[derive(Debug, Clone)]
+pub struct BoundProgram {
+    ops: Vec<BoundOp>,
+}
+
+impl BoundProgram {
+    /// Evaluate for one cell.
+    #[inline]
+    pub fn eval(
+        &self,
+        vars: &[&[f64]],
+        cell: usize,
+        position: Point,
+        time: f64,
+        coefficients: &[crate::entities::Coefficient],
+    ) -> f64 {
+        let mut stack = [0.0f64; MAX_STACK];
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match op {
+                BoundOp::Const(v) => {
+                    stack[sp] = *v;
+                    sp += 1;
+                }
+                BoundOp::Load { var, offset } => {
+                    stack[sp] = vars[*var as usize][offset + cell];
+                    sp += 1;
+                }
+                BoundOp::CoefFn(coef) => {
+                    let v = match &coefficients[*coef as usize].value {
+                        CoefficientValue::Function(f) => f(position, time),
+                        _ => unreachable!("CoefFn binds only function coefficients"),
+                    };
+                    stack[sp] = v;
+                    sp += 1;
+                }
+                BoundOp::Add => {
+                    sp -= 1;
+                    stack[sp - 1] += stack[sp];
+                }
+                BoundOp::Mul => {
+                    sp -= 1;
+                    stack[sp - 1] *= stack[sp];
+                }
+                BoundOp::Pow => {
+                    sp -= 1;
+                    stack[sp - 1] = stack[sp - 1].powf(stack[sp]);
+                }
+                BoundOp::Recip => stack[sp - 1] = 1.0 / stack[sp - 1],
+                BoundOp::Call(f) => stack[sp - 1] = f.apply(stack[sp - 1]),
+                BoundOp::Cmp(op) => {
+                    sp -= 1;
+                    stack[sp - 1] = if op.apply(stack[sp - 1], stack[sp]) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+                BoundOp::Select => {
+                    sp -= 2;
+                    stack[sp - 1] = if stack[sp - 1] != 0.0 {
+                        stack[sp]
+                    } else {
+                        stack[sp + 1]
+                    };
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1);
+        stack[0]
+    }
+}
+
+impl Program {
+    /// Specialize a **volume** program to a flat-index value (no
+    /// `NORMAL`/`CELL1`/`CELL2` ops allowed — those are flux-only).
+    pub fn bind(
+        &self,
+        idx: &[usize],
+        n_cells: usize,
+        dt: f64,
+        time: f64,
+        coefficients: &[crate::entities::Coefficient],
+    ) -> BoundProgram {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Const(v) => BoundOp::Const(*v),
+                Op::LoadDt => BoundOp::Const(dt),
+                Op::LoadTime => BoundOp::Const(time),
+                Op::LoadIndex(slot) => BoundOp::Const((idx[*slot as usize] + 1) as f64),
+                Op::LoadVar { var, pattern } => BoundOp::Load {
+                    var: *var,
+                    offset: pattern.flat(idx) * n_cells,
+                },
+                Op::LoadCoef { coef, pattern } => {
+                    let v = match &coefficients[*coef as usize].value {
+                        CoefficientValue::Scalar(v) => *v,
+                        CoefficientValue::Array(a) => a[pattern.flat(idx)],
+                        CoefficientValue::Function(_) => {
+                            unreachable!("function coefficients compile to LoadCoefFn")
+                        }
+                    };
+                    BoundOp::Const(v)
+                }
+                Op::LoadCoefFn { coef } => BoundOp::CoefFn(*coef),
+                Op::Add => BoundOp::Add,
+                Op::Mul => BoundOp::Mul,
+                Op::Pow => BoundOp::Pow,
+                Op::Recip => BoundOp::Recip,
+                Op::Call(f) => BoundOp::Call(*f),
+                Op::Cmp(c) => BoundOp::Cmp(*c),
+                Op::Select => BoundOp::Select,
+                Op::LoadU1 | Op::LoadU2 | Op::LoadNormal(_) => {
+                    panic!("bind() is for volume programs; flux ops present")
+                }
+            })
+            .collect();
+        BoundProgram { ops }
+    }
+}
+
+/// Compilation context.
+pub struct Compiler<'a> {
+    pub registry: &'a Registry,
+    pub unknown: usize,
+    /// Loop slot k holds the value of this index id (the unknown's indices
+    /// in declaration order).
+    pub slots: Vec<usize>,
+    pub kind: KernelKind,
+}
+
+impl<'a> Compiler<'a> {
+    /// Compiler for a problem's kernels: slots are the unknown's indices.
+    pub fn new(registry: &'a Registry, unknown: usize, kind: KernelKind) -> Compiler<'a> {
+        Compiler {
+            registry,
+            unknown,
+            slots: registry.variables[unknown].indices.clone(),
+            kind,
+        }
+    }
+
+    /// Compile an expression.
+    pub fn compile(&self, e: &ExprRef) -> Result<Program, DslError> {
+        let mut ops = Vec::new();
+        self.emit(e, &mut ops)?;
+        let (flops, bytes_read, max_stack) = analyze_ops(&ops)?;
+        Ok(Program {
+            ops,
+            flops,
+            bytes_read,
+            max_stack,
+        })
+    }
+
+    fn slot_of(&self, index_name: &str) -> Result<u8, DslError> {
+        let id = self
+            .registry
+            .index_id(index_name)
+            .ok_or_else(|| DslError::Invalid(format!("unknown index `{index_name}`")))?;
+        let slot = self.slots.iter().position(|&s| s == id).ok_or_else(|| {
+            DslError::Invalid(format!(
+                "index `{index_name}` is not an index of the unknown"
+            ))
+        })?;
+        Ok(slot as u8)
+    }
+
+    /// Resolve subscripts against a declaration into a flat pattern.
+    fn pattern(
+        &self,
+        name: &str,
+        declared: &[usize],
+        subs: &[ExprRef],
+    ) -> Result<Pattern, DslError> {
+        if subs.len() != declared.len() {
+            return Err(DslError::Invalid(format!(
+                "`{name}` used with {} subscripts, declared with {}",
+                subs.len(),
+                declared.len()
+            )));
+        }
+        let strides = self.registry.strides(declared);
+        let mut pattern = Pattern::default();
+        for (k, sub) in subs.iter().enumerate() {
+            match sub.as_ref() {
+                Expr::Sym { name: s, indices } if indices.is_empty() => {
+                    let slot = self.slot_of(s)?;
+                    // The loop index must have the same extent as the
+                    // declared index at this position.
+                    let declared_len = self.registry.indices[declared[k]].len;
+                    let slot_len = self.registry.indices[self.slots[slot as usize]].len;
+                    if declared_len != slot_len {
+                        return Err(DslError::Invalid(format!(
+                            "subscript `{s}` (len {slot_len}) does not match \
+                             `{name}`'s declared index (len {declared_len})"
+                        )));
+                    }
+                    pattern.terms.push((slot, strides[k]));
+                }
+                Expr::Num(v) if v.fract() == 0.0 && *v >= 1.0 => {
+                    let lit = *v as usize - 1; // DSL is 1-based
+                    let declared_len = self.registry.indices[declared[k]].len;
+                    if lit >= declared_len {
+                        return Err(DslError::Invalid(format!(
+                            "literal subscript {v} out of range for `{name}`"
+                        )));
+                    }
+                    pattern.base += lit * strides[k];
+                }
+                _ => {
+                    return Err(DslError::Invalid(format!(
+                        "subscript of `{name}` must be an index symbol or literal"
+                    )))
+                }
+            }
+        }
+        Ok(pattern)
+    }
+
+    fn emit(&self, e: &ExprRef, ops: &mut Vec<Op>) -> Result<(), DslError> {
+        match e.as_ref() {
+            Expr::Num(v) => ops.push(Op::Const(*v)),
+            Expr::Sym { name, indices } => self.emit_symbol(name, indices, ops)?,
+            Expr::Add(terms) => {
+                self.emit(&terms[0], ops)?;
+                for t in &terms[1..] {
+                    self.emit(t, ops)?;
+                    ops.push(Op::Add);
+                }
+            }
+            Expr::Mul(factors) => {
+                self.emit(&factors[0], ops)?;
+                for f in &factors[1..] {
+                    self.emit(f, ops)?;
+                    ops.push(Op::Mul);
+                }
+            }
+            Expr::Pow(base, exponent) => {
+                self.emit(base, ops)?;
+                if exponent.is_num(-1.0) {
+                    ops.push(Op::Recip);
+                } else {
+                    self.emit(exponent, ops)?;
+                    ops.push(Op::Pow);
+                }
+            }
+            Expr::Call { name, args } => match name.as_str() {
+                "CELL1" | "CELL2" => {
+                    if self.kind != KernelKind::Flux {
+                        return Err(DslError::Invalid(
+                            "CELL1/CELL2 only valid in flux expressions".into(),
+                        ));
+                    }
+                    match args[0].as_sym() {
+                        Some((n, _)) if self.registry.variable_id(n) == Some(self.unknown) => {}
+                        _ => {
+                            return Err(DslError::Invalid(
+                                "CELL1/CELL2 must wrap the unknown variable".into(),
+                            ))
+                        }
+                    }
+                    ops.push(if name == "CELL1" {
+                        Op::LoadU1
+                    } else {
+                        Op::LoadU2
+                    });
+                }
+                _ => {
+                    let f = Func::from_name(name).ok_or_else(|| {
+                        DslError::Invalid(format!("unsupported function `{name}`"))
+                    })?;
+                    if args.len() != 1 {
+                        return Err(DslError::Invalid(format!("`{name}` takes one argument")));
+                    }
+                    self.emit(&args[0], ops)?;
+                    ops.push(Op::Call(f));
+                }
+            },
+            Expr::Cmp(op, a, b) => {
+                self.emit(a, ops)?;
+                self.emit(b, ops)?;
+                ops.push(Op::Cmp(*op));
+            }
+            Expr::Conditional {
+                test,
+                if_true,
+                if_false,
+            } => {
+                self.emit(test, ops)?;
+                self.emit(if_true, ops)?;
+                self.emit(if_false, ops)?;
+                ops.push(Op::Select);
+            }
+            Expr::Vector(_) => {
+                return Err(DslError::Invalid(
+                    "vector literal outside an operator that consumes it".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_symbol(
+        &self,
+        name: &str,
+        indices: &[ExprRef],
+        ops: &mut Vec<Op>,
+    ) -> Result<(), DslError> {
+        match name {
+            "dt" => {
+                ops.push(Op::LoadDt);
+                return Ok(());
+            }
+            "t" => {
+                ops.push(Op::LoadTime);
+                return Ok(());
+            }
+            "pi" => {
+                ops.push(Op::Const(std::f64::consts::PI));
+                return Ok(());
+            }
+            _ => {}
+        }
+        if let Some(axis) = name.strip_prefix("NORMAL_") {
+            if self.kind != KernelKind::Flux {
+                return Err(DslError::Invalid(
+                    "NORMAL_i only valid in flux expressions".into(),
+                ));
+            }
+            let axis: u8 = axis
+                .parse::<u8>()
+                .ok()
+                .filter(|a| (1..=3).contains(a))
+                .ok_or_else(|| DslError::Invalid(format!("bad normal component `{name}`")))?;
+            ops.push(Op::LoadNormal(axis - 1));
+            return Ok(());
+        }
+        if let Some(v) = self.registry.variable_id(name) {
+            if v == self.unknown && self.kind == KernelKind::Flux {
+                return Err(DslError::Invalid(
+                    "the unknown must appear under CELL1/CELL2 in flux expressions".into(),
+                ));
+            }
+            let declared = self.registry.variables[v].indices.clone();
+            let pattern = self.pattern(name, &declared, indices)?;
+            ops.push(Op::LoadVar {
+                var: v as u16,
+                pattern,
+            });
+            return Ok(());
+        }
+        if let Some(c) = self.registry.coefficient_id(name) {
+            let coefficient = &self.registry.coefficients[c];
+            match &coefficient.value {
+                CoefficientValue::Scalar(v) => ops.push(Op::Const(*v)),
+                CoefficientValue::Array(_) => {
+                    let declared = coefficient.indices.clone();
+                    let pattern = self.pattern(name, &declared, indices)?;
+                    ops.push(Op::LoadCoef {
+                        coef: c as u16,
+                        pattern,
+                    });
+                }
+                CoefficientValue::Function(_) => {
+                    if !indices.is_empty() {
+                        return Err(DslError::Invalid(format!(
+                            "function coefficient `{name}` cannot be subscripted"
+                        )));
+                    }
+                    ops.push(Op::LoadCoefFn { coef: c as u16 });
+                }
+            }
+            return Ok(());
+        }
+        if self.registry.index_id(name).is_some() {
+            let slot = self.slot_of(name)?;
+            ops.push(Op::LoadIndex(slot));
+            return Ok(());
+        }
+        Err(DslError::Invalid(format!("unknown symbol `{name}`")))
+    }
+}
+
+/// Static analysis: flop count, bytes read, stack depth.
+fn analyze_ops(ops: &[Op]) -> Result<(usize, usize, usize), DslError> {
+    let mut flops = 0usize;
+    let mut bytes = 0usize;
+    let mut depth = 0usize;
+    let mut max_depth = 0usize;
+    for op in ops {
+        let (pops, pushes, f, b) = match op {
+            Op::Const(_) | Op::LoadDt | Op::LoadTime | Op::LoadIndex(_) | Op::LoadNormal(_) => {
+                (0, 1, 0, 0)
+            }
+            Op::LoadU1 | Op::LoadU2 => (0, 1, 0, 8),
+            Op::LoadVar { .. } | Op::LoadCoef { .. } => (0, 1, 0, 8),
+            // Function coefficients execute arbitrary host code; charge a
+            // nominal transcendental cost.
+            Op::LoadCoefFn { .. } => (0, 1, 20, 0),
+            Op::Add | Op::Mul => (2, 1, 1, 0),
+            Op::Pow => (2, 1, 15, 0),
+            Op::Recip => (1, 1, 4, 0),
+            Op::Call(_) => (1, 1, 20, 0),
+            Op::Cmp(_) => (2, 1, 1, 0),
+            Op::Select => (3, 1, 1, 0),
+        };
+        if depth < pops {
+            return Err(DslError::Invalid("stack underflow in program".into()));
+        }
+        depth = depth - pops + pushes;
+        max_depth = max_depth.max(depth);
+        flops += f;
+        bytes += b;
+    }
+    if depth != 1 {
+        return Err(DslError::Invalid(format!(
+            "program leaves {depth} values on the stack"
+        )));
+    }
+    if max_depth > MAX_STACK {
+        return Err(DslError::Invalid(format!(
+            "expression too deep: needs stack {max_depth}"
+        )));
+    }
+    Ok((flops, bytes, max_depth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{Fields, Index, Variable};
+    use crate::problem::Problem;
+    use pbte_symbolic::parse;
+
+    fn setup() -> (Registry, Fields) {
+        let mut r = Registry::default();
+        r.indices.push(Index {
+            name: "d".into(),
+            len: 4,
+        });
+        r.indices.push(Index {
+            name: "b".into(),
+            len: 3,
+        });
+        r.variables.push(Variable {
+            name: "I".into(),
+            location: crate::entities::Location::Cell,
+            indices: vec![0, 1],
+        });
+        r.variables.push(Variable {
+            name: "Io".into(),
+            location: crate::entities::Location::Cell,
+            indices: vec![1],
+        });
+        r.coefficients.push(crate::entities::Coefficient {
+            name: "vg".into(),
+            indices: vec![1],
+            value: CoefficientValue::Array(vec![10.0, 20.0, 30.0]),
+        });
+        r.coefficients.push(crate::entities::Coefficient {
+            name: "k".into(),
+            indices: vec![],
+            value: CoefficientValue::Scalar(2.5),
+        });
+        let mut fields = Fields::new(&r, 5);
+        // I[cell, d, b] = 100*cell + 10*(d+1) + (b+1); Io[cell, b] = b+1.
+        for cell in 0..5 {
+            for d in 0..4 {
+                for b in 0..3 {
+                    fields.set(
+                        0,
+                        cell,
+                        d * 3 + b,
+                        (100 * cell + 10 * (d + 1) + b + 1) as f64,
+                    );
+                }
+            }
+            for b in 0..3 {
+                fields.set(1, cell, b, (b + 1) as f64);
+            }
+        }
+        (r, fields)
+    }
+
+    fn ctx<'a>(r: &'a Registry, vars: &'a [&'a [f64]], idx: &'a [usize], cell: usize) -> VmCtx<'a> {
+        VmCtx {
+            vars,
+            n_cells: 5,
+            coefficients: &r.coefficients,
+            idx,
+            cell,
+            u1: 0.0,
+            u2: 0.0,
+            normal: [1.0, 0.0, 0.0],
+            position: pbte_mesh::Point::zero(),
+            dt: 0.5,
+            time: 2.0,
+        }
+    }
+
+    #[test]
+    fn loads_variables_with_index_patterns() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let prog = c.compile(&parse("I[d,b] + Io[b]").unwrap()).unwrap();
+        // d=2 (0-based), b=1, cell=3 → I = 300 + 30 + 2 = 332; Io = 2.
+        let v = prog.eval(&ctx(&r, &vars, &[2, 1], 3));
+        assert_eq!(v, 334.0);
+        assert_eq!(prog.bytes_read, 16);
+        assert_eq!(prog.flops, 1);
+    }
+
+    #[test]
+    fn coefficients_scalars_fold_arrays_load() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let prog = c.compile(&parse("k * vg[b]").unwrap()).unwrap();
+        let v = prog.eval(&ctx(&r, &vars, &[0, 2], 0));
+        assert_eq!(v, 2.5 * 30.0);
+        // Scalar k compiled to Const: only one 8-byte load.
+        assert_eq!(prog.bytes_read, 8);
+    }
+
+    #[test]
+    fn index_values_are_one_based() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let prog = c.compile(&parse("d * 10 + b").unwrap()).unwrap();
+        let v = prog.eval(&ctx(&r, &vars, &[3, 2], 0));
+        assert_eq!(v, 43.0); // (3+1)*10 + (2+1)
+    }
+
+    #[test]
+    fn literal_subscripts_fold_into_base() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let prog = c.compile(&parse("Io[2]").unwrap()).unwrap();
+        let v = prog.eval(&ctx(&r, &vars, &[0, 0], 1));
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn flux_kernel_uses_cell_markers_and_normals() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Flux);
+        let prog = c
+            .compile(
+                &parse("conditional(NORMAL_1 > 0, NORMAL_1*CELL1(I[d,b]), NORMAL_1*CELL2(I[d,b]))")
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut vm = ctx(&r, &vars, &[0, 0], 0);
+        vm.u1 = 7.0;
+        vm.u2 = 9.0;
+        vm.normal = [1.0, 0.0, 0.0];
+        assert_eq!(prog.eval(&vm), 7.0);
+        vm.normal = [-1.0, 0.0, 0.0];
+        assert_eq!(prog.eval(&vm), -9.0);
+    }
+
+    #[test]
+    fn volume_kernel_rejects_flux_markers() {
+        let (r, _) = setup();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        assert!(c.compile(&parse("NORMAL_1 * I[d,b]").unwrap()).is_err());
+        assert!(c.compile(&parse("CELL1(I[d,b])").unwrap()).is_err());
+    }
+
+    #[test]
+    fn flux_kernel_rejects_bare_unknown() {
+        let (r, _) = setup();
+        let c = Compiler::new(&r, 0, KernelKind::Flux);
+        let err = c.compile(&parse("NORMAL_1 * I[d,b]").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("CELL1/CELL2"));
+    }
+
+    #[test]
+    fn division_uses_recip() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let prog = c.compile(&parse("Io[b] / k").unwrap()).unwrap();
+        assert!(prog.ops.contains(&Op::Recip));
+        let v = prog.eval(&ctx(&r, &vars, &[0, 1], 0));
+        assert_eq!(v, 2.0 / 2.5);
+    }
+
+    #[test]
+    fn functions_and_time_symbols() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let prog = c.compile(&parse("exp(0*t) + dt + pi*0").unwrap()).unwrap();
+        let v = prog.eval(&ctx(&r, &vars, &[0, 0], 0));
+        assert_eq!(v, 1.5); // exp(0) + dt(0.5)
+    }
+
+    #[test]
+    fn matches_symbolic_evaluation_on_bte_volume_expr() {
+        // Cross-check the VM against the symbolic evaluator on the real
+        // BTE volume expression.
+        let mut p = Problem::new("x");
+        p.domain(2);
+        let d = p.index("d", 4);
+        let b = p.index("b", 3);
+        let i = p.variable("I", &[d, b]);
+        let _ = p.variable("Io", &[b]);
+        let _ = p.variable("beta", &[b]);
+        p.coefficient_array("Sx", &[d], vec![1.0, 0.0, -1.0, 0.0]);
+        p.coefficient_array("Sy", &[d], vec![0.0, 1.0, 0.0, -1.0]);
+        p.coefficient_array("vg", &[b], vec![3.0, 2.0, 1.0]);
+        p.conservation_form(
+            i,
+            "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+        );
+        let sys = p.analyze().unwrap();
+        let compiler = Compiler::new(&p.registry, i, KernelKind::Volume);
+        let prog = compiler.compile(&sys.volume_expr).unwrap();
+
+        let mut fields = Fields::new(&p.registry, 2);
+        for cell in 0..2 {
+            for dd in 0..4 {
+                for bb in 0..3 {
+                    fields.set(0, cell, dd * 3 + bb, (cell + dd * 2 + bb) as f64 * 0.25);
+                }
+            }
+            for bb in 0..3 {
+                fields.set(1, cell, bb, 1.0 + bb as f64); // Io
+                fields.set(2, cell, bb, 0.5 * (1.0 + bb as f64)); // beta
+            }
+        }
+        let vars = fields.as_slices();
+        for cell in 0..2 {
+            for dd in 0..4 {
+                for bb in 0..3 {
+                    let idx = [dd, bb];
+                    let vm = VmCtx {
+                        vars: &vars,
+                        n_cells: fields.n_cells,
+                        coefficients: &p.registry.coefficients,
+                        idx: &idx,
+                        cell,
+                        u1: 0.0,
+                        u2: 0.0,
+                        normal: [0.0; 3],
+                        position: pbte_mesh::Point::zero(),
+                        dt: 0.1,
+                        time: 0.0,
+                    };
+                    let got = prog.eval(&vm);
+                    let io = fields.value(1, cell, bb);
+                    let ii = fields.value(0, cell, dd * 3 + bb);
+                    let beta = fields.value(2, cell, bb);
+                    let expected = (io - ii) * beta;
+                    assert!((got - expected).abs() < 1e-14, "cell {cell} d {dd} b {bb}");
+                }
+            }
+        }
+        assert!(prog.flops >= 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! Automatic host↔device data-movement analysis.
+//!
+//! The paper: *"Given the sensitivity of communication, Finch will
+//! automatically determine what variables need to be updated and
+//! communicated during each step. Other values will either only be sent
+//! once, or not at all."* This module is that determination. It derives
+//! reader/writer sets from the equation structure alone:
+//!
+//! * the **kernel** reads every variable and coefficient appearing in the
+//!   conservation form and writes the unknown;
+//! * **post-step callbacks** (when present) read the unknown and may write
+//!   any other mutable variable — mutable-but-not-kernel-written variables
+//!   (`Io`, `beta`) are conservatively treated as rewritten each step;
+//! * **coefficients** are immutable: device copies are made once;
+//! * the **unknown** returns to the host each step whenever a post-step
+//!   exists, and returns *and* re-uploads each step under the
+//!   async-boundary strategy (the host combines the boundary
+//!   contribution into it);
+//! * the **ghost array** uploads each step only under the
+//!   precompute-boundary strategy.
+
+use crate::pipeline::DiscreteSystem;
+use crate::problem::{GpuStrategy, Problem};
+
+/// When a piece of data moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    Once,
+    EveryStep,
+    Never,
+}
+
+/// One planned transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Entity name (variable, coefficient, or the ghost array).
+    pub name: String,
+    /// True = host→device.
+    pub to_device: bool,
+    pub policy: Policy,
+    /// Why the analysis decided this (rendered into the generated code as
+    /// a comment, like Finch's annotated output).
+    pub reason: String,
+}
+
+/// The complete schedule for a GPU strategy.
+#[derive(Debug, Clone)]
+pub struct TransferSchedule {
+    pub strategy: GpuStrategy,
+    pub transfers: Vec<Transfer>,
+}
+
+impl TransferSchedule {
+    /// Names moved host→device every step.
+    pub fn each_step_h2d(&self) -> Vec<&str> {
+        self.transfers
+            .iter()
+            .filter(|t| t.to_device && t.policy == Policy::EveryStep)
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Names moved device→host every step.
+    pub fn each_step_d2h(&self) -> Vec<&str> {
+        self.transfers
+            .iter()
+            .filter(|t| !t.to_device && t.policy == Policy::EveryStep)
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Names moved once at setup.
+    pub fn once(&self) -> Vec<&str> {
+        self.transfers
+            .iter()
+            .filter(|t| t.policy == Policy::Once)
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Render as the comment block the generated host code carries.
+    pub fn render(&self) -> String {
+        let mut out = String::from("// automatic data-movement schedule:\n");
+        for t in &self.transfers {
+            let dir = if t.to_device { "H2D" } else { "D2H" };
+            let when = match t.policy {
+                Policy::Once => "once      ",
+                Policy::EveryStep => "every step",
+                Policy::Never => "never     ",
+            };
+            out.push_str(&format!(
+                "//   {dir} {when} {:<12} — {}\n",
+                t.name, t.reason
+            ));
+        }
+        out
+    }
+}
+
+/// Derive the schedule for a problem/strategy pair.
+pub fn analyze_transfers(
+    problem: &Problem,
+    system: &DiscreteSystem,
+    strategy: GpuStrategy,
+) -> TransferSchedule {
+    let registry = &problem.registry;
+    let unknown = system.unknown;
+    let has_post_step = !problem.post_steps.is_empty();
+    let mut transfers = Vec::new();
+
+    // Coefficients referenced by the kernel: immutable, device copy once.
+    for &c in &system.read_coefficients {
+        transfers.push(Transfer {
+            name: registry.coefficients[c].name.clone(),
+            to_device: true,
+            policy: Policy::Once,
+            reason: "coefficient: immutable, cached on device".into(),
+        });
+    }
+
+    // The unknown.
+    transfers.push(Transfer {
+        name: registry.variables[unknown].name.clone(),
+        to_device: true,
+        policy: Policy::Once,
+        reason: "unknown: initial condition upload".into(),
+    });
+    if has_post_step {
+        transfers.push(Transfer {
+            name: registry.variables[unknown].name.clone(),
+            to_device: false,
+            policy: Policy::EveryStep,
+            reason: "unknown: post-step callback reads it on the host".into(),
+        });
+    }
+    match strategy {
+        GpuStrategy::AsyncBoundary => {
+            transfers.push(Transfer {
+                name: registry.variables[unknown].name.clone(),
+                to_device: true,
+                policy: Policy::EveryStep,
+                reason: "unknown: host combines the boundary contribution".into(),
+            });
+        }
+        GpuStrategy::PrecomputeBoundary => {
+            transfers.push(Transfer {
+                name: "ghosts".into(),
+                to_device: true,
+                policy: Policy::EveryStep,
+                reason: "boundary ghost values computed by CPU callbacks".into(),
+            });
+        }
+    }
+
+    // Other variables the kernel reads: written by post-step callbacks on
+    // the host (conservatively every step), otherwise static after init.
+    for &v in &system.read_variables {
+        if v == unknown {
+            continue;
+        }
+        let name = registry.variables[v].name.clone();
+        if has_post_step {
+            transfers.push(Transfer {
+                name,
+                to_device: true,
+                policy: Policy::EveryStep,
+                reason: "mutable variable: rewritten by post-step callback".into(),
+            });
+        } else {
+            transfers.push(Transfer {
+                name,
+                to_device: true,
+                policy: Policy::Once,
+                reason: "variable never written after initialization".into(),
+            });
+        }
+    }
+
+    TransferSchedule {
+        strategy,
+        transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    fn bte_like(with_post_step: bool) -> Problem {
+        let mut p = Problem::new("bte");
+        p.domain(2);
+        let d = p.index("d", 2);
+        let b = p.index("b", 2);
+        let i = p.variable("I", &[d, b]);
+        let _ = p.variable("Io", &[b]);
+        let _ = p.variable("beta", &[b]);
+        p.coefficient_array("Sx", &[d], vec![1.0, -1.0]);
+        p.coefficient_array("Sy", &[d], vec![0.0, 0.0]);
+        p.coefficient_array("vg", &[b], vec![1.0, 2.0]);
+        p.conservation_form(
+            i,
+            "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+        );
+        if with_post_step {
+            p.post_step(|_| {});
+        }
+        p
+    }
+
+    #[test]
+    fn bte_async_schedule_matches_the_paper() {
+        let p = bte_like(true);
+        let sys = p.analyze().unwrap();
+        let s = analyze_transfers(&p, &sys, GpuStrategy::AsyncBoundary);
+        // Every step: I moves both ways; Io and beta move to the device.
+        let h2d = s.each_step_h2d();
+        assert!(h2d.contains(&"I"));
+        assert!(h2d.contains(&"Io"));
+        assert!(h2d.contains(&"beta"));
+        assert_eq!(s.each_step_d2h(), vec!["I"]);
+        // Coefficients only once.
+        let once = s.once();
+        assert!(once.contains(&"Sx"));
+        assert!(once.contains(&"Sy"));
+        assert!(once.contains(&"vg"));
+        assert!(!h2d.contains(&"vg"));
+    }
+
+    #[test]
+    fn precompute_keeps_unknown_device_resident() {
+        let p = bte_like(true);
+        let sys = p.analyze().unwrap();
+        let s = analyze_transfers(&p, &sys, GpuStrategy::PrecomputeBoundary);
+        let h2d = s.each_step_h2d();
+        assert!(!h2d.contains(&"I"), "unknown must stay on the device");
+        assert!(h2d.contains(&"ghosts"));
+        assert_eq!(s.each_step_d2h(), vec!["I"]);
+    }
+
+    #[test]
+    fn no_post_step_means_static_variables() {
+        let p = bte_like(false);
+        let sys = p.analyze().unwrap();
+        let s = analyze_transfers(&p, &sys, GpuStrategy::PrecomputeBoundary);
+        assert!(s.each_step_h2d().iter().all(|&n| n == "ghosts"));
+        assert!(s.each_step_d2h().is_empty());
+        let once = s.once();
+        assert!(once.contains(&"Io"));
+        assert!(once.contains(&"beta"));
+    }
+
+    #[test]
+    fn render_mentions_every_transfer() {
+        let p = bte_like(true);
+        let sys = p.analyze().unwrap();
+        let s = analyze_transfers(&p, &sys, GpuStrategy::AsyncBoundary);
+        let text = s.render();
+        for t in &s.transfers {
+            assert!(text.contains(&t.name));
+        }
+        assert!(text.contains("H2D"));
+        assert!(text.contains("D2H"));
+    }
+}

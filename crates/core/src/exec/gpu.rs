@@ -1,0 +1,501 @@
+//! Hybrid CPU + GPU execution (paper §III-D, Fig 6).
+//!
+//! The generated kernel flattens all loops and assigns one thread per
+//! degree of freedom; it runs on the simulated device (`pbte-gpu`). User
+//! callbacks — boundary conditions and the post-step temperature update —
+//! stay on the host, exactly as the paper argues they must. Two strategies
+//! connect the halves:
+//!
+//! * [`GpuStrategy::AsyncBoundary`] — the kernel updates interior-face
+//!   fluxes only while the CPU computes boundary-face contributions from
+//!   the same old state; after the device result returns, the host
+//!   combines `u = u_new + u_bdry`, runs the post-step, and sends the
+//!   state back (`u`, `Io`, `beta` move every step — the "substantial
+//!   communication" configuration the paper shows is still profitable).
+//! * [`GpuStrategy::PrecomputeBoundary`] — the CPU evaluates ghost values,
+//!   ships the (small) ghost array, and the kernel computes the complete
+//!   flux; the unknown stays device-resident between steps. This variant
+//!   is bit-identical to the sequential CPU target because the per-face
+//!   accumulation order is unchanged.
+//!
+//! Which variables move when is decided by [`crate::dataflow`], not here.
+
+use super::seq;
+use super::{phases, CompiledProblem, SolveReport, WorkCounters};
+use crate::bytecode::VmCtx;
+use crate::entities::Fields;
+use crate::problem::{DslError, GpuStrategy, LocalReducer, Reducer, TimeStepper};
+use pbte_gpu::{Device, DeviceBuffer, DeviceSpec, KernelCost};
+use pbte_runtime::timer::PhaseTimer;
+use std::time::Instant;
+
+/// Simulated / host times for one hybrid step.
+pub(crate) struct StepTimes {
+    /// Simulated device seconds in the intensity kernel.
+    pub kernel: f64,
+    /// Simulated host↔device transfer seconds.
+    pub transfer: f64,
+    /// Host wall-clock seconds (boundary callbacks + post-step).
+    pub host: f64,
+}
+
+/// Flattened per-cell face geometry shipped to the device once.
+struct Geometry {
+    max_faces: usize,
+    /// `n_cells * max_faces`, zero-padded.
+    area: Vec<f64>,
+    normal: [Vec<f64>; 3],
+    /// Neighbor cell id, or `-(bface_slot+1)` for boundary, or NaN padding.
+    other: Vec<f64>,
+    /// Face centroids (for function coefficients in flux kernels).
+    fx: Vec<f64>,
+    fy: Vec<f64>,
+    fz: Vec<f64>,
+    volume: Vec<f64>,
+    n_faces: Vec<f64>,
+    cx: Vec<f64>,
+    cy: Vec<f64>,
+    cz: Vec<f64>,
+}
+
+impl Geometry {
+    fn build(cp: &CompiledProblem) -> Geometry {
+        let mesh = cp.mesh();
+        let n_cells = mesh.n_cells();
+        let max_faces = (0..n_cells)
+            .map(|c| mesh.cell_faces(c).len())
+            .max()
+            .expect("mesh has cells");
+        let mut g = Geometry {
+            max_faces,
+            area: vec![0.0; n_cells * max_faces],
+            normal: [
+                vec![0.0; n_cells * max_faces],
+                vec![0.0; n_cells * max_faces],
+                vec![0.0; n_cells * max_faces],
+            ],
+            other: vec![f64::NAN; n_cells * max_faces],
+            fx: vec![0.0; n_cells * max_faces],
+            fy: vec![0.0; n_cells * max_faces],
+            fz: vec![0.0; n_cells * max_faces],
+            volume: mesh.cell_volumes.clone(),
+            n_faces: vec![0.0; n_cells],
+            cx: mesh.cell_centroids.iter().map(|p| p.x).collect(),
+            cy: mesh.cell_centroids.iter().map(|p| p.y).collect(),
+            cz: mesh.cell_centroids.iter().map(|p| p.z).collect(),
+        };
+        for cell in 0..n_cells {
+            let faces = mesh.cell_faces(cell);
+            g.n_faces[cell] = faces.len() as f64;
+            for (k, &fid) in faces.iter().enumerate() {
+                let f = &mesh.faces[fid];
+                let n = f.normal_from(cell);
+                let at = cell * max_faces + k;
+                g.area[at] = f.area;
+                g.normal[0][at] = n.x;
+                g.normal[1][at] = n.y;
+                g.normal[2][at] = n.z;
+                g.fx[at] = f.centroid.x;
+                g.fy[at] = f.centroid.y;
+                g.fz[at] = f.centroid.z;
+                g.other[at] = match f.other_cell(cell) {
+                    Some(nb) => nb as f64,
+                    None => -((cp.bface_slot[fid] + 1) as f64),
+                };
+            }
+        }
+        g
+    }
+}
+
+/// Static cost of one generated-kernel thread, as the code generator
+/// derives it. Flops are counted directly from the compiled programs
+/// (volume + per-face flux + update arithmetic). Bytes use the
+/// *DRAM-effective* traffic the generator can prove from reuse structure,
+/// not raw load counts:
+///
+/// * each unknown value leaves DRAM once per kernel — its five uses (own
+///   thread + four neighbors) hit in L2;
+/// * a non-unknown variable value (e.g. `Io[b]`, `beta[b]` per cell) is
+///   shared by all threads with the same (cell, its indices), i.e. reused
+///   `n_flat / flat_len(var)` times;
+/// * coefficient tables (a few kB) and per-cell geometry are resident in
+///   cache across the flattened index dimension.
+///
+/// This reuse reasoning is what makes the BTE kernel compute-bound on the
+/// device and reproduces the paper's profile table (≈49% of DP peak, ≈11%
+/// memory throughput). Exposed publicly so the figure harness prices
+/// paper-scale launches without executing them.
+pub fn estimate_kernel_cost(cp: &CompiledProblem) -> KernelCost {
+    let mesh = cp.mesh();
+    let max_faces = (0..mesh.n_cells())
+        .map(|c| mesh.cell_faces(c).len())
+        .max()
+        .expect("mesh has cells") as f64;
+    let n_flat_f = cp.n_flat as f64;
+    let registry = &cp.problem.registry;
+    let shared_var_bytes: f64 = cp
+        .system
+        .read_variables
+        .iter()
+        .filter(|&&v| v != cp.system.unknown)
+        .map(|&v| 8.0 * registry.flat_len(&registry.variables[v].indices) as f64 / n_flat_f)
+        .sum();
+    let geometry_bytes = 8.0 * (6.0 * max_faces + 4.0) / n_flat_f;
+    KernelCost {
+        flops_per_thread: cp.volume.flops as f64 + max_faces * (cp.flux.flops as f64 + 4.0) + 4.0,
+        bytes_read_per_thread: 8.0 + shared_var_bytes + geometry_bytes,
+        bytes_written_per_thread: 8.0,
+        fma_fraction: 0.0,
+        divergence_efficiency: 1.0,
+    }
+}
+
+/// A single simulated device executing one rank's share of the problem.
+pub(crate) struct GpuWorker {
+    device: Device,
+    strategy: GpuStrategy,
+    owned_flats: Vec<usize>,
+    /// Per-variable device buffers, id order; `vars[unknown]` is the state.
+    var_devs: Vec<DeviceBuffer>,
+    /// Compact kernel output: `owned_flats.len() * n_cells`.
+    unew_dev: DeviceBuffer,
+    /// Ghost values (precompute strategy), `boundary.len() * n_flat`.
+    ghost_dev: DeviceBuffer,
+    geometry: Geometry,
+    kernel_cost: KernelCost,
+    /// Host-side ghost scratch.
+    ghosts: Vec<f64>,
+    /// Host-side kernel result scratch.
+    unew_host: Vec<f64>,
+    /// Variables the CPU writes each step (H2D per step): every read
+    /// variable except the unknown, when post-step callbacks exist.
+    step_h2d_vars: Vec<usize>,
+}
+
+impl GpuWorker {
+    pub(crate) fn new(
+        cp: &CompiledProblem,
+        fields: &Fields,
+        owned_flats: &[usize],
+        spec: DeviceSpec,
+        strategy: GpuStrategy,
+    ) -> GpuWorker {
+        assert_eq!(
+            cp.problem.stepper,
+            TimeStepper::EulerExplicit,
+            "the GPU target generates the Euler kernel only"
+        );
+        let mut device = Device::new(spec);
+        let n_cells = fields.n_cells;
+        let geometry = Geometry::build(cp);
+
+        // One buffer per variable, populated once up front.
+        let mut var_devs = Vec::with_capacity(fields.n_vars());
+        for v in 0..fields.n_vars() {
+            let mut buf = device.alloc(
+                &cp.problem.registry.variables[v].name,
+                fields.slice(v).len(),
+            );
+            device.h2d(fields.slice(v), &mut buf);
+            var_devs.push(buf);
+        }
+        let unew_dev = device.alloc("u_new", owned_flats.len() * n_cells);
+        let ghost_dev = device.alloc("ghosts", cp.boundary.len().max(1) * cp.n_flat);
+
+        let kernel_cost = estimate_kernel_cost(cp);
+
+        let step_h2d_vars: Vec<usize> = if cp.problem.post_steps.is_empty() {
+            Vec::new()
+        } else {
+            cp.system
+                .read_variables
+                .iter()
+                .copied()
+                .filter(|&v| v != cp.system.unknown)
+                .collect()
+        };
+
+        GpuWorker {
+            device,
+            strategy,
+            owned_flats: owned_flats.to_vec(),
+            var_devs,
+            unew_dev,
+            ghost_dev,
+            geometry,
+            kernel_cost,
+            ghosts: vec![0.0; cp.boundary.len() * cp.n_flat],
+            unew_host: vec![0.0; owned_flats.len() * n_cells],
+            step_h2d_vars,
+        }
+    }
+
+    /// Execute one hybrid time step. Mutates `fields` (host state) and the
+    /// device buffers; returns the phase times.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step(
+        &mut self,
+        cp: &CompiledProblem,
+        fields: &mut Fields,
+        time: f64,
+        step: usize,
+        owned_index_range: Option<(String, std::ops::Range<usize>)>,
+        reducer: &mut dyn Reducer,
+        work: &mut WorkCounters,
+    ) -> StepTimes {
+        let n_cells = fields.n_cells;
+        let unknown = cp.system.unknown;
+        let dt = cp.problem.dt;
+        let dev_t0 = self.device.elapsed();
+
+        // Host: pre-step callbacks + boundary ghosts from the old state.
+        let host_t0 = Instant::now();
+        seq::run_callbacks(
+            cp,
+            fields,
+            true,
+            time,
+            step,
+            owned_index_range.clone(),
+            None,
+            reducer,
+        );
+        seq::compute_ghosts(cp, fields, &self.owned_flats, time, &mut self.ghosts, work);
+        let mut t_host = host_t0.elapsed().as_secs_f64();
+
+        // H2D per the transfer schedule: CPU-written variables move every
+        // step; under the async strategy the host-combined unknown moves
+        // too (its rows were rewritten at the end of the previous step).
+        for &v in &self.step_h2d_vars {
+            let host = fields.slice(v).to_vec();
+            self.device.h2d(&host, &mut self.var_devs[v]);
+        }
+        match self.strategy {
+            GpuStrategy::AsyncBoundary => {
+                let host = fields.slice(unknown).to_vec();
+                self.device.h2d_rows(
+                    &host,
+                    &mut self.var_devs[unknown],
+                    n_cells,
+                    &self.owned_flats,
+                );
+            }
+            GpuStrategy::PrecomputeBoundary => {
+                let ghosts = self.ghosts.clone();
+                self.device.h2d(&ghosts, &mut self.ghost_dev);
+            }
+        }
+        let t_after_h2d = self.device.elapsed();
+
+        // Kernel launch: one thread per owned dof.
+        let n_threads = self.owned_flats.len() * n_cells;
+        let skip_boundary = self.strategy == GpuStrategy::AsyncBoundary;
+        let geometry = &self.geometry;
+        let owned_flats = &self.owned_flats;
+        let n_flat = cp.n_flat;
+        let coefficients = &cp.problem.registry.coefficients;
+        let volume_prog = &cp.volume;
+        let flux_prog = &cp.flux;
+        let idx_of_flat = &cp.idx_of_flat;
+        let n_vars = self.var_devs.len();
+
+        // Inputs: every variable buffer (id order), then the ghost buffer.
+        let mut inputs: Vec<&DeviceBuffer> = self.var_devs.iter().collect();
+        inputs.push(&self.ghost_dev);
+        let t_kernel = self.device.launch(
+            "intensity_update",
+            n_threads,
+            self.kernel_cost,
+            &inputs,
+            &mut self.unew_dev,
+            |tid, bufs, out| {
+                let vars = &bufs[..n_vars];
+                let ghosts = bufs[n_vars];
+                let k = tid / n_cells;
+                let cell = tid % n_cells;
+                let flat = owned_flats[k];
+                let idx = &idx_of_flat[flat];
+                let mut vm = VmCtx {
+                    vars,
+                    n_cells,
+                    coefficients,
+                    idx,
+                    cell,
+                    u1: 0.0,
+                    u2: 0.0,
+                    normal: [0.0; 3],
+                    position: pbte_mesh::Point::new(
+                        geometry.cx[cell],
+                        geometry.cy[cell],
+                        geometry.cz[cell],
+                    ),
+                    dt,
+                    time,
+                };
+                let source = volume_prog.eval(&vm);
+                let u_here = vars[unknown][flat * n_cells + cell];
+                let mut flux_sum = 0.0;
+                let nf = geometry.n_faces[cell] as usize;
+                for f in 0..nf {
+                    let at = cell * geometry.max_faces + f;
+                    let other = geometry.other[at];
+                    let u2 = if other >= 0.0 {
+                        vars[unknown][flat * n_cells + other as usize]
+                    } else if skip_boundary {
+                        continue;
+                    } else {
+                        let slot = (-other) as usize - 1;
+                        ghosts[slot * n_flat + flat]
+                    };
+                    vm.u1 = u_here;
+                    vm.u2 = u2;
+                    vm.normal = [
+                        geometry.normal[0][at],
+                        geometry.normal[1][at],
+                        geometry.normal[2][at],
+                    ];
+                    vm.position =
+                        pbte_mesh::Point::new(geometry.fx[at], geometry.fy[at], geometry.fz[at]);
+                    flux_sum += geometry.area[at] * flux_prog.eval(&vm);
+                }
+                *out = u_here + dt * (source - flux_sum / geometry.volume[cell]);
+            },
+        );
+        work.dof_updates += n_threads as u64;
+        work.flux_evals += n_threads as u64 * self.geometry.max_faces as u64;
+
+        // Meanwhile (conceptually overlapped, Fig 6): the CPU computes the
+        // boundary contribution from the same old state.
+        let mut boundary_add: Vec<(usize, usize, f64)> = Vec::new();
+        if skip_boundary {
+            let host_t1 = Instant::now();
+            let mesh = cp.mesh();
+            let vars = fields.as_slices();
+            for bf in &cp.boundary {
+                let face = &mesh.faces[bf.face];
+                let cell = face.owner;
+                let fid = bf.face;
+                for &flat in &self.owned_flats {
+                    let u1 = fields.value(unknown, cell, flat);
+                    let u2 = self.ghosts[cp.bface_slot[fid] * n_flat + flat];
+                    let n = face.normal;
+                    let vm = VmCtx {
+                        vars: &vars,
+                        n_cells,
+                        coefficients,
+                        idx: &cp.idx_of_flat[flat],
+                        cell,
+                        u1,
+                        u2,
+                        normal: [n.x, n.y, n.z],
+                        position: face.centroid,
+                        dt,
+                        time,
+                    };
+                    let flux = face.area * cp.flux.eval(&vm);
+                    boundary_add.push((cell, flat, -dt * flux / mesh.cell_volumes[cell]));
+                }
+            }
+            t_host += host_t1.elapsed().as_secs_f64();
+        } else {
+            // Precompute strategy: reconcile the device state — scatter the
+            // new rows back into the resident unknown buffer.
+            let (unknown_buf, unew) = {
+                // Split borrows: var_devs[unknown] as destination.
+                let unew = &self.unew_dev;
+                (&mut self.var_devs[unknown], unew)
+            };
+            self.device
+                .scatter_rows(unew, unknown_buf, n_cells, &self.owned_flats);
+        }
+
+        // D2H: the updated unknown returns to the host for the post-step.
+        match self.strategy {
+            GpuStrategy::AsyncBoundary => {
+                let mut host = std::mem::take(&mut self.unew_host);
+                self.device.d2h(&self.unew_dev, &mut host);
+                // Combine interior result + boundary contribution.
+                let u = fields.slice_mut(unknown);
+                for (k, &flat) in self.owned_flats.iter().enumerate() {
+                    u[flat * n_cells..(flat + 1) * n_cells]
+                        .copy_from_slice(&host[k * n_cells..(k + 1) * n_cells]);
+                }
+                for (cell, flat, add) in boundary_add {
+                    u[flat * n_cells + cell] += add;
+                }
+                self.unew_host = host;
+            }
+            GpuStrategy::PrecomputeBoundary => {
+                let mut host = fields.slice(unknown).to_vec();
+                self.device.d2h_rows(
+                    &self.var_devs[unknown],
+                    &mut host,
+                    n_cells,
+                    &self.owned_flats,
+                );
+                fields.replace(unknown, host);
+            }
+        }
+        let t_transfer = (t_after_h2d - dev_t0) + (self.device.elapsed() - t_after_h2d - t_kernel);
+
+        // Host: post-step callbacks (temperature update).
+        let host_t2 = Instant::now();
+        seq::run_callbacks(
+            cp,
+            fields,
+            false,
+            time + dt,
+            step,
+            owned_index_range,
+            None,
+            reducer,
+        );
+        t_host += host_t2.elapsed().as_secs_f64();
+
+        StepTimes {
+            kernel: t_kernel,
+            transfer: t_transfer,
+            host: t_host,
+        }
+    }
+
+    /// Device profile after the run.
+    pub(crate) fn finish(&self) -> pbte_gpu::ProfileReport {
+        self.device.profile()
+    }
+}
+
+/// Single-device hybrid solve.
+pub fn solve(
+    cp: &CompiledProblem,
+    fields: &mut Fields,
+    spec: DeviceSpec,
+    strategy: GpuStrategy,
+) -> Result<SolveReport, DslError> {
+    if cp.problem.stepper != TimeStepper::EulerExplicit {
+        return Err(DslError::Invalid(
+            "the GPU target supports the Euler stepper only".into(),
+        ));
+    }
+    let all_flats: Vec<usize> = (0..cp.n_flat).collect();
+    let mut worker = GpuWorker::new(cp, fields, &all_flats, spec, strategy);
+    let mut timer = PhaseTimer::new();
+    let mut work = WorkCounters::default();
+    let mut reducer = LocalReducer;
+    let mut time = 0.0;
+    for step in 0..cp.problem.n_steps {
+        let times = worker.step(cp, fields, time, step, None, &mut reducer, &mut work);
+        timer.add(phases::INTENSITY_GPU, times.kernel);
+        timer.add(phases::COMM_GPU, times.transfer);
+        timer.add(phases::TEMPERATURE_CPU, times.host);
+        time += cp.problem.dt;
+    }
+    Ok(SolveReport {
+        steps: cp.problem.n_steps,
+        timer,
+        comm: Default::default(),
+        work,
+        device: Some(worker.finish()),
+    })
+}

@@ -1,0 +1,638 @@
+//! Execution targets for compiled problems.
+//!
+//! `build` lowers a [`Problem`] into a [`CompiledProblem`] (compiled volume
+//! and flux kernels, resolved boundary conditions, index geometry) shared
+//! by every target, then `solve` dispatches to one of:
+//!
+//! * [`seq`] — sequential CPU loops (the reference semantics);
+//! * [`par`] — shared-memory thread parallelism over the partitioned
+//!   dimension (rayon);
+//! * [`dist`] — distributed ranks with real message passing: the paper's
+//!   cell-partitioned (halo exchange) and band-partitioned (energy
+//!   reduction) strategies;
+//! * [`gpu`] — the hybrid target: generated kernels on the simulated
+//!   device, user callbacks on the host, with the automatic transfer
+//!   schedule from [`crate::dataflow`].
+//!
+//! Agreement guarantees (asserted by integration tests): the CPU targets
+//! (sequential, threaded, cell-distributed) are bit-identical to each
+//! other; band distribution matches to rounding (cross-rank reduction
+//! reassociation); the GPU targets match the CPU targets to rounding
+//! (the CPU generator hoists flux coefficients, the GPU kernel keeps the
+//! straight-line form — same arithmetic content, different association).
+
+pub mod dist;
+pub mod gpu;
+pub mod par;
+pub mod seq;
+
+use crate::bytecode::{Compiler, KernelKind, Program};
+use crate::dataflow::TransferSchedule;
+use crate::entities::Fields;
+use crate::pipeline::DiscreteSystem;
+use crate::problem::{BoundaryCondition, DslError, GpuStrategy, Problem};
+use pbte_gpu::DeviceSpec;
+use pbte_runtime::timer::PhaseTimer;
+use pbte_runtime::world::CommStats;
+
+/// Phase names shared by the executors and the figure harness (the
+/// paper's Figs 5 and 8 categories).
+pub mod phases {
+    pub const INTENSITY: &str = "solve for intensity";
+    pub const TEMPERATURE: &str = "temperature update";
+    pub const COMMUNICATION: &str = "communication";
+    pub const INTENSITY_GPU: &str = "solve for intensity(GPU)";
+    pub const TEMPERATURE_CPU: &str = "temperature update(CPU)";
+    pub const COMM_GPU: &str = "communication(CPU<->GPU)";
+}
+
+/// Where and how to run a compiled problem.
+#[derive(Debug, Clone)]
+pub enum ExecTarget {
+    /// Plain sequential loops.
+    CpuSeq,
+    /// Shared-memory threads (rayon) over the outermost assembly dimension.
+    CpuParallel,
+    /// Distributed ranks, mesh partitioned among them (halo exchange of the
+    /// unknown each step).
+    DistCells { ranks: usize },
+    /// Distributed ranks, one index (the paper partitions bands `b`)
+    /// partitioned among them; the post-step reduction crosses ranks.
+    DistBands { ranks: usize, index: String },
+    /// Hybrid CPU + simulated GPU.
+    GpuHybrid {
+        spec: DeviceSpec,
+        strategy: GpuStrategy,
+    },
+    /// Band-distributed ranks, each paired with its own simulated GPU —
+    /// the configuration of the paper's Fig 7.
+    DistBandsGpu {
+        ranks: usize,
+        index: String,
+        spec: DeviceSpec,
+        strategy: GpuStrategy,
+    },
+}
+
+/// Per-stage distributed services a step needs: the reduction interface
+/// callbacks use, plus the halo exchange multi-stage steppers must repeat
+/// before *every* stage (RK2 reads neighbor values of the intermediate
+/// state, so one exchange per step would silently desynchronize ranks).
+pub trait StepLinks: crate::problem::Reducer {
+    /// Refresh remote neighbor values of the unknown in `fields`.
+    /// Returns the seconds spent communicating.
+    fn halo_exchange(&mut self, fields: &mut Fields) -> f64;
+}
+
+/// No-op links for single-address-space targets.
+pub struct LocalLinks;
+
+impl crate::problem::Reducer for LocalLinks {
+    fn allreduce_sum(&mut self, _buf: &mut [f64]) {}
+    fn rank(&self) -> usize {
+        0
+    }
+    fn n_ranks(&self) -> usize {
+        1
+    }
+}
+
+impl StepLinks for LocalLinks {
+    fn halo_exchange(&mut self, _fields: &mut Fields) -> f64 {
+        0.0
+    }
+}
+
+/// Work executed, counted exactly (feeds the performance model).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkCounters {
+    /// Cell-dof updates performed (volume kernel evaluations).
+    pub dof_updates: u64,
+    /// Flux kernel evaluations.
+    pub flux_evals: u64,
+    /// Boundary ghost evaluations (CPU callback calls).
+    pub ghost_evals: u64,
+}
+
+impl WorkCounters {
+    /// Merge counters (e.g. across ranks).
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.dof_updates += other.dof_updates;
+        self.flux_evals += other.flux_evals;
+        self.ghost_evals += other.ghost_evals;
+    }
+}
+
+/// Result of a solve.
+#[derive(Debug)]
+pub struct SolveReport {
+    pub steps: usize,
+    /// Per-phase times. Host phases are wall-clock seconds; on GPU targets
+    /// the `*(GPU)` / `(CPU<->GPU)` phases are *simulated device seconds*
+    /// (see `pbte-gpu`). The figure harness uses its own uniform model and
+    /// treats these as structural information.
+    pub timer: PhaseTimer,
+    /// Communication totals across ranks (distributed targets).
+    pub comm: CommStats,
+    /// Exact executed work.
+    pub work: WorkCounters,
+    /// Device profile (GPU targets).
+    pub device: Option<pbte_gpu::ProfileReport>,
+}
+
+/// A boundary face with its resolved condition.
+#[derive(Clone)]
+pub(crate) struct BoundaryFace {
+    pub face: usize,
+    pub bc: BoundaryCondition,
+}
+
+/// CPU-target flux specialization.
+///
+/// When the flux integrand is affine in the `CELL1`/`CELL2` values with
+/// coefficients that depend only on the flat index and the face normal
+/// (true for every upwind-form flux the `upwind` operator generates), the
+/// CPU code generator hoists the coefficients out of the hot loop:
+/// `flux = γ + α·u₁ + β·u₂` with `(α, β, γ)` precomputed per
+/// (flat index, oriented-normal class). This is the kind of
+/// target-specific strategy the paper's IR design anticipates ("different
+/// targets may perform calculations in different ways"); the GPU
+/// generator keeps the straight-line conditional form, whose arithmetic
+/// the device profile in §III-D reflects.
+pub struct FluxLinearization {
+    /// Number of distinct oriented normals.
+    pub n_classes: usize,
+    /// Class of each face's owner-side normal.
+    pub face_class_pos: Vec<u32>,
+    /// Class of each face's neighbor-side (flipped) normal.
+    pub face_class_neg: Vec<u32>,
+    /// Coefficients, indexed `flat * n_classes + class`.
+    pub alpha: Vec<f64>,
+    pub beta: Vec<f64>,
+    pub gamma: Vec<f64>,
+}
+
+impl FluxLinearization {
+    /// Evaluate the linearized flux.
+    #[inline]
+    pub fn eval(&self, flat: usize, class: u32, u1: f64, u2: f64) -> f64 {
+        let at = flat * self.n_classes + class as usize;
+        self.gamma[at] + self.alpha[at] * u1 + self.beta[at] * u2
+    }
+}
+
+/// Attempt the flux linearization. Returns `None` (VM fallback) when the
+/// flux reads mutable variables, function coefficients, or time; when a
+/// conditional branches on the unknown; when the mesh has too many
+/// distinct normals; or when the numeric affinity probe fails.
+fn linearize_flux(cp: &CompiledProblem) -> Option<FluxLinearization> {
+    use crate::bytecode::{Op, VmCtx};
+    // Static eligibility: only face-constant inputs besides CELL1/CELL2.
+    for op in &cp.flux.ops {
+        match op {
+            Op::LoadVar { .. } | Op::LoadCoefFn { .. } | Op::LoadTime => return None,
+            _ => {}
+        }
+    }
+    // Conditionals must not branch on the unknown (affinity would be
+    // piecewise and the probe could miss the break point).
+    let mut test_on_unknown = false;
+    cp.system.flux_expr.visit(&mut |e| {
+        if let pbte_symbolic::Expr::Conditional { test, .. } = e {
+            if test.contains_call("CELL1") || test.contains_call("CELL2") {
+                test_on_unknown = true;
+            }
+        }
+    });
+    if test_on_unknown {
+        return None;
+    }
+
+    // Classify oriented normals by exact bit pattern (normals of identical
+    // geometry are computed identically).
+    const MAX_CLASSES: usize = 1024;
+    let mesh = cp.mesh();
+    let mut classes: Vec<[u64; 3]> = Vec::new();
+    let mut normals: Vec<[f64; 3]> = Vec::new();
+    let mut class_of = |n: pbte_mesh::Point| -> Option<u32> {
+        let key = [n.x.to_bits(), n.y.to_bits(), n.z.to_bits()];
+        if let Some(i) = classes.iter().position(|k| *k == key) {
+            return Some(i as u32);
+        }
+        if classes.len() >= MAX_CLASSES {
+            return None;
+        }
+        classes.push(key);
+        normals.push([n.x, n.y, n.z]);
+        Some((classes.len() - 1) as u32)
+    };
+    let mut face_class_pos = Vec::with_capacity(mesh.n_faces());
+    let mut face_class_neg = Vec::with_capacity(mesh.n_faces());
+    for f in &mesh.faces {
+        face_class_pos.push(class_of(f.normal)?);
+        face_class_neg.push(class_of(-f.normal)?);
+    }
+    let n_classes = classes.len();
+
+    // Probe the program per (flat, class) and validate affinity exactly
+    // at two extra points.
+    let n_flat = cp.n_flat;
+    let mut alpha = vec![0.0; n_flat * n_classes];
+    let mut beta = vec![0.0; n_flat * n_classes];
+    let mut gamma = vec![0.0; n_flat * n_classes];
+    let no_vars: [&[f64]; 0] = [];
+    for flat in 0..n_flat {
+        let idx = &cp.idx_of_flat[flat];
+        #[allow(clippy::needless_range_loop)] // class indexes normals AND the αβγ tables
+        for class in 0..n_classes {
+            let probe = |u1: f64, u2: f64| {
+                cp.flux.eval(&VmCtx {
+                    vars: &no_vars,
+                    n_cells: 1,
+                    coefficients: &cp.problem.registry.coefficients,
+                    idx,
+                    cell: 0,
+                    u1,
+                    u2,
+                    normal: normals[class],
+                    position: pbte_mesh::Point::zero(),
+                    dt: cp.problem.dt,
+                    time: 0.0,
+                })
+            };
+            let f00 = probe(0.0, 0.0);
+            let a = probe(1.0, 0.0) - f00;
+            let b = probe(0.0, 1.0) - f00;
+            let scale = 1.0 + f00.abs() + a.abs() + b.abs();
+            let check1 = probe(1.0, 1.0) - (f00 + a + b);
+            let check2 = probe(2.0, 3.0) - (f00 + 2.0 * a + 3.0 * b);
+            if check1.abs() > 1e-12 * scale || check2.abs() > 1e-12 * scale {
+                return None;
+            }
+            let at = flat * n_classes + class;
+            alpha[at] = a;
+            beta[at] = b;
+            gamma[at] = f00;
+        }
+    }
+    Some(FluxLinearization {
+        n_classes,
+        face_class_pos,
+        face_class_neg,
+        alpha,
+        beta,
+        gamma,
+    })
+}
+
+/// The compiled, target-independent form of a problem.
+pub struct CompiledProblem {
+    pub problem: Problem,
+    pub system: DiscreteSystem,
+    pub volume: Program,
+    pub flux: Program,
+    /// Flattened index count of the unknown.
+    pub n_flat: usize,
+    /// Extent of each loop slot (unknown's indices, declaration order).
+    pub idx_lens: Vec<usize>,
+    /// Decoded index tuple per flat value.
+    pub idx_of_flat: Vec<Vec<usize>>,
+    /// Boundary faces in mesh order, each with its condition.
+    pub(crate) boundary: Vec<BoundaryFace>,
+    /// face id → position in `boundary` (usize::MAX for interior faces).
+    pub(crate) bface_slot: Vec<usize>,
+    /// CPU-target flux specialization (None → VM fallback).
+    pub flux_lin: Option<FluxLinearization>,
+    /// Compact structure-of-arrays face geometry for the CPU hot loop.
+    pub(crate) hot: HotGeometry,
+}
+
+/// Structure-of-arrays face connectivity the generated CPU code indexes
+/// directly (the `Face` objects of the mesh are too pointer-heavy for the
+/// inner loop). `nbr[k] ≥ 0` is the neighbor cell; `-(slot+1)` points into
+/// the boundary-ghost array.
+pub(crate) struct HotGeometry {
+    /// CSR offsets: faces of `cell` are `offsets[cell]..offsets[cell+1]`.
+    pub offsets: Vec<u32>,
+    pub nbr: Vec<i64>,
+    pub area: Vec<f64>,
+    /// Oriented normal class as seen from the cell (for `FluxLinearization`).
+    pub class: Vec<u32>,
+    /// 1 / cell volume.
+    pub inv_volume: Vec<f64>,
+}
+
+impl HotGeometry {
+    fn build(
+        mesh: &pbte_mesh::Mesh,
+        bface_slot: &[usize],
+        lin: Option<&FluxLinearization>,
+    ) -> HotGeometry {
+        let n = mesh.n_cells();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nbr = Vec::new();
+        let mut area = Vec::new();
+        let mut class = Vec::new();
+        offsets.push(0u32);
+        for cell in 0..n {
+            for &fid in mesh.cell_faces(cell) {
+                let f = &mesh.faces[fid];
+                nbr.push(match f.other_cell(cell) {
+                    Some(c) => c as i64,
+                    None => -((bface_slot[fid] + 1) as i64),
+                });
+                area.push(f.area);
+                class.push(match lin {
+                    Some(l) => {
+                        if f.owner == cell {
+                            l.face_class_pos[fid]
+                        } else {
+                            l.face_class_neg[fid]
+                        }
+                    }
+                    None => 0,
+                });
+            }
+            offsets.push(nbr.len() as u32);
+        }
+        HotGeometry {
+            offsets,
+            nbr,
+            area,
+            class,
+            inv_volume: mesh.cell_volumes.iter().map(|v| 1.0 / v).collect(),
+        }
+    }
+}
+
+impl CompiledProblem {
+    /// Lower a problem: run the pipeline, compile kernels, resolve BCs,
+    /// and apply initial conditions.
+    pub fn compile(problem: Problem) -> Result<(CompiledProblem, Fields), DslError> {
+        let system = problem.analyze()?;
+        let mesh = problem
+            .mesh
+            .as_ref()
+            .ok_or_else(|| DslError::Invalid("no mesh attached".into()))?;
+        if mesh.dim != problem.dim {
+            return Err(DslError::Invalid(format!(
+                "mesh is {}-D but domain({}) was declared",
+                mesh.dim, problem.dim
+            )));
+        }
+
+        let unknown = system.unknown;
+        let volume = Compiler::new(&problem.registry, unknown, KernelKind::Volume)
+            .compile(&system.volume_expr)?;
+        let flux = Compiler::new(&problem.registry, unknown, KernelKind::Flux)
+            .compile(&system.flux_expr)?;
+
+        // Index geometry.
+        let slots = problem.registry.variables[unknown].indices.clone();
+        let idx_lens: Vec<usize> = slots
+            .iter()
+            .map(|&i| problem.registry.indices[i].len)
+            .collect();
+        let n_flat: usize = idx_lens.iter().product();
+        let strides = problem.registry.strides(&slots);
+        let mut idx_of_flat = Vec::with_capacity(n_flat);
+        for flat in 0..n_flat {
+            let mut idx = vec![0usize; slots.len()];
+            let mut rem = flat;
+            for (k, &s) in strides.iter().enumerate() {
+                idx[k] = rem / s;
+                rem %= s;
+            }
+            idx_of_flat.push(idx);
+        }
+
+        // Resolve boundary conditions: every boundary face needs one.
+        let mut region_bc: Vec<Option<BoundaryCondition>> = vec![None; mesh.boundary_regions.len()];
+        for (var, region, bc) in &problem.boundary_conditions {
+            if *var != unknown {
+                return Err(DslError::Invalid(format!(
+                    "boundary condition on `{}` which is not the unknown",
+                    problem.registry.variables[*var].name
+                )));
+            }
+            let rid = mesh.region_id(region).ok_or_else(|| {
+                DslError::Invalid(format!("mesh has no boundary region `{region}`"))
+            })?;
+            region_bc[rid] = Some(bc.clone());
+        }
+        let mut boundary = Vec::new();
+        let mut bface_slot = vec![usize::MAX; mesh.n_faces()];
+        #[allow(clippy::needless_range_loop)] // fid is both key and slot value
+        for fid in 0..mesh.n_faces() {
+            let f = &mesh.faces[fid];
+            if !f.is_boundary() {
+                continue;
+            }
+            let bc = f.region.and_then(|r| region_bc[r].clone()).ok_or_else(|| {
+                DslError::Invalid(format!(
+                    "boundary face {fid} (centroid {:?}) has no boundary condition",
+                    f.centroid
+                ))
+            })?;
+            bface_slot[fid] = boundary.len();
+            boundary.push(BoundaryFace { face: fid, bc });
+        }
+
+        // Initial conditions.
+        let mut fields = Fields::new(&problem.registry, mesh.n_cells());
+        for (var, init) in &problem.initials {
+            let v = *var;
+            let var_slots = problem.registry.variables[v].indices.clone();
+            let var_lens: Vec<usize> = var_slots
+                .iter()
+                .map(|&i| problem.registry.indices[i].len)
+                .collect();
+            let var_strides = problem.registry.strides(&var_slots);
+            let flat_len = fields.flat_len(v);
+            for cell in 0..mesh.n_cells() {
+                let centroid = mesh.cell_centroids[cell];
+                for flat in 0..flat_len {
+                    let mut idx = vec![0usize; var_lens.len()];
+                    let mut rem = flat;
+                    for (k, &s) in var_strides.iter().enumerate() {
+                        idx[k] = rem / s;
+                        rem %= s;
+                    }
+                    fields.set(v, cell, flat, init(centroid, &idx));
+                }
+            }
+        }
+
+        let mut cp = CompiledProblem {
+            problem,
+            system,
+            volume,
+            flux,
+            n_flat,
+            idx_lens,
+            idx_of_flat,
+            boundary,
+            bface_slot,
+            flux_lin: None,
+            hot: HotGeometry {
+                offsets: Vec::new(),
+                nbr: Vec::new(),
+                area: Vec::new(),
+                class: Vec::new(),
+                inv_volume: Vec::new(),
+            },
+        };
+        cp.flux_lin = linearize_flux(&cp);
+        cp.hot = HotGeometry::build(cp.mesh(), &cp.bface_slot, cp.flux_lin.as_ref());
+        Ok((cp, fields))
+    }
+
+    /// The mesh (guaranteed present after compile).
+    pub fn mesh(&self) -> &pbte_mesh::Mesh {
+        self.problem.mesh.as_ref().expect("checked in compile")
+    }
+
+    /// Automatic host↔device transfer schedule for a GPU strategy.
+    pub fn transfer_schedule(&self, strategy: GpuStrategy) -> TransferSchedule {
+        crate::dataflow::analyze_transfers(&self.problem, &self.system, strategy)
+    }
+
+    /// Memory footprint report. The paper calls the BTE "a challenging
+    /// research area in terms of both memory and computational time" —
+    /// this is the planning number a user checks before picking a device
+    /// or rank count.
+    pub fn memory_report(&self) -> MemoryReport {
+        let n_cells = self.mesh().n_cells();
+        let registry = &self.problem.registry;
+        let per_variable: Vec<(String, usize)> = registry
+            .variables
+            .iter()
+            .map(|v| (v.name.clone(), registry.flat_len(&v.indices) * n_cells * 8))
+            .collect();
+        let fields_bytes: usize = per_variable.iter().map(|(_, b)| b).sum();
+        let unknown_bytes =
+            registry.flat_len(&registry.variables[self.system.unknown].indices) * n_cells * 8;
+        // The hybrid target mirrors every variable plus the double buffer
+        // and the ghost array on the device.
+        let device_bytes =
+            fields_bytes + unknown_bytes + self.boundary.len().max(1) * self.n_flat * 8;
+        MemoryReport {
+            n_cells,
+            n_dof: self.n_flat * n_cells,
+            per_variable,
+            fields_bytes,
+            device_bytes,
+        }
+    }
+}
+
+/// Memory footprint of a compiled problem.
+#[derive(Debug, Clone)]
+pub struct MemoryReport {
+    pub n_cells: usize,
+    /// Unknown degrees of freedom.
+    pub n_dof: usize,
+    /// `(variable name, bytes)` in declaration order.
+    pub per_variable: Vec<(String, usize)>,
+    /// Host bytes for all variables.
+    pub fields_bytes: usize,
+    /// Device bytes the hybrid target allocates (all variables + the
+    /// kernel's double buffer + the ghost array).
+    pub device_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Render as an aligned table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mib = |b: usize| b as f64 / (1 << 20) as f64;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} cells, {} unknown dof", self.n_cells, self.n_dof);
+        for (name, bytes) in &self.per_variable {
+            let _ = writeln!(out, "  {name:<12} {:>10.2} MiB", mib(*bytes));
+        }
+        let _ = writeln!(out, "  host fields  {:>10.2} MiB", mib(self.fields_bytes));
+        let _ = writeln!(out, "  device total {:>10.2} MiB", mib(self.device_bytes));
+        out
+    }
+}
+
+/// An executable solver bound to a target.
+pub struct Solver {
+    pub target: ExecTarget,
+    pub compiled: CompiledProblem,
+    fields: Fields,
+}
+
+impl Solver {
+    /// Compile `problem` for `target`.
+    pub fn build(problem: Problem, target: ExecTarget) -> Result<Solver, DslError> {
+        // Validate target-specific constraints early.
+        if let ExecTarget::DistBands { index, ranks }
+        | ExecTarget::DistBandsGpu { index, ranks, .. } = &target
+        {
+            if problem.registry.index_id(index).is_none() {
+                return Err(DslError::Invalid(format!(
+                    "cannot partition unknown index `{index}`"
+                )));
+            }
+            let len = problem.registry.indices[problem.registry.index_id(index).unwrap()].len;
+            if *ranks > len {
+                return Err(DslError::Invalid(format!(
+                    "{ranks} ranks but index `{index}` has only {len} values"
+                )));
+            }
+        }
+        let (compiled, fields) = CompiledProblem::compile(problem)?;
+        Ok(Solver {
+            target,
+            compiled,
+            fields,
+        })
+    }
+
+    /// Run the configured number of time steps.
+    pub fn solve(&mut self) -> Result<SolveReport, DslError> {
+        match &self.target.clone() {
+            ExecTarget::CpuSeq => seq::solve(&self.compiled, &mut self.fields),
+            ExecTarget::CpuParallel => par::solve(&self.compiled, &mut self.fields),
+            ExecTarget::DistCells { ranks } => {
+                dist::solve_cells(&self.compiled, &mut self.fields, *ranks)
+            }
+            ExecTarget::DistBands { ranks, index } => {
+                dist::solve_bands(&self.compiled, &mut self.fields, *ranks, index, None)
+            }
+            ExecTarget::GpuHybrid { spec, strategy } => {
+                gpu::solve(&self.compiled, &mut self.fields, spec.clone(), *strategy)
+            }
+            ExecTarget::DistBandsGpu {
+                ranks,
+                index,
+                spec,
+                strategy,
+            } => dist::solve_bands(
+                &self.compiled,
+                &mut self.fields,
+                *ranks,
+                index,
+                Some((spec.clone(), *strategy)),
+            ),
+        }
+    }
+
+    /// Current field values.
+    pub fn fields(&self) -> &Fields {
+        &self.fields
+    }
+
+    /// Mutable field access (e.g. to perturb state between solves in
+    /// tests).
+    pub fn fields_mut(&mut self) -> &mut Fields {
+        &mut self.fields
+    }
+
+    /// Render the generated source for this target (host code + kernels).
+    pub fn generated_source(&self) -> String {
+        crate::codegen::render(&self.compiled, &self.target)
+    }
+}

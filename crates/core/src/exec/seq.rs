@@ -1,0 +1,394 @@
+//! Sequential CPU execution — the reference semantics every other target
+//! must reproduce (bit-for-bit for the CPU targets, to rounding for the
+//! reduction- and GPU-based ones; see `exec`'s module docs).
+//!
+//! The step structure is the one sketched in §II-B of the paper:
+//!
+//! ```text
+//! for step = 1:Nsteps
+//!   (pre-step callbacks)
+//!   compute boundary ghosts via user callbacks        } intensity phase
+//!   for cell, for index...:                           }
+//!     source = s(u); flux = Σ_f A_f f(u, u_nbr)       }
+//!     u_new = u + dt*(source − flux/V)                }
+//!   (post-step callbacks: temperature update)         } temperature phase
+//!   u = u_new; time += dt
+//! ```
+//!
+//! This module also exports the building blocks (`compute_ghosts`,
+//! `compute_rhs_into`, `apply_post_steps`) the parallel, distributed, and
+//! GPU targets compose.
+
+use super::{phases, CompiledProblem, SolveReport, WorkCounters};
+use crate::bytecode::VmCtx;
+use crate::entities::Fields;
+use crate::problem::{
+    BoundaryCondition, BoundaryQuery, DslError, Reducer, StepContext, TimeStepper,
+};
+use pbte_runtime::timer::PhaseTimer;
+use std::time::Instant;
+
+/// Which (cell, flat) pairs a worker owns.
+pub(crate) struct Scope<'a> {
+    /// Owned cells (global ids).
+    pub cells: &'a [usize],
+    /// Owned flattened index values.
+    pub flats: &'a [usize],
+}
+
+/// Evaluate boundary callbacks for every owned flat on every boundary face,
+/// writing ghosts at `[bface_slot * n_flat + flat]`.
+pub(crate) fn compute_ghosts(
+    cp: &CompiledProblem,
+    fields: &Fields,
+    flats: &[usize],
+    time: f64,
+    ghosts: &mut [f64],
+    work: &mut WorkCounters,
+) {
+    let mesh = cp.mesh();
+    for (slot, bf) in cp.boundary.iter().enumerate() {
+        let face = &mesh.faces[bf.face];
+        for &flat in flats {
+            let value = match &bf.bc {
+                BoundaryCondition::Value(v) => *v,
+                BoundaryCondition::Callback(f) => {
+                    work.ghost_evals += 1;
+                    f(&BoundaryQuery {
+                        position: face.centroid,
+                        normal: face.normal,
+                        owner_cell: face.owner,
+                        idx: &cp.idx_of_flat[flat],
+                        time,
+                        fields,
+                    })
+                }
+            };
+            ghosts[slot * cp.n_flat + flat] = value;
+        }
+    }
+}
+
+/// Face-flux sum for one (cell, flat) pair: the hoisted-coefficient fast
+/// path when the generator linearized the flux, the VM otherwise.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn flux_sum_dof(
+    cp: &CompiledProblem,
+    vars: &[&[f64]],
+    n_cells: usize,
+    ghosts: &[f64],
+    cell: usize,
+    flat: usize,
+    dt: f64,
+    time: f64,
+    u_here: f64,
+) -> f64 {
+    let mesh = cp.mesh();
+    let unknown = cp.system.unknown;
+    let mut flux_sum = 0.0;
+    if let Some(lin) = &cp.flux_lin {
+        // Compact structure-of-arrays hot loop over the cell's faces.
+        let hot = &cp.hot;
+        let u_row = &vars[unknown][flat * n_cells..(flat + 1) * n_cells];
+        let start = hot.offsets[cell] as usize;
+        let end = hot.offsets[cell + 1] as usize;
+        for k in start..end {
+            let nb = hot.nbr[k];
+            let u2 = if nb >= 0 {
+                u_row[nb as usize]
+            } else {
+                ghosts[(-(nb + 1)) as usize * cp.n_flat + flat]
+            };
+            flux_sum += hot.area[k] * lin.eval(flat, hot.class[k], u_here, u2);
+        }
+    } else {
+        let mut vm = VmCtx {
+            vars,
+            n_cells,
+            coefficients: &cp.problem.registry.coefficients,
+            idx: &cp.idx_of_flat[flat],
+            cell,
+            u1: u_here,
+            u2: 0.0,
+            normal: [0.0; 3],
+            position: mesh.cell_centroids[cell],
+            dt,
+            time,
+        };
+        for &fid in mesh.cell_faces(cell) {
+            let face = &mesh.faces[fid];
+            let u2 = match face.other_cell(cell) {
+                Some(nb) => vars[unknown][flat * n_cells + nb],
+                None => ghosts[cp.bface_slot[fid] * cp.n_flat + flat],
+            };
+            let n = face.normal_from(cell);
+            vm.u2 = u2;
+            vm.normal = [n.x, n.y, n.z];
+            vm.position = face.centroid;
+            flux_sum += face.area * cp.flux.eval(&vm);
+        }
+    }
+    flux_sum
+}
+
+/// Evaluate the discrete right-hand side `s(u) − (1/V)Σ_f A_f f(u)` for one
+/// (cell, flat) pair, with a pre-bound volume program.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_rhs_dof_bound(
+    cp: &CompiledProblem,
+    vars: &[&[f64]],
+    n_cells: usize,
+    ghosts: &[f64],
+    cell: usize,
+    flat: usize,
+    dt: f64,
+    time: f64,
+    bound_volume: &crate::bytecode::BoundProgram,
+) -> f64 {
+    let mesh = cp.mesh();
+    let source = bound_volume.eval(
+        vars,
+        cell,
+        mesh.cell_centroids[cell],
+        time,
+        &cp.problem.registry.coefficients,
+    );
+    let u_here = vars[cp.system.unknown][flat * n_cells + cell];
+    let flux = flux_sum_dof(cp, vars, n_cells, ghosts, cell, flat, dt, time, u_here);
+    // Reciprocal multiply (hoisted per cell) instead of a divide in the
+    // hot loop — the same strength reduction the generated code performs.
+    source - flux * cp.hot.inv_volume[cell]
+}
+
+/// Compute the RHS for every (cell, flat) in scope into
+/// `rhs[flat * n_cells + cell]`.
+///
+/// The loop nest follows the problem's `assemblyLoops` configuration
+/// (paper §III-C): an index name first puts the flattened index dimension
+/// outermost; the default (`cells` first) walks cells outermost. Results
+/// are identical either way — each dof is independent within a step —
+/// only the memory traversal changes, which is exactly the knob the paper
+/// exposes.
+pub(crate) fn compute_rhs_into(
+    cp: &CompiledProblem,
+    fields: &Fields,
+    scope: &Scope,
+    ghosts: &[f64],
+    time: f64,
+    rhs: &mut [f64],
+    work: &mut WorkCounters,
+) {
+    let vars = fields.as_slices();
+    let n_cells = fields.n_cells;
+    let dt = cp.problem.dt;
+    let faces_per_cell_hint = cp.mesh().cell_faces(scope.cells[0]).len() as u64;
+    let coefficients = &cp.problem.registry.coefficients;
+
+    // Loop-invariant hoisting: specialize the volume program once per flat
+    // value per step (array coefficients and index values fold away).
+    let bound: Vec<crate::bytecode::BoundProgram> = scope
+        .flats
+        .iter()
+        .map(|&flat| {
+            cp.volume
+                .bind(&cp.idx_of_flat[flat], n_cells, dt, time, coefficients)
+        })
+        .collect();
+
+    let cells_outer = matches!(
+        cp.problem.effective_loop_order(cp.system.unknown).first(),
+        Some(crate::problem::LoopDim::Cells)
+    );
+    if cells_outer {
+        for &cell in scope.cells {
+            for (k, &flat) in scope.flats.iter().enumerate() {
+                rhs[flat * n_cells + cell] =
+                    eval_rhs_dof_bound(cp, &vars, n_cells, ghosts, cell, flat, dt, time, &bound[k]);
+            }
+        }
+    } else {
+        for (k, &flat) in scope.flats.iter().enumerate() {
+            for &cell in scope.cells {
+                rhs[flat * n_cells + cell] =
+                    eval_rhs_dof_bound(cp, &vars, n_cells, ghosts, cell, flat, dt, time, &bound[k]);
+            }
+        }
+    }
+    work.dof_updates += (scope.flats.len() * scope.cells.len()) as u64;
+    work.flux_evals += (scope.flats.len() * scope.cells.len()) as u64 * faces_per_cell_hint;
+}
+
+/// Apply `u += dt * rhs` (or a weighted stage combination) on a scope.
+pub(crate) fn axpy_scope(
+    fields: &mut Fields,
+    unknown: usize,
+    scope: &Scope,
+    coeff: f64,
+    rhs: &[f64],
+) {
+    let n_cells = fields.n_cells;
+    let u = fields.slice_mut(unknown);
+    for &flat in scope.flats {
+        for &cell in scope.cells {
+            u[flat * n_cells + cell] += coeff * rhs[flat * n_cells + cell];
+        }
+    }
+}
+
+/// Run pre- or post-step callbacks with a given reducer and ownership info.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_callbacks(
+    cp: &CompiledProblem,
+    fields: &mut Fields,
+    pre: bool,
+    time: f64,
+    step: usize,
+    owned_index_range: Option<(String, std::ops::Range<usize>)>,
+    owned_cells: Option<&[usize]>,
+    reducer: &mut dyn Reducer,
+) {
+    let callbacks = if pre {
+        &cp.problem.pre_steps
+    } else {
+        &cp.problem.post_steps
+    };
+    for cb in callbacks {
+        let mut ctx = StepContext {
+            fields,
+            mesh: cp.mesh(),
+            time,
+            step,
+            owned_index_range: owned_index_range.clone(),
+            owned_cells,
+            reducer,
+        };
+        cb(&mut ctx);
+    }
+}
+
+/// One full time step on a scope (shared by seq and distributed targets).
+/// `links` provides the halo exchange (invoked before **every** stage — RK2
+/// reads neighbor values of the intermediate state) and the reduction
+/// interface callbacks use. Returns the seconds spent in
+/// (intensity, temperature, communication).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_scope(
+    cp: &CompiledProblem,
+    fields: &mut Fields,
+    scope: &Scope,
+    ghosts: &mut [f64],
+    rhs: &mut [f64],
+    rhs2: &mut [f64],
+    time: f64,
+    step: usize,
+    owned_index_range: Option<(String, std::ops::Range<usize>)>,
+    owned_cells_for_callbacks: Option<&[usize]>,
+    links: &mut dyn super::StepLinks,
+    work: &mut WorkCounters,
+) -> (f64, f64, f64) {
+    let dt = cp.problem.dt;
+    let unknown = cp.system.unknown;
+
+    let t0 = Instant::now();
+    run_callbacks(
+        cp,
+        fields,
+        true,
+        time,
+        step,
+        owned_index_range.clone(),
+        owned_cells_for_callbacks,
+        links,
+    );
+    let mut t_temperature = t0.elapsed().as_secs_f64();
+
+    let mut t_comm = 0.0;
+    let t1 = Instant::now();
+    match cp.problem.stepper {
+        TimeStepper::EulerExplicit => {
+            t_comm += links.halo_exchange(fields);
+            compute_ghosts(cp, fields, scope.flats, time, ghosts, work);
+            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work);
+            axpy_scope(fields, unknown, scope, dt, rhs);
+        }
+        TimeStepper::Rk2 => {
+            // Heun's method: u* = u + dt k1; u' = u + dt/2 (k1 + k2(u*)).
+            t_comm += links.halo_exchange(fields);
+            compute_ghosts(cp, fields, scope.flats, time, ghosts, work);
+            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work);
+            axpy_scope(fields, unknown, scope, dt, rhs);
+            t_comm += links.halo_exchange(fields);
+            compute_ghosts(cp, fields, scope.flats, time + dt, ghosts, work);
+            compute_rhs_into(cp, fields, scope, ghosts, time + dt, rhs2, work);
+            // u' = u* − dt k1 + dt/2 (k1 + k2) = u* − dt/2 k1 + dt/2 k2.
+            axpy_scope(fields, unknown, scope, -0.5 * dt, rhs);
+            axpy_scope(fields, unknown, scope, 0.5 * dt, rhs2);
+        }
+    }
+    let t_intensity = (t1.elapsed().as_secs_f64() - t_comm).max(0.0);
+
+    let t2 = Instant::now();
+    run_callbacks(
+        cp,
+        fields,
+        false,
+        time + dt,
+        step,
+        owned_index_range,
+        owned_cells_for_callbacks,
+        links,
+    );
+    t_temperature += t2.elapsed().as_secs_f64();
+
+    (t_intensity, t_temperature, t_comm)
+}
+
+/// Solve sequentially.
+pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, DslError> {
+    let n_cells = fields.n_cells;
+    let all_cells: Vec<usize> = (0..n_cells).collect();
+    let all_flats: Vec<usize> = (0..cp.n_flat).collect();
+    let scope = Scope {
+        cells: &all_cells,
+        flats: &all_flats,
+    };
+    let mut ghosts = vec![0.0; cp.boundary.len() * cp.n_flat];
+    let mut rhs = vec![0.0; cp.n_flat * n_cells];
+    let mut rhs2 = if cp.problem.stepper == TimeStepper::Rk2 {
+        vec![0.0; cp.n_flat * n_cells]
+    } else {
+        Vec::new()
+    };
+    let mut timer = PhaseTimer::new();
+    let mut work = WorkCounters::default();
+    let mut links = super::LocalLinks;
+    let mut time = 0.0;
+    for step in 0..cp.problem.n_steps {
+        let (ti, tt, _comm) = step_scope(
+            cp,
+            fields,
+            &scope,
+            &mut ghosts,
+            &mut rhs,
+            &mut rhs2,
+            time,
+            step,
+            None,
+            None,
+            &mut links,
+            &mut work,
+        );
+        timer.add(phases::INTENSITY, ti);
+        timer.add(phases::TEMPERATURE, tt);
+        time += cp.problem.dt;
+    }
+    Ok(SolveReport {
+        steps: cp.problem.n_steps,
+        timer,
+        comm: Default::default(),
+        work,
+        device: None,
+    })
+}

@@ -1,0 +1,162 @@
+//! Structural tests on the intermediate representation itself (the paper:
+//! the IR "includes metadata about the parts of the computation and
+//! comment nodes to facilitate generation of easily readable code").
+
+use pbte_dsl::exec::{CompiledProblem, ExecTarget};
+use pbte_dsl::ir::{build_ir, IrNode};
+use pbte_dsl::problem::{BoundaryCondition, GpuStrategy, LoopDim, Problem};
+use pbte_gpu::DeviceSpec;
+use pbte_mesh::grid::UniformGrid;
+
+fn compiled() -> CompiledProblem {
+    let mut p = Problem::new("ir");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(4, 4, 1.0, 1.0).build());
+    p.set_steps(1e-3, 3);
+    let d = p.index("d", 2);
+    let b = p.index("b", 3);
+    let i = p.variable("I", &[d, b]);
+    let _ = p.variable("Io", &[b]);
+    let _ = p.variable("beta", &[b]);
+    p.coefficient_array("Sx", &[d], vec![1.0, -1.0]);
+    p.coefficient_array("Sy", &[d], vec![0.5, -0.5]);
+    p.coefficient_array("vg", &[b], vec![1.0, 2.0, 3.0]);
+    for region in ["left", "right", "top", "bottom"] {
+        p.boundary(i, region, BoundaryCondition::Value(0.0));
+    }
+    p.post_step(|_| {});
+    p.conservation_form(
+        i,
+        "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+    );
+    CompiledProblem::compile(p).unwrap().0
+}
+
+/// Count nodes matching a predicate anywhere in the tree.
+fn count(node: &IrNode, pred: &dyn Fn(&IrNode) -> bool) -> usize {
+    let mut n = usize::from(pred(node));
+    let children: Vec<&IrNode> = match node {
+        IrNode::Block(b) | IrNode::TimeLoop(b) | IrNode::FaceLoop(b) => b.iter().collect(),
+        IrNode::Loop { body, .. } | IrNode::Kernel { body, .. } => body.iter().collect(),
+        _ => Vec::new(),
+    };
+    for c in children {
+        n += count(c, pred);
+    }
+    n
+}
+
+#[test]
+fn cpu_ir_has_one_time_loop_and_the_full_nest() {
+    let cp = compiled();
+    let ir = build_ir(&cp, &ExecTarget::CpuSeq);
+    assert_eq!(count(&ir, &|n| matches!(n, IrNode::TimeLoop(_))), 1);
+    // Default nest: cells + d + b = three loop dims.
+    assert_eq!(count(&ir, &|n| matches!(n, IrNode::Loop { .. })), 3);
+    assert_eq!(count(&ir, &|n| matches!(n, IrNode::FaceLoop(_))), 1);
+    // Comment nodes exist (the paper's readable-code requirement).
+    assert!(count(&ir, &|n| matches!(n, IrNode::Comment(_))) >= 2);
+    // Callbacks: boundary ghosts + post step.
+    assert!(count(&ir, &|n| matches!(n, IrNode::Callback(_))) >= 2);
+    // The cell loop is outermost among the nest dims.
+    fn first_loop(node: &IrNode) -> Option<&LoopDim> {
+        match node {
+            IrNode::Loop { dim, .. } => Some(dim),
+            IrNode::Block(b) | IrNode::TimeLoop(b) => b.iter().find_map(first_loop),
+            _ => None,
+        }
+    }
+    assert_eq!(first_loop(&ir), Some(&LoopDim::Cells));
+}
+
+#[test]
+fn gpu_ir_flattens_the_nest_into_a_kernel() {
+    let cp = compiled();
+    let ir = build_ir(
+        &cp,
+        &ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+    );
+    // Exactly one kernel, no host loop nest inside the time loop.
+    assert_eq!(count(&ir, &|n| matches!(n, IrNode::Kernel { .. })), 1);
+    assert_eq!(count(&ir, &|n| matches!(n, IrNode::Loop { .. })), 0);
+    // The kernel's flattened dims cover the whole nest.
+    fn kernel_dims(node: &IrNode) -> Option<usize> {
+        match node {
+            IrNode::Kernel { flattened, .. } => Some(flattened.len()),
+            IrNode::Block(b) | IrNode::TimeLoop(b) => b.iter().find_map(kernel_dims),
+            _ => None,
+        }
+    }
+    assert_eq!(kernel_dims(&ir), Some(3));
+    // Transfers appear both as setup (once) and per-step.
+    assert!(count(&ir, &|n| matches!(n, IrNode::Transfer { .. })) >= 4);
+}
+
+#[test]
+fn distributed_irs_carry_their_communication_nodes() {
+    let cp = compiled();
+    let cells = build_ir(&cp, &ExecTarget::DistCells { ranks: 4 });
+    assert_eq!(count(&cells, &|n| matches!(n, IrNode::Communicate(_))), 1);
+    let bands = build_ir(
+        &cp,
+        &ExecTarget::DistBands {
+            ranks: 3,
+            index: "b".into(),
+        },
+    );
+    assert_eq!(count(&bands, &|n| matches!(n, IrNode::Communicate(_))), 1);
+    // Band IR puts the partitioned index outermost.
+    fn first_loop(node: &IrNode) -> Option<&LoopDim> {
+        match node {
+            IrNode::Loop { dim, .. } => Some(dim),
+            IrNode::Block(b) | IrNode::TimeLoop(b) => b.iter().find_map(first_loop),
+            _ => None,
+        }
+    }
+    assert_eq!(first_loop(&bands), Some(&LoopDim::Index("b".into())));
+}
+
+#[test]
+fn assembly_loops_reorder_the_ir_nest() {
+    let mut p = Problem::new("ir2");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(4, 4, 1.0, 1.0).build());
+    let d = p.index("d", 2);
+    let i = p.variable("I", &[d]);
+    p.coefficient_array("Sx", &[d], vec![1.0, -1.0]);
+    p.coefficient_array("Sy", &[d], vec![0.5, -0.5]);
+    p.boundary(i, "left", BoundaryCondition::Value(0.0));
+    p.boundary(i, "right", BoundaryCondition::Value(0.0));
+    p.boundary(i, "top", BoundaryCondition::Value(0.0));
+    p.boundary(i, "bottom", BoundaryCondition::Value(0.0));
+    p.assembly_loops(&["d", "cells"]);
+    p.conservation_form(i, "surface(upwind([Sx[d];Sy[d]], I[d]))");
+    let cp = CompiledProblem::compile(p).unwrap().0;
+    let ir = build_ir(&cp, &ExecTarget::CpuSeq);
+    fn dims_in_order(node: &IrNode, out: &mut Vec<LoopDim>) {
+        match node {
+            IrNode::Loop { dim, body } => {
+                out.push(dim.clone());
+                for c in body {
+                    dims_in_order(c, out);
+                }
+            }
+            IrNode::Block(b) | IrNode::TimeLoop(b) | IrNode::FaceLoop(b) => {
+                for c in b {
+                    dims_in_order(c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut dims = Vec::new();
+    dims_in_order(&ir, &mut dims);
+    assert_eq!(
+        dims,
+        vec![LoopDim::Index("d".into()), LoopDim::Cells],
+        "the permutation must be visible in the IR"
+    );
+}

@@ -1,0 +1,80 @@
+//! Device memory buffers.
+//!
+//! A [`DeviceBuffer`] is the simulator's analogue of a `CuArray`: a block
+//! of "device" memory that kernels may read and write, which host code can
+//! only access through explicit [`crate::Device::h2d`]/[`crate::Device::d2h`]
+//! transfers (each of which advances the simulated clock and is recorded by
+//! the profiler). The backing store lives in host RAM, but the API keeps
+//! the host/device separation honest: nothing outside this crate can reach
+//! the contents without going through a transfer or a kernel launch.
+
+/// A device-resident `f64` array.
+#[derive(Debug)]
+pub struct DeviceBuffer {
+    pub(crate) data: Vec<f64>,
+    /// Debug label used in profiler output.
+    pub label: String,
+}
+
+impl DeviceBuffer {
+    pub(crate) fn new(label: &str, len: usize) -> DeviceBuffer {
+        DeviceBuffer {
+            data: vec![0.0; len],
+            label: label.to_string(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Kernel-side view. Only the launch machinery should use this —
+    /// host code must transfer instead.
+    pub(crate) fn slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub(crate) fn slice_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// Arguments handed to a kernel body: read-only views of the input buffers
+/// and a mutable view of the output buffer, mirroring how generated CUDA
+/// kernels receive raw pointers.
+pub struct KernelArgs<'a> {
+    pub inputs: &'a [&'a [f64]],
+    pub output: &'a mut [f64],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_basics() {
+        let b = DeviceBuffer::new("I", 10);
+        assert_eq!(b.len(), 10);
+        assert!(!b.is_empty());
+        assert_eq!(b.bytes(), 80);
+        assert!(b.slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_length_buffer() {
+        let b = DeviceBuffer::new("empty", 0);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+}

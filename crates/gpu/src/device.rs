@@ -1,0 +1,408 @@
+//! The simulated device: allocation, transfers, kernel launches, and the
+//! simulated clock.
+
+use crate::buffer::DeviceBuffer;
+use crate::kernel::KernelCost;
+use crate::profiler::Profiler;
+use crate::spec::DeviceSpec;
+use rayon::prelude::*;
+
+/// A simulated GPU.
+///
+/// All timing is *simulated*: methods advance [`Device::elapsed`] according
+/// to the roofline/transfer models and never measure host wall-clock.
+/// Numerical results are real — kernel bodies execute on the host over the
+/// full thread index space.
+pub struct Device {
+    pub spec: DeviceSpec,
+    elapsed: f64,
+    allocated: usize,
+    profiler: Profiler,
+    /// Per-stream clocks (see [`crate::stream`]).
+    pub(crate) streams: Vec<f64>,
+}
+
+impl Device {
+    /// Create a device from a hardware spec.
+    pub fn new(spec: DeviceSpec) -> Device {
+        Device {
+            spec,
+            elapsed: 0.0,
+            allocated: 0,
+            profiler: Profiler::default(),
+            streams: Vec::new(),
+        }
+    }
+
+    /// Simulated seconds spent so far (kernels + transfers) on the
+    /// default stream; work on other streams joins in at
+    /// `Device::synchronize` (see [`crate::stream`]).
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    pub(crate) fn set_elapsed(&mut self, t: f64) {
+        self.elapsed = t;
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated
+    }
+
+    /// Allocate a zero-initialized device buffer.
+    ///
+    /// # Panics
+    /// If the allocation would exceed the device's memory capacity — the
+    /// same hard failure a real `cudaMalloc` would report.
+    pub fn alloc(&mut self, label: &str, len: usize) -> DeviceBuffer {
+        let bytes = len * std::mem::size_of::<f64>();
+        assert!(
+            self.allocated + bytes <= self.spec.mem_capacity,
+            "device out of memory: {} + {} exceeds {} on {}",
+            self.allocated,
+            bytes,
+            self.spec.mem_capacity,
+            self.spec.name
+        );
+        self.allocated += bytes;
+        DeviceBuffer::new(label, len)
+    }
+
+    /// Release a buffer's memory accounting.
+    pub fn free(&mut self, buf: DeviceBuffer) {
+        self.allocated -= buf.bytes();
+    }
+
+    /// Host → device copy. Advances the clock by the link model and
+    /// records the transfer.
+    pub fn h2d(&mut self, host: &[f64], buf: &mut DeviceBuffer) {
+        assert_eq!(host.len(), buf.len(), "h2d size mismatch for {}", buf.label);
+        buf.slice_mut().copy_from_slice(host);
+        let t = self.spec.transfer_time(buf.bytes());
+        self.elapsed += t;
+        self.profiler.record_transfer(buf.bytes(), t, true);
+    }
+
+    /// Host → device copy of selected rows of a row-major buffer
+    /// (`row_len` elements per row). Models what generated code does for
+    /// partitioned transfers: pack the rows into a pinned staging area and
+    /// issue **one** transfer, so the cost is latency + total bytes.
+    pub fn h2d_rows(
+        &mut self,
+        host: &[f64],
+        buf: &mut DeviceBuffer,
+        row_len: usize,
+        rows: &[usize],
+    ) {
+        assert_eq!(host.len(), buf.len(), "h2d_rows size mismatch");
+        for &r in rows {
+            let s = r * row_len;
+            buf.slice_mut()[s..s + row_len].copy_from_slice(&host[s..s + row_len]);
+        }
+        let bytes = rows.len() * row_len * std::mem::size_of::<f64>();
+        let t = self.spec.transfer_time(bytes);
+        self.elapsed += t;
+        self.profiler.record_transfer(bytes, t, true);
+    }
+
+    /// Device → host copy of selected rows (see [`Device::h2d_rows`]).
+    pub fn d2h_rows(
+        &mut self,
+        buf: &DeviceBuffer,
+        host: &mut [f64],
+        row_len: usize,
+        rows: &[usize],
+    ) {
+        assert_eq!(host.len(), buf.len(), "d2h_rows size mismatch");
+        for &r in rows {
+            let s = r * row_len;
+            host[s..s + row_len].copy_from_slice(&buf.slice()[s..s + row_len]);
+        }
+        let bytes = rows.len() * row_len * std::mem::size_of::<f64>();
+        let t = self.spec.transfer_time(bytes);
+        self.elapsed += t;
+        self.profiler.record_transfer(bytes, t, false);
+    }
+
+    /// Device-to-device scatter of `src`'s compact rows into `dst` rows
+    /// (`src` row `k` → `dst` row `rows[k]`). Costs device-memory
+    /// bandwidth only, like the `cudaMemcpyDeviceToDevice` the generated
+    /// code issues for double-buffer reconciliation.
+    pub fn scatter_rows(
+        &mut self,
+        src: &DeviceBuffer,
+        dst: &mut DeviceBuffer,
+        row_len: usize,
+        rows: &[usize],
+    ) {
+        assert_eq!(src.len(), rows.len() * row_len, "scatter source mismatch");
+        for (k, &r) in rows.iter().enumerate() {
+            let d = r * row_len;
+            dst.slice_mut()[d..d + row_len]
+                .copy_from_slice(&src.slice()[k * row_len..(k + 1) * row_len]);
+        }
+        let t = self.d2d_time(rows.len() * row_len * 8);
+        self.elapsed += t;
+    }
+
+    /// Device → host copy.
+    pub fn d2h(&mut self, buf: &DeviceBuffer, host: &mut [f64]) {
+        assert_eq!(host.len(), buf.len(), "d2h size mismatch for {}", buf.label);
+        host.copy_from_slice(buf.slice());
+        let t = self.spec.transfer_time(buf.bytes());
+        self.elapsed += t;
+        self.profiler.record_transfer(buf.bytes(), t, false);
+    }
+
+    /// Launch a kernel over `n_threads` flattened thread indices.
+    ///
+    /// `body(tid, inputs, output)` is executed for every
+    /// `tid ∈ 0..n_threads`, in parallel chunks, writing only
+    /// `output[tid]` — the one-thread-one-element discipline generated CUDA
+    /// kernels follow. Returns the simulated kernel duration in seconds.
+    pub fn launch<F>(
+        &mut self,
+        name: &str,
+        n_threads: usize,
+        cost: KernelCost,
+        inputs: &[&DeviceBuffer],
+        output: &mut DeviceBuffer,
+        body: F,
+    ) -> f64
+    where
+        F: Fn(usize, &[&[f64]], &mut f64) + Sync,
+    {
+        let t = self.launch_for_stream(name, n_threads, cost, inputs, output, body);
+        self.elapsed += t;
+        t
+    }
+
+    /// Kernel execution + profiling without advancing the default clock
+    /// (the stream API owns the timing).
+    pub(crate) fn launch_for_stream<F>(
+        &mut self,
+        name: &str,
+        n_threads: usize,
+        cost: KernelCost,
+        inputs: &[&DeviceBuffer],
+        output: &mut DeviceBuffer,
+        body: F,
+    ) -> f64
+    where
+        F: Fn(usize, &[&[f64]], &mut f64) + Sync,
+    {
+        assert_eq!(
+            output.len(),
+            n_threads,
+            "kernel `{name}` output length must equal thread count"
+        );
+        let input_slices: Vec<&[f64]> = inputs.iter().map(|b| b.slice()).collect();
+        output
+            .slice_mut()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(tid, out)| body(tid, &input_slices, out));
+        let t = self.kernel_time(n_threads, &cost);
+        self.profiler
+            .record_kernel(name, n_threads, &cost, t, &self.spec);
+        t
+    }
+
+    /// In-place variant: the kernel updates `state[tid]` reading the whole
+    /// previous state (double-buffered internally, as the generated code
+    /// uses `u` and `u_new` arrays).
+    pub fn launch_inplace<F>(
+        &mut self,
+        name: &str,
+        cost: KernelCost,
+        inputs: &[&DeviceBuffer],
+        state: &mut DeviceBuffer,
+        scratch: &mut Vec<f64>,
+        body: F,
+    ) -> f64
+    where
+        F: Fn(usize, &[f64], &[&[f64]], &mut f64) + Sync,
+    {
+        let n_threads = state.len();
+        scratch.resize(n_threads, 0.0);
+        let input_slices: Vec<&[f64]> = inputs.iter().map(|b| b.slice()).collect();
+        {
+            let prev = state.slice();
+            scratch
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(tid, out)| body(tid, prev, &input_slices, out));
+        }
+        state.slice_mut().copy_from_slice(scratch);
+        let t = self.kernel_time(n_threads, &cost);
+        self.elapsed += t;
+        self.profiler
+            .record_kernel(name, n_threads, &cost, t, &self.spec);
+        t
+    }
+
+    /// Roofline kernel time (documented in [`crate::kernel`]).
+    pub fn kernel_time(&self, n_threads: usize, cost: &KernelCost) -> f64 {
+        let spec = &self.spec;
+        let effective_peak = spec.peak_dp_flops
+            * (0.5 + 0.5 * cost.fma_fraction)
+            * spec.issue_efficiency
+            * cost.divergence_efficiency;
+        let t_compute = cost.total_flops(n_threads) / effective_peak;
+        let t_memory = cost.total_bytes(n_threads) / spec.mem_bandwidth;
+        let wave = spec.wave_utilization(n_threads).max(1e-9);
+        spec.launch_latency + t_compute.max(t_memory) / wave
+    }
+
+    /// Simulated time for a device-to-device copy within one GPU (used for
+    /// double-buffer swaps the generated code performs explicitly).
+    pub fn d2d_time(&self, bytes: usize) -> f64 {
+        // Read + write of the same bytes through device memory.
+        2.0 * bytes as f64 / self.spec.mem_bandwidth
+    }
+
+    /// Snapshot of the profiler.
+    pub fn profile(&self) -> crate::profiler::ProfileReport {
+        self.profiler.report(&self.spec)
+    }
+
+    /// Reset the clock and profiler (e.g. after warm-up steps) without
+    /// touching allocations.
+    pub fn reset_profile(&mut self) {
+        self.elapsed = 0.0;
+        self.profiler = Profiler::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::a6000())
+    }
+
+    #[test]
+    fn kernel_executes_real_numerics() {
+        let mut dev = device();
+        let mut a = dev.alloc("a", 1000);
+        let mut out = dev.alloc("out", 1000);
+        let host: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        dev.h2d(&host, &mut a);
+        dev.launch(
+            "square",
+            1000,
+            KernelCost::stencil(1.0, 8.0, 8.0),
+            &[&a],
+            &mut out,
+            |tid, inputs, out| {
+                *out = inputs[0][tid] * inputs[0][tid];
+            },
+        );
+        let mut result = vec![0.0; 1000];
+        dev.d2h(&out, &mut result);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..1000 {
+            assert_eq!(result[i], (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_work() {
+        let mut dev = device();
+        let mut a = dev.alloc("a", 1 << 20);
+        let host = vec![1.0; 1 << 20];
+        assert_eq!(dev.elapsed(), 0.0);
+        dev.h2d(&host, &mut a);
+        let after_h2d = dev.elapsed();
+        assert!(after_h2d > dev.spec.link_latency);
+        let mut out = dev.alloc("out", 1 << 20);
+        dev.launch(
+            "copy",
+            1 << 20,
+            KernelCost::stencil(0.0, 8.0, 8.0),
+            &[&a],
+            &mut out,
+            |tid, inputs, out| *out = inputs[0][tid],
+        );
+        assert!(dev.elapsed() > after_h2d);
+    }
+
+    #[test]
+    fn compute_bound_kernel_time_tracks_flops() {
+        let dev = device();
+        // High arithmetic intensity: compute bound.
+        let cost = KernelCost::stencil(10_000.0, 8.0, 8.0);
+        let n = dev.spec.sm_count * dev.spec.max_threads_per_sm * 10;
+        let t = dev.kernel_time(n, &cost);
+        let expected =
+            cost.total_flops(n) / (0.5 * dev.spec.peak_dp_flops * dev.spec.issue_efficiency);
+        assert!((t - dev.spec.launch_latency - expected).abs() < 0.05 * expected);
+    }
+
+    #[test]
+    fn memory_bound_kernel_time_tracks_bytes() {
+        let dev = device();
+        let cost = KernelCost::stencil(1.0, 1000.0, 8.0);
+        let n = dev.spec.sm_count * dev.spec.max_threads_per_sm * 10;
+        let t = dev.kernel_time(n, &cost);
+        let expected = cost.total_bytes(n) / dev.spec.mem_bandwidth;
+        assert!((t - dev.spec.launch_latency - expected).abs() < 0.05 * expected);
+    }
+
+    #[test]
+    fn small_launches_pay_latency_and_tail() {
+        let dev = device();
+        let cost = KernelCost::stencil(100.0, 16.0, 8.0);
+        // 1 thread: dominated by launch latency.
+        let t1 = dev.kernel_time(1, &cost);
+        assert!(t1 >= dev.spec.launch_latency);
+        // Per-thread time is far worse at tiny sizes than asymptotically.
+        let t_small = dev.kernel_time(100, &cost) / 100.0;
+        let n_big = dev.spec.sm_count * dev.spec.max_threads_per_sm * 50;
+        let t_big = dev.kernel_time(n_big, &cost) / n_big as f64;
+        assert!(t_small > 10.0 * t_big);
+    }
+
+    #[test]
+    #[should_panic(expected = "device out of memory")]
+    fn oom_is_detected() {
+        let mut dev = device();
+        let too_many = dev.spec.mem_capacity / 8 + 1;
+        let _ = dev.alloc("huge", too_many);
+    }
+
+    #[test]
+    fn free_returns_memory() {
+        let mut dev = device();
+        let b = dev.alloc("b", 1000);
+        assert_eq!(dev.allocated_bytes(), 8000);
+        dev.free(b);
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn launch_inplace_double_buffers() {
+        let mut dev = device();
+        let mut state = dev.alloc("u", 5);
+        dev.h2d(&[1.0, 2.0, 3.0, 4.0, 5.0], &mut state);
+        let mut scratch = Vec::new();
+        // Each element becomes the sum of its neighbors (periodic): must
+        // read the *previous* state, not partially updated values.
+        dev.launch_inplace(
+            "nbrsum",
+            KernelCost::stencil(2.0, 24.0, 8.0),
+            &[],
+            &mut state,
+            &mut scratch,
+            |tid, prev, _inputs, out| {
+                let n = prev.len();
+                *out = prev[(tid + n - 1) % n] + prev[(tid + 1) % n];
+            },
+        );
+        let mut result = vec![0.0; 5];
+        dev.d2h(&state, &mut result);
+        assert_eq!(result, vec![7.0, 4.0, 6.0, 8.0, 5.0]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Device hardware descriptions.
+//!
+//! The numbers below are public datasheet values for the two GPUs used in
+//! the paper's evaluation plus model parameters calibrated once for the
+//! BTE-style stencil-kernel class (documented per field). Nothing in the
+//! figure harness tunes these per experiment.
+
+/// Static description of a GPU device and its host link.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. "NVIDIA RTX A6000".
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Peak double-precision throughput in FLOP/s assuming pure FMA mix.
+    pub peak_dp_flops: f64,
+    /// Sustained device-memory bandwidth in bytes/s (≈85% of datasheet
+    /// peak, the usual achievable fraction for streaming access).
+    pub mem_bandwidth: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: usize,
+    /// Kernel launch latency in seconds (driver + dispatch).
+    pub launch_latency: f64,
+    /// Host link latency per transfer in seconds (PCIe round-trip + driver).
+    pub link_latency: f64,
+    /// Sustained host link bandwidth in bytes/s.
+    pub link_bandwidth: f64,
+    /// Fraction of cycles an SM issues instructions while a grid-filling
+    /// kernel runs, accounting for dependency/latency stalls that the
+    /// roofline does not see. Calibrated once for the explicit-stencil
+    /// kernel class (Nsight reports 0.85–0.92 for such kernels).
+    pub issue_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA RTX A6000 (Ampere GA102).
+    ///
+    /// Datasheet: 84 SMs, 38.7 TFLOP/s FP32. GA102 executes FP64 at 1/32
+    /// of FP32 *per FMA*, giving 1.21 TFLOP/s DP peak. 768 GB/s GDDR6
+    /// (sustained ≈ 85%). PCIe 4.0 x16 ≈ 25 GB/s sustained.
+    pub fn a6000() -> DeviceSpec {
+        DeviceSpec {
+            name: "NVIDIA RTX A6000",
+            sm_count: 84,
+            max_threads_per_sm: 1536,
+            peak_dp_flops: 1.21e12,
+            mem_bandwidth: 0.85 * 768e9,
+            mem_capacity: 48 * (1 << 30),
+            launch_latency: 6e-6,
+            link_latency: 10e-6,
+            link_bandwidth: 25e9,
+            issue_efficiency: 0.90,
+        }
+    }
+
+    /// NVIDIA A100 (Ampere GA100, SXM4 80GB).
+    ///
+    /// 108 SMs, 9.7 TFLOP/s DP (19.5 with tensor cores, not applicable
+    /// here), 2.0 TB/s HBM2e, NVLink/PCIe host link.
+    pub fn a100() -> DeviceSpec {
+        DeviceSpec {
+            name: "NVIDIA A100 80GB",
+            sm_count: 108,
+            max_threads_per_sm: 2048,
+            peak_dp_flops: 9.7e12,
+            mem_bandwidth: 0.85 * 2.0e12,
+            mem_capacity: 80 * (1 << 30),
+            launch_latency: 6e-6,
+            link_latency: 10e-6,
+            link_bandwidth: 25e9,
+            issue_efficiency: 0.90,
+        }
+    }
+
+    /// Simulated seconds to move `bytes` across the host link (one way).
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.link_latency + bytes as f64 / self.link_bandwidth
+    }
+
+    /// Number of full thread "waves" plus the partial tail a grid of
+    /// `n_threads` occupies: partial final waves leave SMs idle at the end
+    /// of the kernel (tail effect).
+    pub fn wave_utilization(&self, n_threads: usize) -> f64 {
+        let per_wave = self.sm_count * self.max_threads_per_sm;
+        if n_threads == 0 {
+            return 0.0;
+        }
+        let waves = n_threads as f64 / per_wave as f64;
+        if waves <= 1.0 {
+            // A single partial wave: utilization is the fill fraction.
+            waves
+        } else {
+            waves / waves.ceil()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for spec in [DeviceSpec::a6000(), DeviceSpec::a100()] {
+            assert!(spec.peak_dp_flops > 1e12);
+            assert!(spec.mem_bandwidth > 1e11);
+            assert!(spec.sm_count >= 80);
+            assert!(spec.issue_efficiency > 0.5 && spec.issue_efficiency <= 1.0);
+        }
+        // A100 is the much stronger DP part.
+        assert!(DeviceSpec::a100().peak_dp_flops > 5.0 * DeviceSpec::a6000().peak_dp_flops);
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let spec = DeviceSpec::a6000();
+        assert!(spec.transfer_time(0) >= spec.link_latency);
+        let one_gb = spec.transfer_time(1 << 30);
+        assert!(
+            one_gb > 0.04 && one_gb < 0.06,
+            "1 GiB over PCIe4 ≈ 43 ms, got {one_gb}"
+        );
+    }
+
+    #[test]
+    fn wave_utilization_behaviour() {
+        let spec = DeviceSpec::a6000();
+        let per_wave = spec.sm_count * spec.max_threads_per_sm;
+        assert_eq!(spec.wave_utilization(0), 0.0);
+        assert!((spec.wave_utilization(per_wave) - 1.0).abs() < 1e-12);
+        assert!((spec.wave_utilization(per_wave / 2) - 0.5).abs() < 1e-12);
+        // 1.5 waves: ceil to 2, utilization 0.75.
+        assert!((spec.wave_utilization(per_wave * 3 / 2) - 0.75).abs() < 1e-12);
+        // Many waves: tail effect vanishes.
+        assert!(spec.wave_utilization(per_wave * 100 + 1) > 0.99);
+    }
+}

@@ -1,0 +1,232 @@
+//! Streams and events: the simulator's concurrency model.
+//!
+//! CUDA work issued to different streams may overlap; the paper's hybrid
+//! configuration (Fig 6) leans on exactly this — the interior kernel runs
+//! asynchronously while the host computes boundary contributions. The
+//! simulated device models a stream as an independent clock: enqueueing
+//! work advances only that stream, and [`Device::synchronize`] joins all
+//! clocks at their maximum (the wall-clock meaning of "wait for the
+//! device").
+
+use crate::buffer::DeviceBuffer;
+use crate::device::Device;
+use crate::kernel::KernelCost;
+
+/// Handle to a device stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamId(pub(crate) usize);
+
+/// A recorded timestamp on a stream (CUDA event analogue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated device time at which every earlier operation on the
+    /// recording stream completes.
+    pub at: f64,
+}
+
+impl Device {
+    /// Create an additional stream. Stream clocks start at the device's
+    /// current synchronized time.
+    pub fn create_stream(&mut self) -> StreamId {
+        let now = self.elapsed();
+        self.streams.push(now);
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Enqueue a kernel on a stream: numerics run immediately (results are
+    /// deterministic regardless of overlap — streams only touching
+    /// disjoint buffers may interleave), but only the stream's clock
+    /// advances. Returns the kernel's simulated duration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_on<F>(
+        &mut self,
+        stream: StreamId,
+        name: &str,
+        n_threads: usize,
+        cost: KernelCost,
+        inputs: &[&DeviceBuffer],
+        output: &mut DeviceBuffer,
+        body: F,
+    ) -> f64
+    where
+        F: Fn(usize, &[&[f64]], &mut f64) + Sync,
+    {
+        // Bring the stream up to the device's last synchronization point
+        // (operations cannot start before their enqueue).
+        let base = self.elapsed().max(self.streams[stream.0]);
+        let t = self.launch_for_stream(name, n_threads, cost, inputs, output, body);
+        self.streams[stream.0] = base + t;
+        t
+    }
+
+    /// Device time at which all work on `stream` completes.
+    pub fn record_event(&self, stream: StreamId) -> Event {
+        Event {
+            at: self.streams[stream.0],
+        }
+    }
+
+    /// Make `stream` wait for `event` (cudaStreamWaitEvent): the stream's
+    /// clock cannot be earlier than the event.
+    pub fn wait_event(&mut self, stream: StreamId, event: Event) {
+        if self.streams[stream.0] < event.at {
+            self.streams[stream.0] = event.at;
+        }
+    }
+
+    /// Join every stream: the device clock becomes the maximum of all
+    /// stream clocks (the duration a host `cudaDeviceSynchronize` would
+    /// observe). Returns the synchronized time.
+    pub fn synchronize(&mut self) -> f64 {
+        let latest = self.streams.iter().copied().fold(self.elapsed(), f64::max);
+        self.set_elapsed(latest);
+        for s in &mut self.streams {
+            *s = latest;
+        }
+        latest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn setup() -> (Device, DeviceBuffer, DeviceBuffer, DeviceBuffer) {
+        let mut dev = Device::new(DeviceSpec::a6000());
+        let input = dev.alloc("in", 1 << 20);
+        let out_a = dev.alloc("a", 1 << 20);
+        let out_b = dev.alloc("b", 1 << 20);
+        (dev, input, out_a, out_b)
+    }
+
+    const COST: fn() -> KernelCost = || KernelCost::stencil(100.0, 16.0, 8.0);
+
+    #[test]
+    fn overlapping_streams_cost_max_not_sum() {
+        let (mut dev, input, mut out_a, mut out_b) = setup();
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        let t1 = dev.launch_on(
+            s1,
+            "k1",
+            1 << 20,
+            COST(),
+            &[&input],
+            &mut out_a,
+            |t, i, o| {
+                *o = i[0][t] + 1.0;
+            },
+        );
+        let t2 = dev.launch_on(
+            s2,
+            "k2",
+            1 << 20,
+            COST(),
+            &[&input],
+            &mut out_b,
+            |t, i, o| {
+                *o = i[0][t] * 2.0;
+            },
+        );
+        let before = 0.0;
+        let after = dev.synchronize();
+        let overlapped = after - before;
+        // Concurrent streams: total is the max of the two, not the sum.
+        assert!(
+            overlapped < t1 + t2 - 0.25 * t1.min(t2),
+            "overlap expected: {overlapped} vs {t1}+{t2}"
+        );
+        assert!(overlapped >= t1.max(t2) * 0.999);
+        // Numerics unaffected by overlap.
+        let mut a = vec![0.0; 1 << 20];
+        dev.d2h(&out_a, &mut a);
+        assert_eq!(a[7], 1.0);
+    }
+
+    #[test]
+    fn serial_work_on_one_stream_accumulates() {
+        let (mut dev, input, mut out_a, _) = setup();
+        let s1 = dev.create_stream();
+        let t1 = dev.launch_on(
+            s1,
+            "k",
+            1 << 20,
+            COST(),
+            &[&input],
+            &mut out_a,
+            |t, i, o| {
+                *o = i[0][t];
+            },
+        );
+        let t2 = dev.launch_on(
+            s1,
+            "k",
+            1 << 20,
+            COST(),
+            &[&input],
+            &mut out_a,
+            |t, i, o| {
+                *o = i[0][t];
+            },
+        );
+        let after = dev.synchronize();
+        assert!((after - (t1 + t2)).abs() < 1e-12, "{after} vs {}", t1 + t2);
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let (mut dev, input, mut out_a, mut out_b) = setup();
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        let t1 = dev.launch_on(
+            s1,
+            "producer",
+            1 << 20,
+            COST(),
+            &[&input],
+            &mut out_a,
+            |t, i, o| {
+                *o = i[0][t];
+            },
+        );
+        let done = dev.record_event(s1);
+        assert!((done.at - t1).abs() < 1e-12);
+        // Consumer waits for the producer before starting.
+        dev.wait_event(s2, done);
+        let t2 = dev.launch_on(
+            s2,
+            "consumer",
+            1 << 20,
+            COST(),
+            &[&out_a],
+            &mut out_b,
+            |t, i, o| {
+                *o = i[0][t];
+            },
+        );
+        let after = dev.synchronize();
+        assert!(
+            (after - (t1 + t2)).abs() < 1e-12,
+            "dependent work serializes: {after} vs {}",
+            t1 + t2
+        );
+    }
+
+    #[test]
+    fn streams_start_at_the_current_device_time() {
+        let (mut dev, input, mut out_a, _) = setup();
+        // Do some default-stream work first.
+        dev.launch(
+            "warmup",
+            1 << 20,
+            COST(),
+            &[&input],
+            &mut out_a,
+            |t, i, o| *o = i[0][t],
+        );
+        let t0 = dev.elapsed();
+        let s = dev.create_stream();
+        assert_eq!(dev.record_event(s).at, t0);
+    }
+}

@@ -1,0 +1,512 @@
+//! Unstructured FVM mesh representation.
+//!
+//! A [`Mesh`] stores cells (as vertex loops / vertex lists), unique faces
+//! with owner/neighbor connectivity, and the geometric quantities a
+//! finite-volume discretization consumes directly: face areas, outward unit
+//! normals (oriented from owner to neighbor), face centroids, cell volumes
+//! and centroids. Boundary faces carry an optional named region id, matching
+//! Finch's `boundary(var, region, ...)` interface.
+
+use crate::geometry::{
+    face_area_normal, polygon_centroid, polygon_signed_area, polyhedron_volume, Point,
+};
+use std::collections::HashMap;
+
+/// A mesh face: an edge in 2-D, a polygon in 3-D.
+#[derive(Debug, Clone)]
+pub struct Face {
+    /// Vertex ids in order around the face.
+    pub vertices: Vec<usize>,
+    /// The cell on the normal's negative-to-positive side (always present).
+    pub owner: usize,
+    /// The cell across the face, absent on the boundary.
+    pub neighbor: Option<usize>,
+    /// Edge length (2-D) or polygon area (3-D).
+    pub area: f64,
+    /// Unit normal pointing out of the owner cell.
+    pub normal: Point,
+    /// Face centroid.
+    pub centroid: Point,
+    /// Boundary region id (index into [`Mesh::boundary_regions`]).
+    pub region: Option<usize>,
+}
+
+impl Face {
+    /// Is this a boundary face?
+    pub fn is_boundary(&self) -> bool {
+        self.neighbor.is_none()
+    }
+
+    /// The cell opposite `cell` across this face, if any.
+    pub fn other_cell(&self, cell: usize) -> Option<usize> {
+        if self.owner == cell {
+            self.neighbor
+        } else {
+            Some(self.owner)
+        }
+    }
+
+    /// Outward unit normal as seen from `cell`.
+    pub fn normal_from(&self, cell: usize) -> Point {
+        if self.owner == cell {
+            self.normal
+        } else {
+            -self.normal
+        }
+    }
+}
+
+/// A named set of boundary faces.
+#[derive(Debug, Clone)]
+pub struct BoundaryRegion {
+    pub name: String,
+    pub faces: Vec<usize>,
+}
+
+/// An unstructured finite-volume mesh.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    /// Spatial dimension: 2 or 3.
+    pub dim: usize,
+    /// Vertex coordinates.
+    pub vertices: Vec<Point>,
+    /// CSR offsets: vertices of cell `c` are `cell_vertex_ids[o[c]..o[c+1]]`.
+    cell_vertex_offsets: Vec<usize>,
+    cell_vertex_ids: Vec<usize>,
+    /// All unique faces.
+    pub faces: Vec<Face>,
+    /// CSR offsets: faces of cell `c`.
+    cell_face_offsets: Vec<usize>,
+    cell_face_ids: Vec<usize>,
+    /// Cell measures (area in 2-D, volume in 3-D).
+    pub cell_volumes: Vec<f64>,
+    /// Cell centroids.
+    pub cell_centroids: Vec<Point>,
+    /// Named boundary regions.
+    pub boundary_regions: Vec<BoundaryRegion>,
+}
+
+impl Mesh {
+    /// Build a mesh from cells given as vertex lists.
+    ///
+    /// 2-D cells are polygons with vertices in counter-clockwise order.
+    /// 3-D cells are hexahedra in the Gmsh vertex ordering (bottom quad
+    /// `0,1,2,3` counter-clockwise seen from below, then the top quad
+    /// `4,5,6,7` above them) or tetrahedra (`0,1,2` counter-clockwise seen
+    /// from outside opposite vertex `3`).
+    pub fn from_cells(dim: usize, vertices: Vec<Point>, cells: &[Vec<usize>]) -> Mesh {
+        assert!(dim == 2 || dim == 3, "only 2-D and 3-D meshes supported");
+        let mut cell_vertex_offsets = Vec::with_capacity(cells.len() + 1);
+        let mut cell_vertex_ids = Vec::new();
+        cell_vertex_offsets.push(0);
+        for c in cells {
+            cell_vertex_ids.extend_from_slice(c);
+            cell_vertex_offsets.push(cell_vertex_ids.len());
+        }
+
+        // Collect (cell, oriented face-vertex loop) pairs.
+        let mut raw_faces: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (ci, cell) in cells.iter().enumerate() {
+            if dim == 2 {
+                let n = cell.len();
+                for i in 0..n {
+                    raw_faces.push((ci, vec![cell[i], cell[(i + 1) % n]]));
+                }
+            } else {
+                for loop_ in hex_or_tet_faces(cell) {
+                    raw_faces.push((ci, loop_));
+                }
+            }
+        }
+
+        // Unique faces keyed by the sorted vertex set.
+        let mut by_key: HashMap<Vec<usize>, usize> = HashMap::with_capacity(raw_faces.len());
+        let mut faces: Vec<Face> = Vec::with_capacity(raw_faces.len());
+        let mut cell_faces: Vec<Vec<usize>> = vec![Vec::new(); cells.len()];
+        for (ci, loop_) in raw_faces {
+            let mut key = loop_.clone();
+            key.sort_unstable();
+            match by_key.get(&key) {
+                Some(&fid) => {
+                    assert!(
+                        faces[fid].neighbor.is_none(),
+                        "face shared by more than two cells"
+                    );
+                    faces[fid].neighbor = Some(ci);
+                    cell_faces[ci].push(fid);
+                }
+                None => {
+                    let pts: Vec<Point> = loop_.iter().map(|&v| vertices[v]).collect();
+                    let (area, normal, centroid) = if dim == 2 {
+                        let a = pts[0];
+                        let b = pts[1];
+                        let t = b - a;
+                        let len = t.norm();
+                        // Outward normal of a CCW polygon edge: rotate the
+                        // tangent clockwise by 90 degrees.
+                        let n = Point::xy(t.y / len, -t.x / len);
+                        (len, n, (a + b) * 0.5)
+                    } else {
+                        let (a, n) = face_area_normal(&pts);
+                        let mut c = Point::zero();
+                        for p in &pts {
+                            c = c + *p;
+                        }
+                        (a, n, c / pts.len() as f64)
+                    };
+                    let fid = faces.len();
+                    faces.push(Face {
+                        vertices: loop_,
+                        owner: ci,
+                        neighbor: None,
+                        area,
+                        normal,
+                        centroid,
+                        region: None,
+                    });
+                    by_key.insert(key, fid);
+                    cell_faces[ci].push(fid);
+                }
+            }
+        }
+
+        // Cell measures.
+        let mut cell_volumes = Vec::with_capacity(cells.len());
+        let mut cell_centroids = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let pts: Vec<Point> = cell.iter().map(|&v| vertices[v]).collect();
+            if dim == 2 {
+                let area = polygon_signed_area(&pts);
+                assert!(area > 0.0, "2-D cells must be counter-clockwise");
+                cell_volumes.push(area);
+                cell_centroids.push(polygon_centroid(&pts));
+            } else {
+                let face_loops: Vec<Vec<Point>> = hex_or_tet_faces(cell)
+                    .into_iter()
+                    .map(|l| l.iter().map(|&v| vertices[v]).collect())
+                    .collect();
+                let vol = polyhedron_volume(&face_loops);
+                assert!(vol > 0.0, "3-D cell has non-positive volume");
+                cell_volumes.push(vol);
+                let mut c = Point::zero();
+                for p in &pts {
+                    c = c + *p;
+                }
+                cell_centroids.push(c / pts.len() as f64);
+            }
+        }
+
+        // Flatten cell→face lists into CSR.
+        let mut cell_face_offsets = Vec::with_capacity(cells.len() + 1);
+        let mut cell_face_ids = Vec::new();
+        cell_face_offsets.push(0);
+        for fs in &cell_faces {
+            cell_face_ids.extend_from_slice(fs);
+            cell_face_offsets.push(cell_face_ids.len());
+        }
+
+        Mesh {
+            dim,
+            vertices,
+            cell_vertex_offsets,
+            cell_vertex_ids,
+            faces,
+            cell_face_offsets,
+            cell_face_ids,
+            cell_volumes,
+            cell_centroids,
+            boundary_regions: Vec::new(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.cell_volumes.len()
+    }
+
+    /// Number of unique faces.
+    pub fn n_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Vertex ids of a cell.
+    pub fn cell_vertices(&self, cell: usize) -> &[usize] {
+        &self.cell_vertex_ids[self.cell_vertex_offsets[cell]..self.cell_vertex_offsets[cell + 1]]
+    }
+
+    /// Face ids of a cell.
+    pub fn cell_faces(&self, cell: usize) -> &[usize] {
+        &self.cell_face_ids[self.cell_face_offsets[cell]..self.cell_face_offsets[cell + 1]]
+    }
+
+    /// Ids of cells sharing a face with `cell`.
+    pub fn neighbors(&self, cell: usize) -> impl Iterator<Item = usize> + '_ {
+        self.cell_faces(cell)
+            .iter()
+            .filter_map(move |&f| self.faces[f].other_cell(cell))
+    }
+
+    /// All boundary face ids.
+    pub fn boundary_faces(&self) -> impl Iterator<Item = usize> + '_ {
+        self.faces
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_boundary())
+            .map(|(i, _)| i)
+    }
+
+    /// Define (or extend) a named boundary region from a predicate on face
+    /// centroids. Returns the region id. Faces already assigned to a region
+    /// are skipped, so regions can be defined in priority order.
+    pub fn add_boundary_region(&mut self, name: &str, predicate: impl Fn(Point) -> bool) -> usize {
+        let id = match self.boundary_regions.iter().position(|r| r.name == name) {
+            Some(i) => i,
+            None => {
+                self.boundary_regions.push(BoundaryRegion {
+                    name: name.to_string(),
+                    faces: Vec::new(),
+                });
+                self.boundary_regions.len() - 1
+            }
+        };
+        let face_count = self.faces.len();
+        for fid in 0..face_count {
+            let f = &self.faces[fid];
+            if f.is_boundary() && f.region.is_none() && predicate(f.centroid) {
+                self.faces[fid].region = Some(id);
+                self.boundary_regions[id].faces.push(fid);
+            }
+        }
+        id
+    }
+
+    /// Region id by name.
+    pub fn region_id(&self, name: &str) -> Option<usize> {
+        self.boundary_regions.iter().position(|r| r.name == name)
+    }
+
+    /// Total measure (area/volume) of the domain.
+    pub fn total_volume(&self) -> f64 {
+        self.cell_volumes.iter().sum()
+    }
+
+    /// Cell adjacency lists (the dual graph), used by partitioners.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n_cells()];
+        for f in &self.faces {
+            if let Some(nb) = f.neighbor {
+                adj[f.owner].push(nb);
+                adj[nb].push(f.owner);
+            }
+        }
+        adj
+    }
+
+    /// Check conservation-critical invariants; returns a list of violation
+    /// descriptions (empty = valid). Used by tests and after import.
+    // `!(x > 0.0)` is deliberate: it also catches NaN measures, which
+    // `x <= 0.0` would let through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, f) in self.faces.iter().enumerate() {
+            if !(f.area > 0.0) {
+                problems.push(format!("face {i} has non-positive area {}", f.area));
+            }
+            if (f.normal.norm() - 1.0).abs() > 1e-9 {
+                problems.push(format!("face {i} normal is not unit length"));
+            }
+            if let Some(nb) = f.neighbor {
+                // The normal must point from owner to neighbor.
+                let d = self.cell_centroids[nb] - self.cell_centroids[f.owner];
+                if f.normal.dot(d) <= 0.0 {
+                    problems.push(format!("face {i} normal points the wrong way"));
+                }
+            }
+        }
+        for (c, &v) in self.cell_volumes.iter().enumerate() {
+            if !(v > 0.0) {
+                problems.push(format!("cell {c} has non-positive volume {v}"));
+            }
+        }
+        // Divergence-free constant field: sum of area-weighted outward
+        // normals over each closed cell must vanish.
+        for c in 0..self.n_cells() {
+            let mut acc = Point::zero();
+            for &fid in self.cell_faces(c) {
+                let f = &self.faces[fid];
+                acc = acc + f.normal_from(c) * f.area;
+            }
+            let scale: f64 = self
+                .cell_faces(c)
+                .iter()
+                .map(|&fid| self.faces[fid].area)
+                .sum();
+            if acc.norm() > 1e-9 * scale {
+                problems.push(format!("cell {c} is not closed (Σ A·n = {acc:?})"));
+            }
+        }
+        problems
+    }
+}
+
+/// Face loops of a hexahedron (8 vertices) or tetrahedron (4), outward
+/// oriented for the standard orderings documented on [`Mesh::from_cells`].
+fn hex_or_tet_faces(cell: &[usize]) -> Vec<Vec<usize>> {
+    match cell.len() {
+        8 => {
+            let v = cell;
+            vec![
+                vec![v[0], v[3], v[2], v[1]], // bottom (outward -z for axis-aligned)
+                vec![v[4], v[5], v[6], v[7]], // top
+                vec![v[0], v[1], v[5], v[4]], // front
+                vec![v[1], v[2], v[6], v[5]], // right
+                vec![v[2], v[3], v[7], v[6]], // back
+                vec![v[3], v[0], v[4], v[7]], // left
+            ]
+        }
+        4 => {
+            let v = cell;
+            vec![
+                vec![v[0], v[2], v[1]],
+                vec![v[0], v[1], v[3]],
+                vec![v[1], v[2], v[3]],
+                vec![v[2], v[0], v[3]],
+            ]
+        }
+        n => panic!("unsupported 3-D cell with {n} vertices"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two unit squares sharing an edge: cells (0) left, (1) right.
+    fn two_squares() -> Mesh {
+        let vs = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(0.0, 1.0),
+            Point::xy(1.0, 1.0),
+            Point::xy(2.0, 1.0),
+        ];
+        let cells = vec![vec![0, 1, 4, 3], vec![1, 2, 5, 4]];
+        Mesh::from_cells(2, vs, &cells)
+    }
+
+    #[test]
+    fn two_squares_connectivity() {
+        let m = two_squares();
+        assert_eq!(m.n_cells(), 2);
+        assert_eq!(m.n_faces(), 7); // 8 edges - 1 shared
+        assert_eq!(m.boundary_faces().count(), 6);
+        let nbrs: Vec<usize> = m.neighbors(0).collect();
+        assert_eq!(nbrs, vec![1]);
+    }
+
+    #[test]
+    fn shared_face_normal_points_owner_to_neighbor() {
+        let m = two_squares();
+        let shared = m
+            .faces
+            .iter()
+            .find(|f| f.neighbor.is_some())
+            .expect("one interior face");
+        let d = m.cell_centroids[shared.neighbor.unwrap()] - m.cell_centroids[shared.owner];
+        assert!(shared.normal.dot(d) > 0.0);
+        assert!((shared.normal.norm() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn geometry_is_exact_for_unit_squares() {
+        let m = two_squares();
+        for v in &m.cell_volumes {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+        assert!((m.total_volume() - 2.0).abs() < 1e-14);
+        assert!((m.cell_centroids[0].x - 0.5).abs() < 1e-14);
+        assert!((m.cell_centroids[1].x - 1.5).abs() < 1e-14);
+        for f in &m.faces {
+            assert!((f.area - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_mesh() {
+        assert!(two_squares().validate().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "counter-clockwise")]
+    fn clockwise_cells_are_rejected() {
+        let vs = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(1.0, 1.0),
+            Point::xy(0.0, 1.0),
+        ];
+        let cells = vec![vec![0, 3, 2, 1]]; // clockwise
+        let _ = Mesh::from_cells(2, vs, &cells);
+    }
+
+    #[test]
+    fn boundary_regions_assign_by_priority() {
+        let mut m = two_squares();
+        let left = m.add_boundary_region("left", |c| c.x < 1e-12);
+        let rest = m.add_boundary_region("rest", |_| true);
+        assert_eq!(m.boundary_regions[left].faces.len(), 1);
+        assert_eq!(m.boundary_regions[rest].faces.len(), 5);
+        assert_eq!(m.region_id("left"), Some(left));
+        assert_eq!(m.region_id("missing"), None);
+        // Every boundary face got exactly one region.
+        for fid in m.boundary_faces().collect::<Vec<_>>() {
+            assert!(m.faces[fid].region.is_some());
+        }
+    }
+
+    #[test]
+    fn single_hex_cell() {
+        let p = |x: f64, y: f64, z: f64| Point::new(x, y, z);
+        let vs = vec![
+            p(0., 0., 0.),
+            p(2., 0., 0.),
+            p(2., 1., 0.),
+            p(0., 1., 0.),
+            p(0., 0., 3.),
+            p(2., 0., 3.),
+            p(2., 1., 3.),
+            p(0., 1., 3.),
+        ];
+        let m = Mesh::from_cells(3, vs, &[vec![0, 1, 2, 3, 4, 5, 6, 7]]);
+        assert_eq!(m.n_faces(), 6);
+        assert!((m.cell_volumes[0] - 6.0).abs() < 1e-12);
+        assert!(m.validate().is_empty());
+        // All normals outward: dot with (centroid - cell centroid) > 0.
+        let cc = m.cell_centroids[0];
+        for f in &m.faces {
+            assert!(f.normal.dot(f.centroid - cc) > 0.0);
+        }
+    }
+
+    #[test]
+    fn two_tets_share_a_face() {
+        let p = |x: f64, y: f64, z: f64| Point::new(x, y, z);
+        let vs = vec![
+            p(0., 0., 0.),
+            p(1., 0., 0.),
+            p(0., 1., 0.),
+            p(0., 0., 1.),
+            p(1., 1., 1.),
+        ];
+        let cells = vec![vec![0, 1, 2, 3], vec![1, 2, 3, 4]];
+        let m = Mesh::from_cells(3, vs, &cells);
+        assert_eq!(m.n_cells(), 2);
+        assert_eq!(m.n_faces(), 7);
+        assert_eq!(m.neighbors(0).collect::<Vec<_>>(), vec![1]);
+        for v in &m.cell_volumes {
+            assert!(*v > 0.0);
+        }
+    }
+}

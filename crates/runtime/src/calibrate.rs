@@ -1,0 +1,83 @@
+//! Host calibration for the performance model.
+//!
+//! The cluster model needs one number per code path: the *efficiency*
+//! factor relating counted work to achieved per-core throughput
+//! (see [`crate::machine::MachineSpec::core_time`]). Rather than assuming
+//! it, the benchmark harness measures the real solver on this host with
+//! [`measure_seconds`]/[`throughput`], divides by the counted work, and
+//! feeds the resulting efficiency into the model. The efficiency of a code
+//! is a property of its instruction mix and is transferable across x86-64
+//! server cores of the same class, which is what makes the rescale to the
+//! paper's Cascade Lake cores defensible.
+
+use std::time::Instant;
+
+/// Wall-clock seconds of `f()`, with a floor of one run and enough repeats
+/// to exceed `min_duration` seconds for stable numbers.
+pub fn measure_seconds(min_duration: f64, mut f: impl FnMut()) -> f64 {
+    // Warm up once (page faults, caches, lazy init).
+    f();
+    let mut runs = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..runs {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_duration || runs >= 1 << 20 {
+            return elapsed / runs as f64;
+        }
+        // Aim straight at the target with 20% headroom.
+        let scale = (min_duration / elapsed.max(1e-9) * 1.2).ceil();
+        runs = (runs as f64 * scale).min(f64::from(1u32 << 20)) as u32;
+    }
+}
+
+/// Items per second for a batch operation processing `items` per call.
+pub fn throughput(items: u64, min_duration: f64, f: impl FnMut()) -> f64 {
+    let secs = measure_seconds(min_duration, f);
+    items as f64 / secs
+}
+
+/// Measured efficiency of a code path: counted flops per item divided by
+/// the machine's per-core peak, given a measured items/s rate.
+pub fn efficiency(items_per_sec: f64, flops_per_item: f64, core_flops: f64) -> f64 {
+    (items_per_sec * flops_per_item / core_flops).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let t = measure_seconds(0.01, || {
+            let mut x = 0.0f64;
+            for i in 0..1000 {
+                x += (i as f64).sqrt();
+            }
+            std::hint::black_box(x);
+        });
+        assert!(t > 0.0);
+        assert!(t < 0.1, "a 1000-sqrt loop should be microseconds, got {t}");
+    }
+
+    #[test]
+    fn throughput_scales_with_items() {
+        let rate = throughput(10_000, 0.01, || {
+            let mut x = 1.0f64;
+            for _ in 0..10_000 {
+                x = x * 1.0000001 + 0.1;
+            }
+            std::hint::black_box(x);
+        });
+        assert!(rate > 1e6, "at least a million fma-ish items/s, got {rate}");
+    }
+
+    #[test]
+    fn efficiency_is_clamped() {
+        assert_eq!(efficiency(1e12, 100.0, 5e9), 1.0);
+        let e = efficiency(1e7, 100.0, 5e9);
+        assert!((e - 0.2).abs() < 1e-12);
+    }
+}

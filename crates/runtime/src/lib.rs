@@ -1,0 +1,30 @@
+//! Simulated distributed runtime.
+//!
+//! The paper's CPU experiments run up to 320 MPI processes on dual-socket
+//! Cascade Lake nodes; this workspace has one core and no MPI, so the
+//! runtime splits the two things MPI provides:
+//!
+//! * **Correctness** — [`world::World`] runs every rank as a real OS thread
+//!   with typed message passing (selective receive, reductions, barriers),
+//!   so partitioned algorithms are executed for real and can be validated
+//!   against sequential runs at small scale (bit-for-bit for halo-based
+//!   partitioning; to reduction rounding where collectives reassociate).
+//! * **Performance** — [`machine::MachineSpec`] + [`comm::CommModel`]
+//!   convert counted work (dof-updates, message bytes, collective shapes)
+//!   into predicted wall-clock per rank count on the paper's cluster. The
+//!   per-core compute rate is *calibrated* by timing the real solver on
+//!   this host ([`calibrate`]), never fitted per figure.
+//!
+//! [`timer::PhaseTimer`] accumulates the per-phase times both paths report,
+//! feeding the paper's breakdown figures (Figs 5 and 8).
+
+pub mod calibrate;
+pub mod comm;
+pub mod machine;
+pub mod timer;
+pub mod world;
+
+pub use comm::{CommModel, CommParams};
+pub use machine::MachineSpec;
+pub use timer::{Breakdown, PhaseTimer};
+pub use world::{RankCtx, World};

@@ -1,0 +1,151 @@
+//! Phase timing and execution-time breakdowns.
+//!
+//! The paper's Figs 5 and 8 report the percentage of execution time spent
+//! in "solve for intensity", "temperature update", and "communication".
+//! [`PhaseTimer`] accumulates named phase durations (simulated or
+//! measured); [`Breakdown`] turns them into those percentage rows.
+
+use std::collections::BTreeMap;
+
+/// Accumulates seconds per named phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    phases: BTreeMap<String, f64>,
+}
+
+impl PhaseTimer {
+    /// New empty timer.
+    pub fn new() -> PhaseTimer {
+        PhaseTimer::default()
+    }
+
+    /// Add `seconds` to `phase`.
+    pub fn add(&mut self, phase: &str, seconds: f64) {
+        assert!(seconds >= 0.0, "negative phase time for {phase}");
+        *self.phases.entry(phase.to_string()).or_insert(0.0) += seconds;
+    }
+
+    /// Total of `phase` (0 if never recorded).
+    pub fn get(&self, phase: &str) -> f64 {
+        self.phases.get(phase).copied().unwrap_or(0.0)
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> f64 {
+        self.phases.values().sum()
+    }
+
+    /// Merge another timer into this one (e.g. per-rank → job totals).
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (k, v) in &other.phases {
+            *self.phases.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+
+    /// Phase names in deterministic order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.phases.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Percentage breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        let total = self.total();
+        Breakdown {
+            rows: self
+                .phases
+                .iter()
+                .map(|(k, &v)| (k.clone(), if total > 0.0 { 100.0 * v / total } else { 0.0 }))
+                .collect(),
+        }
+    }
+}
+
+/// Percentage-of-total rows for one configuration.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// `(phase name, percent)` sorted by name.
+    pub rows: Vec<(String, f64)>,
+}
+
+impl Breakdown {
+    /// Percent of `phase` (0 if absent).
+    pub fn percent(&self, phase: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|(k, _)| k == phase)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+
+    /// Render one line per phase, paper-figure style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, p) in &self.rows {
+            out.push_str(&format!("{k:<28} {p:6.1}%\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_totals() {
+        let mut t = PhaseTimer::new();
+        t.add("solve for intensity", 97.0);
+        t.add("temperature update", 2.0);
+        t.add("communication", 1.0);
+        t.add("solve for intensity", 3.0);
+        assert_eq!(t.get("solve for intensity"), 100.0);
+        assert_eq!(t.total(), 103.0);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let mut t = PhaseTimer::new();
+        t.add("a", 1.0);
+        t.add("b", 3.0);
+        let b = t.breakdown();
+        assert!((b.percent("a") - 25.0).abs() < 1e-12);
+        assert!((b.percent("b") - 75.0).abs() < 1e-12);
+        let sum: f64 = b.rows.iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(b.percent("missing"), 0.0);
+    }
+
+    #[test]
+    fn empty_timer_breakdown_is_empty() {
+        let t = PhaseTimer::new();
+        assert_eq!(t.total(), 0.0);
+        assert!(t.breakdown().rows.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_phasewise() {
+        let mut a = PhaseTimer::new();
+        a.add("x", 1.0);
+        let mut b = PhaseTimer::new();
+        b.add("x", 2.0);
+        b.add("y", 5.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative phase time")]
+    fn rejects_negative_time() {
+        PhaseTimer::new().add("oops", -1.0);
+    }
+
+    #[test]
+    fn render_contains_phases() {
+        let mut t = PhaseTimer::new();
+        t.add("communication", 1.0);
+        let s = t.breakdown().render();
+        assert!(s.contains("communication"));
+        assert!(s.contains("100.0%"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Symbolic differentiation.
+//!
+//! Differentiation with respect to a plain (unindexed) symbol. Calls to known
+//! elementary functions apply the chain rule; unknown calls differentiate to
+//! a `D_<name>` call so the DSL can reject them explicitly rather than
+//! silently producing zero.
+
+use crate::expr::{Expr, ExprRef};
+use crate::simplify::simplify;
+use std::sync::Arc as Rc;
+
+/// `d e / d var`, simplified.
+pub fn diff(e: &ExprRef, var: &str) -> ExprRef {
+    simplify(&diff_raw(e, var))
+}
+
+fn diff_raw(e: &ExprRef, var: &str) -> ExprRef {
+    match e.as_ref() {
+        Expr::Num(_) => Expr::num(0.0),
+        Expr::Sym { name, indices } => {
+            if name == var && indices.is_empty() {
+                Expr::num(1.0)
+            } else {
+                Expr::num(0.0)
+            }
+        }
+        Expr::Add(terms) => Expr::add(terms.iter().map(|t| diff_raw(t, var)).collect()),
+        Expr::Mul(factors) => {
+            // Product rule over n factors.
+            let mut terms = Vec::with_capacity(factors.len());
+            for i in 0..factors.len() {
+                let mut fs: Vec<ExprRef> = Vec::with_capacity(factors.len());
+                for (j, f) in factors.iter().enumerate() {
+                    if i == j {
+                        fs.push(diff_raw(f, var));
+                    } else {
+                        fs.push(Rc::clone(f));
+                    }
+                }
+                terms.push(Expr::mul(fs));
+            }
+            Expr::add(terms)
+        }
+        Expr::Pow(base, exponent) => {
+            if let Some(n) = exponent.as_num() {
+                // d(b^n) = n * b^(n-1) * b'
+                Expr::mul(vec![
+                    Expr::num(n),
+                    Expr::pow(Rc::clone(base), Expr::num(n - 1.0)),
+                    diff_raw(base, var),
+                ])
+            } else {
+                // General: b^e * (e' ln b + e b'/b)
+                let term1 = Expr::mul(vec![
+                    diff_raw(exponent, var),
+                    Expr::call("log", vec![Rc::clone(base)]),
+                ]);
+                let term2 = Expr::mul(vec![
+                    Rc::clone(exponent),
+                    diff_raw(base, var),
+                    Expr::pow(Rc::clone(base), Expr::num(-1.0)),
+                ]);
+                Expr::mul(vec![Rc::clone(e), Expr::add(vec![term1, term2])])
+            }
+        }
+        Expr::Call { name, args } if args.len() == 1 => {
+            let inner = Rc::clone(&args[0]);
+            let dinner = diff_raw(&inner, var);
+            let outer: ExprRef = match name.as_str() {
+                "exp" => Expr::call("exp", vec![inner]),
+                "log" => Expr::pow(inner, Expr::num(-1.0)),
+                "sin" => Expr::call("cos", vec![inner]),
+                "cos" => Expr::neg(Expr::call("sin", vec![inner])),
+                "sqrt" => Expr::mul(vec![Expr::num(0.5), Expr::pow(inner, Expr::num(-0.5))]),
+                "sinh" => Expr::call("cosh", vec![inner]),
+                "cosh" => Expr::call("sinh", vec![inner]),
+                "tanh" => Expr::sub(
+                    Expr::num(1.0),
+                    Expr::pow(Expr::call("tanh", vec![inner]), Expr::num(2.0)),
+                ),
+                _ => Expr::call(format!("D_{name}"), vec![inner]),
+            };
+            Expr::mul(vec![outer, dinner])
+        }
+        Expr::Call { name, args } => Expr::call(format!("D_{name}"), args.clone()),
+        Expr::Cmp(..) => Expr::num(0.0),
+        Expr::Conditional {
+            test,
+            if_true,
+            if_false,
+        } => Expr::conditional(
+            Rc::clone(test),
+            diff_raw(if_true, var),
+            diff_raw(if_false, var),
+        ),
+        Expr::Vector(components) => {
+            Expr::vector(components.iter().map(|c| diff_raw(c, var)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::parser::parse;
+    use std::collections::HashMap;
+
+    fn d(src: &str, var: &str) -> ExprRef {
+        diff(&parse(src).unwrap(), var)
+    }
+
+    fn numeric_check(src: &str, var: &str, at: f64) {
+        let e = parse(src).unwrap();
+        let de = diff(&e, var);
+        let h = 1e-6;
+        let mut ctx = HashMap::new();
+        ctx.insert(var.to_string(), at + h);
+        let fp = eval(&e, &ctx).unwrap();
+        ctx.insert(var.to_string(), at - h);
+        let fm = eval(&e, &ctx).unwrap();
+        ctx.insert(var.to_string(), at);
+        let analytic = eval(&de, &ctx).unwrap();
+        let fd = (fp - fm) / (2.0 * h);
+        assert!(
+            (analytic - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+            "{src}: analytic {analytic} vs fd {fd}"
+        );
+    }
+
+    #[test]
+    fn polynomial_rules() {
+        assert!(d("x^3", "x").structurally_eq(&simplify(&parse("3*x^2").unwrap())));
+        assert!(d("5", "x").is_num(0.0));
+        assert!(d("y", "x").is_num(0.0));
+        assert!(d("x", "x").is_num(1.0));
+    }
+
+    #[test]
+    fn product_rule() {
+        let de = d("x * y * x", "x");
+        // d(x^2 y)/dx = 2xy
+        assert!(de.structurally_eq(&simplify(&parse("2*x*y").unwrap())));
+    }
+
+    #[test]
+    fn chain_rule_matches_finite_differences() {
+        numeric_check("exp(2*x)", "x", 0.3);
+        numeric_check("sin(x^2)", "x", 0.7);
+        numeric_check("sqrt(x + 1)", "x", 1.5);
+        numeric_check("1 / sinh(x)", "x", 0.9);
+        numeric_check("x^2 * cos(x)", "x", 0.4);
+    }
+
+    #[test]
+    fn conditional_differentiates_branchwise() {
+        let de = d("conditional(x > 0, x^2, x)", "x");
+        match de.as_ref() {
+            Expr::Conditional {
+                if_true, if_false, ..
+            } => {
+                assert!(if_true.structurally_eq(&simplify(&parse("2*x").unwrap())));
+                assert!(if_false.is_num(1.0));
+            }
+            other => panic!("expected Conditional, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_call_produces_marker_derivative() {
+        let de = d("mystery(x)", "x");
+        assert!(de.contains_call("D_mystery"));
+    }
+
+    #[test]
+    fn indexed_symbols_are_not_the_variable() {
+        // x[d] is a different entity from the scalar x.
+        assert!(d("x[d]", "x").is_num(0.0));
+    }
+}

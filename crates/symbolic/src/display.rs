@@ -1,0 +1,279 @@
+//! Pretty printing.
+//!
+//! The printer emits the same surface syntax the parser accepts, so
+//! `parse(e.to_string())` round-trips (a property test enforces this).
+//! Normalized forms print in their natural notation: `x + (-1)*y` prints as
+//! `x - y` and `x * y^-1` prints as `x/y`.
+
+use crate::expr::{Expr, ExprRef};
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self, f, Prec::Sum)
+    }
+}
+
+/// Precedence levels for parenthesization decisions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Cmp,
+    Sum,
+    Product,
+    Unary,
+    Power,
+    Atom,
+}
+
+fn write_num(v: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if v == v.trunc() && v.abs() < 1e15 {
+        write!(f, "{}", v as i64)
+    } else {
+        write!(f, "{v}")
+    }
+}
+
+/// Split `t` into (is_negated, magnitude-expression-parts) for sum printing.
+fn negated_form(t: &ExprRef) -> Option<ExprRef> {
+    match t.as_ref() {
+        Expr::Num(v) if *v < 0.0 => Some(Expr::num(-v)),
+        Expr::Mul(factors) => {
+            if let Some(c) = factors[0].as_num() {
+                if c < 0.0 {
+                    let mut rest: Vec<ExprRef> = factors[1..].to_vec();
+                    if c != -1.0 {
+                        rest.insert(0, Expr::num(-c));
+                    }
+                    return Some(Expr::mul(rest));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Split a factor into (numerator-form, denominator-form) for `/` printing.
+fn reciprocal_form(x: &ExprRef) -> Option<ExprRef> {
+    if let Expr::Pow(base, exponent) = x.as_ref() {
+        if let Some(n) = exponent.as_num() {
+            if n == -1.0 {
+                return Some(base.clone());
+            }
+            if n < 0.0 {
+                return Some(Expr::pow(base.clone(), Expr::num(-n)));
+            }
+        }
+    }
+    None
+}
+
+fn write_expr(e: &Expr, f: &mut fmt::Formatter<'_>, ambient: Prec) -> fmt::Result {
+    let own = match e {
+        Expr::Num(v) if *v < 0.0 => Prec::Unary,
+        Expr::Num(_) | Expr::Sym { .. } | Expr::Call { .. } | Expr::Vector(_) => Prec::Atom,
+        Expr::Conditional { .. } => Prec::Atom,
+        Expr::Add(_) => Prec::Sum,
+        Expr::Mul(_) => Prec::Product,
+        Expr::Pow(..) => Prec::Power,
+        Expr::Cmp(..) => Prec::Cmp,
+    };
+    let parens = own < ambient;
+    if parens {
+        write!(f, "(")?;
+    }
+    match e {
+        Expr::Num(v) => write_num(*v, f)?,
+        Expr::Sym { name, indices } => {
+            write!(f, "{name}")?;
+            if !indices.is_empty() {
+                write!(f, "[")?;
+                for (i, ix) in indices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_expr(ix, f, Prec::Sum)?;
+                }
+                write!(f, "]")?;
+            }
+        }
+        Expr::Add(terms) => {
+            for (i, t) in terms.iter().enumerate() {
+                // Zero magnitudes are excluded from sign-printing: `- 0`
+                // would reparse as the literal -0.0 and lose the node.
+                if let Some(mag) = negated_form(t).filter(|m| !m.is_num(0.0)) {
+                    if i == 0 {
+                        write!(f, "-")?;
+                    } else {
+                        write!(f, " - ")?;
+                    }
+                    write_expr(&mag, f, Prec::Product)?;
+                } else {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write_expr(t, f, Prec::Product)?;
+                }
+            }
+        }
+        Expr::Mul(factors) => {
+            // Separate numerator and denominator factors.
+            let mut numer: Vec<ExprRef> = Vec::new();
+            let mut denom: Vec<ExprRef> = Vec::new();
+            for x in factors {
+                if let Some(d) = reciprocal_form(x) {
+                    denom.push(d);
+                } else {
+                    numer.push(x.clone());
+                }
+            }
+            // Leading -1 prints as a sign.
+            let mut lead_minus = false;
+            if numer.len() > 1
+                && numer[0].is_num(-1.0)
+                // `-1*0` must print with the explicit factor: `-0` would
+                // reparse as the literal zero, losing the product node.
+                && numer[1].as_num().is_none()
+            {
+                lead_minus = true;
+                numer.remove(0);
+            }
+            if lead_minus {
+                write!(f, "-")?;
+            }
+            if numer.is_empty() {
+                write!(f, "1")?;
+            } else {
+                for (i, x) in numer.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    write_expr(x, f, Prec::Unary)?;
+                }
+            }
+            for d in &denom {
+                write!(f, "/")?;
+                write_expr(d, f, Prec::Power)?;
+            }
+        }
+        Expr::Pow(base, exponent) => {
+            write_expr(base, f, Prec::Atom)?;
+            write!(f, "^")?;
+            write_expr(exponent, f, Prec::Atom)?;
+        }
+        Expr::Call { name, args } => {
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(a, f, Prec::Cmp)?;
+            }
+            write!(f, ")")?;
+        }
+        Expr::Cmp(op, a, b) => {
+            write_expr(a, f, Prec::Sum)?;
+            write!(f, " {} ", op.as_str())?;
+            write_expr(b, f, Prec::Sum)?;
+        }
+        Expr::Conditional {
+            test,
+            if_true,
+            if_false,
+        } => {
+            write!(f, "conditional(")?;
+            write_expr(test, f, Prec::Cmp)?;
+            write!(f, ", ")?;
+            write_expr(if_true, f, Prec::Cmp)?;
+            write!(f, ", ")?;
+            write_expr(if_false, f, Prec::Cmp)?;
+            write!(f, ")")?;
+        }
+        Expr::Vector(components) => {
+            write!(f, "[")?;
+            for (i, c) in components.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ";")?;
+                }
+                write_expr(c, f, Prec::Sum)?;
+            }
+            write!(f, "]")?;
+        }
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+    use crate::simplify::simplify;
+
+    fn roundtrip(src: &str) {
+        let e = parse(src).unwrap();
+        let printed = e.to_string();
+        let reparsed =
+            parse(&printed).unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        assert!(
+            e.structurally_eq(&reparsed),
+            "`{src}` printed as `{printed}` which reparsed differently"
+        );
+    }
+
+    #[test]
+    fn roundtrips_representative_inputs() {
+        for src in [
+            "-k*u - surface(upwind(b, u))",
+            "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+            "a^2 + b^-1",
+            "conditional(n1*b1 + n2*b2 > 0, c1*u, c2*u)",
+            "x - y - z",
+            "-x",
+            "2.5e-3 * q",
+            "a/(b*c)",
+            "(a+b)/(c+d)",
+            "a - (b - c)",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrips_after_simplify() {
+        for src in ["x + 2*x - y/3", "(a+b)*(a-b)", "x*x/x + exp(y)*exp(y)"] {
+            let s = simplify(&parse(src).unwrap());
+            let printed = s.to_string();
+            // A negative coefficient prints as a sign (`-0.3*y`), which
+            // reparses to the nested `(-1)*(0.3*y)`; one simplify restores
+            // the canonical flat form.
+            let reparsed = simplify(&parse(&printed).unwrap());
+            assert!(s.structurally_eq(&reparsed), "`{printed}`");
+        }
+    }
+
+    #[test]
+    fn prints_normalized_forms_naturally() {
+        assert_eq!(simplify(&parse("a - b").unwrap()).to_string(), "a - b");
+        assert_eq!(simplify(&parse("a / b").unwrap()).to_string(), "a/b");
+        assert_eq!(simplify(&parse("-a").unwrap()).to_string(), "-a");
+        assert_eq!(simplify(&parse("0 - 2*x").unwrap()).to_string(), "-2*x");
+    }
+
+    #[test]
+    fn prints_integers_without_decimal_point() {
+        assert_eq!(parse("2").unwrap().to_string(), "2");
+        assert_eq!(parse("2.5").unwrap().to_string(), "2.5");
+    }
+
+    #[test]
+    fn parenthesizes_only_when_needed() {
+        assert_eq!(
+            simplify(&parse("(a+b)*c").unwrap()).to_string(),
+            "c*(a + b)"
+        );
+        assert_eq!(parse("a + b*c").unwrap().to_string(), "a + b*c");
+        assert_eq!(parse("(a*b)^2").unwrap().to_string(), "(a*b)^2");
+    }
+}

@@ -1,0 +1,231 @@
+//! Numeric evaluation of expressions.
+//!
+//! Evaluation resolves symbols through an [`EvalContext`]. Indexed symbols
+//! must have numeric indices at evaluation time (apply
+//! [`crate::substitute_indices`] first if needed); indices are passed to the
+//! context as integers.
+
+use crate::expr::{Expr, ExprRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Failure during numeric evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A symbol could not be resolved by the context.
+    UnknownSymbol(String),
+    /// A call target is not a known function.
+    UnknownFunction(String),
+    /// A function was called with the wrong number of arguments.
+    Arity { name: String, got: usize },
+    /// An index expression did not evaluate to an integer.
+    NonIntegerIndex(String),
+    /// Vectors cannot be reduced to a scalar.
+    VectorValue,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            EvalError::UnknownFunction(s) => write!(f, "unknown function `{s}`"),
+            EvalError::Arity { name, got } => {
+                write!(f, "function `{name}` called with {got} argument(s)")
+            }
+            EvalError::NonIntegerIndex(s) => {
+                write!(f, "index of `{s}` did not evaluate to an integer")
+            }
+            EvalError::VectorValue => write!(f, "vector literal has no scalar value"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Resolves symbol values during evaluation.
+pub trait EvalContext {
+    /// Value of symbol `name` with (possibly empty) integer indices.
+    fn symbol(&self, name: &str, indices: &[i64]) -> Option<f64>;
+}
+
+/// Convenience context over a map of unindexed symbol values.
+impl EvalContext for HashMap<String, f64> {
+    fn symbol(&self, name: &str, indices: &[i64]) -> Option<f64> {
+        if indices.is_empty() {
+            self.get(name).copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Evaluate `e` to a scalar.
+pub fn eval(e: &ExprRef, ctx: &dyn EvalContext) -> Result<f64, EvalError> {
+    match e.as_ref() {
+        Expr::Num(v) => Ok(*v),
+        Expr::Sym { name, indices } => {
+            let mut ixs = Vec::with_capacity(indices.len());
+            for ix in indices {
+                let v = eval(ix, ctx)?;
+                if v.fract() != 0.0 {
+                    return Err(EvalError::NonIntegerIndex(name.clone()));
+                }
+                ixs.push(v as i64);
+            }
+            ctx.symbol(name, &ixs)
+                .ok_or_else(|| EvalError::UnknownSymbol(name.clone()))
+        }
+        Expr::Add(terms) => {
+            let mut acc = 0.0;
+            for t in terms {
+                acc += eval(t, ctx)?;
+            }
+            Ok(acc)
+        }
+        Expr::Mul(factors) => {
+            let mut acc = 1.0;
+            for f in factors {
+                acc *= eval(f, ctx)?;
+            }
+            Ok(acc)
+        }
+        Expr::Pow(b, x) => Ok(eval(b, ctx)?.powf(eval(x, ctx)?)),
+        Expr::Call { name, args } => {
+            let unary = |args: &[ExprRef]| -> Result<f64, EvalError> {
+                if args.len() != 1 {
+                    return Err(EvalError::Arity {
+                        name: name.clone(),
+                        got: args.len(),
+                    });
+                }
+                eval(&args[0], ctx)
+            };
+            match name.as_str() {
+                "exp" => Ok(unary(args)?.exp()),
+                "log" => Ok(unary(args)?.ln()),
+                "sin" => Ok(unary(args)?.sin()),
+                "cos" => Ok(unary(args)?.cos()),
+                "tan" => Ok(unary(args)?.tan()),
+                "sqrt" => Ok(unary(args)?.sqrt()),
+                "abs" => Ok(unary(args)?.abs()),
+                "sinh" => Ok(unary(args)?.sinh()),
+                "cosh" => Ok(unary(args)?.cosh()),
+                "tanh" => Ok(unary(args)?.tanh()),
+                "min" | "max" => {
+                    if args.len() != 2 {
+                        return Err(EvalError::Arity {
+                            name: name.clone(),
+                            got: args.len(),
+                        });
+                    }
+                    let a = eval(&args[0], ctx)?;
+                    let b = eval(&args[1], ctx)?;
+                    Ok(if name == "min" { a.min(b) } else { a.max(b) })
+                }
+                _ => Err(EvalError::UnknownFunction(name.clone())),
+            }
+        }
+        Expr::Cmp(op, a, b) => {
+            let x = eval(a, ctx)?;
+            let y = eval(b, ctx)?;
+            Ok(if op.apply(x, y) { 1.0 } else { 0.0 })
+        }
+        Expr::Conditional {
+            test,
+            if_true,
+            if_false,
+        } => {
+            if eval(test, ctx)? != 0.0 {
+                eval(if_true, ctx)
+            } else {
+                eval(if_false, ctx)
+            }
+        }
+        Expr::Vector(_) => Err(EvalError::VectorValue),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ctx(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn evaluates_arithmetic() {
+        let e = parse("2*x + y^2 - 1").unwrap();
+        let v = eval(&e, &ctx(&[("x", 3.0), ("y", 4.0)])).unwrap();
+        assert_eq!(v, 21.0);
+    }
+
+    #[test]
+    fn evaluates_division_normalization() {
+        let e = parse("x / y").unwrap();
+        let v = eval(&e, &ctx(&[("x", 8.0), ("y", 2.0)])).unwrap();
+        assert_eq!(v, 4.0);
+    }
+
+    #[test]
+    fn evaluates_conditionals_and_comparisons() {
+        let e = parse("conditional(x > 0, 10, 20)").unwrap();
+        assert_eq!(eval(&e, &ctx(&[("x", 1.0)])).unwrap(), 10.0);
+        assert_eq!(eval(&e, &ctx(&[("x", -1.0)])).unwrap(), 20.0);
+        // Boundary: test is strict.
+        assert_eq!(eval(&e, &ctx(&[("x", 0.0)])).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn evaluates_functions() {
+        let e = parse("exp(0) + sqrt(9) + abs(0-2) + max(1, 5)").unwrap();
+        assert_eq!(eval(&e, &ctx(&[])).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn indexed_symbols_resolve_through_context() {
+        struct Arr;
+        impl EvalContext for Arr {
+            fn symbol(&self, name: &str, indices: &[i64]) -> Option<f64> {
+                if name == "I" && indices.len() == 2 {
+                    Some((indices[0] * 10 + indices[1]) as f64)
+                } else {
+                    None
+                }
+            }
+        }
+        let e = parse("I[2,5]").unwrap();
+        assert_eq!(eval(&e, &Arr).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let e = parse("mystery(1)").unwrap();
+        assert_eq!(
+            eval(&e, &ctx(&[])),
+            Err(EvalError::UnknownFunction("mystery".into()))
+        );
+        let e = parse("q + 1").unwrap();
+        assert_eq!(
+            eval(&e, &ctx(&[])),
+            Err(EvalError::UnknownSymbol("q".into()))
+        );
+        let e = parse("exp(1, 2)").unwrap();
+        assert!(matches!(eval(&e, &ctx(&[])), Err(EvalError::Arity { .. })));
+    }
+
+    #[test]
+    fn simplify_preserves_value() {
+        use crate::simplify::simplify;
+        let src = "3*x - x + x*x/x + conditional(y > 0, y, 0-y)";
+        let e = parse(src).unwrap();
+        let s = simplify(&e);
+        for (x, y) in [(1.5, 2.0), (0.3, -4.0), (-2.0, 0.5)] {
+            let c = ctx(&[("x", x), ("y", y)]);
+            let a = eval(&e, &c).unwrap();
+            let b = eval(&s, &c).unwrap();
+            assert!((a - b).abs() < 1e-12, "{a} vs {b} at x={x}, y={y}");
+        }
+    }
+}

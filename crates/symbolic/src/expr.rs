@@ -1,0 +1,490 @@
+//! The expression tree.
+//!
+//! `Expr` is an immutable tree shared through `Rc`. Sums and products are
+//! n-ary (flattened by construction where convenient and by `simplify`
+//! everywhere else). Subtraction and division are represented as
+//! `a + (-1)*b` and `a * b^-1`, the same normalization SymEngine uses, so
+//! like-term collection only has to understand `Add`/`Mul`/`Pow`.
+
+use std::cmp::Ordering;
+use std::sync::Arc as Rc;
+
+/// Shared reference to an expression node.
+pub type ExprRef = Rc<Expr>;
+
+/// Comparison operators usable inside `conditional(...)` tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+}
+
+impl CmpOp {
+    /// The operator's source form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+        }
+    }
+
+    /// Apply the comparison to two floats.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+        }
+    }
+}
+
+/// A symbolic expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal. Integers are stored exactly (`2.0`) and printed
+    /// without a decimal point.
+    Num(f64),
+    /// A (possibly indexed) symbol: `k`, `I[d,b]`, `NORMAL_1`.
+    Sym { name: String, indices: Vec<ExprRef> },
+    /// n-ary sum.
+    Add(Vec<ExprRef>),
+    /// n-ary product.
+    Mul(Vec<ExprRef>),
+    /// `base ^ exponent`.
+    Pow(ExprRef, ExprRef),
+    /// Function/operator application: `surface(x)`, `upwind(v, u)`, `exp(x)`.
+    Call { name: String, args: Vec<ExprRef> },
+    /// Comparison, only meaningful as a conditional test.
+    Cmp(CmpOp, ExprRef, ExprRef),
+    /// `conditional(test, if_true, if_false)` after parsing/expansion.
+    Conditional {
+        test: ExprRef,
+        if_true: ExprRef,
+        if_false: ExprRef,
+    },
+    /// Small column-vector literal `[a; b; c]` (used for direction vectors).
+    Vector(Vec<ExprRef>),
+}
+
+impl Expr {
+    /// Numeric literal.
+    pub fn num(v: f64) -> ExprRef {
+        Rc::new(Expr::Num(v))
+    }
+
+    /// Plain (unindexed) symbol.
+    pub fn sym(name: impl Into<String>) -> ExprRef {
+        Rc::new(Expr::Sym {
+            name: name.into(),
+            indices: Vec::new(),
+        })
+    }
+
+    /// Indexed symbol, e.g. `I[d,b]`.
+    pub fn sym_indexed(name: impl Into<String>, indices: Vec<ExprRef>) -> ExprRef {
+        Rc::new(Expr::Sym {
+            name: name.into(),
+            indices,
+        })
+    }
+
+    /// Sum of terms. Zero terms produce `0`, one term is returned unchanged.
+    pub fn add(terms: Vec<ExprRef>) -> ExprRef {
+        match terms.len() {
+            0 => Expr::num(0.0),
+            1 => terms.into_iter().next().expect("len checked"),
+            _ => Rc::new(Expr::Add(terms)),
+        }
+    }
+
+    /// Product of factors. Zero factors produce `1`, one factor is returned
+    /// unchanged.
+    pub fn mul(factors: Vec<ExprRef>) -> ExprRef {
+        match factors.len() {
+            0 => Expr::num(1.0),
+            1 => factors.into_iter().next().expect("len checked"),
+            _ => Rc::new(Expr::Mul(factors)),
+        }
+    }
+
+    /// `a - b`, normalized to `a + (-1)*b`. (Associated constructors on
+    /// purpose — `Expr` itself is not the operand type, `ExprRef` is.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::add(vec![a, Expr::neg(b)])
+    }
+
+    /// `-a`, normalized to `(-1)*a`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(a: ExprRef) -> ExprRef {
+        Expr::mul(vec![Expr::num(-1.0), a])
+    }
+
+    /// `a / b`, normalized to `a * b^-1`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::mul(vec![a, Expr::pow(b, Expr::num(-1.0))])
+    }
+
+    /// `base ^ exponent`.
+    pub fn pow(base: ExprRef, exponent: ExprRef) -> ExprRef {
+        Rc::new(Expr::Pow(base, exponent))
+    }
+
+    /// Function application.
+    pub fn call(name: impl Into<String>, args: Vec<ExprRef>) -> ExprRef {
+        Rc::new(Expr::Call {
+            name: name.into(),
+            args,
+        })
+    }
+
+    /// Comparison node.
+    pub fn cmp(op: CmpOp, a: ExprRef, b: ExprRef) -> ExprRef {
+        Rc::new(Expr::Cmp(op, a, b))
+    }
+
+    /// Conditional node.
+    pub fn conditional(test: ExprRef, if_true: ExprRef, if_false: ExprRef) -> ExprRef {
+        Rc::new(Expr::Conditional {
+            test,
+            if_true,
+            if_false,
+        })
+    }
+
+    /// Vector literal.
+    pub fn vector(components: Vec<ExprRef>) -> ExprRef {
+        Rc::new(Expr::Vector(components))
+    }
+
+    /// Is this node the exact numeric value `v`?
+    pub fn is_num(&self, v: f64) -> bool {
+        matches!(self, Expr::Num(x) if *x == v)
+    }
+
+    /// Numeric value if this is a literal.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Expr::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Symbol name if this is a symbol (indexed or not).
+    pub fn as_sym(&self) -> Option<(&str, &[ExprRef])> {
+        match self {
+            Expr::Sym { name, indices } => Some((name, indices)),
+            _ => None,
+        }
+    }
+
+    /// Does the expression (recursively) mention a symbol with this name?
+    pub fn contains_symbol(&self, name: &str) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if let Expr::Sym { name: n, .. } = e {
+                if n == name {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Does the expression (recursively) contain a call to `name`?
+    pub fn contains_call(&self, name: &str) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if let Expr::Call { name: n, .. } = e {
+                if n == name {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// All distinct symbol names mentioned, in first-visit order.
+    pub fn symbol_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Sym { name, .. } = e {
+                if !names.iter().any(|n| n == name) {
+                    names.push(name.clone());
+                }
+            }
+        });
+        names
+    }
+
+    /// Pre-order visit of every node.
+    pub fn visit(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Num(_) => {}
+            Expr::Sym { indices, .. } => {
+                for ix in indices {
+                    ix.visit(f);
+                }
+            }
+            Expr::Add(terms) => {
+                for t in terms {
+                    t.visit(f);
+                }
+            }
+            Expr::Mul(factors) => {
+                for x in factors {
+                    x.visit(f);
+                }
+            }
+            Expr::Pow(b, e) => {
+                b.visit(f);
+                e.visit(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Cmp(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Conditional {
+                test,
+                if_true,
+                if_false,
+            } => {
+                test.visit(f);
+                if_true.visit(f);
+                if_false.visit(f);
+            }
+            Expr::Vector(components) => {
+                for c in components {
+                    c.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Rebuild the tree bottom-up, applying `f` to every node after its
+    /// children have been rebuilt. `f` receives the rebuilt node and may
+    /// replace it.
+    pub fn map(self: &Rc<Self>, f: &mut dyn FnMut(ExprRef) -> ExprRef) -> ExprRef {
+        let rebuilt: ExprRef = match self.as_ref() {
+            Expr::Num(_) => Rc::clone(self),
+            Expr::Sym { name, indices } => {
+                if indices.is_empty() {
+                    Rc::clone(self)
+                } else {
+                    Expr::sym_indexed(name.clone(), indices.iter().map(|ix| ix.map(f)).collect())
+                }
+            }
+            Expr::Add(terms) => Expr::add(terms.iter().map(|t| t.map(f)).collect()),
+            Expr::Mul(factors) => Expr::mul(factors.iter().map(|x| x.map(f)).collect()),
+            Expr::Pow(b, e) => Expr::pow(b.map(f), e.map(f)),
+            Expr::Call { name, args } => {
+                Expr::call(name.clone(), args.iter().map(|a| a.map(f)).collect())
+            }
+            Expr::Cmp(op, a, b) => Expr::cmp(*op, a.map(f), b.map(f)),
+            Expr::Conditional {
+                test,
+                if_true,
+                if_false,
+            } => Expr::conditional(test.map(f), if_true.map(f), if_false.map(f)),
+            Expr::Vector(components) => Expr::vector(components.iter().map(|c| c.map(f)).collect()),
+        };
+        f(rebuilt)
+    }
+
+    /// Total node count (size of the tree). Useful for pipeline diagnostics
+    /// and simplifier tests.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// A total, deterministic ordering used for canonical sorting inside
+    /// sums/products. Numbers sort first, then symbols by name/indices, then
+    /// composite nodes by kind and children.
+    pub fn canonical_cmp(&self, other: &Expr) -> Ordering {
+        fn rank(e: &Expr) -> u8 {
+            match e {
+                Expr::Num(_) => 0,
+                Expr::Sym { .. } => 1,
+                Expr::Pow(..) => 2,
+                Expr::Mul(_) => 3,
+                Expr::Add(_) => 4,
+                Expr::Call { .. } => 5,
+                Expr::Cmp(..) => 6,
+                Expr::Conditional { .. } => 7,
+                Expr::Vector(_) => 8,
+            }
+        }
+        fn cmp_lists(a: &[ExprRef], b: &[ExprRef]) -> Ordering {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let c = x.canonical_cmp(y);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            a.len().cmp(&b.len())
+        }
+        match (self, other) {
+            (Expr::Num(a), Expr::Num(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (
+                Expr::Sym {
+                    name: a,
+                    indices: ai,
+                },
+                Expr::Sym {
+                    name: b,
+                    indices: bi,
+                },
+            ) => a.cmp(b).then_with(|| cmp_lists(ai, bi)),
+            (Expr::Add(a), Expr::Add(b)) | (Expr::Mul(a), Expr::Mul(b)) => cmp_lists(a, b),
+            (Expr::Pow(ab, ae), Expr::Pow(bb, be)) => {
+                ab.canonical_cmp(bb).then_with(|| ae.canonical_cmp(be))
+            }
+            (Expr::Call { name: a, args: aa }, Expr::Call { name: b, args: ba }) => {
+                a.cmp(b).then_with(|| cmp_lists(aa, ba))
+            }
+            (Expr::Cmp(ao, aa, ab), Expr::Cmp(bo, ba, bb)) => (*ao as u8)
+                .cmp(&(*bo as u8))
+                .then_with(|| aa.canonical_cmp(ba))
+                .then_with(|| ab.canonical_cmp(bb)),
+            (
+                Expr::Conditional {
+                    test: at,
+                    if_true: a1,
+                    if_false: a0,
+                },
+                Expr::Conditional {
+                    test: bt,
+                    if_true: b1,
+                    if_false: b0,
+                },
+            ) => at
+                .canonical_cmp(bt)
+                .then_with(|| a1.canonical_cmp(b1))
+                .then_with(|| a0.canonical_cmp(b0)),
+            (Expr::Vector(a), Expr::Vector(b)) => cmp_lists(a, b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Structural equality after canonical comparison (used as a term key).
+    pub fn structurally_eq(&self, other: &Expr) -> bool {
+        self.canonical_cmp(other) == Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_normalize_trivial_arities() {
+        assert!(Expr::add(vec![]).is_num(0.0));
+        assert!(Expr::mul(vec![]).is_num(1.0));
+        let x = Expr::sym("x");
+        assert!(Rc::ptr_eq(&Expr::add(vec![x.clone()]), &x));
+        assert!(Rc::ptr_eq(&Expr::mul(vec![x.clone()]), &x));
+    }
+
+    #[test]
+    fn sub_and_div_are_normalized() {
+        let a = Expr::sym("a");
+        let b = Expr::sym("b");
+        match Expr::sub(a.clone(), b.clone()).as_ref() {
+            Expr::Add(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert!(matches!(terms[1].as_ref(), Expr::Mul(_)));
+            }
+            other => panic!("expected Add, got {other:?}"),
+        }
+        match Expr::div(a, b).as_ref() {
+            Expr::Mul(factors) => {
+                assert!(matches!(factors[1].as_ref(), Expr::Pow(..)));
+            }
+            other => panic!("expected Mul, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_symbol_sees_nested_names() {
+        let e = Expr::call(
+            "surface",
+            vec![Expr::mul(vec![
+                Expr::sym("vg"),
+                Expr::sym_indexed("I", vec![Expr::sym("d")]),
+            ])],
+        );
+        assert!(e.contains_symbol("I"));
+        assert!(e.contains_symbol("d"));
+        assert!(!e.contains_symbol("tau"));
+        assert!(e.contains_call("surface"));
+        assert!(!e.contains_call("upwind"));
+    }
+
+    #[test]
+    fn canonical_cmp_is_total_and_antisymmetric() {
+        let exprs = vec![
+            Expr::num(1.0),
+            Expr::num(2.0),
+            Expr::sym("a"),
+            Expr::sym("b"),
+            Expr::sym_indexed("a", vec![Expr::sym("d")]),
+            Expr::add(vec![Expr::sym("a"), Expr::sym("b")]),
+            Expr::mul(vec![Expr::sym("a"), Expr::sym("b")]),
+            Expr::pow(Expr::sym("a"), Expr::num(2.0)),
+            Expr::call("exp", vec![Expr::sym("a")]),
+        ];
+        for x in &exprs {
+            assert_eq!(x.canonical_cmp(x), Ordering::Equal);
+            for y in &exprs {
+                let xy = x.canonical_cmp(y);
+                let yx = y.canonical_cmp(x);
+                assert_eq!(xy, yx.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn map_rebuilds_bottom_up() {
+        // Replace symbol `x` by 3 inside x*x + 1, check structure.
+        let x = Expr::sym("x");
+        let e = Expr::add(vec![Expr::mul(vec![x.clone(), x.clone()]), Expr::num(1.0)]);
+        let replaced = e.map(&mut |node| {
+            if let Expr::Sym { name, .. } = node.as_ref() {
+                if name == "x" {
+                    return Expr::num(3.0);
+                }
+            }
+            node
+        });
+        assert!(!replaced.contains_symbol("x"));
+        assert_eq!(replaced.node_count(), e.node_count());
+    }
+
+    #[test]
+    fn node_count_counts_all_nodes() {
+        let e = Expr::add(vec![Expr::sym("a"), Expr::num(2.0)]);
+        assert_eq!(e.node_count(), 3);
+    }
+}

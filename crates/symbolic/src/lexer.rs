@@ -1,0 +1,300 @@
+//! Tokenizer for DSL expression strings.
+//!
+//! The input language is the expression fragment of the Finch DSL:
+//! identifiers (which may contain `_` and digits), floating literals with
+//! optional exponents, arithmetic operators, comparisons, parentheses,
+//! brackets for indexing and vector literals, commas and semicolons.
+
+use std::fmt;
+
+/// One lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Number(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(v) => write!(f, "number `{v}`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing failure: an unexpected byte at `offset`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub offset: usize,
+    pub found: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected character `{}` at offset {}",
+            self.found, self.offset
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` fully. Whitespace (including newlines) is skipped.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let offset = i;
+        let kind = match c {
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            '^' => {
+                i += 1;
+                TokenKind::Caret
+            }
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            '[' => {
+                i += 1;
+                TokenKind::LBracket
+            }
+            ']' => {
+                i += 1;
+                TokenKind::RBracket
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            ';' => {
+                i += 1;
+                TokenKind::Semicolon
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::EqEq
+                } else {
+                    return Err(LexError { offset, found: '=' });
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    // Only treat as an exponent if followed by digits or a
+                    // signed digit run; otherwise `e` starts an identifier.
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    found: c,
+                })?;
+                TokenKind::Number(value)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(src[start..i].to_string())
+            }
+            other => {
+                return Err(LexError {
+                    offset,
+                    found: other,
+                })
+            }
+        };
+        tokens.push(Token { kind, offset });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_basic_expression() {
+        let k = kinds("-k*u + 1.5");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Minus,
+                TokenKind::Ident("k".into()),
+                TokenKind::Star,
+                TokenKind::Ident("u".into()),
+                TokenKind::Plus,
+                TokenKind::Number(1.5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_indexing_and_vectors() {
+        let k = kinds("upwind([Sx[d];Sy[d]], I[d,b])");
+        assert!(k.contains(&TokenKind::LBracket));
+        assert!(k.contains(&TokenKind::Semicolon));
+        assert!(k.contains(&TokenKind::Comma));
+        assert_eq!(k.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn tokenizes_exponent_literals() {
+        assert_eq!(kinds("1e-12")[0], TokenKind::Number(1e-12));
+        assert_eq!(kinds("2.5E+3")[0], TokenKind::Number(2500.0));
+        // `e` not followed by digits is an identifier, not an exponent.
+        assert_eq!(
+            kinds("2e")[..2],
+            [TokenKind::Number(2.0), TokenKind::Ident("e".into())]
+        );
+    }
+
+    #[test]
+    fn tokenizes_comparisons() {
+        assert_eq!(kinds("a >= b")[1], TokenKind::Ge,);
+        assert_eq!(kinds("a == b")[1], TokenKind::EqEq);
+        assert_eq!(kinds("a < b")[1], TokenKind::Lt);
+    }
+
+    #[test]
+    fn underscore_identifiers_survive() {
+        // The paper's expanded forms use names like `_u_1` and `NORMAL_1`.
+        assert_eq!(kinds("_u_1 * NORMAL_1")[0], TokenKind::Ident("_u_1".into()));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("a $ b").is_err());
+        assert!(tokenize("a = b").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let toks = tokenize("ab + cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 5);
+    }
+}

@@ -1,0 +1,385 @@
+//! Pratt parser for DSL expression strings.
+//!
+//! Grammar (loosely):
+//!
+//! ```text
+//! expr     := cmp
+//! cmp      := sum (("<" | "<=" | ">" | ">=" | "==") sum)?
+//! sum      := product (("+" | "-") product)*
+//! product  := unary (("*" | "/") unary)*
+//! unary    := "-" unary | power
+//! power    := postfix ("^" unary)?            // right associative
+//! postfix  := atom ("[" expr ("," expr)* "]")?
+//! atom     := number | ident | ident "(" args ")" | "(" expr ")"
+//!           | "[" expr (";" expr)* "]"        // vector literal
+//! ```
+//!
+//! `ident(...)` parses to [`Expr::Call`]; the special name `conditional`
+//! with three arguments parses directly to [`Expr::Conditional`] so the
+//! paper's expanded forms round-trip.
+
+use crate::expr::{CmpOp, Expr, ExprRef};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// A token was found where another was expected.
+    Unexpected {
+        offset: usize,
+        found: String,
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                offset,
+                found,
+                expected,
+            } => write!(
+                f,
+                "unexpected {found} at offset {offset}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parse a complete expression string.
+pub fn parse(src: &str) -> Result<ExprRef, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_cmp()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unexpected(&self, expected: &'static str) -> ParseError {
+        ParseError::Unexpected {
+            offset: self.offset(),
+            found: self.peek().to_string(),
+            expected,
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, expected: &'static str) -> Result<(), ParseError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of input"))
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<ExprRef, ParseError> {
+        let lhs = self.parse_sum()?;
+        let op = match self.peek() {
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::EqEq => CmpOp::Eq,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_sum()?;
+        Ok(Expr::cmp(op, lhs, rhs))
+    }
+
+    fn parse_sum(&mut self) -> Result<ExprRef, ParseError> {
+        let mut terms = vec![self.parse_product()?];
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                terms.push(self.parse_product()?);
+            } else if self.eat(&TokenKind::Minus) {
+                // Fold `a - 1` to a negative literal term, matching how the
+                // printer renders negative numeric terms in sums.
+                let t = self.parse_product()?;
+                match t.as_num() {
+                    Some(v) => terms.push(Expr::num(-v)),
+                    None => terms.push(Expr::neg(t)),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Expr::add(terms))
+    }
+
+    fn parse_product(&mut self) -> Result<ExprRef, ParseError> {
+        let mut factors = vec![self.parse_unary()?];
+        loop {
+            if self.eat(&TokenKind::Star) {
+                factors.push(self.parse_unary()?);
+            } else if self.eat(&TokenKind::Slash) {
+                factors.push(Expr::pow(self.parse_unary()?, Expr::num(-1.0)));
+            } else {
+                break;
+            }
+        }
+        Ok(Expr::mul(factors))
+    }
+
+    fn parse_unary(&mut self) -> Result<ExprRef, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            // A minus directly on a numeric literal folds into the literal
+            // (so `-1` is `Num(-1)`, matching printed forms); anything else
+            // normalizes to `(-1)*x`. `-x^2` still parses as `-(x^2)`
+            // because the recursive call handles the tighter-binding power.
+            let inner = self.parse_unary()?;
+            if let Some(v) = inner.as_num() {
+                Ok(Expr::num(-v))
+            } else {
+                Ok(Expr::neg(inner))
+            }
+        } else {
+            self.parse_power()
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<ExprRef, ParseError> {
+        let base = self.parse_postfix()?;
+        if self.eat(&TokenKind::Caret) {
+            // Right-associative: a^b^c == a^(b^c).
+            let exponent = self.parse_unary()?;
+            Ok(Expr::pow(base, exponent))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<ExprRef, ParseError> {
+        let atom = self.parse_atom()?;
+        if matches!(self.peek(), TokenKind::LBracket) {
+            // Only symbols may be indexed: `I[d,b]`.
+            if let Expr::Sym { name, indices } = atom.as_ref() {
+                if indices.is_empty() {
+                    self.bump();
+                    let mut ixs = vec![self.parse_cmp()?];
+                    while self.eat(&TokenKind::Comma) {
+                        ixs.push(self.parse_cmp()?);
+                    }
+                    self.expect(TokenKind::RBracket, "`]` closing index list")?;
+                    return Ok(Expr::sym_indexed(name.clone(), ixs));
+                }
+            }
+            return Err(self.unexpected("an operator (only symbols can be indexed)"));
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<ExprRef, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Expr::num(v))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        args.push(self.parse_cmp()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.parse_cmp()?);
+                        }
+                    }
+                    self.expect(TokenKind::RParen, "`)` closing argument list")?;
+                    if name == "conditional" && args.len() == 3 {
+                        let mut it = args.into_iter();
+                        let test = it.next().expect("len checked");
+                        let if_true = it.next().expect("len checked");
+                        let if_false = it.next().expect("len checked");
+                        Ok(Expr::conditional(test, if_true, if_false))
+                    } else {
+                        Ok(Expr::call(name, args))
+                    }
+                } else {
+                    Ok(Expr::sym(name))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_cmp()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut components = vec![self.parse_cmp()?];
+                while self.eat(&TokenKind::Semicolon) {
+                    components.push(self.parse_cmp()?);
+                }
+                self.expect(TokenKind::RBracket, "`]` closing vector literal")?;
+                Ok(Expr::vector(components))
+            }
+            _ => Err(self.unexpected("a number, identifier, `(` or `[`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_reaction_advection_input() {
+        // The §II example: "-k*u - surface(upwind(b, u))"
+        let e = parse("-k*u - surface(upwind(b, u))").unwrap();
+        assert!(e.contains_symbol("k"));
+        assert!(e.contains_call("surface"));
+        assert!(e.contains_call("upwind"));
+    }
+
+    #[test]
+    fn parses_paper_bte_input() {
+        let e = parse("(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))")
+            .unwrap();
+        assert!(e.contains_symbol("Io"));
+        assert!(e.contains_symbol("beta"));
+        // The vector literal survives inside upwind.
+        let mut saw_vector = false;
+        e.visit(&mut |n| {
+            if matches!(n, Expr::Vector(v) if v.len() == 2) {
+                saw_vector = true;
+            }
+        });
+        assert!(saw_vector);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let e = parse("a + b*c").unwrap();
+        match e.as_ref() {
+            Expr::Add(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert!(matches!(terms[1].as_ref(), Expr::Mul(_)));
+            }
+            other => panic!("expected Add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative_and_binds_tighter_than_unary_minus() {
+        let e = parse("-a^2").unwrap();
+        // -(a^2), i.e. Mul(-1, Pow(a,2))
+        match e.as_ref() {
+            Expr::Mul(f) => assert!(matches!(f[1].as_ref(), Expr::Pow(..))),
+            other => panic!("expected Mul, got {other:?}"),
+        }
+        let e2 = parse("a^b^c").unwrap();
+        match e2.as_ref() {
+            Expr::Pow(_, exponent) => assert!(matches!(exponent.as_ref(), Expr::Pow(..))),
+            other => panic!("expected Pow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_normalizes_to_negative_power() {
+        let e = parse("a / b").unwrap();
+        match e.as_ref() {
+            Expr::Mul(f) => match f[1].as_ref() {
+                Expr::Pow(_, exponent) => assert!(exponent.is_num(-1.0)),
+                other => panic!("expected Pow, got {other:?}"),
+            },
+            other => panic!("expected Mul, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_parses_to_dedicated_node() {
+        let e = parse("conditional(a > 0, a, -a)").unwrap();
+        assert!(matches!(e.as_ref(), Expr::Conditional { .. }));
+    }
+
+    #[test]
+    fn conditional_with_wrong_arity_stays_a_call() {
+        let e = parse("conditional(a, b)").unwrap();
+        assert!(matches!(e.as_ref(), Expr::Call { .. }));
+    }
+
+    #[test]
+    fn indexing_only_applies_to_symbols() {
+        assert!(parse("(a+b)[d]").is_err());
+        assert!(parse("f(x)[d]").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_unbalanced_parens() {
+        assert!(parse("a + b )").is_err());
+        assert!(parse("(a + b").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn nested_calls_and_indices() {
+        let e = parse("f(g(h[i,j]), k) * 2").unwrap();
+        assert!(e.contains_call("f"));
+        assert!(e.contains_call("g"));
+        assert!(e.contains_symbol("h"));
+    }
+
+    #[test]
+    fn comparison_inside_call_arguments() {
+        let e = parse("f(a >= b, c)").unwrap();
+        match e.as_ref() {
+            Expr::Call { args, .. } => {
+                assert!(matches!(args[0].as_ref(), Expr::Cmp(CmpOp::Ge, ..)));
+            }
+            other => panic!("expected Call, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Symbol and index substitution.
+
+use crate::expr::{Expr, ExprRef};
+use std::collections::HashMap;
+use std::sync::Arc as Rc;
+
+/// Map from symbol name to replacement expression.
+///
+/// A plain-name entry replaces every symbol with that name regardless of its
+/// indices; the indices are dropped. Use [`substitute_indices`] first when
+/// index values must be resolved.
+pub type SubstitutionMap = HashMap<String, ExprRef>;
+
+/// Replace symbols by name.
+pub fn substitute(e: &ExprRef, map: &SubstitutionMap) -> ExprRef {
+    e.map(&mut |node| {
+        if let Expr::Sym { name, .. } = node.as_ref() {
+            if let Some(replacement) = map.get(name) {
+                return Rc::clone(replacement);
+            }
+        }
+        node
+    })
+}
+
+/// Replace index *symbols* (e.g. `d`, `b`) with concrete integer values,
+/// both where they appear as indices (`I[d,b]` → `I[2,5]`) and where they
+/// appear as free symbols.
+pub fn substitute_indices(e: &ExprRef, values: &HashMap<String, i64>) -> ExprRef {
+    e.map(&mut |node| {
+        if let Expr::Sym { name, indices } = node.as_ref() {
+            if indices.is_empty() {
+                if let Some(v) = values.get(name) {
+                    return Expr::num(*v as f64);
+                }
+            }
+        }
+        node
+    })
+}
+
+/// Rename a symbol wherever it occurs, preserving indices.
+pub fn rename_symbol(e: &ExprRef, from: &str, to: &str) -> ExprRef {
+    e.map(&mut |node| {
+        if let Expr::Sym { name, indices } = node.as_ref() {
+            if name == from {
+                return Expr::sym_indexed(to.to_string(), indices.clone());
+            }
+        }
+        node
+    })
+}
+
+/// Replace every call to `name` using `f`, which receives the (already
+/// rebuilt) argument list and returns the replacement expression. Used by the
+/// DSL to expand custom operators such as `upwind`.
+pub fn replace_call(e: &ExprRef, name: &str, f: &mut dyn FnMut(&[ExprRef]) -> ExprRef) -> ExprRef {
+    e.map(&mut |node| {
+        if let Expr::Call { name: n, args } = node.as_ref() {
+            if n == name {
+                return f(args);
+            }
+        }
+        node
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::simplify::simplify;
+
+    #[test]
+    fn substitutes_plain_symbols() {
+        let e = parse("k*u + u").unwrap();
+        let mut map = SubstitutionMap::new();
+        map.insert("k".into(), Expr::num(2.0));
+        let out = simplify(&substitute(&e, &map));
+        assert!(out.structurally_eq(&simplify(&parse("3*u").unwrap())));
+    }
+
+    #[test]
+    fn substitutes_indices_inside_indexed_symbols() {
+        let e = parse("I[d,b] * vg[b]").unwrap();
+        let mut vals = HashMap::new();
+        vals.insert("d".to_string(), 2i64);
+        vals.insert("b".to_string(), 7i64);
+        let out = substitute_indices(&e, &vals);
+        let mut found = false;
+        out.visit(&mut |n| {
+            if let Expr::Sym { name, indices } = n {
+                if name == "I" {
+                    assert!(indices[0].is_num(2.0));
+                    assert!(indices[1].is_num(7.0));
+                    found = true;
+                }
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn rename_preserves_indices() {
+        let e = parse("I[d,b] + I[d,b]*2").unwrap();
+        let out = rename_symbol(&e, "I", "I_old");
+        assert!(!out.contains_symbol("I"));
+        assert!(out.contains_symbol("I_old"));
+        let mut saw_indices = false;
+        out.visit(&mut |n| {
+            if let Expr::Sym { name, indices } = n {
+                if name == "I_old" && indices.len() == 2 {
+                    saw_indices = true;
+                }
+            }
+        });
+        assert!(saw_indices);
+    }
+
+    #[test]
+    fn replace_call_expands_operators() {
+        let e = parse("surface(upwind(v, u)) + upwind(v, w)").unwrap();
+        let out = replace_call(&e, "upwind", &mut |args| {
+            Expr::mul(vec![args[0].clone(), args[1].clone()])
+        });
+        assert!(!out.contains_call("upwind"));
+        assert!(out.contains_call("surface"));
+    }
+
+    #[test]
+    fn substitution_does_not_touch_other_symbols() {
+        let e = parse("a + b").unwrap();
+        let mut map = SubstitutionMap::new();
+        map.insert("a".into(), Expr::num(1.0));
+        let out = substitute(&e, &map);
+        assert!(out.contains_symbol("b"));
+        assert!(!out.contains_symbol("a"));
+    }
+}

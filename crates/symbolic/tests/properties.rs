@@ -1,0 +1,205 @@
+//! Property-based tests for the symbolic engine.
+//!
+//! Strategy: generate random expression trees over a small symbol pool, then
+//! check the core invariants the DSL pipeline relies on:
+//!
+//! 1. print → parse is a fixpoint (structural equality);
+//! 2. simplify preserves numeric value at random evaluation points;
+//! 3. simplify is idempotent;
+//! 4. expand preserves numeric value;
+//! 5. differentiation matches central finite differences.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc as Rc;
+
+use pbte_symbolic::expr::{CmpOp, Expr, ExprRef};
+use pbte_symbolic::simplify::expand;
+use pbte_symbolic::{diff, eval, parse, simplify};
+
+const SYMS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// Random expression trees. Exponents are kept as small integers so random
+/// evaluation stays finite, and denominators are offset away from zero.
+fn arb_expr() -> impl Strategy<Value = ExprRef> {
+    let leaf = prop_oneof![
+        (-4i32..5).prop_map(|v| Expr::num(v as f64)),
+        (0usize..SYMS.len()).prop_map(|i| Expr::sym(SYMS[i])),
+        (0usize..SYMS.len()).prop_map(|i| {
+            // Indexed symbol with a literal index.
+            Expr::sym_indexed(format!("{}_arr", SYMS[i]), vec![Expr::num(1.0)])
+        }),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::add),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::mul),
+            (inner.clone(), 1u32..4).prop_map(|(b, n)| Expr::pow(b, Expr::num(n as f64))),
+            inner.clone().prop_map(Expr::neg),
+            inner.clone().prop_map(|a| Expr::call("sin", vec![a])),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(t, a, b)| {
+                Expr::conditional(Expr::cmp(CmpOp::Gt, t, Expr::num(0.0)), a, b)
+            }),
+        ]
+    })
+}
+
+struct Ctx(HashMap<String, f64>);
+
+impl pbte_symbolic::EvalContext for Ctx {
+    fn symbol(&self, name: &str, indices: &[i64]) -> Option<f64> {
+        if indices.is_empty() {
+            self.0.get(name).copied()
+        } else {
+            // `<s>_arr[i]` evaluates to the base symbol's value plus i.
+            let base = name.strip_suffix("_arr")?;
+            Some(self.0.get(base).copied()? + indices[0] as f64)
+        }
+    }
+}
+
+fn ctx(vals: [f64; 4]) -> Ctx {
+    Ctx(SYMS
+        .iter()
+        .zip(vals.iter())
+        .map(|(s, v)| (s.to_string(), *v))
+        .collect())
+}
+
+/// Relative-tolerance comparison treating NaN==NaN (both sides may hit the
+/// same singularity, e.g. 0^-1).
+fn close(a: f64, b: f64) -> bool {
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return a == b || (!a.is_finite() && !b.is_finite());
+    }
+    (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(e in arb_expr()) {
+        // Raw (unsimplified) trees are not uniquely printable — e.g.
+        // `Mul([-1, 1])` and `Num(-1)` both print `-1` — so the roundtrip
+        // guarantee for arbitrary trees is preservation of canonical form.
+        // Exact structural fidelity of canonical forms is checked by
+        // `simplified_roundtrip_still_holds` below.
+        let printed = e.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
+        prop_assert!(
+            simplify(&e).structurally_eq(&simplify(&reparsed)),
+            "`{printed}` reparsed to `{reparsed}`"
+        );
+    }
+
+    #[test]
+    fn simplify_preserves_value(
+        e in arb_expr(),
+        vals in prop::array::uniform4(-2.0f64..2.0),
+    ) {
+        let s = simplify(&e);
+        let c = ctx(vals);
+        let a = eval(&e, &c).unwrap();
+        let b = eval(&s, &c).unwrap();
+        prop_assert!(close(a, b), "orig {a} vs simplified {b} for {e}");
+    }
+
+    #[test]
+    fn simplify_is_idempotent(e in arb_expr()) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert!(
+            once.structurally_eq(&twice),
+            "simplify not idempotent: `{once}` vs `{twice}`"
+        );
+    }
+
+    #[test]
+    fn expand_preserves_value(
+        e in arb_expr(),
+        vals in prop::array::uniform4(-2.0f64..2.0),
+    ) {
+        let x = expand(&e);
+        let c = ctx(vals);
+        let a = eval(&e, &c).unwrap();
+        let b = eval(&x, &c).unwrap();
+        prop_assert!(close(a, b), "orig {a} vs expanded {b}");
+    }
+
+    #[test]
+    fn simplified_roundtrip_still_holds(e in arb_expr()) {
+        // Simplified trees may print signs that reparse into the nested
+        // normalized form; re-simplifying must restore the same canonical
+        // tree.
+        let s = simplify(&e);
+        let printed = s.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
+        prop_assert!(
+            s.structurally_eq(&simplify(&reparsed)),
+            "`{printed}`"
+        );
+    }
+
+    #[test]
+    fn diff_matches_finite_differences(
+        // Polynomial-ish trees only: differentiate w.r.t. x away from
+        // conditional discontinuities by using smooth leaves.
+        coeffs in prop::collection::vec(-3i32..4, 1..5),
+        at in -1.5f64..1.5,
+    ) {
+        // Build sum_i c_i x^i.
+        let terms: Vec<ExprRef> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                Expr::mul(vec![
+                    Expr::num(*c as f64),
+                    Expr::pow(Expr::sym("x"), Expr::num(i as f64)),
+                ])
+            })
+            .collect();
+        let e = Expr::add(terms);
+        let de = diff(&e, "x");
+        let h = 1e-5;
+        let f = |x: f64| {
+            let c = ctx([x, 0.0, 0.0, 0.0]);
+            eval(&e, &c).unwrap()
+        };
+        let fd = (f(at + h) - f(at - h)) / (2.0 * h);
+        let analytic = eval(&de, &ctx([at, 0.0, 0.0, 0.0])).unwrap();
+        prop_assert!(
+            (analytic - fd).abs() < 1e-3 * (1.0 + fd.abs()),
+            "analytic {analytic} vs fd {fd}"
+        );
+    }
+
+    #[test]
+    fn node_count_never_grows_pathologically(e in arb_expr()) {
+        // Simplify may reassociate but must not blow up the tree.
+        let s = simplify(&e);
+        prop_assert!(
+            s.node_count() <= 2 * e.node_count() + 4,
+            "{} -> {}", e.node_count(), s.node_count()
+        );
+    }
+}
+
+#[test]
+fn paper_expanded_form_roundtrips() {
+    // The exact style of expanded symbolic form shown in §II of the paper.
+    let src = "-TIMEDERIVATIVE*_u_1 - _k_1*_u_1 - SURFACE*\
+               conditional(_b_1*NORMAL_1 + _b_2*NORMAL_2 > 0, \
+               (_b_1*NORMAL_1 + _b_2*NORMAL_2)*CELL1_u_1, \
+               (_b_1*NORMAL_1 + _b_2*NORMAL_2)*CELL2_u_1)";
+    let e = parse(src).unwrap();
+    let printed = e.to_string();
+    let reparsed = parse(&printed).unwrap();
+    assert!(e.structurally_eq(&reparsed));
+    assert!(Rc::strong_count(&e) >= 1);
+}

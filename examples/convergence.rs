@@ -1,0 +1,76 @@
+//! Grid-convergence study: verification of the generated discretization
+//! against an exact solution.
+//!
+//! Advection with decay, `∂u/∂t = −k·u − ∇·(u b)`, has the exact solution
+//! `u(x, t) = e^{−kt} g(x − b t)` for initial profile `g`. The DSL's
+//! first-order upwind flux must converge at first order in the mesh
+//! spacing; RK2 vs Euler changes the temporal order but the spatial error
+//! dominates here.
+//!
+//! Run: `cargo run --release -p pbte-apps --example convergence`
+
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::{BoundaryCondition, Problem};
+use pbte_mesh::grid::UniformGrid;
+
+const BX: f64 = 0.7;
+const BY: f64 = 0.4;
+const K: f64 = 0.5;
+const T_END: f64 = 0.25;
+
+fn gaussian(x: f64, y: f64) -> f64 {
+    (-120.0 * ((x - 0.3).powi(2) + (y - 0.3).powi(2))).exp()
+}
+
+/// Solve at resolution `n` and return the L1 error against the exact
+/// solution at `T_END`.
+pub fn l1_error(n: usize) -> f64 {
+    // Keep the CFL number fixed across resolutions so the spatial error
+    // dominates (dt ∝ dx).
+    let dt = 0.2 / (n as f64); // CFL ≈ 0.2·|b|
+    let steps = (T_END / dt).round() as usize;
+    let dt = T_END / steps as f64;
+
+    let mut p = Problem::new("convergence");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(n, n, 1.0, 1.0).build());
+    p.set_steps(dt, steps);
+    let u = p.variable("u", &[]);
+    p.coefficient_scalar("k", K);
+    p.vector_coefficient("b", vec![BX, BY]);
+    p.initial(u, |pt, _| gaussian(pt.x, pt.y));
+    for region in ["left", "right", "top", "bottom"] {
+        p.boundary(u, region, BoundaryCondition::Value(0.0));
+    }
+    p.conservation_form(u, "-k*u + surface(upwind(b, u))");
+    let mut solver = p.build(ExecTarget::CpuSeq).expect("valid problem");
+    solver.solve().expect("solve succeeds");
+
+    let fields = solver.fields();
+    let decay = (-K * T_END).exp();
+    let mut err = 0.0;
+    for j in 0..n {
+        for i in 0..n {
+            let x = (i as f64 + 0.5) / n as f64;
+            let y = (j as f64 + 0.5) / n as f64;
+            let exact = decay * gaussian(x - BX * T_END, y - BY * T_END);
+            err += (fields.value(0, j * n + i, 0) - exact).abs();
+        }
+    }
+    err / (n * n) as f64
+}
+
+fn main() {
+    println!("grid-convergence study: advection + decay vs the exact solution\n");
+    println!("{:>6}  {:>14}  {:>10}", "n", "L1 error", "order");
+    let mut previous: Option<f64> = None;
+    for n in [16usize, 32, 64, 128] {
+        let e = l1_error(n);
+        match previous {
+            Some(prev) => println!("{n:>6}  {e:>14.6e}  {:>10.2}", (prev / e).log2()),
+            None => println!("{n:>6}  {e:>14.6e}  {:>10}", "—"),
+        }
+        previous = Some(e);
+    }
+    println!("\nfirst-order upwind: observed order ≈ 1, as generated.");
+}

@@ -1,0 +1,136 @@
+//! The paper's headline quantitative claims, checked against the figure
+//! model at the true headline workload (120×120 cells, 20 directions,
+//! 55 groups, 100 steps) with the documented nominal calibration.
+//!
+//! The figure binaries re-derive everything with freshly *measured*
+//! calibration; these tests pin the claims' robustness to the documented
+//! constants so a model regression cannot slip in silently.
+
+use pbte_bench::figures;
+use pbte_bench::{Calibration, FigureModel, Workload};
+
+fn model() -> FigureModel {
+    FigureModel::new(Workload::headline(), Calibration::nominal())
+}
+
+#[test]
+fn intensity_dominates_the_sequential_run() {
+    // §III-C / Fig 5: "For one to ten processes it accounts for about
+    // 97%". Our temperature update is relatively costlier (its Newton
+    // path does more table work than the paper's), so the share runs a
+    // few points lower at 10 processes — the dominance claim is what we
+    // pin.
+    let m = model();
+    let (at_1, _, _) = m.band_parallel(1).percentages();
+    assert!(at_1 > 93.0, "intensity share at 1 process: {at_1:.1}%");
+    for p in [5, 10] {
+        let (intensity, _, _) = m.band_parallel(p).percentages();
+        assert!(
+            intensity > 80.0,
+            "intensity share at {p} processes: {intensity:.1}%"
+        );
+    }
+}
+
+#[test]
+fn intensity_share_falls_toward_the_band_limit() {
+    // Fig 5: "even at 55 it takes about 73%" — the share must fall
+    // substantially (our temperature update is relatively costlier, so the
+    // exact level differs; the trend is the claim).
+    let m = model();
+    let (at_1, _, _) = m.band_parallel(1).percentages();
+    let (at_55, temp_55, _) = m.band_parallel(55).percentages();
+    assert!(at_55 < at_1 - 15.0, "{at_1:.1}% → {at_55:.1}%");
+    assert!(temp_55 > 10.0, "the temperature update grows in share");
+}
+
+#[test]
+fn both_cpu_strategies_scale_and_cells_go_further() {
+    // Fig 4: band-parallel tracks ideal to its 55-band limit; cell
+    // partitioning "was able to scale well up to 320 processes".
+    let m = model();
+    let t1 = m.band_parallel(1).total();
+    let band_55 = m.band_parallel(55).total();
+    assert!(band_55 < t1 / 20.0, "band-parallel at 55: {band_55}");
+    let cells_320 = m.cell_parallel(320).total();
+    assert!(cells_320 < t1 / 150.0, "cell-parallel at 320: {cells_320}");
+    assert!(cells_320 < band_55, "cells scale past the band limit");
+}
+
+#[test]
+fn gpu_speedup_is_of_order_eighteen() {
+    // §Abstract / Fig 7: "around 18X compared to a CPU-only version
+    // produced by this same DSL" at equal partition counts.
+    let m = model();
+    for p in [1, 5, 10] {
+        let s = m.gpu_speedup(p);
+        assert!(
+            (6.0..60.0).contains(&s),
+            "GPU speedup at {p} partitions: {s:.1}x (order of the paper's 18x)"
+        );
+    }
+}
+
+#[test]
+fn gpu_breakdown_shifts_to_the_cpu_temperature_update() {
+    // Fig 8 vs Fig 5: "a substantially larger percentage of time spent on
+    // the temperature update", communication "not very significant".
+    let m = model();
+    let (_, temp_cpu, _) = m.band_parallel(1).percentages();
+    let (_, temp_gpu, comm_gpu) = m.gpu_hybrid(1).percentages();
+    assert!(temp_gpu > 3.0 * temp_cpu, "{temp_cpu:.1}% → {temp_gpu:.1}%");
+    assert!(
+        comm_gpu < 35.0,
+        "GPU↔host communication stays minor: {comm_gpu:.1}%"
+    );
+}
+
+#[test]
+fn hand_written_code_wins_sequentially_but_scales_worse() {
+    // Fig 9: "sequential execution of our code takes roughly twice as long
+    // as the Fortran code" (our interpreted-plan substitute lands at
+    // 2–6x), and "the relatively poor scaling of the Fortran code ...
+    // becomes increasingly significant at higher process counts".
+    let m = model();
+    let ratio = m.band_parallel(1).total() / m.fortran(1).total();
+    assert!(
+        (1.5..8.0).contains(&ratio),
+        "sequential DSL/hand-written ratio: {ratio:.2}"
+    );
+    let dsl_scaling = m.band_parallel(1).total() / m.band_parallel(55).total();
+    let fortran_scaling = m.fortran(1).total() / m.fortran(55).total();
+    assert!(
+        dsl_scaling > 2.0 * fortran_scaling,
+        "DSL self-speedup {dsl_scaling:.1}x vs hand-written {fortran_scaling:.1}x"
+    );
+}
+
+#[test]
+fn equation_partitioning_communicates_much_less() {
+    // Fig 3: the halo volume dwarfs the reduction volume, increasingly so
+    // with more partitions.
+    let m = model();
+    let ratio_at =
+        |p: usize| m.work.halo_bytes_per_step(p) as f64 / m.work.band_bytes_per_step(p) as f64;
+    assert!(ratio_at(5) > 10.0);
+    assert!(ratio_at(40) > ratio_at(5), "the gap widens with partitions");
+}
+
+#[test]
+fn figure_series_are_well_formed() {
+    let m = model();
+    for series in figures::fig9(&m) {
+        assert!(!series.points.is_empty(), "{} is empty", series.label);
+        for (p, t) in &series.points {
+            assert!(
+                *p >= 1 && t.is_finite() && *t > 0.0,
+                "{}: ({p}, {t})",
+                series.label
+            );
+        }
+    }
+    for col in figures::fig5(&m) {
+        let sum = col.intensity_pct + col.temperature_pct + col.communication_pct;
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+}
