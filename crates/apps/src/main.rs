@@ -2,7 +2,7 @@
 //! inspection.
 //!
 //! ```text
-//! pbte hotspot   [n=48] [steps=2000] [dirs=8] [bands=10] [target=par]
+//! pbte hotspot   [n=48] [steps=2000] [dirs=8] [bands=10] [target=par] [strategy=redundant]
 //! pbte elongated [n=24] [steps=3000] [target=par]
 //! pbte bte3d     [n=8]  [steps=400]
 //! pbte codegen   [target=seq|par|gpu|cells:<ranks>|bands:<ranks>]
@@ -11,10 +11,14 @@
 //!
 //! `target` values: `seq`, `par` (threads), `gpu` (hybrid, simulated
 //! A6000), `cells:<r>` / `bands:<r>` (distributed ranks).
+//! `strategy` values (2-D scenarios, effective under `bands:<r>`):
+//! `redundant` (every rank solves all cells, the paper's behaviour) or
+//! `divided` (per-rank cell slices plus a second T-allreduce).
 
 use pbte_apps::arg_usize;
 use pbte_bte::output::{render_ascii, summary, temperature_grid};
 use pbte_bte::scenario::{coarse_3d, elongated, hotspot_2d, BteConfig};
+use pbte_bte::temperature::TemperatureStrategy;
 use pbte_dsl::exec::ExecTarget;
 use pbte_dsl::GpuStrategy;
 use pbte_gpu::DeviceSpec;
@@ -49,12 +53,28 @@ fn parse_target(args: &[String]) -> ExecTarget {
     }
 }
 
+fn parse_strategy(args: &[String]) -> TemperatureStrategy {
+    match args
+        .iter()
+        .find_map(|a| a.strip_prefix("strategy="))
+        .unwrap_or("redundant")
+    {
+        "redundant" => TemperatureStrategy::RedundantNewton,
+        "divided" => TemperatureStrategy::DividedNewton,
+        other => {
+            eprintln!("unknown strategy `{other}`; using redundant");
+            TemperatureStrategy::RedundantNewton
+        }
+    }
+}
+
 fn cfg_from(args: &[String], default_n: usize, default_steps: usize) -> BteConfig {
     let n = arg_usize(args, "n", default_n);
     let steps = arg_usize(args, "steps", default_steps);
     let dirs = arg_usize(args, "dirs", 8);
     let bands = arg_usize(args, "bands", 10);
-    let mut cfg = BteConfig::small(n, dirs, bands, steps);
+    let mut cfg =
+        BteConfig::small(n, dirs, bands, steps).with_temperature_strategy(parse_strategy(args));
     cfg.hot_width = 50e-6;
     cfg
 }
@@ -72,6 +92,10 @@ fn run_2d(bte: pbte_bte::scenario::BteProblem, target: ExecTarget, nx: usize, ny
     println!(
         "{} steps, {:.1} s wall, {} dof updates, comm {} B",
         report.steps, wall, report.work.dof_updates, report.comm.bytes
+    );
+    println!(
+        "temperature: {} solves, {} newton iters",
+        report.work.temperature_solves, report.work.newton_iters
     );
     println!("\nphase breakdown:\n{}", report.timer.breakdown().render());
 }
@@ -166,8 +190,9 @@ fn main() {
         _ => {
             println!(
                 "usage: pbte <hotspot|elongated|bte3d|codegen|info> [key=value ...]\n\
-                 keys: n, steps, dirs, bands, target\n\
-                 targets: seq | par | gpu | cells:<ranks> | bands:<ranks>"
+                 keys: n, steps, dirs, bands, target, strategy\n\
+                 targets: seq | par | gpu | cells:<ranks> | bands:<ranks>\n\
+                 strategies (temperature Newton under bands:<ranks>): redundant | divided"
             );
         }
     }

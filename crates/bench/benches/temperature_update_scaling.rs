@@ -1,0 +1,155 @@
+//! Scaling behaviour of the post-step temperature update.
+//!
+//! Two questions, matching the two halves of the parallel-temperature
+//! work:
+//!
+//! 1. **Threading** — the same full update at 1, 2, and 4 rayon threads
+//!    (`serial` is the `threads == 1` fast path, no pool involved). On a
+//!    multi-core host the threaded rows shrink with the thread count; on
+//!    a single-core host (like CI containers) they measure only the
+//!    chunking overhead. No timing assertions are made anywhere — the
+//!    numbers are for eyeballing; correctness (bit-identity to serial)
+//!    is covered by `tests/integration.rs`.
+//! 2. **Newton strategy** — per-rank work of one band-partitioned rank
+//!    out of 4 under `RedundantNewton` (solves all cells, the paper's
+//!    behaviour) vs `DividedNewton` (solves `n_cells/4`). The reducer is
+//!    a no-op stand-in, so this isolates compute; the communication side
+//!    of the trade lives in the α–β model (`FigureModel`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_bte::temperature::{TemperatureStrategy, TemperatureUpdate};
+use pbte_dsl::exec::CompiledProblem;
+use pbte_dsl::problem::{Reducer, StepContext};
+use pbte_dsl::Fields;
+use std::hint::black_box;
+
+/// Stand-in for one rank of a band-partitioned world: reductions are
+/// no-ops (compute-only measurement), rank/size drive the cell slicing.
+struct FakeRank {
+    rank: usize,
+    n_ranks: usize,
+}
+
+impl Reducer for FakeRank {
+    fn allreduce_sum(&mut self, _buf: &mut [f64]) {}
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+}
+
+struct Setup {
+    cp: CompiledProblem,
+    fields: Fields,
+    upd: TemperatureUpdate,
+}
+
+fn setup() -> Setup {
+    let cfg = BteConfig::small(24, 8, 10, 1);
+    let bte = hotspot_2d(&cfg);
+    let material = bte.material.clone();
+    let vars = bte.vars;
+    let (cp, fields) = CompiledProblem::compile(bte.problem).expect("compiles");
+    Setup {
+        cp,
+        fields,
+        upd: TemperatureUpdate::new(material, vars),
+    }
+}
+
+/// One full update on a fields clone, with an explicit thread capability
+/// and ownership/reducer configuration.
+#[allow(clippy::too_many_arguments)]
+fn run_update(
+    s: &Setup,
+    fields: &mut Fields,
+    threads: usize,
+    owned_bands: Option<std::ops::Range<usize>>,
+    reducer: &mut dyn Reducer,
+    strategy: TemperatureStrategy,
+) {
+    let upd = s.upd.clone().with_strategy(strategy);
+    let mut ctx = StepContext {
+        fields,
+        mesh: s.cp.mesh(),
+        time: 0.0,
+        step: 0,
+        owned_index_range: owned_bands.map(|r| ("b".to_string(), r)),
+        owned_cells: None,
+        reducer,
+        threads,
+        work: Default::default(),
+    };
+    upd.run(&mut ctx);
+    black_box(ctx.work);
+}
+
+fn bench_threading(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("temperature_update");
+    group.sample_size(20);
+    group.bench_function("serial", |b| {
+        let mut reducer = pbte_dsl::problem::LocalReducer;
+        b.iter_batched(
+            || s.fields.clone(),
+            |mut f| run_update(&s, &mut f, 1, None, &mut reducer, Default::default()),
+            BatchSize::LargeInput,
+        )
+    });
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(&format!("threaded_x{threads}"), |b| {
+            let mut reducer = pbte_dsl::problem::LocalReducer;
+            b.iter_batched(
+                || s.fields.clone(),
+                |mut f| {
+                    pool.install(|| {
+                        // threads.max(2) forces the chunked code path even
+                        // for the x1 row, so x1 vs serial shows the pure
+                        // chunking overhead.
+                        let t = threads.max(2).min(pool.current_num_threads().max(2));
+                        run_update(&s, &mut f, t, None, &mut reducer, Default::default())
+                    })
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_newton_strategy(c: &mut Criterion) {
+    let s = setup();
+    let n_bands = s.upd.material.n_bands();
+    let p = 4;
+    let owned = 0..n_bands.div_ceil(p);
+    let mut group = c.benchmark_group("newton_strategy_rank0_of_4");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("redundant", TemperatureStrategy::RedundantNewton),
+        ("divided", TemperatureStrategy::DividedNewton),
+    ] {
+        let owned = owned.clone();
+        group.bench_function(name, |b| {
+            let mut reducer = FakeRank {
+                rank: 0,
+                n_ranks: p,
+            };
+            b.iter_batched(
+                || s.fields.clone(),
+                |mut f| run_update(&s, &mut f, 1, Some(owned.clone()), &mut reducer, strategy),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threading, bench_newton_strategy);
+criterion_main!(benches);

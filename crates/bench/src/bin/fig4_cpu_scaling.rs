@@ -29,6 +29,13 @@ fn main() {
         "cell-parallel scales past the band limit: {}",
         cells.last().unwrap().1 < bands.last().unwrap().1
     );
+    let divided = &series.last().unwrap().points;
+    println!(
+        "divided-Newton gain at 55 procs      : {:.2}x (redundant {:.2} s -> divided {:.2} s)",
+        bands.last().unwrap().1 / divided.last().unwrap().1,
+        bands.last().unwrap().1,
+        divided.last().unwrap().1
+    );
     match save_json("fig4", &series) {
         Ok(p) => println!("json: {}", p.display()),
         Err(e) => eprintln!("could not write json: {e}"),

@@ -6,7 +6,7 @@
 //! temperature update and communication grow in relative terms — the
 //! observation that motivates the GPU offload of §III-D.
 
-use pbte_bench::figures::{fig5, headline_model, render_breakdown, save_json};
+use pbte_bench::figures::{fig5, fig5_divided, headline_model, render_breakdown, save_json};
 
 fn main() {
     let model = headline_model();
@@ -25,7 +25,29 @@ fn main() {
         "intensity share: {:.1}% at 1 process -> {:.1}% at {} processes",
         first.intensity_pct, last.intensity_pct, last.processes
     );
+
+    // Companion: the same breakdown with the divided Newton phase
+    // (TemperatureStrategy::DividedNewton) — the growth of the
+    // temperature share, the figure's headline observation, disappears.
+    let divided = fig5_divided(&model);
+    println!("\nFig 5 companion — divided-Newton temperature update");
+    println!(
+        "{}",
+        render_breakdown(
+            &divided,
+            ("solve for intensity", "temperature update", "communication")
+        )
+    );
+    let dlast = divided.last().expect("at least one column");
+    println!(
+        "temperature share at {} processes: {:.1}% redundant -> {:.1}% divided",
+        last.processes, last.temperature_pct, dlast.temperature_pct
+    );
     match save_json("fig5", &cols) {
+        Ok(p) => println!("json: {}", p.display()),
+        Err(e) => eprintln!("could not write json: {e}"),
+    }
+    match save_json("fig5_divided", &divided) {
         Ok(p) => println!("json: {}", p.display()),
         Err(e) => eprintln!("could not write json: {e}"),
     }

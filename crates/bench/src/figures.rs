@@ -86,6 +86,16 @@ pub fn fig4(model: &FigureModel) -> Vec<ScalingSeries> {
             label: "ideal scaling".into(),
             points: CPU_COUNTS.iter().map(|&p| (p, model.ideal(p))).collect(),
         },
+        // Appended last so existing positional consumers (the fig4/fig9
+        // binaries, fig9's inserts) keep their indices.
+        ScalingSeries {
+            label: "parallel bands (divided T)".into(),
+            points: BAND_COUNTS
+                .iter()
+                .filter(|&&p| p <= model.work.n_bands)
+                .map(|&p| (p, model.band_parallel_divided(p).total()))
+                .collect(),
+        },
     ]
 }
 
@@ -95,6 +105,17 @@ pub fn fig5(model: &FigureModel) -> Vec<BreakdownColumn> {
         .iter()
         .filter(|&&p| p <= model.work.n_bands)
         .map(|&p| column(p, model.band_parallel(p)))
+        .collect()
+}
+
+/// Fig 5 companion: the same breakdown under
+/// `TemperatureStrategy::DividedNewton` — the temperature share stays flat
+/// instead of growing with the process count.
+pub fn fig5_divided(model: &FigureModel) -> Vec<BreakdownColumn> {
+    FIG5_COUNTS
+        .iter()
+        .filter(|&&p| p <= model.work.n_bands)
+        .map(|&p| column(p, model.band_parallel_divided(p)))
         .collect()
 }
 
@@ -269,6 +290,33 @@ mod tests {
         let cells = &fig4(&m)[1];
         assert_eq!(cells.label, "parallel cells");
         assert!(cells.points.last().unwrap().1 < cells.points[0].1 / 10.0);
+    }
+
+    #[test]
+    fn fig4_divided_series_is_appended_and_never_slower() {
+        let m = model();
+        let series = fig4(&m);
+        let divided = series.last().unwrap();
+        assert_eq!(divided.label, "parallel bands (divided T)");
+        let redundant = &series[0];
+        assert_eq!(redundant.label, "parallel bands");
+        for ((p, d), (q, r)) in divided.points.iter().zip(&redundant.points) {
+            assert_eq!(p, q);
+            // Saved redundant Newton time dwarfs the extra allreduce at
+            // every count (equal at p = 1).
+            assert!(*d <= r * (1.0 + 1e-12), "p={p}: divided {d} vs {r}");
+        }
+    }
+
+    #[test]
+    fn fig5_divided_temperature_share_stays_flat() {
+        let m = model();
+        let redundant = fig5(&m);
+        let divided = fig5_divided(&m);
+        let last = divided.len() - 1;
+        // Under redundant Newton the temperature share grows with p; the
+        // divided mode keeps it near the single-rank share.
+        assert!(redundant[last].temperature_pct > 2.0 * divided[last].temperature_pct);
     }
 
     #[test]

@@ -75,6 +75,15 @@ impl FigureModel {
         w.n_cells as f64 * (self.calib.c_temp_energy / p as f64 + self.calib.c_temp_newton)
     }
 
+    /// The divided-Newton variant (`TemperatureStrategy::DividedNewton`):
+    /// each rank solves only `n_cells/p` cells, so the Newton term divides
+    /// by `p` too. The price is a second allreduce per step (the shared
+    /// `T` field), charged by the callers.
+    fn band_temp_step_divided(&self, p: usize) -> f64 {
+        let w = &self.work;
+        w.n_cells as f64 * (self.calib.c_temp_energy + self.calib.c_temp_newton) / p as f64
+    }
+
     /// Band-parallel CPU strategy (Fig 4 circles, Fig 5): every rank owns
     /// all cells for a slice of the bands; the temperature update reduces
     /// one energy scalar per cell across ranks.
@@ -87,6 +96,30 @@ impl FigureModel {
         let temperature = self.steps() * self.band_temp_step(p);
         let comm = CommModel::new(self.machine.clone(), p);
         let communication = self.steps() * comm.allreduce(w.n_cells * 8);
+        PhasedTime {
+            intensity,
+            temperature,
+            communication,
+        }
+    }
+
+    /// Band-parallel CPU strategy with the divided Newton phase: same
+    /// intensity work as [`band_parallel`](Self::band_parallel), the
+    /// temperature term divides fully by `p`, and the communication
+    /// doubles (energy allreduce + `T` allreduce, both `n_cells` doubles).
+    /// Crosses over [`band_parallel`](Self::band_parallel) once the saved
+    /// redundant Newton time `n_cells·c_temp_newton·(1 − 1/p)` exceeds one
+    /// extra allreduce — i.e. almost immediately for the paper's cell
+    /// counts.
+    pub fn band_parallel_divided(&self, p: usize) -> PhasedTime {
+        assert!(p >= 1 && p <= self.work.n_bands, "1 ≤ p ≤ n_bands");
+        let w = &self.work;
+        let flats = w.max_bands(p) * w.n_dirs;
+        let intensity = self.steps()
+            * (flats as f64 * w.n_cells as f64 * self.calib.c_dsl + self.ghost_time(flats));
+        let temperature = self.steps() * self.band_temp_step_divided(p);
+        let comm = CommModel::new(self.machine.clone(), p);
+        let communication = self.steps() * 2.0 * comm.allreduce(w.n_cells * 8);
         PhasedTime {
             intensity,
             temperature,
@@ -219,6 +252,29 @@ mod tests {
         assert!(t8 < t4);
         // Efficiency stays within 2x of ideal at the band limit.
         assert!(t8 < 2.0 * t1 / 8.0);
+    }
+
+    #[test]
+    fn divided_newton_matches_redundant_at_one_rank() {
+        // With one rank there is no redundancy to remove and no extra
+        // reduction round: the two strategies are the same formula.
+        let m = model();
+        let r = m.band_parallel(1);
+        let d = m.band_parallel_divided(1);
+        assert!((r.total() - d.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divided_newton_beats_redundant_at_scale() {
+        let m = model();
+        let r8 = m.band_parallel(8);
+        let d8 = m.band_parallel_divided(8);
+        // The temperature phase now divides fully by p...
+        assert!(d8.temperature < r8.temperature / 2.0);
+        // ...at the price of a second allreduce per step...
+        assert!(d8.communication > r8.communication);
+        // ...which is a clear win at the paper's cell counts.
+        assert!(d8.total() < r8.total());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::boundary::{gaussian_wall, isothermal, symmetry};
 use crate::material::Material;
-use crate::temperature::{BteVars, TemperatureUpdate};
+use crate::temperature::{BteVars, TemperatureStrategy, TemperatureUpdate};
 use pbte_dsl::exec::{ExecTarget, Solver};
 use pbte_dsl::problem::{DslError, Problem, SolverType, TimeStepper};
 use pbte_mesh::grid::UniformGrid;
@@ -33,6 +33,9 @@ pub struct BteConfig {
     pub t_hot: f64,
     /// Hot-spot 1/e² radius, m.
     pub hot_width: f64,
+    /// Newton distribution of the post-step temperature update under band
+    /// partitioning (see [`TemperatureStrategy`]).
+    pub temperature_strategy: TemperatureStrategy,
 }
 
 impl BteConfig {
@@ -58,6 +61,7 @@ impl BteConfig {
             t_ref: 300.0,
             t_hot: 350.0,
             hot_width: 10e-6,
+            temperature_strategy: TemperatureStrategy::RedundantNewton,
         }
     }
 
@@ -76,7 +80,14 @@ impl BteConfig {
             t_ref: 300.0,
             t_hot: 350.0,
             hot_width: 50e-6,
+            temperature_strategy: TemperatureStrategy::RedundantNewton,
         }
+    }
+
+    /// Same configuration with a different temperature strategy.
+    pub fn with_temperature_strategy(mut self, strategy: TemperatureStrategy) -> BteConfig {
+        self.temperature_strategy = strategy;
+        self
     }
 
     /// Degrees of freedom per cell and total.
@@ -177,7 +188,9 @@ fn build_2d(
         beta: beta_var,
         t: t_var,
     };
-    TemperatureUpdate::new(material.clone(), vars).install(&mut p);
+    TemperatureUpdate::new(material.clone(), vars)
+        .with_strategy(cfg.temperature_strategy)
+        .install(&mut p);
 
     // The conservation form — verbatim from the paper.
     p.conservation_form(

@@ -17,14 +17,26 @@
 //! partitioning every rank computes the partial energy
 //! `S_part = Σ_{b owned} β_b Σ_d w_d I` for every cell and a single
 //! per-cell allreduce produces the full sum (the *only* communication of
-//! the band-parallel strategy, Fig 3 bottom). The rates `β_b(T_old)` for
-//! *all* bands are recomputed locally from the index-free `T` field, so
-//! every rank solves the identical Newton problem and writes only its
-//! owned bands of `Io`/`beta`. Under cell partitioning each rank updates
-//! its owned cells and no reduction is needed.
+//! the band-parallel strategy, Fig 3 bottom). What happens next is the
+//! [`TemperatureStrategy`] choice: the paper-faithful
+//! [`RedundantNewton`](TemperatureStrategy::RedundantNewton) mode solves
+//! the identical Newton problem on every rank, while
+//! [`DividedNewton`](TemperatureStrategy::DividedNewton) divides the cells
+//! over ranks and shares `T` with a second allreduce. Under cell
+//! partitioning each rank updates its owned cells and no reduction is
+//! needed.
+//!
+//! **Threading.** The update reads `ctx.threads` — the parallelism the
+//! executor makes available to callbacks. With more than one thread every
+//! phase parallelizes with rayon over disjoint regions (band rows of the
+//! energy accumulator, cell chunks of the Newton solves, band rows of the
+//! `Io`/`beta` rewrites), with per-item arithmetic identical to the serial
+//! loops, so the result is bit-identical at any thread count.
 
 use crate::material::Material;
 use pbte_dsl::problem::{Problem, StepContext};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Handle to the BTE variables inside the DSL problem.
@@ -36,6 +48,28 @@ pub struct BteVars {
     pub t: usize,
 }
 
+/// How the per-cell Newton solves are distributed under band partitioning
+/// (irrelevant on undistributed and cell-partitioned targets, where each
+/// cell is solved exactly once regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TemperatureStrategy {
+    /// Every rank solves all cells (the paper's behaviour, and the reason
+    /// Fig 5's temperature share grows with process count): each rank
+    /// needs the new `T` to rewrite its owned bands' `Io`/`beta`, and
+    /// recomputing it avoids a second allreduce. One allreduce per step
+    /// (the energy sum).
+    #[default]
+    RedundantNewton,
+    /// Each rank solves a contiguous `n_cells/ranks` slice of cells and a
+    /// second allreduce shares the `T` field. Exact, not approximate:
+    /// every `T` slot is nonzero on exactly one rank, so the sum is
+    /// `t + 0 + … + 0`, and the runtime's allreduce (reduce-to-root in
+    /// rank order, then broadcast) hands every rank identical bytes.
+    /// Per-rank Newton work drops from `n_cells` to `~n_cells/ranks` at
+    /// the cost of `n_cells·8` more allreduce bytes per step.
+    DividedNewton,
+}
+
 /// Configuration of the update.
 #[derive(Debug, Clone)]
 pub struct TemperatureUpdate {
@@ -45,6 +79,8 @@ pub struct TemperatureUpdate {
     pub tol: f64,
     /// Iteration cap before declaring failure.
     pub max_iter: usize,
+    /// Newton distribution under band partitioning.
+    pub strategy: TemperatureStrategy,
 }
 
 impl TemperatureUpdate {
@@ -55,7 +91,14 @@ impl TemperatureUpdate {
             vars,
             tol: 1e-9,
             max_iter: 50,
+            strategy: TemperatureStrategy::default(),
         }
+    }
+
+    /// Select the Newton distribution strategy.
+    pub fn with_strategy(mut self, strategy: TemperatureStrategy) -> TemperatureUpdate {
+        self.strategy = strategy;
+        self
     }
 
     /// Register as the problem's post-step function
@@ -71,6 +114,7 @@ impl TemperatureUpdate {
         let n_dirs = material.n_dirs();
         let n_cells = ctx.fields.n_cells;
         let weights = &material.angles.weights;
+        let threads = ctx.threads.max(1);
 
         // Ownership: a band range under band partitioning, a cell list
         // under cell partitioning, everything otherwise.
@@ -82,47 +126,22 @@ impl TemperatureUpdate {
             None => 0..n_bands,
         };
         let banded = ctx.owned_index_range.is_some();
-        let cells: Vec<usize> = match ctx.owned_cells {
-            Some(c) => c.to_vec(),
-            None => (0..n_cells).collect(),
-        };
 
         // Phase 1: partial energy-weighted intensity sums. Swept
         // plane-by-plane (fixed (d, b), streaming over cells) so the big
         // intensity array is read sequentially; the per-band energy
         // accumulator E is the only strided structure and it stays
         // cache-resident. A cells-outer gather here would cache-miss once
-        // per (d, b) per cell and dominate the whole update.
-        let mut beta_all = vec![0.0; n_bands];
+        // per (d, b) per cell and dominate the whole update. Threaded:
+        // band rows of E are disjoint, cell chunks of `s` are disjoint.
         let mut s = vec![0.0; n_cells];
-        if ctx.owned_cells.is_none() {
-            // All cells owned: sweep plane-by-plane into E[b][cell].
-            let n_owned = owned_b.len();
-            let mut energy = vec![0.0; n_owned * n_cells];
-            let i_slice = ctx.fields.slice(self.vars.i);
-            for (k, b) in owned_b.clone().enumerate() {
-                let e_row = &mut energy[k * n_cells..(k + 1) * n_cells];
-                for d in 0..n_dirs {
-                    let w = weights[d];
-                    let plane = &i_slice[(d * n_bands + b) * n_cells..][..n_cells];
-                    for (e, &v) in e_row.iter_mut().zip(plane) {
-                        *e += w * v;
-                    }
-                }
-            }
-            for &cell in &cells {
-                let t_old = ctx.fields.value(self.vars.t, cell, 0);
-                material.beta_all(t_old, &mut beta_all);
-                let mut acc = 0.0;
-                for (k, b) in owned_b.clone().enumerate() {
-                    acc += beta_all[b] * energy[k * n_cells + cell];
-                }
-                s[cell] = acc;
-            }
-        } else {
+        if let Some(owned) = ctx.owned_cells {
             // Cell-partitioned: full-grid sweeps would do p times the
-            // work; gather per owned cell instead.
-            for &cell in &cells {
+            // work; gather per owned cell instead. Per-rank distributed
+            // targets are serial (threads == 1), so this stays a plain
+            // loop.
+            let mut beta_all = vec![0.0; n_bands];
+            for &cell in owned {
                 let t_old = ctx.fields.value(self.vars.t, cell, 0);
                 material.beta_all(t_old, &mut beta_all);
                 let mut acc = 0.0;
@@ -136,6 +155,55 @@ impl TemperatureUpdate {
                 }
                 s[cell] = acc;
             }
+        } else {
+            // All cells owned: sweep plane-by-plane into E[b][cell].
+            let n_owned = owned_b.len();
+            let mut energy = vec![0.0; n_owned * n_cells];
+            let i_slice = ctx.fields.slice(self.vars.i);
+            let accumulate_row = |k: usize, e_row: &mut [f64]| {
+                let b = owned_b.start + k;
+                for d in 0..n_dirs {
+                    let w = weights[d];
+                    let plane = &i_slice[(d * n_bands + b) * n_cells..][..n_cells];
+                    for (e, &v) in e_row.iter_mut().zip(plane) {
+                        *e += w * v;
+                    }
+                }
+            };
+            if threads > 1 {
+                energy
+                    .par_chunks_mut(n_cells)
+                    .enumerate()
+                    .for_each(|(k, e_row)| accumulate_row(k, e_row));
+            } else {
+                for (k, e_row) in energy.chunks_mut(n_cells).enumerate() {
+                    accumulate_row(k, e_row);
+                }
+            }
+            let t_slice = ctx.fields.slice(self.vars.t);
+            let gather_s = |base: usize, s_chunk: &mut [f64], beta_all: &mut [f64]| {
+                for (off, sv) in s_chunk.iter_mut().enumerate() {
+                    let cell = base + off;
+                    material.beta_all(t_slice[cell], beta_all);
+                    let mut acc = 0.0;
+                    for (k, b) in owned_b.clone().enumerate() {
+                        acc += beta_all[b] * energy[k * n_cells + cell];
+                    }
+                    *sv = acc;
+                }
+            };
+            if threads > 1 {
+                let chunk = n_cells.div_ceil(threads).max(1);
+                s.par_chunks_mut(chunk)
+                    .enumerate()
+                    .for_each(|(ci, s_chunk)| {
+                        let mut beta_all = vec![0.0; n_bands];
+                        gather_s(ci * chunk, s_chunk, &mut beta_all);
+                    });
+            } else {
+                let mut beta_all = vec![0.0; n_bands];
+                gather_s(0, &mut s, &mut beta_all);
+            }
         }
 
         // Phase 2: the band-parallel reduction (Fig 3, bottom).
@@ -145,41 +213,135 @@ impl TemperatureUpdate {
 
         // Phase 3: per-cell Newton solve and rewrite of Io/beta. Under
         // band partitioning the energy accumulation above divided over
-        // bands (the scalable part), but the Newton solves run
-        // *redundantly on every rank* — each rank needs the new T to
-        // rewrite its own bands' Io/beta, and shipping T instead of
-        // recomputing it trades a second allreduce for the solve. This is
-        // the behaviour the paper's Fig 5 shows (the temperature update's
-        // share grows with process count); dividing the solves over cells
-        // plus a T-allreduce is the natural future optimization.
+        // bands (the scalable part); what the Newton solves do is the
+        // strategy choice:
+        //
+        // * `RedundantNewton` — every rank solves all cells. This is the
+        //   paper's configuration and the cause of Fig 5's growing
+        //   temperature share: per-rank Newton work is constant in the
+        //   rank count.
+        // * `DividedNewton` — each rank solves its contiguous slice of
+        //   cells into an otherwise-zero `T` buffer, and one extra
+        //   allreduce reassembles the full field exactly (each slot is
+        //   `t + 0 + … + 0`; the runtime's reduce-then-broadcast hands all
+        //   ranks identical bytes). Per-rank solves drop to
+        //   `~n_cells/ranks`; the α–β model's `band_temp_step_divided`
+        //   (crates/bench) prices the trade against the doubled reduction.
+        let divided = self.strategy == TemperatureStrategy::DividedNewton
+            && banded
+            && ctx.owned_cells.is_none();
         let mut t_new_of = vec![0.0; n_cells];
-        for &cell in &cells {
-            let t_old = ctx.fields.value(self.vars.t, cell, 0);
-            material.beta_all(t_old, &mut beta_all);
-            let t_new = self.solve(&beta_all, s[cell], t_old);
-            t_new_of[cell] = t_new;
-            ctx.fields.set(self.vars.t, cell, 0, t_new);
+        let mut newton_iters: u64 = 0;
+        let mut solves: u64 = 0;
+
+        if let Some(owned) = ctx.owned_cells {
+            // Cell-partitioned: only owned cells are solved; no strategy
+            // choice applies (each cell already lives on one rank).
+            let mut beta_all = vec![0.0; n_bands];
+            for &cell in owned {
+                let t_old = ctx.fields.value(self.vars.t, cell, 0);
+                material.beta_all(t_old, &mut beta_all);
+                let (t_new, it) = self.solve_counted(&beta_all, s[cell], t_old);
+                newton_iters += it as u64;
+                t_new_of[cell] = t_new;
+                ctx.fields.set(self.vars.t, cell, 0, t_new);
+            }
+            solves += owned.len() as u64;
+        } else {
+            let (solve_start, solve_end) = if divided {
+                let r = ctx.reducer.rank();
+                let p = ctx.reducer.n_ranks().max(1);
+                (n_cells * r / p, n_cells * (r + 1) / p)
+            } else {
+                (0, n_cells)
+            };
+            let t_slice = ctx.fields.slice(self.vars.t);
+            let solve_chunk = |base: usize, out: &mut [f64], beta_all: &mut [f64]| -> u64 {
+                let mut iters = 0u64;
+                for (off, tv) in out.iter_mut().enumerate() {
+                    let cell = base + off;
+                    let t_old = t_slice[cell];
+                    material.beta_all(t_old, beta_all);
+                    let (t_new, it) = self.solve_counted(beta_all, s[cell], t_old);
+                    iters += it as u64;
+                    *tv = t_new;
+                }
+                iters
+            };
+            let span = solve_end - solve_start;
+            if threads > 1 && span > 0 {
+                let total_iters = AtomicU64::new(0);
+                let chunk = span.div_ceil(threads).max(1);
+                t_new_of[solve_start..solve_end]
+                    .par_chunks_mut(chunk)
+                    .enumerate()
+                    .for_each(|(ci, out)| {
+                        let mut beta_all = vec![0.0; n_bands];
+                        let iters = solve_chunk(solve_start + ci * chunk, out, &mut beta_all);
+                        total_iters.fetch_add(iters, Ordering::Relaxed);
+                    });
+                newton_iters += total_iters.into_inner();
+            } else {
+                let mut beta_all = vec![0.0; n_bands];
+                newton_iters += solve_chunk(
+                    solve_start,
+                    &mut t_new_of[solve_start..solve_end],
+                    &mut beta_all,
+                );
+            }
+            solves += span as u64;
+            if divided {
+                // Reassemble the full T field: t + 0 + … + 0 per slot.
+                ctx.reducer.allreduce_sum(&mut t_new_of);
+            }
+            ctx.fields.slice_mut(self.vars.t).copy_from_slice(&t_new_of);
         }
+        ctx.work.newton_iters += newton_iters;
+        ctx.work.temperature_solves += solves;
+
         // Io/beta rewrites band-by-band so the stores stream (the
         // cells-inner order writes each (b, cell) slot exactly once,
-        // sequentially).
+        // sequentially). Threaded: one task per owned band row, on two
+        // disjoint variables at once (`slice2_mut`).
         match ctx.owned_cells {
             None => {
-                for b in owned_b.clone() {
-                    #[allow(clippy::needless_range_loop)] // cell feeds two setters
-                    for cell in 0..n_cells {
-                        let t_new = t_new_of[cell];
-                        ctx.fields
-                            .set(self.vars.io, cell, b, material.table.io(b, t_new));
-                        ctx.fields
-                            .set(self.vars.beta, cell, b, material.beta_table.get(b, t_new));
+                if threads > 1 {
+                    let (io, beta) = ctx.fields.slice2_mut(self.vars.io, self.vars.beta);
+                    let io_owned = &mut io[owned_b.start * n_cells..owned_b.end * n_cells];
+                    let beta_owned = &mut beta[owned_b.start * n_cells..owned_b.end * n_cells];
+                    io_owned
+                        .par_chunks_mut(n_cells)
+                        .zip(beta_owned.par_chunks_mut(n_cells))
+                        .enumerate()
+                        .for_each(|(k, (io_row, beta_row))| {
+                            let b = owned_b.start + k;
+                            for cell in 0..n_cells {
+                                let t_new = t_new_of[cell];
+                                io_row[cell] = material.table.io(b, t_new);
+                                beta_row[cell] = material.beta_table.get(b, t_new);
+                            }
+                        });
+                } else {
+                    for b in owned_b.clone() {
+                        #[allow(clippy::needless_range_loop)] // cell feeds two setters
+                        for cell in 0..n_cells {
+                            let t_new = t_new_of[cell];
+                            ctx.fields
+                                .set(self.vars.io, cell, b, material.table.io(b, t_new));
+                            ctx.fields.set(
+                                self.vars.beta,
+                                cell,
+                                b,
+                                material.beta_table.get(b, t_new),
+                            );
+                        }
                     }
                 }
             }
-            Some(_) => {
+            Some(owned) => {
                 // Cell-partitioned: only owned cells were solved.
                 for b in owned_b.clone() {
-                    for &cell in &cells {
+                    for &cell in owned {
                         let t_new = t_new_of[cell];
                         ctx.fields
                             .set(self.vars.io, cell, b, material.table.io(b, t_new));
@@ -195,6 +357,12 @@ impl TemperatureUpdate {
     /// `t_guess`. Newton with analytic derivative, clamped to the table
     /// range, bisection fallback if Newton leaves the bracket.
     pub fn solve(&self, beta: &[f64], target: f64, t_guess: f64) -> f64 {
+        self.solve_counted(beta, target, t_guess).0
+    }
+
+    /// [`solve`](Self::solve), also returning the number of Newton
+    /// iterations performed (feeds `WorkCounters::newton_iters`).
+    pub fn solve_counted(&self, beta: &[f64], target: f64, t_guess: f64) -> (f64, u32) {
         let material = &self.material;
         let four_pi = 4.0 * std::f64::consts::PI;
         let (mut lo, mut hi) = (material.table.t_min, material.table.t_max);
@@ -208,7 +376,7 @@ impl TemperatureUpdate {
             (r, dr)
         };
         let mut t = t_guess.clamp(lo, hi);
-        for _ in 0..self.max_iter {
+        for iter in 0..self.max_iter {
             let (r, dr) = residual(t);
             if r > 0.0 {
                 hi = hi.min(t);
@@ -223,11 +391,11 @@ impl TemperatureUpdate {
                 t_next = 0.5 * (lo + hi);
             }
             if (t_next - t).abs() < self.tol {
-                return t_next;
+                return (t_next, iter as u32 + 1);
             }
             t = t_next;
         }
-        t
+        (t, self.max_iter as u32)
     }
 }
 
@@ -298,5 +466,20 @@ mod tests {
         assert!((t - m.table.t_max).abs() < 1.0);
         let t = upd.solve(&beta, 0.0, 300.0);
         assert!((t - m.table.t_min).abs() < 1.0);
+    }
+
+    #[test]
+    fn solve_counted_reports_positive_iterations() {
+        let (m, upd) = setup();
+        let n = m.n_bands();
+        let mut beta = vec![0.0; n];
+        m.beta_all(300.0, &mut beta);
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let target: f64 = (0..n)
+            .map(|b| beta[b] * four_pi * m.table.io(b, 310.0))
+            .sum();
+        let (t, iters) = upd.solve_counted(&beta, target, 300.0);
+        assert!((t - upd.solve(&beta, target, 300.0)).abs() == 0.0);
+        assert!(iters >= 1 && iters as usize <= upd.max_iter);
     }
 }

@@ -178,6 +178,20 @@ impl Fields {
         &mut self.data[var]
     }
 
+    /// Mutable slices of two *distinct* variables at once (the threaded
+    /// temperature update rewrites `Io` and `beta` in one fused pass).
+    pub fn slice2_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(a, b, "slice2_mut needs two distinct variables");
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a);
+            let (sb, sa) = (&mut lo[b], &mut hi[0]);
+            (sa, sb)
+        }
+    }
+
     /// Replace a variable's storage (e.g. after a device read-back).
     pub fn replace(&mut self, var: usize, values: Vec<f64>) {
         assert_eq!(values.len(), self.data[var].len());

@@ -217,6 +217,7 @@ pub fn solve_cells(
                 Some(my_cells),
                 &mut links,
                 &mut work,
+                1,
             );
             timer.add(phases::INTENSITY, ti);
             // Reduction time inside callbacks is also communication.
@@ -322,6 +323,7 @@ pub fn solve_bands(
                     Some((index.to_string(), range.clone())),
                     &mut links,
                     &mut work,
+                    rayon::current_num_threads(),
                 );
                 timer.add(phases::INTENSITY_GPU, times.kernel);
                 timer.add(phases::COMM_GPU, times.transfer);
@@ -360,6 +362,7 @@ pub fn solve_bands(
                     None,
                     &mut links,
                     &mut work,
+                    1,
                 );
                 timer.add(phases::INTENSITY, ti);
                 timer.add(phases::TEMPERATURE, (tt - links.comm_seconds).max(0.0));

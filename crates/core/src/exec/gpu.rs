@@ -243,6 +243,7 @@ impl GpuWorker {
         owned_index_range: Option<(String, std::ops::Range<usize>)>,
         reducer: &mut dyn Reducer,
         work: &mut WorkCounters,
+        threads: usize,
     ) -> StepTimes {
         let n_cells = fields.n_cells;
         let unknown = cp.system.unknown;
@@ -250,6 +251,8 @@ impl GpuWorker {
         let dev_t0 = self.device.elapsed();
 
         // Host: pre-step callbacks + boundary ghosts from the old state.
+        // The device is idle while callbacks run, so the host thread pool
+        // (`threads`) is fully available to them.
         let host_t0 = Instant::now();
         seq::run_callbacks(
             cp,
@@ -260,6 +263,8 @@ impl GpuWorker {
             owned_index_range.clone(),
             None,
             reducer,
+            threads,
+            work,
         );
         seq::compute_ghosts(cp, fields, &self.owned_flats, time, &mut self.ghosts, work);
         let mut t_host = host_t0.elapsed().as_secs_f64();
@@ -450,6 +455,8 @@ impl GpuWorker {
             owned_index_range,
             None,
             reducer,
+            threads,
+            work,
         );
         t_host += host_t2.elapsed().as_secs_f64();
 
@@ -484,8 +491,18 @@ pub fn solve(
     let mut work = WorkCounters::default();
     let mut reducer = LocalReducer;
     let mut time = 0.0;
+    let threads = rayon::current_num_threads();
     for step in 0..cp.problem.n_steps {
-        let times = worker.step(cp, fields, time, step, None, &mut reducer, &mut work);
+        let times = worker.step(
+            cp,
+            fields,
+            time,
+            step,
+            None,
+            &mut reducer,
+            &mut work,
+            threads,
+        );
         timer.add(phases::INTENSITY_GPU, times.kernel);
         timer.add(phases::COMM_GPU, times.transfer);
         timer.add(phases::TEMPERATURE_CPU, times.host);

@@ -112,6 +112,14 @@ pub struct WorkCounters {
     pub flux_evals: u64,
     /// Boundary ghost evaluations (CPU callback calls).
     pub ghost_evals: u64,
+    /// Newton iterations performed by step callbacks (temperature update).
+    pub newton_iters: u64,
+    /// Per-cell temperature solves performed by step callbacks. Under
+    /// `TemperatureStrategy::RedundantNewton` every band-parallel rank
+    /// solves all cells, so the cross-rank sum is `ranks * n_cells *
+    /// steps`; under `DividedNewton` each cell is solved on exactly one
+    /// rank and the sum stays `n_cells * steps`.
+    pub temperature_solves: u64,
 }
 
 impl WorkCounters {
@@ -120,6 +128,14 @@ impl WorkCounters {
         self.dof_updates += other.dof_updates;
         self.flux_evals += other.flux_evals;
         self.ghost_evals += other.ghost_evals;
+        self.newton_iters += other.newton_iters;
+        self.temperature_solves += other.temperature_solves;
+    }
+
+    /// Fold work reported by a step callback into these counters.
+    pub fn absorb_callback(&mut self, cb: &crate::problem::CallbackWork) {
+        self.newton_iters += cb.newton_iters;
+        self.temperature_solves += cb.temperature_solves;
     }
 }
 

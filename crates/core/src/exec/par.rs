@@ -18,11 +18,15 @@ use rayon::prelude::*;
 use std::time::Instant;
 
 /// Parallel ghost computation: one task per boundary face.
+/// `callback_faces` is hoisted by the caller (`seq::callback_face_count`)
+/// so the per-call accounting is a single add, shared with the sequential
+/// path's counting rule.
 fn compute_ghosts_par(
     cp: &CompiledProblem,
     fields: &Fields,
     time: f64,
     ghosts: &mut [f64],
+    callback_faces: usize,
     work: &mut WorkCounters,
 ) {
     let mesh = cp.mesh();
@@ -47,11 +51,6 @@ fn compute_ghosts_par(
                 };
             }
         });
-    let callback_faces = cp
-        .boundary
-        .iter()
-        .filter(|b| matches!(b.bc, BoundaryCondition::Callback(_)))
-        .count();
     work.ghost_evals += (callback_faces * n_flat) as u64;
 }
 
@@ -115,24 +114,45 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
     let dt = cp.problem.dt;
     let unknown = cp.system.unknown;
     let mut time = 0.0;
+    // Hoisted once: the per-step ghost accounting only needs the count.
+    let callback_faces = seq::callback_face_count(cp);
+    let threads = rayon::current_num_threads();
 
     for step in 0..cp.problem.n_steps {
         let t0 = Instant::now();
-        seq::run_callbacks(cp, fields, true, time, step, None, None, &mut reducer);
+        seq::run_callbacks(
+            cp,
+            fields,
+            true,
+            time,
+            step,
+            None,
+            None,
+            &mut reducer,
+            threads,
+            &mut work,
+        );
         let mut t_temperature = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         match cp.problem.stepper {
             TimeStepper::EulerExplicit => {
-                compute_ghosts_par(cp, fields, time, &mut ghosts, &mut work);
+                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut work);
                 compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work);
                 axpy_par(fields, unknown, dt, &rhs);
             }
             TimeStepper::Rk2 => {
-                compute_ghosts_par(cp, fields, time, &mut ghosts, &mut work);
+                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut work);
                 compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work);
                 axpy_par(fields, unknown, dt, &rhs);
-                compute_ghosts_par(cp, fields, time + dt, &mut ghosts, &mut work);
+                compute_ghosts_par(
+                    cp,
+                    fields,
+                    time + dt,
+                    &mut ghosts,
+                    callback_faces,
+                    &mut work,
+                );
                 compute_rhs_par(cp, fields, &ghosts, time + dt, &mut rhs2, &mut work);
                 axpy_par(fields, unknown, -0.5 * dt, &rhs);
                 axpy_par(fields, unknown, 0.5 * dt, &rhs2);
@@ -141,7 +161,18 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
         let t_intensity = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
-        seq::run_callbacks(cp, fields, false, time + dt, step, None, None, &mut reducer);
+        seq::run_callbacks(
+            cp,
+            fields,
+            false,
+            time + dt,
+            step,
+            None,
+            None,
+            &mut reducer,
+            threads,
+            &mut work,
+        );
         t_temperature += t2.elapsed().as_secs_f64();
 
         timer.add(phases::INTENSITY, t_intensity);

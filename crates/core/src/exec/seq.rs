@@ -36,6 +36,16 @@ pub(crate) struct Scope<'a> {
     pub flats: &'a [usize],
 }
 
+/// Number of boundary faces whose condition is a user callback. One ghost
+/// evaluation happens per (callback face, flat) pair, so every target's
+/// `ghost_evals` accounting is `callback_face_count(cp) * flats`.
+pub(crate) fn callback_face_count(cp: &CompiledProblem) -> usize {
+    cp.boundary
+        .iter()
+        .filter(|bf| matches!(bf.bc, BoundaryCondition::Callback(_)))
+        .count()
+}
+
 /// Evaluate boundary callbacks for every owned flat on every boundary face,
 /// writing ghosts at `[bface_slot * n_flat + flat]`.
 pub(crate) fn compute_ghosts(
@@ -52,21 +62,19 @@ pub(crate) fn compute_ghosts(
         for &flat in flats {
             let value = match &bf.bc {
                 BoundaryCondition::Value(v) => *v,
-                BoundaryCondition::Callback(f) => {
-                    work.ghost_evals += 1;
-                    f(&BoundaryQuery {
-                        position: face.centroid,
-                        normal: face.normal,
-                        owner_cell: face.owner,
-                        idx: &cp.idx_of_flat[flat],
-                        time,
-                        fields,
-                    })
-                }
+                BoundaryCondition::Callback(f) => f(&BoundaryQuery {
+                    position: face.centroid,
+                    normal: face.normal,
+                    owner_cell: face.owner,
+                    idx: &cp.idx_of_flat[flat],
+                    time,
+                    fields,
+                }),
             };
             ghosts[slot * cp.n_flat + flat] = value;
         }
     }
+    work.ghost_evals += (callback_face_count(cp) * flats.len()) as u64;
 }
 
 /// Face-flux sum for one (cell, flat) pair: the hoisted-coefficient fast
@@ -238,6 +246,8 @@ pub(crate) fn axpy_scope(
 }
 
 /// Run pre- or post-step callbacks with a given reducer and ownership info.
+/// `threads` is the parallelism the executor makes available to the
+/// callbacks (1 = serial); work they report is folded into `work`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_callbacks(
     cp: &CompiledProblem,
@@ -248,6 +258,8 @@ pub(crate) fn run_callbacks(
     owned_index_range: Option<(String, std::ops::Range<usize>)>,
     owned_cells: Option<&[usize]>,
     reducer: &mut dyn Reducer,
+    threads: usize,
+    work: &mut WorkCounters,
 ) {
     let callbacks = if pre {
         &cp.problem.pre_steps
@@ -263,8 +275,11 @@ pub(crate) fn run_callbacks(
             owned_index_range: owned_index_range.clone(),
             owned_cells,
             reducer,
+            threads: threads.max(1),
+            work: Default::default(),
         };
         cb(&mut ctx);
+        work.absorb_callback(&ctx.work);
     }
 }
 
@@ -287,6 +302,7 @@ pub(crate) fn step_scope(
     owned_cells_for_callbacks: Option<&[usize]>,
     links: &mut dyn super::StepLinks,
     work: &mut WorkCounters,
+    threads: usize,
 ) -> (f64, f64, f64) {
     let dt = cp.problem.dt;
     let unknown = cp.system.unknown;
@@ -301,6 +317,8 @@ pub(crate) fn step_scope(
         owned_index_range.clone(),
         owned_cells_for_callbacks,
         links,
+        threads,
+        work,
     );
     let mut t_temperature = t0.elapsed().as_secs_f64();
 
@@ -339,6 +357,8 @@ pub(crate) fn step_scope(
         owned_index_range,
         owned_cells_for_callbacks,
         links,
+        threads,
+        work,
     );
     t_temperature += t2.elapsed().as_secs_f64();
 
@@ -379,6 +399,7 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
             None,
             &mut links,
             &mut work,
+            1,
         );
         timer.add(phases::INTENSITY, ti);
         timer.add(phases::TEMPERATURE, tt);

@@ -143,10 +143,7 @@ fn too_many_cell_ranks_fails_at_solve() {
     let mut p = valid_base();
     p.conservation_form(0, "-k*u");
     let mut solver = p.build(ExecTarget::DistCells { ranks: 17 }).unwrap();
-    let err = solver
-        .solve()
-        .expect_err("16 cells < 17 ranks")
-        .to_string();
+    let err = solver.solve().expect_err("16 cells < 17 ranks").to_string();
     assert!(err.contains("17 ranks"), "{err}");
 }
 

@@ -1,0 +1,159 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is provided —
+//! the surface `pbte-runtime`'s simulated MPI world uses. The
+//! implementation is a plain `Mutex<VecDeque>` + `Condvar`; throughput is
+//! irrelevant here (the runtime charges communication cost through its
+//! α–β model, not wall-clock).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<ChanState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChanState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone and
+    /// the queue is drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.0.queue.lock().unwrap();
+            state.senders += 1;
+            drop(state);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.queue.lock().unwrap();
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.queue.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.queue.lock().unwrap();
+            state.items.pop_front().ok_or(RecvError)
+        }
+    }
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(ChanState {
+                items: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (s, r) = unbounded();
+        let s2 = s.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..100 {
+                    s2.send(i).unwrap();
+                }
+            });
+            let mut seen = Vec::new();
+            for _ in 0..100 {
+                seen.push(r.recv().unwrap());
+            }
+            assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        });
+        drop(s);
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (s, r) = unbounded::<u8>();
+        s.send(7).unwrap();
+        drop(s);
+        assert_eq!(r.recv(), Ok(7));
+        assert!(r.recv().is_err());
+    }
+}

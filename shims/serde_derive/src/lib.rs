@@ -1,0 +1,167 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Supports exactly what the workspace uses: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` on non-generic structs with named fields.
+//! The input is parsed directly from the token stream (no `syn`/`quote`
+//! available offline); anything outside that shape is a compile error
+//! with a pointed message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream, trait_name: &str) -> StructDef {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => panic!("#[derive({trait_name})] shim supports only structs, found {other:?}"),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+    // Skip generics if present (shim does not generate bounds, so only
+    // lifetime-free, type-parameter-free structs will actually compile).
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tok in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("#[derive({trait_name})] shim does not support tuple/unit structs")
+            }
+            Some(_) => continue,
+            None => panic!("expected struct body for {name}"),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut body_tokens = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match body_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_tokens.next();
+                    body_tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    body_tokens.next();
+                    if let Some(TokenTree::Group(g)) = body_tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            body_tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match body_tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name in {name}, found {other:?}"),
+            None => break,
+        };
+        match body_tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in body_tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(field);
+    }
+    StructDef { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input, "Serialize");
+    let entries: String = def
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input, "Deserialize");
+    let inits: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(value.get(\"{f}\")\
+                     .ok_or_else(|| format!(\"missing field `{f}` in {name}\"))?)?,",
+                name = def.name,
+            )
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, String> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -71,6 +71,100 @@ fn all_paths_agree_on_the_hotspot_problem() {
     assert!(worst < 1e-8, "baseline: max |ΔT| = {worst}");
 }
 
+/// `TemperatureStrategy::DividedNewton` under band partitioning: the same
+/// temperatures as the paper-faithful redundant mode (each `T` slot is
+/// nonzero on exactly one rank, so the sharing allreduce sums `t + 0 + …`
+/// exactly), with the per-rank Newton work divided by the rank count.
+#[test]
+fn divided_newton_agrees_with_redundant_and_divides_the_solves() {
+    use pbte_bte::temperature::TemperatureStrategy;
+
+    let ranks = 4;
+    let cfg = BteConfig::small(8, 8, 6, 40);
+    let vars = hotspot_2d(&cfg).vars;
+    let target = || ExecTarget::DistBands {
+        ranks,
+        index: "b".into(),
+    };
+
+    let mut redundant = hotspot_2d(&cfg).solver(target()).unwrap();
+    let red_report = redundant.solve().unwrap();
+    let red_t = temperature_grid(redundant.fields(), vars.t, 8, 8);
+
+    let divided_cfg = cfg
+        .clone()
+        .with_temperature_strategy(TemperatureStrategy::DividedNewton);
+    let mut divided = hotspot_2d(&divided_cfg).solver(target()).unwrap();
+    let div_report = divided.solve().unwrap();
+    let div_t = temperature_grid(divided.fields(), vars.t, 8, 8);
+
+    let worst = red_t
+        .iter()
+        .zip(&div_t)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst < 1e-12, "strategies must agree: max |ΔT| = {worst}");
+
+    // Work accounting (summed across ranks by the report reduction):
+    // redundant solves every cell on every rank; divided solves each cell
+    // exactly once.
+    let n_cells = 8 * 8;
+    let steps = cfg.n_steps as u64;
+    assert_eq!(
+        red_report.work.temperature_solves,
+        ranks as u64 * n_cells * steps
+    );
+    assert_eq!(div_report.work.temperature_solves, n_cells * steps);
+    assert!(
+        div_report.work.newton_iters > 0
+            && div_report.work.newton_iters < red_report.work.newton_iters,
+        "divided Newton does a fraction of the iterations: {} vs {}",
+        div_report.work.newton_iters,
+        red_report.work.newton_iters
+    );
+    // The shared T field costs a second allreduce worth of bytes.
+    assert!(div_report.comm.bytes > red_report.comm.bytes);
+}
+
+/// The threaded temperature update (CpuParallel hands callbacks its rayon
+/// pool) writes disjoint regions with per-item arithmetic identical to
+/// the serial loops, so the result is bit-identical at any thread count.
+#[test]
+fn threaded_temperature_update_is_bit_identical_to_serial() {
+    let cfg = BteConfig::small(8, 8, 6, 20);
+    let make = || hotspot_2d(&cfg);
+
+    let mut reference = make().solver(ExecTarget::CpuSeq).unwrap();
+    let seq_report = reference.solve().unwrap();
+
+    // The host may have a single core; force a 4-thread pool so the
+    // parallel code paths genuinely run chunked.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let mut threaded = make().solver(ExecTarget::CpuParallel).unwrap();
+    let par_report = pool.install(|| threaded.solve().unwrap());
+
+    for v in 0..reference.fields().n_vars() {
+        let worst = reference
+            .fields()
+            .slice(v)
+            .iter()
+            .zip(threaded.fields().slice(v))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert_eq!(worst, 0.0, "var {v} must be bit-identical");
+    }
+    // Same exact work on both targets, including the callback counters.
+    assert_eq!(seq_report.work, par_report.work);
+    assert_eq!(
+        seq_report.work.temperature_solves,
+        8 * 8 * cfg.n_steps as u64
+    );
+    assert!(seq_report.work.newton_iters > 0);
+}
+
 /// The generated artifacts the DSL promises: paper-style expanded form,
 /// term groups, loop-nest source per target, transfer schedule.
 #[test]
