@@ -1,0 +1,56 @@
+//! Criterion benchmark of the intensity-phase RHS across the three kernel
+//! tiers on the fig-4 hot-spot scenario.
+//!
+//! Set `INTENSITY_BENCH_QUICK=1` (CI short mode) to shrink the scenario and
+//! the sample count so the bench finishes in a few seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_dsl::exec::CompiledProblem;
+use pbte_dsl::KernelTier;
+
+fn quick() -> bool {
+    std::env::var("INTENSITY_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn config() -> BteConfig {
+    if quick() {
+        BteConfig::small(12, 6, 4, 1)
+    } else {
+        BteConfig::small(48, 12, 8, 1)
+    }
+}
+
+fn bench_intensity_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intensity_phase");
+    let tiers = [
+        ("vm", KernelTier::Vm, true),
+        ("bound_rebind", KernelTier::Bound, true),
+        ("bound_cached", KernelTier::Bound, false),
+        ("row", KernelTier::Row, false),
+    ];
+    for (name, tier, rebind) in tiers {
+        let mut bte = hotspot_2d(&config());
+        bte.problem.rebind_per_step(rebind);
+        let (cp, fields) = CompiledProblem::compile(bte.problem).expect("compiles");
+        let mut bench = cp.intensity_bench(&fields, tier);
+        assert_eq!(bench.tier(), tier, "tier clamped unexpectedly");
+        let mut rhs = vec![0.0; cp.n_flat * fields.n_cells];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                bench.run(&fields, &mut rhs);
+                black_box(rhs[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(if quick() { 3 } else { 10 });
+    targets = bench_intensity_phase
+);
+criterion_main!(benches);

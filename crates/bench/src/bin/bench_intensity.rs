@@ -1,0 +1,108 @@
+//! Interpreter-vs-row-kernel throughput on the fig-4 hot-spot scenario,
+//! recorded to `BENCH_intensity.json` at the repository root.
+//!
+//! Times one full intensity-phase RHS evaluation (source + flux for every
+//! (cell, flat) pair) per tier:
+//!
+//! * `vm` — generic stack VM, per-DOF dispatch;
+//! * `bound_rebind` — per-flat bound programs re-bound every call (the
+//!   pre-PR-2 default path, the "interpreter" baseline);
+//! * `bound_cached` — bound programs cached across calls;
+//! * `row` — the fused, batched row kernel.
+
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_dsl::exec::CompiledProblem;
+use pbte_dsl::KernelTier;
+use std::time::Instant;
+
+struct TierResult {
+    name: &'static str,
+    min_ns_per_dof: f64,
+    mean_ns_per_dof: f64,
+}
+
+fn time_tier(
+    cfg: &BteConfig,
+    tier: KernelTier,
+    rebind_per_step: bool,
+    name: &'static str,
+    reps: usize,
+) -> TierResult {
+    let mut bte = hotspot_2d(cfg);
+    bte.problem.rebind_per_step(rebind_per_step);
+    let (cp, fields) = CompiledProblem::compile(bte.problem).expect("compiles");
+    let n_dof = (cp.n_flat * fields.n_cells) as f64;
+    let mut bench = cp.intensity_bench(&fields, tier);
+    assert_eq!(bench.tier(), tier, "tier clamped unexpectedly");
+    let mut rhs = vec![0.0; cp.n_flat * fields.n_cells];
+    for _ in 0..2 {
+        bench.run(&fields, &mut rhs);
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        bench.run(&fields, &mut rhs);
+        samples.push(t0.elapsed().as_secs_f64() * 1e9 / n_dof);
+    }
+    std::hint::black_box(&rhs);
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!("{name:<14} {min:>9.2} ns/dof (min)  {mean:>9.2} ns/dof (mean)");
+    TierResult {
+        name,
+        min_ns_per_dof: min,
+        mean_ns_per_dof: mean,
+    }
+}
+
+fn main() {
+    let cfg = BteConfig::small(48, 12, 8, 1);
+    let n_cells = cfg.nx * cfg.ny;
+    let n_flat = cfg.ndirs * cfg.n_freq_bands;
+    println!(
+        "intensity phase, fig-4 hot spot: {n_cells} cells x {n_flat} flats = {} dof",
+        n_cells * n_flat
+    );
+    let reps = 15;
+    let results = [
+        time_tier(&cfg, KernelTier::Vm, true, "vm", reps),
+        time_tier(&cfg, KernelTier::Bound, true, "bound_rebind", reps),
+        time_tier(&cfg, KernelTier::Bound, false, "bound_cached", reps),
+        time_tier(&cfg, KernelTier::Row, false, "row", reps),
+    ];
+    let interp = results
+        .iter()
+        .find(|r| r.name == "bound_rebind")
+        .unwrap()
+        .min_ns_per_dof;
+    let row = results
+        .iter()
+        .find(|r| r.name == "row")
+        .unwrap()
+        .min_ns_per_dof;
+    let speedup = interp / row;
+    println!("row-kernel speedup over interpreter path: {speedup:.2}x");
+
+    let tiers: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {:?}: {{\"min_ns_per_dof\": {:.3}, \"mean_ns_per_dof\": {:.3}}}",
+                r.name, r.min_ns_per_dof, r.mean_ns_per_dof
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scenario\": \"fig4_hotspot_2d\",\n  \"nx\": {}, \"ny\": {}, \"ndirs\": {}, \"nbands\": {},\n  \"n_dof\": {},\n  \"tiers\": {{\n{}\n  }},\n  \"speedup_row_over_interpreter\": {:.3}\n}}\n",
+        cfg.nx,
+        cfg.ny,
+        cfg.ndirs,
+        cfg.n_freq_bands,
+        n_cells * n_flat,
+        tiers.join(",\n"),
+        speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_intensity.json");
+    std::fs::write(path, json).expect("write BENCH_intensity.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,69 @@
+//! Regression tests for the kernel-compilation tier (PR 2):
+//!
+//! 1. Caching time-independent bound programs across steps (the default)
+//!    is bit-identical to forcing a rebind every step, over ≥10 steps of
+//!    the fig-4 hot-spot scenario, on all four target families.
+//! 2. The three kernel tiers (generic VM → bound program → fused row
+//!    kernel) produce bit-identical trajectories.
+
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::{GpuStrategy, KernelTier};
+use pbte_gpu::DeviceSpec;
+
+fn run(target: ExecTarget, rebind_per_step: bool) -> Vec<f64> {
+    let mut bte = hotspot_2d(&BteConfig::small(6, 4, 4, 12));
+    bte.problem.rebind_per_step(rebind_per_step);
+    let vars = bte.vars;
+    let mut solver = bte.solver(target).unwrap();
+    // The BTE flux linearizes, so the auto tier must be Row.
+    assert_eq!(solver.compiled.resolved_tier(), KernelTier::Row);
+    solver.solve().unwrap();
+    solver.fields().slice(vars.i).to_vec()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: dof {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn bind_caching_matches_per_step_rebinding_on_all_targets() {
+    let targets = [
+        ExecTarget::CpuSeq,
+        ExecTarget::CpuParallel,
+        ExecTarget::DistCells { ranks: 3 },
+        ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::PrecomputeBoundary,
+        },
+    ];
+    for target in targets {
+        let label = format!("{target:?}");
+        let cached = run(target.clone(), false);
+        let rebound = run(target, true);
+        assert_bits_eq(&cached, &rebound, &label);
+    }
+}
+
+#[test]
+fn kernel_tiers_are_bit_identical_on_cpu() {
+    let run_tier = |tier: KernelTier| {
+        let mut bte = hotspot_2d(&BteConfig::small(6, 4, 4, 12));
+        bte.problem.kernel_tier(tier);
+        let vars = bte.vars;
+        let mut solver = bte.solver(ExecTarget::CpuSeq).unwrap();
+        solver.solve().unwrap();
+        solver.fields().slice(vars.i).to_vec()
+    };
+    let vm = run_tier(KernelTier::Vm);
+    let bound = run_tier(KernelTier::Bound);
+    let row = run_tier(KernelTier::Row);
+    assert_bits_eq(&vm, &bound, "vm vs bound");
+    assert_bits_eq(&bound, &row, "bound vs row");
+}

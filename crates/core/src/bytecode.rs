@@ -42,6 +42,7 @@ pub enum Func {
 }
 
 impl Func {
+    #[inline(always)]
     fn apply(self, x: f64) -> f64 {
         match self {
             Func::Exp => x.exp(),
@@ -81,7 +82,7 @@ pub struct Pattern {
 }
 
 impl Pattern {
-    #[inline]
+    #[inline(always)]
     fn flat(&self, idx: &[usize]) -> usize {
         let mut f = self.base;
         for &(slot, stride) in &self.terms {
@@ -259,6 +260,16 @@ impl Program {
         debug_assert_eq!(sp, 1, "program must leave exactly one value");
         stack[0]
     }
+
+    /// True when [`Program::bind`] bakes the simulation time into the
+    /// bound form (an `Op::LoadTime` folds to a constant), making the
+    /// bound program valid for one stage time only. Function coefficients
+    /// do **not** make a program time-dependent in this sense — they
+    /// receive the time at evaluation. Executors use this to cache bound
+    /// programs across steps.
+    pub fn references_time(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, Op::LoadTime))
+    }
 }
 
 /// A volume program specialized to one flat-index value: patterns are
@@ -274,8 +285,10 @@ pub enum BoundOp {
         var: u16,
         offset: usize,
     },
-    /// Function coefficient evaluated at the kernel position.
-    CoefFn(u16),
+    /// Function coefficient evaluated at the kernel position. The
+    /// function pointer is resolved at bind time, so evaluation performs
+    /// no `CoefficientValue` match.
+    CoefFn(CoefFnPtr),
     Add,
     Mul,
     Pow,
@@ -283,6 +296,23 @@ pub enum BoundOp {
     Call(Func),
     Cmp(CmpOp),
     Select,
+}
+
+/// A function-coefficient pointer resolved at bind time (hoisted out of
+/// the per-evaluation `CoefficientValue::Function` match).
+#[derive(Clone)]
+pub struct CoefFnPtr(pub(crate) std::sync::Arc<dyn Fn(Point, f64) -> f64 + Send + Sync>);
+
+impl std::fmt::Debug for CoefFnPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CoefFnPtr(..)")
+    }
+}
+
+impl PartialEq for CoefFnPtr {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 /// A bound (per-flat specialized) program.
@@ -294,14 +324,7 @@ pub struct BoundProgram {
 impl BoundProgram {
     /// Evaluate for one cell.
     #[inline]
-    pub fn eval(
-        &self,
-        vars: &[&[f64]],
-        cell: usize,
-        position: Point,
-        time: f64,
-        coefficients: &[crate::entities::Coefficient],
-    ) -> f64 {
+    pub fn eval(&self, vars: &[&[f64]], cell: usize, position: Point, time: f64) -> f64 {
         let mut stack = [0.0f64; MAX_STACK];
         let mut sp = 0usize;
         for op in &self.ops {
@@ -314,12 +337,8 @@ impl BoundProgram {
                     stack[sp] = vars[*var as usize][offset + cell];
                     sp += 1;
                 }
-                BoundOp::CoefFn(coef) => {
-                    let v = match &coefficients[*coef as usize].value {
-                        CoefficientValue::Function(f) => f(position, time),
-                        _ => unreachable!("CoefFn binds only function coefficients"),
-                    };
-                    stack[sp] = v;
+                BoundOp::CoefFn(f) => {
+                    stack[sp] = (f.0)(position, time);
                     sp += 1;
                 }
                 BoundOp::Add => {
@@ -392,7 +411,13 @@ impl Program {
                     };
                     BoundOp::Const(v)
                 }
-                Op::LoadCoefFn { coef } => BoundOp::CoefFn(*coef),
+                Op::LoadCoefFn { coef } => {
+                    let f = match &coefficients[*coef as usize].value {
+                        CoefficientValue::Function(f) => f.clone(),
+                        _ => unreachable!("function coefficients compile to LoadCoefFn"),
+                    };
+                    BoundOp::CoefFn(CoefFnPtr(f))
+                }
                 Op::Add => BoundOp::Add,
                 Op::Mul => BoundOp::Mul,
                 Op::Pow => BoundOp::Pow,
@@ -406,6 +431,498 @@ impl Program {
             })
             .collect();
         BoundProgram { ops }
+    }
+}
+
+/// Lane width of the batched row evaluator: ops loop over up to this many
+/// cells at a time, so the per-op dispatch cost is amortized and the inner
+/// loops are straight-line code over contiguous slices LLVM can
+/// auto-vectorize.
+pub const ROW_CHUNK: usize = 64;
+
+/// One register-allocated instruction.
+///
+/// In a tree-flattened postfix program the stack depth at every op is
+/// statically known, so stack slot *i* becomes register *i*: operands and
+/// destinations are fixed indices and the interpreter keeps no dynamic
+/// stack pointer. The `*Const` / `Load*` variants are superinstructions —
+/// adjacent producer/consumer pairs the BTE kernels actually emit, fused by
+/// a peephole pass. Fusion never reorders or combines floating-point
+/// operations (no FMA contraction), so results stay bit-identical to the
+/// stack VM; the `const_first` / `load_first` flags preserve the original
+/// operand order exactly.
+#[derive(Debug, Clone)]
+pub enum RegOp {
+    /// `r[dst] = k`
+    Const { dst: u8, k: f64 },
+    /// `r[dst] = vars[var][offset + cell]`
+    Load { dst: u8, var: u16, offset: usize },
+    /// `r[dst] = f(position, time)`
+    CoefFn { dst: u8, f: CoefFnPtr },
+    /// `r[dst] = r[a] + r[b]`
+    Add { dst: u8, a: u8, b: u8 },
+    /// `r[dst] = r[a] * r[b]`
+    Mul { dst: u8, a: u8, b: u8 },
+    /// `r[dst] = r[a].powf(r[b])`
+    Pow { dst: u8, a: u8, b: u8 },
+    /// `r[dst] = 1 / r[a]`
+    Recip { dst: u8, a: u8 },
+    /// `r[dst] = f(r[a])`
+    Call { dst: u8, a: u8, f: Func },
+    /// `r[dst] = r[a] op r[b] ? 1 : 0`
+    Cmp { dst: u8, a: u8, b: u8, op: CmpOp },
+    /// `r[dst] = r[t] != 0 ? r[a] : r[b]`
+    Select { dst: u8, t: u8, a: u8, b: u8 },
+    /// `r[dst] = r[a] + k` (`k + r[a]` when `const_first`)
+    AddConst {
+        dst: u8,
+        a: u8,
+        k: f64,
+        const_first: bool,
+    },
+    /// `r[dst] = r[a] * k` (`k * r[a]` when `const_first`)
+    MulConst {
+        dst: u8,
+        a: u8,
+        k: f64,
+        const_first: bool,
+    },
+    /// `r[dst] = r[a] * load` (`load * r[a]` when `load_first`), where
+    /// `load = vars[var][offset + cell]`
+    LoadMul {
+        dst: u8,
+        a: u8,
+        var: u16,
+        offset: usize,
+        load_first: bool,
+    },
+    /// `r[dst] = k * load` (`load * k` when `!const_first`)
+    LoadMulConst {
+        dst: u8,
+        var: u16,
+        offset: usize,
+        k: f64,
+        const_first: bool,
+    },
+}
+
+/// A bound program lowered to register form for batched row evaluation —
+/// the innermost tier of the kernel compiler (generic VM → bound per-flat
+/// program → fused row kernel).
+#[derive(Debug, Clone)]
+pub struct RegProgram {
+    ops: Vec<RegOp>,
+    n_regs: usize,
+}
+
+/// Try to fuse `op` with the last emitted instruction. Adjacency plus the
+/// postfix stack discipline guarantee the producer's value is consumed
+/// exactly here and dead afterwards, so fusion is always safe.
+fn fuse(last: &RegOp, op: &RegOp) -> Option<RegOp> {
+    match (last, op) {
+        (&RegOp::Const { dst: cd, k }, &RegOp::Add { dst, a, b }) if cd == b => {
+            Some(RegOp::AddConst {
+                dst,
+                a,
+                k,
+                const_first: false,
+            })
+        }
+        (&RegOp::Const { dst: cd, k }, &RegOp::Add { dst, a, b }) if cd == a => {
+            Some(RegOp::AddConst {
+                dst,
+                a: b,
+                k,
+                const_first: true,
+            })
+        }
+        (&RegOp::Const { dst: cd, k }, &RegOp::Mul { dst, a, b }) if cd == b => {
+            Some(RegOp::MulConst {
+                dst,
+                a,
+                k,
+                const_first: false,
+            })
+        }
+        (&RegOp::Const { dst: cd, k }, &RegOp::Mul { dst, a, b }) if cd == a => {
+            Some(RegOp::MulConst {
+                dst,
+                a: b,
+                k,
+                const_first: true,
+            })
+        }
+        (
+            &RegOp::Load {
+                dst: ld,
+                var,
+                offset,
+            },
+            &RegOp::Mul { dst, a, b },
+        ) if ld == b => Some(RegOp::LoadMul {
+            dst,
+            a,
+            var,
+            offset,
+            load_first: false,
+        }),
+        (
+            &RegOp::Load {
+                dst: ld,
+                var,
+                offset,
+            },
+            &RegOp::Mul { dst, a, b },
+        ) if ld == a => Some(RegOp::LoadMul {
+            dst,
+            a: b,
+            var,
+            offset,
+            load_first: true,
+        }),
+        (
+            &RegOp::Const { dst: cd, k },
+            &RegOp::LoadMul {
+                dst,
+                a,
+                var,
+                offset,
+                load_first,
+            },
+        ) if cd == a => Some(RegOp::LoadMulConst {
+            dst,
+            var,
+            offset,
+            k,
+            const_first: !load_first,
+        }),
+        _ => None,
+    }
+}
+
+impl RegProgram {
+    /// Lower a bound program: allocate registers from the static stack
+    /// depth, then peephole-fuse adjacent producer/consumer pairs.
+    pub fn compile(bound: &BoundProgram) -> RegProgram {
+        let mut ops: Vec<RegOp> = Vec::with_capacity(bound.ops.len());
+        let mut depth: u8 = 0;
+        let push = |ops: &mut Vec<RegOp>, mut op: RegOp| {
+            // Fuse repeatedly: a fused op may expose a new adjacent pair
+            // (e.g. Const; Load; Mul → Const; LoadMul → LoadMulConst).
+            while let Some(f) = ops.last().and_then(|last| fuse(last, &op)) {
+                ops.pop();
+                op = f;
+            }
+            ops.push(op);
+        };
+        for op in &bound.ops {
+            match op {
+                BoundOp::Const(v) => {
+                    push(&mut ops, RegOp::Const { dst: depth, k: *v });
+                    depth += 1;
+                }
+                BoundOp::Load { var, offset } => {
+                    push(
+                        &mut ops,
+                        RegOp::Load {
+                            dst: depth,
+                            var: *var,
+                            offset: *offset,
+                        },
+                    );
+                    depth += 1;
+                }
+                BoundOp::CoefFn(f) => {
+                    push(
+                        &mut ops,
+                        RegOp::CoefFn {
+                            dst: depth,
+                            f: f.clone(),
+                        },
+                    );
+                    depth += 1;
+                }
+                BoundOp::Add => {
+                    depth -= 1;
+                    push(
+                        &mut ops,
+                        RegOp::Add {
+                            dst: depth - 1,
+                            a: depth - 1,
+                            b: depth,
+                        },
+                    );
+                }
+                BoundOp::Mul => {
+                    depth -= 1;
+                    push(
+                        &mut ops,
+                        RegOp::Mul {
+                            dst: depth - 1,
+                            a: depth - 1,
+                            b: depth,
+                        },
+                    );
+                }
+                BoundOp::Pow => {
+                    depth -= 1;
+                    push(
+                        &mut ops,
+                        RegOp::Pow {
+                            dst: depth - 1,
+                            a: depth - 1,
+                            b: depth,
+                        },
+                    );
+                }
+                BoundOp::Recip => push(
+                    &mut ops,
+                    RegOp::Recip {
+                        dst: depth - 1,
+                        a: depth - 1,
+                    },
+                ),
+                BoundOp::Call(f) => push(
+                    &mut ops,
+                    RegOp::Call {
+                        dst: depth - 1,
+                        a: depth - 1,
+                        f: *f,
+                    },
+                ),
+                BoundOp::Cmp(c) => {
+                    depth -= 1;
+                    push(
+                        &mut ops,
+                        RegOp::Cmp {
+                            dst: depth - 1,
+                            a: depth - 1,
+                            b: depth,
+                            op: *c,
+                        },
+                    );
+                }
+                BoundOp::Select => {
+                    depth -= 2;
+                    push(
+                        &mut ops,
+                        RegOp::Select {
+                            dst: depth - 1,
+                            t: depth - 1,
+                            a: depth,
+                            b: depth + 1,
+                        },
+                    );
+                }
+            }
+        }
+        debug_assert_eq!(depth, 1, "program must leave exactly one value");
+        // Register count from the *fused* stream (fusion can eliminate the
+        // deepest stack slot entirely).
+        let n_regs = ops
+            .iter()
+            .map(|op| match *op {
+                RegOp::Const { dst, .. }
+                | RegOp::Load { dst, .. }
+                | RegOp::CoefFn { dst, .. }
+                | RegOp::LoadMulConst { dst, .. } => dst,
+                RegOp::Recip { dst, a }
+                | RegOp::Call { dst, a, .. }
+                | RegOp::AddConst { dst, a, .. }
+                | RegOp::MulConst { dst, a, .. }
+                | RegOp::LoadMul { dst, a, .. } => dst.max(a),
+                RegOp::Add { dst, a, b }
+                | RegOp::Mul { dst, a, b }
+                | RegOp::Pow { dst, a, b }
+                | RegOp::Cmp { dst, a, b, .. } => dst.max(a).max(b),
+                RegOp::Select { dst, t, a, b } => dst.max(t).max(a).max(b),
+            } as usize
+                + 1)
+            .max()
+            .unwrap_or(1);
+        RegProgram { ops, n_regs }
+    }
+
+    /// Registers the evaluator needs (scratch rows of `ROW_CHUNK` lanes).
+    pub fn n_regs(&self) -> usize {
+        self.n_regs.max(1)
+    }
+
+    /// The lowered instruction stream (inspection/tests).
+    pub fn ops(&self) -> &[RegOp] {
+        &self.ops
+    }
+
+    /// Evaluate `out[i] = program(cell0 + i)` for every `i`, batched in
+    /// `ROW_CHUNK`-lane chunks: ops loop outermost, lanes innermost, so
+    /// every inner loop is branch-free straight-line code over contiguous
+    /// slices. `regs` is caller-provided scratch of at least
+    /// [`RegProgram::n_regs`] rows; it never needs initialization (the
+    /// stack discipline guarantees write-before-read). Results are
+    /// bit-identical to [`Program::eval`] / [`BoundProgram::eval`] per
+    /// cell, independent of how a cell range is split into calls.
+    //
+    // The `const_first`/`load_first` branches look commutatively identical
+    // to clippy, but operand order is preserved on purpose (NaN-payload
+    // propagation picks an operand); the indexed lane loops are the form
+    // LLVM auto-vectorizes and often alias (`regs[d]` vs `regs[a]`).
+    #[allow(clippy::if_same_then_else, clippy::needless_range_loop)]
+    pub fn eval_row(
+        &self,
+        vars: &[&[f64]],
+        cell0: usize,
+        out: &mut [f64],
+        centroids: &[Point],
+        time: f64,
+        regs: &mut [[f64; ROW_CHUNK]],
+    ) {
+        debug_assert!(regs.len() >= self.n_regs());
+        let n = out.len();
+        let mut start = 0usize;
+        while start < n {
+            let len = (n - start).min(ROW_CHUNK);
+            let base = cell0 + start;
+            for op in &self.ops {
+                match op {
+                    RegOp::Const { dst, k } => regs[*dst as usize][..len].fill(*k),
+                    RegOp::Load { dst, var, offset } => {
+                        regs[*dst as usize][..len].copy_from_slice(
+                            &vars[*var as usize][offset + base..offset + base + len],
+                        );
+                    }
+                    RegOp::CoefFn { dst, f } => {
+                        let r = *dst as usize;
+                        for l in 0..len {
+                            regs[r][l] = (f.0)(centroids[base + l], time);
+                        }
+                    }
+                    RegOp::Add { dst, a, b } => {
+                        let (d, a, b) = (*dst as usize, *a as usize, *b as usize);
+                        for l in 0..len {
+                            regs[d][l] = regs[a][l] + regs[b][l];
+                        }
+                    }
+                    RegOp::Mul { dst, a, b } => {
+                        let (d, a, b) = (*dst as usize, *a as usize, *b as usize);
+                        for l in 0..len {
+                            regs[d][l] = regs[a][l] * regs[b][l];
+                        }
+                    }
+                    RegOp::Pow { dst, a, b } => {
+                        let (d, a, b) = (*dst as usize, *a as usize, *b as usize);
+                        for l in 0..len {
+                            regs[d][l] = regs[a][l].powf(regs[b][l]);
+                        }
+                    }
+                    RegOp::Recip { dst, a } => {
+                        let (d, a) = (*dst as usize, *a as usize);
+                        for l in 0..len {
+                            regs[d][l] = 1.0 / regs[a][l];
+                        }
+                    }
+                    RegOp::Call { dst, a, f } => {
+                        let (d, a) = (*dst as usize, *a as usize);
+                        for l in 0..len {
+                            regs[d][l] = f.apply(regs[a][l]);
+                        }
+                    }
+                    RegOp::Cmp { dst, a, b, op } => {
+                        let (d, a, b) = (*dst as usize, *a as usize, *b as usize);
+                        for l in 0..len {
+                            regs[d][l] = if op.apply(regs[a][l], regs[b][l]) {
+                                1.0
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    RegOp::Select { dst, t, a, b } => {
+                        let (d, t, a, b) = (*dst as usize, *t as usize, *a as usize, *b as usize);
+                        for l in 0..len {
+                            regs[d][l] = if regs[t][l] != 0.0 {
+                                regs[a][l]
+                            } else {
+                                regs[b][l]
+                            };
+                        }
+                    }
+                    RegOp::AddConst {
+                        dst,
+                        a,
+                        k,
+                        const_first,
+                    } => {
+                        let (d, a, k) = (*dst as usize, *a as usize, *k);
+                        if *const_first {
+                            for l in 0..len {
+                                regs[d][l] = k + regs[a][l];
+                            }
+                        } else {
+                            for l in 0..len {
+                                regs[d][l] = regs[a][l] + k;
+                            }
+                        }
+                    }
+                    RegOp::MulConst {
+                        dst,
+                        a,
+                        k,
+                        const_first,
+                    } => {
+                        let (d, a, k) = (*dst as usize, *a as usize, *k);
+                        if *const_first {
+                            for l in 0..len {
+                                regs[d][l] = k * regs[a][l];
+                            }
+                        } else {
+                            for l in 0..len {
+                                regs[d][l] = regs[a][l] * k;
+                            }
+                        }
+                    }
+                    RegOp::LoadMul {
+                        dst,
+                        a,
+                        var,
+                        offset,
+                        load_first,
+                    } => {
+                        let (d, a) = (*dst as usize, *a as usize);
+                        let src = &vars[*var as usize][offset + base..offset + base + len];
+                        if *load_first {
+                            for l in 0..len {
+                                regs[d][l] = src[l] * regs[a][l];
+                            }
+                        } else {
+                            for l in 0..len {
+                                regs[d][l] = regs[a][l] * src[l];
+                            }
+                        }
+                    }
+                    RegOp::LoadMulConst {
+                        dst,
+                        var,
+                        offset,
+                        k,
+                        const_first,
+                    } => {
+                        let (d, k) = (*dst as usize, *k);
+                        let src = &vars[*var as usize][offset + base..offset + base + len];
+                        if *const_first {
+                            for l in 0..len {
+                                regs[d][l] = k * src[l];
+                            }
+                        } else {
+                            for l in 0..len {
+                                regs[d][l] = src[l] * k;
+                            }
+                        }
+                    }
+                }
+            }
+            out[start..start + len].copy_from_slice(&regs[0][..len]);
+            start += len;
+        }
     }
 }
 
@@ -953,5 +1470,139 @@ mod tests {
             }
         }
         assert!(prog.flops >= 2);
+    }
+
+    #[test]
+    fn row_compile_fuses_bte_source_superinstructions() {
+        // The BTE source `(Io[b] - I[d,b]) * beta[b]` distributes in the
+        // pipeline and binds to the 9-op stack sequence
+        // `Const(-1); Load I; Mul; Load beta; Mul; Load Io; Load beta;
+        // Mul; Add`. The peephole pass must collapse it to 5 register ops
+        // (`LoadMulConst; LoadMul; Load; LoadMul; Add`) in 2 registers.
+        let mut p = Problem::new("fuse");
+        p.domain(2);
+        let d = p.index("d", 4);
+        let b = p.index("b", 3);
+        let i = p.variable("I", &[d, b]);
+        let _ = p.variable("Io", &[b]);
+        let _ = p.variable("beta", &[b]);
+        p.coefficient_array("Sx", &[d], vec![1.0, 0.0, -1.0, 0.0]);
+        p.coefficient_array("Sy", &[d], vec![0.0, 1.0, 0.0, -1.0]);
+        p.conservation_form(
+            i,
+            "(Io[b] - I[d,b]) * beta[b] + surface(upwind([Sx[d];Sy[d]], I[d,b]))",
+        );
+        let sys = p.analyze().unwrap();
+        let compiler = Compiler::new(&p.registry, i, KernelKind::Volume);
+        let prog = compiler.compile(&sys.volume_expr).unwrap();
+        let bound = prog.bind(&[1, 2], 8, 0.1, 0.0, &p.registry.coefficients);
+        let reg = RegProgram::compile(&bound);
+        assert!(
+            reg.ops().len() <= 5,
+            "expected ≤5 fused ops, got {:?}",
+            reg.ops()
+        );
+        assert!(reg
+            .ops()
+            .iter()
+            .any(|op| matches!(op, RegOp::LoadMulConst { .. })));
+        assert!(reg
+            .ops()
+            .iter()
+            .any(|op| matches!(op, RegOp::LoadMul { .. })));
+        assert_eq!(reg.n_regs(), 2);
+    }
+
+    #[test]
+    fn row_eval_matches_interpreters_bitwise() {
+        let (r, f) = setup();
+        let vars = f.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let centroids = vec![pbte_mesh::Point::zero(); 5];
+        for src in [
+            "I[d,b] + Io[b]",
+            "k * vg[b] * I[d,b]",
+            "(Io[b] - I[d,b]) * vg[b]",
+            "Io[b] / k + d * 10 + b",
+            "exp(0.001 * I[d,b]) + I[d,b]^2",
+            "conditional(I[d,b] > 15, Io[b], vg[b])",
+        ] {
+            let prog = c.compile(&parse(src).unwrap()).unwrap();
+            for (dd, bb) in [(0usize, 0usize), (2, 1), (3, 2)] {
+                let idx = [dd, bb];
+                let bound = prog.bind(&idx, 5, 0.5, 2.0, &r.coefficients);
+                let reg = RegProgram::compile(&bound);
+                let mut regs = vec![[0.0; ROW_CHUNK]; reg.n_regs()];
+                let mut out = [0.0f64; 5];
+                reg.eval_row(&vars, 0, &mut out, &centroids, 2.0, &mut regs);
+                for (cell, row_val) in out.iter().enumerate() {
+                    let vm_val = prog.eval(&ctx(&r, &vars, &idx, cell));
+                    let bound_val = bound.eval(&vars, cell, pbte_mesh::Point::zero(), 2.0);
+                    assert_eq!(
+                        row_val.to_bits(),
+                        bound_val.to_bits(),
+                        "{src} @ cell {cell} d {dd} b {bb}: row {row_val} vs bound {bound_val}"
+                    );
+                    assert_eq!(
+                        bound_val.to_bits(),
+                        vm_val.to_bits(),
+                        "{src} @ cell {cell}: bound {bound_val} vs vm {vm_val}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_eval_spans_longer_than_chunk() {
+        // Spans longer than ROW_CHUNK are processed in lanes; results must
+        // not depend on where the chunk boundaries fall.
+        let mut r = Registry::default();
+        r.indices.push(Index {
+            name: "b".into(),
+            len: 2,
+        });
+        r.variables.push(Variable {
+            name: "u".into(),
+            location: crate::entities::Location::Cell,
+            indices: vec![0],
+        });
+        let n = 3 * ROW_CHUNK + 7;
+        let mut fields = Fields::new(&r, n);
+        for cell in 0..n {
+            for b in 0..2 {
+                fields.set(0, cell, b, (cell * 2 + b) as f64 * 0.125 - 7.0);
+            }
+        }
+        let vars = fields.as_slices();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let prog = c.compile(&parse("u[b] * u[b] + b").unwrap()).unwrap();
+        let centroids = vec![pbte_mesh::Point::zero(); n];
+        let idx = [1usize];
+        let bound = prog.bind(&idx, n, 0.1, 0.0, &r.coefficients);
+        let reg = RegProgram::compile(&bound);
+        let mut regs = vec![[0.0; ROW_CHUNK]; reg.n_regs()];
+        let mut out = vec![0.0; n];
+        reg.eval_row(&vars, 0, &mut out, &centroids, 0.0, &mut regs);
+        for (cell, row_val) in out.iter().enumerate() {
+            let expect = bound.eval(&vars, cell, pbte_mesh::Point::zero(), 0.0);
+            assert_eq!(row_val.to_bits(), expect.to_bits(), "cell {cell}");
+        }
+        // An offset sub-span must agree bitwise with the full row.
+        let mut part = vec![0.0; ROW_CHUNK + 9];
+        reg.eval_row(&vars, 50, &mut part, &centroids, 0.0, &mut regs);
+        for (i, v) in part.iter().enumerate() {
+            assert_eq!(v.to_bits(), out[50 + i].to_bits());
+        }
+    }
+
+    #[test]
+    fn references_time_detects_t() {
+        let (r, _) = setup();
+        let c = Compiler::new(&r, 0, KernelKind::Volume);
+        let with_t = c.compile(&parse("I[d,b] * t").unwrap()).unwrap();
+        assert!(with_t.references_time());
+        let without = c.compile(&parse("I[d,b] * dt").unwrap()).unwrap();
+        assert!(!without.references_time());
     }
 }

@@ -192,6 +192,7 @@ pub fn solve_cells(
         };
         let mut timer = PhaseTimer::new();
         let mut work = WorkCounters::default();
+        let mut kernels = super::rows::IntensityKernels::for_scope(cp, &all_flats);
         let mut time = 0.0;
         let mut links = CellLinks {
             ctx,
@@ -218,6 +219,7 @@ pub fn solve_cells(
                 &mut links,
                 &mut work,
                 1,
+                &mut kernels,
             );
             timer.add(phases::INTENSITY, ti);
             // Reduction time inside callbacks is also communication.
@@ -347,6 +349,7 @@ pub fn solve_bands(
             } else {
                 Vec::new()
             };
+            let mut kernels = super::rows::IntensityKernels::for_scope(cp, my_flats);
             for step in 0..cp.problem.n_steps {
                 links.comm_seconds = 0.0;
                 let (ti, tt, _tc) = seq::step_scope(
@@ -363,6 +366,7 @@ pub fn solve_bands(
                     &mut links,
                     &mut work,
                     1,
+                    &mut kernels,
                 );
                 timer.add(phases::INTENSITY, ti);
                 timer.add(phases::TEMPERATURE, (tt - links.comm_seconds).max(0.0));

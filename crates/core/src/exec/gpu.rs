@@ -20,11 +20,12 @@
 //!
 //! Which variables move when is decided by [`crate::dataflow`], not here.
 
+use super::rows::{self, FluxBoundary, IntensityKernels};
 use super::seq;
 use super::{phases, CompiledProblem, SolveReport, WorkCounters};
 use crate::bytecode::VmCtx;
 use crate::entities::Fields;
-use crate::problem::{DslError, GpuStrategy, LocalReducer, Reducer, TimeStepper};
+use crate::problem::{DslError, GpuStrategy, KernelTier, LocalReducer, Reducer, TimeStepper};
 use pbte_gpu::{Device, DeviceBuffer, DeviceSpec, KernelCost};
 use pbte_runtime::timer::PhaseTimer;
 use std::time::Instant;
@@ -171,6 +172,10 @@ pub(crate) struct GpuWorker {
     /// Variables the CPU writes each step (H2D per step): every read
     /// variable except the unknown, when post-step callbacks exist.
     step_h2d_vars: Vec<usize>,
+    /// Row kernels when the compiler selected the fused tier — the
+    /// "generated kernel" then evaluates whole cell rows per block instead
+    /// of re-interpreting the VM per thread.
+    row: Option<IntensityKernels>,
 }
 
 impl GpuWorker {
@@ -216,6 +221,9 @@ impl GpuWorker {
                 .collect()
         };
 
+        let row = (cp.resolved_tier() == KernelTier::Row)
+            .then(|| IntensityKernels::with_tier(cp, owned_flats, KernelTier::Row));
+
         GpuWorker {
             device,
             strategy,
@@ -228,6 +236,7 @@ impl GpuWorker {
             ghosts: vec![0.0; cp.boundary.len() * cp.n_flat],
             unew_host: vec![0.0; owned_flats.len() * n_cells],
             step_h2d_vars,
+            row,
         }
     }
 
@@ -306,69 +315,116 @@ impl GpuWorker {
         let n_vars = self.var_devs.len();
 
         // Inputs: every variable buffer (id order), then the ghost buffer.
+        if let Some(rowk) = &mut self.row {
+            rowk.ensure(cp, n_cells, time);
+        }
         let mut inputs: Vec<&DeviceBuffer> = self.var_devs.iter().collect();
         inputs.push(&self.ghost_dev);
-        let t_kernel = self.device.launch(
-            "intensity_update",
-            n_threads,
-            self.kernel_cost,
-            &inputs,
-            &mut self.unew_dev,
-            |tid, bufs, out| {
-                let vars = &bufs[..n_vars];
-                let ghosts = bufs[n_vars];
-                let k = tid / n_cells;
-                let cell = tid % n_cells;
-                let flat = owned_flats[k];
-                let idx = &idx_of_flat[flat];
-                let mut vm = VmCtx {
-                    vars,
-                    n_cells,
-                    coefficients,
-                    idx,
-                    cell,
-                    u1: 0.0,
-                    u2: 0.0,
-                    normal: [0.0; 3],
-                    position: pbte_mesh::Point::new(
-                        geometry.cx[cell],
-                        geometry.cy[cell],
-                        geometry.cz[cell],
-                    ),
-                    dt,
-                    time,
-                };
-                let source = volume_prog.eval(&vm);
-                let u_here = vars[unknown][flat * n_cells + cell];
-                let mut flux_sum = 0.0;
-                let nf = geometry.n_faces[cell] as usize;
-                for f in 0..nf {
-                    let at = cell * geometry.max_faces + f;
-                    let other = geometry.other[at];
-                    let u2 = if other >= 0.0 {
-                        vars[unknown][flat * n_cells + other as usize]
-                    } else if skip_boundary {
-                        continue;
+        let t_kernel = if let Some(rowk) = &self.row {
+            // Fused row form: one block per owned flat, covering the whole
+            // cell range, with the update folded in (`u + dt·rhs`, using
+            // the same reciprocal-volume multiply as the CPU targets — the
+            // precompute strategy is therefore bit-identical to them).
+            let centroids = &cp.mesh().cell_centroids;
+            self.device.launch_rows(
+                "intensity_update",
+                owned_flats.len(),
+                n_cells,
+                self.kernel_cost,
+                &inputs,
+                &mut self.unew_dev,
+                |k, bufs, out| {
+                    let vars = &bufs[..n_vars];
+                    let boundary = if skip_boundary {
+                        FluxBoundary::Skip
                     } else {
-                        let slot = (-other) as usize - 1;
-                        ghosts[slot * n_flat + flat]
+                        FluxBoundary::Ghosts(bufs[n_vars])
                     };
-                    vm.u1 = u_here;
-                    vm.u2 = u2;
-                    vm.normal = [
-                        geometry.normal[0][at],
-                        geometry.normal[1][at],
-                        geometry.normal[2][at],
-                    ];
-                    vm.position =
-                        pbte_mesh::Point::new(geometry.fx[at], geometry.fy[at], geometry.fz[at]);
-                    flux_sum += geometry.area[at] * flux_prog.eval(&vm);
-                }
-                *out = u_here + dt * (source - flux_sum / geometry.volume[cell]);
-            },
-        );
+                    let mut regs = rowk.scratch();
+                    rows::rhs_span(
+                        rowk.reg(k),
+                        cp,
+                        vars,
+                        n_cells,
+                        owned_flats[k],
+                        boundary,
+                        0,
+                        out,
+                        centroids,
+                        time,
+                        Some(dt),
+                        &mut regs,
+                    );
+                },
+            )
+        } else {
+            self.device.launch(
+                "intensity_update",
+                n_threads,
+                self.kernel_cost,
+                &inputs,
+                &mut self.unew_dev,
+                |tid, bufs, out| {
+                    let vars = &bufs[..n_vars];
+                    let ghosts = bufs[n_vars];
+                    let k = tid / n_cells;
+                    let cell = tid % n_cells;
+                    let flat = owned_flats[k];
+                    let idx = &idx_of_flat[flat];
+                    let mut vm = VmCtx {
+                        vars,
+                        n_cells,
+                        coefficients,
+                        idx,
+                        cell,
+                        u1: 0.0,
+                        u2: 0.0,
+                        normal: [0.0; 3],
+                        position: pbte_mesh::Point::new(
+                            geometry.cx[cell],
+                            geometry.cy[cell],
+                            geometry.cz[cell],
+                        ),
+                        dt,
+                        time,
+                    };
+                    let source = volume_prog.eval(&vm);
+                    let u_here = vars[unknown][flat * n_cells + cell];
+                    let mut flux_sum = 0.0;
+                    let nf = geometry.n_faces[cell] as usize;
+                    for f in 0..nf {
+                        let at = cell * geometry.max_faces + f;
+                        let other = geometry.other[at];
+                        let u2 = if other >= 0.0 {
+                            vars[unknown][flat * n_cells + other as usize]
+                        } else if skip_boundary {
+                            continue;
+                        } else {
+                            let slot = (-other) as usize - 1;
+                            ghosts[slot * n_flat + flat]
+                        };
+                        vm.u1 = u_here;
+                        vm.u2 = u2;
+                        vm.normal = [
+                            geometry.normal[0][at],
+                            geometry.normal[1][at],
+                            geometry.normal[2][at],
+                        ];
+                        vm.position = pbte_mesh::Point::new(
+                            geometry.fx[at],
+                            geometry.fy[at],
+                            geometry.fz[at],
+                        );
+                        flux_sum += geometry.area[at] * flux_prog.eval(&vm);
+                    }
+                    *out = u_here + dt * (source - flux_sum / geometry.volume[cell]);
+                },
+            )
+        };
         work.dof_updates += n_threads as u64;
-        work.flux_evals += n_threads as u64 * self.geometry.max_faces as u64;
+        // Exact face total per owned flat (every cell's true face count,
+        // not a uniform max_faces estimate).
+        work.flux_evals += owned_flats.len() as u64 * cp.hot.nbr.len() as u64;
 
         // Meanwhile (conceptually overlapped, Fig 6): the CPU computes the
         // boundary contribution from the same old state.

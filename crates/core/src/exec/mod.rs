@@ -24,13 +24,14 @@
 pub mod dist;
 pub mod gpu;
 pub mod par;
+pub(crate) mod rows;
 pub mod seq;
 
 use crate::bytecode::{Compiler, KernelKind, Program};
 use crate::dataflow::TransferSchedule;
 use crate::entities::Fields;
 use crate::pipeline::DiscreteSystem;
-use crate::problem::{BoundaryCondition, DslError, GpuStrategy, Problem};
+use crate::problem::{BoundaryCondition, DslError, GpuStrategy, KernelTier, Problem};
 use pbte_gpu::DeviceSpec;
 use pbte_runtime::timer::PhaseTimer;
 use pbte_runtime::world::CommStats;
@@ -508,6 +509,37 @@ impl CompiledProblem {
         self.problem.mesh.as_ref().expect("checked in compile")
     }
 
+    /// The kernel tier the executors will actually use: the problem's
+    /// explicit choice, defaulting to `Row`, clamped to `Bound` when the
+    /// flux didn't linearize (the row flux loop needs the αβγ tables).
+    pub fn resolved_tier(&self) -> KernelTier {
+        let requested = self.problem.kernel_tier.unwrap_or(KernelTier::Row);
+        match requested {
+            KernelTier::Row if self.flux_lin.is_none() => KernelTier::Bound,
+            t => t,
+        }
+    }
+
+    /// Benchmark harness for the intensity phase in isolation: RHS
+    /// evaluation over all (cell, flat) pairs at a pinned tier, with
+    /// ghosts precomputed once. Used by the `intensity_phase` bench to
+    /// compare tiers on identical state without stepping.
+    pub fn intensity_bench(&self, fields: &Fields, tier: KernelTier) -> IntensityBench<'_> {
+        let all_cells: Vec<usize> = (0..fields.n_cells).collect();
+        let all_flats: Vec<usize> = (0..self.n_flat).collect();
+        let mut ghosts = vec![0.0; self.boundary.len() * self.n_flat];
+        let mut work = WorkCounters::default();
+        seq::compute_ghosts(self, fields, &all_flats, 0.0, &mut ghosts, &mut work);
+        let kernels = rows::IntensityKernels::with_tier(self, &all_flats, tier);
+        IntensityBench {
+            cp: self,
+            cells: all_cells,
+            flats: all_flats,
+            ghosts,
+            kernels,
+        }
+    }
+
     /// Automatic host↔device transfer schedule for a GPU strategy.
     pub fn transfer_schedule(&self, strategy: GpuStrategy) -> TransferSchedule {
         crate::dataflow::analyze_transfers(&self.problem, &self.system, strategy)
@@ -539,6 +571,42 @@ impl CompiledProblem {
             fields_bytes,
             device_bytes,
         }
+    }
+}
+
+/// One tier's intensity-phase RHS evaluation, reusable across timed
+/// repetitions (see [`CompiledProblem::intensity_bench`]).
+pub struct IntensityBench<'a> {
+    cp: &'a CompiledProblem,
+    cells: Vec<usize>,
+    flats: Vec<usize>,
+    ghosts: Vec<f64>,
+    kernels: rows::IntensityKernels,
+}
+
+impl IntensityBench<'_> {
+    /// The tier actually selected (Row may have clamped to Bound).
+    pub fn tier(&self) -> KernelTier {
+        self.kernels.tier
+    }
+
+    /// Evaluate the RHS for every (cell, flat) pair into `rhs`.
+    pub fn run(&mut self, fields: &Fields, rhs: &mut [f64]) {
+        let scope = seq::Scope {
+            cells: &self.cells,
+            flats: &self.flats,
+        };
+        let mut work = WorkCounters::default();
+        seq::compute_rhs_into(
+            self.cp,
+            fields,
+            &scope,
+            &self.ghosts,
+            0.0,
+            rhs,
+            &mut work,
+            &mut self.kernels,
+        );
     }
 }
 

@@ -9,10 +9,13 @@
 //! Numerics are identical to the sequential target — same arithmetic,
 //! same face order — only the iteration is partitioned.
 
+use super::rows::{self, FluxBoundary, IntensityKernels};
 use super::seq;
 use super::{phases, CompiledProblem, SolveReport, WorkCounters};
 use crate::entities::Fields;
-use crate::problem::{BoundaryCondition, BoundaryQuery, DslError, LocalReducer, TimeStepper};
+use crate::problem::{
+    BoundaryCondition, BoundaryQuery, DslError, KernelTier, LocalReducer, TimeStepper,
+};
 use pbte_runtime::timer::PhaseTimer;
 use rayon::prelude::*;
 use std::time::Instant;
@@ -54,7 +57,12 @@ fn compute_ghosts_par(
     work.ghost_evals += (callback_faces * n_flat) as u64;
 }
 
-/// Parallel RHS: one task per flat value (a contiguous block of `rhs`).
+/// Parallel RHS: the flat dimension maps to tasks (one contiguous block
+/// of `rhs` each) and, within a flat, the cell range is rayon-split into
+/// per-thread sub-spans — the same cell-range splitting the `threads`
+/// capability brought to the temperature phase. Chunk boundaries don't
+/// change per-cell arithmetic, so results stay bit-identical to the
+/// sequential target.
 fn compute_rhs_par(
     cp: &CompiledProblem,
     fields: &Fields,
@@ -62,26 +70,83 @@ fn compute_rhs_par(
     time: f64,
     rhs: &mut [f64],
     work: &mut WorkCounters,
+    kernels: &mut IntensityKernels,
 ) {
     let vars = fields.as_slices();
     let n_cells = fields.n_cells;
     let dt = cp.problem.dt;
-    let coefficients = &cp.problem.registry.coefficients;
-    rhs.par_chunks_mut(n_cells)
-        .enumerate()
-        .for_each(|(flat, block)| {
-            let bound = cp
-                .volume
-                .bind(&cp.idx_of_flat[flat], n_cells, dt, time, coefficients);
-            for (cell, out) in block.iter_mut().enumerate() {
-                *out = seq::eval_rhs_dof_bound(
-                    cp, &vars, n_cells, ghosts, cell, flat, dt, time, &bound,
-                );
-            }
-        });
-    let mesh = cp.mesh();
+    kernels.ensure(cp, n_cells, time);
+    let kernels = &*kernels;
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = n_cells.div_ceil(threads).max(1);
+    match kernels.tier {
+        KernelTier::Row => {
+            let centroids = &cp.mesh().cell_centroids;
+            rhs.par_chunks_mut(n_cells)
+                .enumerate()
+                .for_each(|(flat, block)| {
+                    let reg = kernels.reg(flat);
+                    block
+                        .par_chunks_mut(chunk)
+                        .enumerate()
+                        .for_each(|(ci, out)| {
+                            let mut regs = kernels.scratch();
+                            rows::rhs_span(
+                                reg,
+                                cp,
+                                &vars,
+                                n_cells,
+                                flat,
+                                FluxBoundary::Ghosts(ghosts),
+                                ci * chunk,
+                                out,
+                                centroids,
+                                time,
+                                None,
+                                &mut regs,
+                            );
+                        });
+                });
+        }
+        KernelTier::Bound => {
+            rhs.par_chunks_mut(n_cells)
+                .enumerate()
+                .for_each(|(flat, block)| {
+                    let bound = kernels.bound(flat);
+                    block
+                        .par_chunks_mut(chunk)
+                        .enumerate()
+                        .for_each(|(ci, out)| {
+                            for (i, o) in out.iter_mut().enumerate() {
+                                let cell = ci * chunk + i;
+                                *o = seq::eval_rhs_dof_bound(
+                                    cp, &vars, n_cells, ghosts, cell, flat, dt, time, bound,
+                                );
+                            }
+                        });
+                });
+        }
+        KernelTier::Vm => {
+            rhs.par_chunks_mut(n_cells)
+                .enumerate()
+                .for_each(|(flat, block)| {
+                    block
+                        .par_chunks_mut(chunk)
+                        .enumerate()
+                        .for_each(|(ci, out)| {
+                            for (i, o) in out.iter_mut().enumerate() {
+                                let cell = ci * chunk + i;
+                                *o = seq::eval_rhs_dof_vm(
+                                    cp, &vars, n_cells, ghosts, cell, flat, dt, time,
+                                );
+                            }
+                        });
+                });
+        }
+    }
     work.dof_updates += (cp.n_flat * n_cells) as u64;
-    work.flux_evals += (cp.n_flat * n_cells) as u64 * mesh.cell_faces(0).len() as u64;
+    // Exact face total: every flat walks every cell's face list once.
+    work.flux_evals += cp.n_flat as u64 * cp.hot.nbr.len() as u64;
 }
 
 /// `u += coeff * rhs`, parallel over flats.
@@ -117,6 +182,8 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
     // Hoisted once: the per-step ghost accounting only needs the count.
     let callback_faces = seq::callback_face_count(cp);
     let threads = rayon::current_num_threads();
+    let all_flats: Vec<usize> = (0..cp.n_flat).collect();
+    let mut kernels = IntensityKernels::for_scope(cp, &all_flats);
 
     for step in 0..cp.problem.n_steps {
         let t0 = Instant::now();
@@ -138,12 +205,12 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
         match cp.problem.stepper {
             TimeStepper::EulerExplicit => {
                 compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut work);
-                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work);
+                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work, &mut kernels);
                 axpy_par(fields, unknown, dt, &rhs);
             }
             TimeStepper::Rk2 => {
                 compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut work);
-                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work);
+                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work, &mut kernels);
                 axpy_par(fields, unknown, dt, &rhs);
                 compute_ghosts_par(
                     cp,
@@ -153,7 +220,15 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
                     callback_faces,
                     &mut work,
                 );
-                compute_rhs_par(cp, fields, &ghosts, time + dt, &mut rhs2, &mut work);
+                compute_rhs_par(
+                    cp,
+                    fields,
+                    &ghosts,
+                    time + dt,
+                    &mut rhs2,
+                    &mut work,
+                    &mut kernels,
+                );
                 axpy_par(fields, unknown, -0.5 * dt, &rhs);
                 axpy_par(fields, unknown, 0.5 * dt, &rhs2);
             }

@@ -19,11 +19,12 @@
 //! `compute_rhs_into`, `apply_post_steps`) the parallel, distributed, and
 //! GPU targets compose.
 
+use super::rows::{self, FluxBoundary, IntensityKernels};
 use super::{phases, CompiledProblem, SolveReport, WorkCounters};
 use crate::bytecode::VmCtx;
 use crate::entities::Fields;
 use crate::problem::{
-    BoundaryCondition, BoundaryQuery, DslError, Reducer, StepContext, TimeStepper,
+    BoundaryCondition, BoundaryQuery, DslError, KernelTier, Reducer, StepContext, TimeStepper,
 };
 use pbte_runtime::timer::PhaseTimer;
 use std::time::Instant;
@@ -156,17 +157,45 @@ pub(crate) fn eval_rhs_dof_bound(
     bound_volume: &crate::bytecode::BoundProgram,
 ) -> f64 {
     let mesh = cp.mesh();
-    let source = bound_volume.eval(
-        vars,
-        cell,
-        mesh.cell_centroids[cell],
-        time,
-        &cp.problem.registry.coefficients,
-    );
+    let source = bound_volume.eval(vars, cell, mesh.cell_centroids[cell], time);
     let u_here = vars[cp.system.unknown][flat * n_cells + cell];
     let flux = flux_sum_dof(cp, vars, n_cells, ghosts, cell, flat, dt, time, u_here);
     // Reciprocal multiply (hoisted per cell) instead of a divide in the
     // hot loop — the same strength reduction the generated code performs.
+    source - flux * cp.hot.inv_volume[cell]
+}
+
+/// Same RHS through the generic stack VM (no per-flat specialization) —
+/// the `KernelTier::Vm` baseline, bit-identical to the bound tier.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_rhs_dof_vm(
+    cp: &CompiledProblem,
+    vars: &[&[f64]],
+    n_cells: usize,
+    ghosts: &[f64],
+    cell: usize,
+    flat: usize,
+    dt: f64,
+    time: f64,
+) -> f64 {
+    let mesh = cp.mesh();
+    let vm = VmCtx {
+        vars,
+        n_cells,
+        coefficients: &cp.problem.registry.coefficients,
+        idx: &cp.idx_of_flat[flat],
+        cell,
+        u1: 0.0,
+        u2: 0.0,
+        normal: [0.0; 3],
+        position: mesh.cell_centroids[cell],
+        dt,
+        time,
+    };
+    let source = cp.volume.eval(&vm);
+    let u_here = vars[cp.system.unknown][flat * n_cells + cell];
+    let flux = flux_sum_dof(cp, vars, n_cells, ghosts, cell, flat, dt, time, u_here);
     source - flux * cp.hot.inv_volume[cell]
 }
 
@@ -179,6 +208,7 @@ pub(crate) fn eval_rhs_dof_bound(
 /// are identical either way — each dof is independent within a step —
 /// only the memory traversal changes, which is exactly the knob the paper
 /// exposes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn compute_rhs_into(
     cp: &CompiledProblem,
     fields: &Fields,
@@ -187,45 +217,94 @@ pub(crate) fn compute_rhs_into(
     time: f64,
     rhs: &mut [f64],
     work: &mut WorkCounters,
+    kernels: &mut IntensityKernels,
 ) {
     let vars = fields.as_slices();
     let n_cells = fields.n_cells;
     let dt = cp.problem.dt;
-    let faces_per_cell_hint = cp.mesh().cell_faces(scope.cells[0]).len() as u64;
-    let coefficients = &cp.problem.registry.coefficients;
+    // Loop-invariant hoisting: per-flat specialized programs, cached
+    // across steps when the volume program never reads `t`.
+    kernels.ensure(cp, n_cells, time);
+    // Exact per-scope face count (summed once, not sampled from cells[0]).
+    let faces_in_scope = kernels.faces_for_cells(&cp.hot, scope.cells);
 
-    // Loop-invariant hoisting: specialize the volume program once per flat
-    // value per step (array coefficients and index values fold away).
-    let bound: Vec<crate::bytecode::BoundProgram> = scope
-        .flats
-        .iter()
-        .map(|&flat| {
-            cp.volume
-                .bind(&cp.idx_of_flat[flat], n_cells, dt, time, coefficients)
-        })
-        .collect();
-
-    let cells_outer = matches!(
-        cp.problem.effective_loop_order(cp.system.unknown).first(),
-        Some(crate::problem::LoopDim::Cells)
-    );
-    if cells_outer {
-        for &cell in scope.cells {
+    match kernels.tier {
+        KernelTier::Row => {
+            // The fused tier is row-major by construction: each flat's
+            // contiguous cell spans are one batched kernel call each.
+            let centroids = &cp.mesh().cell_centroids;
+            let mut regs = kernels.scratch();
             for (k, &flat) in scope.flats.iter().enumerate() {
-                rhs[flat * n_cells + cell] =
-                    eval_rhs_dof_bound(cp, &vars, n_cells, ghosts, cell, flat, dt, time, &bound[k]);
+                let reg = kernels.reg(k);
+                for (start, len) in rows::spans(scope.cells) {
+                    let at = flat * n_cells + start;
+                    rows::rhs_span(
+                        reg,
+                        cp,
+                        &vars,
+                        n_cells,
+                        flat,
+                        FluxBoundary::Ghosts(ghosts),
+                        start,
+                        &mut rhs[at..at + len],
+                        centroids,
+                        time,
+                        None,
+                        &mut regs,
+                    );
+                }
             }
         }
-    } else {
-        for (k, &flat) in scope.flats.iter().enumerate() {
-            for &cell in scope.cells {
-                rhs[flat * n_cells + cell] =
-                    eval_rhs_dof_bound(cp, &vars, n_cells, ghosts, cell, flat, dt, time, &bound[k]);
+        KernelTier::Bound => {
+            let cells_outer = matches!(
+                cp.problem.effective_loop_order(cp.system.unknown).first(),
+                Some(crate::problem::LoopDim::Cells)
+            );
+            if cells_outer {
+                for &cell in scope.cells {
+                    for (k, &flat) in scope.flats.iter().enumerate() {
+                        rhs[flat * n_cells + cell] = eval_rhs_dof_bound(
+                            cp,
+                            &vars,
+                            n_cells,
+                            ghosts,
+                            cell,
+                            flat,
+                            dt,
+                            time,
+                            kernels.bound(k),
+                        );
+                    }
+                }
+            } else {
+                for (k, &flat) in scope.flats.iter().enumerate() {
+                    for &cell in scope.cells {
+                        rhs[flat * n_cells + cell] = eval_rhs_dof_bound(
+                            cp,
+                            &vars,
+                            n_cells,
+                            ghosts,
+                            cell,
+                            flat,
+                            dt,
+                            time,
+                            kernels.bound(k),
+                        );
+                    }
+                }
+            }
+        }
+        KernelTier::Vm => {
+            for &flat in scope.flats {
+                for &cell in scope.cells {
+                    rhs[flat * n_cells + cell] =
+                        eval_rhs_dof_vm(cp, &vars, n_cells, ghosts, cell, flat, dt, time);
+                }
             }
         }
     }
     work.dof_updates += (scope.flats.len() * scope.cells.len()) as u64;
-    work.flux_evals += (scope.flats.len() * scope.cells.len()) as u64 * faces_per_cell_hint;
+    work.flux_evals += scope.flats.len() as u64 * faces_in_scope;
 }
 
 /// Apply `u += dt * rhs` (or a weighted stage combination) on a scope.
@@ -303,6 +382,7 @@ pub(crate) fn step_scope(
     links: &mut dyn super::StepLinks,
     work: &mut WorkCounters,
     threads: usize,
+    kernels: &mut IntensityKernels,
 ) -> (f64, f64, f64) {
     let dt = cp.problem.dt;
     let unknown = cp.system.unknown;
@@ -328,18 +408,18 @@ pub(crate) fn step_scope(
         TimeStepper::EulerExplicit => {
             t_comm += links.halo_exchange(fields);
             compute_ghosts(cp, fields, scope.flats, time, ghosts, work);
-            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work);
+            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work, kernels);
             axpy_scope(fields, unknown, scope, dt, rhs);
         }
         TimeStepper::Rk2 => {
             // Heun's method: u* = u + dt k1; u' = u + dt/2 (k1 + k2(u*)).
             t_comm += links.halo_exchange(fields);
             compute_ghosts(cp, fields, scope.flats, time, ghosts, work);
-            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work);
+            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work, kernels);
             axpy_scope(fields, unknown, scope, dt, rhs);
             t_comm += links.halo_exchange(fields);
             compute_ghosts(cp, fields, scope.flats, time + dt, ghosts, work);
-            compute_rhs_into(cp, fields, scope, ghosts, time + dt, rhs2, work);
+            compute_rhs_into(cp, fields, scope, ghosts, time + dt, rhs2, work, kernels);
             // u' = u* − dt k1 + dt/2 (k1 + k2) = u* − dt/2 k1 + dt/2 k2.
             axpy_scope(fields, unknown, scope, -0.5 * dt, rhs);
             axpy_scope(fields, unknown, scope, 0.5 * dt, rhs2);
@@ -384,6 +464,7 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
     let mut timer = PhaseTimer::new();
     let mut work = WorkCounters::default();
     let mut links = super::LocalLinks;
+    let mut kernels = IntensityKernels::for_scope(cp, &all_flats);
     let mut time = 0.0;
     for step in 0..cp.problem.n_steps {
         let (ti, tt, _comm) = step_scope(
@@ -400,6 +481,7 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
             &mut links,
             &mut work,
             1,
+            &mut kernels,
         );
         timer.add(phases::INTENSITY, ti);
         timer.add(phases::TEMPERATURE, tt);

@@ -48,4 +48,4 @@ pub mod problem;
 
 pub use entities::{Coefficient, CoefficientValue, Fields, Index, Location, Variable};
 pub use exec::{ExecTarget, SolveReport, Solver};
-pub use problem::{BoundaryCondition, GpuStrategy, Problem, SolverType, TimeStepper};
+pub use problem::{BoundaryCondition, GpuStrategy, KernelTier, Problem, SolverType, TimeStepper};

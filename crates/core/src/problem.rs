@@ -199,6 +199,26 @@ pub enum LoopDim {
     Index(String),
 }
 
+/// Which execution tier evaluates the intensity-phase RHS.
+///
+/// The tiers trade generality for speed: `Vm` interprets the generic
+/// stack bytecode per DOF (patterns resolved every op), `Bound` interprets
+/// a per-flat specialized program (patterns folded to offsets, coefficients
+/// and `dt` folded to constants), and `Row` runs the register-allocated,
+/// batched row kernel that fuses the whole update
+/// `u_new = u + dt·(source − flux·invV)` over a contiguous cell span.
+/// All three produce bit-identical results; `Row` requires the flux to be
+/// linearizable and silently falls back to `Bound` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Generic stack-bytecode VM, per-DOF dispatch.
+    Vm,
+    /// Per-flat bound program, per-DOF dispatch.
+    Bound,
+    /// Fused, batched row kernel over contiguous cell spans.
+    Row,
+}
+
 /// Errors from building a problem.
 #[derive(Debug)]
 pub enum DslError {
@@ -249,6 +269,13 @@ pub struct Problem {
     /// Registered custom symbolic operators, expanded by the pipeline
     /// before the built-in `upwind`.
     pub custom_operators: Vec<(String, OperatorFn)>,
+    /// Which kernel tier evaluates the intensity phase; `None` selects
+    /// automatically (`Row` when the flux linearizes, else `Bound`).
+    pub kernel_tier: Option<KernelTier>,
+    /// Force re-binding per-flat programs every step even when the
+    /// program provably doesn't reference `t` (diagnostic knob; the
+    /// default caches bound programs across steps).
+    pub rebind_per_step: bool,
 }
 
 impl Problem {
@@ -271,7 +298,21 @@ impl Problem {
             post_steps: Vec::new(),
             assembly_loops: Vec::new(),
             custom_operators: Vec::new(),
+            kernel_tier: None,
+            rebind_per_step: false,
         }
+    }
+
+    /// Pin the intensity phase to a specific kernel tier (default: auto).
+    pub fn kernel_tier(&mut self, tier: KernelTier) -> &mut Self {
+        self.kernel_tier = Some(tier);
+        self
+    }
+
+    /// Re-bind per-flat programs every step even when time-independent.
+    pub fn rebind_per_step(&mut self, on: bool) -> &mut Self {
+        self.rebind_per_step = on;
+        self
     }
 
     /// `domain(d)`.

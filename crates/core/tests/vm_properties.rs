@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 
-use pbte_dsl::bytecode::{Compiler, KernelKind, VmCtx};
+use pbte_dsl::bytecode::{Compiler, KernelKind, RegProgram, VmCtx, ROW_CHUNK};
 use pbte_dsl::entities::Fields;
 use pbte_dsl::exec::ExecTarget;
 use pbte_dsl::problem::{BoundaryCondition, Problem, TimeStepper};
@@ -159,16 +159,42 @@ proptest! {
 
                     // Property 2: binding is an exact specialization.
                     let bound = program.bind(&idx, 4, dt, 0.0, &p.registry.coefficients);
-                    let bval = bound.eval(
-                        &vars,
-                        cell,
-                        pbte_mesh::Point::zero(),
-                        0.0,
-                        &p.registry.coefficients,
-                    );
+                    let bval = bound.eval(&vars, cell, pbte_mesh::Point::zero(), 0.0);
                     prop_assert!(
                         bval == got || (bval.is_nan() && got.is_nan()),
                         "bind() changed the value: {bval} vs {got}"
+                    );
+                }
+            }
+        }
+
+        // Property 2b: the register-allocated row kernel is bit-identical
+        // to both interpreters on every cell, for any span split.
+        let centroids = vec![pbte_mesh::Point::zero(); 4];
+        for dd in 0..ND {
+            for bb in 0..NB {
+                let idx = [dd, bb];
+                let bound = program.bind(&idx, 4, dt, 0.0, &p.registry.coefficients);
+                let reg = RegProgram::compile(&bound);
+                let mut regs = vec![[0.0; ROW_CHUNK]; reg.n_regs()];
+                let mut row = [0.0f64; 4];
+                reg.eval_row(&vars, 0, &mut row, &centroids, 0.0, &mut regs);
+                // Split evaluation must agree with the whole-row one.
+                let mut split = [0.0f64; 4];
+                reg.eval_row(&vars, 0, &mut split[..1], &centroids, 0.0, &mut regs);
+                reg.eval_row(&vars, 1, &mut split[1..], &centroids, 0.0, &mut regs);
+                for cell in 0..4 {
+                    let bval = bound.eval(&vars, cell, pbte_mesh::Point::zero(), 0.0);
+                    prop_assert!(
+                        row[cell].to_bits() == bval.to_bits(),
+                        "row kernel differs at cell {cell} d {dd} b {bb}: {} vs {bval} for {e}",
+                        row[cell]
+                    );
+                    prop_assert!(
+                        split[cell].to_bits() == row[cell].to_bits(),
+                        "span split changed cell {cell}: {} vs {}",
+                        split[cell],
+                        row[cell]
                     );
                 }
             }

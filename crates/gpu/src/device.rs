@@ -209,6 +209,45 @@ impl Device {
         t
     }
 
+    /// Launch a kernel whose grid is `n_rows` thread *blocks*, each
+    /// writing one contiguous `row_len`-long slice of the output —
+    /// the batched row-kernel form the host-side kernel compiler emits
+    /// (one block per flattened index value, threads covering the cell
+    /// span). Timing uses the same per-thread roofline as [`Device::launch`]
+    /// with `n_rows * row_len` threads; only the body granularity differs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_rows<F>(
+        &mut self,
+        name: &str,
+        n_rows: usize,
+        row_len: usize,
+        cost: KernelCost,
+        inputs: &[&DeviceBuffer],
+        output: &mut DeviceBuffer,
+        body: F,
+    ) -> f64
+    where
+        F: Fn(usize, &[&[f64]], &mut [f64]) + Sync,
+    {
+        assert_eq!(
+            output.len(),
+            n_rows * row_len,
+            "kernel `{name}` output length must equal n_rows * row_len"
+        );
+        let input_slices: Vec<&[f64]> = inputs.iter().map(|b| b.slice()).collect();
+        output
+            .slice_mut()
+            .par_chunks_mut(row_len)
+            .enumerate()
+            .for_each(|(row, out)| body(row, &input_slices, out));
+        let n_threads = n_rows * row_len;
+        let t = self.kernel_time(n_threads, &cost);
+        self.profiler
+            .record_kernel(name, n_threads, &cost, t, &self.spec);
+        self.elapsed += t;
+        t
+    }
+
     /// In-place variant: the kernel updates `state[tid]` reading the whole
     /// previous state (double-buffered internally, as the generated code
     /// uses `u` and `u_new` arrays).
