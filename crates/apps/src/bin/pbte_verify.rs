@@ -1,0 +1,126 @@
+//! `pbte-verify` — run the static plan verifier (`pbte_dsl::analysis`)
+//! over the paper's scenarios on every execution target and kernel tier.
+//!
+//! ```text
+//! pbte-verify [--json] [n=12] [steps=4] [ranks=2]
+//! ```
+//!
+//! For each scenario (the hot-spot domain of Figs 1–4 and the elongated
+//! domain of Fig 10), each temperature strategy (redundant / divided
+//! Newton), each target (seq, par, cells:<r>, bands:<r>, gpu async,
+//! gpu precompute, bands+gpu) and each kernel tier (vm, bound, row), the
+//! problem is compiled and `verify_plan` checks:
+//!
+//! 1. bytecode well-formedness and derived read sets vs the declared ones;
+//! 2. pairwise-disjoint write regions for the parallel split of the target;
+//! 3. the transfer schedule against derived/declared access sets (GPU
+//!    targets only — no stale reads, no redundant transfers).
+//!
+//! Exit status is non-zero if any diagnostic (warning or error) is
+//! produced, so CI can gate on a clean plan. `--json` emits the combined
+//! diagnostic list as a JSON array instead of human text.
+
+use pbte_apps::arg_usize;
+use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
+use pbte_bte::temperature::TemperatureStrategy;
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::KernelTier;
+use pbte_dsl::{analysis, GpuStrategy};
+use pbte_gpu::DeviceSpec;
+
+fn targets(ranks: usize) -> Vec<(String, ExecTarget)> {
+    vec![
+        ("seq".into(), ExecTarget::CpuSeq),
+        ("par".into(), ExecTarget::CpuParallel),
+        (format!("cells:{ranks}"), ExecTarget::DistCells { ranks }),
+        (
+            format!("bands:{ranks}"),
+            ExecTarget::DistBands {
+                ranks,
+                index: "b".into(),
+            },
+        ),
+        (
+            "gpu:async".into(),
+            ExecTarget::GpuHybrid {
+                spec: DeviceSpec::a6000(),
+                strategy: GpuStrategy::AsyncBoundary,
+            },
+        ),
+        (
+            "gpu:precompute".into(),
+            ExecTarget::GpuHybrid {
+                spec: DeviceSpec::a6000(),
+                strategy: GpuStrategy::PrecomputeBoundary,
+            },
+        ),
+        (
+            format!("bands-gpu:{ranks}"),
+            ExecTarget::DistBandsGpu {
+                ranks,
+                index: "b".into(),
+                spec: DeviceSpec::a6000(),
+                strategy: GpuStrategy::AsyncBoundary,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let n = arg_usize(&args, "n", 12);
+    let steps = arg_usize(&args, "steps", 4);
+    let ranks = arg_usize(&args, "ranks", 2);
+
+    type Scenario = fn(&BteConfig) -> BteProblem;
+    let scenarios: [(&str, Scenario); 2] = [("hotspot", hotspot_2d), ("elongated", elongated)];
+    let strategies = [
+        ("redundant", TemperatureStrategy::RedundantNewton),
+        ("divided", TemperatureStrategy::DividedNewton),
+    ];
+    let tiers = [
+        ("vm", KernelTier::Vm),
+        ("bound", KernelTier::Bound),
+        ("row", KernelTier::Row),
+    ];
+
+    let mut all: Vec<pbte_dsl::Diagnostic> = Vec::new();
+    let mut plans = 0usize;
+    for (sname, scenario) in scenarios {
+        for (stname, strategy) in strategies {
+            let cfg = BteConfig::small(n, 8, 4, steps).with_temperature_strategy(strategy);
+            for (tname, target) in targets(ranks) {
+                for (kname, tier) in tiers {
+                    let mut bte = scenario(&cfg);
+                    bte.problem.kernel_tier(tier);
+                    let diags = match bte.problem.verify_plan(&target) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            eprintln!("{sname}/{stname}/{tname}/{kname}: build failed: {e:?}");
+                            std::process::exit(2);
+                        }
+                    };
+                    plans += 1;
+                    if !json {
+                        for d in &diags {
+                            println!("{sname}/{stname}/{tname}/{kname}: {}", d.render());
+                        }
+                    }
+                    all.extend(diags);
+                }
+            }
+        }
+    }
+
+    if json {
+        println!("{}", analysis::render_json(&all));
+    } else if all.is_empty() {
+        println!("verified {plans} plans: no diagnostics");
+    } else {
+        println!("verified {plans} plans: {} diagnostic(s)", all.len());
+    }
+    if !all.is_empty() {
+        std::process::exit(1);
+    }
+}

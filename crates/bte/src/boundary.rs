@@ -15,14 +15,17 @@ use pbte_mesh::Point;
 use std::sync::Arc;
 
 /// Isothermal wall with a (possibly position-dependent) temperature.
+/// Declared as reading no fields — the ghost depends only on the wall
+/// temperature and the band, so the static plan verifier knows it imposes
+/// no host-side transfer obligations.
 pub fn isothermal(
     material: Arc<Material>,
     wall_temperature: impl Fn(Point) -> f64 + Send + Sync + 'static,
 ) -> BoundaryCondition {
-    BoundaryCondition::Callback(Arc::new(move |q: &BoundaryQuery| {
+    BoundaryCondition::callback_reading(&[], move |q: &BoundaryQuery| {
         let b = q.idx[1];
         material.table.io(b, wall_temperature(q.position))
-    }))
+    })
 }
 
 /// A uniform Gaussian hot spot on an otherwise `t_ref` wall:
@@ -41,9 +44,11 @@ pub fn gaussian_wall(
 }
 
 /// Specular symmetry wall: the ghost intensity for direction `d` is the
-/// interior intensity of the reflected direction.
+/// interior intensity of the reflected direction. Declares its read of
+/// the intensity `I`, which the transfer verifier turns into the proof
+/// obligation that the unknown returns to the host every step.
 pub fn symmetry(material: Arc<Material>) -> BoundaryCondition {
-    BoundaryCondition::Callback(Arc::new(move |q: &BoundaryQuery| {
+    BoundaryCondition::callback_reading(&["I"], move |q: &BoundaryQuery| {
         let d = q.idx[0];
         let b = q.idx[1];
         let r = material.angles.reflect(d, q.normal);
@@ -53,7 +58,7 @@ pub fn symmetry(material: Arc<Material>) -> BoundaryCondition {
             .expect("the BTE unknown is registered as `I`");
         let n_bands = material.n_bands();
         q.fields.value(i_var, q.owner_cell, r * n_bands + b)
-    }))
+    })
 }
 
 #[cfg(test)]
@@ -79,9 +84,7 @@ mod tests {
         let m = Arc::new(Material::silicon_2d(8, 8, 250.0, 400.0));
         let bc = isothermal(m.clone(), |_| 320.0);
         let fields = dummy_fields(&m);
-        let BoundaryCondition::Callback(f) = bc else {
-            panic!("isothermal is a callback")
-        };
+        assert_eq!(bc.declared_reads(), Some(&[][..]));
         for b in 0..m.n_bands() {
             let q = BoundaryQuery {
                 position: Point::xy(0.0, 0.5),
@@ -91,7 +94,7 @@ mod tests {
                 time: 0.0,
                 fields: &fields,
             };
-            let ghost = f(&q);
+            let ghost = bc.ghost_value(&q);
             assert!((ghost - m.table.io(b, 320.0)).abs() < 1e-15);
         }
     }
@@ -108,9 +111,7 @@ mod tests {
             }
         }
         let bc = symmetry(m.clone());
-        let BoundaryCondition::Callback(f) = bc else {
-            panic!("symmetry is a callback")
-        };
+        assert_eq!(bc.declared_reads(), Some(&["I".to_string()][..]));
         let normal = Point::xy(0.0, 1.0);
         for d in 0..m.n_dirs() {
             let q = BoundaryQuery {
@@ -121,7 +122,7 @@ mod tests {
                 time: 0.0,
                 fields: &fields,
             };
-            let ghost = f(&q);
+            let ghost = bc.ghost_value(&q);
             let r = m.angles.reflect(d, normal);
             assert_eq!(ghost, (100 * r + 1) as f64);
         }

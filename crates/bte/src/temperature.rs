@@ -102,9 +102,25 @@ impl TemperatureUpdate {
     }
 
     /// Register as the problem's post-step function
-    /// (`postStepFunction(temperature_update)`).
+    /// (`postStepFunction(temperature_update)`), declaring its field
+    /// accesses so the static plan verifier can check the transfer
+    /// schedule against them: it reads the intensity (energy sums) and
+    /// the previous temperature (Newton initial guess), and writes the
+    /// temperature plus the equilibrium intensity and scattering rate.
     pub fn install(self, problem: &mut Problem) {
-        problem.post_step(move |ctx| self.run(ctx));
+        let name = |v: usize| problem.registry.variables[v].name.clone();
+        let (i, t, io, beta) = (
+            name(self.vars.i),
+            name(self.vars.t),
+            name(self.vars.io),
+            name(self.vars.beta),
+        );
+        problem.post_step_declared(
+            "temperature_update",
+            &[&i, &t],
+            &[&t, &io, &beta],
+            move |ctx| self.run(ctx),
+        );
     }
 
     /// Execute the update for one step.

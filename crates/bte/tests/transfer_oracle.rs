@@ -1,0 +1,105 @@
+//! Dynamic transfer oracle: the simulated device's profiler log is the
+//! ground truth the static `TransferSchedule` must cover.
+//!
+//! Running the hot-spot scenario (the paper's Fig 4 configuration, scaled
+//! down) on the hybrid GPU target, every host↔device copy the executor
+//! issues is counted by `pbte-gpu`'s profiler. The static schedule must be
+//! a **superset** of the observed transfers — every copy the run makes is
+//! schedule-justified — and free of redundant entries — nothing in the
+//! schedule predicts a copy the run never needs. Both directions together
+//! mean the observed counts *equal* the schedule's prediction:
+//!
+//! ```text
+//! h2d.count == |Once H2D variables| + steps · |EveryStep H2D|
+//! d2h.count == steps · |EveryStep D2H|
+//! ```
+//!
+//! Coefficient `Once` entries are excluded from the H2D prediction: the
+//! simulated kernels close over the coefficient tables (the codegen bakes
+//! them into the kernel, the analogue of `__constant__` memory), so no
+//! runtime copy corresponds to those schedule lines.
+
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_dsl::dataflow::Policy;
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::{analysis, GpuStrategy};
+use pbte_gpu::DeviceSpec;
+
+fn observed_matches_schedule(strategy: GpuStrategy) {
+    let steps = 5;
+    let cfg = BteConfig::small(8, 8, 4, steps);
+    let bte = hotspot_2d(&cfg);
+    let mut solver = bte
+        .solver(ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy,
+        })
+        .expect("valid scenario");
+    let schedule = solver.compiled.transfer_schedule(strategy);
+
+    // The static verifier agrees the schedule has no stale reads and no
+    // redundant entries before we hold it to the dynamic log.
+    let diags = analysis::check_schedule(&solver.compiled, &schedule);
+    assert!(diags.is_empty(), "static schedule must be clean: {diags:?}");
+
+    let report = solver.solve().expect("solve succeeds");
+    let profile = report.device.expect("gpu target profiles the device");
+
+    // Once-H2D entries that correspond to a runtime copy: registered
+    // variables only (coefficients are baked into the kernel closures).
+    let fields = solver.fields();
+    let once_h2d_vars = schedule
+        .transfers
+        .iter()
+        .filter(|t| t.to_device && t.policy == Policy::Once)
+        .filter(|t| fields.var_id(&t.name).is_some())
+        .count();
+    let expected_h2d = once_h2d_vars + steps * schedule.each_step_h2d().len();
+    let expected_d2h = steps * schedule.each_step_d2h().len();
+
+    assert_eq!(
+        profile.h2d.count, expected_h2d,
+        "{strategy:?}: observed H2D copies must exactly match the schedule \
+         (fewer ⇒ the schedule is not a superset of the observed transfers; \
+         more ⇒ the executor moves data the schedule cannot justify)"
+    );
+    assert_eq!(
+        profile.d2h.count, expected_d2h,
+        "{strategy:?}: observed D2H copies must exactly match the schedule"
+    );
+    assert!(profile.h2d.bytes > 0 && profile.d2h.bytes > 0);
+}
+
+#[test]
+fn async_boundary_schedule_covers_observed_transfers() {
+    observed_matches_schedule(GpuStrategy::AsyncBoundary);
+}
+
+#[test]
+fn precompute_schedule_covers_observed_transfers() {
+    observed_matches_schedule(GpuStrategy::PrecomputeBoundary);
+}
+
+#[test]
+fn schedule_without_d2h_would_be_caught_statically() {
+    // Cross-check between the negative seam and the oracle: deleting the
+    // D2H the run demonstrably performs turns into a stale-read diagnostic.
+    let cfg = BteConfig::small(8, 8, 4, 2);
+    let solver = hotspot_2d(&cfg)
+        .solver(ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        })
+        .expect("valid scenario");
+    let mut schedule = solver
+        .compiled
+        .transfer_schedule(GpuStrategy::AsyncBoundary);
+    schedule.transfers.retain(|t| t.to_device);
+    let diags = analysis::check_schedule(&solver.compiled, &schedule);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == analysis::rules::STALE_READ && d.entity == "I"),
+        "dropping every D2H must flag the unknown as stale on the host: {diags:?}"
+    );
+}

@@ -1,0 +1,491 @@
+//! Read-set derivation and bytecode validation by abstract interpretation.
+//!
+//! Every kernel tier is walked symbolically:
+//!
+//! * the stack tiers (`Program`, `BoundProgram`) with a stack-depth
+//!   abstraction — each instruction's pop/push effect is applied to an
+//!   abstract depth, proving no underflow, no overflow past the VM's
+//!   fixed stack, and a single result value;
+//! * the register tier (`RegProgram`) with a def-before-use abstraction
+//!   over the register file;
+//! * every load's resolved offset (or worst-case index pattern) is
+//!   checked against the storage extent of the entity it names.
+//!
+//! The variables and coefficients the walks observe form the derived
+//! read set, which must agree with the equation-level declaration in
+//! [`DiscreteSystem`](crate::pipeline::DiscreteSystem).
+
+use super::{rules, Diagnostic, Severity};
+use crate::bytecode::{BoundOp, Op, Pattern, Program, RegOp, RegProgram, MAX_STACK};
+use crate::entities::CoefficientValue;
+use crate::exec::CompiledProblem;
+use std::collections::BTreeSet;
+
+/// Read sets derived from bytecode (entity ids into the registry).
+#[derive(Debug, Default, Clone)]
+pub struct DerivedAccess {
+    pub var_reads: BTreeSet<usize>,
+    pub coef_reads: BTreeSet<usize>,
+}
+
+/// Stack effect of one `Op`: (pops, pushes).
+fn op_effect(op: &Op) -> (usize, usize) {
+    match op {
+        Op::Const(_)
+        | Op::LoadDt
+        | Op::LoadTime
+        | Op::LoadIndex(_)
+        | Op::LoadVar { .. }
+        | Op::LoadU1
+        | Op::LoadU2
+        | Op::LoadCoef { .. }
+        | Op::LoadCoefFn { .. }
+        | Op::LoadNormal(_) => (0, 1),
+        Op::Add | Op::Mul | Op::Pow | Op::Cmp(_) => (2, 1),
+        Op::Recip | Op::Call(_) => (1, 1),
+        Op::Select => (3, 1),
+    }
+}
+
+/// Stack effect of one `BoundOp`.
+fn bound_effect(op: &BoundOp) -> (usize, usize) {
+    match op {
+        BoundOp::Const(_) | BoundOp::Load { .. } | BoundOp::CoefFn(_) => (0, 1),
+        BoundOp::Add | BoundOp::Mul | BoundOp::Pow | BoundOp::Cmp(_) => (2, 1),
+        BoundOp::Recip | BoundOp::Call(_) => (1, 1),
+        BoundOp::Select => (3, 1),
+    }
+}
+
+/// Abstractly run a stack program: every instruction applies its effect
+/// to the depth, which must stay within `[0, MAX_STACK]` and end at 1.
+fn walk_stack<T>(
+    ops: &[T],
+    effect: impl Fn(&T) -> (usize, usize),
+    location: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut depth = 0usize;
+    for (pc, op) in ops.iter().enumerate() {
+        let (pops, pushes) = effect(op);
+        if depth < pops {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::STACK_DEPTH,
+                entity: String::new(),
+                location: format!("{location}, op {pc}"),
+                message: format!("stack underflow: depth {depth}, instruction pops {pops}"),
+            });
+            return;
+        }
+        depth = depth - pops + pushes;
+        if depth > MAX_STACK {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::STACK_DEPTH,
+                entity: String::new(),
+                location: format!("{location}, op {pc}"),
+                message: format!(
+                    "stack overflow: depth {depth} exceeds the VM stack ({MAX_STACK})"
+                ),
+            });
+            return;
+        }
+    }
+    if depth != 1 {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            rule: rules::STACK_DEPTH,
+            entity: String::new(),
+            location: location.to_string(),
+            message: format!("program leaves {depth} values on the stack, expected 1"),
+        });
+    }
+}
+
+/// Worst-case flattened index a pattern can produce over the unknown's
+/// loop slots, or an error description when a slot is out of range.
+fn pattern_max_flat(pattern: &Pattern, idx_lens: &[usize]) -> Result<usize, String> {
+    let mut max = pattern.base;
+    for &(slot, stride) in &pattern.terms {
+        let slot = slot as usize;
+        if slot >= idx_lens.len() {
+            return Err(format!(
+                "pattern references loop slot {slot}, but only {} exist",
+                idx_lens.len()
+            ));
+        }
+        max += stride * (idx_lens[slot] - 1);
+    }
+    Ok(max)
+}
+
+/// Validate one generic-tier program and fold its reads into `acc`.
+fn check_vm_program(
+    cp: &CompiledProblem,
+    program: &Program,
+    location: &str,
+    acc: &mut DerivedAccess,
+    out: &mut Vec<Diagnostic>,
+) {
+    let registry = &cp.problem.registry;
+    walk_stack(&program.ops, op_effect, location, out);
+    for (pc, op) in program.ops.iter().enumerate() {
+        match op {
+            Op::LoadVar { var, pattern } => {
+                let v = *var as usize;
+                acc.var_reads.insert(v);
+                let extent = registry.flat_len(&registry.variables[v].indices);
+                match pattern_max_flat(pattern, &cp.idx_lens) {
+                    Ok(max) if max < extent => {}
+                    Ok(max) => out.push(Diagnostic {
+                        severity: Severity::Error,
+                        rule: rules::OOB_LOAD,
+                        entity: registry.variables[v].name.clone(),
+                        location: format!("{location}, op {pc}"),
+                        message: format!("worst-case flat index {max} ≥ extent {extent}"),
+                    }),
+                    Err(msg) => out.push(Diagnostic {
+                        severity: Severity::Error,
+                        rule: rules::OOB_LOAD,
+                        entity: registry.variables[v].name.clone(),
+                        location: format!("{location}, op {pc}"),
+                        message: msg,
+                    }),
+                }
+            }
+            Op::LoadU1 | Op::LoadU2 => {
+                acc.var_reads.insert(cp.system.unknown);
+            }
+            Op::LoadCoef { coef, pattern } => {
+                let c = *coef as usize;
+                acc.coef_reads.insert(c);
+                if let CoefficientValue::Array(a) = &registry.coefficients[c].value {
+                    match pattern_max_flat(pattern, &cp.idx_lens) {
+                        Ok(max) if max < a.len() => {}
+                        Ok(max) => out.push(Diagnostic {
+                            severity: Severity::Error,
+                            rule: rules::OOB_LOAD,
+                            entity: registry.coefficients[c].name.clone(),
+                            location: format!("{location}, op {pc}"),
+                            message: format!(
+                                "worst-case flat index {max} ≥ array length {}",
+                                a.len()
+                            ),
+                        }),
+                        Err(msg) => out.push(Diagnostic {
+                            severity: Severity::Error,
+                            rule: rules::OOB_LOAD,
+                            entity: registry.coefficients[c].name.clone(),
+                            location: format!("{location}, op {pc}"),
+                            message: msg,
+                        }),
+                    }
+                }
+            }
+            Op::LoadCoefFn { coef } => {
+                acc.coef_reads.insert(*coef as usize);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Bounds check for a bound-tier load: `vars[var][offset + cell]` over
+/// `cell in 0..n_cells` against the variable's storage extent.
+fn check_bound_load(
+    cp: &CompiledProblem,
+    var: u16,
+    offset: usize,
+    n_cells: usize,
+    location: &str,
+    acc: &mut DerivedAccess,
+    out: &mut Vec<Diagnostic>,
+) {
+    let registry = &cp.problem.registry;
+    let v = var as usize;
+    acc.var_reads.insert(v);
+    let extent = registry.flat_len(&registry.variables[v].indices) * n_cells;
+    if offset + n_cells > extent {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            rule: rules::OOB_LOAD,
+            entity: registry.variables[v].name.clone(),
+            location: location.to_string(),
+            message: format!(
+                "load span {}..{} exceeds storage extent {extent}",
+                offset,
+                offset + n_cells
+            ),
+        });
+    }
+}
+
+/// Validate one register-tier program: def-before-use over the register
+/// file plus load bounds.
+fn check_reg_program(
+    cp: &CompiledProblem,
+    reg: &RegProgram,
+    n_cells: usize,
+    location: &str,
+    acc: &mut DerivedAccess,
+    out: &mut Vec<Diagnostic>,
+) {
+    let n_regs = reg.n_regs();
+    let mut defined = vec![false; n_regs];
+    let undef = |r: u8, pc: usize, defined: &[bool], out: &mut Vec<Diagnostic>| {
+        let ri = r as usize;
+        if ri >= defined.len() || !defined[ri] {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::USE_BEFORE_DEF,
+                entity: String::new(),
+                location: format!("{location}, op {pc}"),
+                message: format!("register r{ri} consumed before any definition"),
+            });
+            return true;
+        }
+        false
+    };
+    for (pc, op) in reg.ops().iter().enumerate() {
+        let (dst, operands): (u8, Vec<u8>) = match op {
+            RegOp::Const { dst, .. } | RegOp::CoefFn { dst, .. } => (*dst, vec![]),
+            RegOp::Load { dst, var, offset } => {
+                check_bound_load(cp, *var, *offset, n_cells, location, acc, out);
+                (*dst, vec![])
+            }
+            RegOp::Add { dst, a, b } | RegOp::Mul { dst, a, b } | RegOp::Pow { dst, a, b } => {
+                (*dst, vec![*a, *b])
+            }
+            RegOp::Recip { dst, a } | RegOp::Call { dst, a, .. } => (*dst, vec![*a]),
+            RegOp::Cmp { dst, a, b, .. } => (*dst, vec![*a, *b]),
+            RegOp::Select { dst, t, a, b } => (*dst, vec![*t, *a, *b]),
+            RegOp::AddConst { dst, a, .. } | RegOp::MulConst { dst, a, .. } => (*dst, vec![*a]),
+            RegOp::LoadMul {
+                dst,
+                a,
+                var,
+                offset,
+                ..
+            } => {
+                check_bound_load(cp, *var, *offset, n_cells, location, acc, out);
+                (*dst, vec![*a])
+            }
+            RegOp::LoadMulConst {
+                dst, var, offset, ..
+            } => {
+                check_bound_load(cp, *var, *offset, n_cells, location, acc, out);
+                (*dst, vec![])
+            }
+        };
+        for r in operands {
+            if undef(r, pc, &defined, out) {
+                return;
+            }
+        }
+        if (dst as usize) >= n_regs {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::USE_BEFORE_DEF,
+                entity: String::new(),
+                location: format!("{location}, op {pc}"),
+                message: format!("destination r{dst} outside register file of {n_regs}"),
+            });
+            return;
+        }
+        defined[dst as usize] = true;
+    }
+}
+
+/// Analyze every kernel tier, derive the read sets, and cross-check them
+/// against the equation-level declaration. Returns the derived access for
+/// downstream transfer checks.
+pub(super) fn check_kernels(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) -> DerivedAccess {
+    let registry = &cp.problem.registry;
+    let n_cells = cp.mesh().n_cells();
+    let mut acc = DerivedAccess::default();
+
+    // Tier 1: the generic stack VM programs.
+    check_vm_program(cp, &cp.volume, "volume kernel (vm)", &mut acc, out);
+    check_vm_program(cp, &cp.flux, "flux kernel (vm)", &mut acc, out);
+
+    // Tiers 2 and 3: the per-flat bound programs and their register
+    // lowerings. Stop after the first offending flat per tier so one
+    // systematic bug doesn't produce n_flat copies of itself.
+    let mut bound_clean = true;
+    let mut row_clean = true;
+    for flat in 0..cp.n_flat {
+        let bound = cp.volume.bind(
+            &cp.idx_of_flat[flat],
+            n_cells,
+            cp.problem.dt,
+            0.0,
+            &registry.coefficients,
+        );
+        if bound_clean {
+            let before = out.len();
+            let loc = format!("volume kernel (bound, flat {flat})");
+            walk_stack(bound.ops(), bound_effect, &loc, out);
+            for op in bound.ops() {
+                if let BoundOp::Load { var, offset } = op {
+                    check_bound_load(cp, *var, *offset, n_cells, &loc, &mut acc, out);
+                }
+            }
+            bound_clean = out.len() == before;
+        }
+        if row_clean {
+            let before = out.len();
+            let reg = RegProgram::compile(&bound);
+            let loc = format!("volume kernel (row, flat {flat})");
+            check_reg_program(cp, &reg, n_cells, &loc, &mut acc, out);
+            row_clean = out.len() == before;
+        }
+        if !bound_clean && !row_clean {
+            break;
+        }
+    }
+
+    // Cross-check: bytecode reads vs the pipeline's declared reads.
+    let declared_vars: BTreeSet<usize> = cp.system.read_variables.iter().copied().collect();
+    let declared_coefs: BTreeSet<usize> = cp.system.read_coefficients.iter().copied().collect();
+    for &v in &acc.var_reads {
+        if !declared_vars.contains(&v) {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::UNDECLARED_ACCESS,
+                entity: registry.variables[v].name.clone(),
+                location: "kernel bytecode".into(),
+                message: "bytecode reads a variable the equation analysis didn't declare".into(),
+            });
+        }
+    }
+    for &c in &acc.coef_reads {
+        if !declared_coefs.contains(&c) {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::UNDECLARED_ACCESS,
+                entity: registry.coefficients[c].name.clone(),
+                location: "kernel bytecode".into(),
+                message: "bytecode reads a coefficient the equation analysis didn't declare".into(),
+            });
+        }
+    }
+    for &v in &declared_vars {
+        if !acc.var_reads.contains(&v) {
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                rule: rules::UNDECLARED_ACCESS,
+                entity: registry.variables[v].name.clone(),
+                location: "kernel bytecode".into(),
+                message: "declared as read by the equation but no tier's bytecode loads it".into(),
+            });
+        }
+    }
+    acc
+}
+
+/// Structural invariants of the CSR face geometry the fused
+/// superinstructions index without further checks at run time.
+pub(super) fn check_geometry(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let hot = &cp.hot;
+    let n_cells = cp.mesh().n_cells();
+    let n_bslots = cp.boundary.len();
+    let mut fail = |message: String| {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            rule: rules::CSR_INVARIANT,
+            entity: String::new(),
+            location: "hot face geometry".into(),
+            message,
+        });
+    };
+    if hot.offsets.len() != n_cells + 1 {
+        fail(format!(
+            "offsets has {} entries for {n_cells} cells",
+            hot.offsets.len()
+        ));
+        return;
+    }
+    if hot.offsets[0] != 0 {
+        fail("offsets[0] must be 0".into());
+    }
+    if hot.offsets.windows(2).any(|w| w[0] > w[1]) {
+        fail("offsets must be monotone non-decreasing".into());
+    }
+    let total = *hot.offsets.last().unwrap() as usize;
+    if total != hot.nbr.len() || total != hot.area.len() || total != hot.class.len() {
+        fail(format!(
+            "offsets claim {total} face slots but nbr/area/class have {}/{}/{}",
+            hot.nbr.len(),
+            hot.area.len(),
+            hot.class.len()
+        ));
+        return;
+    }
+    for (k, &nb) in hot.nbr.iter().enumerate() {
+        let ok = if nb >= 0 {
+            (nb as usize) < n_cells
+        } else {
+            ((-nb - 1) as usize) < n_bslots
+        };
+        if !ok {
+            fail(format!(
+                "nbr[{k}] = {nb} addresses neither a cell (< {n_cells}) nor a boundary slot (< {n_bslots})"
+            ));
+            break;
+        }
+    }
+    if let Some(lin) = &cp.flux_lin {
+        if let Some((k, &c)) = hot
+            .class
+            .iter()
+            .enumerate()
+            .find(|(_, &c)| c as usize >= lin.n_classes)
+        {
+            fail(format!("class[{k}] = {c} ≥ n_classes {}", lin.n_classes));
+        }
+    }
+    if hot.inv_volume.len() != n_cells {
+        fail(format!(
+            "inv_volume has {} entries for {n_cells} cells",
+            hot.inv_volume.len()
+        ));
+    } else if let Some((c, &iv)) = hot
+        .inv_volume
+        .iter()
+        .enumerate()
+        .find(|(_, &iv)| !iv.is_finite() || iv <= 0.0)
+    {
+        fail(format!("inv_volume[{c}] = {iv} is not finite positive"));
+    }
+}
+
+/// Every entity name a callback declares must resolve in the registry.
+pub(super) fn check_catalog(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let registry = &cp.problem.registry;
+    let check = |names: &[String], location: String, out: &mut Vec<Diagnostic>| {
+        for name in names {
+            if registry.variable_id(name).is_none() {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    rule: rules::UNKNOWN_ENTITY,
+                    entity: name.clone(),
+                    location: location.clone(),
+                    message: "declared entity is not a registered variable".into(),
+                });
+            }
+        }
+    };
+    if let Some(reads) = &cp.catalog.boundary_reads {
+        check(reads, "boundary callbacks".into(), out);
+    }
+    for step in &cp.catalog.steps {
+        let loc = format!("callback {}", step.name);
+        if let Some(reads) = &step.reads {
+            check(reads, loc.clone(), out);
+        }
+        if let Some(writes) = &step.writes {
+            check(writes, loc.clone(), out);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Parallel-write disjointness proofs.
+//!
+//! Every parallel split an executor performs — the threaded cell-span
+//! chunks, the cell-distributed RCB partition, the band-distributed flat
+//! ownership, the divided-Newton cell slices, and the GPU `launch_rows`
+//! row flattening — is rebuilt here as an explicit family of
+//! [`WriteRegion`]s over the `(flat, cell)` dof grid of the written
+//! entity, then proven pairwise disjoint with an owner array. Overlap is
+//! a hard error naming both regions and the first offending dof;
+//! uncovered dofs are a warning (a split may legitimately under-cover
+//! when another rank owns the rest, but a *local* family must cover).
+
+use super::{rules, Diagnostic, Severity};
+use crate::exec::{CompiledProblem, ExecTarget};
+use pbte_mesh::partition::{partition_bands, Partition, PartitionMethod};
+
+/// One parallel worker's write footprint over an entity's dof grid: the
+/// cross product of `flats` and `cells`.
+#[derive(Debug, Clone)]
+pub struct WriteRegion {
+    /// Diagnostic label ("thread chunk 3", "rank 1", "device row 7").
+    pub label: String,
+    pub flats: Vec<usize>,
+    pub cells: Vec<usize>,
+}
+
+/// Prove a family of write regions pairwise disjoint over an
+/// `n_flat × n_cells` dof grid. Overlaps are errors; unclaimed dofs a
+/// warning; out-of-grid indices an error.
+pub fn check_disjoint_writes(
+    entity: &str,
+    n_flat: usize,
+    n_cells: usize,
+    regions: &[WriteRegion],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut owner = vec![u32::MAX; n_flat * n_cells];
+    let mut reported: Vec<(u32, u32)> = Vec::new();
+    for (i, region) in regions.iter().enumerate() {
+        let mut oob = false;
+        for &flat in &region.flats {
+            for &cell in &region.cells {
+                if flat >= n_flat || cell >= n_cells {
+                    if !oob {
+                        out.push(Diagnostic {
+                            severity: Severity::Error,
+                            rule: rules::OOB_WRITE,
+                            entity: entity.to_string(),
+                            location: region.label.clone(),
+                            message: format!(
+                                "write at (flat {flat}, cell {cell}) outside the \
+                                 {n_flat}×{n_cells} dof grid"
+                            ),
+                        });
+                        oob = true;
+                    }
+                    continue;
+                }
+                let at = flat * n_cells + cell;
+                let prev = owner[at];
+                if prev != u32::MAX && prev != i as u32 {
+                    let pair = (prev, i as u32);
+                    if !reported.contains(&pair) {
+                        out.push(Diagnostic {
+                            severity: Severity::Error,
+                            rule: rules::OVERLAPPING_WRITE,
+                            entity: entity.to_string(),
+                            location: format!(
+                                "{} ∩ {}",
+                                regions[prev as usize].label, region.label
+                            ),
+                            message: format!("both regions write (flat {flat}, cell {cell})"),
+                        });
+                        reported.push(pair);
+                    }
+                } else {
+                    owner[at] = i as u32;
+                }
+            }
+        }
+    }
+    let unclaimed = owner.iter().filter(|&&o| o == u32::MAX).count();
+    if unclaimed > 0 {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            rule: rules::INCOMPLETE_COVER,
+            entity: entity.to_string(),
+            location: "write split".into(),
+            message: format!(
+                "{unclaimed} of {} dofs are claimed by no region",
+                n_flat * n_cells
+            ),
+        });
+    }
+    out
+}
+
+/// Prove the divided-Newton cell slices `n_cells·r/p .. n_cells·(r+1)/p`
+/// pairwise disjoint and covering (the band-parallel temperature update
+/// divides its per-cell Newton solves this way).
+pub fn check_divided_slices(entity: &str, n_cells: usize, ranks: usize) -> Vec<Diagnostic> {
+    let regions: Vec<WriteRegion> = (0..ranks)
+        .map(|r| WriteRegion {
+            label: format!("divided-Newton rank {r}"),
+            flats: vec![0],
+            cells: (n_cells * r / ranks..n_cells * (r + 1) / ranks).collect(),
+        })
+        .collect();
+    check_disjoint_writes(entity, 1, n_cells, &regions)
+}
+
+/// All flats / all cells of the unknown, shared by several targets.
+fn all(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Owned flats per rank under band partitioning of `index` — the same
+/// rule the band-distributed executor applies.
+fn owned_flats_per_rank(
+    cp: &CompiledProblem,
+    ranks: usize,
+    index: &str,
+) -> Option<Vec<Vec<usize>>> {
+    let registry = &cp.problem.registry;
+    let index_id = registry.index_id(index)?;
+    let unknown = cp.system.unknown;
+    let slot = registry.variables[unknown]
+        .indices
+        .iter()
+        .position(|&i| i == index_id)?;
+    let len = registry.indices[index_id].len;
+    let ranges = partition_bands(len, ranks);
+    Some(
+        ranges
+            .iter()
+            .map(|range| {
+                (0..cp.n_flat)
+                    .filter(|&flat| range.contains(&cp.idx_of_flat[flat][slot]))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+/// Rebuild the write split `target` uses for the unknown and prove it
+/// disjoint; for band-distributed targets additionally prove the
+/// divided-Newton cell slices of declared-writing post-step callbacks.
+pub(super) fn check_target(cp: &CompiledProblem, target: &ExecTarget, out: &mut Vec<Diagnostic>) {
+    let n_cells = cp.mesh().n_cells();
+    let n_flat = cp.n_flat;
+    let unknown = &cp.system.unknown_name;
+    let regions: Vec<WriteRegion> = match target {
+        ExecTarget::CpuSeq => vec![WriteRegion {
+            label: "sequential".into(),
+            flats: all(n_flat),
+            cells: all(n_cells),
+        }],
+        ExecTarget::CpuParallel => {
+            // The rayon split: per-flat blocks, each cell range divided
+            // into `threads` contiguous chunks.
+            let threads = rayon::current_num_threads().max(1);
+            let chunk = n_cells.div_ceil(threads).max(1);
+            let mut regions = Vec::new();
+            let mut start = 0usize;
+            let mut ci = 0usize;
+            while start < n_cells {
+                let end = (start + chunk).min(n_cells);
+                regions.push(WriteRegion {
+                    label: format!("thread chunk {ci}"),
+                    flats: all(n_flat),
+                    cells: (start..end).collect(),
+                });
+                start = end;
+                ci += 1;
+            }
+            regions
+        }
+        ExecTarget::DistCells { ranks } => {
+            if *ranks > n_cells {
+                return; // build() rejects this configuration before solving
+            }
+            let partition = Partition::build(cp.mesh(), *ranks, PartitionMethod::Rcb);
+            (0..*ranks)
+                .map(|r| WriteRegion {
+                    label: format!("rank {r} (RCB cells)"),
+                    flats: all(n_flat),
+                    cells: partition.cells_of(r),
+                })
+                .collect()
+        }
+        ExecTarget::DistBands { ranks, index } => {
+            let Some(owned) = owned_flats_per_rank(cp, *ranks, index) else {
+                return; // build() rejects unknown/unpartitionable indices
+            };
+            owned
+                .into_iter()
+                .enumerate()
+                .map(|(r, flats)| WriteRegion {
+                    label: format!("rank {r} (bands of `{index}`)"),
+                    flats,
+                    cells: all(n_cells),
+                })
+                .collect()
+        }
+        ExecTarget::GpuHybrid { .. } => {
+            // launch_rows: one device row kernel per flat, each writing
+            // its contiguous n_cells-long block of the unknown.
+            (0..n_flat)
+                .map(|flat| WriteRegion {
+                    label: format!("device row {flat}"),
+                    flats: vec![flat],
+                    cells: all(n_cells),
+                })
+                .collect()
+        }
+        ExecTarget::DistBandsGpu { ranks, index, .. } => {
+            let Some(owned) = owned_flats_per_rank(cp, *ranks, index) else {
+                return;
+            };
+            let mut regions = Vec::new();
+            for (r, flats) in owned.into_iter().enumerate() {
+                for flat in flats {
+                    regions.push(WriteRegion {
+                        label: format!("rank {r} device row {flat}"),
+                        flats: vec![flat],
+                        cells: all(n_cells),
+                    });
+                }
+            }
+            regions
+        }
+    };
+    out.extend(check_disjoint_writes(unknown, n_flat, n_cells, &regions));
+
+    // Divided-Newton slices: any post-step callback on a band-distributed
+    // target may divide its per-cell work by the rank slice formula.
+    if let ExecTarget::DistBands { ranks, .. } | ExecTarget::DistBandsGpu { ranks, .. } = target {
+        for step in &cp.catalog.steps {
+            if !step.pre {
+                let entity = match &step.writes {
+                    Some(w) if !w.is_empty() => w.join(","),
+                    _ => step.name.clone(),
+                };
+                out.extend(check_divided_slices(&entity, n_cells, *ranks));
+            }
+        }
+    }
+}

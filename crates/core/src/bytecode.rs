@@ -170,7 +170,7 @@ pub struct VmCtx<'a> {
     pub time: f64,
 }
 
-const MAX_STACK: usize = 32;
+pub(crate) const MAX_STACK: usize = 32;
 
 impl Program {
     /// Evaluate against a context.
@@ -375,6 +375,12 @@ impl BoundProgram {
         }
         debug_assert_eq!(sp, 1);
         stack[0]
+    }
+
+    /// Instruction stream, for static analysis (stack-effect walks and
+    /// offset bounds checks in `crate::analysis`).
+    pub(crate) fn ops(&self) -> &[BoundOp] {
+        &self.ops
     }
 }
 

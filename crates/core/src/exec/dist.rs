@@ -133,6 +133,7 @@ pub fn solve_cells(
     fields: &mut Fields,
     ranks: usize,
 ) -> Result<SolveReport, DslError> {
+    cp.debug_verify(&super::ExecTarget::DistCells { ranks });
     let mesh = cp.mesh();
     if ranks > mesh.n_cells() {
         return Err(DslError::Invalid(format!(
@@ -267,6 +268,18 @@ pub fn solve_bands(
     index: &str,
     gpu_cfg: Option<(DeviceSpec, GpuStrategy)>,
 ) -> Result<SolveReport, DslError> {
+    match &gpu_cfg {
+        Some((spec, strategy)) => cp.debug_verify(&super::ExecTarget::DistBandsGpu {
+            ranks,
+            index: index.to_string(),
+            spec: spec.clone(),
+            strategy: *strategy,
+        }),
+        None => cp.debug_verify(&super::ExecTarget::DistBands {
+            ranks,
+            index: index.to_string(),
+        }),
+    }
     let registry = &cp.problem.registry;
     let index_id = registry
         .index_id(index)

@@ -195,21 +195,6 @@ impl GpuWorker {
         let n_cells = fields.n_cells;
         let geometry = Geometry::build(cp);
 
-        // One buffer per variable, populated once up front.
-        let mut var_devs = Vec::with_capacity(fields.n_vars());
-        for v in 0..fields.n_vars() {
-            let mut buf = device.alloc(
-                &cp.problem.registry.variables[v].name,
-                fields.slice(v).len(),
-            );
-            device.h2d(fields.slice(v), &mut buf);
-            var_devs.push(buf);
-        }
-        let unew_dev = device.alloc("u_new", owned_flats.len() * n_cells);
-        let ghost_dev = device.alloc("ghosts", cp.boundary.len().max(1) * cp.n_flat);
-
-        let kernel_cost = estimate_kernel_cost(cp);
-
         let step_h2d_vars: Vec<usize> = if cp.problem.post_steps.is_empty() {
             Vec::new()
         } else {
@@ -220,6 +205,31 @@ impl GpuWorker {
                 .filter(|&v| v != cp.system.unknown)
                 .collect()
         };
+
+        // One buffer per variable. Only schedule-justified uploads happen
+        // here: the unknown (initial condition) and kernel-read variables
+        // that are static after init. Variables re-uploaded every step get
+        // their first copy in `step()`, and variables the kernel never
+        // reads get an allocation but no transfer — this is exactly the
+        // `Policy::Once` set of the automatic schedule, which the dynamic
+        // transfer-oracle test holds the profiler log to.
+        let mut var_devs = Vec::with_capacity(fields.n_vars());
+        for v in 0..fields.n_vars() {
+            let mut buf = device.alloc(
+                &cp.problem.registry.variables[v].name,
+                fields.slice(v).len(),
+            );
+            let once_upload = v == cp.system.unknown
+                || (cp.system.read_variables.contains(&v) && !step_h2d_vars.contains(&v));
+            if once_upload {
+                device.h2d(fields.slice(v), &mut buf);
+            }
+            var_devs.push(buf);
+        }
+        let unew_dev = device.alloc("u_new", owned_flats.len() * n_cells);
+        let ghost_dev = device.alloc("ghosts", cp.boundary.len().max(1) * cp.n_flat);
+
+        let kernel_cost = estimate_kernel_cost(cp);
 
         let row = (cp.resolved_tier() == KernelTier::Row)
             .then(|| IntensityKernels::with_tier(cp, owned_flats, KernelTier::Row));
@@ -541,6 +551,10 @@ pub fn solve(
             "the GPU target supports the Euler stepper only".into(),
         ));
     }
+    cp.debug_verify(&super::ExecTarget::GpuHybrid {
+        spec: spec.clone(),
+        strategy,
+    });
     let all_flats: Vec<usize> = (0..cp.n_flat).collect();
     let mut worker = GpuWorker::new(cp, fields, &all_flats, spec, strategy);
     let mut timer = PhaseTimer::new();

@@ -322,6 +322,69 @@ pub struct CompiledProblem {
     pub flux_lin: Option<FluxLinearization>,
     /// Compact structure-of-arrays face geometry for the CPU hot loop.
     pub(crate) hot: HotGeometry,
+    /// Callback access summary derived once at compile time: the single
+    /// source for both the executors' work accounting and the static
+    /// analyzer's host-side read/write sets.
+    pub catalog: CallbackCatalog,
+}
+
+/// Declared accesses of one pre/post-step callback (`None` = opaque,
+/// assume it may touch everything).
+#[derive(Debug, Clone)]
+pub struct StepAccess {
+    pub name: String,
+    /// True for pre-step, false for post-step.
+    pub pre: bool,
+    pub reads: Option<Vec<String>>,
+    pub writes: Option<Vec<String>>,
+}
+
+/// Compile-time summary of every user callback a problem registers:
+/// boundary-condition callbacks and pre/post-step functions, with their
+/// declared field accesses where available.
+#[derive(Debug, Clone, Default)]
+pub struct CallbackCatalog {
+    /// Boundary faces whose condition is a callback (either form) — the
+    /// per-step ghost-eval accounting unit.
+    pub callback_faces: usize,
+    /// Union of variables the boundary callbacks read; `None` when any
+    /// boundary callback is opaque.
+    pub boundary_reads: Option<Vec<String>>,
+    /// Pre/post-step callbacks in registration order (pre first).
+    pub steps: Vec<StepAccess>,
+}
+
+impl CallbackCatalog {
+    fn build(problem: &Problem, boundary: &[BoundaryFace]) -> CallbackCatalog {
+        let mut callback_faces = 0usize;
+        let mut reads: std::collections::BTreeSet<String> = Default::default();
+        let mut opaque = false;
+        for bf in boundary {
+            if bf.bc.is_callback() {
+                callback_faces += 1;
+            }
+            match bf.bc.declared_reads() {
+                Some(r) => reads.extend(r.iter().cloned()),
+                None => opaque = true,
+            }
+        }
+        let mut steps = Vec::new();
+        for (pre, list) in [(true, &problem.pre_steps), (false, &problem.post_steps)] {
+            for cb in list {
+                steps.push(StepAccess {
+                    name: cb.name.clone(),
+                    pre,
+                    reads: cb.declared.then(|| cb.reads.clone()),
+                    writes: cb.declared.then(|| cb.writes.clone()),
+                });
+            }
+        }
+        CallbackCatalog {
+            callback_faces,
+            boundary_reads: (!opaque).then(|| reads.into_iter().collect()),
+            steps,
+        }
+    }
 }
 
 /// Structure-of-arrays face connectivity the generated CPU code indexes
@@ -498,11 +561,45 @@ impl CompiledProblem {
                 class: Vec::new(),
                 inv_volume: Vec::new(),
             },
+            catalog: CallbackCatalog::default(),
         };
+        cp.catalog = CallbackCatalog::build(&cp.problem, &cp.boundary);
         cp.flux_lin = linearize_flux(&cp);
         cp.hot = HotGeometry::build(cp.mesh(), &cp.bface_slot, cp.flux_lin.as_ref());
         Ok((cp, fields))
     }
+
+    /// Run the static plan verifier for `target`: kernel-tier abstract
+    /// interpretation, parallel-write disjointness, and transfer-schedule
+    /// proofs. Empty result = the plan is clean.
+    pub fn verify_plan(&self, target: &ExecTarget) -> Vec<crate::analysis::Diagnostic> {
+        crate::analysis::verify_plan(self, target)
+    }
+
+    /// Debug-build guard every executor calls on entry: panics when the
+    /// verifier finds an `Error`-severity diagnostic. Warnings (which stem
+    /// from conservative assumptions about opaque callbacks) pass.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_verify(&self, target: &ExecTarget) {
+        let errors: Vec<_> = self
+            .verify_plan(target)
+            .into_iter()
+            .filter(|d| d.severity == crate::analysis::Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "plan verification failed for {target:?}:\n{}",
+            errors
+                .iter()
+                .map(|d| d.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub(crate) fn debug_verify(&self, _target: &ExecTarget) {}
 
     /// The mesh (guaranteed present after compile).
     pub fn mesh(&self) -> &pbte_mesh::Mesh {

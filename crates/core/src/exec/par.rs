@@ -13,9 +13,7 @@ use super::rows::{self, FluxBoundary, IntensityKernels};
 use super::seq;
 use super::{phases, CompiledProblem, SolveReport, WorkCounters};
 use crate::entities::Fields;
-use crate::problem::{
-    BoundaryCondition, BoundaryQuery, DslError, KernelTier, LocalReducer, TimeStepper,
-};
+use crate::problem::{BoundaryQuery, DslError, KernelTier, LocalReducer, TimeStepper};
 use pbte_runtime::timer::PhaseTimer;
 use rayon::prelude::*;
 use std::time::Instant;
@@ -41,17 +39,14 @@ fn compute_ghosts_par(
             let bf = &cp.boundary[slot];
             let face = &mesh.faces[bf.face];
             for (flat, out) in chunk.iter_mut().enumerate() {
-                *out = match &bf.bc {
-                    BoundaryCondition::Value(v) => *v,
-                    BoundaryCondition::Callback(f) => f(&BoundaryQuery {
-                        position: face.centroid,
-                        normal: face.normal,
-                        owner_cell: face.owner,
-                        idx: &cp.idx_of_flat[flat],
-                        time,
-                        fields,
-                    }),
-                };
+                *out = bf.bc.ghost_value(&BoundaryQuery {
+                    position: face.centroid,
+                    normal: face.normal,
+                    owner_cell: face.owner,
+                    idx: &cp.idx_of_flat[flat],
+                    time,
+                    fields,
+                });
             }
         });
     work.ghost_evals += (callback_faces * n_flat) as u64;
@@ -165,6 +160,7 @@ fn axpy_par(fields: &mut Fields, unknown: usize, coeff: f64, rhs: &[f64]) {
 
 /// Solve with rayon threads.
 pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, DslError> {
+    cp.debug_verify(&super::ExecTarget::CpuParallel);
     let n_cells = fields.n_cells;
     let mut ghosts = vec![0.0; cp.boundary.len() * cp.n_flat];
     let mut rhs = vec![0.0; cp.n_flat * n_cells];

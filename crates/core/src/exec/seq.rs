@@ -23,9 +23,7 @@ use super::rows::{self, FluxBoundary, IntensityKernels};
 use super::{phases, CompiledProblem, SolveReport, WorkCounters};
 use crate::bytecode::VmCtx;
 use crate::entities::Fields;
-use crate::problem::{
-    BoundaryCondition, BoundaryQuery, DslError, KernelTier, Reducer, StepContext, TimeStepper,
-};
+use crate::problem::{BoundaryQuery, DslError, KernelTier, Reducer, StepContext, TimeStepper};
 use pbte_runtime::timer::PhaseTimer;
 use std::time::Instant;
 
@@ -39,12 +37,11 @@ pub(crate) struct Scope<'a> {
 
 /// Number of boundary faces whose condition is a user callback. One ghost
 /// evaluation happens per (callback face, flat) pair, so every target's
-/// `ghost_evals` accounting is `callback_face_count(cp) * flats`.
+/// `ghost_evals` accounting is `callback_face_count(cp) * flats`. The
+/// count comes from the compile-time callback catalog — the same source
+/// the static analyzer uses for its declared access sets.
 pub(crate) fn callback_face_count(cp: &CompiledProblem) -> usize {
-    cp.boundary
-        .iter()
-        .filter(|bf| matches!(bf.bc, BoundaryCondition::Callback(_)))
-        .count()
+    cp.catalog.callback_faces
 }
 
 /// Evaluate boundary callbacks for every owned flat on every boundary face,
@@ -61,17 +58,14 @@ pub(crate) fn compute_ghosts(
     for (slot, bf) in cp.boundary.iter().enumerate() {
         let face = &mesh.faces[bf.face];
         for &flat in flats {
-            let value = match &bf.bc {
-                BoundaryCondition::Value(v) => *v,
-                BoundaryCondition::Callback(f) => f(&BoundaryQuery {
-                    position: face.centroid,
-                    normal: face.normal,
-                    owner_cell: face.owner,
-                    idx: &cp.idx_of_flat[flat],
-                    time,
-                    fields,
-                }),
-            };
+            let value = bf.bc.ghost_value(&BoundaryQuery {
+                position: face.centroid,
+                normal: face.normal,
+                owner_cell: face.owner,
+                idx: &cp.idx_of_flat[flat],
+                time,
+                fields,
+            });
             ghosts[slot * cp.n_flat + flat] = value;
         }
     }
@@ -357,7 +351,7 @@ pub(crate) fn run_callbacks(
             threads: threads.max(1),
             work: Default::default(),
         };
-        cb(&mut ctx);
+        (cb.f)(&mut ctx);
         work.absorb_callback(&ctx.work);
     }
 }
@@ -447,6 +441,7 @@ pub(crate) fn step_scope(
 
 /// Solve sequentially.
 pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, DslError> {
+    cp.debug_verify(&super::ExecTarget::CpuSeq);
     let n_cells = fields.n_cells;
     let all_cells: Vec<usize> = (0..n_cells).collect();
     let all_flats: Vec<usize> = (0..cp.n_flat).collect();

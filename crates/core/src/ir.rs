@@ -36,12 +36,46 @@ pub enum IrNode {
         flattened: Vec<LoopDim>,
         body: Vec<IrNode>,
     },
-    /// A host↔device transfer.
-    Transfer { text: String },
+    /// A host↔device transfer. Structured so the static analyzer can
+    /// cross-check the IR against the [`crate::dataflow::TransferSchedule`]
+    /// it was generated from; the renderer reconstructs the text form.
+    Transfer {
+        /// True = host→device.
+        to_device: bool,
+        /// Entity name (variable, coefficient, or the ghost array).
+        name: String,
+        /// The schedule's reason string.
+        reason: String,
+        /// True for one-time setup transfers (before the time loop).
+        setup: bool,
+    },
     /// A call into user-supplied host code.
     Callback(String),
     /// Distributed-memory communication.
     Communicate(String),
+}
+
+impl IrNode {
+    /// Depth-first walk over the tree, visiting every node.
+    pub fn visit(&self, f: &mut impl FnMut(&IrNode)) {
+        f(self);
+        match self {
+            IrNode::Block(body)
+            | IrNode::TimeLoop(body)
+            | IrNode::FaceLoop(body)
+            | IrNode::Loop { body, .. }
+            | IrNode::Kernel { body, .. } => {
+                for n in body {
+                    n.visit(f);
+                }
+            }
+            IrNode::Comment(_)
+            | IrNode::Stmt(_)
+            | IrNode::Transfer { .. }
+            | IrNode::Callback(_)
+            | IrNode::Communicate(_) => {}
+        }
+    }
 }
 
 /// Build the IR for a compiled problem on a target.
@@ -189,7 +223,10 @@ fn gpu_ir(cp: &CompiledProblem, strategy: GpuStrategy, dist: Option<(usize, Stri
     for t in &schedule.transfers {
         if t.policy == crate::dataflow::Policy::EveryStep && t.to_device {
             step.push(IrNode::Transfer {
-                text: format!("H2D {} — {}", t.name, t.reason),
+                to_device: true,
+                name: t.name.clone(),
+                reason: t.reason.clone(),
+                setup: false,
             });
         }
     }
@@ -207,7 +244,10 @@ fn gpu_ir(cp: &CompiledProblem, strategy: GpuStrategy, dist: Option<(usize, Stri
     for t in &schedule.transfers {
         if t.policy == crate::dataflow::Policy::EveryStep && !t.to_device {
             step.push(IrNode::Transfer {
-                text: format!("D2H {} — {}", t.name, t.reason),
+                to_device: false,
+                name: t.name.clone(),
+                reason: t.reason.clone(),
+                setup: false,
             });
         }
     }
@@ -230,7 +270,10 @@ fn gpu_ir(cp: &CompiledProblem, strategy: GpuStrategy, dist: Option<(usize, Stri
     for t in &schedule.transfers {
         if t.policy == crate::dataflow::Policy::Once {
             nodes.push(IrNode::Transfer {
-                text: format!("H2D {} — {} (setup)", t.name, t.reason),
+                to_device: t.to_device,
+                name: t.name.clone(),
+                reason: t.reason.clone(),
+                setup: true,
             });
         }
     }

@@ -35,8 +35,14 @@
 //!    need to be updated and communicated during each step");
 //! 7. [`codegen`] — rendering of the generated code as human-readable
 //!    source text (host loop nests and CUDA-style kernels) for inspection
-//!    and snapshot tests.
+//!    and snapshot tests;
+//! 8. [`analysis`] — the static plan verifier: read/write sets derived
+//!    from the compiled bytecode by abstract interpretation, disjointness
+//!    proofs for every parallel write split, and transfer-schedule checks
+//!    (no stale reads, no redundant movement), run under
+//!    `debug_assertions` by every executor and on demand by `pbte-verify`.
 
+pub mod analysis;
 pub mod bytecode;
 pub mod codegen;
 pub mod dataflow;
@@ -46,6 +52,7 @@ pub mod ir;
 pub mod pipeline;
 pub mod problem;
 
+pub use analysis::{Diagnostic, Severity};
 pub use entities::{Coefficient, CoefficientValue, Fields, Index, Location, Variable};
 pub use exec::{ExecTarget, SolveReport, Solver};
 pub use problem::{BoundaryCondition, GpuStrategy, KernelTier, Problem, SolverType, TimeStepper};

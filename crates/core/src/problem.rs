@@ -74,8 +74,54 @@ pub enum BoundaryCondition {
     /// Constant ghost value.
     Value(f64),
     /// Ghost value from a user callback (Finch's `FLUX` +
-    /// `@callbackFunction` path).
+    /// `@callbackFunction` path). Opaque to the static analyzer, which
+    /// conservatively assumes it reads every field.
     Callback(BoundaryFn),
+    /// A callback that declares which variables it reads through
+    /// `BoundaryQuery::fields`, letting [`crate::analysis`] reason about
+    /// it precisely instead of conservatively.
+    DeclaredCallback { reads: Vec<String>, f: BoundaryFn },
+}
+
+impl BoundaryCondition {
+    /// A callback declaring its field reads by variable name (empty slice
+    /// = touches no fields, e.g. an isothermal wall).
+    pub fn callback_reading(
+        reads: &[&str],
+        f: impl Fn(&BoundaryQuery) -> f64 + Send + Sync + 'static,
+    ) -> BoundaryCondition {
+        BoundaryCondition::DeclaredCallback {
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// Ghost value for one face/flat query.
+    #[inline]
+    pub fn ghost_value(&self, q: &BoundaryQuery) -> f64 {
+        match self {
+            BoundaryCondition::Value(v) => *v,
+            BoundaryCondition::Callback(f) => f(q),
+            BoundaryCondition::DeclaredCallback { f, .. } => f(q),
+        }
+    }
+
+    /// True for either callback form (the work-accounting rule: callback
+    /// ghosts are counted, constant ghosts are free).
+    pub fn is_callback(&self) -> bool {
+        !matches!(self, BoundaryCondition::Value(_))
+    }
+
+    /// Variables this condition reads, by name. `None` means unknown
+    /// (an opaque [`BoundaryCondition::Callback`]) — the analyzer must
+    /// assume everything.
+    pub fn declared_reads(&self) -> Option<&[String]> {
+        match self {
+            BoundaryCondition::Value(_) => Some(&[]),
+            BoundaryCondition::Callback(_) => None,
+            BoundaryCondition::DeclaredCallback { reads, .. } => Some(reads),
+        }
+    }
 }
 
 impl fmt::Debug for BoundaryCondition {
@@ -83,6 +129,9 @@ impl fmt::Debug for BoundaryCondition {
         match self {
             BoundaryCondition::Value(v) => write!(f, "Value({v})"),
             BoundaryCondition::Callback(_) => write!(f, "Callback(..)"),
+            BoundaryCondition::DeclaredCallback { reads, .. } => {
+                write!(f, "DeclaredCallback(reads {reads:?})")
+            }
         }
     }
 }
@@ -161,6 +210,37 @@ pub struct StepContext<'a> {
 
 /// Pre/post-step user function.
 pub type StepFn = Arc<dyn Fn(&mut StepContext) + Send + Sync>;
+
+/// A registered pre/post-step callback plus its declared field accesses.
+/// Undeclared callbacks (`declared == false`) are treated conservatively
+/// by the static analyzer: they may read and write every variable.
+#[derive(Clone)]
+pub struct StepCallback {
+    pub f: StepFn,
+    /// Diagnostic label ("temperature_update", "post-step#0", ...).
+    pub name: String,
+    /// Variable names read through `StepContext::fields`.
+    pub reads: Vec<String>,
+    /// Variable names written through `StepContext::fields`.
+    pub writes: Vec<String>,
+    /// Whether `reads`/`writes` were declared by the registrant (false =
+    /// opaque closure, assume-everything).
+    pub declared: bool,
+}
+
+impl fmt::Debug for StepCallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.declared {
+            write!(
+                f,
+                "StepCallback({} reads {:?} writes {:?})",
+                self.name, self.reads, self.writes
+            )
+        } else {
+            write!(f, "StepCallback({} opaque)", self.name)
+        }
+    }
+}
 
 /// Initial-condition function: value at `(cell centroid, idx)`.
 pub type InitFn = Arc<dyn Fn(Point, &[usize]) -> f64 + Send + Sync>;
@@ -263,8 +343,8 @@ pub struct Problem {
     pub boundary_conditions: Vec<(usize, String, BoundaryCondition)>,
     /// (variable, init function).
     pub initials: Vec<(usize, InitFn)>,
-    pub pre_steps: Vec<StepFn>,
-    pub post_steps: Vec<StepFn>,
+    pub pre_steps: Vec<StepCallback>,
+    pub post_steps: Vec<StepCallback>,
     pub assembly_loops: Vec<LoopDim>,
     /// Registered custom symbolic operators, expanded by the pipeline
     /// before the built-in `upwind`.
@@ -516,15 +596,70 @@ impl Problem {
         self
     }
 
-    /// `preStepFunction(f)`.
+    /// `preStepFunction(f)` with an opaque closure — the analyzer assumes
+    /// it may read/write every field. Prefer [`Problem::pre_step_declared`].
     pub fn pre_step(&mut self, f: impl Fn(&mut StepContext) + Send + Sync + 'static) -> &mut Self {
-        self.pre_steps.push(Arc::new(f));
+        let name = format!("pre-step#{}", self.pre_steps.len());
+        self.pre_steps.push(StepCallback {
+            f: Arc::new(f),
+            name,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            declared: false,
+        });
         self
     }
 
-    /// `postStepFunction(f)` — e.g. the BTE temperature update.
+    /// `postStepFunction(f)` — e.g. the BTE temperature update. Opaque
+    /// form; prefer [`Problem::post_step_declared`].
     pub fn post_step(&mut self, f: impl Fn(&mut StepContext) + Send + Sync + 'static) -> &mut Self {
-        self.post_steps.push(Arc::new(f));
+        let name = format!("post-step#{}", self.post_steps.len());
+        self.post_steps.push(StepCallback {
+            f: Arc::new(f),
+            name,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            declared: false,
+        });
+        self
+    }
+
+    /// A pre-step callback declaring the variables it reads and writes
+    /// through `StepContext::fields` (by name), so the static analyzer
+    /// can verify transfer schedules and write disjointness precisely.
+    pub fn pre_step_declared(
+        &mut self,
+        name: &str,
+        reads: &[&str],
+        writes: &[&str],
+        f: impl Fn(&mut StepContext) + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.pre_steps.push(StepCallback {
+            f: Arc::new(f),
+            name: name.to_string(),
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+            declared: true,
+        });
+        self
+    }
+
+    /// A post-step callback with declared read/write sets — the precise
+    /// counterpart of [`Problem::post_step`].
+    pub fn post_step_declared(
+        &mut self,
+        name: &str,
+        reads: &[&str],
+        writes: &[&str],
+        f: impl Fn(&mut StepContext) + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.post_steps.push(StepCallback {
+            f: Arc::new(f),
+            name: name.to_string(),
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+            declared: true,
+        });
         self
     }
 
@@ -557,6 +692,19 @@ impl Problem {
     /// Build an executable solver for `target`.
     pub fn build(self, target: ExecTarget) -> Result<Solver, DslError> {
         Solver::build(self, target)
+    }
+
+    /// Compile the problem for `target` and run the full static plan
+    /// verifier (see [`crate::analysis`]): bytecode read/write-set
+    /// derivation, parallel-write disjointness, and transfer-schedule
+    /// proofs. Returns the diagnostics (empty = the plan is clean).
+    /// Consumes the problem like [`Problem::build`].
+    pub fn verify_plan(
+        self,
+        target: &ExecTarget,
+    ) -> Result<Vec<crate::analysis::Diagnostic>, DslError> {
+        let solver = Solver::build(self, target.clone())?;
+        Ok(solver.compiled.verify_plan(&solver.target))
     }
 
     /// The effective assembly loop order: user-specified, or the default

@@ -1,0 +1,246 @@
+//! Negative-test seam for the static plan verifier.
+//!
+//! The shipped scenarios must verify clean (no false positives), and
+//! deliberately-broken plans must produce exactly the diagnostic the
+//! verifier exists to catch: an overlapping parallel write split, a
+//! schedule missing a D2H the host needs, and a transfer nothing reads.
+
+use pbte_dsl::analysis::{self, rules, WriteRegion};
+use pbte_dsl::dataflow::{Policy, Transfer};
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::{KernelTier, Problem, StepContext};
+use pbte_dsl::{BoundaryCondition, GpuStrategy, Severity};
+use pbte_gpu::DeviceSpec;
+use pbte_mesh::grid::UniformGrid;
+
+const NDIRS: usize = 4;
+const NBANDS: usize = 3;
+
+/// A mini BTE-shaped problem whose callbacks *declare* their access sets,
+/// so the verifier has exact information and the clean plan has zero
+/// diagnostics (not even conservative warnings).
+fn declared_problem(n: usize, steps: usize) -> Problem {
+    let mut p = Problem::new("declared-mini-bte");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(n, n, 1.0, 1.0).build());
+    p.set_steps(0.01, steps);
+    let d = p.index("d", NDIRS);
+    let b = p.index("b", NBANDS);
+    let i_var = p.variable("I", &[d, b]);
+    let io = p.variable("Io", &[b]);
+    let beta = p.variable("beta", &[b]);
+    let t_var = p.variable("T", &[]);
+    p.coefficient_array("Sx", &[d], vec![1.0, 0.0, -1.0, 0.0]);
+    p.coefficient_array("Sy", &[d], vec![0.0, 1.0, 0.0, -1.0]);
+    p.coefficient_array("vg", &[b], vec![1.0, 0.7, 0.4]);
+    p.initial(i_var, |_, idx| 1.0 + 0.1 * idx[0] as f64);
+    p.initial(io, |_, _| 1.0);
+    p.initial(beta, |_, _| 0.5);
+    p.initial(t_var, |_, _| 1.0);
+    // Hot wall: depends on position/band only — declares no field reads.
+    p.boundary(
+        i_var,
+        "left",
+        BoundaryCondition::callback_reading(&[], |q| 1.5 + 0.05 * q.idx[1] as f64),
+    );
+    p.boundary(i_var, "right", BoundaryCondition::Value(1.0));
+    // Symmetry walls: the ghost reads the interior intensity.
+    for region in ["top", "bottom"] {
+        p.boundary(
+            i_var,
+            region,
+            BoundaryCondition::callback_reading(&["I"], |q| {
+                let r = match q.idx[0] {
+                    1 => 3,
+                    3 => 1,
+                    other => other,
+                };
+                let i_id = q.fields.var_id("I").unwrap();
+                q.fields.value(i_id, q.owner_cell, r * NBANDS + q.idx[1])
+            }),
+        );
+    }
+    // Temperature-like update with declared access sets.
+    p.post_step_declared(
+        "temperature",
+        &["I", "T"],
+        &["T", "Io", "beta"],
+        move |ctx: &mut StepContext| {
+            let n_cells = ctx.fields.n_cells;
+            for cell in 0..n_cells {
+                let mut e = 0.0;
+                for dd in 0..NDIRS {
+                    for bb in 0..NBANDS {
+                        e += ctx.fields.value(0, cell, dd * NBANDS + bb);
+                    }
+                }
+                let t = e / (NDIRS * NBANDS) as f64;
+                ctx.fields.set(3, cell, 0, t);
+                for bb in 0..NBANDS {
+                    ctx.fields.set(1, cell, bb, t);
+                    ctx.fields.set(2, cell, bb, 0.5 + 0.01 * t);
+                }
+            }
+        },
+    );
+    p.conservation_form(
+        i_var,
+        "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+    );
+    p
+}
+
+fn gpu_target() -> ExecTarget {
+    ExecTarget::GpuHybrid {
+        spec: DeviceSpec::a6000(),
+        strategy: GpuStrategy::AsyncBoundary,
+    }
+}
+
+#[test]
+fn declared_plan_is_clean_on_every_target_and_tier() {
+    let targets = [
+        ExecTarget::CpuSeq,
+        ExecTarget::CpuParallel,
+        ExecTarget::DistCells { ranks: 3 },
+        ExecTarget::DistBands {
+            ranks: 3,
+            index: "b".into(),
+        },
+        gpu_target(),
+        ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::PrecomputeBoundary,
+        },
+        ExecTarget::DistBandsGpu {
+            ranks: 3,
+            index: "b".into(),
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+    ];
+    for target in &targets {
+        for tier in [KernelTier::Vm, KernelTier::Bound, KernelTier::Row] {
+            let mut p = declared_problem(6, 2);
+            p.kernel_tier(tier);
+            let diags = p.verify_plan(target).unwrap();
+            assert!(
+                diags.is_empty(),
+                "{target:?}/{tier:?} should verify clean, got: {:?}",
+                diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapping_write_split_reports_the_race() {
+    // Two "thread" regions both claim cell 5 of flat 0 — the exact bug the
+    // disjointness prover exists to rule out in the cell-span split.
+    let regions = vec![
+        WriteRegion {
+            label: "thread 0".into(),
+            flats: vec![0, 1],
+            cells: (0..6).collect(),
+        },
+        WriteRegion {
+            label: "thread 1".into(),
+            flats: vec![0, 1],
+            cells: (5..10).collect(),
+        },
+    ];
+    let diags = analysis::check_disjoint_writes("I", 2, 10, &regions);
+    let races: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == rules::OVERLAPPING_WRITE)
+        .collect();
+    assert_eq!(races.len(), 1, "exactly one overlap pair: {diags:?}");
+    let d = races[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.entity, "I");
+    assert!(
+        d.location.contains("thread 0") && d.location.contains("thread 1"),
+        "location names both regions: {}",
+        d.location
+    );
+    // Disjoint regions covering everything: no diagnostics at all.
+    let clean = vec![
+        WriteRegion {
+            label: "thread 0".into(),
+            flats: vec![0, 1],
+            cells: (0..5).collect(),
+        },
+        WriteRegion {
+            label: "thread 1".into(),
+            flats: vec![0, 1],
+            cells: (5..10).collect(),
+        },
+    ];
+    assert!(analysis::check_disjoint_writes("I", 2, 10, &clean).is_empty());
+}
+
+#[test]
+fn schedule_missing_a_d2h_is_a_stale_read() {
+    let solver = declared_problem(6, 2).build(gpu_target()).unwrap();
+    let cp = &solver.compiled;
+    let strategy = GpuStrategy::AsyncBoundary;
+    let mut schedule = cp.transfer_schedule(strategy);
+    assert!(
+        analysis::check_schedule(cp, &schedule).is_empty(),
+        "unmodified schedule must be clean"
+    );
+    // Drop the D2H of the unknown: the temperature post-step (declared
+    // reader of I) would then consume stale host data every step.
+    let before = schedule.transfers.len();
+    schedule.transfers.retain(|t| t.name != "I" || t.to_device);
+    assert_eq!(before - 1, schedule.transfers.len(), "one D2H of I removed");
+    let diags = analysis::check_schedule(cp, &schedule);
+    assert_eq!(diags.len(), 1, "exactly the seeded defect: {diags:?}");
+    assert_eq!(diags[0].rule, rules::STALE_READ);
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert_eq!(diags[0].entity, "I");
+}
+
+#[test]
+fn transfer_nothing_reads_is_redundant() {
+    let solver = declared_problem(6, 2).build(gpu_target()).unwrap();
+    let cp = &solver.compiled;
+    let mut schedule = cp.transfer_schedule(GpuStrategy::AsyncBoundary);
+    // The device kernel never reads T — uploading it every step is pure
+    // waste, the "moved but never read" half of the transfer proof.
+    schedule.transfers.push(Transfer {
+        name: "T".into(),
+        to_device: true,
+        policy: Policy::EveryStep,
+        reason: "seeded defect".into(),
+    });
+    let diags = analysis::check_schedule(cp, &schedule);
+    assert_eq!(diags.len(), 1, "exactly the seeded defect: {diags:?}");
+    assert_eq!(diags[0].rule, rules::REDUNDANT_TRANSFER);
+    assert_eq!(diags[0].entity, "T");
+}
+
+#[test]
+fn diagnostics_render_as_json() {
+    let regions = vec![
+        WriteRegion {
+            label: "a".into(),
+            flats: vec![0],
+            cells: vec![0, 1],
+        },
+        WriteRegion {
+            label: "b".into(),
+            flats: vec![0],
+            cells: vec![1],
+        },
+    ];
+    let diags = analysis::check_disjoint_writes("I", 1, 2, &regions);
+    let json = analysis::render_json(&diags);
+    assert!(json.starts_with('['), "array output: {json}");
+    assert!(json.contains("\"rule\""), "rule field present: {json}");
+    assert!(
+        json.contains(rules::OVERLAPPING_WRITE),
+        "rule id appears: {json}"
+    );
+    assert!(json.contains("\"severity\":\"error\""), "severity: {json}");
+}
