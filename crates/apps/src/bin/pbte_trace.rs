@@ -1,0 +1,312 @@
+//! `pbte-trace` — run a scenario under the unified telemetry recorder and
+//! inspect the result: a Perfetto-loadable Chrome trace, a per-step JSONL
+//! summary, physics health diagnostics, and (in `--parity` mode) a
+//! cross-target work-counter consistency check.
+//!
+//! ```text
+//! pbte-trace [scenario=hotspot|elongated] [target=seq|par|cells|bands|
+//!            gpu:async|gpu:precompute|bands-gpu] [n=12] [steps=3]
+//!            [ranks=2] [strategy=redundant|divided] [out=DIR]
+//!            [--no-health] [--parity]
+//! ```
+//!
+//! **Default mode** runs one scenario on one target with the buffered
+//! sink and the physics health probes installed, writes `DIR/trace.json`
+//! (load it at <https://ui.perfetto.dev>) and `DIR/summary.jsonl`, prints
+//! the phase/work/device summary, and exits 1 if any health probe fired.
+//!
+//! **`--parity` mode** runs the scenario on *every* target shape and
+//! asserts the tiered counter-equality contract (see `DESIGN.md`):
+//!
+//! * `flux_evals`, `dof_updates` and `temperature_solves` are exactly
+//!   equal on every target — band-partitioned targets sum their per-rank
+//!   counters back to the sequential totals, except `temperature_solves`
+//!   under `RedundantNewton`, where every rank solves all cells and the
+//!   job total is exactly `ranks ×` the sequential count.
+//! * `newton_iters` is exactly equal on the bit-identical targets (seq,
+//!   par, cells, gpu:precompute). Band-parallel targets reassociate the
+//!   energy allreduce and gpu:async trades boundary staleness for
+//!   overlap, so their iteration counts are reported but not asserted.
+//! * `ghost_evals` is exactly equal on seq, par, bands and the gpu
+//!   targets. Cell-partitioned ranks each evaluate every boundary face
+//!   (faces are not partitioned), so their total inflates by the rank
+//!   count and is reported but not asserted.
+//!
+//! Any violated assertion prints a `PARITY MISMATCH` line and the exit
+//! status is 1.
+
+use pbte_apps::{arg_str, arg_usize};
+use pbte_bte::health::HealthProbes;
+use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
+use pbte_bte::temperature::TemperatureStrategy;
+use pbte_dsl::exec::{Recorder, SolveReport};
+use pbte_dsl::{ExecTarget, GpuStrategy, Solver, WorkCounters};
+use pbte_gpu::DeviceSpec;
+
+type Scenario = fn(&BteConfig) -> BteProblem;
+
+fn scenario_by_name(name: &str) -> Option<Scenario> {
+    match name {
+        "hotspot" => Some(hotspot_2d as Scenario),
+        "elongated" => Some(elongated as Scenario),
+        _ => None,
+    }
+}
+
+fn target_by_name(name: &str, ranks: usize) -> Option<ExecTarget> {
+    Some(match name {
+        "seq" => ExecTarget::CpuSeq,
+        "par" => ExecTarget::CpuParallel,
+        "cells" => ExecTarget::DistCells { ranks },
+        "bands" => ExecTarget::DistBands {
+            ranks,
+            index: "b".into(),
+        },
+        "gpu:async" => ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+        "gpu:precompute" => ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::PrecomputeBoundary,
+        },
+        "bands-gpu" => ExecTarget::DistBandsGpu {
+            ranks,
+            index: "b".into(),
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+        _ => return None,
+    })
+}
+
+/// Build the scenario, optionally install the health probes, solve under
+/// `rec`, and return the report plus any health diagnostics.
+fn run_one(
+    scenario: Scenario,
+    cfg: &BteConfig,
+    target: ExecTarget,
+    health: bool,
+    rec: &mut Recorder,
+) -> (SolveReport, Vec<pbte_dsl::Diagnostic>) {
+    let mut bte = scenario(cfg);
+    let monitor = health.then(|| {
+        // After the temperature update (already registered by the
+        // scenario builder) so the probes see the fresh T/Io/beta.
+        HealthProbes::new(bte.material.clone(), bte.vars).install(&mut bte.problem)
+    });
+    let mut solver = match Solver::build(bte.problem, target) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("build failed: {e:?}");
+            std::process::exit(2);
+        }
+    };
+    let report = match solver.solve_traced(rec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("solve failed: {e:?}");
+            std::process::exit(2);
+        }
+    };
+    let diags = monitor.map(|m| m.take()).unwrap_or_default();
+    (report, diags)
+}
+
+fn print_report(tname: &str, report: &SolveReport) {
+    println!("target {tname}: {} step(s)", report.steps);
+    for (phase, secs) in report.timer.phases() {
+        println!("  {phase:<28} {secs:.6}s");
+    }
+    let w = &report.work;
+    println!(
+        "  work: dof={} flux={} ghost={} newton={} solves={}",
+        w.dof_updates, w.flux_evals, w.ghost_evals, w.newton_iters, w.temperature_solves
+    );
+    if report.comm.messages > 0 {
+        println!(
+            "  comm: {} message(s), {} byte(s)",
+            report.comm.messages, report.comm.bytes
+        );
+    }
+    if let Some(dev) = &report.device {
+        println!(
+            "  device: kernel {:.6}s transfer {:.6}s sm {:.1}% membw {:.1}% flop {:.1}%",
+            dev.kernel_time(),
+            dev.transfer_time(),
+            100.0 * dev.sm_utilization(),
+            100.0 * dev.memory_fraction(),
+            100.0 * dev.flop_fraction()
+        );
+    }
+}
+
+/// One parity expectation: `counter` on `target` must equal `expected`.
+struct Expect {
+    target: &'static str,
+    counter: &'static str,
+    expected: u64,
+    actual: u64,
+}
+
+fn expectations(
+    tname: &'static str,
+    seq: &WorkCounters,
+    got: &WorkCounters,
+    ranks: u64,
+    strategy: TemperatureStrategy,
+) -> Vec<Expect> {
+    let mut ex = vec![
+        Expect {
+            target: tname,
+            counter: "flux_evals",
+            expected: seq.flux_evals,
+            actual: got.flux_evals,
+        },
+        Expect {
+            target: tname,
+            counter: "dof_updates",
+            expected: seq.dof_updates,
+            actual: got.dof_updates,
+        },
+    ];
+    let banded = matches!(tname, "bands" | "bands-gpu");
+    let solves = if banded && strategy == TemperatureStrategy::RedundantNewton {
+        // Every band-parallel rank redundantly solves all cells.
+        ranks * seq.temperature_solves
+    } else {
+        seq.temperature_solves
+    };
+    ex.push(Expect {
+        target: tname,
+        counter: "temperature_solves",
+        expected: solves,
+        actual: got.temperature_solves,
+    });
+    // Bit-identical targets must match Newton iteration-for-iteration.
+    if matches!(tname, "par" | "cells" | "gpu:precompute") {
+        ex.push(Expect {
+            target: tname,
+            counter: "newton_iters",
+            expected: seq.newton_iters,
+            actual: got.newton_iters,
+        });
+    }
+    // Boundary faces are evaluated once per owned flat everywhere except
+    // cell partitioning (faces are replicated across cell ranks).
+    if matches!(tname, "par" | "bands" | "gpu:async" | "gpu:precompute") {
+        ex.push(Expect {
+            target: tname,
+            counter: "ghost_evals",
+            expected: seq.ghost_evals,
+            actual: got.ghost_evals,
+        });
+    }
+    ex
+}
+
+fn run_parity(
+    scenario: Scenario,
+    cfg: &BteConfig,
+    ranks: usize,
+    strategy: TemperatureStrategy,
+) -> bool {
+    let names: [&'static str; 7] = [
+        "seq",
+        "par",
+        "cells",
+        "bands",
+        "gpu:async",
+        "gpu:precompute",
+        "bands-gpu",
+    ];
+    let mut rec = Recorder::null();
+    let (seq_report, _) = run_one(scenario, cfg, ExecTarget::CpuSeq, false, &mut rec);
+    print_report("seq", &seq_report);
+    let seq = seq_report.work;
+
+    let mut ok = true;
+    for tname in names.into_iter().skip(1) {
+        let target = target_by_name(tname, ranks).unwrap();
+        let mut rec = Recorder::null();
+        let (report, _) = run_one(scenario, cfg, target, false, &mut rec);
+        print_report(tname, &report);
+        for e in expectations(tname, &seq, &report.work, ranks as u64, strategy) {
+            if e.actual != e.expected {
+                println!(
+                    "PARITY MISMATCH: {}/{} expected {} got {}",
+                    e.target, e.counter, e.expected, e.actual
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parity = args.iter().any(|a| a == "--parity");
+    let health = !args.iter().any(|a| a == "--no-health");
+    let sname = arg_str(&args, "scenario", "hotspot");
+    let tname = arg_str(&args, "target", "seq");
+    let n = arg_usize(&args, "n", 12);
+    let steps = arg_usize(&args, "steps", 3);
+    let ranks = arg_usize(&args, "ranks", 2);
+    let out = arg_str(&args, "out", ".").to_string();
+    let strategy = match arg_str(&args, "strategy", "redundant") {
+        "divided" => TemperatureStrategy::DividedNewton,
+        _ => TemperatureStrategy::RedundantNewton,
+    };
+
+    let Some(scenario) = scenario_by_name(sname) else {
+        eprintln!("unknown scenario `{sname}` (use hotspot or elongated)");
+        std::process::exit(2);
+    };
+    let cfg = BteConfig::small(n, 8, 4, steps).with_temperature_strategy(strategy);
+
+    if parity {
+        println!("parity check: scenario={sname} n={n} steps={steps} ranks={ranks}");
+        if run_parity(scenario, &cfg, ranks, strategy) {
+            println!("parity OK: all targets agree");
+        } else {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let Some(target) = target_by_name(tname, ranks) else {
+        eprintln!(
+            "unknown target `{tname}` (use seq, par, cells, bands, gpu:async, \
+             gpu:precompute or bands-gpu)"
+        );
+        std::process::exit(2);
+    };
+
+    let mut rec = Recorder::buffered();
+    let (report, diags) = run_one(scenario, &cfg, target, health, &mut rec);
+    print_report(tname, &report);
+    println!(
+        "trace: {} span(s), {} event(s), {} step record(s)",
+        rec.spans().len(),
+        rec.events().len(),
+        rec.step_records().len()
+    );
+
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let trace_path = format!("{out}/trace.json");
+    let summary_path = format!("{out}/summary.jsonl");
+    std::fs::write(&trace_path, rec.chrome_trace()).expect("write trace.json");
+    std::fs::write(&summary_path, rec.summary_jsonl()).expect("write summary.jsonl");
+    println!("wrote {trace_path} (open at https://ui.perfetto.dev) and {summary_path}");
+
+    if !diags.is_empty() {
+        for d in &diags {
+            println!("health: {}", d.render());
+        }
+        std::process::exit(1);
+    }
+    if health {
+        println!("health: all probes clean");
+    }
+}

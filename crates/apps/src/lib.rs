@@ -25,6 +25,15 @@ pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parse a `KEY=value`-style string override from the command line, e.g.
+/// `pbte-trace scenario=elongated target=bands`.
+pub fn arg_str<'a>(args: &'a [String], key: &str, default: &'a str) -> &'a str {
+    let prefix = format!("{key}=");
+    args.iter()
+        .find_map(|a| a.strip_prefix(&prefix))
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +46,13 @@ mod tests {
         assert_eq!(arg_usize(&args, "missing", 7), 7);
         let bad: Vec<String> = vec!["n=xyz".into()];
         assert_eq!(arg_usize(&bad, "n", 8), 8);
+    }
+
+    #[test]
+    fn arg_str_parsing() {
+        let args: Vec<String> = vec!["scenario=elongated".into(), "target=bands".into()];
+        assert_eq!(arg_str(&args, "scenario", "hotspot"), "elongated");
+        assert_eq!(arg_str(&args, "target", "seq"), "bands");
+        assert_eq!(arg_str(&args, "missing", "dflt"), "dflt");
     }
 }

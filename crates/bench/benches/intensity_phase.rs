@@ -1,15 +1,20 @@
 //! Criterion benchmark of the intensity-phase RHS across the three kernel
-//! tiers on the fig-4 hot-spot scenario.
+//! tiers on the fig-4 hot-spot scenario, plus the telemetry-overhead
+//! check: a full sequential solve under the null sink vs the buffered
+//! sink (the overhead contract in DESIGN.md says the gap must stay under
+//! a few percent — buffered recording is a handful of Vec pushes per
+//! step, far off the per-cell hot path).
 //!
 //! Set `INTENSITY_BENCH_QUICK=1` (CI short mode) to shrink the scenario and
 //! the sample count so the bench finishes in a few seconds.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use pbte_bte::scenario::{hotspot_2d, BteConfig};
-use pbte_dsl::exec::CompiledProblem;
+use pbte_dsl::exec::{CompiledProblem, Recorder};
 use pbte_dsl::KernelTier;
+use pbte_dsl::{ExecTarget, Solver};
 
 fn quick() -> bool {
     std::env::var("INTENSITY_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -48,9 +53,43 @@ fn bench_intensity_phase(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole-solve overhead of the buffered telemetry sink relative to the
+/// null sink. Same scenario, same target; the only difference is whether
+/// spans/step-records/histograms are retained. Compare the two rows —
+/// `buffered_sink` must stay within ~2% of `null_sink`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    let cfg = if quick() {
+        BteConfig::small(12, 6, 4, 2)
+    } else {
+        BteConfig::small(24, 8, 8, 4)
+    };
+    for (name, buffered) in [("null_sink", false), ("buffered_sink", true)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let bte = hotspot_2d(&cfg);
+                    Solver::build(bte.problem, ExecTarget::CpuSeq).expect("builds")
+                },
+                |mut solver| {
+                    let mut rec = if buffered {
+                        Recorder::buffered()
+                    } else {
+                        Recorder::null()
+                    };
+                    let report = solver.solve_traced(&mut rec).expect("solves");
+                    black_box((report.work.flux_evals, rec.spans().len()))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(if quick() { 3 } else { 10 });
-    targets = bench_intensity_phase
+    targets = bench_intensity_phase, bench_telemetry_overhead
 );
 criterion_main!(benches);

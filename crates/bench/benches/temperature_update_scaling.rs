@@ -72,6 +72,7 @@ fn run_update(
     strategy: TemperatureStrategy,
 ) {
     let upd = s.upd.clone().with_strategy(strategy);
+    let mut rec = pbte_dsl::exec::Recorder::null();
     let mut ctx = StepContext {
         fields,
         mesh: s.cp.mesh(),
@@ -81,10 +82,10 @@ fn run_update(
         owned_cells: None,
         reducer,
         threads,
-        work: Default::default(),
+        rec: &mut rec,
     };
     upd.run(&mut ctx);
-    black_box(ctx.work);
+    black_box(rec.work);
 }
 
 fn bench_threading(c: &mut Criterion) {

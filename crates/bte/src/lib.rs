@@ -21,6 +21,9 @@
 //! * [`temperature`] — the nonlinear per-cell temperature update (the CPU
 //!   callback the paper's hybrid codegen is designed around), including
 //!   the cross-rank energy reduction for band-parallel runs;
+//! * [`health`] — opt-in per-step physics probes (NaN/negativity
+//!   watchdog, energy-budget residual) emitting structured diagnostics
+//!   through the unified telemetry layer;
 //! * [`boundary`] — the isothermal and symmetry callback functions;
 //! * [`scenario`] — problem builders: the 525 µm hot-spot domain (Figs
 //!   1–2), the elongated corner-heated domain (Fig 10), and a coarse 3-D
@@ -36,6 +39,7 @@ pub mod boundary;
 pub mod constants;
 pub mod dispersion;
 pub mod equilibrium;
+pub mod health;
 pub mod material;
 pub mod output;
 pub mod scattering;

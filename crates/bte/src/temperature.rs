@@ -35,6 +35,7 @@
 
 use crate::material::Material;
 use pbte_dsl::problem::{Problem, StepContext};
+use pbte_runtime::telemetry::{SpanKind, Track, HIST_BUCKETS};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -249,6 +250,11 @@ impl TemperatureUpdate {
         let mut t_new_of = vec![0.0; n_cells];
         let mut newton_iters: u64 = 0;
         let mut solves: u64 = 0;
+        // Per-solve iteration counts bucketed locally (one clamp + add per
+        // cell), merged into the recorder's histogram afterwards — a no-op
+        // under the null sink.
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let newton_t0 = ctx.rec.now();
 
         if let Some(owned) = ctx.owned_cells {
             // Cell-partitioned: only owned cells are solved; no strategy
@@ -259,6 +265,7 @@ impl TemperatureUpdate {
                 material.beta_all(t_old, &mut beta_all);
                 let (t_new, it) = self.solve_counted(&beta_all, s[cell], t_old);
                 newton_iters += it as u64;
+                buckets[(it as usize).min(HIST_BUCKETS - 1)] += 1;
                 t_new_of[cell] = t_new;
                 ctx.fields.set(self.vars.t, cell, 0, t_new);
             }
@@ -272,7 +279,11 @@ impl TemperatureUpdate {
                 (0, n_cells)
             };
             let t_slice = ctx.fields.slice(self.vars.t);
-            let solve_chunk = |base: usize, out: &mut [f64], beta_all: &mut [f64]| -> u64 {
+            let solve_chunk = |base: usize,
+                               out: &mut [f64],
+                               beta_all: &mut [f64],
+                               hist: &mut [u64; HIST_BUCKETS]|
+             -> u64 {
                 let mut iters = 0u64;
                 for (off, tv) in out.iter_mut().enumerate() {
                     let cell = base + off;
@@ -280,6 +291,7 @@ impl TemperatureUpdate {
                     material.beta_all(t_old, beta_all);
                     let (t_new, it) = self.solve_counted(beta_all, s[cell], t_old);
                     iters += it as u64;
+                    hist[(it as usize).min(HIST_BUCKETS - 1)] += 1;
                     *tv = t_new;
                 }
                 iters
@@ -287,22 +299,38 @@ impl TemperatureUpdate {
             let span = solve_end - solve_start;
             if threads > 1 && span > 0 {
                 let total_iters = AtomicU64::new(0);
+                // Shared histogram merged via atomics: chunks bucket
+                // locally and publish once, so bucket counts stay exact
+                // at any thread count.
+                let shared_hist: [AtomicU64; HIST_BUCKETS] =
+                    std::array::from_fn(|_| AtomicU64::new(0));
                 let chunk = span.div_ceil(threads).max(1);
                 t_new_of[solve_start..solve_end]
                     .par_chunks_mut(chunk)
                     .enumerate()
                     .for_each(|(ci, out)| {
                         let mut beta_all = vec![0.0; n_bands];
-                        let iters = solve_chunk(solve_start + ci * chunk, out, &mut beta_all);
+                        let mut hist = [0u64; HIST_BUCKETS];
+                        let iters =
+                            solve_chunk(solve_start + ci * chunk, out, &mut beta_all, &mut hist);
                         total_iters.fetch_add(iters, Ordering::Relaxed);
+                        for (slot, count) in shared_hist.iter().zip(hist) {
+                            if count > 0 {
+                                slot.fetch_add(count, Ordering::Relaxed);
+                            }
+                        }
                     });
                 newton_iters += total_iters.into_inner();
+                for (b, slot) in buckets.iter_mut().zip(shared_hist) {
+                    *b += slot.into_inner();
+                }
             } else {
                 let mut beta_all = vec![0.0; n_bands];
                 newton_iters += solve_chunk(
                     solve_start,
                     &mut t_new_of[solve_start..solve_end],
                     &mut beta_all,
+                    &mut buckets,
                 );
             }
             solves += span as u64;
@@ -312,8 +340,27 @@ impl TemperatureUpdate {
             }
             ctx.fields.slice_mut(self.vars.t).copy_from_slice(&t_new_of);
         }
-        ctx.work.newton_iters += newton_iters;
-        ctx.work.temperature_solves += solves;
+        // The recorder lent through `ctx.rec` is the one accounting path:
+        // counters, the iteration histogram and the Newton span all land
+        // in the same sink the executor reports from.
+        ctx.rec.work.newton_iters += newton_iters;
+        ctx.rec.work.temperature_solves += solves;
+        ctx.rec.observe_buckets("newton_iters", &buckets);
+        if ctx.rec.enabled() {
+            let newton_t1 = ctx.rec.now();
+            ctx.rec.span(
+                SpanKind::NewtonSolve,
+                "newton solve",
+                newton_t0,
+                newton_t1 - newton_t0,
+                Track::Host,
+                vec![
+                    ("step", ctx.step.to_string()),
+                    ("solves", solves.to_string()),
+                    ("iters", newton_iters.to_string()),
+                ],
+            );
+        }
 
         // Io/beta rewrites band-by-band so the stores stream (the
         // cells-inner order writes each (b, cell) slot exactly once,

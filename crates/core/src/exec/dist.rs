@@ -26,6 +26,7 @@ use crate::entities::Fields;
 use crate::problem::{DslError, GpuStrategy, Reducer, TimeStepper};
 use pbte_gpu::DeviceSpec;
 use pbte_mesh::partition::{partition_bands, Partition, PartitionMethod};
+use pbte_runtime::telemetry::{Recorder, SpanKind, TraceConfig, Track};
 use pbte_runtime::timer::PhaseTimer;
 use pbte_runtime::world::{CommStats, RankCtx, World};
 use std::time::Instant;
@@ -37,13 +38,23 @@ const HALO_TAG: u32 = 100;
 struct BandLinks<'a> {
     ctx: &'a mut RankCtx,
     comm_seconds: f64,
+    /// Trace epoch shared with the rank's recorder; closed comm intervals
+    /// are buffered here and drained into the recorder after each step
+    /// (the recorder itself is lent to the callbacks while comm happens).
+    cfg: TraceConfig,
+    comm_spans: Vec<(SpanKind, f64, f64)>,
 }
 
 impl Reducer for BandLinks<'_> {
     fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        let s0 = self.cfg.now();
         let t = Instant::now();
         self.ctx.allreduce_sum(buf);
         self.comm_seconds += t.elapsed().as_secs_f64();
+        if self.cfg.is_enabled() {
+            self.comm_spans
+                .push((SpanKind::Allreduce, s0, self.cfg.now() - s0));
+        }
     }
     fn rank(&self) -> usize {
         self.ctx.rank
@@ -68,13 +79,20 @@ struct CellLinks<'a> {
     unknown: usize,
     n_flat: usize,
     comm_seconds: f64,
+    cfg: TraceConfig,
+    comm_spans: Vec<(SpanKind, f64, f64)>,
 }
 
 impl Reducer for CellLinks<'_> {
     fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        let s0 = self.cfg.now();
         let t = Instant::now();
         self.ctx.allreduce_sum(buf);
         self.comm_seconds += t.elapsed().as_secs_f64();
+        if self.cfg.is_enabled() {
+            self.comm_spans
+                .push((SpanKind::Allreduce, s0, self.cfg.now() - s0));
+        }
     }
     fn rank(&self) -> usize {
         self.ctx.rank
@@ -86,6 +104,7 @@ impl Reducer for CellLinks<'_> {
 
 impl StepLinks for CellLinks<'_> {
     fn halo_exchange(&mut self, fields: &mut Fields) -> f64 {
+        let s0 = self.cfg.now();
         let t0 = Instant::now();
         let rank = self.rank;
         for (peer, cells) in &self.send_lists[rank] {
@@ -113,16 +132,41 @@ impl StepLinks for CellLinks<'_> {
         }
         let secs = t0.elapsed().as_secs_f64();
         self.comm_seconds += secs;
+        if self.cfg.is_enabled() {
+            self.comm_spans
+                .push((SpanKind::HaloExchange, s0, self.cfg.now() - s0));
+        }
         secs
+    }
+}
+
+/// Drain comm intervals a links object buffered into the rank recorder.
+fn drain_comm_spans(rec: &mut Recorder, spans: &mut Vec<(SpanKind, f64, f64)>, step: usize) {
+    for (kind, t0, dur) in spans.drain(..) {
+        let name = match kind {
+            SpanKind::HaloExchange => "halo exchange",
+            _ => "allreduce",
+        };
+        rec.span(
+            kind,
+            name,
+            t0,
+            dur,
+            Track::Host,
+            vec![("step", step.to_string())],
+        );
     }
 }
 
 /// Per-rank result carried back to the caller.
 struct RankResult {
     rank: usize,
-    timer: PhaseTimer,
+    /// The rank's recorder: phase seconds, work counters, and (when
+    /// buffering) the rank's spans/events/step records.
+    rec: Recorder,
     stats: CommStats,
-    work: WorkCounters,
+    /// Per-rank device profile (band+GPU target).
+    device: Option<pbte_gpu::ProfileReport>,
     /// `(variable id, flat, values over all cells or owned cells)`.
     payload: Vec<(usize, usize, Vec<f64>)>,
 }
@@ -132,6 +176,7 @@ pub fn solve_cells(
     cp: &CompiledProblem,
     fields: &mut Fields,
     ranks: usize,
+    rec: &mut Recorder,
 ) -> Result<SolveReport, DslError> {
     cp.debug_verify(&super::ExecTarget::DistCells { ranks });
     let mesh = cp.mesh();
@@ -175,6 +220,7 @@ pub fn solve_cells(
         send_lists.push(per_peer);
     }
 
+    let cfg = rec.config();
     let results: Vec<RankResult> = World::run(ranks, |ctx| {
         let rank = ctx.rank;
         let mut local = init_fields.clone();
@@ -191,8 +237,7 @@ pub fn solve_cells(
         } else {
             Vec::new()
         };
-        let mut timer = PhaseTimer::new();
-        let mut work = WorkCounters::default();
+        let mut r = Recorder::from_config(cfg, rank as u32);
         let mut kernels = super::rows::IntensityKernels::for_scope(cp, &all_flats);
         let mut time = 0.0;
         let mut links = CellLinks {
@@ -202,8 +247,11 @@ pub fn solve_cells(
             unknown,
             n_flat,
             comm_seconds: 0.0,
+            cfg,
+            comm_spans: Vec::new(),
         };
 
+        let mut prev_bytes = 0u64;
         for step in 0..cp.problem.n_steps {
             links.comm_seconds = 0.0;
             let (ti, tt, tc) = seq::step_scope(
@@ -218,15 +266,28 @@ pub fn solve_cells(
                 None,
                 Some(my_cells),
                 &mut links,
-                &mut work,
+                &mut r,
                 1,
                 &mut kernels,
             );
-            timer.add(phases::INTENSITY, ti);
+            drain_comm_spans(&mut r, &mut links.comm_spans, step);
+            r.phase(phases::INTENSITY, ti);
             // Reduction time inside callbacks is also communication.
             let extra = (links.comm_seconds - tc).max(0.0);
-            timer.add(phases::TEMPERATURE, (tt - extra).max(0.0));
-            timer.add(phases::COMMUNICATION, links.comm_seconds);
+            let t_temp = (tt - extra).max(0.0);
+            r.phase(phases::TEMPERATURE, t_temp);
+            r.phase(phases::COMMUNICATION, links.comm_seconds);
+            let bytes = links.ctx.stats.bytes - prev_bytes;
+            prev_bytes = links.ctx.stats.bytes;
+            r.step_done(
+                step,
+                &[
+                    (phases::INTENSITY, ti),
+                    (phases::TEMPERATURE, t_temp),
+                    (phases::COMMUNICATION, links.comm_seconds),
+                ],
+                bytes,
+            );
             time += cp.problem.dt;
         }
 
@@ -241,9 +302,9 @@ pub fn solve_cells(
         let stats = links.ctx.stats;
         RankResult {
             rank,
-            timer,
+            rec: r,
             stats,
-            work,
+            device: None,
             payload,
         }
     });
@@ -257,7 +318,7 @@ pub fn solve_cells(
             }
         }
     }
-    Ok(reduce_reports(cp, results))
+    Ok(reduce_reports(cp, results, rec))
 }
 
 /// Band-partitioned solve (optionally GPU-accelerated per rank).
@@ -267,6 +328,7 @@ pub fn solve_bands(
     ranks: usize,
     index: &str,
     gpu_cfg: Option<(DeviceSpec, GpuStrategy)>,
+    rec: &mut Recorder,
 ) -> Result<SolveReport, DslError> {
     match &gpu_cfg {
         Some((spec, strategy)) => cp.debug_verify(&super::ExecTarget::DistBandsGpu {
@@ -311,20 +373,24 @@ pub fn solve_bands(
         })
         .collect();
 
+    let cfg = rec.config();
     let results: Vec<RankResult> = World::run(ranks, |ctx| {
         let rank = ctx.rank;
         let mut local = init_fields.clone();
         let my_flats = &owned_flats[rank];
         let all_cells: Vec<usize> = (0..local.n_cells).collect();
-        let mut timer = PhaseTimer::new();
-        let mut work = WorkCounters::default();
+        let mut r = Recorder::from_config(cfg, rank as u32);
+        let mut device = None;
         let mut time = 0.0;
         let range = ranges[rank].clone();
         let mut links = BandLinks {
             ctx,
             comm_seconds: 0.0,
+            cfg,
+            comm_spans: Vec::new(),
         };
 
+        let mut prev_bytes = 0u64;
         if let Some((spec, strategy)) = &gpu_cfg {
             // GPU path: one simulated device per rank.
             let mut worker = GpuWorker::new(cp, &local, my_flats, spec.clone(), *strategy);
@@ -337,18 +403,32 @@ pub fn solve_bands(
                     step,
                     Some((index.to_string(), range.clone())),
                     &mut links,
-                    &mut work,
+                    &mut r,
                     rayon::current_num_threads(),
                 );
-                timer.add(phases::INTENSITY_GPU, times.kernel);
-                timer.add(phases::COMM_GPU, times.transfer);
-                timer.add(
-                    phases::TEMPERATURE_CPU,
-                    (times.host - links.comm_seconds).max(0.0),
+                drain_comm_spans(&mut r, &mut links.comm_spans, step);
+                r.phase(phases::INTENSITY_GPU, times.kernel);
+                r.phase(phases::COMM_GPU, times.transfer);
+                let t_temp = (times.host - links.comm_seconds).max(0.0);
+                r.phase(phases::TEMPERATURE_CPU, t_temp);
+                r.phase(phases::COMMUNICATION, links.comm_seconds);
+                let bytes = links.ctx.stats.bytes - prev_bytes;
+                prev_bytes = links.ctx.stats.bytes;
+                r.step_done(
+                    step,
+                    &[
+                        (phases::INTENSITY_GPU, times.kernel),
+                        (phases::COMM_GPU, times.transfer),
+                        (phases::TEMPERATURE_CPU, t_temp),
+                        (phases::COMMUNICATION, links.comm_seconds),
+                    ],
+                    bytes,
                 );
-                timer.add(phases::COMMUNICATION, links.comm_seconds);
                 time += cp.problem.dt;
             }
+            let prof = worker.finish();
+            r.device_summary(super::gpu::device_summary_from(&prof, rank as u32));
+            device = Some(prof);
         } else {
             // CPU path.
             let scope = Scope {
@@ -377,13 +457,26 @@ pub fn solve_bands(
                     Some((index.to_string(), range.clone())),
                     None,
                     &mut links,
-                    &mut work,
+                    &mut r,
                     1,
                     &mut kernels,
                 );
-                timer.add(phases::INTENSITY, ti);
-                timer.add(phases::TEMPERATURE, (tt - links.comm_seconds).max(0.0));
-                timer.add(phases::COMMUNICATION, links.comm_seconds);
+                drain_comm_spans(&mut r, &mut links.comm_spans, step);
+                r.phase(phases::INTENSITY, ti);
+                let t_temp = (tt - links.comm_seconds).max(0.0);
+                r.phase(phases::TEMPERATURE, t_temp);
+                r.phase(phases::COMMUNICATION, links.comm_seconds);
+                let bytes = links.ctx.stats.bytes - prev_bytes;
+                prev_bytes = links.ctx.stats.bytes;
+                r.step_done(
+                    step,
+                    &[
+                        (phases::INTENSITY, ti),
+                        (phases::TEMPERATURE, t_temp),
+                        (phases::COMMUNICATION, links.comm_seconds),
+                    ],
+                    bytes,
+                );
                 time += cp.problem.dt;
             }
         }
@@ -392,9 +485,9 @@ pub fn solve_bands(
         let stats = links.ctx.stats;
         RankResult {
             rank,
-            timer,
+            rec: r,
             stats,
-            work,
+            device,
             payload,
         }
     });
@@ -410,7 +503,7 @@ pub fn solve_bands(
             }
         }
     }
-    Ok(reduce_reports(cp, results))
+    Ok(reduce_reports(cp, results, rec))
 }
 
 /// Pack a band-partitioned rank's owned data: owned flats of the unknown,
@@ -473,14 +566,20 @@ fn collect_band_payload(
 }
 
 /// Merge per-rank reports: phase times take the max over ranks (wall-clock
-/// semantics), work and bytes sum.
-fn reduce_reports(cp: &CompiledProblem, results: Vec<RankResult>) -> SolveReport {
+/// semantics), work and bytes sum, device profiles merge, and each rank's
+/// telemetry buffers are absorbed into the caller's recorder (preserving
+/// rank attribution on every span).
+fn reduce_reports(
+    cp: &CompiledProblem,
+    results: Vec<RankResult>,
+    rec: &mut Recorder,
+) -> SolveReport {
     let mut timer = PhaseTimer::new();
     let mut comm = CommStats::default();
     let mut work = WorkCounters::default();
     let mut names: Vec<String> = Vec::new();
     for r in &results {
-        for (name, _) in r.timer.phases() {
+        for (name, _) in r.rec.phases.phases() {
             if !names.iter().any(|n| n == name) {
                 names.push(name.to_string());
             }
@@ -489,20 +588,31 @@ fn reduce_reports(cp: &CompiledProblem, results: Vec<RankResult>) -> SolveReport
     for name in &names {
         let max = results
             .iter()
-            .map(|r| r.timer.get(name))
+            .map(|r| r.rec.phases.get(name))
             .fold(0.0f64, f64::max);
         timer.add(name, max);
     }
-    for r in &results {
+    let mut device: Option<pbte_gpu::ProfileReport> = None;
+    for r in results {
         comm.messages += r.stats.messages;
         comm.bytes += r.stats.bytes;
-        work.merge(&r.work);
+        work.merge(&r.rec.work);
+        if let Some(p) = r.device {
+            match &mut device {
+                Some(d) => d.merge(&p),
+                None => device = Some(p),
+            }
+        }
+        rec.absorb_rank(r.rec);
     }
+    // The job-level phase account uses the max-over-ranks semantics, not
+    // the per-rank sum, so merge the reduced timer rather than each rank's.
+    rec.phases.merge(&timer);
     SolveReport {
         steps: cp.problem.n_steps,
         timer,
         comm,
         work,
-        device: None,
+        device,
     }
 }

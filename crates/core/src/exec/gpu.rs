@@ -22,13 +22,29 @@
 
 use super::rows::{self, FluxBoundary, IntensityKernels};
 use super::seq;
-use super::{phases, CompiledProblem, SolveReport, WorkCounters};
+use super::{phases, CompiledProblem, SolveReport};
 use crate::bytecode::VmCtx;
 use crate::entities::Fields;
 use crate::problem::{DslError, GpuStrategy, KernelTier, LocalReducer, Reducer, TimeStepper};
 use pbte_gpu::{Device, DeviceBuffer, DeviceSpec, KernelCost};
-use pbte_runtime::timer::PhaseTimer;
+use pbte_runtime::telemetry::{DeviceSummary, Recorder, SpanKind, Track};
 use std::time::Instant;
+
+/// Flatten a device profile into the runtime-level summary the telemetry
+/// sink carries (the runtime crate has no device types).
+pub(crate) fn device_summary_from(prof: &pbte_gpu::ProfileReport, rank: u32) -> DeviceSummary {
+    DeviceSummary {
+        rank,
+        device: prof.spec_name.to_string(),
+        sm_utilization: prof.sm_utilization(),
+        memory_fraction: prof.memory_fraction(),
+        flop_fraction: prof.flop_fraction(),
+        kernel_seconds: prof.kernel_time(),
+        transfer_seconds: prof.transfer_time(),
+        h2d_bytes: prof.h2d.bytes,
+        d2h_bytes: prof.d2h.bytes,
+    }
+}
 
 /// Simulated / host times for one hybrid step.
 pub(crate) struct StepTimes {
@@ -261,7 +277,7 @@ impl GpuWorker {
         step: usize,
         owned_index_range: Option<(String, std::ops::Range<usize>)>,
         reducer: &mut dyn Reducer,
-        work: &mut WorkCounters,
+        rec: &mut Recorder,
         threads: usize,
     ) -> StepTimes {
         let n_cells = fields.n_cells;
@@ -283,9 +299,16 @@ impl GpuWorker {
             None,
             reducer,
             threads,
-            work,
+            rec,
         );
-        seq::compute_ghosts(cp, fields, &self.owned_flats, time, &mut self.ghosts, work);
+        seq::compute_ghosts(
+            cp,
+            fields,
+            &self.owned_flats,
+            time,
+            &mut self.ghosts,
+            &mut rec.work,
+        );
         let mut t_host = host_t0.elapsed().as_secs_f64();
 
         // H2D per the transfer schedule: CPU-written variables move every
@@ -431,10 +454,28 @@ impl GpuWorker {
                 },
             )
         };
-        work.dof_updates += n_threads as u64;
+        rec.work.dof_updates += n_threads as u64;
         // Exact face total per owned flat (every cell's true face count,
         // not a uniform max_faces estimate).
-        work.flux_evals += owned_flats.len() as u64 * cp.hot.nbr.len() as u64;
+        rec.work.flux_evals += owned_flats.len() as u64 * cp.hot.nbr.len() as u64;
+        if rec.enabled() {
+            rec.span(
+                SpanKind::Kernel,
+                "intensity_update",
+                t_after_h2d,
+                t_kernel,
+                Track::Device(0),
+                vec![
+                    ("step", step.to_string()),
+                    ("threads", n_threads.to_string()),
+                    (
+                        "tier",
+                        if self.row.is_some() { "row" } else { "vm" }.to_string(),
+                    ),
+                ],
+            );
+        }
+        let t_after_kernel = t_after_h2d + t_kernel;
 
         // Meanwhile (conceptually overlapped, Fig 6): the CPU computes the
         // boundary contribution from the same old state.
@@ -509,6 +550,28 @@ impl GpuWorker {
             }
         }
         let t_transfer = (t_after_h2d - dev_t0) + (self.device.elapsed() - t_after_h2d - t_kernel);
+        if rec.enabled() {
+            let strat = match self.strategy {
+                GpuStrategy::AsyncBoundary => "async",
+                GpuStrategy::PrecomputeBoundary => "precompute",
+            };
+            rec.span(
+                SpanKind::Transfer,
+                "h2d",
+                dev_t0,
+                t_after_h2d - dev_t0,
+                Track::Device(0),
+                vec![("step", step.to_string()), ("strategy", strat.to_string())],
+            );
+            rec.span(
+                SpanKind::Transfer,
+                "d2h",
+                t_after_kernel,
+                self.device.elapsed() - t_after_kernel,
+                Track::Device(0),
+                vec![("step", step.to_string()), ("strategy", strat.to_string())],
+            );
+        }
 
         // Host: post-step callbacks (temperature update).
         let host_t2 = Instant::now();
@@ -522,7 +585,7 @@ impl GpuWorker {
             None,
             reducer,
             threads,
-            work,
+            rec,
         );
         t_host += host_t2.elapsed().as_secs_f64();
 
@@ -545,6 +608,7 @@ pub fn solve(
     fields: &mut Fields,
     spec: DeviceSpec,
     strategy: GpuStrategy,
+    rec: &mut Recorder,
 ) -> Result<SolveReport, DslError> {
     if cp.problem.stepper != TimeStepper::EulerExplicit {
         return Err(DslError::Invalid(
@@ -557,32 +621,35 @@ pub fn solve(
     });
     let all_flats: Vec<usize> = (0..cp.n_flat).collect();
     let mut worker = GpuWorker::new(cp, fields, &all_flats, spec, strategy);
-    let mut timer = PhaseTimer::new();
-    let mut work = WorkCounters::default();
+    let mut r = Recorder::from_config(rec.config(), rec.rank());
     let mut reducer = LocalReducer;
     let mut time = 0.0;
     let threads = rayon::current_num_threads();
     for step in 0..cp.problem.n_steps {
-        let times = worker.step(
-            cp,
-            fields,
-            time,
+        let times = worker.step(cp, fields, time, step, None, &mut reducer, &mut r, threads);
+        r.phase(phases::INTENSITY_GPU, times.kernel);
+        r.phase(phases::COMM_GPU, times.transfer);
+        r.phase(phases::TEMPERATURE_CPU, times.host);
+        r.step_done(
             step,
-            None,
-            &mut reducer,
-            &mut work,
-            threads,
+            &[
+                (phases::INTENSITY_GPU, times.kernel),
+                (phases::COMM_GPU, times.transfer),
+                (phases::TEMPERATURE_CPU, times.host),
+            ],
+            0,
         );
-        timer.add(phases::INTENSITY_GPU, times.kernel);
-        timer.add(phases::COMM_GPU, times.transfer);
-        timer.add(phases::TEMPERATURE_CPU, times.host);
         time += cp.problem.dt;
     }
-    Ok(SolveReport {
+    let prof = worker.finish();
+    r.device_summary(device_summary_from(&prof, 0));
+    let report = SolveReport {
         steps: cp.problem.n_steps,
-        timer,
+        timer: r.phases.clone(),
         comm: Default::default(),
-        work,
-        device: Some(worker.finish()),
-    })
+        work: r.work,
+        device: Some(prof),
+    };
+    rec.absorb(r);
+    Ok(report)
 }

@@ -105,40 +105,21 @@ impl StepLinks for LocalLinks {
 }
 
 /// Work executed, counted exactly (feeds the performance model).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct WorkCounters {
-    /// Cell-dof updates performed (volume kernel evaluations).
-    pub dof_updates: u64,
-    /// Flux kernel evaluations.
-    pub flux_evals: u64,
-    /// Boundary ghost evaluations (CPU callback calls).
-    pub ghost_evals: u64,
-    /// Newton iterations performed by step callbacks (temperature update).
-    pub newton_iters: u64,
-    /// Per-cell temperature solves performed by step callbacks. Under
-    /// `TemperatureStrategy::RedundantNewton` every band-parallel rank
-    /// solves all cells, so the cross-rank sum is `ranks * n_cells *
-    /// steps`; under `DividedNewton` each cell is solved on exactly one
-    /// rank and the sum stays `n_cells * steps`.
-    pub temperature_solves: u64,
-}
+///
+/// This now lives in `pbte_runtime::telemetry` — the unified sink every
+/// executor and step callback writes through (via
+/// [`Recorder::work`](pbte_runtime::telemetry::Recorder)) — and is
+/// re-exported here for the existing `SolveReport` consumers. Note on
+/// `temperature_solves`: under `TemperatureStrategy::RedundantNewton`
+/// every band-parallel rank solves all cells, so the cross-rank sum is
+/// `ranks * n_cells * steps`; under `DividedNewton` each cell is solved
+/// on exactly one rank and the sum stays `n_cells * steps`.
+pub use pbte_runtime::telemetry::WorkCounters;
 
-impl WorkCounters {
-    /// Merge counters (e.g. across ranks).
-    pub fn merge(&mut self, other: &WorkCounters) {
-        self.dof_updates += other.dof_updates;
-        self.flux_evals += other.flux_evals;
-        self.ghost_evals += other.ghost_evals;
-        self.newton_iters += other.newton_iters;
-        self.temperature_solves += other.temperature_solves;
-    }
-
-    /// Fold work reported by a step callback into these counters.
-    pub fn absorb_callback(&mut self, cb: &crate::problem::CallbackWork) {
-        self.newton_iters += cb.newton_iters;
-        self.temperature_solves += cb.temperature_solves;
-    }
-}
+/// The unified telemetry sink and its `Copy` configuration, re-exported
+/// so downstream crates (benches, inspectors) can drive
+/// [`Solver::solve_traced`] without a direct `pbte-runtime` dependency.
+pub use pbte_runtime::telemetry::{Recorder, TraceConfig};
 
 /// Result of a solve.
 #[derive(Debug)]
@@ -772,20 +753,38 @@ impl Solver {
         })
     }
 
-    /// Run the configured number of time steps.
+    /// Run the configured number of time steps with the null telemetry
+    /// sink (counters and phase seconds only — no trace retained).
     pub fn solve(&mut self) -> Result<SolveReport, DslError> {
+        let mut rec = pbte_runtime::telemetry::Recorder::null();
+        self.solve_traced(&mut rec)
+    }
+
+    /// Run the configured number of time steps, recording structured
+    /// telemetry (spans, events, per-step records, histograms) into
+    /// `rec`. The executors run the solve in a child recorder sharing
+    /// `rec`'s epoch and merge it back, so one recorder can collect
+    /// several solves on a common timeline.
+    pub fn solve_traced(
+        &mut self,
+        rec: &mut pbte_runtime::telemetry::Recorder,
+    ) -> Result<SolveReport, DslError> {
         match &self.target.clone() {
-            ExecTarget::CpuSeq => seq::solve(&self.compiled, &mut self.fields),
-            ExecTarget::CpuParallel => par::solve(&self.compiled, &mut self.fields),
+            ExecTarget::CpuSeq => seq::solve(&self.compiled, &mut self.fields, rec),
+            ExecTarget::CpuParallel => par::solve(&self.compiled, &mut self.fields, rec),
             ExecTarget::DistCells { ranks } => {
-                dist::solve_cells(&self.compiled, &mut self.fields, *ranks)
+                dist::solve_cells(&self.compiled, &mut self.fields, *ranks, rec)
             }
             ExecTarget::DistBands { ranks, index } => {
-                dist::solve_bands(&self.compiled, &mut self.fields, *ranks, index, None)
+                dist::solve_bands(&self.compiled, &mut self.fields, *ranks, index, None, rec)
             }
-            ExecTarget::GpuHybrid { spec, strategy } => {
-                gpu::solve(&self.compiled, &mut self.fields, spec.clone(), *strategy)
-            }
+            ExecTarget::GpuHybrid { spec, strategy } => gpu::solve(
+                &self.compiled,
+                &mut self.fields,
+                spec.clone(),
+                *strategy,
+                rec,
+            ),
             ExecTarget::DistBandsGpu {
                 ranks,
                 index,
@@ -797,6 +796,7 @@ impl Solver {
                 *ranks,
                 index,
                 Some((spec.clone(), *strategy)),
+                rec,
             ),
         }
     }

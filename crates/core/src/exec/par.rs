@@ -14,7 +14,7 @@ use super::seq;
 use super::{phases, CompiledProblem, SolveReport, WorkCounters};
 use crate::entities::Fields;
 use crate::problem::{BoundaryQuery, DslError, KernelTier, LocalReducer, TimeStepper};
-use pbte_runtime::timer::PhaseTimer;
+use pbte_runtime::telemetry::{Recorder, SpanKind, Track};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -159,7 +159,11 @@ fn axpy_par(fields: &mut Fields, unknown: usize, coeff: f64, rhs: &[f64]) {
 }
 
 /// Solve with rayon threads.
-pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, DslError> {
+pub fn solve(
+    cp: &CompiledProblem,
+    fields: &mut Fields,
+    rec: &mut Recorder,
+) -> Result<SolveReport, DslError> {
     cp.debug_verify(&super::ExecTarget::CpuParallel);
     let n_cells = fields.n_cells;
     let mut ghosts = vec![0.0; cp.boundary.len() * cp.n_flat];
@@ -169,8 +173,7 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
     } else {
         Vec::new()
     };
-    let mut timer = PhaseTimer::new();
-    let mut work = WorkCounters::default();
+    let mut r = Recorder::from_config(rec.config(), rec.rank());
     let mut reducer = LocalReducer;
     let dt = cp.problem.dt;
     let unknown = cp.system.unknown;
@@ -182,6 +185,7 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
     let mut kernels = IntensityKernels::for_scope(cp, &all_flats);
 
     for step in 0..cp.problem.n_steps {
+        let s0 = r.now();
         let t0 = Instant::now();
         seq::run_callbacks(
             cp,
@@ -193,36 +197,31 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
             None,
             &mut reducer,
             threads,
-            &mut work,
+            &mut r,
         );
         let mut t_temperature = t0.elapsed().as_secs_f64();
 
+        let i0 = r.now();
         let t1 = Instant::now();
+        let work = &mut r.work;
         match cp.problem.stepper {
             TimeStepper::EulerExplicit => {
-                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut work);
-                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work, &mut kernels);
+                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, work);
+                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, work, &mut kernels);
                 axpy_par(fields, unknown, dt, &rhs);
             }
             TimeStepper::Rk2 => {
-                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut work);
-                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, &mut work, &mut kernels);
+                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, work);
+                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, work, &mut kernels);
                 axpy_par(fields, unknown, dt, &rhs);
-                compute_ghosts_par(
-                    cp,
-                    fields,
-                    time + dt,
-                    &mut ghosts,
-                    callback_faces,
-                    &mut work,
-                );
+                compute_ghosts_par(cp, fields, time + dt, &mut ghosts, callback_faces, work);
                 compute_rhs_par(
                     cp,
                     fields,
                     &ghosts,
                     time + dt,
                     &mut rhs2,
-                    &mut work,
+                    work,
                     &mut kernels,
                 );
                 axpy_par(fields, unknown, -0.5 * dt, &rhs);
@@ -231,6 +230,7 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
         }
         let t_intensity = t1.elapsed().as_secs_f64();
 
+        let p0 = r.now();
         let t2 = Instant::now();
         seq::run_callbacks(
             cp,
@@ -242,19 +242,42 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
             None,
             &mut reducer,
             threads,
-            &mut work,
+            &mut r,
         );
         t_temperature += t2.elapsed().as_secs_f64();
 
-        timer.add(phases::INTENSITY, t_intensity);
-        timer.add(phases::TEMPERATURE, t_temperature);
+        if r.enabled() {
+            let step_attr = vec![("step", step.to_string())];
+            r.span(
+                SpanKind::Phase,
+                phases::INTENSITY,
+                i0,
+                p0 - i0,
+                Track::Host,
+                step_attr.clone(),
+            );
+            let end = r.now();
+            r.span(SpanKind::Step, "step", s0, end - s0, Track::Host, step_attr);
+        }
+        r.phase(phases::INTENSITY, t_intensity);
+        r.phase(phases::TEMPERATURE, t_temperature);
+        r.step_done(
+            step,
+            &[
+                (phases::INTENSITY, t_intensity),
+                (phases::TEMPERATURE, t_temperature),
+            ],
+            0,
+        );
         time += dt;
     }
-    Ok(SolveReport {
+    let report = SolveReport {
         steps: cp.problem.n_steps,
-        timer,
+        timer: r.phases.clone(),
         comm: Default::default(),
-        work,
+        work: r.work,
         device: None,
-    })
+    };
+    rec.absorb(r);
+    Ok(report)
 }

@@ -24,7 +24,7 @@ use super::{phases, CompiledProblem, SolveReport, WorkCounters};
 use crate::bytecode::VmCtx;
 use crate::entities::Fields;
 use crate::problem::{BoundaryQuery, DslError, KernelTier, Reducer, StepContext, TimeStepper};
-use pbte_runtime::timer::PhaseTimer;
+use pbte_runtime::telemetry::{Recorder, SpanKind, Track};
 use std::time::Instant;
 
 /// Which (cell, flat) pairs a worker owns.
@@ -320,7 +320,9 @@ pub(crate) fn axpy_scope(
 
 /// Run pre- or post-step callbacks with a given reducer and ownership info.
 /// `threads` is the parallelism the executor makes available to the
-/// callbacks (1 = serial); work they report is folded into `work`.
+/// callbacks (1 = serial). Callbacks account their own work through
+/// `ctx.rec` — the executor's recorder is lent to them directly, so there
+/// is no merge step; each callback additionally gets a `Callback` span.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_callbacks(
     cp: &CompiledProblem,
@@ -332,7 +334,7 @@ pub(crate) fn run_callbacks(
     owned_cells: Option<&[usize]>,
     reducer: &mut dyn Reducer,
     threads: usize,
-    work: &mut WorkCounters,
+    rec: &mut Recorder,
 ) {
     let callbacks = if pre {
         &cp.problem.pre_steps
@@ -340,6 +342,7 @@ pub(crate) fn run_callbacks(
         &cp.problem.post_steps
     };
     for cb in callbacks {
+        let t0 = rec.now();
         let mut ctx = StepContext {
             fields,
             mesh: cp.mesh(),
@@ -349,10 +352,23 @@ pub(crate) fn run_callbacks(
             owned_cells,
             reducer,
             threads: threads.max(1),
-            work: Default::default(),
+            rec,
         };
         (cb.f)(&mut ctx);
-        work.absorb_callback(&ctx.work);
+        if rec.enabled() {
+            let dur = rec.now() - t0;
+            rec.span(
+                SpanKind::Callback,
+                &cb.name,
+                t0,
+                dur,
+                Track::Host,
+                vec![
+                    ("step", step.to_string()),
+                    ("pre", if pre { "true" } else { "false" }.to_string()),
+                ],
+            );
+        }
     }
 }
 
@@ -361,6 +377,10 @@ pub(crate) fn run_callbacks(
 /// reads neighbor values of the intermediate state) and the reduction
 /// interface callbacks use. Returns the seconds spent in
 /// (intensity, temperature, communication).
+///
+/// Emits a `Step` span plus `Phase` spans for the intensity window
+/// (communication seconds attributed in an attr, not excised from the
+/// interval) and the pre/post callback windows when `rec` is buffering.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn step_scope(
     cp: &CompiledProblem,
@@ -374,13 +394,14 @@ pub(crate) fn step_scope(
     owned_index_range: Option<(String, std::ops::Range<usize>)>,
     owned_cells_for_callbacks: Option<&[usize]>,
     links: &mut dyn super::StepLinks,
-    work: &mut WorkCounters,
+    rec: &mut Recorder,
     threads: usize,
     kernels: &mut IntensityKernels,
 ) -> (f64, f64, f64) {
     let dt = cp.problem.dt;
     let unknown = cp.system.unknown;
 
+    let s0 = rec.now();
     let t0 = Instant::now();
     run_callbacks(
         cp,
@@ -392,12 +413,14 @@ pub(crate) fn step_scope(
         owned_cells_for_callbacks,
         links,
         threads,
-        work,
+        rec,
     );
     let mut t_temperature = t0.elapsed().as_secs_f64();
 
+    let i0 = rec.now();
     let mut t_comm = 0.0;
     let t1 = Instant::now();
+    let work = &mut rec.work;
     match cp.problem.stepper {
         TimeStepper::EulerExplicit => {
             t_comm += links.halo_exchange(fields);
@@ -421,6 +444,7 @@ pub(crate) fn step_scope(
     }
     let t_intensity = (t1.elapsed().as_secs_f64() - t_comm).max(0.0);
 
+    let p0 = rec.now();
     let t2 = Instant::now();
     run_callbacks(
         cp,
@@ -432,15 +456,42 @@ pub(crate) fn step_scope(
         owned_cells_for_callbacks,
         links,
         threads,
-        work,
+        rec,
     );
     t_temperature += t2.elapsed().as_secs_f64();
+
+    if rec.enabled() {
+        rec.span(
+            SpanKind::Phase,
+            phases::INTENSITY,
+            i0,
+            p0 - i0,
+            Track::Host,
+            vec![
+                ("step", step.to_string()),
+                ("comm_seconds", format!("{t_comm:.3e}")),
+            ],
+        );
+        let end = rec.now();
+        rec.span(
+            SpanKind::Step,
+            "step",
+            s0,
+            end - s0,
+            Track::Host,
+            vec![("step", step.to_string())],
+        );
+    }
 
     (t_intensity, t_temperature, t_comm)
 }
 
 /// Solve sequentially.
-pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, DslError> {
+pub fn solve(
+    cp: &CompiledProblem,
+    fields: &mut Fields,
+    rec: &mut Recorder,
+) -> Result<SolveReport, DslError> {
     cp.debug_verify(&super::ExecTarget::CpuSeq);
     let n_cells = fields.n_cells;
     let all_cells: Vec<usize> = (0..n_cells).collect();
@@ -456,8 +507,9 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
     } else {
         Vec::new()
     };
-    let mut timer = PhaseTimer::new();
-    let mut work = WorkCounters::default();
+    // Solve into a child recorder so the report covers exactly this run
+    // even when the caller's recorder spans several solves.
+    let mut r = Recorder::from_config(rec.config(), rec.rank());
     let mut links = super::LocalLinks;
     let mut kernels = IntensityKernels::for_scope(cp, &all_flats);
     let mut time = 0.0;
@@ -474,19 +526,26 @@ pub fn solve(cp: &CompiledProblem, fields: &mut Fields) -> Result<SolveReport, D
             None,
             None,
             &mut links,
-            &mut work,
+            &mut r,
             1,
             &mut kernels,
         );
-        timer.add(phases::INTENSITY, ti);
-        timer.add(phases::TEMPERATURE, tt);
+        r.phase(phases::INTENSITY, ti);
+        r.phase(phases::TEMPERATURE, tt);
+        r.step_done(
+            step,
+            &[(phases::INTENSITY, ti), (phases::TEMPERATURE, tt)],
+            0,
+        );
         time += cp.problem.dt;
     }
-    Ok(SolveReport {
+    let report = SolveReport {
         steps: cp.problem.n_steps,
-        timer,
+        timer: r.phases.clone(),
         comm: Default::default(),
-        work,
+        work: r.work,
         device: None,
-    })
+    };
+    rec.absorb(r);
+    Ok(report)
 }

@@ -161,26 +161,6 @@ impl Reducer for LocalReducer {
     }
 }
 
-/// Work executed inside a pre/post-step callback, reported back so the
-/// executor can fold it into its exact work accounting (the callback
-/// half of `WorkCounters` — the executor cannot count what happens
-/// inside user code).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CallbackWork {
-    /// Newton iterations performed by nonlinear per-cell solves.
-    pub newton_iters: u64,
-    /// Per-cell temperature solves performed (one Newton solve each).
-    pub temperature_solves: u64,
-}
-
-impl CallbackWork {
-    /// Accumulate another callback's counts.
-    pub fn merge(&mut self, other: &CallbackWork) {
-        self.newton_iters += other.newton_iters;
-        self.temperature_solves += other.temperature_solves;
-    }
-}
-
 /// Context for pre/post-step callbacks (the temperature update).
 pub struct StepContext<'a> {
     pub fields: &'a mut crate::entities::Fields,
@@ -203,9 +183,12 @@ pub struct StepContext<'a> {
     /// parallelize their own loops; serial and per-rank distributed
     /// targets report 1.
     pub threads: usize,
-    /// Work the callback performed, merged into the executor's
-    /// [`WorkCounters`](crate::exec::WorkCounters) after it returns.
-    pub work: CallbackWork,
+    /// The executor's telemetry recorder. Callbacks account the work
+    /// they perform through `rec.work` (the one accounting path — the
+    /// executor cannot count what happens inside user code) and may emit
+    /// spans, events, histogram observations and samples; all of it is
+    /// dropped for free under the null sink.
+    pub rec: &'a mut pbte_runtime::telemetry::Recorder,
 }
 
 /// Pre/post-step user function.

@@ -171,6 +171,29 @@ impl ProfileReport {
         self.kernels.values().map(|k| k.flops).sum::<f64>() / t / self.peak_dp_flops
     }
 
+    /// Merge another device's profile into this one (per-rank GPU runs →
+    /// job totals). Kernel aggregates and transfer stats add; the spec is
+    /// assumed identical across ranks (the simulated cluster is
+    /// homogeneous), so the derived fractions stay launch-weighted
+    /// averages over the combined kernel time.
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for (name, k) in &other.kernels {
+            let e = self.kernels.entry(name.clone()).or_default();
+            e.launches += k.launches;
+            e.threads += k.threads;
+            e.sim_time += k.sim_time;
+            e.flops += k.flops;
+            e.bytes += k.bytes;
+            e.weighted_sm_util += k.weighted_sm_util;
+        }
+        self.h2d.count += other.h2d.count;
+        self.h2d.bytes += other.h2d.bytes;
+        self.h2d.sim_time += other.h2d.sim_time;
+        self.d2h.count += other.d2h.count;
+        self.d2h.bytes += other.d2h.bytes;
+        self.d2h.sim_time += other.d2h.sim_time;
+    }
+
     /// Render the paper-style profile table.
     pub fn table(&self) -> String {
         format!(
@@ -243,6 +266,32 @@ mod tests {
         assert_eq!(r.kernel_time(), 0.0);
         assert_eq!(r.sm_utilization(), 0.0);
         assert_eq!(r.flop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merged_reports_add_launches_and_preserve_fractions() {
+        let mk = || {
+            let mut dev = Device::new(DeviceSpec::a6000());
+            let n = 1 << 20;
+            let a = dev.alloc("in", n);
+            let mut out = dev.alloc("out", n);
+            let cost = KernelCost::stencil(480.0, 100.0, 8.0);
+            dev.launch("intensity", n, cost, &[&a], &mut out, |tid, i, o| {
+                *o = i[0][tid] + 1.0;
+            });
+            let host = vec![0.0; 64];
+            let mut b = dev.alloc("x", 64);
+            dev.h2d(&host, &mut b);
+            dev.profile()
+        };
+        let (mut a, b) = (mk(), mk());
+        let single_sm = a.sm_utilization();
+        a.merge(&b);
+        let k = &a.kernels["intensity"];
+        assert_eq!(k.launches, 2);
+        assert_eq!(a.h2d.count, 2);
+        // Two identical devices merged: fractions are unchanged.
+        assert!((a.sm_utilization() - single_sm).abs() < 1e-12);
     }
 
     #[test]

@@ -17,14 +17,19 @@
 //!
 //! [`timer::PhaseTimer`] accumulates the per-phase times both paths report,
 //! feeding the paper's breakdown figures (Figs 5 and 8).
+//! [`telemetry::Recorder`] is the unified sink above it: structured spans,
+//! events, per-step records and work counters that every executor feeds,
+//! with Chrome-trace (Perfetto) and JSONL exporters.
 
 pub mod calibrate;
 pub mod comm;
 pub mod machine;
+pub mod telemetry;
 pub mod timer;
 pub mod world;
 
 pub use comm::{CommModel, CommParams};
 pub use machine::MachineSpec;
+pub use telemetry::{Recorder, TraceConfig, WorkCounters};
 pub use timer::{Breakdown, PhaseTimer};
 pub use world::{RankCtx, World};

@@ -1,0 +1,871 @@
+//! Unified telemetry: one recorder, one accounting path, many sinks.
+//!
+//! The paper's evaluation (§III-D, Figs 5 and 8) attributes execution time
+//! to "solve for intensity", "temperature update" and "communication" per
+//! rank and per device. This module is the single layer every executor
+//! feeds: structured [`Span`]s (step, phase, kernel launch, transfer,
+//! callback, allreduce, Newton solve) and [`Event`]s tagged with
+//! rank/track attribution, plus the [`WorkCounters`] that validate
+//! cross-target parity.
+//!
+//! Design contract:
+//!
+//! * The **null sink is free**: a [`Recorder`] built from
+//!   [`TraceConfig::disabled`] still accumulates [`WorkCounters`] and
+//!   [`PhaseTimer`] seconds — executors need both for their
+//!   `SolveReport` regardless — but every span/event/histogram/step
+//!   record call returns before allocating anything.
+//! * The **buffered sink** retains everything in memory; exporters
+//!   ([`Recorder::chrome_trace`], [`Recorder::summary_jsonl`]) render it
+//!   after the run. Nothing is written during the solve loop.
+//! * Ranks record into **child recorders** sharing the parent's epoch
+//!   ([`TraceConfig`] is `Copy` so it crosses the `World::run` closure),
+//!   merged afterwards with [`Recorder::absorb_rank`].
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::timer::PhaseTimer;
+
+/// Work counters validating that every execution target performs the same
+/// computation. Moved here from `pbte-dsl::exec` so host callbacks, the
+/// executors and the distributed reduction all share one accounting path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Degree-of-freedom updates (cells × flattened direction/band dofs).
+    pub dof_updates: u64,
+    /// Upwind flux evaluations (interior face visits per dof).
+    pub flux_evals: u64,
+    /// Ghost/boundary face evaluations.
+    pub ghost_evals: u64,
+    /// Newton iterations inside the temperature update.
+    pub newton_iters: u64,
+    /// Per-cell temperature solves.
+    pub temperature_solves: u64,
+}
+
+impl WorkCounters {
+    /// Merge per-rank counters into job totals.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.dof_updates += other.dof_updates;
+        self.flux_evals += other.flux_evals;
+        self.ghost_evals += other.ghost_evals;
+        self.newton_iters += other.newton_iters;
+        self.temperature_solves += other.temperature_solves;
+    }
+
+    /// Counter increase since a `baseline` snapshot (counters are
+    /// monotone, so plain subtraction is exact).
+    pub fn since(&self, baseline: &WorkCounters) -> WorkCounters {
+        WorkCounters {
+            dof_updates: self.dof_updates - baseline.dof_updates,
+            flux_evals: self.flux_evals - baseline.flux_evals,
+            ghost_evals: self.ghost_evals - baseline.ghost_evals,
+            newton_iters: self.newton_iters - baseline.newton_iters,
+            temperature_solves: self.temperature_solves - baseline.temperature_solves,
+        }
+    }
+}
+
+/// What a span measures. `category()` becomes the Chrome-trace `cat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One full time step.
+    Step,
+    /// One of the paper's phases within a step.
+    Phase,
+    /// A simulated GPU kernel launch.
+    Kernel,
+    /// A host↔device transfer.
+    Transfer,
+    /// A user callback (boundary condition, temperature update, probe).
+    Callback,
+    /// A collective reduction.
+    Allreduce,
+    /// The Newton stage of the temperature update.
+    NewtonSolve,
+    /// A halo exchange under cell partitioning.
+    HaloExchange,
+}
+
+impl SpanKind {
+    /// Stable category string for trace consumers.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Step => "step",
+            SpanKind::Phase => "phase",
+            SpanKind::Kernel => "kernel",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Callback => "callback",
+            SpanKind::Allreduce => "allreduce",
+            SpanKind::NewtonSolve => "newton",
+            SpanKind::HaloExchange => "halo",
+        }
+    }
+}
+
+/// Timeline a span is drawn on. Each rank gets a host track plus one
+/// track per simulated device; in the Chrome trace `pid` is the rank and
+/// `tid` is the track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// Host (CPU) timeline, wall-clock seconds from the trace epoch.
+    Host,
+    /// Simulated device timeline: seconds of the device's own clock.
+    Device(u32),
+}
+
+impl Track {
+    fn tid(self) -> u64 {
+        match self {
+            Track::Host => 0,
+            Track::Device(d) => 1 + d as u64,
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            Track::Host => "host".to_string(),
+            Track::Device(d) => format!("device {d} (simulated)"),
+        }
+    }
+}
+
+/// A closed interval on one rank's timeline.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// What the interval measures.
+    pub kind: SpanKind,
+    /// Display name (phase name, kernel name, callback name, …).
+    pub name: String,
+    /// Start, seconds from the epoch of `kind`'s track clock.
+    pub t0: f64,
+    /// Duration in seconds (never negative; clamped at record time).
+    pub dur: f64,
+    /// Owning rank.
+    pub rank: u32,
+    /// Host or device timeline.
+    pub track: Track,
+    /// Free-form attribution (`band`, `tier`, `step`, `bytes`, …).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// Severity of an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventSeverity {
+    /// Informational marker.
+    Info,
+    /// Something recoverable went wrong (e.g. clock rounding).
+    Warning,
+}
+
+impl EventSeverity {
+    fn label(self) -> &'static str {
+        match self {
+            EventSeverity::Info => "info",
+            EventSeverity::Warning => "warning",
+        }
+    }
+}
+
+/// An instantaneous marker on a rank's host timeline.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity for downstream filtering.
+    pub severity: EventSeverity,
+    /// Short machine-friendly name (e.g. `negative-phase-time`).
+    pub name: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// Seconds from the epoch.
+    pub time: f64,
+    /// Emitting rank.
+    pub rank: u32,
+}
+
+/// Per-step record feeding the JSONL summary.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Step index (0-based).
+    pub step: usize,
+    /// Recording rank.
+    pub rank: u32,
+    /// Phase seconds spent in this step, `(phase name, seconds)`.
+    pub phases: Vec<(String, f64)>,
+    /// Cumulative work counters at the end of this step.
+    pub work: WorkCounters,
+    /// Message-passing bytes sent during this step (0 where untracked).
+    pub comm_bytes: u64,
+}
+
+/// End-of-run roofline summary for one simulated device, filled from the
+/// GPU profiler by the executor (the runtime crate has no device types).
+#[derive(Debug, Clone)]
+pub struct DeviceSummary {
+    /// Rank driving the device.
+    pub rank: u32,
+    /// Device spec name (e.g. `RTX A6000`).
+    pub device: String,
+    /// Launch-weighted SM occupancy fraction.
+    pub sm_utilization: f64,
+    /// Fraction of kernel time bound by memory bandwidth.
+    pub memory_fraction: f64,
+    /// Achieved / peak double-precision FLOP fraction.
+    pub flop_fraction: f64,
+    /// Simulated seconds inside kernels.
+    pub kernel_seconds: f64,
+    /// Simulated seconds in host↔device transfers.
+    pub transfer_seconds: f64,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+}
+
+/// A floating-point sample series entry (e.g. energy residual per step).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Series name.
+    pub name: &'static str,
+    /// Step index.
+    pub step: usize,
+    /// Recording rank.
+    pub rank: u32,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// `Copy` recorder configuration, shared across `World::run` closures so
+/// every rank's child recorder uses the same epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    enabled: bool,
+    epoch: Instant,
+}
+
+impl TraceConfig {
+    /// Null-sink configuration: counters and phase seconds only.
+    pub fn disabled() -> TraceConfig {
+        TraceConfig {
+            enabled: false,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Buffered-sink configuration with the epoch set to now.
+    pub fn enabled_now() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether spans/events/histograms are retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds since the epoch (0 when disabled, mirroring
+    /// [`Recorder::now`]) — for code that times intervals on behalf of a
+    /// recorder it cannot borrow at that moment (e.g. comm links while
+    /// the recorder is lent to a callback).
+    pub fn now(&self) -> f64 {
+        if self.enabled {
+            self.epoch.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Number of buckets in iteration histograms ([`Recorder::observe`]
+/// clamps values to `0..=HIST_BUCKETS-1`; the last bucket is overflow).
+pub const HIST_BUCKETS: usize = 32;
+
+/// The telemetry recorder: the one sink every executor and callback
+/// writes through.
+///
+/// `work` and `phases` are always live (they are the `SolveReport`
+/// inputs); everything else is buffered only when the config is enabled.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    enabled: bool,
+    epoch: Instant,
+    rank: u32,
+    /// Work counters — the single accounting path for all executors and
+    /// callbacks (callbacks write through `StepContext::rec`).
+    pub work: WorkCounters,
+    /// Per-phase seconds, same semantics as the old standalone timer.
+    pub phases: PhaseTimer,
+    spans: Vec<Span>,
+    events: Vec<Event>,
+    steps: Vec<StepRecord>,
+    samples: Vec<Sample>,
+    hists: BTreeMap<&'static str, [u64; HIST_BUCKETS]>,
+    devices: Vec<DeviceSummary>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::null()
+    }
+}
+
+impl Recorder {
+    /// Zero-cost recorder: counters and phases only.
+    pub fn null() -> Recorder {
+        Recorder::from_config(TraceConfig::disabled(), 0)
+    }
+
+    /// Buffered recorder with the epoch set to now, rank 0.
+    pub fn buffered() -> Recorder {
+        Recorder::from_config(TraceConfig::enabled_now(), 0)
+    }
+
+    /// Child recorder for `rank`, sharing `cfg`'s epoch.
+    pub fn from_config(cfg: TraceConfig, rank: u32) -> Recorder {
+        Recorder {
+            enabled: cfg.enabled,
+            epoch: cfg.epoch,
+            rank,
+            work: WorkCounters::default(),
+            phases: PhaseTimer::new(),
+            spans: Vec::new(),
+            events: Vec::new(),
+            steps: Vec::new(),
+            samples: Vec::new(),
+            hists: BTreeMap::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Config to hand to per-rank children (same epoch, same sink mode).
+    pub fn config(&self) -> TraceConfig {
+        TraceConfig {
+            enabled: self.enabled,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Whether spans/events/histograms are being retained.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Recording rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Seconds since the trace epoch. Returns 0 when disabled so hot
+    /// loops can call it unconditionally.
+    pub fn now(&self) -> f64 {
+        if self.enabled {
+            self.epoch.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Add `seconds` to `phase`. Negative durations (simulated-clock
+    /// rounding) saturate to zero and leave a warning event rather than
+    /// aborting the run.
+    pub fn phase(&mut self, phase: &str, seconds: f64) {
+        let secs = if seconds < 0.0 {
+            self.warn(
+                "negative-phase-time",
+                format!("clamped {seconds:.3e}s for phase '{phase}' to zero"),
+            );
+            0.0
+        } else {
+            seconds
+        };
+        self.phases.add(phase, secs);
+    }
+
+    /// Record a closed span. No-op under the null sink; negative
+    /// durations clamp to zero.
+    pub fn span(
+        &mut self,
+        kind: SpanKind,
+        name: &str,
+        t0: f64,
+        dur: f64,
+        track: Track,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.push(Span {
+            kind,
+            name: name.to_string(),
+            t0,
+            dur: dur.max(0.0),
+            rank: self.rank,
+            track,
+            attrs,
+        });
+    }
+
+    /// Record an instantaneous informational event.
+    pub fn info(&mut self, name: &str, message: String) {
+        self.event(EventSeverity::Info, name, message);
+    }
+
+    /// Record an instantaneous warning event.
+    pub fn warn(&mut self, name: &str, message: String) {
+        self.event(EventSeverity::Warning, name, message);
+    }
+
+    fn event(&mut self, severity: EventSeverity, name: &str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        let time = self.now();
+        self.events.push(Event {
+            severity,
+            name: name.to_string(),
+            message,
+            time,
+            rank: self.rank,
+        });
+    }
+
+    /// Count one observation of `value` into the named histogram
+    /// (clamped to the last bucket).
+    pub fn observe(&mut self, hist: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let b = (value as usize).min(HIST_BUCKETS - 1);
+        self.hists.entry(hist).or_insert([0; HIST_BUCKETS])[b] += 1;
+    }
+
+    /// Merge pre-aggregated buckets into the named histogram (used by
+    /// thread-parallel callbacks that accumulate locally first).
+    pub fn observe_buckets(&mut self, hist: &'static str, buckets: &[u64]) {
+        if !self.enabled {
+            return;
+        }
+        let h = self.hists.entry(hist).or_insert([0; HIST_BUCKETS]);
+        for (i, &c) in buckets.iter().take(HIST_BUCKETS).enumerate() {
+            h[i] += c;
+        }
+    }
+
+    /// Bucket counts of a histogram (`None` if never observed).
+    pub fn histogram(&self, hist: &str) -> Option<&[u64; HIST_BUCKETS]> {
+        self.hists.get(hist)
+    }
+
+    /// Record a floating-point sample for a per-step series.
+    pub fn sample(&mut self, name: &'static str, step: usize, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.samples.push(Sample {
+            name,
+            step,
+            rank: self.rank,
+            value,
+        });
+    }
+
+    /// Attach an end-of-run device summary.
+    pub fn device_summary(&mut self, summary: DeviceSummary) {
+        if !self.enabled {
+            return;
+        }
+        self.devices.push(summary);
+    }
+
+    /// Close a step: snapshot cumulative counters plus this step's phase
+    /// seconds into a [`StepRecord`].
+    pub fn step_done(&mut self, step: usize, phases: &[(&str, f64)], comm_bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.steps.push(StepRecord {
+            step,
+            rank: self.rank,
+            phases: phases.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            work: self.work,
+            comm_bytes,
+        });
+    }
+
+    /// Merge a per-rank child recorder: counters plus every buffer, but
+    /// NOT phase seconds — distributed executors take the max over ranks
+    /// for phases and must merge those explicitly.
+    pub fn absorb_rank(&mut self, child: Recorder) {
+        self.work.merge(&child.work);
+        self.absorb_buffers(child);
+    }
+
+    /// Merge a child recorder completely: counters, phase seconds
+    /// (summed) and every buffer. Used by single-rank executors that run
+    /// the whole solve in a child.
+    pub fn absorb(&mut self, child: Recorder) {
+        self.work.merge(&child.work);
+        self.phases.merge(&child.phases);
+        self.absorb_buffers(child);
+    }
+
+    fn absorb_buffers(&mut self, child: Recorder) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.extend(child.spans);
+        self.events.extend(child.events);
+        self.steps.extend(child.steps);
+        self.samples.extend(child.samples);
+        self.devices.extend(child.devices);
+        for (name, buckets) in child.hists {
+            let h = self.hists.entry(name).or_insert([0; HIST_BUCKETS]);
+            for (i, c) in buckets.iter().enumerate() {
+                h[i] += c;
+            }
+        }
+    }
+
+    /// Recorded spans (empty under the null sink).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Recorded events (empty under the null sink).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Recorded per-step records (empty under the null sink).
+    pub fn step_records(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Recorded device summaries (empty under the null sink).
+    pub fn device_summaries(&self) -> &[DeviceSummary] {
+        &self.devices
+    }
+
+    /// Recorded samples (empty under the null sink).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Render the Chrome-trace-event JSON object (Perfetto-loadable):
+    /// one process per rank, one thread per track, complete (`"X"`)
+    /// events for spans and instant (`"i"`) events for markers.
+    /// Timestamps are microseconds as the format requires.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&s);
+        };
+
+        let mut ranks: Vec<u32> = self.spans.iter().map(|s| s.rank).collect();
+        ranks.extend(self.events.iter().map(|e| e.rank));
+        ranks.sort_unstable();
+        ranks.dedup();
+        let mut tracks: Vec<(u32, Track)> = self.spans.iter().map(|s| (s.rank, s.track)).collect();
+        tracks.sort();
+        tracks.dedup();
+
+        for r in &ranks {
+            push(
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{r},\"tid\":0,\
+                     \"args\":{{\"name\":\"rank {r}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for (r, t) in &tracks {
+            push(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{r},\"tid\":{},\
+                     \"args\":{{\"name\":{}}}}}",
+                    t.tid(),
+                    json_str(&t.label())
+                ),
+                &mut first,
+            );
+        }
+        for s in &self.spans {
+            let mut args = String::new();
+            for (k, v) in &s.attrs {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("{}:{}", json_str(k), json_str(v)));
+            }
+            push(
+                format!(
+                    "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{},\"tid\":{},\"args\":{{{args}}}}}",
+                    json_str(&s.name),
+                    s.kind.category(),
+                    json_f64(s.t0 * 1e6),
+                    json_f64(s.dur * 1e6),
+                    s.rank,
+                    s.track.tid(),
+                ),
+                &mut first,
+            );
+        }
+        for e in &self.events {
+            push(
+                format!(
+                    "{{\"name\":{},\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\
+                     \"tid\":0,\"s\":\"p\",\"args\":{{\"severity\":\"{}\",\"message\":{}}}}}",
+                    json_str(&e.name),
+                    json_f64(e.time * 1e6),
+                    e.rank,
+                    e.severity.label(),
+                    json_str(&e.message)
+                ),
+                &mut first,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render per-step JSONL: one line per [`StepRecord`], then one per
+    /// sample, one per device summary, one per histogram, and a final
+    /// `total` line with job-level phase seconds and counters.
+    pub fn summary_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            let mut phases = String::new();
+            for (k, v) in &s.phases {
+                if !phases.is_empty() {
+                    phases.push(',');
+                }
+                phases.push_str(&format!("{}:{}", json_str(k), json_f64(*v)));
+            }
+            out.push_str(&format!(
+                "{{\"step\":{},\"rank\":{},\"phases\":{{{phases}}},\"work\":{},\
+                 \"comm_bytes\":{}}}\n",
+                s.step,
+                s.rank,
+                work_json(&s.work),
+                s.comm_bytes
+            ));
+        }
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{{\"sample\":{},\"step\":{},\"rank\":{},\"value\":{}}}\n",
+                json_str(s.name),
+                s.step,
+                s.rank,
+                json_f64(s.value)
+            ));
+        }
+        for d in &self.devices {
+            out.push_str(&format!(
+                "{{\"device\":{},\"rank\":{},\"sm_utilization\":{},\"memory_fraction\":{},\
+                 \"flop_fraction\":{},\"kernel_seconds\":{},\"transfer_seconds\":{},\
+                 \"h2d_bytes\":{},\"d2h_bytes\":{}}}\n",
+                json_str(&d.device),
+                d.rank,
+                json_f64(d.sm_utilization),
+                json_f64(d.memory_fraction),
+                json_f64(d.flop_fraction),
+                json_f64(d.kernel_seconds),
+                json_f64(d.transfer_seconds),
+                d.h2d_bytes,
+                d.d2h_bytes
+            ));
+        }
+        for (name, buckets) in &self.hists {
+            let counts: Vec<String> = buckets.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!(
+                "{{\"histogram\":{},\"buckets\":[{}]}}\n",
+                json_str(name),
+                counts.join(",")
+            ));
+        }
+        let mut phases = String::new();
+        for (k, v) in self.phases.phases() {
+            if !phases.is_empty() {
+                phases.push(',');
+            }
+            phases.push_str(&format!("{}:{}", json_str(k), json_f64(v)));
+        }
+        out.push_str(&format!(
+            "{{\"total\":{{\"phases\":{{{phases}}},\"work\":{}}}}}\n",
+            work_json(&self.work)
+        ));
+        out
+    }
+}
+
+fn work_json(w: &WorkCounters) -> String {
+    format!(
+        "{{\"dof_updates\":{},\"flux_evals\":{},\"ghost_evals\":{},\"newton_iters\":{},\
+         \"temperature_solves\":{}}}",
+        w.dof_updates, w.flux_evals, w.ghost_evals, w.newton_iters, w.temperature_solves
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // JSON has no bare `1e300`-style problems, but ensure a decimal
+        // representation parsers accept (Rust's Display always is).
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_records_counters_but_no_buffers() {
+        let mut r = Recorder::null();
+        r.work.dof_updates += 7;
+        r.phase("solve for intensity", 1.5);
+        r.span(SpanKind::Step, "step", 0.0, 1.0, Track::Host, vec![]);
+        r.warn("oops", "msg".into());
+        r.observe("newton_iters", 3);
+        r.step_done(0, &[("a", 1.0)], 0);
+        assert_eq!(r.work.dof_updates, 7);
+        assert_eq!(r.phases.get("solve for intensity"), 1.5);
+        assert!(r.spans().is_empty());
+        assert!(r.events().is_empty());
+        assert!(r.step_records().is_empty());
+        assert!(r.histogram("newton_iters").is_none());
+    }
+
+    #[test]
+    fn negative_phase_saturates_and_warns() {
+        let mut r = Recorder::buffered();
+        r.phase("communication", -1e-9);
+        assert_eq!(r.phases.get("communication"), 0.0);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].name, "negative-phase-time");
+        assert!(matches!(r.events()[0].severity, EventSeverity::Warning));
+        // Positive time still accumulates afterwards.
+        r.phase("communication", 2.0);
+        assert_eq!(r.phases.get("communication"), 2.0);
+    }
+
+    #[test]
+    fn histogram_clamps_to_last_bucket() {
+        let mut r = Recorder::buffered();
+        r.observe("h", 0);
+        r.observe("h", 5);
+        r.observe("h", 10_000);
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[5], 1);
+        assert_eq!(h[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn absorb_rank_merges_work_and_buffers_not_phases() {
+        let mut parent = Recorder::buffered();
+        let mut child = Recorder::from_config(parent.config(), 3);
+        child.work.flux_evals = 11;
+        child.phases.add("x", 4.0);
+        child.span(SpanKind::Phase, "p", 0.0, 1.0, Track::Host, vec![]);
+        child.observe("h", 2);
+        parent.absorb_rank(child);
+        assert_eq!(parent.work.flux_evals, 11);
+        assert_eq!(parent.phases.get("x"), 0.0);
+        assert_eq!(parent.spans().len(), 1);
+        assert_eq!(parent.spans()[0].rank, 3);
+        assert_eq!(parent.histogram("h").unwrap()[2], 1);
+    }
+
+    #[test]
+    fn absorb_merges_phases_too() {
+        let mut parent = Recorder::buffered();
+        let mut child = Recorder::from_config(parent.config(), 0);
+        child.phases.add("x", 4.0);
+        parent.absorb(child);
+        assert_eq!(parent.phases.get("x"), 4.0);
+    }
+
+    #[test]
+    fn chrome_trace_has_required_fields() {
+        let mut r = Recorder::buffered();
+        r.span(
+            SpanKind::Kernel,
+            "intensity",
+            0.5,
+            0.25,
+            Track::Device(0),
+            vec![("tier", "row".into())],
+        );
+        r.info("marker", "hello \"world\"".into());
+        let json = r.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":500000"));
+        assert!(json.contains("\"dur\":250000"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\\\"world\\\""));
+    }
+
+    #[test]
+    fn summary_jsonl_has_step_and_total_lines() {
+        let mut r = Recorder::buffered();
+        r.work.dof_updates = 5;
+        r.phase("a", 1.0);
+        r.step_done(0, &[("a", 1.0)], 128);
+        r.sample("energy_residual", 0, 1e-12);
+        let s = r.summary_jsonl();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"step\":0"));
+        assert!(lines[0].contains("\"comm_bytes\":128"));
+        assert!(lines[1].contains("\"sample\":\"energy_residual\""));
+        assert!(lines[2].contains("\"total\""));
+        assert!(lines[2].contains("\"dof_updates\":5"));
+    }
+
+    #[test]
+    fn work_counters_since_subtracts() {
+        let mut w = WorkCounters {
+            flux_evals: 10,
+            ..WorkCounters::default()
+        };
+        let base = w;
+        w.flux_evals = 25;
+        w.newton_iters = 3;
+        let d = w.since(&base);
+        assert_eq!(d.flux_evals, 15);
+        assert_eq!(d.newton_iters, 3);
+    }
+}

@@ -19,10 +19,13 @@ impl PhaseTimer {
         PhaseTimer::default()
     }
 
-    /// Add `seconds` to `phase`.
+    /// Add `seconds` to `phase`. Negative durations — which arise from
+    /// simulated-clock rounding when two clock reads bracket an interval
+    /// smaller than the model's resolution — saturate to zero instead of
+    /// aborting the run; [`crate::telemetry::Recorder::phase`] is the
+    /// variant that additionally leaves a warning event in the trace.
     pub fn add(&mut self, phase: &str, seconds: f64) {
-        assert!(seconds >= 0.0, "negative phase time for {phase}");
-        *self.phases.entry(phase.to_string()).or_insert(0.0) += seconds;
+        *self.phases.entry(phase.to_string()).or_insert(0.0) += seconds.max(0.0);
     }
 
     /// Total of `phase` (0 if never recorded).
@@ -135,9 +138,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "negative phase time")]
-    fn rejects_negative_time() {
-        PhaseTimer::new().add("oops", -1.0);
+    fn negative_time_saturates_to_zero() {
+        let mut t = PhaseTimer::new();
+        t.add("oops", -1.0);
+        assert_eq!(t.get("oops"), 0.0);
+        t.add("oops", 2.0);
+        t.add("oops", -0.5);
+        assert_eq!(t.get("oops"), 2.0);
     }
 
     #[test]

@@ -64,6 +64,20 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+// `Value` round-trips through itself, so callers can parse arbitrary JSON
+// (e.g. `serde_json::from_str::<Value>(...)`) and inspect it dynamically.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}
+
 pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, String>;
 }

@@ -1,0 +1,294 @@
+//! Workspace-level tests of the unified telemetry subsystem:
+//!
+//! 1. **Cross-target counter parity** — every execution target reports
+//!    identical `flux_evals`/`dof_updates` (and, on the bit-identical
+//!    targets, `newton_iters`) through the one accounting path, on the
+//!    fig-4 hot-spot scenario.
+//! 2. **Golden trace schema** — `Recorder::chrome_trace()` emits valid
+//!    Chrome-trace-event JSON (the exact format `pbte-trace` writes to
+//!    `trace.json`): every complete event carries `ph`/`ts`/`dur`/
+//!    `pid`/`tid`, and GPU runs produce spans on a device track.
+//! 3. **Health probes** — seeded NaN intensity and a violated energy
+//!    budget each yield exactly their diagnostic rule id, and a clean
+//!    solve with the probes installed yields nothing.
+
+use pbte_bte::health::{rules, HealthProbes};
+use pbte_bte::scenario::{hotspot_2d, BteConfig, BteProblem};
+use pbte_bte::temperature::TemperatureStrategy;
+use pbte_dsl::exec::{CompiledProblem, Recorder};
+use pbte_dsl::problem::{LocalReducer, StepContext};
+use pbte_dsl::{ExecTarget, GpuStrategy, Severity, SolveReport, Solver, WorkCounters};
+use pbte_gpu::DeviceSpec;
+use serde::Value;
+
+fn config() -> BteConfig {
+    BteConfig::small(10, 8, 4, 3)
+}
+
+fn run(target: ExecTarget, rec: &mut Recorder) -> SolveReport {
+    let bte = hotspot_2d(&config());
+    let mut solver = Solver::build(bte.problem, target).expect("builds");
+    solver.solve_traced(rec).expect("solves")
+}
+
+fn work_of(target: ExecTarget) -> WorkCounters {
+    run(target, &mut Recorder::null()).work
+}
+
+#[test]
+fn counter_parity_across_targets() {
+    let ranks = 2;
+    let seq = work_of(ExecTarget::CpuSeq);
+    assert!(seq.flux_evals > 0 && seq.newton_iters > 0);
+
+    // Bit-identical targets: all counters match exactly.
+    for (name, target) in [
+        ("par", ExecTarget::CpuParallel),
+        ("cells", ExecTarget::DistCells { ranks }),
+        (
+            "gpu:precompute",
+            ExecTarget::GpuHybrid {
+                spec: DeviceSpec::a6000(),
+                strategy: GpuStrategy::PrecomputeBoundary,
+            },
+        ),
+    ] {
+        let w = work_of(target);
+        assert_eq!(w.flux_evals, seq.flux_evals, "{name}: flux_evals");
+        assert_eq!(w.dof_updates, seq.dof_updates, "{name}: dof_updates");
+        assert_eq!(w.newton_iters, seq.newton_iters, "{name}: newton_iters");
+        assert_eq!(
+            w.temperature_solves, seq.temperature_solves,
+            "{name}: temperature_solves"
+        );
+    }
+
+    // Band-parallel: per-rank counters sum back to the sequential totals;
+    // under RedundantNewton every rank solves all cells.
+    let bands = work_of(ExecTarget::DistBands {
+        ranks,
+        index: "b".into(),
+    });
+    assert_eq!(bands.flux_evals, seq.flux_evals, "bands: flux_evals");
+    assert_eq!(bands.dof_updates, seq.dof_updates, "bands: dof_updates");
+    assert_eq!(bands.ghost_evals, seq.ghost_evals, "bands: ghost_evals");
+    assert_eq!(
+        bands.temperature_solves,
+        ranks as u64 * seq.temperature_solves,
+        "bands: redundant Newton solves all cells on every rank"
+    );
+
+    // DividedNewton restores the sequential solve count exactly.
+    let bte = hotspot_2d(&config().with_temperature_strategy(TemperatureStrategy::DividedNewton));
+    let mut solver = Solver::build(
+        bte.problem,
+        ExecTarget::DistBands {
+            ranks,
+            index: "b".into(),
+        },
+    )
+    .expect("builds");
+    let divided = solver.solve_traced(&mut Recorder::null()).expect("solves");
+    assert_eq!(
+        divided.work.temperature_solves, seq.temperature_solves,
+        "bands+divided: each cell solved on exactly one rank"
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden_schema() {
+    let mut rec = Recorder::buffered();
+    run(
+        ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+        &mut rec,
+    );
+    assert!(!rec.spans().is_empty(), "buffered sink retained spans");
+
+    let json = rec.chrome_trace();
+    let root: Value = serde_json::from_str(&json).expect("trace.json is valid JSON");
+    let Some(Value::Arr(events)) = root.get("traceEvents") else {
+        panic!("top-level traceEvents array missing");
+    };
+    assert!(!events.is_empty());
+
+    let mut complete = 0usize;
+    let mut device_spans = 0usize;
+    let mut host_spans = 0usize;
+    for ev in events {
+        let ph = match ev.get("ph") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => panic!("event without string ph: {ev:?}"),
+        };
+        // Every event addresses a process/thread timeline.
+        assert!(ev.get("pid").and_then(Value::as_u64).is_some(), "pid");
+        assert!(ev.get("tid").and_then(Value::as_u64).is_some(), "tid");
+        if ph == "X" {
+            complete += 1;
+            assert!(ev.get("ts").and_then(Value::as_f64).is_some(), "ts");
+            let dur = ev.get("dur").and_then(Value::as_f64).expect("dur");
+            assert!(dur >= 0.0, "non-negative duration");
+            assert!(
+                matches!(ev.get("name"), Some(Value::Str(_))),
+                "span has a name"
+            );
+            assert!(
+                matches!(ev.get("cat"), Some(Value::Str(_))),
+                "span has a category"
+            );
+            match ev.get("tid").and_then(Value::as_u64).unwrap() {
+                0 => host_spans += 1,
+                _ => device_spans += 1,
+            }
+        }
+    }
+    assert!(complete > 0, "at least one complete event");
+    assert!(host_spans > 0, "host-track spans present");
+    assert!(
+        device_spans > 0,
+        "GPU run draws kernel/transfer spans on a device track"
+    );
+}
+
+#[test]
+fn summary_jsonl_lines_parse_and_total_matches_report() {
+    let mut rec = Recorder::buffered();
+    let report = run(ExecTarget::CpuSeq, &mut rec);
+    let jsonl = rec.summary_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(lines.len() > config().n_steps, "steps + total");
+    let mut total_flux = None;
+    for line in &lines {
+        let v: Value = serde_json::from_str(line).expect("JSONL line parses");
+        if let Some(total) = v.get("total") {
+            total_flux = total
+                .get("work")
+                .and_then(|w| w.get("flux_evals"))
+                .and_then(Value::as_u64);
+        }
+    }
+    assert_eq!(total_flux, Some(report.work.flux_evals));
+}
+
+/// Build the hot-spot problem and a standalone [`StepContext`] over its
+/// compiled fields, run the probes once, and return the diagnostics.
+fn probe_diagnostics(
+    poison: impl FnOnce(&mut pbte_dsl::Fields, &BteProblem),
+) -> Vec<pbte_dsl::Diagnostic> {
+    let bte = hotspot_2d(&config());
+    let material = bte.material.clone();
+    let vars = bte.vars;
+    let probes = HealthProbes::new(material, vars);
+    let monitor = probes.monitor();
+    let bte2 = hotspot_2d(&config());
+    let (cp, mut fields) = CompiledProblem::compile(bte2.problem).expect("compiles");
+    poison(&mut fields, &bte);
+    let mut reducer = LocalReducer;
+    let mut rec = Recorder::null();
+    let mut ctx = StepContext {
+        fields: &mut fields,
+        mesh: cp.mesh(),
+        time: 0.0,
+        step: 0,
+        owned_index_range: None,
+        owned_cells: None,
+        reducer: &mut reducer,
+        threads: 1,
+        rec: &mut rec,
+    };
+    probes.check(&mut ctx);
+    monitor.diagnostics()
+}
+
+#[test]
+fn clean_state_yields_no_diagnostics() {
+    let diags = probe_diagnostics(|_, _| {});
+    assert!(diags.is_empty(), "clean state flagged: {diags:?}");
+}
+
+#[test]
+fn seeded_nan_yields_exactly_the_nan_rule() {
+    let diags = probe_diagnostics(|fields, bte| {
+        fields.slice_mut(bte.vars.i)[3] = f64::NAN;
+    });
+    assert_eq!(diags.len(), 1, "exactly one diagnostic: {diags:?}");
+    assert_eq!(diags[0].rule, rules::NAN_INTENSITY);
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+#[test]
+fn negative_intensity_yields_exactly_the_negativity_rule() {
+    let diags = probe_diagnostics(|fields, bte| {
+        // Make one entry negative but move its direction-weighted energy
+        // into another direction of the same (band, cell), so the energy
+        // budget stays intact and only the negativity probe fires.
+        let n_cells = fields.n_cells;
+        let n_bands = bte.material.n_bands();
+        let w = &bte.material.angles.weights;
+        let i = fields.slice_mut(bte.vars.i);
+        let cell = 7;
+        let old = i[cell]; // direction 0, band 0
+        i[cell] = -1e-300;
+        i[n_bands * n_cells + cell] += (w[0] / w[1]) * (old + 1e-300);
+    });
+    assert_eq!(diags.len(), 1, "exactly one diagnostic: {diags:?}");
+    assert_eq!(diags[0].rule, rules::NEGATIVE_INTENSITY);
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn violated_energy_budget_yields_exactly_the_energy_rule() {
+    let diags = probe_diagnostics(|fields, bte| {
+        for v in fields.slice_mut(bte.vars.io) {
+            *v *= 2.0;
+        }
+    });
+    assert_eq!(diags.len(), 1, "exactly one diagnostic: {diags:?}");
+    assert_eq!(diags[0].rule, rules::ENERGY_BUDGET);
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn installed_probes_stay_clean_over_a_full_solve() {
+    let mut bte = hotspot_2d(&config());
+    let monitor = HealthProbes::new(bte.material.clone(), bte.vars).install(&mut bte.problem);
+    let mut solver = Solver::build(bte.problem, ExecTarget::CpuSeq).expect("builds");
+    let mut rec = Recorder::buffered();
+    solver.solve_traced(&mut rec).expect("solves");
+    assert!(
+        monitor.is_clean(),
+        "healthy solve flagged: {:?}",
+        monitor.diagnostics()
+    );
+    // The probes feed the telemetry sample series too.
+    let samples: Vec<_> = rec
+        .samples()
+        .iter()
+        .filter(|s| s.name == "energy_residual")
+        .collect();
+    assert_eq!(samples.len(), config().n_steps, "one residual per step");
+    assert!(samples.iter().all(|s| s.value < 1e-6));
+}
+
+#[test]
+fn newton_histogram_is_recorded_and_consistent() {
+    let mut rec = Recorder::buffered();
+    let report = run(ExecTarget::CpuSeq, &mut rec);
+    let hist = rec.histogram("newton_iters").expect("histogram recorded");
+    let observations: u64 = hist.iter().sum();
+    assert_eq!(
+        observations, report.work.temperature_solves,
+        "one observation per cell solve"
+    );
+    let weighted: u64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as u64 * c)
+        .sum::<u64>();
+    assert_eq!(
+        weighted, report.work.newton_iters,
+        "bucket-weighted sum equals the iteration counter (no overflow bucket hit)"
+    );
+}
