@@ -2,12 +2,12 @@
 //! over the paper's scenarios on every execution target and kernel tier.
 //!
 //! ```text
-//! pbte-verify [--json] [n=12] [steps=4] [ranks=2]
+//! pbte-verify [--json] [--validate] [--intervals] [n=12] [steps=4] [ranks=2]
 //! ```
 //!
 //! For each scenario (the hot-spot domain of Figs 1–4 and the elongated
 //! domain of Fig 10), each temperature strategy (redundant / divided
-//! Newton), each target (seq, par, cells:<r>, bands:<r>, gpu async,
+//! Newton), each target (seq, par, `cells:<r>`, `bands:<r>`, gpu async,
 //! gpu precompute, bands+gpu) and each kernel tier (vm, bound, row), the
 //! problem is compiled and `verify_plan` checks:
 //!
@@ -16,9 +16,20 @@
 //! 3. the transfer schedule against derived/declared access sets (GPU
 //!    targets only — no stale reads, no redundant transfers).
 //!
+//! Two opt-in passes extend the proof to the lowering pipeline itself:
+//!
+//! * `--validate` — translation validation: re-extract a canonical
+//!   symbolic expression from the IR and from all three compiled kernel
+//!   tiers and prove each equal to the DSL's expanded form;
+//! * `--intervals` — numeric-safety abstract interpretation over the
+//!   interval domain (no NaN/Inf, no division by zero, function domains)
+//!   plus the CFL-style step-bound check.
+//!
 //! Exit status is non-zero if any diagnostic (warning or error) is
-//! produced, so CI can gate on a clean plan. `--json` emits the combined
-//! diagnostic list as a JSON array instead of human text.
+//! produced, so CI can gate on a clean plan. `--json` emits an object
+//! with the combined diagnostic list (each entry tagged with its
+//! scenario/strategy/target/tier) and per-plan pass timings in
+//! milliseconds.
 
 use pbte_apps::arg_usize;
 use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
@@ -27,6 +38,7 @@ use pbte_dsl::exec::ExecTarget;
 use pbte_dsl::problem::KernelTier;
 use pbte_dsl::{analysis, GpuStrategy};
 use pbte_gpu::DeviceSpec;
+use std::time::Instant;
 
 fn targets(ranks: usize) -> Vec<(String, ExecTarget)> {
     vec![
@@ -66,9 +78,30 @@ fn targets(ranks: usize) -> Vec<(String, ExecTarget)> {
     ]
 }
 
+/// Timing of the passes run on one plan, milliseconds.
+struct PlanTiming {
+    tags: [String; 4],
+    verify_ms: f64,
+    validate_ms: Option<f64>,
+    intervals_ms: Option<f64>,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3}"),
+        None => "null".into(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let validate = args.iter().any(|a| a == "--validate");
+    let intervals = args.iter().any(|a| a == "--intervals");
     let n = arg_usize(&args, "n", 12);
     let steps = arg_usize(&args, "steps", 4);
     let ranks = arg_usize(&args, "ranks", 2);
@@ -85,7 +118,10 @@ fn main() {
         ("row", KernelTier::Row),
     ];
 
-    let mut all: Vec<pbte_dsl::Diagnostic> = Vec::new();
+    // Each diagnostic is paired with the plan it came from so both output
+    // modes stay self-describing.
+    let mut all: Vec<([String; 4], pbte_dsl::Diagnostic)> = Vec::new();
+    let mut timings: Vec<PlanTiming> = Vec::new();
     let mut plans = 0usize;
     for (sname, scenario) in scenarios {
         for (stname, strategy) in strategies {
@@ -94,27 +130,86 @@ fn main() {
                 for (kname, tier) in tiers {
                     let mut bte = scenario(&cfg);
                     bte.problem.kernel_tier(tier);
-                    let diags = match bte.problem.verify_plan(&target) {
-                        Ok(d) => d,
+                    let solver = match bte.problem.build(target.clone()) {
+                        Ok(s) => s,
                         Err(e) => {
                             eprintln!("{sname}/{stname}/{tname}/{kname}: build failed: {e:?}");
                             std::process::exit(2);
                         }
                     };
+                    let cp = &solver.compiled;
+                    let tags = [
+                        sname.to_string(),
+                        stname.to_string(),
+                        tname.clone(),
+                        kname.to_string(),
+                    ];
+
+                    let t0 = Instant::now();
+                    let mut diags = cp.verify_plan(&solver.target);
+                    let verify_ms = ms(t0);
+                    let validate_ms = validate.then(|| {
+                        let t0 = Instant::now();
+                        analysis::check_translation(cp, &solver.target, &mut diags);
+                        ms(t0)
+                    });
+                    let intervals_ms = intervals.then(|| {
+                        let t0 = Instant::now();
+                        analysis::check_intervals(cp, &mut diags);
+                        ms(t0)
+                    });
+                    timings.push(PlanTiming {
+                        tags: tags.clone(),
+                        verify_ms,
+                        validate_ms,
+                        intervals_ms,
+                    });
+
                     plans += 1;
                     if !json {
                         for d in &diags {
                             println!("{sname}/{stname}/{tname}/{kname}: {}", d.render());
                         }
                     }
-                    all.extend(diags);
+                    all.extend(diags.into_iter().map(|d| (tags.clone(), d)));
                 }
             }
         }
     }
 
     if json {
-        println!("{}", analysis::render_json(&all));
+        let diag_items: Vec<String> = all
+            .iter()
+            .map(|(tags, d)| {
+                d.to_json_tagged(&[
+                    ("scenario", &tags[0]),
+                    ("strategy", &tags[1]),
+                    ("target", &tags[2]),
+                    ("tier", &tags[3]),
+                ])
+            })
+            .collect();
+        let timing_items: Vec<String> = timings
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"target\":\"{}\",\"tier\":\"{}\",\
+                     \"verify_ms\":{:.3},\"validate_ms\":{},\"intervals_ms\":{}}}",
+                    t.tags[0],
+                    t.tags[1],
+                    t.tags[2],
+                    t.tags[3],
+                    t.verify_ms,
+                    json_f64(t.validate_ms),
+                    json_f64(t.intervals_ms)
+                )
+            })
+            .collect();
+        println!(
+            "{{\"diagnostics\":[{}],\"timings\":[{}]}}",
+            diag_items.join(","),
+            timing_items.join(",")
+        );
     } else if all.is_empty() {
         println!("verified {plans} plans: no diagnostics");
     } else {

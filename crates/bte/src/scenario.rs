@@ -118,6 +118,37 @@ fn table_range(cfg: &BteConfig) -> (f64, f64) {
     (cfg.t_ref - 60.0, cfg.t_hot + 60.0)
 }
 
+/// Declare the physical ranges the interval-safety pass
+/// (`pbte-verify --intervals`) seeds the kernels from. The envelopes are
+/// derived from the material's equilibrium tables over the temperature
+/// range, with headroom factors for transients; nothing clamps at
+/// runtime.
+fn declare_ranges(p: &mut Problem, material: &Material, t_min: f64, t_max: f64) {
+    let mut io_max = 0.0f64;
+    for band in 0..material.n_bands() {
+        io_max = io_max
+            .max(material.table.io(band, t_min))
+            .max(material.table.io(band, t_max));
+    }
+    let mut beta_lo = f64::INFINITY;
+    let mut beta_hi = 0.0f64;
+    for band in &material.bands {
+        for t in [t_min, t_max] {
+            let rate = crate::scattering::scattering_rate(&band.branch(), band.omega_center, t);
+            beta_lo = beta_lo.min(rate);
+            beta_hi = beta_hi.max(rate);
+        }
+    }
+    // Intensities stay non-negative and bounded by the hottest
+    // equilibrium; factor-2 headroom covers transients.
+    p.declare_range("I", 0.0, 2.0 * io_max);
+    p.declare_range("Io", 0.0, 2.0 * io_max);
+    // Scattering rates are monotone in T over the table range; the
+    // half/double factors absorb interior extrema.
+    p.declare_range("beta", 0.5 * beta_lo, 2.0 * beta_hi);
+    p.declare_range("T", t_min, t_max);
+}
+
 /// Shared scaffolding: mesh + entities + equation + init + post-step.
 /// The boundary conditions differ per scenario and are applied by `bc`.
 fn build_2d(
@@ -197,6 +228,8 @@ fn build_2d(
         i_var,
         "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
     );
+
+    declare_ranges(&mut p, &material, t_min, t_max);
 
     BteProblem {
         problem: p,
@@ -319,6 +352,8 @@ pub fn coarse_3d(
         "(Io[b] - I[d,b]) * beta[b] + \
          surface(vg[b]*upwind([Sx[d];Sy[d];Sz[d]], I[d,b]))",
     );
+
+    declare_ranges(&mut p, &material, t_ref - 60.0, t_hot + 60.0);
 
     BteProblem {
         problem: p,

@@ -1,0 +1,514 @@
+//! Numeric-safety abstract interpretation over the interval domain.
+//!
+//! Seeds every entity the kernels read from its declared physical range
+//! ([`crate::problem::Problem::declare_range`]) and abstractly executes
+//! all three kernel tiers (`Program`, `BoundProgram`, `RegProgram`) over
+//! [`pbte_symbolic::Interval`] values with directed-rounding-safe outward
+//! widening, proving for every flat index:
+//!
+//! * no operation produces NaN or infinity ([`rules::INTERVAL_NON_FINITE`]);
+//! * no reciprocal is taken of an interval containing zero
+//!   ([`rules::INTERVAL_DIV_BY_ZERO`]);
+//! * `exp`/`log`/`sqrt`/`pow` stay inside their domains
+//!   ([`rules::INTERVAL_DOMAIN`]).
+//!
+//! An entity read by a kernel without a declared range yields one
+//! [`rules::INTERVAL_MISSING_RANGE`] warning and the proof is skipped —
+//! silence is never possible, but huge conservative default ranges (and
+//! the false alarms they would cause) are avoided.
+//!
+//! Array-coefficient loads and loop-index values are seeded with their
+//! exact per-flat values, so the analysis is considerably tighter than a
+//! whole-entity hull.
+//!
+//! The pass also derives the CFL-style step bound the paper's explicit
+//! upwind scheme obeys — `dt · max|v| / min cell width ≤ 1`, with the
+//! per-face advection speeds taken from the [`FluxLinearization`] and the
+//! cell widths from [`HotGeometry`](crate::exec) — and warns
+//! ([`rules::INTERVAL_CFL`]) when the scenario's `dt` exceeds it.
+
+use super::{rules, Diagnostic, Severity};
+use crate::bytecode::{BoundOp, Func, Op, Program, RegOp, RegProgram};
+use crate::entities::CoefficientValue;
+use crate::exec::CompiledProblem;
+use pbte_symbolic::{CmpOp, Interval, IntervalError};
+use std::collections::{BTreeSet, HashMap};
+
+/// Run the interval-domain safety checks for one compiled plan.
+pub fn check_intervals(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let Some(env) = Env::build(cp, out) else {
+        // Missing declarations were reported as warnings; the proof is
+        // meaningless without seeds.
+        check_cfl(cp, out);
+        return;
+    };
+    let before = out.len();
+    for (kernel, program) in [("volume", &cp.volume), ("flux", &cp.flux)] {
+        for flat in 0..cp.n_flat {
+            let location = format!("{kernel} kernel (vm, flat {flat})");
+            if let Err(d) = run_vm(cp, &env, program, flat, &location) {
+                out.push(d);
+                break; // one offending flat per kernel is enough
+            }
+        }
+    }
+    // The bound and row tiers recompute the same arithmetic from the same
+    // seeds; re-running them when the vm tier already failed would only
+    // duplicate the finding. When the vm tier is clean they prove the
+    // *lowered* streams (bind-time folding, fused superinstructions) safe
+    // too.
+    if out.len() == before {
+        let n_cells = cp.mesh().n_cells();
+        // Occurrence-order ids of function coefficients, shared by the
+        // bound and row streams (bind maps ops 1:1, fusion never touches
+        // CoefFn).
+        let fn_coefs: Vec<usize> = cp
+            .volume
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::LoadCoefFn { coef } => Some(*coef as usize),
+                _ => None,
+            })
+            .collect();
+        for flat in 0..cp.n_flat {
+            let bound = cp.volume.bind(
+                &cp.idx_of_flat[flat],
+                n_cells,
+                cp.problem.dt,
+                0.0,
+                &cp.problem.registry.coefficients,
+            );
+            let loc = format!("volume kernel (bound, flat {flat})");
+            if let Err(d) = run_bound(cp, &env, bound.ops(), &fn_coefs, &loc) {
+                out.push(d);
+                break;
+            }
+            let reg = RegProgram::compile(&bound);
+            let loc = format!("volume kernel (row, flat {flat})");
+            if let Err(d) = run_reg(cp, &env, &reg, &fn_coefs, &loc) {
+                out.push(d);
+                break;
+            }
+        }
+    }
+    check_cfl(cp, out);
+}
+
+// ---------------------------------------------------------------------------
+// Seeding
+// ---------------------------------------------------------------------------
+
+struct Env {
+    /// Range per variable id.
+    vars: Vec<Interval>,
+    /// Range per coefficient id (function coefficients; others are exact).
+    fn_coefs: HashMap<usize, Interval>,
+    /// `[0, dt * n_steps]`.
+    time: Interval,
+}
+
+impl Env {
+    /// Collect required ranges; emits one warning per missing entity and
+    /// returns `None` when any is missing.
+    fn build(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) -> Option<Env> {
+        let registry = &cp.problem.registry;
+        let declared: HashMap<&str, Interval> = cp
+            .problem
+            .ranges
+            .iter()
+            .map(|(name, lo, hi)| (name.as_str(), Interval::new(*lo, *hi)))
+            .collect();
+        let mut required: BTreeSet<String> = BTreeSet::new();
+        for program in [&cp.volume, &cp.flux] {
+            for op in &program.ops {
+                match op {
+                    Op::LoadVar { var, .. } => {
+                        required.insert(registry.variables[*var as usize].name.clone());
+                    }
+                    Op::LoadU1 | Op::LoadU2 => {
+                        required.insert(registry.variables[cp.system.unknown].name.clone());
+                    }
+                    Op::LoadCoefFn { coef } => {
+                        required.insert(registry.coefficients[*coef as usize].name.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut complete = true;
+        for name in &required {
+            if !declared.contains_key(name.as_str()) {
+                complete = false;
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    rule: rules::INTERVAL_MISSING_RANGE,
+                    entity: name.clone(),
+                    location: "kernel bytecode".into(),
+                    message: format!(
+                        "the kernels read `{name}` but no physical range is \
+                         declared (`declare_range`); interval safety not proven"
+                    ),
+                });
+            }
+        }
+        if !complete {
+            return None;
+        }
+        let vars = registry
+            .variables
+            .iter()
+            .map(|v| {
+                declared
+                    .get(v.name.as_str())
+                    .copied()
+                    // Unread variables never seed anything; a placeholder
+                    // keeps indexing simple.
+                    .unwrap_or(Interval::point(0.0))
+            })
+            .collect();
+        let fn_coefs = registry
+            .coefficients
+            .iter()
+            .enumerate()
+            .filter_map(|(id, c)| {
+                declared
+                    .get(c.name.as_str())
+                    .map(|interval| (id, *interval))
+            })
+            .collect();
+        Some(Env {
+            vars,
+            fn_coefs,
+            time: Interval::new(0.0, cp.problem.dt * cp.problem.n_steps as f64),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract execution
+// ---------------------------------------------------------------------------
+
+fn diag(rule: &'static str, location: String, message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        rule,
+        entity: String::new(),
+        location,
+        message,
+    }
+}
+
+fn op_error(err: IntervalError, location: &str, pc: usize) -> Diagnostic {
+    let rule = match err {
+        IntervalError::DivByZero => rules::INTERVAL_DIV_BY_ZERO,
+        IntervalError::Domain(_) => rules::INTERVAL_DOMAIN,
+    };
+    diag(rule, format!("{location}, op {pc}"), err.to_string())
+}
+
+fn finite_check(v: Interval, location: &str, pc: usize) -> Result<Interval, Diagnostic> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(diag(
+            rules::INTERVAL_NON_FINITE,
+            format!("{location}, op {pc}"),
+            format!("result range {v} is not finite (overflow or NaN)"),
+        ))
+    }
+}
+
+fn func_interval(f: Func, x: Interval) -> Result<Interval, IntervalError> {
+    Ok(match f {
+        Func::Exp => x.exp(),
+        Func::Log => x.log()?,
+        Func::Sin => x.sin(),
+        Func::Cos => x.cos(),
+        Func::Sqrt => x.sqrt()?,
+        Func::Abs => x.abs(),
+        Func::Sinh => x.sinh(),
+        Func::Cosh => x.cosh(),
+        Func::Tanh => x.tanh(),
+    })
+}
+
+fn cmp_interval(op: CmpOp, a: Interval, b: Interval) -> Interval {
+    let (t, f) = (Interval::point(1.0), Interval::point(0.0));
+    match op {
+        CmpOp::Lt if a.hi < b.lo => t,
+        CmpOp::Lt if a.lo >= b.hi => f,
+        CmpOp::Le if a.hi <= b.lo => t,
+        CmpOp::Le if a.lo > b.hi => f,
+        CmpOp::Gt if a.lo > b.hi => t,
+        CmpOp::Gt if a.hi <= b.lo => f,
+        CmpOp::Ge if a.lo >= b.hi => t,
+        CmpOp::Ge if a.hi < b.lo => f,
+        CmpOp::Eq if a.lo == a.hi && b.lo == b.hi && a.lo == b.lo => t,
+        CmpOp::Eq if a.hi < b.lo || a.lo > b.hi => f,
+        _ => Interval::new(0.0, 1.0),
+    }
+}
+
+fn select_interval(test: Interval, if_true: Interval, if_false: Interval) -> Interval {
+    if !test.contains_zero() {
+        if_true
+    } else if test.lo == 0.0 && test.hi == 0.0 {
+        if_false
+    } else {
+        if_true.hull(if_false)
+    }
+}
+
+/// Abstractly execute a generic stack program for one flat index.
+fn run_vm(
+    cp: &CompiledProblem,
+    env: &Env,
+    program: &Program,
+    flat: usize,
+    location: &str,
+) -> Result<(), Diagnostic> {
+    let registry = &cp.problem.registry;
+    let idx = &cp.idx_of_flat[flat];
+    let mut stack: Vec<Interval> = Vec::new();
+    let pop = |stack: &mut Vec<Interval>| stack.pop().unwrap_or(Interval::point(0.0));
+    for (pc, op) in program.ops.iter().enumerate() {
+        let pushed = match op {
+            Op::Const(v) => Interval::point(*v),
+            Op::LoadDt => Interval::point(cp.problem.dt),
+            Op::LoadTime => env.time,
+            Op::LoadIndex(slot) => Interval::point((idx[*slot as usize] + 1) as f64),
+            Op::LoadVar { var, .. } => env.vars[*var as usize],
+            Op::LoadU1 | Op::LoadU2 => env.vars[cp.system.unknown],
+            Op::LoadCoef { coef, pattern } => match &registry.coefficients[*coef as usize].value {
+                CoefficientValue::Scalar(v) => Interval::point(*v),
+                CoefficientValue::Array(a) => Interval::point(a[pattern.flat(idx)]),
+                CoefficientValue::Function(_) => unreachable!("functions compile to LoadCoefFn"),
+            },
+            Op::LoadCoefFn { coef } => env.fn_coefs[&(*coef as usize)],
+            Op::LoadNormal(_) => Interval::new(-1.0, 1.0),
+            Op::Add => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                a.add(b)
+            }
+            Op::Mul => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                a.mul(b)
+            }
+            Op::Pow => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                a.pow(b).map_err(|e| op_error(e, location, pc))?
+            }
+            Op::Recip => pop(&mut stack)
+                .recip()
+                .map_err(|e| op_error(e, location, pc))?,
+            Op::Call(f) => {
+                func_interval(*f, pop(&mut stack)).map_err(|e| op_error(e, location, pc))?
+            }
+            Op::Cmp(c) => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                cmp_interval(*c, a, b)
+            }
+            Op::Select => {
+                let if_false = pop(&mut stack);
+                let if_true = pop(&mut stack);
+                let test = pop(&mut stack);
+                select_interval(test, if_true, if_false)
+            }
+        };
+        stack.push(finite_check(pushed, location, pc)?);
+    }
+    Ok(())
+}
+
+/// Abstractly execute a bound program.
+fn run_bound(
+    cp: &CompiledProblem,
+    env: &Env,
+    ops: &[BoundOp],
+    fn_coefs: &[usize],
+    location: &str,
+) -> Result<(), Diagnostic> {
+    let mut stack: Vec<Interval> = Vec::new();
+    let pop = |stack: &mut Vec<Interval>| stack.pop().unwrap_or(Interval::point(0.0));
+    let mut seen_fns = 0usize;
+    let _ = cp;
+    for (pc, op) in ops.iter().enumerate() {
+        let pushed = match op {
+            BoundOp::Const(v) => Interval::point(*v),
+            BoundOp::Load { var, .. } => env.vars[*var as usize],
+            BoundOp::CoefFn(_) => {
+                let id = fn_coefs[seen_fns];
+                seen_fns += 1;
+                env.fn_coefs[&id]
+            }
+            BoundOp::Add => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                a.add(b)
+            }
+            BoundOp::Mul => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                a.mul(b)
+            }
+            BoundOp::Pow => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                a.pow(b).map_err(|e| op_error(e, location, pc))?
+            }
+            BoundOp::Recip => pop(&mut stack)
+                .recip()
+                .map_err(|e| op_error(e, location, pc))?,
+            BoundOp::Call(f) => {
+                func_interval(*f, pop(&mut stack)).map_err(|e| op_error(e, location, pc))?
+            }
+            BoundOp::Cmp(c) => {
+                let b = pop(&mut stack);
+                let a = pop(&mut stack);
+                cmp_interval(*c, a, b)
+            }
+            BoundOp::Select => {
+                let if_false = pop(&mut stack);
+                let if_true = pop(&mut stack);
+                let test = pop(&mut stack);
+                select_interval(test, if_true, if_false)
+            }
+        };
+        stack.push(finite_check(pushed, location, pc)?);
+    }
+    Ok(())
+}
+
+/// Abstractly execute a fused register program.
+fn run_reg(
+    cp: &CompiledProblem,
+    env: &Env,
+    reg: &RegProgram,
+    fn_coefs: &[usize],
+    location: &str,
+) -> Result<(), Diagnostic> {
+    let _ = cp;
+    let mut regs: Vec<Interval> = vec![Interval::point(0.0); reg.n_regs()];
+    let mut seen_fns = 0usize;
+    for (pc, op) in reg.ops().iter().enumerate() {
+        let (dst, value) = match op {
+            RegOp::Const { dst, k } => (*dst, Interval::point(*k)),
+            RegOp::Load { dst, var, .. } => (*dst, env.vars[*var as usize]),
+            RegOp::CoefFn { dst, .. } => {
+                let id = fn_coefs[seen_fns];
+                seen_fns += 1;
+                (*dst, env.fn_coefs[&id])
+            }
+            RegOp::Add { dst, a, b } => (*dst, regs[*a as usize].add(regs[*b as usize])),
+            RegOp::Mul { dst, a, b } => (*dst, regs[*a as usize].mul(regs[*b as usize])),
+            RegOp::Pow { dst, a, b } => (
+                *dst,
+                regs[*a as usize]
+                    .pow(regs[*b as usize])
+                    .map_err(|e| op_error(e, location, pc))?,
+            ),
+            RegOp::Recip { dst, a } => (
+                *dst,
+                regs[*a as usize]
+                    .recip()
+                    .map_err(|e| op_error(e, location, pc))?,
+            ),
+            RegOp::Call { dst, a, f } => (
+                *dst,
+                func_interval(*f, regs[*a as usize]).map_err(|e| op_error(e, location, pc))?,
+            ),
+            RegOp::Cmp { dst, a, b, op } => (
+                *dst,
+                cmp_interval(*op, regs[*a as usize], regs[*b as usize]),
+            ),
+            RegOp::Select { dst, t, a, b } => (
+                *dst,
+                select_interval(regs[*t as usize], regs[*a as usize], regs[*b as usize]),
+            ),
+            RegOp::AddConst { dst, a, k, .. } => (*dst, regs[*a as usize].add(Interval::point(*k))),
+            RegOp::MulConst { dst, a, k, .. } => (*dst, regs[*a as usize].mul(Interval::point(*k))),
+            RegOp::LoadMul { dst, a, var, .. } => {
+                (*dst, regs[*a as usize].mul(env.vars[*var as usize]))
+            }
+            RegOp::LoadMulConst { dst, var, k, .. } => {
+                (*dst, env.vars[*var as usize].mul(Interval::point(*k)))
+            }
+        };
+        regs[dst as usize] = finite_check(value, location, pc)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// CFL-style step bound
+// ---------------------------------------------------------------------------
+
+/// The derived explicit-stepping bound: `dt ≤ width_min / vmax`.
+#[derive(Debug, Clone, Copy)]
+pub struct CflBound {
+    /// Largest per-unit-area advection speed over all flats and normal
+    /// classes (`max(|α|, |β|)` of the flux linearization).
+    pub vmax: f64,
+    /// Smallest effective cell width `V / A` over all cell faces.
+    pub width_min: f64,
+}
+
+impl CflBound {
+    /// Largest stable `dt` under the bound.
+    pub fn dt_max(&self) -> f64 {
+        self.width_min / self.vmax
+    }
+}
+
+/// Derive the CFL-style bound for a plan. `None` when the flux does not
+/// linearize (no advection speeds to bound) or is identically zero.
+pub fn cfl_bound(cp: &CompiledProblem) -> Option<CflBound> {
+    let lin = cp.flux_lin.as_ref()?;
+    let vmax = lin
+        .alpha
+        .iter()
+        .chain(&lin.beta)
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    if vmax == 0.0 {
+        return None;
+    }
+    let hot = &cp.hot;
+    let n_cells = cp.mesh().n_cells();
+    let mut width_min = f64::INFINITY;
+    for cell in 0..n_cells {
+        let (s, e) = (hot.offsets[cell] as usize, hot.offsets[cell + 1] as usize);
+        for k in s..e {
+            let width = 1.0 / (hot.inv_volume[cell] * hot.area[k]);
+            width_min = width_min.min(width);
+        }
+    }
+    if !width_min.is_finite() {
+        return None;
+    }
+    Some(CflBound { vmax, width_min })
+}
+
+fn check_cfl(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let Some(bound) = cfl_bound(cp) else { return };
+    let dt = cp.problem.dt;
+    if dt > bound.dt_max() {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            rule: rules::INTERVAL_CFL,
+            entity: cp.system.unknown_name.clone(),
+            location: "time integration".into(),
+            message: format!(
+                "dt {dt:.3e} exceeds the CFL-style bound {:.3e} \
+                 (max|v| {:.3e}, min cell width {:.3e})",
+                bound.dt_max(),
+                bound.vmax,
+                bound.width_min
+            ),
+        });
+    }
+}

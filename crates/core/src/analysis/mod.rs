@@ -7,19 +7,19 @@
 //! (under `debug_assertions`, from every executor) and on demand through
 //! the `pbte-verify` binary, and discharges three proof obligations:
 //!
-//! 1. **Access soundness** ([`access`]): per-entity read sets are derived
+//! 1. **Access soundness** (`access`): per-entity read sets are derived
 //!    from the compiled bytecode of all three kernel tiers (`Program`,
 //!    `BoundProgram`, `RegProgram`) by abstract interpretation — stack
 //!    depth, register def-before-use, and load-offset bounds fall out as
 //!    byproducts — and cross-checked against the equation-level
 //!    declaration. The CSR face geometry the fused superinstructions
 //!    index is bounds-checked too.
-//! 2. **Write disjointness** ([`races`]): the threaded cell-span split,
+//! 2. **Write disjointness** (`races`): the threaded cell-span split,
 //!    the distributed rank partitions (cells and bands), the
 //!    divided-Newton cell slices, and the GPU `launch_rows` flattening
 //!    are proven to have pairwise-disjoint write sets over the
 //!    `(flat, cell)` dof grid of the written entity.
-//! 3. **Transfer correctness** ([`transfers`]): the automatic
+//! 3. **Transfer correctness** (`transfers`): the automatic
 //!    [`TransferSchedule`](crate::dataflow::TransferSchedule) is checked
 //!    against the derived device-side sets and the declared host-side
 //!    callback sets — no stale read (an entity consumed on one side after
@@ -27,18 +27,37 @@
 //!    redundant transfer (moved but never read before its next write).
 //!    The GPU IR's transfer nodes are cross-checked against the schedule
 //!    they were generated from.
+//! 4. **Translation validity** (`validate`): the lowering pipeline is
+//!    validated per plan, not trusted per construction. A canonical
+//!    symbolic expression is re-extracted from every tier — the IR's
+//!    statement strings are parsed back, and the `Program`,
+//!    `BoundProgram`, and fused `RegProgram` streams are abstractly
+//!    executed over symbolic values — and proven equal to the expression
+//!    expanded from the DSL terms. A mismatch pinpoints the tier and
+//!    instruction that diverged.
+//! 5. **Numeric safety** (`intervals`): every tier is abstractly
+//!    executed over the interval domain, seeded from the physical ranges
+//!    declared on entities, proving no NaN/Inf, no division by an
+//!    interval containing zero, and domain validity for `exp`/`log`/
+//!    `sqrt`/`pow`; a CFL-style step bound is derived from the flux
+//!    linearization and the scenario `dt` checked against it.
 //!
 //! Severity policy: violations of *declared or derived* accesses are
 //! [`Severity::Error`] (executors panic on them in debug builds);
 //! obligations that arise only from conservative assumptions about opaque
-//! callbacks are [`Severity::Warning`].
+//! callbacks — or from missing range declarations — are
+//! [`Severity::Warning`].
 
 mod access;
+mod intervals;
 mod races;
 mod transfers;
+mod validate;
 
+pub use intervals::{cfl_bound, check_intervals, CflBound};
 pub use races::{check_disjoint_writes, check_divided_slices, WriteRegion};
 pub use transfers::check_schedule;
+pub use validate::{check_bound, check_ir, check_reg_against_bound, check_translation, check_vm};
 
 use crate::exec::{CompiledProblem, ExecTarget};
 use crate::problem::GpuStrategy;
@@ -71,6 +90,30 @@ pub mod rules {
     pub const UNKNOWN_ENTITY: &str = "callback/unknown-entity";
     /// The IR's transfer nodes disagree with the transfer schedule.
     pub const IR_TRANSFER_MISMATCH: &str = "ir/transfer-mismatch";
+    /// An IR statement string does not parse back to the DSL expression
+    /// it was lowered from (or the DSL term groups are inconsistent).
+    pub const TRANSLATION_IR: &str = "translation/ir-mismatch";
+    /// The generic stack program computes a different symbolic expression
+    /// than the DSL terms.
+    pub const TRANSLATION_VM: &str = "translation/vm-mismatch";
+    /// Bind-time specialization diverged from the generic program.
+    pub const TRANSLATION_BOUND: &str = "translation/bound-mismatch";
+    /// Register allocation / peephole fusion diverged from the bound
+    /// program.
+    pub const TRANSLATION_REG: &str = "translation/reg-mismatch";
+    /// A reciprocal (or negative power) is taken of an interval that
+    /// contains zero.
+    pub const INTERVAL_DIV_BY_ZERO: &str = "intervals/div-by-zero";
+    /// An `exp`/`log`/`sqrt`/`pow` argument range leaves the function's
+    /// domain.
+    pub const INTERVAL_DOMAIN: &str = "intervals/domain";
+    /// An operation's result range contains NaN or infinity.
+    pub const INTERVAL_NON_FINITE: &str = "intervals/non-finite";
+    /// A kernel reads an entity with no declared physical range; the
+    /// interval proof is skipped.
+    pub const INTERVAL_MISSING_RANGE: &str = "intervals/missing-range";
+    /// The scenario's dt exceeds the derived CFL-style step bound.
+    pub const INTERVAL_CFL: &str = "intervals/cfl-exceeded";
 }
 
 /// How bad a finding is.
@@ -125,6 +168,22 @@ impl Diagnostic {
             json_escape(&self.location),
             json_escape(&self.message)
         )
+    }
+
+    /// Like [`to_json`](Self::to_json), with extra string fields prepended
+    /// (e.g. `scenario`/`target`/`tier`) so batch artifacts are
+    /// self-describing.
+    pub fn to_json_tagged(&self, tags: &[(&str, &str)]) -> String {
+        let mut fields = String::new();
+        for (key, value) in tags {
+            fields.push_str(&format!(
+                "\"{}\":\"{}\",",
+                json_escape(key),
+                json_escape(value)
+            ));
+        }
+        let base = self.to_json();
+        format!("{{{}{}", fields, &base[1..])
     }
 }
 

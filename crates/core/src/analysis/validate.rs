@@ -1,0 +1,775 @@
+//! Translation validation: prove the lowering pipeline semantics-preserving.
+//!
+//! The compiler lowers one conservation-form equation through four
+//! representations: the DSL term groups (after operator expansion and the
+//! forward-Euler transform), the loop-nest IR, the generic stack VM
+//! (`Program`), the per-flat bound form (`BoundProgram`), and the fused
+//! register form (`RegProgram`). This module re-extracts a symbolic
+//! expression from every tier by abstract interpretation over
+//! `pbte_symbolic` values and proves the chain equal link by link:
+//!
+//! * **DSL ≡ groups ≡ IR** ([`check_ir`]): the IR's `source = …` and
+//!   `flux += faceArea * (…)` statements are parsed back and compared
+//!   canonically against the analyzed `volume_expr`/`flux_expr`; the
+//!   forward-Euler term groups are proven consistent
+//!   (`Σ rhs_volume ≡ u + dt·volume`, `Σ rhs_surface ≡ −dt·flux`,
+//!   `lhs_volume ≡ −u`); the per-dof update statement must be present
+//!   verbatim.
+//! * **DSL ≡ VM** ([`check_vm`]): for every flat index, `Program` is
+//!   executed over symbolic values (loads become indexed symbols with the
+//!   flat's literal 1-based subscripts) and compared canonically against
+//!   the DSL expression with the same indices substituted.
+//! * **VM ≡ Bound** ([`check_bound`]): `bind` maps instructions 1:1, so
+//!   both streams are executed in lockstep over symbolic values with the
+//!   same bind-time constant folding applied, comparing the full stack
+//!   **raw-structurally** after every instruction — the first diverging
+//!   instruction index is reported.
+//! * **Bound ≡ Reg** ([`check_reg_against_bound`]): the fused
+//!   superinstructions are executed over a symbolic register file honoring
+//!   the `const_first`/`load_first` orientation flags, and the final value
+//!   is compared raw-structurally against the bound execution. Raw (not
+//!   canonical) equality is deliberate: canonical ordering would commute
+//!   `k * load` back to `load * k` and mask exactly the orientation bugs
+//!   this proof exists to catch (operand order decides NaN-payload
+//!   propagation, so the tiers promise bitwise-equal results).
+//!
+//! Failures are structured [`Diagnostic`]s with stable rule ids
+//! (`translation/ir-mismatch`, `translation/vm-mismatch`,
+//! `translation/bound-mismatch`, `translation/reg-mismatch`) pinpointing
+//! the tier and, where an instruction stream exists, the instruction.
+
+use super::{rules, Diagnostic, Severity};
+use crate::bytecode::{BoundOp, BoundProgram, Op, Program, RegOp, RegProgram};
+use crate::entities::{CoefficientValue, Registry};
+use crate::exec::{CompiledProblem, ExecTarget};
+use crate::ir::{self, IrNode};
+use crate::pipeline::unknown_symbol;
+use pbte_symbolic::simplify::canonical_eq;
+use pbte_symbolic::{parse, substitute, substitute_indices, Expr, ExprRef, SubstitutionMap};
+use std::collections::HashMap;
+
+/// Run the whole translation-validation chain for one compiled plan.
+pub fn check_translation(cp: &CompiledProblem, target: &ExecTarget, out: &mut Vec<Diagnostic>) {
+    let ir = ir::build_ir(cp, target);
+    check_ir(cp, &ir, out);
+    check_vm(cp, out);
+    check_bound(cp, out);
+    check_reg(cp, out);
+}
+
+// ---------------------------------------------------------------------------
+// DSL ≡ groups ≡ IR
+// ---------------------------------------------------------------------------
+
+/// Prove the IR tree and the forward-Euler term groups agree with the
+/// analyzed DSL expressions. Takes the IR explicitly so negative tests can
+/// seed tampered trees.
+pub fn check_ir(cp: &CompiledProblem, ir_root: &IrNode, out: &mut Vec<Diagnostic>) {
+    let sys = &cp.system;
+    let u = unknown_symbol(&cp.problem.registry, sys.unknown);
+
+    // Group consistency: the Euler transform must not have dropped or
+    // duplicated a term.
+    let rhs_volume = Expr::add(sys.groups.rhs_volume.clone());
+    let euler_ref = Expr::add(vec![
+        u.clone(),
+        Expr::mul(vec![Expr::sym("dt"), sys.volume_expr.clone()]),
+    ]);
+    if !canonical_eq(&rhs_volume, &euler_ref) {
+        out.push(ir_mismatch(
+            "term groups",
+            format!(
+                "RHS-volume group sums to `{rhs_volume}` but forward Euler \
+                 of the volume terms gives `{euler_ref}`"
+            ),
+        ));
+    }
+    let rhs_surface = Expr::add(sys.groups.rhs_surface.clone());
+    let surface_ref = Expr::mul(vec![
+        Expr::num(-1.0),
+        Expr::sym("dt"),
+        sys.flux_expr.clone(),
+    ]);
+    if !canonical_eq(&rhs_surface, &surface_ref) {
+        out.push(ir_mismatch(
+            "term groups",
+            format!(
+                "RHS-surface group sums to `{rhs_surface}` but `-dt * flux` \
+                 gives `{surface_ref}`"
+            ),
+        ));
+    }
+    let lhs_volume = Expr::add(sys.groups.lhs_volume.clone());
+    if !canonical_eq(&lhs_volume, &Expr::neg(u)) {
+        out.push(ir_mismatch(
+            "term groups",
+            format!("LHS-volume group is `{lhs_volume}`, expected the negated unknown"),
+        ));
+    }
+
+    // Statement consistency: every rendered source/flux statement in the
+    // tree (host loop and GPU kernel body alike) must parse back to the
+    // analyzed expression.
+    let mut sources = 0usize;
+    let mut fluxes = 0usize;
+    let mut updates = 0usize;
+    let update = ir::update_stmt(&sys.unknown_name);
+    ir_root.visit(&mut |node| {
+        let IrNode::Stmt(stmt) = node else { return };
+        if let Some(body) = stmt.strip_prefix(ir::SOURCE_STMT_PREFIX) {
+            sources += 1;
+            check_stmt_expr(body, &sys.volume_expr, "source statement", out);
+        } else if let Some(rest) = stmt.strip_prefix(ir::FLUX_STMT_PREFIX) {
+            fluxes += 1;
+            match rest.strip_suffix(ir::FLUX_STMT_SUFFIX) {
+                Some(body) => check_stmt_expr(body, &sys.flux_expr, "flux statement", out),
+                None => out.push(ir_mismatch(
+                    "flux statement",
+                    format!("malformed flux statement `{stmt}`"),
+                )),
+            }
+        } else if *stmt == update {
+            updates += 1;
+        }
+    });
+    for (count, what) in [
+        (sources, "`source = …` statement"),
+        (fluxes, "`flux += …` statement"),
+        (updates, "per-dof update statement"),
+    ] {
+        if count == 0 {
+            out.push(ir_mismatch("ir tree", format!("the IR contains no {what}")));
+        }
+    }
+}
+
+fn check_stmt_expr(body: &str, expected: &ExprRef, what: &str, out: &mut Vec<Diagnostic>) {
+    match parse(body) {
+        Ok(e) => {
+            if !canonical_eq(&e, expected) {
+                out.push(ir_mismatch(
+                    what,
+                    format!("IR renders `{body}` but the DSL analysis produced `{expected}`"),
+                ));
+            }
+        }
+        Err(err) => out.push(ir_mismatch(
+            what,
+            format!("IR statement `{body}` does not parse back: {err}"),
+        )),
+    }
+}
+
+fn ir_mismatch(location: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        rule: rules::TRANSLATION_IR,
+        entity: String::new(),
+        location: location.to_string(),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic execution of the instruction tiers
+// ---------------------------------------------------------------------------
+
+/// Decode a flattened entity index back to literal 1-based subscripts.
+fn literal_subscripts(registry: &Registry, indices: &[usize], mut flat: usize) -> Vec<ExprRef> {
+    let strides = registry.strides(indices);
+    let mut subs = Vec::with_capacity(indices.len());
+    for &stride in &strides {
+        subs.push(Expr::num((flat / stride + 1) as f64));
+        flat %= stride;
+    }
+    subs
+}
+
+fn entity_sym(registry: &Registry, name: &str, indices: &[usize], flat: usize) -> ExprRef {
+    if indices.is_empty() {
+        Expr::sym(name.to_string())
+    } else {
+        Expr::sym_indexed(
+            name.to_string(),
+            literal_subscripts(registry, indices, flat),
+        )
+    }
+}
+
+/// How entity references materialize during symbolic execution of a
+/// `Program`.
+enum VmMode {
+    /// Keep names: loads become indexed symbols, for comparison against
+    /// the DSL expression.
+    Named,
+    /// Apply the same folding `bind` performs (coefficients, `dt`, `t`,
+    /// loop indices become numbers; variable loads become offset-keyed
+    /// placeholder symbols), for lockstep comparison against `BoundProgram`.
+    BindFolded { n_cells: usize, time: f64 },
+}
+
+struct VmExec<'a> {
+    cp: &'a CompiledProblem,
+    idx: &'a [usize],
+    mode: VmMode,
+    coef_fns: usize,
+}
+
+impl<'a> VmExec<'a> {
+    fn new(cp: &'a CompiledProblem, idx: &'a [usize], mode: VmMode) -> VmExec<'a> {
+        VmExec {
+            cp,
+            idx,
+            mode,
+            coef_fns: 0,
+        }
+    }
+
+    /// Apply one instruction to the symbolic stack. Returns `Err` on a
+    /// malformed stack (already diagnosed by the access pass).
+    fn step(&mut self, op: &Op, stack: &mut Vec<ExprRef>) -> Result<(), String> {
+        let registry = &self.cp.problem.registry;
+        let pushed = match op {
+            Op::Const(v) => Expr::num(*v),
+            Op::LoadDt => match self.mode {
+                VmMode::Named => Expr::sym("dt"),
+                VmMode::BindFolded { .. } => Expr::num(self.cp.problem.dt),
+            },
+            Op::LoadTime => match self.mode {
+                VmMode::Named => Expr::sym("t"),
+                VmMode::BindFolded { time, .. } => Expr::num(time),
+            },
+            Op::LoadIndex(slot) => Expr::num((self.idx[*slot as usize] + 1) as f64),
+            Op::LoadVar { var, pattern } => {
+                let v = &registry.variables[*var as usize];
+                let flat = pattern.flat(self.idx);
+                match self.mode {
+                    VmMode::Named => entity_sym(registry, &v.name, &v.indices, flat),
+                    VmMode::BindFolded { n_cells, .. } => load_sym(*var, flat * n_cells),
+                }
+            }
+            Op::LoadU1 | Op::LoadU2 => {
+                let u = &registry.variables[self.cp.system.unknown];
+                let subs: Vec<ExprRef> = self
+                    .idx
+                    .iter()
+                    .map(|&v| Expr::num((v + 1) as f64))
+                    .collect();
+                let arg = if subs.is_empty() {
+                    Expr::sym(u.name.clone())
+                } else {
+                    Expr::sym_indexed(u.name.clone(), subs)
+                };
+                let name = if matches!(op, Op::LoadU1) {
+                    "CELL1"
+                } else {
+                    "CELL2"
+                };
+                Expr::call(name, vec![arg])
+            }
+            Op::LoadCoef { coef, pattern } => {
+                let c = &registry.coefficients[*coef as usize];
+                let flat = pattern.flat(self.idx);
+                match self.mode {
+                    VmMode::Named => entity_sym(registry, &c.name, &c.indices, flat),
+                    VmMode::BindFolded { .. } => match &c.value {
+                        CoefficientValue::Scalar(v) => Expr::num(*v),
+                        CoefficientValue::Array(a) => Expr::num(a[flat]),
+                        CoefficientValue::Function(_) => {
+                            return Err(format!(
+                                "coefficient `{}` is a function but was compiled as LoadCoef",
+                                c.name
+                            ))
+                        }
+                    },
+                }
+            }
+            Op::LoadCoefFn { coef } => match self.mode {
+                VmMode::Named => Expr::sym(registry.coefficients[*coef as usize].name.clone()),
+                VmMode::BindFolded { .. } => {
+                    self.coef_fns += 1;
+                    coef_fn_sym(self.coef_fns)
+                }
+            },
+            Op::LoadNormal(axis) => Expr::sym(format!("NORMAL_{}", axis + 1)),
+            Op::Add | Op::Mul | Op::Pow | Op::Cmp(_) => {
+                let b = pop(stack)?;
+                let a = pop(stack)?;
+                match op {
+                    Op::Add => Expr::add(vec![a, b]),
+                    Op::Mul => Expr::mul(vec![a, b]),
+                    Op::Pow => Expr::pow(a, b),
+                    Op::Cmp(c) => Expr::cmp(*c, a, b),
+                    _ => unreachable!(),
+                }
+            }
+            Op::Recip => {
+                let a = pop(stack)?;
+                Expr::pow(a, Expr::num(-1.0))
+            }
+            Op::Call(f) => {
+                let a = pop(stack)?;
+                Expr::call(f.name(), vec![a])
+            }
+            Op::Select => {
+                let if_false = pop(stack)?;
+                let if_true = pop(stack)?;
+                let test = pop(stack)?;
+                Expr::conditional(test, if_true, if_false)
+            }
+        };
+        stack.push(pushed);
+        Ok(())
+    }
+
+    fn run(&mut self, ops: &[Op]) -> Result<ExprRef, String> {
+        let mut stack = Vec::new();
+        for (pc, op) in ops.iter().enumerate() {
+            self.step(op, &mut stack)
+                .map_err(|e| format!("op {pc}: {e}"))?;
+        }
+        if stack.len() != 1 {
+            return Err(format!(
+                "program leaves {} values on the stack",
+                stack.len()
+            ));
+        }
+        Ok(stack.pop().unwrap())
+    }
+}
+
+fn pop(stack: &mut Vec<ExprRef>) -> Result<ExprRef, String> {
+    stack.pop().ok_or_else(|| "stack underflow".to_string())
+}
+
+/// Placeholder symbol for a bound variable load; keyed by `(var, offset)`
+/// so identical loads unify and different loads never do.
+fn load_sym(var: u16, offset: usize) -> ExprRef {
+    Expr::sym(format!("load#{var}@{offset}"))
+}
+
+/// Placeholder symbol for the n-th function-coefficient evaluation. Bound
+/// and register streams evaluate coefficient functions in the same order
+/// (fusion never touches them), so occurrence order is a sound key.
+fn coef_fn_sym(n: usize) -> ExprRef {
+    Expr::sym(format!("coef_fn#{n}"))
+}
+
+// ---------------------------------------------------------------------------
+// DSL ≡ VM
+// ---------------------------------------------------------------------------
+
+/// Prove the generic stack programs compute the analyzed DSL expressions,
+/// for every flat index.
+pub fn check_vm(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let registry = &cp.problem.registry;
+    let mut scalars: SubstitutionMap = SubstitutionMap::new();
+    scalars.insert("pi".into(), Expr::num(std::f64::consts::PI));
+    for c in &registry.coefficients {
+        if let CoefficientValue::Scalar(v) = c.value {
+            scalars.insert(c.name.clone(), Expr::num(v));
+        }
+    }
+    let slots: Vec<&str> = registry.variables[cp.system.unknown]
+        .indices
+        .iter()
+        .map(|&i| registry.indices[i].name.as_str())
+        .collect();
+
+    for (kernel, program, expected) in [
+        ("volume", &cp.volume, &cp.system.volume_expr),
+        ("flux", &cp.flux, &cp.system.flux_expr),
+    ] {
+        for flat in 0..cp.n_flat {
+            let idx = &cp.idx_of_flat[flat];
+            let location = format!("{kernel} kernel (vm, flat {flat})");
+            let extracted = match VmExec::new(cp, idx, VmMode::Named).run(&program.ops) {
+                Ok(e) => e,
+                Err(msg) => {
+                    out.push(vm_mismatch(&location, msg));
+                    break;
+                }
+            };
+            let idx_map: HashMap<String, i64> = slots
+                .iter()
+                .zip(idx)
+                .map(|(name, &v)| (name.to_string(), (v + 1) as i64))
+                .collect();
+            let reference = substitute(&substitute_indices(expected, &idx_map), &scalars);
+            if !canonical_eq(&extracted, &reference) {
+                out.push(vm_mismatch(
+                    &location,
+                    format!(
+                        "stack program computes `{extracted}` but the DSL \
+                         expression specializes to `{reference}`"
+                    ),
+                ));
+                break; // one offending flat per kernel is enough
+            }
+        }
+    }
+}
+
+fn vm_mismatch(location: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        rule: rules::TRANSLATION_VM,
+        entity: String::new(),
+        location: location.to_string(),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VM ≡ Bound
+// ---------------------------------------------------------------------------
+
+/// Prove every bound volume program agrees with the generic program it was
+/// specialized from, instruction by instruction.
+pub fn check_bound(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let n_cells = cp.mesh().n_cells();
+    for flat in 0..cp.n_flat {
+        let idx = &cp.idx_of_flat[flat];
+        let bound = cp.volume.bind(
+            idx,
+            n_cells,
+            cp.problem.dt,
+            0.0,
+            &cp.problem.registry.coefficients,
+        );
+        let location = format!("volume kernel (bound, flat {flat})");
+        if !lockstep_bound(cp, idx, n_cells, &cp.volume, &bound, &location, out) {
+            break;
+        }
+    }
+}
+
+/// Returns false when a diagnostic was emitted (stop after first flat).
+#[allow(clippy::too_many_arguments)]
+fn lockstep_bound(
+    cp: &CompiledProblem,
+    idx: &[usize],
+    n_cells: usize,
+    program: &Program,
+    bound: &BoundProgram,
+    location: &str,
+    out: &mut Vec<Diagnostic>,
+) -> bool {
+    let bound_ops = bound.ops();
+    if bound_ops.len() != program.ops.len() {
+        out.push(bound_mismatch(
+            location,
+            format!(
+                "bind changed the instruction count: {} generic ops vs {} bound ops",
+                program.ops.len(),
+                bound_ops.len()
+            ),
+        ));
+        return false;
+    }
+    let mut vm = VmExec::new(cp, idx, VmMode::BindFolded { n_cells, time: 0.0 });
+    let mut vm_stack: Vec<ExprRef> = Vec::new();
+    let mut bound_stack: Vec<ExprRef> = Vec::new();
+    let mut coef_fns = 0usize;
+    for (pc, (op, bop)) in program.ops.iter().zip(bound_ops).enumerate() {
+        if let Err(msg) = vm.step(op, &mut vm_stack) {
+            out.push(bound_mismatch(location, format!("op {pc}: {msg}")));
+            return false;
+        }
+        if let Err(msg) = bound_step(bop, &mut bound_stack, &mut coef_fns) {
+            out.push(bound_mismatch(location, format!("op {pc}: {msg}")));
+            return false;
+        }
+        let agree = vm_stack.len() == bound_stack.len()
+            && vm_stack
+                .iter()
+                .zip(&bound_stack)
+                .all(|(a, b)| a.structurally_eq(b));
+        if !agree {
+            let vm_top = vm_stack.last().map(|e| e.to_string()).unwrap_or_default();
+            let b_top = bound_stack
+                .last()
+                .map(|e| e.to_string())
+                .unwrap_or_default();
+            out.push(bound_mismatch(
+                &format!("{location}, op {pc}"),
+                format!(
+                    "first diverging instruction: generic program has `{vm_top}` \
+                     on top of the stack, bound program has `{b_top}`"
+                ),
+            ));
+            return false;
+        }
+    }
+    true
+}
+
+/// Apply one bound instruction to a symbolic stack.
+fn bound_step(op: &BoundOp, stack: &mut Vec<ExprRef>, coef_fns: &mut usize) -> Result<(), String> {
+    let pushed = match op {
+        BoundOp::Const(v) => Expr::num(*v),
+        BoundOp::Load { var, offset } => load_sym(*var, *offset),
+        BoundOp::CoefFn(_) => {
+            *coef_fns += 1;
+            coef_fn_sym(*coef_fns)
+        }
+        BoundOp::Add | BoundOp::Mul | BoundOp::Pow | BoundOp::Cmp(_) => {
+            let b = pop(stack)?;
+            let a = pop(stack)?;
+            match op {
+                BoundOp::Add => Expr::add(vec![a, b]),
+                BoundOp::Mul => Expr::mul(vec![a, b]),
+                BoundOp::Pow => Expr::pow(a, b),
+                BoundOp::Cmp(c) => Expr::cmp(*c, a, b),
+                _ => unreachable!(),
+            }
+        }
+        BoundOp::Recip => {
+            let a = pop(stack)?;
+            Expr::pow(a, Expr::num(-1.0))
+        }
+        BoundOp::Call(f) => {
+            let a = pop(stack)?;
+            Expr::call(f.name(), vec![a])
+        }
+        BoundOp::Select => {
+            let if_false = pop(stack)?;
+            let if_true = pop(stack)?;
+            let test = pop(stack)?;
+            Expr::conditional(test, if_true, if_false)
+        }
+    };
+    stack.push(pushed);
+    Ok(())
+}
+
+fn bound_mismatch(location: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        rule: rules::TRANSLATION_BOUND,
+        entity: String::new(),
+        location: location.to_string(),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bound ≡ Reg
+// ---------------------------------------------------------------------------
+
+/// Prove every fused row program agrees with the bound program it was
+/// lowered from.
+fn check_reg(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let n_cells = cp.mesh().n_cells();
+    for flat in 0..cp.n_flat {
+        let bound = cp.volume.bind(
+            &cp.idx_of_flat[flat],
+            n_cells,
+            cp.problem.dt,
+            0.0,
+            &cp.problem.registry.coefficients,
+        );
+        let reg = RegProgram::compile(&bound);
+        let location = format!("volume kernel (row, flat {flat})");
+        let before = out.len();
+        check_reg_against_bound(&bound, &reg, &location, out);
+        if out.len() > before {
+            break;
+        }
+    }
+}
+
+/// Prove one register program raw-structurally equal to one bound program.
+/// Public so negative tests can seed a tampered `RegProgram` (via
+/// `RegProgram::from_raw_parts`) and prove the orientation flags are load-
+/// bearing.
+pub fn check_reg_against_bound(
+    bound: &BoundProgram,
+    reg: &RegProgram,
+    location: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut coef_fns = 0usize;
+    let mut stack: Vec<ExprRef> = Vec::new();
+    for (pc, op) in bound.ops().iter().enumerate() {
+        if let Err(msg) = bound_step(op, &mut stack, &mut coef_fns) {
+            out.push(reg_mismatch(&format!("{location}, bound op {pc}"), msg));
+            return;
+        }
+    }
+    let Some(bound_final) = stack.pop() else {
+        out.push(reg_mismatch(location, "empty bound program".into()));
+        return;
+    };
+
+    // Execute the register stream, remembering what each op produced so a
+    // mismatch can be pinned to the first instruction whose value the
+    // bound program never computes.
+    let mut regs: Vec<Option<ExprRef>> = vec![None; reg.n_regs()];
+    let mut produced: Vec<ExprRef> = Vec::with_capacity(reg.ops().len());
+    coef_fns = 0;
+    for (pc, op) in reg.ops().iter().enumerate() {
+        match reg_step(op, &mut regs, &mut coef_fns) {
+            Ok(value) => produced.push(value),
+            Err(msg) => {
+                out.push(reg_mismatch(&format!("{location}, op {pc}"), msg));
+                return;
+            }
+        }
+    }
+    let Some(Some(reg_final)) = regs.first().cloned() else {
+        out.push(reg_mismatch(
+            location,
+            "register program never writes r0".into(),
+        ));
+        return;
+    };
+    if reg_final.structurally_eq(&bound_final) {
+        return;
+    }
+    // Pinpoint: collect every intermediate value of the bound execution
+    // and find the first row op producing a value outside that set.
+    let mut bound_values: Vec<ExprRef> = Vec::new();
+    let mut replay: Vec<ExprRef> = Vec::new();
+    coef_fns = 0;
+    for op in bound.ops() {
+        let _ = bound_step(op, &mut replay, &mut coef_fns);
+        if let Some(top) = replay.last() {
+            bound_values.push(top.clone());
+        }
+    }
+    let culprit = produced
+        .iter()
+        .position(|v| !bound_values.iter().any(|b| b.structurally_eq(v)));
+    match culprit {
+        Some(pc) => out.push(reg_mismatch(
+            &format!("{location}, op {pc}"),
+            format!(
+                "first diverging instruction: row op computes `{}`, a value \
+                 the bound program never produces (expected final `{bound_final}`)",
+                produced[pc]
+            ),
+        )),
+        None => out.push(reg_mismatch(
+            location,
+            format!(
+                "row program computes `{reg_final}` but the bound program \
+                 computes `{bound_final}`"
+            ),
+        )),
+    }
+}
+
+/// Apply one register instruction over symbolic registers; returns the
+/// value written to the destination.
+fn reg_step(
+    op: &RegOp,
+    regs: &mut [Option<ExprRef>],
+    coef_fns: &mut usize,
+) -> Result<ExprRef, String> {
+    let get = |regs: &[Option<ExprRef>], r: u8| -> Result<ExprRef, String> {
+        regs.get(r as usize)
+            .cloned()
+            .flatten()
+            .ok_or_else(|| format!("register r{r} read before definition"))
+    };
+    let (dst, value) = match op {
+        RegOp::Const { dst, k } => (*dst, Expr::num(*k)),
+        RegOp::Load { dst, var, offset } => (*dst, load_sym(*var, *offset)),
+        RegOp::CoefFn { dst, .. } => {
+            *coef_fns += 1;
+            (*dst, coef_fn_sym(*coef_fns))
+        }
+        RegOp::Add { dst, a, b } => (*dst, Expr::add(vec![get(regs, *a)?, get(regs, *b)?])),
+        RegOp::Mul { dst, a, b } => (*dst, Expr::mul(vec![get(regs, *a)?, get(regs, *b)?])),
+        RegOp::Pow { dst, a, b } => (*dst, Expr::pow(get(regs, *a)?, get(regs, *b)?)),
+        RegOp::Recip { dst, a } => (*dst, Expr::pow(get(regs, *a)?, Expr::num(-1.0))),
+        RegOp::Call { dst, a, f } => (*dst, Expr::call(f.name(), vec![get(regs, *a)?])),
+        RegOp::Cmp { dst, a, b, op } => (*dst, Expr::cmp(*op, get(regs, *a)?, get(regs, *b)?)),
+        RegOp::Select { dst, t, a, b } => (
+            *dst,
+            Expr::conditional(get(regs, *t)?, get(regs, *a)?, get(regs, *b)?),
+        ),
+        RegOp::AddConst {
+            dst,
+            a,
+            k,
+            const_first,
+        } => {
+            let (x, k) = (get(regs, *a)?, Expr::num(*k));
+            (
+                *dst,
+                if *const_first {
+                    Expr::add(vec![k, x])
+                } else {
+                    Expr::add(vec![x, k])
+                },
+            )
+        }
+        RegOp::MulConst {
+            dst,
+            a,
+            k,
+            const_first,
+        } => {
+            let (x, k) = (get(regs, *a)?, Expr::num(*k));
+            (
+                *dst,
+                if *const_first {
+                    Expr::mul(vec![k, x])
+                } else {
+                    Expr::mul(vec![x, k])
+                },
+            )
+        }
+        RegOp::LoadMul {
+            dst,
+            a,
+            var,
+            offset,
+            load_first,
+        } => {
+            let (x, l) = (get(regs, *a)?, load_sym(*var, *offset));
+            (
+                *dst,
+                if *load_first {
+                    Expr::mul(vec![l, x])
+                } else {
+                    Expr::mul(vec![x, l])
+                },
+            )
+        }
+        RegOp::LoadMulConst {
+            dst,
+            var,
+            offset,
+            k,
+            const_first,
+        } => {
+            let (k, l) = (Expr::num(*k), load_sym(*var, *offset));
+            (
+                *dst,
+                if *const_first {
+                    Expr::mul(vec![k, l])
+                } else {
+                    Expr::mul(vec![l, k])
+                },
+            )
+        }
+    };
+    let slot = regs
+        .get_mut(dst as usize)
+        .ok_or_else(|| format!("destination r{dst} outside register file"))?;
+    *slot = Some(value.clone());
+    Ok(value)
+}
+
+fn reg_mismatch(location: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        rule: rules::TRANSLATION_REG,
+        entity: String::new(),
+        location: location.to_string(),
+        message,
+    }
+}

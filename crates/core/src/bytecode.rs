@@ -42,8 +42,10 @@ pub enum Func {
 }
 
 impl Func {
+    /// Apply to a scalar — the single definition every tier (and the
+    /// differential tests) evaluates through, so they cannot drift.
     #[inline(always)]
-    fn apply(self, x: f64) -> f64 {
+    pub fn apply(self, x: f64) -> f64 {
         match self {
             Func::Exp => x.exp(),
             Func::Log => x.ln(),
@@ -54,6 +56,22 @@ impl Func {
             Func::Sinh => x.sinh(),
             Func::Cosh => x.cosh(),
             Func::Tanh => x.tanh(),
+        }
+    }
+
+    /// The DSL-level call name (inverse of `from_name`), used by the
+    /// translation validator to rebuild symbolic `Call` nodes.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Func::Exp => "exp",
+            Func::Log => "log",
+            Func::Sin => "sin",
+            Func::Cos => "cos",
+            Func::Sqrt => "sqrt",
+            Func::Abs => "abs",
+            Func::Sinh => "sinh",
+            Func::Cosh => "cosh",
+            Func::Tanh => "tanh",
         }
     }
 
@@ -82,8 +100,9 @@ pub struct Pattern {
 }
 
 impl Pattern {
+    /// Resolve the storage flat index for concrete loop-index values.
     #[inline(always)]
-    fn flat(&self, idx: &[usize]) -> usize {
+    pub fn flat(&self, idx: &[usize]) -> usize {
         let mut f = self.base;
         for &(slot, stride) in &self.terms {
             f += idx[slot as usize] * stride;
@@ -377,9 +396,11 @@ impl BoundProgram {
         stack[0]
     }
 
-    /// Instruction stream, for static analysis (stack-effect walks and
-    /// offset bounds checks in `crate::analysis`).
-    pub(crate) fn ops(&self) -> &[BoundOp] {
+    /// Instruction stream, for static analysis (stack-effect walks,
+    /// offset bounds checks, and the translation validator in
+    /// `crate::analysis`) and for differential tests that lockstep the
+    /// tiers instruction by instruction.
+    pub fn ops(&self) -> &[BoundOp] {
         &self.ops
     }
 }
@@ -752,6 +773,16 @@ impl RegProgram {
     /// Registers the evaluator needs (scratch rows of `ROW_CHUNK` lanes).
     pub fn n_regs(&self) -> usize {
         self.n_regs.max(1)
+    }
+
+    /// Assemble a register program from raw parts, bypassing the lowering
+    /// pipeline. Exists so negative tests can seed deliberately-broken
+    /// instruction streams (e.g. a flipped `const_first` flag) and prove
+    /// the translation validator catches them. Not for production use: no
+    /// invariants are checked.
+    #[doc(hidden)]
+    pub fn from_raw_parts(ops: Vec<RegOp>, n_regs: usize) -> RegProgram {
+        RegProgram { ops, n_regs }
     }
 
     /// The lowered instruction stream (inspection/tests).

@@ -94,18 +94,33 @@ pub fn build_ir(cp: &CompiledProblem, target: &ExecTarget) -> IrNode {
     }
 }
 
+/// Statement shapes shared with the translation validator
+/// (`crate::analysis::validate`), which parses the symbolic payload back
+/// out of the rendered statements. Keeping the prefixes here means the IR
+/// builder and the validator cannot drift apart silently.
+pub(crate) const SOURCE_STMT_PREFIX: &str = "source = ";
+pub(crate) const FLUX_STMT_PREFIX: &str = "flux += faceArea * (";
+pub(crate) const FLUX_STMT_SUFFIX: &str = ")";
+
+/// The forward-Euler update statement for an unknown named `u`.
+pub(crate) fn update_stmt(u: &str) -> String {
+    format!("{u}_new = {u} + dt * (source - flux / cellVolume)")
+}
+
 /// The per-dof update statements shared by every target.
 fn update_body(cp: &CompiledProblem) -> Vec<IrNode> {
-    let u = &cp.system.unknown_name;
     vec![
         IrNode::Comment("volume source terms".into()),
-        IrNode::Stmt(format!("source = {}", cp.system.volume_expr)),
+        IrNode::Stmt(format!("{SOURCE_STMT_PREFIX}{}", cp.system.volume_expr)),
         IrNode::Stmt("flux = 0".into()),
         IrNode::FaceLoop(vec![
             IrNode::Comment("first-order upwind flux through this face".into()),
-            IrNode::Stmt(format!("flux += faceArea * ({})", cp.system.flux_expr)),
+            IrNode::Stmt(format!(
+                "{FLUX_STMT_PREFIX}{}{FLUX_STMT_SUFFIX}",
+                cp.system.flux_expr
+            )),
         ]),
-        IrNode::Stmt(format!("{u}_new = {u} + dt * (source - flux / cellVolume)")),
+        IrNode::Stmt(update_stmt(&cp.system.unknown_name)),
     ]
 }
 

@@ -182,7 +182,7 @@ pub fn analyze(problem: &Problem, var: usize, src: &str) -> Result<DiscreteSyste
 }
 
 /// The unknown with its declared index subscripts, e.g. `I[d,b]`.
-fn unknown_symbol(registry: &Registry, var: usize) -> ExprRef {
+pub(crate) fn unknown_symbol(registry: &Registry, var: usize) -> ExprRef {
     let v = &registry.variables[var];
     let subs: Vec<ExprRef> = v
         .indices

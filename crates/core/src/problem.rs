@@ -339,6 +339,11 @@ pub struct Problem {
     /// program provably doesn't reference `t` (diagnostic knob; the
     /// default caches bound programs across steps).
     pub rebind_per_step: bool,
+    /// Declared physical ranges `(entity name, lo, hi)` for variables and
+    /// function coefficients, consumed by the interval-domain safety pass
+    /// (`crate::analysis::check_intervals`). Purely declarative: nothing
+    /// clamps values at runtime.
+    pub ranges: Vec<(String, f64, f64)>,
 }
 
 impl Problem {
@@ -363,7 +368,22 @@ impl Problem {
             custom_operators: Vec::new(),
             kernel_tier: None,
             rebind_per_step: false,
+            ranges: Vec::new(),
         }
+    }
+
+    /// Declare the physical range of an entity (variable or function
+    /// coefficient) for the interval-domain numeric-safety pass. A
+    /// zero-width range (`lo == hi`) is allowed — it is how a constant is
+    /// declared — but both bounds must be finite and ordered.
+    pub fn declare_range(&mut self, name: &str, lo: f64, hi: f64) -> &mut Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "range for {name} must be finite and ordered, got [{lo}, {hi}]"
+        );
+        self.ranges.retain(|(n, _, _)| n != name);
+        self.ranges.push((name.to_string(), lo, hi));
+        self
     }
 
     /// Pin the intensity phase to a specific kernel tier (default: auto).

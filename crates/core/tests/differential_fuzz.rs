@@ -1,0 +1,474 @@
+//! Differential fuzzing of the kernel tiers against the symbolic engine.
+//!
+//! For seeded random field contents, the volume kernel's three compiled
+//! tiers — generic stack `Program`, bind-specialized `BoundProgram`, and
+//! fused `RegProgram` row kernel — must agree **bitwise** with each other
+//! and with `pbte_symbolic::eval` of the DSL expression the kernels were
+//! compiled from. Bitwise (not epsilon) agreement is the point: the
+//! lowering pipeline only reorders code in value-preserving ways (bind
+//! folds constants, fusion preserves operand order via its orientation
+//! flags), so any ulp of drift is a lowering bug. On mismatch the test
+//! locksteps the instruction streams and fails with the first diverging
+//! instruction index.
+
+use pbte_dsl::bytecode::{BoundOp, Op, RegOp, RegProgram, VmCtx, ROW_CHUNK};
+use pbte_dsl::entities::{CoefficientValue, Registry};
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::Problem;
+use pbte_dsl::BoundaryCondition;
+use pbte_mesh::grid::UniformGrid;
+use pbte_mesh::Point;
+use pbte_symbolic::{substitute, substitute_indices, EvalContext, SubstitutionMap};
+use pbte_symbolic::{Expr, ExprRef};
+use std::collections::HashMap;
+
+const NDIRS: usize = 4;
+const NBANDS: usize = 3;
+const N: usize = 5;
+const SEEDS: u64 = 25;
+
+/// Deterministic splitmix64 generator — the tests must not depend on a
+/// rand crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0.5, 2.0] — safely away from zero, overflow, and
+    /// denormals so every tier stays in ordinary arithmetic.
+    fn field_value(&mut self) -> f64 {
+        0.5 + 1.5 * (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fuzz_problem() -> Problem {
+    let mut p = Problem::new("fuzz-mini");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(N, N, 1.0, 1.0).build());
+    p.set_steps(0.01, 2);
+    let d = p.index("d", NDIRS);
+    let b = p.index("b", NBANDS);
+    let i_var = p.variable("I", &[d, b]);
+    let io = p.variable("Io", &[b]);
+    let beta = p.variable("beta", &[b]);
+    p.coefficient_array("Sx", &[d], vec![1.0, 0.0, -1.0, 0.0]);
+    p.coefficient_array("Sy", &[d], vec![0.0, 1.0, 0.0, -1.0]);
+    p.coefficient_array("vg", &[b], vec![1.0, 0.7, 0.4]);
+    p.coefficient_scalar("kappa", 0.75);
+    p.initial(i_var, |_, _| 1.0);
+    p.initial(io, |_, _| 1.0);
+    p.initial(beta, |_, _| 0.5);
+    for side in ["left", "right", "top", "bottom"] {
+        p.boundary(i_var, side, BoundaryCondition::Value(1.0));
+    }
+    // Exercises subtraction, nested products, a scalar coefficient, and a
+    // division (→ Recip) on top of the BTE shape.
+    p.conservation_form(
+        i_var,
+        "(Io[b] - I[d,b]) * beta[b] / kappa + \
+         surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+    );
+    p
+}
+
+/// Resolves the DSL's symbols against raw per-variable field slices, the
+/// way the VM does: indexed variables through the registry's strides,
+/// array coefficients by their own index patterns.
+struct FieldsCtx<'a> {
+    registry: &'a Registry,
+    vars: &'a [Vec<f64>],
+    n_cells: usize,
+    cell: usize,
+    dt: f64,
+    time: f64,
+}
+
+impl FieldsCtx<'_> {
+    /// Mixed-radix flat index from 1-based subscripts over `index_ids`.
+    fn flat(&self, index_ids: &[usize], subscripts: &[i64]) -> Option<usize> {
+        if subscripts.len() != index_ids.len() {
+            return None;
+        }
+        let strides = self.registry.strides(index_ids);
+        let mut flat = 0usize;
+        for ((&ix, &id), stride) in subscripts.iter().zip(index_ids).zip(strides) {
+            let v = usize::try_from(ix.checked_sub(1)?).ok()?;
+            if v >= self.registry.indices[id].len {
+                return None;
+            }
+            flat += v * stride;
+        }
+        Some(flat)
+    }
+}
+
+impl EvalContext for FieldsCtx<'_> {
+    fn symbol(&self, name: &str, indices: &[i64]) -> Option<f64> {
+        match name {
+            "dt" => return Some(self.dt),
+            "t" => return Some(self.time),
+            _ => {}
+        }
+        if let Some(id) = self.registry.variables.iter().position(|v| v.name == name) {
+            let flat = self.flat(&self.registry.variables[id].indices, indices)?;
+            return Some(self.vars[id][flat * self.n_cells + self.cell]);
+        }
+        let coef = self.registry.coefficients.iter().find(|c| c.name == name)?;
+        match &coef.value {
+            CoefficientValue::Scalar(v) => Some(*v),
+            CoefficientValue::Array(a) => Some(a[self.flat(&coef.indices, indices)?]),
+            CoefficientValue::Function(_) => None,
+        }
+    }
+}
+
+/// Scalar-step the generic and bound streams in lockstep (bind maps ops
+/// 1:1) and return the first pc where the stack tops differ bitwise.
+fn first_diverging_pc(
+    ops: &[Op],
+    bound_ops: &[BoundOp],
+    ctx: &VmCtx,
+    vars: &[&[f64]],
+    cell: usize,
+) -> Option<usize> {
+    fn binop(stack: &mut Vec<f64>, f: impl Fn(f64, f64) -> f64) {
+        let b = stack.pop().unwrap();
+        let a = stack.pop().unwrap();
+        stack.push(f(a, b));
+    }
+    let mut vm_stack: Vec<f64> = Vec::new();
+    let mut b_stack: Vec<f64> = Vec::new();
+    for (pc, (op, bop)) in ops.iter().zip(bound_ops).enumerate() {
+        match op {
+            Op::Const(v) => vm_stack.push(*v),
+            Op::LoadDt => vm_stack.push(ctx.dt),
+            Op::LoadTime => vm_stack.push(ctx.time),
+            Op::LoadIndex(slot) => vm_stack.push((ctx.idx[*slot as usize] + 1) as f64),
+            Op::LoadVar { var, pattern } => vm_stack
+                .push(ctx.vars[*var as usize][pattern.flat(ctx.idx) * ctx.n_cells + ctx.cell]),
+            Op::LoadU1 => vm_stack.push(ctx.u1),
+            Op::LoadU2 => vm_stack.push(ctx.u2),
+            Op::LoadCoef { coef, pattern } => {
+                vm_stack.push(match &ctx.coefficients[*coef as usize].value {
+                    CoefficientValue::Scalar(v) => *v,
+                    CoefficientValue::Array(a) => a[pattern.flat(ctx.idx)],
+                    CoefficientValue::Function(_) => unreachable!(),
+                })
+            }
+            Op::LoadCoefFn { .. } | Op::LoadNormal(_) => return None,
+            Op::Add => binop(&mut vm_stack, |a, b| a + b),
+            Op::Mul => binop(&mut vm_stack, |a, b| a * b),
+            Op::Pow => binop(&mut vm_stack, f64::powf),
+            Op::Recip => {
+                let a = vm_stack.pop().unwrap();
+                vm_stack.push(1.0 / a);
+            }
+            Op::Call(f) => {
+                let a = vm_stack.pop().unwrap();
+                vm_stack.push(f.apply(a));
+            }
+            Op::Cmp(c) => binop(&mut vm_stack, |a, b| if c.apply(a, b) { 1.0 } else { 0.0 }),
+            Op::Select => {
+                let e = vm_stack.pop().unwrap();
+                let t = vm_stack.pop().unwrap();
+                let test = vm_stack.pop().unwrap();
+                vm_stack.push(if test != 0.0 { t } else { e });
+            }
+        }
+        match bop {
+            BoundOp::Const(v) => b_stack.push(*v),
+            BoundOp::Load { var, offset } => b_stack.push(vars[*var as usize][offset + cell]),
+            BoundOp::CoefFn(_) => return None,
+            BoundOp::Add => binop(&mut b_stack, |a, b| a + b),
+            BoundOp::Mul => binop(&mut b_stack, |a, b| a * b),
+            BoundOp::Pow => binop(&mut b_stack, f64::powf),
+            BoundOp::Recip => {
+                let a = b_stack.pop().unwrap();
+                b_stack.push(1.0 / a);
+            }
+            BoundOp::Call(f) => {
+                let a = b_stack.pop().unwrap();
+                b_stack.push(f.apply(a));
+            }
+            BoundOp::Cmp(c) => binop(&mut b_stack, |a, b| if c.apply(a, b) { 1.0 } else { 0.0 }),
+            BoundOp::Select => {
+                let e = b_stack.pop().unwrap();
+                let t = b_stack.pop().unwrap();
+                let test = b_stack.pop().unwrap();
+                b_stack.push(if test != 0.0 { t } else { e });
+            }
+        }
+        let (Some(v), Some(b)) = (vm_stack.last(), b_stack.last()) else {
+            return Some(pc);
+        };
+        if v.to_bits() != b.to_bits() {
+            return Some(pc);
+        }
+    }
+    None
+}
+
+/// Scalar-step the fused register stream for one cell and return the
+/// index of the first instruction whose result differs bitwise from the
+/// corresponding replay of the bound stream's intermediate values.
+//
+// The orientation branches look commutatively identical to clippy, but
+// operand order is exactly what this test exists to check bitwise.
+#[allow(clippy::if_same_then_else)]
+fn first_diverging_reg_op(
+    reg: &RegProgram,
+    bound_ops: &[BoundOp],
+    vars: &[&[f64]],
+    cell: usize,
+) -> Option<usize> {
+    let mut b_stack: Vec<f64> = Vec::new();
+    let mut bound_values: Vec<f64> = Vec::new();
+    for op in bound_ops {
+        match op {
+            BoundOp::Const(v) => b_stack.push(*v),
+            BoundOp::Load { var, offset } => b_stack.push(vars[*var as usize][offset + cell]),
+            BoundOp::CoefFn(_) => return None,
+            BoundOp::Add => {
+                let (b, a) = (b_stack.pop().unwrap(), b_stack.pop().unwrap());
+                b_stack.push(a + b);
+            }
+            BoundOp::Mul => {
+                let (b, a) = (b_stack.pop().unwrap(), b_stack.pop().unwrap());
+                b_stack.push(a * b);
+            }
+            BoundOp::Pow => {
+                let (b, a) = (b_stack.pop().unwrap(), b_stack.pop().unwrap());
+                b_stack.push(a.powf(b));
+            }
+            BoundOp::Recip => {
+                let a = b_stack.pop().unwrap();
+                b_stack.push(1.0 / a);
+            }
+            BoundOp::Call(f) => {
+                let a = b_stack.pop().unwrap();
+                b_stack.push(f.apply(a));
+            }
+            BoundOp::Cmp(c) => {
+                let (b, a) = (b_stack.pop().unwrap(), b_stack.pop().unwrap());
+                b_stack.push(if c.apply(a, b) { 1.0 } else { 0.0 });
+            }
+            BoundOp::Select => {
+                let e = b_stack.pop().unwrap();
+                let t = b_stack.pop().unwrap();
+                let test = b_stack.pop().unwrap();
+                b_stack.push(if test != 0.0 { t } else { e });
+            }
+        }
+        bound_values.push(*b_stack.last().unwrap());
+    }
+    let mut regs = vec![0.0f64; reg.n_regs()];
+    for (i, op) in reg.ops().iter().enumerate() {
+        let (dst, value) = match op {
+            RegOp::Const { dst, k } => (*dst, *k),
+            RegOp::Load { dst, var, offset } => (*dst, vars[*var as usize][offset + cell]),
+            RegOp::CoefFn { .. } => return None,
+            RegOp::Add { dst, a, b } => (*dst, regs[*a as usize] + regs[*b as usize]),
+            RegOp::Mul { dst, a, b } => (*dst, regs[*a as usize] * regs[*b as usize]),
+            RegOp::Pow { dst, a, b } => (*dst, regs[*a as usize].powf(regs[*b as usize])),
+            RegOp::Recip { dst, a } => (*dst, 1.0 / regs[*a as usize]),
+            RegOp::Call { dst, a, f } => (*dst, f.apply(regs[*a as usize])),
+            RegOp::Cmp { dst, a, b, op } => (
+                *dst,
+                if op.apply(regs[*a as usize], regs[*b as usize]) {
+                    1.0
+                } else {
+                    0.0
+                },
+            ),
+            RegOp::Select { dst, t, a, b } => (
+                *dst,
+                if regs[*t as usize] != 0.0 {
+                    regs[*a as usize]
+                } else {
+                    regs[*b as usize]
+                },
+            ),
+            RegOp::AddConst {
+                dst,
+                a,
+                k,
+                const_first,
+            } => (
+                *dst,
+                if *const_first {
+                    *k + regs[*a as usize]
+                } else {
+                    regs[*a as usize] + *k
+                },
+            ),
+            RegOp::MulConst {
+                dst,
+                a,
+                k,
+                const_first,
+            } => (
+                *dst,
+                if *const_first {
+                    *k * regs[*a as usize]
+                } else {
+                    regs[*a as usize] * *k
+                },
+            ),
+            RegOp::LoadMul {
+                dst,
+                a,
+                var,
+                offset,
+                load_first,
+            } => {
+                let load = vars[*var as usize][offset + cell];
+                (
+                    *dst,
+                    if *load_first {
+                        load * regs[*a as usize]
+                    } else {
+                        regs[*a as usize] * load
+                    },
+                )
+            }
+            RegOp::LoadMulConst {
+                dst,
+                var,
+                offset,
+                k,
+                const_first,
+            } => {
+                let load = vars[*var as usize][offset + cell];
+                (*dst, if *const_first { *k * load } else { load * *k })
+            }
+        };
+        if !bound_values.iter().any(|b| b.to_bits() == value.to_bits()) {
+            return Some(i);
+        }
+        regs[dst as usize] = value;
+    }
+    None
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // `flat` indexes three parallel structures
+fn all_tiers_agree_bitwise_with_the_symbolic_reference() {
+    let solver = fuzz_problem().build(ExecTarget::CpuSeq).unwrap();
+    let cp = &solver.compiled;
+    let registry = &cp.problem.registry;
+    let n_cells = cp.mesh().n_cells();
+    let dt = cp.problem.dt;
+    let time = 0.0;
+
+    let mut scalars: SubstitutionMap = SubstitutionMap::new();
+    scalars.insert("pi".into(), Expr::num(std::f64::consts::PI));
+    for c in &registry.coefficients {
+        if let CoefficientValue::Scalar(v) = c.value {
+            scalars.insert(c.name.clone(), Expr::num(v));
+        }
+    }
+    let slots: Vec<&str> = registry.variables[cp.system.unknown]
+        .indices
+        .iter()
+        .map(|&i| registry.indices[i].name.as_str())
+        .collect();
+    // The reference expression per flat, with indices and scalar
+    // coefficients substituted but otherwise *unsimplified* — the tree the
+    // compiler lowered, so its left-to-right evaluation is the bitwise
+    // spec.
+    let references: Vec<ExprRef> = (0..cp.n_flat)
+        .map(|flat| {
+            let idx_map: HashMap<String, i64> = slots
+                .iter()
+                .zip(&cp.idx_of_flat[flat])
+                .map(|(name, &v)| (name.to_string(), (v + 1) as i64))
+                .collect();
+            substitute(
+                &substitute_indices(&cp.system.volume_expr, &idx_map),
+                &scalars,
+            )
+        })
+        .collect();
+
+    let centroids: Vec<Point> = (0..n_cells).map(|_| Point::xy(0.5, 0.5)).collect();
+    let mut rng = Rng(0x5eed_cafe_f00d_0001);
+    for seed in 0..SEEDS {
+        // Random field contents, every variable, every dof.
+        let vars: Vec<Vec<f64>> = registry
+            .variables
+            .iter()
+            .map(|v| {
+                let flat_len = registry.flat_len(&v.indices);
+                (0..flat_len * n_cells).map(|_| rng.field_value()).collect()
+            })
+            .collect();
+        let var_slices: Vec<&[f64]> = vars.iter().map(|v| v.as_slice()).collect();
+
+        for flat in 0..cp.n_flat {
+            let idx = &cp.idx_of_flat[flat];
+            let bound = cp
+                .volume
+                .bind(idx, n_cells, dt, time, &registry.coefficients);
+            let reg = RegProgram::compile(&bound);
+            let mut row_out = vec![0.0f64; n_cells];
+            let mut scratch = vec![[0.0f64; ROW_CHUNK]; reg.n_regs()];
+            reg.eval_row(&var_slices, 0, &mut row_out, &centroids, time, &mut scratch);
+
+            for cell in 0..n_cells {
+                let vm_ctx = VmCtx {
+                    vars: &var_slices,
+                    n_cells,
+                    coefficients: &registry.coefficients,
+                    idx,
+                    cell,
+                    u1: 0.0,
+                    u2: 0.0,
+                    normal: [0.0; 3],
+                    position: centroids[cell],
+                    dt,
+                    time,
+                };
+                let vm_val = cp.volume.eval(&vm_ctx);
+                let bound_val = bound.eval(&var_slices, cell, centroids[cell], time);
+                let row_val = row_out[cell];
+                let ctx = FieldsCtx {
+                    registry,
+                    vars: &vars,
+                    n_cells,
+                    cell,
+                    dt,
+                    time,
+                };
+                let sym_val = pbte_symbolic::eval(&references[flat], &ctx).unwrap();
+
+                if vm_val.to_bits() != sym_val.to_bits() {
+                    panic!(
+                        "seed {seed}, flat {flat}, cell {cell}: vm {vm_val:e} != \
+                         symbolic reference {sym_val:e}"
+                    );
+                }
+                if bound_val.to_bits() != vm_val.to_bits() {
+                    let pc =
+                        first_diverging_pc(&cp.volume.ops, bound.ops(), &vm_ctx, &var_slices, cell);
+                    panic!(
+                        "seed {seed}, flat {flat}, cell {cell}: bound {bound_val:e} != \
+                         vm {vm_val:e}; first diverging instruction: {pc:?}"
+                    );
+                }
+                if row_val.to_bits() != bound_val.to_bits() {
+                    let pc = first_diverging_reg_op(&reg, bound.ops(), &var_slices, cell);
+                    panic!(
+                        "seed {seed}, flat {flat}, cell {cell}: row {row_val:e} != \
+                         bound {bound_val:e}; first diverging instruction: {pc:?}"
+                    );
+                }
+            }
+        }
+    }
+}

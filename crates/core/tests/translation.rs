@@ -1,0 +1,276 @@
+//! Negative-test seam for the translation validator and the interval
+//! safety pass, mirroring the verifier's seam tests: the shipped plans
+//! must prove clean on every target and tier (no false positives), and
+//! each deliberately broken lowering must produce exactly the diagnostic
+//! that seam exists to catch — a mis-fused register program (flipped
+//! orientation flag), a dropped IR term, and a zero-width
+//! relaxation-time range.
+
+use pbte_dsl::analysis::{self, rules};
+use pbte_dsl::bytecode::{RegOp, RegProgram};
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::ir::{self, IrNode};
+use pbte_dsl::problem::{KernelTier, Problem, StepContext};
+use pbte_dsl::{BoundaryCondition, GpuStrategy};
+use pbte_gpu::DeviceSpec;
+use pbte_mesh::grid::UniformGrid;
+
+const NDIRS: usize = 4;
+const NBANDS: usize = 3;
+
+/// The verifier seam's mini BTE problem, extended with the physical
+/// ranges the interval pass seeds from.
+fn declared_problem(n: usize, steps: usize) -> Problem {
+    let mut p = Problem::new("declared-mini-bte");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(n, n, 1.0, 1.0).build());
+    p.set_steps(0.01, steps);
+    let d = p.index("d", NDIRS);
+    let b = p.index("b", NBANDS);
+    let i_var = p.variable("I", &[d, b]);
+    let io = p.variable("Io", &[b]);
+    let beta = p.variable("beta", &[b]);
+    let t_var = p.variable("T", &[]);
+    p.coefficient_array("Sx", &[d], vec![1.0, 0.0, -1.0, 0.0]);
+    p.coefficient_array("Sy", &[d], vec![0.0, 1.0, 0.0, -1.0]);
+    p.coefficient_array("vg", &[b], vec![1.0, 0.7, 0.4]);
+    p.initial(i_var, |_, idx| 1.0 + 0.1 * idx[0] as f64);
+    p.initial(io, |_, _| 1.0);
+    p.initial(beta, |_, _| 0.5);
+    p.initial(t_var, |_, _| 1.0);
+    p.declare_range("I", 0.5, 2.0);
+    p.declare_range("Io", 0.5, 2.0);
+    p.declare_range("beta", 0.1, 1.0);
+    p.boundary(
+        i_var,
+        "left",
+        BoundaryCondition::callback_reading(&[], |q| 1.5 + 0.05 * q.idx[1] as f64),
+    );
+    p.boundary(i_var, "right", BoundaryCondition::Value(1.0));
+    for region in ["top", "bottom"] {
+        p.boundary(
+            i_var,
+            region,
+            BoundaryCondition::callback_reading(&["I"], |q| {
+                let r = match q.idx[0] {
+                    1 => 3,
+                    3 => 1,
+                    other => other,
+                };
+                let i_id = q.fields.var_id("I").unwrap();
+                q.fields.value(i_id, q.owner_cell, r * NBANDS + q.idx[1])
+            }),
+        );
+    }
+    p.post_step_declared(
+        "temperature",
+        &["I", "T"],
+        &["T", "Io", "beta"],
+        move |ctx: &mut StepContext| {
+            let n_cells = ctx.fields.n_cells;
+            for cell in 0..n_cells {
+                let mut e = 0.0;
+                for dd in 0..NDIRS {
+                    for bb in 0..NBANDS {
+                        e += ctx.fields.value(0, cell, dd * NBANDS + bb);
+                    }
+                }
+                let t = e / (NDIRS * NBANDS) as f64;
+                ctx.fields.set(3, cell, 0, t);
+                for bb in 0..NBANDS {
+                    ctx.fields.set(1, cell, bb, t);
+                    ctx.fields.set(2, cell, bb, 0.5 + 0.01 * t);
+                }
+            }
+        },
+    );
+    p.conservation_form(
+        i_var,
+        "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+    );
+    p
+}
+
+fn all_targets() -> Vec<ExecTarget> {
+    vec![
+        ExecTarget::CpuSeq,
+        ExecTarget::CpuParallel,
+        ExecTarget::DistCells { ranks: 3 },
+        ExecTarget::DistBands {
+            ranks: 3,
+            index: "b".into(),
+        },
+        ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+        ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::PrecomputeBoundary,
+        },
+        ExecTarget::DistBandsGpu {
+            ranks: 3,
+            index: "b".into(),
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+    ]
+}
+
+#[test]
+fn translation_and_intervals_prove_clean_on_every_target_and_tier() {
+    for target in all_targets() {
+        for tier in [KernelTier::Vm, KernelTier::Bound, KernelTier::Row] {
+            let mut p = declared_problem(6, 2);
+            p.kernel_tier(tier);
+            let solver = p.build(target.clone()).unwrap();
+            let mut diags = Vec::new();
+            analysis::check_translation(&solver.compiled, &solver.target, &mut diags);
+            analysis::check_intervals(&solver.compiled, &mut diags);
+            assert!(
+                diags.is_empty(),
+                "{target:?}/{tier:?} should prove clean, got: {:?}",
+                diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+/// Flip the orientation flag of the first fused instruction found —
+/// exactly the bug the raw (non-canonicalized) Bound ≡ Reg proof exists
+/// to catch, because the commuted product is *algebraically* equal.
+#[test]
+fn misfused_reg_program_fires_exactly_the_reg_rule() {
+    let solver = declared_problem(6, 2).build(ExecTarget::CpuSeq).unwrap();
+    let cp = &solver.compiled;
+    let bound = cp.volume.bind(
+        &cp.idx_of_flat[0],
+        cp.mesh().n_cells(),
+        cp.problem.dt,
+        0.0,
+        &cp.problem.registry.coefficients,
+    );
+    let reg = RegProgram::compile(&bound);
+    let mut ops = reg.ops().to_vec();
+    let flipped = ops.iter_mut().find_map(|op| match op {
+        RegOp::AddConst { const_first, .. }
+        | RegOp::MulConst { const_first, .. }
+        | RegOp::LoadMulConst { const_first, .. } => {
+            *const_first = !*const_first;
+            Some(())
+        }
+        RegOp::LoadMul { load_first, .. } => {
+            *load_first = !*load_first;
+            Some(())
+        }
+        _ => None,
+    });
+    assert!(
+        flipped.is_some(),
+        "expected the fused row program to contain at least one superinstruction"
+    );
+    let tampered = RegProgram::from_raw_parts(ops, reg.n_regs());
+
+    let mut clean = Vec::new();
+    analysis::check_reg_against_bound(&bound, &reg, "volume kernel (row, flat 0)", &mut clean);
+    assert!(clean.is_empty(), "untampered program must prove clean");
+
+    let mut diags = Vec::new();
+    analysis::check_reg_against_bound(&bound, &tampered, "volume kernel (row, flat 0)", &mut diags);
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one diagnostic, got: {:?}",
+        diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+    );
+    assert_eq!(diags[0].rule, rules::TRANSLATION_REG);
+}
+
+/// Replace the IR's source statement with one that dropped its terms; the
+/// parse-back proof must pinpoint the statement, and only it.
+#[test]
+fn dropped_ir_term_fires_exactly_the_ir_rule() {
+    fn tamper(node: &IrNode) -> IrNode {
+        match node {
+            IrNode::Stmt(s) if s.starts_with("source = ") => IrNode::Stmt("source = 0".into()),
+            IrNode::Block(b) => IrNode::Block(b.iter().map(tamper).collect()),
+            IrNode::TimeLoop(b) => IrNode::TimeLoop(b.iter().map(tamper).collect()),
+            IrNode::FaceLoop(b) => IrNode::FaceLoop(b.iter().map(tamper).collect()),
+            IrNode::Loop { dim, body } => IrNode::Loop {
+                dim: dim.clone(),
+                body: body.iter().map(tamper).collect(),
+            },
+            IrNode::Kernel {
+                name,
+                flattened,
+                body,
+            } => IrNode::Kernel {
+                name: name.clone(),
+                flattened: flattened.clone(),
+                body: body.iter().map(tamper).collect(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    let solver = declared_problem(6, 2).build(ExecTarget::CpuSeq).unwrap();
+    let cp = &solver.compiled;
+    let ir_root = ir::build_ir(cp, &solver.target);
+
+    let mut clean = Vec::new();
+    analysis::check_ir(cp, &ir_root, &mut clean);
+    assert!(clean.is_empty(), "untampered IR must prove clean");
+
+    let mut diags = Vec::new();
+    analysis::check_ir(cp, &tamper(&ir_root), &mut diags);
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one diagnostic, got: {:?}",
+        diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+    );
+    assert_eq!(diags[0].rule, rules::TRANSLATION_IR);
+}
+
+/// A relaxation-time entity declared with a zero-width range [0, 0] makes
+/// the kernel's `1/tau` a proven division by zero — and nothing else.
+#[test]
+fn zero_width_relaxation_range_fires_exactly_div_by_zero() {
+    let mut p = Problem::new("tau-mini");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(4, 4, 1.0, 1.0).build());
+    p.set_steps(1e-3, 2);
+    let d = p.index("d", NDIRS);
+    let b = p.index("b", NBANDS);
+    let i_var = p.variable("I", &[d, b]);
+    let io = p.variable("Io", &[b]);
+    let tau = p.variable("tau", &[b]);
+    p.coefficient_array("Sx", &[d], vec![1.0, 0.0, -1.0, 0.0]);
+    p.coefficient_array("Sy", &[d], vec![0.0, 1.0, 0.0, -1.0]);
+    p.coefficient_array("vg", &[b], vec![1.0, 0.7, 0.4]);
+    p.initial(i_var, |_, _| 1.0);
+    p.initial(io, |_, _| 1.0);
+    p.initial(tau, |_, _| 1.0);
+    p.boundary(i_var, "left", BoundaryCondition::Value(1.0));
+    p.boundary(i_var, "right", BoundaryCondition::Value(1.0));
+    p.boundary(i_var, "top", BoundaryCondition::Value(1.0));
+    p.boundary(i_var, "bottom", BoundaryCondition::Value(1.0));
+    p.conservation_form(
+        i_var,
+        "(Io[b] - I[d,b]) / tau[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+    );
+    p.declare_range("I", 0.5, 2.0);
+    p.declare_range("Io", 0.5, 2.0);
+    p.declare_range("tau", 0.0, 0.0);
+
+    let solver = p.build(ExecTarget::CpuSeq).unwrap();
+    let mut diags = Vec::new();
+    analysis::check_intervals(&solver.compiled, &mut diags);
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one diagnostic, got: {:?}",
+        diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+    );
+    assert_eq!(diags[0].rule, rules::INTERVAL_DIV_BY_ZERO);
+}

@@ -76,20 +76,38 @@ pub fn eval(e: &ExprRef, ctx: &dyn EvalContext) -> Result<f64, EvalError> {
                 .ok_or_else(|| EvalError::UnknownSymbol(name.clone()))
         }
         Expr::Add(terms) => {
-            let mut acc = 0.0;
-            for t in terms {
+            // Seed the accumulator from the first term so the fold matches
+            // the VM's left-to-right binary reduction bitwise (`0.0 + -0.0`
+            // is `+0.0`, not `-0.0`).
+            let mut it = terms.iter();
+            let mut acc = match it.next() {
+                Some(t) => eval(t, ctx)?,
+                None => 0.0,
+            };
+            for t in it {
                 acc += eval(t, ctx)?;
             }
             Ok(acc)
         }
         Expr::Mul(factors) => {
-            let mut acc = 1.0;
-            for f in factors {
+            let mut it = factors.iter();
+            let mut acc = match it.next() {
+                Some(f) => eval(f, ctx)?,
+                None => 1.0,
+            };
+            for f in it {
                 acc *= eval(f, ctx)?;
             }
             Ok(acc)
         }
-        Expr::Pow(b, x) => Ok(eval(b, ctx)?.powf(eval(x, ctx)?)),
+        Expr::Pow(b, x) => {
+            // `^-1` is how division normalizes; compute it as a reciprocal
+            // so the value matches the bytecode VM's `Recip` op bitwise.
+            if x.is_num(-1.0) {
+                return Ok(1.0 / eval(b, ctx)?);
+            }
+            Ok(eval(b, ctx)?.powf(eval(x, ctx)?))
+        }
         Expr::Call { name, args } => {
             let unary = |args: &[ExprRef]| -> Result<f64, EvalError> {
                 if args.len() != 1 {

@@ -24,6 +24,7 @@ pub mod diff;
 pub mod display;
 pub mod eval;
 pub mod expr;
+pub mod interval;
 pub mod lexer;
 pub mod parser;
 pub mod simplify;
@@ -32,6 +33,7 @@ pub mod subs;
 pub use diff::diff;
 pub use eval::{eval, EvalContext, EvalError};
 pub use expr::{CmpOp, Expr, ExprRef};
+pub use interval::{interval_eval, Interval, IntervalContext, IntervalError, IntervalEvalError};
 pub use parser::{parse, ParseError};
-pub use simplify::simplify;
+pub use simplify::{canonical_eq, simplify};
 pub use subs::{substitute, substitute_indices, SubstitutionMap};

@@ -269,6 +269,16 @@ pub fn expand(e: &ExprRef) -> ExprRef {
     }
 }
 
+/// Canonical structural equality: both sides are expanded to simplified
+/// sum-of-products form and compared structurally. Because [`simplify`]
+/// orders operands canonically, this equality is insensitive to operand
+/// order and associativity — use a raw [`Expr::structurally_eq`] instead
+/// when operand order itself is the property under test (e.g. bitwise
+/// reproducibility proofs).
+pub fn canonical_eq(a: &ExprRef, b: &ExprRef) -> bool {
+    expand(a).structurally_eq(&expand(b))
+}
+
 fn expand_node(e: ExprRef) -> ExprRef {
     let factors = match e.as_ref() {
         Expr::Mul(f) => f,
@@ -304,6 +314,15 @@ fn expand_node(e: ExprRef) -> ExprRef {
 mod tests {
     use super::*;
     use crate::parser::parse;
+
+    #[test]
+    fn canonical_eq_ignores_order_and_associativity() {
+        let a = parse("x*(y+z)").unwrap();
+        let b = parse("z*x + x*y").unwrap();
+        assert!(canonical_eq(&a, &b));
+        assert!(!a.structurally_eq(&b));
+        assert!(!canonical_eq(&a, &parse("x*y + x*z + 1").unwrap()));
+    }
 
     fn s(src: &str) -> ExprRef {
         simplify(&parse(src).unwrap())
