@@ -6,7 +6,8 @@
 //! ```text
 //! pbte-trace [scenario=hotspot|elongated] [target=seq|par|cells|bands|
 //!            gpu:async|gpu:precompute|bands-gpu] [n=12] [steps=3]
-//!            [ranks=2] [strategy=redundant|divided] [out=DIR]
+//!            [ranks=2] [strategy=redundant|divided]
+//!            [tier=vm|bound|row|native] [out=DIR]
 //!            [--no-health] [--parity]
 //! ```
 //!
@@ -32,6 +33,14 @@
 //!   (faces are not partitioned), so their total inflates by the rank
 //!   count and is reported but not asserted.
 //!
+//! * kernel-span **tier attribution**: every `Kernel` span a target
+//!   records must carry one uniform `tier` attribute, and the CPU-lineage
+//!   targets (par, cells, bands) must attribute the same tier as seq —
+//!   with `tier=native`, that proves the AOT kernels (or their documented
+//!   row fallback) actually ran everywhere. GPU targets route non-row
+//!   tiers through the device VM path, so their attribution is reported
+//!   but only checked for internal uniformity.
+//!
 //! Any violated assertion prints a `PARITY MISMATCH` line and the exit
 //! status is 1.
 
@@ -40,8 +49,10 @@ use pbte_bte::health::HealthProbes;
 use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
 use pbte_bte::temperature::TemperatureStrategy;
 use pbte_dsl::exec::{Recorder, SolveReport};
+use pbte_dsl::problem::KernelTier;
 use pbte_dsl::{ExecTarget, GpuStrategy, Solver, WorkCounters};
 use pbte_gpu::DeviceSpec;
+use pbte_runtime::telemetry::SpanKind;
 
 type Scenario = fn(&BteConfig) -> BteProblem;
 
@@ -86,10 +97,14 @@ fn run_one(
     scenario: Scenario,
     cfg: &BteConfig,
     target: ExecTarget,
+    tier: Option<KernelTier>,
     health: bool,
     rec: &mut Recorder,
 ) -> (SolveReport, Vec<pbte_dsl::Diagnostic>) {
     let mut bte = scenario(cfg);
+    if let Some(t) = tier {
+        bte.problem.kernel_tier(t);
+    }
     let monitor = health.then(|| {
         // After the temperature update (already registered by the
         // scenario builder) so the probes see the fresh T/Io/beta.
@@ -205,11 +220,30 @@ fn expectations(
     ex
 }
 
+/// Distinct `tier` attribute values across a recording's `Kernel` spans.
+fn kernel_tiers(rec: &Recorder) -> Vec<String> {
+    let mut tiers: Vec<String> = rec
+        .spans()
+        .iter()
+        .filter(|s| matches!(s.kind, SpanKind::Kernel))
+        .filter_map(|s| {
+            s.attrs
+                .iter()
+                .find(|(k, _)| *k == "tier")
+                .map(|(_, v)| v.clone())
+        })
+        .collect();
+    tiers.sort();
+    tiers.dedup();
+    tiers
+}
+
 fn run_parity(
     scenario: Scenario,
     cfg: &BteConfig,
     ranks: usize,
     strategy: TemperatureStrategy,
+    tier: Option<KernelTier>,
 ) -> bool {
     let names: [&'static str; 7] = [
         "seq",
@@ -220,17 +254,25 @@ fn run_parity(
         "gpu:precompute",
         "bands-gpu",
     ];
-    let mut rec = Recorder::null();
-    let (seq_report, _) = run_one(scenario, cfg, ExecTarget::CpuSeq, false, &mut rec);
+    let mut rec = Recorder::buffered();
+    let (seq_report, _) = run_one(scenario, cfg, ExecTarget::CpuSeq, tier, false, &mut rec);
     print_report("seq", &seq_report);
     let seq = seq_report.work;
+    let seq_tiers = kernel_tiers(&rec);
+    println!("  kernel tier attribution: {seq_tiers:?}");
 
     let mut ok = true;
+    if seq_tiers.len() != 1 {
+        println!("PARITY MISMATCH: seq kernel spans attribute mixed tiers {seq_tiers:?}");
+        ok = false;
+    }
     for tname in names.into_iter().skip(1) {
         let target = target_by_name(tname, ranks).unwrap();
-        let mut rec = Recorder::null();
-        let (report, _) = run_one(scenario, cfg, target, false, &mut rec);
+        let mut rec = Recorder::buffered();
+        let (report, _) = run_one(scenario, cfg, target, tier, false, &mut rec);
         print_report(tname, &report);
+        let tiers = kernel_tiers(&rec);
+        println!("  kernel tier attribution: {tiers:?}");
         for e in expectations(tname, &seq, &report.work, ranks as u64, strategy) {
             if e.actual != e.expected {
                 println!(
@@ -239,6 +281,20 @@ fn run_parity(
                 );
                 ok = false;
             }
+        }
+        // Every target's kernel spans must attribute one tier uniformly;
+        // the CPU-lineage targets must attribute the same tier as seq
+        // (GPU targets route non-row tiers through the device VM path,
+        // so only their uniformity is asserted).
+        if tiers.len() > 1 {
+            println!("PARITY MISMATCH: {tname} kernel spans attribute mixed tiers {tiers:?}");
+            ok = false;
+        }
+        if matches!(tname, "par" | "cells" | "bands") && tiers != seq_tiers {
+            println!(
+                "PARITY MISMATCH: {tname} kernel tier attribution {tiers:?} != seq {seq_tiers:?}"
+            );
+            ok = false;
         }
     }
     ok
@@ -258,6 +314,17 @@ fn main() {
         "divided" => TemperatureStrategy::DividedNewton,
         _ => TemperatureStrategy::RedundantNewton,
     };
+    let tier = match arg_str(&args, "tier", "") {
+        "" => None,
+        "vm" => Some(KernelTier::Vm),
+        "bound" => Some(KernelTier::Bound),
+        "row" => Some(KernelTier::Row),
+        "native" => Some(KernelTier::Native),
+        other => {
+            eprintln!("unknown tier `{other}` (use vm, bound, row or native)");
+            std::process::exit(2);
+        }
+    };
 
     let Some(scenario) = scenario_by_name(sname) else {
         eprintln!("unknown scenario `{sname}` (use hotspot or elongated)");
@@ -267,7 +334,7 @@ fn main() {
 
     if parity {
         println!("parity check: scenario={sname} n={n} steps={steps} ranks={ranks}");
-        if run_parity(scenario, &cfg, ranks, strategy) {
+        if run_parity(scenario, &cfg, ranks, strategy, tier) {
             println!("parity OK: all targets agree");
         } else {
             std::process::exit(1);
@@ -284,8 +351,9 @@ fn main() {
     };
 
     let mut rec = Recorder::buffered();
-    let (report, diags) = run_one(scenario, &cfg, target, health, &mut rec);
+    let (report, diags) = run_one(scenario, &cfg, target, tier, health, &mut rec);
     print_report(tname, &report);
+    println!("  kernel tier attribution: {:?}", kernel_tiers(&rec));
     println!(
         "trace: {} span(s), {} event(s), {} step record(s)",
         rec.spans().len(),

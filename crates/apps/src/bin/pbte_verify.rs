@@ -116,6 +116,7 @@ fn main() {
         ("vm", KernelTier::Vm),
         ("bound", KernelTier::Bound),
         ("row", KernelTier::Row),
+        ("native", KernelTier::Native),
     ];
 
     // Each diagnostic is paired with the plan it came from so both output

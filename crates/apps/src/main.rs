@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! pbte hotspot   [n=48] [steps=2000] [dirs=8] [bands=10] [target=par] [strategy=redundant]
-//! pbte elongated [n=24] [steps=3000] [target=par]
+//!                [tier=row] [dt=auto|<seconds>]
+//! pbte elongated [n=24] [steps=3000] [target=par] [tier=row] [dt=auto|<seconds>]
 //! pbte bte3d     [n=8]  [steps=400]
 //! pbte codegen   [target=seq|par|gpu|cells:<ranks>|bands:<ranks>]
 //! pbte info
@@ -14,14 +15,23 @@
 //! `strategy` values (2-D scenarios, effective under `bands:<r>`):
 //! `redundant` (every rank solves all cells, the paper's behaviour) or
 //! `divided` (per-rank cell slices plus a second T-allreduce).
+//! `tier` values: `vm`, `bound`, `row`, `native` (AOT-compiled plan
+//! kernels; falls back to `row` with a diagnostic when `rustc` is
+//! unavailable).
+//! `dt`: a literal step in seconds, or `auto` to clamp the step to the
+//! interval pass's advective bound (the scenario's conservative
+//! scattering-limited default stays in effect when the key is absent,
+//! preserving paper parity).
 
 use pbte_apps::arg_usize;
 use pbte_bte::output::{render_ascii, summary, temperature_grid};
-use pbte_bte::scenario::{coarse_3d, elongated, hotspot_2d, BteConfig};
+use pbte_bte::scenario::{coarse_3d, elongated, hotspot_2d, BteConfig, BteProblem};
 use pbte_bte::temperature::TemperatureStrategy;
-use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::exec::{ExecTarget, Solver};
+use pbte_dsl::problem::KernelTier;
 use pbte_dsl::GpuStrategy;
 use pbte_gpu::DeviceSpec;
+use pbte_runtime::telemetry::Recorder;
 
 fn parse_target(args: &[String]) -> ExecTarget {
     let spec = args
@@ -68,6 +78,51 @@ fn parse_strategy(args: &[String]) -> TemperatureStrategy {
     }
 }
 
+fn parse_tier(args: &[String]) -> Option<KernelTier> {
+    match args.iter().find_map(|a| a.strip_prefix("tier="))? {
+        "vm" => Some(KernelTier::Vm),
+        "bound" => Some(KernelTier::Bound),
+        "row" => Some(KernelTier::Row),
+        "native" => Some(KernelTier::Native),
+        other => {
+            eprintln!("unknown tier `{other}`; using the plan default");
+            None
+        }
+    }
+}
+
+/// Resolve the `dt=` key. A literal value is used verbatim; `auto`
+/// probe-compiles the scenario at its default step and clamps the step to
+/// the interval pass's advective bound (`dt ≤ width_min / vmax`). Returns
+/// the clamp notice when `auto` changed the step, so the caller can emit
+/// it as a telemetry event alongside the solve.
+fn apply_dt(
+    args: &[String],
+    cfg: &mut BteConfig,
+    build: impl Fn(&BteConfig) -> BteProblem,
+) -> Option<String> {
+    let spec = args.iter().find_map(|a| a.strip_prefix("dt="))?;
+    if spec != "auto" {
+        cfg.dt = Some(spec.parse().expect("dt=<seconds>|auto"));
+        return None;
+    }
+    let probe = build(cfg);
+    let default_dt = probe.problem.dt;
+    let solver = Solver::build(probe.problem, ExecTarget::CpuSeq).expect("probe compiles");
+    let bound = pbte_dsl::analysis::cfl_bound(&solver.compiled)
+        .expect("advective scenario derives a CFL bound");
+    let dt_max = bound.dt_max();
+    cfg.dt = Some(dt_max);
+    (dt_max != default_dt).then(|| {
+        format!(
+            "dt=auto clamped the step to the advective bound: {dt_max:.3e} s \
+             (scenario default {default_dt:.3e} s, vmax {:.3e} m/s, \
+             min effective width {:.3e} m)",
+            bound.vmax, bound.width_min
+        )
+    })
+}
+
 fn cfg_from(args: &[String], default_n: usize, default_steps: usize) -> BteConfig {
     let n = arg_usize(args, "n", default_n);
     let steps = arg_usize(args, "steps", default_steps);
@@ -79,11 +134,32 @@ fn cfg_from(args: &[String], default_n: usize, default_steps: usize) -> BteConfi
     cfg
 }
 
-fn run_2d(bte: pbte_bte::scenario::BteProblem, target: ExecTarget, nx: usize, ny: usize) {
+fn run_2d(
+    mut bte: BteProblem,
+    args: &[String],
+    target: ExecTarget,
+    nx: usize,
+    ny: usize,
+    dt_note: Option<String>,
+) {
+    if let Some(tier) = parse_tier(args) {
+        bte.problem.kernel_tier(tier);
+    }
     let vars = bte.vars;
     let mut solver = bte.solver(target).expect("valid scenario");
+    // A dt=auto clamp is observable two ways: a printed notice and a
+    // warning event on the solve's telemetry timeline.
+    let mut rec = match &dt_note {
+        Some(note) => {
+            println!("{note}");
+            let mut r = Recorder::buffered();
+            r.warn("dt/auto-clamp", note.clone());
+            r
+        }
+        None => Recorder::null(),
+    };
     let start = std::time::Instant::now();
-    let report = solver.solve().expect("solve succeeds");
+    let report = solver.solve_traced(&mut rec).expect("solve succeeds");
     let wall = start.elapsed().as_secs_f64();
     let grid = temperature_grid(solver.fields(), vars.t, nx, ny);
     println!("{}", render_ascii(&grid, nx));
@@ -111,22 +187,24 @@ fn main() {
 
     match command {
         "hotspot" => {
-            let cfg = cfg_from(rest, 48, 2000);
+            let mut cfg = cfg_from(rest, 48, 2000);
+            let dt_note = apply_dt(rest, &mut cfg, hotspot_2d);
             let (nx, ny) = (cfg.nx, cfg.ny);
             println!(
                 "hot-spot scenario: {nx}x{ny} cells, {} dof/cell, {} steps",
                 cfg.dof().0,
                 cfg.n_steps
             );
-            run_2d(hotspot_2d(&cfg), parse_target(rest), nx, ny);
+            run_2d(hotspot_2d(&cfg), rest, parse_target(rest), nx, ny, dt_note);
         }
         "elongated" => {
             let mut cfg = cfg_from(rest, 24, 3000);
             cfg.nx = 3 * cfg.ny;
             cfg.lx = 3.0 * cfg.ly;
+            let dt_note = apply_dt(rest, &mut cfg, elongated);
             let (nx, ny) = (cfg.nx, cfg.ny);
             println!("elongated scenario: {nx}x{ny} cells, {} steps", cfg.n_steps);
-            run_2d(elongated(&cfg), parse_target(rest), nx, ny);
+            run_2d(elongated(&cfg), rest, parse_target(rest), nx, ny, dt_note);
         }
         "bte3d" => {
             let n = arg_usize(rest, "n", 8);
@@ -190,9 +268,11 @@ fn main() {
         _ => {
             println!(
                 "usage: pbte <hotspot|elongated|bte3d|codegen|info> [key=value ...]\n\
-                 keys: n, steps, dirs, bands, target, strategy\n\
+                 keys: n, steps, dirs, bands, target, strategy, tier, dt\n\
                  targets: seq | par | gpu | cells:<ranks> | bands:<ranks>\n\
-                 strategies (temperature Newton under bands:<ranks>): redundant | divided"
+                 strategies (temperature Newton under bands:<ranks>): redundant | divided\n\
+                 tiers: vm | bound | row | native (AOT; falls back to row without rustc)\n\
+                 dt: <seconds> | auto (clamp to the interval pass's advective bound)"
             );
         }
     }

@@ -1,5 +1,5 @@
-//! Interpreter-vs-row-kernel throughput on the fig-4 hot-spot scenario,
-//! recorded to `BENCH_intensity.json` at the repository root.
+//! Interpreter-vs-compiled-kernel throughput on the fig-4 hot-spot
+//! scenario, recorded to `BENCH_intensity.json` at the repository root.
 //!
 //! Times one full intensity-phase RHS evaluation (source + flux for every
 //! (cell, flat) pair) per tier:
@@ -8,12 +8,40 @@
 //! * `bound_rebind` — per-flat bound programs re-bound every call (the
 //!   pre-PR-2 default path, the "interpreter" baseline);
 //! * `bound_cached` — bound programs cached across calls;
-//! * `row` — the fused, batched row kernel.
+//! * `row` — the fused, batched row kernel;
+//! * `native` — the AOT tier: the row programs lowered to Rust source,
+//!   compiled out-of-process by `rustc`, and loaded as a `cdylib`. The
+//!   entry is skipped (with a note) when the tier falls back — e.g. no
+//!   `rustc` on `PATH` — so the bench still completes on minimal hosts.
+//!
+//! Sampling is interleaved round-robin across the tiers (rep-major, tier
+//! -minor) rather than one tier at a time: with per-tier blocks, slow
+//! drift over the run — frequency scaling, competing load — lands
+//! entirely on whichever tiers run later and can invert close pairs
+//! (`bound_cached` was once recorded slower than `bound_rebind` this
+//! way; see EXPERIMENTS.md). Interleaving spreads drift evenly.
+//!
+//! Set `INTENSITY_BENCH_QUICK=1` (CI short mode) to shrink the scenario
+//! and the sample count so the run finishes in a few seconds.
 
 use pbte_bte::scenario::{hotspot_2d, BteConfig};
-use pbte_dsl::exec::CompiledProblem;
+use pbte_dsl::entities::Fields;
+use pbte_dsl::exec::{CompiledProblem, IntensityBench};
 use pbte_dsl::KernelTier;
 use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("INTENSITY_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+struct Lane<'a> {
+    name: &'static str,
+    bench: IntensityBench<'a>,
+    fields: &'a Fields,
+    rhs: Vec<f64>,
+    samples: Vec<f64>,
+    n_dof: f64,
+}
 
 struct TierResult {
     name: &'static str,
@@ -21,67 +49,106 @@ struct TierResult {
     mean_ns_per_dof: f64,
 }
 
-fn time_tier(
-    cfg: &BteConfig,
-    tier: KernelTier,
-    rebind_per_step: bool,
-    name: &'static str,
-    reps: usize,
-) -> TierResult {
-    let mut bte = hotspot_2d(cfg);
-    bte.problem.rebind_per_step(rebind_per_step);
-    let (cp, fields) = CompiledProblem::compile(bte.problem).expect("compiles");
-    let n_dof = (cp.n_flat * fields.n_cells) as f64;
-    let mut bench = cp.intensity_bench(&fields, tier);
-    assert_eq!(bench.tier(), tier, "tier clamped unexpectedly");
-    let mut rhs = vec![0.0; cp.n_flat * fields.n_cells];
-    for _ in 0..2 {
-        bench.run(&fields, &mut rhs);
-    }
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        bench.run(&fields, &mut rhs);
-        samples.push(t0.elapsed().as_secs_f64() * 1e9 / n_dof);
-    }
-    std::hint::black_box(&rhs);
-    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    println!("{name:<14} {min:>9.2} ns/dof (min)  {mean:>9.2} ns/dof (mean)");
-    TierResult {
-        name,
-        min_ns_per_dof: min,
-        mean_ns_per_dof: mean,
-    }
-}
-
 fn main() {
-    let cfg = BteConfig::small(48, 12, 8, 1);
+    let cfg = if quick() {
+        BteConfig::small(12, 6, 4, 1)
+    } else {
+        BteConfig::small(48, 12, 8, 1)
+    };
     let n_cells = cfg.nx * cfg.ny;
     let n_flat = cfg.ndirs * cfg.n_freq_bands;
     println!(
         "intensity phase, fig-4 hot spot: {n_cells} cells x {n_flat} flats = {} dof",
         n_cells * n_flat
     );
-    let reps = 15;
-    let results = [
-        time_tier(&cfg, KernelTier::Vm, true, "vm", reps),
-        time_tier(&cfg, KernelTier::Bound, true, "bound_rebind", reps),
-        time_tier(&cfg, KernelTier::Bound, false, "bound_cached", reps),
-        time_tier(&cfg, KernelTier::Row, false, "row", reps),
+    let reps = if quick() { 5 } else { 30 };
+
+    let specs: [(&'static str, KernelTier, bool); 5] = [
+        ("vm", KernelTier::Vm, true),
+        ("bound_rebind", KernelTier::Bound, true),
+        ("bound_cached", KernelTier::Bound, false),
+        ("row", KernelTier::Row, false),
+        ("native", KernelTier::Native, false),
     ];
-    let interp = results
+    let compiled: Vec<(&'static str, KernelTier, CompiledProblem, Fields)> = specs
         .iter()
-        .find(|r| r.name == "bound_rebind")
-        .unwrap()
-        .min_ns_per_dof;
-    let row = results
+        .map(|&(name, tier, rebind)| {
+            let mut bte = hotspot_2d(&cfg);
+            bte.problem.rebind_per_step(rebind);
+            let (cp, fields) = CompiledProblem::compile(bte.problem).expect("compiles");
+            (name, tier, cp, fields)
+        })
+        .collect();
+
+    let mut lanes: Vec<Lane> = Vec::new();
+    for (name, tier, cp, fields) in &compiled {
+        let mut bench = cp.intensity_bench(fields, *tier);
+        if bench.tier() != *tier {
+            // Only the native tier degrades by design; anything else
+            // clamping here is a bench misconfiguration.
+            assert_eq!(*tier, KernelTier::Native, "tier clamped unexpectedly");
+            let why = bench
+                .native_fallback()
+                .map(|d| d.render())
+                .unwrap_or_else(|| "no diagnostic recorded".into());
+            println!("{name:<14} skipped ({why})");
+            continue;
+        }
+        let mut rhs = vec![0.0; cp.n_flat * fields.n_cells];
+        for _ in 0..2 {
+            bench.run(fields, &mut rhs);
+        }
+        lanes.push(Lane {
+            name,
+            bench,
+            fields,
+            rhs,
+            samples: Vec::with_capacity(reps),
+            n_dof: (cp.n_flat * fields.n_cells) as f64,
+        });
+    }
+
+    for _ in 0..reps {
+        for lane in &mut lanes {
+            let t0 = Instant::now();
+            lane.bench.run(lane.fields, &mut lane.rhs);
+            lane.samples
+                .push(t0.elapsed().as_secs_f64() * 1e9 / lane.n_dof);
+        }
+    }
+
+    let results: Vec<TierResult> = lanes
         .iter()
-        .find(|r| r.name == "row")
-        .unwrap()
-        .min_ns_per_dof;
+        .map(|lane| {
+            std::hint::black_box(&lane.rhs);
+            let min = lane.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mean = lane.samples.iter().sum::<f64>() / lane.samples.len() as f64;
+            println!(
+                "{:<14} {min:>9.2} ns/dof (min)  {mean:>9.2} ns/dof (mean)",
+                lane.name
+            );
+            TierResult {
+                name: lane.name,
+                min_ns_per_dof: min,
+                mean_ns_per_dof: mean,
+            }
+        })
+        .collect();
+
+    let min_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns_per_dof)
+    };
+    let interp = min_of("bound_rebind").unwrap();
+    let row = min_of("row").unwrap();
     let speedup = interp / row;
     println!("row-kernel speedup over interpreter path: {speedup:.2}x");
+    let native_speedup = min_of("native").map(|native| row / native);
+    if let Some(s) = native_speedup {
+        println!("native-tier speedup over row kernel: {s:.2}x");
+    }
 
     let tiers: Vec<String> = results
         .iter()
@@ -92,15 +159,19 @@ fn main() {
             )
         })
         .collect();
+    let native_key = native_speedup
+        .map(|s| format!(",\n  \"speedup_native_over_row\": {s:.3}"))
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"scenario\": \"fig4_hotspot_2d\",\n  \"nx\": {}, \"ny\": {}, \"ndirs\": {}, \"nbands\": {},\n  \"n_dof\": {},\n  \"tiers\": {{\n{}\n  }},\n  \"speedup_row_over_interpreter\": {:.3}\n}}\n",
+        "{{\n  \"scenario\": \"fig4_hotspot_2d\",\n  \"nx\": {}, \"ny\": {}, \"ndirs\": {}, \"nbands\": {},\n  \"n_dof\": {},\n  \"tiers\": {{\n{}\n  }},\n  \"speedup_row_over_interpreter\": {:.3}{}\n}}\n",
         cfg.nx,
         cfg.ny,
         cfg.ndirs,
         cfg.n_freq_bands,
         n_cells * n_flat,
         tiers.join(",\n"),
-        speedup
+        speedup,
+        native_key
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_intensity.json");
     std::fs::write(path, json).expect("write BENCH_intensity.json");

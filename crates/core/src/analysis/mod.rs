@@ -57,7 +57,10 @@ mod validate;
 pub use intervals::{cfl_bound, check_intervals, CflBound};
 pub use races::{check_disjoint_writes, check_divided_slices, WriteRegion};
 pub use transfers::check_schedule;
-pub use validate::{check_bound, check_ir, check_reg_against_bound, check_translation, check_vm};
+pub use validate::{
+    check_bound, check_ir, check_native_against_bound, check_reg_against_bound, check_translation,
+    check_vm,
+};
 
 use crate::exec::{CompiledProblem, ExecTarget};
 use crate::problem::GpuStrategy;
@@ -101,6 +104,13 @@ pub mod rules {
     /// Register allocation / peephole fusion diverged from the bound
     /// program.
     pub const TRANSLATION_REG: &str = "translation/reg-mismatch";
+    /// The native tier's emitted expression tree diverged from the bound
+    /// program (checked by abstract execution before `rustc` ever runs).
+    pub const TRANSLATION_NATIVE: &str = "translation/native-mismatch";
+    /// The native tier could not be prepared (missing `rustc`, failed
+    /// compilation, or an ineligible plan); execution fell back to the
+    /// row tier.
+    pub const NATIVE_FALLBACK: &str = "native/fallback";
     /// A reciprocal (or negative power) is taken of an interval that
     /// contains zero.
     pub const INTERVAL_DIV_BY_ZERO: &str = "intervals/div-by-zero";

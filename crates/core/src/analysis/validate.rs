@@ -32,11 +32,20 @@
 //!   `k * load` back to `load * k` and mask exactly the orientation bugs
 //!   this proof exists to catch (operand order decides NaN-payload
 //!   propagation, so the tiers promise bitwise-equal results).
+//! * **Bound ≡ Native** ([`check_native_against_bound`]): the statement
+//!   list the native tier's emitter renders to Rust source
+//!   ([`crate::nativegen::lower_stmts`] — the exact tree that reaches
+//!   `rustc`) is abstractly executed over symbolic registers and its
+//!   final value compared raw-structurally against the bound execution,
+//!   with the same orientation-preserving rationale as the row proof.
+//!   The native tier also runs this check itself before compiling
+//!   anything, so a corrupted emission is rejected, never executed.
 //!
 //! Failures are structured [`Diagnostic`]s with stable rule ids
 //! (`translation/ir-mismatch`, `translation/vm-mismatch`,
-//! `translation/bound-mismatch`, `translation/reg-mismatch`) pinpointing
-//! the tier and, where an instruction stream exists, the instruction.
+//! `translation/bound-mismatch`, `translation/reg-mismatch`,
+//! `translation/native-mismatch`) pinpointing the tier and, where an
+//! instruction stream exists, the instruction.
 
 use super::{rules, Diagnostic, Severity};
 use crate::bytecode::{BoundOp, BoundProgram, Op, Program, RegOp, RegProgram};
@@ -55,6 +64,7 @@ pub fn check_translation(cp: &CompiledProblem, target: &ExecTarget, out: &mut Ve
     check_vm(cp, out);
     check_bound(cp, out);
     check_reg(cp, out);
+    check_native(cp, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -768,6 +778,158 @@ fn reg_mismatch(location: &str, message: String) -> Diagnostic {
     Diagnostic {
         severity: Severity::Error,
         rule: rules::TRANSLATION_REG,
+        entity: String::new(),
+        location: location.to_string(),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bound ≡ Native
+// ---------------------------------------------------------------------------
+
+/// Prove every native-tier statement list agrees with the bound program
+/// it was lowered from. Skipped silently when the lowering itself refuses
+/// the plan (function coefficients) — the native tier then falls back and
+/// there is no emission to validate.
+fn check_native(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    let n_cells = cp.mesh().n_cells();
+    for flat in 0..cp.n_flat {
+        let bound = cp.volume.bind(
+            &cp.idx_of_flat[flat],
+            n_cells,
+            cp.problem.dt,
+            0.0,
+            &cp.problem.registry.coefficients,
+        );
+        let reg = RegProgram::compile(&bound);
+        let location = format!("volume kernel (native, flat {flat})");
+        let before = out.len();
+        check_native_against_bound(&bound, &reg, &location, out);
+        if out.len() > before {
+            break;
+        }
+    }
+}
+
+/// Prove the native tier's emitted expression tree — the statement list
+/// [`crate::nativegen::lower_stmts`] produces, which is exactly what the
+/// text renderer prints and `rustc` compiles — raw-structurally equal to
+/// the bound program. Public so negative tests can seed a tampered
+/// `RegProgram` (via `RegProgram::from_raw_parts`) and prove the check
+/// rejects a corrupted emission before it could reach the compiler.
+pub fn check_native_against_bound(
+    bound: &BoundProgram,
+    reg: &RegProgram,
+    location: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    use crate::nativegen::{lower_stmts, NExpr, NOperand, NStmt};
+
+    // Lowering refusal = ineligible plan, not a mismatch.
+    let Ok(stmts) = lower_stmts(reg) else { return };
+
+    let mut coef_fns = 0usize;
+    let mut stack: Vec<ExprRef> = Vec::new();
+    for (pc, op) in bound.ops().iter().enumerate() {
+        if let Err(msg) = bound_step(op, &mut stack, &mut coef_fns) {
+            out.push(native_mismatch(&format!("{location}, bound op {pc}"), msg));
+            return;
+        }
+    }
+    let Some(bound_final) = stack.pop() else {
+        out.push(native_mismatch(location, "empty bound program".into()));
+        return;
+    };
+
+    let n_regs = stmts.iter().map(|s| s.dst as usize + 1).max().unwrap_or(1);
+    let mut regs: Vec<Option<ExprRef>> = vec![None; n_regs];
+    let operand = |regs: &[Option<ExprRef>], o: &NOperand| -> Result<ExprRef, String> {
+        match o {
+            NOperand::Reg(r) => regs
+                .get(*r as usize)
+                .cloned()
+                .flatten()
+                .ok_or_else(|| format!("register r{r} read before definition")),
+            NOperand::K(k) => Ok(Expr::num(*k)),
+            NOperand::Load { var, offset } => Ok(load_sym(*var, *offset)),
+        }
+    };
+    let mut produced: Vec<ExprRef> = Vec::with_capacity(stmts.len());
+    for (pc, NStmt { dst, expr }) in stmts.iter().enumerate() {
+        let value = (|| -> Result<ExprRef, String> {
+            Ok(match expr {
+                NExpr::Copy(a) => operand(&regs, a)?,
+                NExpr::Add(a, b) => Expr::add(vec![operand(&regs, a)?, operand(&regs, b)?]),
+                NExpr::Mul(a, b) => Expr::mul(vec![operand(&regs, a)?, operand(&regs, b)?]),
+                NExpr::Pow(a, b) => Expr::pow(operand(&regs, a)?, operand(&regs, b)?),
+                NExpr::Recip(a) => Expr::pow(operand(&regs, a)?, Expr::num(-1.0)),
+                NExpr::Call(f, a) => Expr::call(f.name(), vec![operand(&regs, a)?]),
+                NExpr::Cmp(op, a, b) => Expr::cmp(*op, operand(&regs, a)?, operand(&regs, b)?),
+                NExpr::Select(t, a, b) => {
+                    Expr::conditional(operand(&regs, t)?, operand(&regs, a)?, operand(&regs, b)?)
+                }
+            })
+        })();
+        match value {
+            Ok(v) => {
+                regs[*dst as usize] = Some(v.clone());
+                produced.push(v);
+            }
+            Err(msg) => {
+                out.push(native_mismatch(&format!("{location}, stmt {pc}"), msg));
+                return;
+            }
+        }
+    }
+    let Some(Some(native_final)) = regs.first().cloned() else {
+        out.push(native_mismatch(
+            location,
+            "emitted statements never write r0".into(),
+        ));
+        return;
+    };
+    if native_final.structurally_eq(&bound_final) {
+        return;
+    }
+    // Pinpoint: the first emitted statement computing a value the bound
+    // program never produces.
+    let mut bound_values: Vec<ExprRef> = Vec::new();
+    let mut replay: Vec<ExprRef> = Vec::new();
+    coef_fns = 0;
+    for op in bound.ops() {
+        let _ = bound_step(op, &mut replay, &mut coef_fns);
+        if let Some(top) = replay.last() {
+            bound_values.push(top.clone());
+        }
+    }
+    let culprit = produced
+        .iter()
+        .position(|v| !bound_values.iter().any(|b| b.structurally_eq(v)));
+    match culprit {
+        Some(pc) => out.push(native_mismatch(
+            &format!("{location}, stmt {pc}"),
+            format!(
+                "first diverging statement: emitted code computes `{}`, a \
+                 value the bound program never produces (expected final \
+                 `{bound_final}`)",
+                produced[pc]
+            ),
+        )),
+        None => out.push(native_mismatch(
+            location,
+            format!(
+                "emitted code computes `{native_final}` but the bound \
+                 program computes `{bound_final}`"
+            ),
+        )),
+    }
+}
+
+fn native_mismatch(location: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        rule: rules::TRANSLATION_NATIVE,
         entity: String::new(),
         location: location.to_string(),
         message,

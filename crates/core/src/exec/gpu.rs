@@ -247,8 +247,9 @@ impl GpuWorker {
 
         let kernel_cost = estimate_kernel_cost(cp);
 
-        let row = (cp.resolved_tier() == KernelTier::Row)
-            .then(|| IntensityKernels::with_tier(cp, owned_flats, KernelTier::Row));
+        let tier = cp.resolved_tier();
+        let row = matches!(tier, KernelTier::Row | KernelTier::Native)
+            .then(|| IntensityKernels::with_tier(cp, owned_flats, tier));
 
         GpuWorker {
             device,
@@ -373,21 +374,34 @@ impl GpuWorker {
                     } else {
                         FluxBoundary::Ghosts(bufs[n_vars])
                     };
-                    let mut regs = rowk.scratch();
-                    rows::rhs_span(
-                        rowk.reg(k),
-                        cp,
-                        vars,
-                        n_cells,
-                        owned_flats[k],
-                        boundary,
-                        0,
-                        out,
-                        centroids,
-                        time,
-                        Some(dt),
-                        &mut regs,
-                    );
+                    if rowk.tier == KernelTier::Native {
+                        rows::rhs_span_native(
+                            rowk.native(),
+                            cp,
+                            vars,
+                            owned_flats[k],
+                            boundary,
+                            0,
+                            out,
+                            Some(dt),
+                        );
+                    } else {
+                        let mut regs = rowk.scratch();
+                        rows::rhs_span(
+                            rowk.reg(k),
+                            cp,
+                            vars,
+                            n_cells,
+                            owned_flats[k],
+                            boundary,
+                            0,
+                            out,
+                            centroids,
+                            time,
+                            Some(dt),
+                            &mut regs,
+                        );
+                    }
                 },
             )
         } else {
@@ -470,7 +484,11 @@ impl GpuWorker {
                     ("threads", n_threads.to_string()),
                     (
                         "tier",
-                        if self.row.is_some() { "row" } else { "vm" }.to_string(),
+                        self.row
+                            .as_ref()
+                            .map(|k| k.tier.name())
+                            .unwrap_or("vm")
+                            .to_string(),
                     ),
                 ],
             );

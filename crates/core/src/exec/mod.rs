@@ -589,11 +589,15 @@ impl CompiledProblem {
 
     /// The kernel tier the executors will actually use: the problem's
     /// explicit choice, defaulting to `Row`, clamped to `Bound` when the
-    /// flux didn't linearize (the row flux loop needs the αβγ tables).
+    /// flux didn't linearize (the row and native flux loops need the αβγ
+    /// tables). A `Native` request may additionally degrade to `Row` at
+    /// scope construction if AOT preparation fails (missing `rustc`,
+    /// failed compilation, ineligible plan) — that late fallback is
+    /// recorded as a `native/fallback` diagnostic on the kernels.
     pub fn resolved_tier(&self) -> KernelTier {
         let requested = self.problem.kernel_tier.unwrap_or(KernelTier::Row);
         match requested {
-            KernelTier::Row if self.flux_lin.is_none() => KernelTier::Bound,
+            KernelTier::Row | KernelTier::Native if self.flux_lin.is_none() => KernelTier::Bound,
             t => t,
         }
     }
@@ -663,9 +667,17 @@ pub struct IntensityBench<'a> {
 }
 
 impl IntensityBench<'_> {
-    /// The tier actually selected (Row may have clamped to Bound).
+    /// The tier actually selected (Row may have clamped to Bound, and
+    /// Native may have degraded to Row — see [`Self::native_fallback`]).
     pub fn tier(&self) -> KernelTier {
         self.kernels.tier
+    }
+
+    /// The structured diagnostic recorded when a requested Native tier
+    /// degraded to Row (missing `rustc`, failed compilation, ineligible
+    /// plan), if that happened.
+    pub fn native_fallback(&self) -> Option<&crate::analysis::Diagnostic> {
+        self.kernels.native_fallback()
     }
 
     /// Evaluate the RHS for every (cell, flat) pair into `rhs`.

@@ -138,10 +138,65 @@ fn compute_rhs_par(
                         });
                 });
         }
+        KernelTier::Native => {
+            // The loaded plan library is Sync (immutable machine code);
+            // each task calls its flat's kernel over its cell sub-span.
+            let lib = kernels.native();
+            rhs.par_chunks_mut(n_cells)
+                .enumerate()
+                .for_each(|(flat, block)| {
+                    block
+                        .par_chunks_mut(chunk)
+                        .enumerate()
+                        .for_each(|(ci, out)| {
+                            rows::rhs_span_native(
+                                lib,
+                                cp,
+                                &vars,
+                                flat,
+                                FluxBoundary::Ghosts(ghosts),
+                                ci * chunk,
+                                out,
+                                None,
+                            );
+                        });
+                });
+        }
     }
     work.dof_updates += (cp.n_flat * n_cells) as u64;
     // Exact face total: every flat walks every cell's face list once.
     work.flux_evals += cp.n_flat as u64 * cp.hot.nbr.len() as u64;
+}
+
+/// [`compute_rhs_par`] wrapped in a `Kernel` telemetry span with tier
+/// attribution (mirrors `seq::compute_rhs_traced`).
+#[allow(clippy::too_many_arguments)]
+fn compute_rhs_par_traced(
+    cp: &CompiledProblem,
+    fields: &Fields,
+    ghosts: &[f64],
+    time: f64,
+    rhs: &mut [f64],
+    step: usize,
+    rec: &mut Recorder,
+    kernels: &mut IntensityKernels,
+) {
+    let k0 = rec.now();
+    compute_rhs_par(cp, fields, ghosts, time, rhs, &mut rec.work, kernels);
+    if rec.enabled() {
+        let dur = rec.now() - k0;
+        rec.span(
+            SpanKind::Kernel,
+            "intensity_rhs",
+            k0,
+            dur,
+            Track::Host,
+            vec![
+                ("step", step.to_string()),
+                ("tier", kernels.tier.name().to_string()),
+            ],
+        );
+    }
 }
 
 /// `u += coeff * rhs`, parallel over flats.
@@ -203,25 +258,50 @@ pub fn solve(
 
         let i0 = r.now();
         let t1 = Instant::now();
-        let work = &mut r.work;
         match cp.problem.stepper {
             TimeStepper::EulerExplicit => {
-                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, work);
-                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, work, &mut kernels);
+                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut r.work);
+                compute_rhs_par_traced(
+                    cp,
+                    fields,
+                    &ghosts,
+                    time,
+                    &mut rhs,
+                    step,
+                    &mut r,
+                    &mut kernels,
+                );
                 axpy_par(fields, unknown, dt, &rhs);
             }
             TimeStepper::Rk2 => {
-                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, work);
-                compute_rhs_par(cp, fields, &ghosts, time, &mut rhs, work, &mut kernels);
+                compute_ghosts_par(cp, fields, time, &mut ghosts, callback_faces, &mut r.work);
+                compute_rhs_par_traced(
+                    cp,
+                    fields,
+                    &ghosts,
+                    time,
+                    &mut rhs,
+                    step,
+                    &mut r,
+                    &mut kernels,
+                );
                 axpy_par(fields, unknown, dt, &rhs);
-                compute_ghosts_par(cp, fields, time + dt, &mut ghosts, callback_faces, work);
-                compute_rhs_par(
+                compute_ghosts_par(
+                    cp,
+                    fields,
+                    time + dt,
+                    &mut ghosts,
+                    callback_faces,
+                    &mut r.work,
+                );
+                compute_rhs_par_traced(
                     cp,
                     fields,
                     &ghosts,
                     time + dt,
                     &mut rhs2,
-                    work,
+                    step,
+                    &mut r,
                     &mut kernels,
                 );
                 axpy_par(fields, unknown, -0.5 * dt, &rhs);

@@ -1,22 +1,31 @@
 //! The fused row-kernel tier of the intensity phase.
 //!
-//! Three execution tiers evaluate the RHS (see DESIGN.md §"Kernel
-//! tiers"): the generic stack VM, the per-flat bound program, and — this
-//! module — the fused row kernel: a [`RegProgram`] for the source term
-//! plus a straight-line flux loop over the `hot` SoA geometry, evaluated
-//! over a whole contiguous cell span per call. All tiers are bit-identical
-//! per DOF, independent of how a cell range is split into spans, so every
-//! executor (sequential, threaded, distributed, GPU) can route through the
-//! same kernels without disturbing the cross-target identity tests.
+//! Four execution tiers evaluate the RHS (see DESIGN.md §"Kernel
+//! tiers"): the generic stack VM, the per-flat bound program, the fused
+//! row kernel this module implements — a [`RegProgram`] for the source
+//! term plus a straight-line flux loop over the `hot` SoA geometry,
+//! evaluated over a whole contiguous cell span per call — and the native
+//! tier, which AOT-compiles the same per-flat row programs to machine
+//! code through [`crate::nativegen`]. All tiers are bit-identical per
+//! DOF, independent of how a cell range is split into spans, so every
+//! executor (sequential, threaded, distributed, GPU) can route through
+//! the same kernels without disturbing the cross-target identity tests.
 //!
 //! [`IntensityKernels`] also owns the cross-step bind cache: when the
 //! volume program provably never reads `t`, the per-flat specialization is
-//! reused for the whole run instead of being rebuilt every step.
+//! reused for the whole run instead of being rebuilt every step. The
+//! native tier extends that story to machine code: preparation (lowering,
+//! validation, `rustc`, `dlopen`) happens once at scope construction, and
+//! failures degrade to the row tier with a [`Diagnostic`] instead of
+//! erroring.
 
 use super::{CompiledProblem, HotGeometry};
+use crate::analysis::{rules, Diagnostic, Severity};
 use crate::bytecode::{BoundProgram, RegProgram, ROW_CHUNK};
+use crate::nativegen::{self, NativeArgs, NativeLib};
 use crate::problem::KernelTier;
 use pbte_mesh::Point;
+use std::sync::Arc;
 
 /// How a span evaluation treats boundary faces.
 #[derive(Clone, Copy)]
@@ -45,6 +54,10 @@ pub(crate) struct IntensityKernels {
     faces_in_scope: Option<u64>,
     /// How many times `ensure` actually re-bound (diagnostics/tests).
     pub rebinds: u64,
+    /// Loaded native plan (Native tier only).
+    native: Option<Arc<NativeLib>>,
+    /// Why the Native tier degraded to Row, when it did.
+    native_fallback: Option<Diagnostic>,
 }
 
 impl IntensityKernels {
@@ -54,12 +67,43 @@ impl IntensityKernels {
     }
 
     /// Kernels pinned to a tier (`Row` falls back to `Bound` when the
-    /// flux didn't linearize — the row flux loop needs the αβγ tables).
+    /// flux didn't linearize — the row flux loop needs the αβγ tables —
+    /// and `Native` falls back to `Row` when preparation fails, with a
+    /// structured [`Diagnostic`] recording why).
     pub fn with_tier(cp: &CompiledProblem, flats: &[usize], tier: KernelTier) -> IntensityKernels {
-        let tier = match tier {
+        let mut tier = match tier {
             KernelTier::Row if cp.flux_lin.is_none() => KernelTier::Bound,
             t => t,
         };
+        let mut native = None;
+        let mut native_fallback = None;
+        if tier == KernelTier::Native {
+            match nativegen::prepare(cp, cp.mesh().n_cells()) {
+                Ok(lib) => native = Some(lib),
+                Err(reason) => {
+                    tier = if cp.flux_lin.is_some() {
+                        KernelTier::Row
+                    } else {
+                        KernelTier::Bound
+                    };
+                    let diag = Diagnostic {
+                        severity: Severity::Warning,
+                        rule: rules::NATIVE_FALLBACK,
+                        entity: String::new(),
+                        location: "intensity phase".to_string(),
+                        message: format!(
+                            "native tier unavailable, falling back to the {} tier: {reason}",
+                            tier.name()
+                        ),
+                    };
+                    // Warn on stderr once per process; every scope still
+                    // carries the structured diagnostic for inspection.
+                    static ONCE: std::sync::Once = std::sync::Once::new();
+                    ONCE.call_once(|| eprintln!("{}", diag.render()));
+                    native_fallback = Some(diag);
+                }
+            }
+        }
         IntensityKernels {
             tier,
             flats: flats.to_vec(),
@@ -71,6 +115,8 @@ impl IntensityKernels {
             max_regs: 0,
             faces_in_scope: None,
             rebinds: 0,
+            native,
+            native_fallback,
         }
     }
 
@@ -78,7 +124,10 @@ impl IntensityKernels {
     /// this is the first call, the program reads `t` and `time` changed,
     /// or per-step rebinding was forced.
     pub fn ensure(&mut self, cp: &CompiledProblem, n_cells: usize, time: f64) {
-        if self.tier == KernelTier::Vm {
+        // The VM tier binds nothing; the native tier was fully prepared
+        // at construction (it is only reachable for time-independent,
+        // cache-friendly plans, so there is never anything to re-bind).
+        if matches!(self.tier, KernelTier::Vm | KernelTier::Native) {
             return;
         }
         let stale = self.bound.is_empty()
@@ -118,6 +167,18 @@ impl IntensityKernels {
     /// Row program for the scope's `k`-th flat (Row tier only).
     pub fn reg(&self, k: usize) -> &RegProgram {
         &self.reg[k]
+    }
+
+    /// The loaded native plan (Native tier only).
+    pub fn native(&self) -> &NativeLib {
+        self.native
+            .as_deref()
+            .expect("native tier requires a prepared plan")
+    }
+
+    /// The fallback diagnostic, when the Native tier degraded to Row.
+    pub fn native_fallback(&self) -> Option<&Diagnostic> {
+        self.native_fallback.as_ref()
     }
 
     /// Fresh register scratch sized for the widest kernel in the scope.
@@ -228,6 +289,50 @@ pub(crate) fn rhs_span(
     reg.eval_row(vars, cell0, out, centroids, time, regs);
     let u_row = &vars[cp.system.unknown][flat * n_cells..(flat + 1) * n_cells];
     flux_combine(cp, u_row, flat, boundary, cell0, out, fused_dt);
+}
+
+/// Evaluate a full span through the AOT-compiled native kernel — the
+/// machine-code equivalent of [`rhs_span`], bit-identical by construction
+/// (the emitted code performs the same scalar operations in the same
+/// order; see `crate::nativegen`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rhs_span_native(
+    lib: &NativeLib,
+    cp: &CompiledProblem,
+    vars: &[&[f64]],
+    flat: usize,
+    boundary: FluxBoundary,
+    cell0: usize,
+    out: &mut [f64],
+    fused_dt: Option<f64>,
+) {
+    let hot = &cp.hot;
+    let ptrs: Vec<*const f64> = vars.iter().map(|s| s.as_ptr()).collect();
+    let (ghosts, skip_boundary) = match boundary {
+        FluxBoundary::Ghosts(g) => (g.as_ptr(), 0u8),
+        FluxBoundary::Skip => (std::ptr::null(), 1u8),
+    };
+    let args = NativeArgs {
+        vars: ptrs.as_ptr(),
+        ghosts,
+        offsets: hot.offsets.as_ptr(),
+        nbr: hot.nbr.as_ptr(),
+        area: hot.area.as_ptr(),
+        class: hot.class.as_ptr(),
+        inv_volume: hot.inv_volume.as_ptr(),
+        out: out.as_mut_ptr(),
+        cell0,
+        len: out.len(),
+        fused_dt: fused_dt.unwrap_or(0.0),
+        fused: fused_dt.is_some() as u8,
+        skip_boundary,
+    };
+    // SAFETY: the kernel was generated for this exact plan (same variable
+    // layout, same geometry arrays, same n_cells baked into the load
+    // offsets), the span `cell0 .. cell0 + out.len()` is in bounds by the
+    // same contract `rhs_span` relies on, and all pointers outlive the
+    // call.
+    unsafe { (lib.kernel(flat))(&args) };
 }
 
 #[cfg(test)]

@@ -296,9 +296,62 @@ pub(crate) fn compute_rhs_into(
                 }
             }
         }
+        KernelTier::Native => {
+            // AOT-compiled span kernels: same row-major span structure as
+            // the Row tier, dispatched into the loaded plan library.
+            let lib = kernels.native();
+            for &flat in scope.flats {
+                for (start, len) in rows::spans(scope.cells) {
+                    let at = flat * n_cells + start;
+                    rows::rhs_span_native(
+                        lib,
+                        cp,
+                        &vars,
+                        flat,
+                        FluxBoundary::Ghosts(ghosts),
+                        start,
+                        &mut rhs[at..at + len],
+                        None,
+                    );
+                }
+            }
+        }
     }
     work.dof_updates += (scope.flats.len() * scope.cells.len()) as u64;
     work.flux_evals += scope.flats.len() as u64 * faces_in_scope;
+}
+
+/// [`compute_rhs_into`] wrapped in a `Kernel` telemetry span with tier
+/// attribution, so traces show which tier actually ran (the resolved tier
+/// may differ from the requested one after clamping or native fallback).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_rhs_traced(
+    cp: &CompiledProblem,
+    fields: &Fields,
+    scope: &Scope,
+    ghosts: &[f64],
+    time: f64,
+    rhs: &mut [f64],
+    step: usize,
+    rec: &mut Recorder,
+    kernels: &mut IntensityKernels,
+) {
+    let k0 = rec.now();
+    compute_rhs_into(cp, fields, scope, ghosts, time, rhs, &mut rec.work, kernels);
+    if rec.enabled() {
+        let dur = rec.now() - k0;
+        rec.span(
+            SpanKind::Kernel,
+            "intensity_rhs",
+            k0,
+            dur,
+            Track::Host,
+            vec![
+                ("step", step.to_string()),
+                ("tier", kernels.tier.name().to_string()),
+            ],
+        );
+    }
 }
 
 /// Apply `u += dt * rhs` (or a weighted stage combination) on a scope.
@@ -420,23 +473,32 @@ pub(crate) fn step_scope(
     let i0 = rec.now();
     let mut t_comm = 0.0;
     let t1 = Instant::now();
-    let work = &mut rec.work;
     match cp.problem.stepper {
         TimeStepper::EulerExplicit => {
             t_comm += links.halo_exchange(fields);
-            compute_ghosts(cp, fields, scope.flats, time, ghosts, work);
-            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work, kernels);
+            compute_ghosts(cp, fields, scope.flats, time, ghosts, &mut rec.work);
+            compute_rhs_traced(cp, fields, scope, ghosts, time, rhs, step, rec, kernels);
             axpy_scope(fields, unknown, scope, dt, rhs);
         }
         TimeStepper::Rk2 => {
             // Heun's method: u* = u + dt k1; u' = u + dt/2 (k1 + k2(u*)).
             t_comm += links.halo_exchange(fields);
-            compute_ghosts(cp, fields, scope.flats, time, ghosts, work);
-            compute_rhs_into(cp, fields, scope, ghosts, time, rhs, work, kernels);
+            compute_ghosts(cp, fields, scope.flats, time, ghosts, &mut rec.work);
+            compute_rhs_traced(cp, fields, scope, ghosts, time, rhs, step, rec, kernels);
             axpy_scope(fields, unknown, scope, dt, rhs);
             t_comm += links.halo_exchange(fields);
-            compute_ghosts(cp, fields, scope.flats, time + dt, ghosts, work);
-            compute_rhs_into(cp, fields, scope, ghosts, time + dt, rhs2, work, kernels);
+            compute_ghosts(cp, fields, scope.flats, time + dt, ghosts, &mut rec.work);
+            compute_rhs_traced(
+                cp,
+                fields,
+                scope,
+                ghosts,
+                time + dt,
+                rhs2,
+                step,
+                rec,
+                kernels,
+            );
             // u' = u* − dt k1 + dt/2 (k1 + k2) = u* − dt/2 k1 + dt/2 k2.
             axpy_scope(fields, unknown, scope, -0.5 * dt, rhs);
             axpy_scope(fields, unknown, scope, 0.5 * dt, rhs2);

@@ -49,6 +49,7 @@ pub mod dataflow;
 pub mod entities;
 pub mod exec;
 pub mod ir;
+pub mod nativegen;
 pub mod pipeline;
 pub mod problem;
 

@@ -1,0 +1,684 @@
+//! The native kernel tier: AOT compilation of row programs to machine code.
+//!
+//! This is the paper's endgame made concrete — Finch emits *real* code
+//! (CUDA/C) for its targets, and this module does the same for the
+//! intensity phase: every per-flat [`RegProgram`](crate::bytecode::RegProgram)
+//! is lowered to one flat, fully-unrolled scalar Rust expression sequence
+//! (the fused superinstructions expanded honoring their
+//! `const_first`/`load_first` orientation flags so results stay
+//! bit-identical to the row tier), wrapped in a per-flat `extern "C"`
+//! kernel that also inlines the linearized flux loop and the fused Euler
+//! update, and compiled out-of-process by `rustc` into a `cdylib`.
+//!
+//! Three properties keep this sound and cheap:
+//!
+//! * **Bit identity.** The emitted expressions perform exactly the
+//!   per-lane operations of `RegProgram::eval_row` in exactly the same
+//!   order, and the emitted flux loop replicates `rows::flux_combine`
+//!   face-for-face. Rust f64 arithmetic is strict IEEE-754 (no
+//!   fast-math, no implicit FMA contraction), so the compiled kernel is
+//!   bitwise-equal to the interpreted tiers — the differential tests
+//!   assert this.
+//! * **Validation before compilation.** The lowered statement list — the
+//!   exact tree the text renderer prints — is abstractly executed over
+//!   symbolic values and proven raw-structurally equal to the bound
+//!   program (`analysis::check_native_against_bound`, rule
+//!   `translation/native-mismatch`) *before* any source reaches `rustc`.
+//!   A corrupted emission is rejected, never executed.
+//! * **Content-addressed caching.** The full generated source is hashed
+//!   (FNV-1a 64) and the compiled library stored as
+//!   `target/pbte-native-cache/<hash>.so` (override with
+//!   `PBTE_NATIVE_CACHE_DIR`); recompiles are amortized across runs,
+//!   steps, and processes, extending the bind-caching story to machine
+//!   code. An in-process map additionally caches loaded handles — and
+//!   failures, so a broken toolchain is probed once, not per scope.
+//!
+//! If `rustc` is missing (override with `PBTE_NATIVE_RUSTC`), compilation
+//! fails, or the plan is ineligible (no flux linearization, time-dependent
+//! sources, per-step rebinding, function coefficients), [`prepare`]
+//! returns `Err` and the caller falls back to the row tier with a
+//! structured diagnostic (`native/fallback`) instead of erroring.
+
+use crate::bytecode::{Func, RegOp, RegProgram};
+use crate::exec::CompiledProblem;
+use pbte_symbolic::expr::CmpOp;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Lowering: RegProgram → statement list (shared by emitter and validator)
+// ---------------------------------------------------------------------------
+
+/// One operand of an emitted statement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum NOperand {
+    /// A previously assigned register.
+    Reg(u8),
+    /// A bind-time constant (emitted via `f64::from_bits` for exactness).
+    K(f64),
+    /// A variable load at `offset + cell` (offset already folds the flat).
+    Load { var: u16, offset: usize },
+}
+
+/// The right-hand side of one emitted `let r{dst} = …;` statement.
+///
+/// Binary operands appear in evaluation order: `Add(a, b)` emits `a + b`,
+/// so the `const_first`/`load_first` orientation of the fused
+/// superinstructions is decided at lowering time and the renderer and the
+/// symbolic validator cannot disagree about it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum NExpr {
+    Copy(NOperand),
+    Add(NOperand, NOperand),
+    Mul(NOperand, NOperand),
+    Pow(NOperand, NOperand),
+    Recip(NOperand),
+    Call(Func, NOperand),
+    Cmp(CmpOp, NOperand, NOperand),
+    Select(NOperand, NOperand, NOperand),
+}
+
+/// One emitted statement: `let r{dst} = {expr};`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct NStmt {
+    pub dst: u8,
+    pub expr: NExpr,
+}
+
+/// Lower a row program to the statement list the native kernel emits —
+/// fused superinstructions expanded with their orientation flags honored.
+/// `Err` when the program is ineligible for native compilation (function
+/// coefficients need a host callback per cell).
+pub(crate) fn lower_stmts(reg: &RegProgram) -> Result<Vec<NStmt>, String> {
+    use NExpr::*;
+    use NOperand::*;
+    let mut stmts = Vec::with_capacity(reg.ops().len());
+    for op in reg.ops() {
+        let (dst, expr) = match *op {
+            RegOp::Const { dst, k } => (dst, Copy(K(k))),
+            RegOp::Load { dst, var, offset } => (dst, Copy(Load { var, offset })),
+            RegOp::CoefFn { .. } => {
+                return Err("program evaluates a function coefficient".into());
+            }
+            RegOp::Add { dst, a, b } => (dst, Add(Reg(a), Reg(b))),
+            RegOp::Mul { dst, a, b } => (dst, Mul(Reg(a), Reg(b))),
+            RegOp::Pow { dst, a, b } => (dst, Pow(Reg(a), Reg(b))),
+            RegOp::Recip { dst, a } => (dst, Recip(Reg(a))),
+            RegOp::Call { dst, a, f } => (dst, Call(f, Reg(a))),
+            RegOp::Cmp { dst, a, b, op } => (dst, Cmp(op, Reg(a), Reg(b))),
+            RegOp::Select { dst, t, a, b } => (dst, Select(Reg(t), Reg(a), Reg(b))),
+            RegOp::AddConst {
+                dst,
+                a,
+                k,
+                const_first,
+            } => {
+                if const_first {
+                    (dst, Add(K(k), Reg(a)))
+                } else {
+                    (dst, Add(Reg(a), K(k)))
+                }
+            }
+            RegOp::MulConst {
+                dst,
+                a,
+                k,
+                const_first,
+            } => {
+                if const_first {
+                    (dst, Mul(K(k), Reg(a)))
+                } else {
+                    (dst, Mul(Reg(a), K(k)))
+                }
+            }
+            RegOp::LoadMul {
+                dst,
+                a,
+                var,
+                offset,
+                load_first,
+            } => {
+                let l = Load { var, offset };
+                if load_first {
+                    (dst, Mul(l, Reg(a)))
+                } else {
+                    (dst, Mul(Reg(a), l))
+                }
+            }
+            RegOp::LoadMulConst {
+                dst,
+                var,
+                offset,
+                k,
+                const_first,
+            } => {
+                let l = Load { var, offset };
+                if const_first {
+                    (dst, Mul(K(k), l))
+                } else {
+                    (dst, Mul(l, K(k)))
+                }
+            }
+        };
+        stmts.push(NStmt { dst, expr });
+    }
+    if stmts.is_empty() {
+        return Err("empty row program".into());
+    }
+    if !stmts.iter().any(|s| s.dst == 0) {
+        return Err("row program never writes r0".into());
+    }
+    Ok(stmts)
+}
+
+// ---------------------------------------------------------------------------
+// The call ABI shared between host and generated code
+// ---------------------------------------------------------------------------
+
+/// Argument block passed to a generated kernel. The generated source
+/// contains a textually identical `#[repr(C)]` definition, so both sides
+/// agree on layout by construction (same field order, same target).
+#[repr(C)]
+pub(crate) struct NativeArgs {
+    /// Per-variable base pointers, indexed by registry variable id.
+    pub vars: *const *const f64,
+    /// Ghost values at `slot * n_flat + flat`; null when boundary faces
+    /// are skipped.
+    pub ghosts: *const f64,
+    /// CSR row offsets of the face geometry (`n_cells + 1` entries).
+    pub offsets: *const u32,
+    /// Neighbor cell per face entry; `-(slot+1)` encodes a ghost slot.
+    pub nbr: *const i64,
+    pub area: *const f64,
+    pub class: *const u32,
+    pub inv_volume: *const f64,
+    /// Output span covering cells `cell0 .. cell0 + len`.
+    pub out: *mut f64,
+    pub cell0: usize,
+    pub len: usize,
+    pub fused_dt: f64,
+    /// 1 → write the fused update `u + dt·rhs`, 0 → write the RHS.
+    pub fused: u8,
+    /// 1 → skip boundary faces (GPU async-boundary semantics).
+    pub skip_boundary: u8,
+}
+
+/// Signature of every generated per-flat kernel.
+pub(crate) type KernelFn = unsafe extern "C" fn(*const NativeArgs);
+
+// ---------------------------------------------------------------------------
+// Source emission
+// ---------------------------------------------------------------------------
+
+fn rust_method(f: Func) -> &'static str {
+    match f {
+        Func::Exp => "exp",
+        Func::Log => "ln",
+        Func::Sin => "sin",
+        Func::Cos => "cos",
+        Func::Sqrt => "sqrt",
+        Func::Abs => "abs",
+        Func::Sinh => "sinh",
+        Func::Cosh => "cosh",
+        Func::Tanh => "tanh",
+    }
+}
+
+/// Render a constant exactly: the bit pattern round-trips, so bind-time
+/// folding survives the text representation unchanged.
+fn lit(k: f64) -> String {
+    format!("f64::from_bits(0x{:016x}u64)", k.to_bits())
+}
+
+/// Render one operand, fully parenthesized. Loads in particular must be
+/// wrapped: `*p.add(i).powf(y)` parses as `*(p.add(i).powf(y))`.
+fn operand(o: &NOperand) -> String {
+    match o {
+        NOperand::Reg(r) => format!("r{r}"),
+        NOperand::K(k) => format!("({})", lit(*k)),
+        NOperand::Load { var, offset } => format!("(*p{var}.add({offset} + cell))"),
+    }
+}
+
+fn stmt_line(s: &NStmt) -> String {
+    let rhs = match &s.expr {
+        NExpr::Copy(a) => operand(a),
+        NExpr::Add(a, b) => format!("{} + {}", operand(a), operand(b)),
+        NExpr::Mul(a, b) => format!("{} * {}", operand(a), operand(b)),
+        NExpr::Pow(a, b) => format!("{}.powf({})", operand(a), operand(b)),
+        NExpr::Recip(a) => format!("1.0f64 / {}", operand(a)),
+        NExpr::Call(f, a) => format!("{}.{}()", operand(a), rust_method(*f)),
+        NExpr::Cmp(op, a, b) => format!(
+            "if {} {} {} {{ 1.0f64 }} else {{ 0.0f64 }}",
+            operand(a),
+            op.as_str(),
+            operand(b)
+        ),
+        NExpr::Select(t, a, b) => format!(
+            "if {} != 0.0f64 {{ {} }} else {{ {} }}",
+            operand(t),
+            operand(a),
+            operand(b)
+        ),
+    };
+    format!("        let r{} = {};", s.dst, rhs)
+}
+
+/// Variable ids a statement list loads from.
+fn vars_used(stmts: &[NStmt]) -> Vec<u16> {
+    let mut vs: Vec<u16> = Vec::new();
+    let mut note = |o: &NOperand| {
+        if let NOperand::Load { var, .. } = o {
+            if !vs.contains(var) {
+                vs.push(*var);
+            }
+        }
+    };
+    for s in stmts {
+        match &s.expr {
+            NExpr::Copy(a) | NExpr::Recip(a) | NExpr::Call(_, a) => note(a),
+            NExpr::Add(a, b) | NExpr::Mul(a, b) | NExpr::Pow(a, b) | NExpr::Cmp(_, a, b) => {
+                note(a);
+                note(b);
+            }
+            NExpr::Select(t, a, b) => {
+                note(t);
+                note(a);
+                note(b);
+            }
+        }
+    }
+    vs.sort_unstable();
+    vs
+}
+
+/// Emit the complete source for one compiled plan: one kernel per flat,
+/// each fusing the unrolled source expression, the linearized flux loop
+/// over the CSR geometry, and the optional Euler update — the exact
+/// operation sequence of `rows::rhs_span`.
+/// Codegen options for the emitted plan crate. `codegen-units=1` keeps
+/// the whole plan in one LLVM module; `panic=abort` drops unwinding
+/// landing pads (the kernels are straight-line code with no panic paths).
+/// None of these change FP semantics — no fast-math, no contraction — so
+/// bit identity with the row tier is preserved.
+const RUSTC_CODEGEN_FLAGS: &[&str] = &[
+    "-Copt-level=3",
+    "-Ctarget-cpu=native",
+    "-Cdebuginfo=0",
+    "-Ccodegen-units=1",
+    "-Cpanic=abort",
+];
+
+pub(crate) fn emit_source(
+    cp: &CompiledProblem,
+    n_cells: usize,
+    per_flat: &[Vec<NStmt>],
+) -> Result<String, String> {
+    let lin = cp
+        .flux_lin
+        .as_ref()
+        .ok_or_else(|| "flux did not linearize".to_string())?;
+    let n_flat = cp.n_flat;
+    let nc = lin.n_classes;
+    let unknown = cp.system.unknown;
+    let mut src = String::with_capacity(4096 + n_flat * 2048);
+    src.push_str("// Generated by pbte-dsl nativegen; do not edit.\n");
+    // The flag set is part of the emitted header so the content hash (the
+    // plan-cache key) changes whenever the codegen options do.
+    src.push_str(&format!(
+        "// rustc flags: {}\n",
+        RUSTC_CODEGEN_FLAGS.join(" ")
+    ));
+    src.push_str("#![allow(warnings)]\n#![crate_type = \"cdylib\"]\n\n");
+    src.push_str(
+        "#[repr(C)]\npub struct Args {\n    vars: *const *const f64,\n    ghosts: *const f64,\n    offsets: *const u32,\n    nbr: *const i64,\n    area: *const f64,\n    class: *const u32,\n    inv_volume: *const f64,\n    out: *mut f64,\n    cell0: usize,\n    len: usize,\n    fused_dt: f64,\n    fused: u8,\n    skip_boundary: u8,\n}\n\n",
+    );
+    for flat in 0..n_flat {
+        let at = flat * nc;
+        for (name, table) in [("AL", &lin.alpha), ("BE", &lin.beta), ("GA", &lin.gamma)] {
+            src.push_str(&format!("static {name}{flat}: [f64; {nc}] = ["));
+            for c in 0..nc {
+                src.push_str(&lit(table[at + c]));
+                src.push(',');
+            }
+            src.push_str("];\n");
+        }
+    }
+    src.push('\n');
+    for (flat, stmts) in per_flat.iter().enumerate() {
+        src.push_str(&format!(
+            "#[no_mangle]\npub unsafe extern \"C\" fn pbte_flat_{flat}(ap: *const Args) {{\n    let a = &*ap;\n"
+        ));
+        for v in vars_used(stmts) {
+            src.push_str(&format!("    let p{v}: *const f64 = *a.vars.add({v});\n"));
+        }
+        src.push_str(&format!(
+            "    let u_row: *const f64 = (*a.vars.add({unknown})).add({});\n",
+            flat * n_cells
+        ));
+        // Hoist every Args field into a local before the loop: the `out`
+        // stores go through a raw pointer, so without the copies LLVM
+        // must assume they may alias the Args struct itself and reload
+        // each field on every iteration.
+        src.push_str(
+            "    let ghosts = a.ghosts;\n    let offsets = a.offsets;\n    let nbr = a.nbr;\n    let area = a.area;\n    let class = a.class;\n    let inv_volume = a.inv_volume;\n    let out = a.out;\n    let cell0 = a.cell0;\n    let len = a.len;\n    let fused_dt = a.fused_dt;\n    let fused = a.fused != 0;\n    let skip_boundary = a.skip_boundary != 0;\n",
+        );
+        src.push_str(
+            "    let mut i = 0usize;\n    while i < len {\n        let cell = cell0 + i;\n",
+        );
+        for s in stmts {
+            src.push_str(&stmt_line(s));
+            src.push('\n');
+        }
+        // The class tables are indexed through raw pointers so the three
+        // per-face lookups carry no bounds checks (`c` comes from the
+        // verified plan geometry, always < n_classes).
+        src.push_str(&format!(
+            r#"        let src = r0;
+        let u_here = *u_row.add(cell);
+        let mut flux = 0.0f64;
+        let mut k = *offsets.add(cell) as usize;
+        let end = *offsets.add(cell + 1) as usize;
+        while k < end {{
+            let nb = *nbr.add(k);
+            let u2 = if nb >= 0 {{
+                *u_row.add(nb as usize)
+            }} else if skip_boundary {{
+                k += 1;
+                continue;
+            }} else {{
+                *ghosts.add(((-(nb + 1)) as usize) * {n_flat} + {flat})
+            }};
+            let c = *class.add(k) as usize;
+            flux += *area.add(k)
+                * (*GA{flat}.as_ptr().add(c)
+                    + *AL{flat}.as_ptr().add(c) * u_here
+                    + *BE{flat}.as_ptr().add(c) * u2);
+            k += 1;
+        }}
+        let rhs = src - flux * *inv_volume.add(cell);
+        *out.add(i) = if fused {{ u_here + fused_dt * rhs }} else {{ rhs }};
+        i += 1;
+    }}
+}}
+"#
+        ));
+    }
+    Ok(src)
+}
+
+// ---------------------------------------------------------------------------
+// Compilation, loading, caching
+// ---------------------------------------------------------------------------
+
+/// A loaded native plan: the per-flat kernel pointers. The library handle
+/// is intentionally leaked (never `dlclose`d) — function pointers may be
+/// cached anywhere for the process lifetime.
+pub(crate) struct NativeLib {
+    fns: Vec<KernelFn>,
+}
+
+// The fn pointers reference immutable machine code in a library that is
+// never unloaded.
+unsafe impl Send for NativeLib {}
+unsafe impl Sync for NativeLib {}
+
+impl NativeLib {
+    /// Kernel for one flat index.
+    pub fn kernel(&self, flat: usize) -> KernelFn {
+        self.fns[flat]
+    }
+}
+
+/// FNV-1a 64-bit hash of the generated source — the plan cache key.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The on-disk plan cache directory: `PBTE_NATIVE_CACHE_DIR` if set, else
+/// `target/pbte-native-cache` relative to the working directory.
+pub fn cache_dir() -> PathBuf {
+    match std::env::var_os("PBTE_NATIVE_CACHE_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from("target").join("pbte-native-cache"),
+    }
+}
+
+#[cfg(all(unix, not(miri)))]
+mod dl {
+    use std::os::raw::{c_char, c_int, c_void};
+
+    extern "C" {
+        fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+        fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        fn dlerror() -> *mut c_char;
+    }
+
+    const RTLD_NOW: c_int = 2;
+
+    fn last_error() -> String {
+        unsafe {
+            let e = dlerror();
+            if e.is_null() {
+                "unknown dlopen error".into()
+            } else {
+                std::ffi::CStr::from_ptr(e).to_string_lossy().into_owned()
+            }
+        }
+    }
+
+    pub fn open(path: &std::path::Path) -> Result<*mut c_void, String> {
+        let c = std::ffi::CString::new(path.to_string_lossy().into_owned())
+            .map_err(|e| e.to_string())?;
+        let h = unsafe { dlopen(c.as_ptr(), RTLD_NOW) };
+        if h.is_null() {
+            Err(last_error())
+        } else {
+            Ok(h)
+        }
+    }
+
+    pub fn sym(handle: *mut c_void, name: &str) -> Result<*mut c_void, String> {
+        let c = std::ffi::CString::new(name).map_err(|e| e.to_string())?;
+        let p = unsafe { dlsym(handle, c.as_ptr()) };
+        if p.is_null() {
+            Err(format!("symbol `{name}` not found: {}", last_error()))
+        } else {
+            Ok(p)
+        }
+    }
+}
+
+/// In-process cache: source hash → loaded library (or the failure message,
+/// so a broken toolchain is probed once per process, not once per scope).
+type LoadCache = Mutex<HashMap<u64, Result<Arc<NativeLib>, String>>>;
+
+fn load_cache() -> &'static LoadCache {
+    static CACHE: OnceLock<LoadCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+#[cfg(all(unix, not(miri)))]
+fn compile_and_load(source: &str, n_flat: usize, hash: u64) -> Result<Arc<NativeLib>, String> {
+    use std::process::Command;
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cache dir {}: {e}", dir.display()))?;
+    let so = dir.join(format!("{hash:016x}.so"));
+    if !so.exists() {
+        let src_path = dir.join(format!("{hash:016x}.rs"));
+        std::fs::write(&src_path, source)
+            .map_err(|e| format!("write {}: {e}", src_path.display()))?;
+        // Compile to a process-unique temp name, then rename: concurrent
+        // processes racing on the same plan both succeed.
+        let tmp = dir.join(format!("{hash:016x}.{}.tmp", std::process::id()));
+        let rustc = std::env::var("PBTE_NATIVE_RUSTC").unwrap_or_else(|_| "rustc".to_string());
+        let out = Command::new(&rustc)
+            .arg("--edition=2021")
+            .arg("--crate-type=cdylib")
+            .args(RUSTC_CODEGEN_FLAGS)
+            .arg("-o")
+            .arg(&tmp)
+            .arg(&src_path)
+            .output()
+            .map_err(|e| format!("invoking `{rustc}`: {e}"))?;
+        if !out.status.success() {
+            let _ = std::fs::remove_file(&tmp);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            let first = stderr.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+            return Err(format!("rustc failed ({}): {first}", out.status));
+        }
+        std::fs::rename(&tmp, &so).map_err(|e| format!("rename {}: {e}", so.display()))?;
+    }
+    let handle = dl::open(&so)?;
+    let mut fns = Vec::with_capacity(n_flat);
+    for flat in 0..n_flat {
+        let p = dl::sym(handle, &format!("pbte_flat_{flat}"))?;
+        // SAFETY: the symbol was emitted with exactly this signature.
+        fns.push(unsafe { std::mem::transmute::<*mut std::os::raw::c_void, KernelFn>(p) });
+    }
+    Ok(Arc::new(NativeLib { fns }))
+}
+
+#[cfg(not(all(unix, not(miri))))]
+fn compile_and_load(_source: &str, _n_flat: usize, _hash: u64) -> Result<Arc<NativeLib>, String> {
+    Err("native tier requires a unix host (and is disabled under miri)".into())
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Lower, validate, compile, and load the native kernels for a plan.
+/// `Err` is the structured fallback reason — the caller degrades to the
+/// row tier and records a `native/fallback` diagnostic.
+pub(crate) fn prepare(cp: &CompiledProblem, n_cells: usize) -> Result<Arc<NativeLib>, String> {
+    if cp.flux_lin.is_none() {
+        return Err("flux did not linearize (row flux loop unavailable)".into());
+    }
+    if cp.volume.references_time() {
+        return Err("volume program reads `t` (per-step rebinding defeats AOT caching)".into());
+    }
+    if cp.problem.rebind_per_step {
+        return Err("per-step rebinding is forced".into());
+    }
+    let dt = cp.problem.dt;
+    let coefficients = &cp.problem.registry.coefficients;
+    let mut per_flat = Vec::with_capacity(cp.n_flat);
+    for flat in 0..cp.n_flat {
+        let bound = cp
+            .volume
+            .bind(&cp.idx_of_flat[flat], n_cells, dt, 0.0, coefficients);
+        let reg = RegProgram::compile(&bound);
+        let stmts = lower_stmts(&reg).map_err(|e| format!("flat {flat}: {e}"))?;
+        // Prove the statement list (the exact tree the renderer prints)
+        // equal to the bound program before it ever reaches rustc.
+        let mut diags = Vec::new();
+        crate::analysis::check_native_against_bound(
+            &bound,
+            &reg,
+            &format!("volume kernel (native, flat {flat})"),
+            &mut diags,
+        );
+        if let Some(d) = diags.first() {
+            return Err(format!(
+                "emitted expression failed validation: {}",
+                d.render()
+            ));
+        }
+        per_flat.push(stmts);
+    }
+    let source = emit_source(cp, n_cells, &per_flat)?;
+    let hash = fnv1a(source.as_bytes());
+    let mut cache = load_cache().lock().unwrap();
+    if let Some(hit) = cache.get(&hash) {
+        return hit.clone();
+    }
+    let loaded = compile_and_load(&source, cp.n_flat, hash);
+    cache.insert(hash, loaded.clone());
+    loaded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::RegProgram;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // The FNV-1a offset basis; a change here silently invalidates
+        // every on-disk cache entry.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"pbte"), fnv1a(b"ptbe"));
+    }
+
+    #[test]
+    fn constants_round_trip_exactly() {
+        for k in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 4.94e-10] {
+            let s = lit(k);
+            let bits: u64 = u64::from_str_radix(
+                s.trim_start_matches("f64::from_bits(0x")
+                    .trim_end_matches("u64)"),
+                16,
+            )
+            .unwrap();
+            assert_eq!(bits, k.to_bits());
+        }
+    }
+
+    #[test]
+    fn lowering_honors_orientation_flags() {
+        let ops = vec![
+            RegOp::Load {
+                dst: 0,
+                var: 0,
+                offset: 0,
+            },
+            RegOp::AddConst {
+                dst: 0,
+                a: 0,
+                k: 2.0,
+                const_first: true,
+            },
+            RegOp::MulConst {
+                dst: 0,
+                a: 0,
+                k: 3.0,
+                const_first: false,
+            },
+            RegOp::LoadMul {
+                dst: 0,
+                a: 0,
+                var: 1,
+                offset: 4,
+                load_first: true,
+            },
+        ];
+        let reg = RegProgram::from_raw_parts(ops, 1);
+        let stmts = lower_stmts(&reg).unwrap();
+        assert_eq!(
+            stmts[1].expr,
+            NExpr::Add(NOperand::K(2.0), NOperand::Reg(0))
+        );
+        assert_eq!(
+            stmts[2].expr,
+            NExpr::Mul(NOperand::Reg(0), NOperand::K(3.0))
+        );
+        assert_eq!(
+            stmts[3].expr,
+            NExpr::Mul(NOperand::Load { var: 1, offset: 4 }, NOperand::Reg(0))
+        );
+    }
+
+    #[test]
+    fn empty_and_r0_less_programs_are_rejected() {
+        assert!(lower_stmts(&RegProgram::from_raw_parts(vec![], 0)).is_err());
+        let never_r0 = vec![RegOp::Const { dst: 1, k: 1.0 }];
+        assert!(lower_stmts(&RegProgram::from_raw_parts(never_r0, 2)).is_err());
+    }
+}

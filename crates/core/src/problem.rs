@@ -267,11 +267,17 @@ pub enum LoopDim {
 /// The tiers trade generality for speed: `Vm` interprets the generic
 /// stack bytecode per DOF (patterns resolved every op), `Bound` interprets
 /// a per-flat specialized program (patterns folded to offsets, coefficients
-/// and `dt` folded to constants), and `Row` runs the register-allocated,
+/// and `dt` folded to constants), `Row` runs the register-allocated,
 /// batched row kernel that fuses the whole update
-/// `u_new = u + dt·(source − flux·invV)` over a contiguous cell span.
-/// All three produce bit-identical results; `Row` requires the flux to be
-/// linearizable and silently falls back to `Bound` otherwise.
+/// `u_new = u + dt·(source − flux·invV)` over a contiguous cell span, and
+/// `Native` lowers the row programs to Rust source, compiles them
+/// out-of-process with `rustc` into a `cdylib`, and calls the machine-code
+/// kernels through a content-hashed on-disk plan cache.
+/// All tiers produce bit-identical results; `Row` requires the flux to be
+/// linearizable and silently falls back to `Bound` otherwise, and `Native`
+/// falls back to `Row` (with a structured diagnostic) when `rustc` is
+/// unavailable, compilation fails, or the plan is ineligible (per-step
+/// rebinding, time-dependent sources, function coefficients).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelTier {
     /// Generic stack-bytecode VM, per-DOF dispatch.
@@ -280,6 +286,21 @@ pub enum KernelTier {
     Bound,
     /// Fused, batched row kernel over contiguous cell spans.
     Row,
+    /// AOT-compiled native kernels (emitted Rust → `rustc` → `dlopen`).
+    Native,
+}
+
+impl KernelTier {
+    /// Stable lowercase name, used for CLI flags and telemetry span
+    /// attribution.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelTier::Vm => "vm",
+            KernelTier::Bound => "bound",
+            KernelTier::Row => "row",
+            KernelTier::Native => "native",
+        }
+    }
 }
 
 /// Errors from building a problem.

@@ -356,6 +356,80 @@ fn first_diverging_reg_op(
     None
 }
 
+/// The native tier must be bitwise-identical to the row tier on the full
+/// RHS (source + flux + ghosts) over the same 25 seeded random fields the
+/// interpreter comparison uses. Compiles a real `cdylib` through `rustc`,
+/// so it is gated off miri and non-unix hosts.
+#[test]
+#[cfg(all(unix, not(miri)))]
+fn native_tier_matches_row_tier_bitwise() {
+    use pbte_dsl::problem::KernelTier;
+
+    let solver = fuzz_problem().build(ExecTarget::CpuSeq).unwrap();
+    let cp = &solver.compiled;
+    let registry = &cp.problem.registry;
+    let n_cells = cp.mesh().n_cells();
+    let mut fields = solver.fields().clone();
+
+    let mut native = cp.intensity_bench(&fields, KernelTier::Native);
+    assert_eq!(
+        native.tier(),
+        KernelTier::Native,
+        "native tier fell back: {:?}",
+        native.native_fallback().map(|d| d.render())
+    );
+    let mut row = cp.intensity_bench(&fields, KernelTier::Row);
+    assert_eq!(row.tier(), KernelTier::Row);
+
+    let n_dof = cp.n_flat * n_cells;
+    let mut rhs_native = vec![0.0f64; n_dof];
+    let mut rhs_row = vec![0.0f64; n_dof];
+    let mut rng = Rng(0x5eed_cafe_f00d_0002);
+    for seed in 0..SEEDS {
+        for v in 0..registry.variables.len() {
+            for x in fields.slice_mut(v).iter_mut() {
+                *x = rng.field_value();
+            }
+        }
+        native.run(&fields, &mut rhs_native);
+        row.run(&fields, &mut rhs_row);
+        for flat in 0..cp.n_flat {
+            for cell in 0..n_cells {
+                let at = flat * n_cells + cell;
+                if rhs_native[at].to_bits() != rhs_row[at].to_bits() {
+                    // Lockstep divergence report: re-validate this flat's
+                    // emitted statement list symbolically so a lowering
+                    // bug is pinpointed to the statement, not just the dof.
+                    let bound = cp.volume.bind(
+                        &cp.idx_of_flat[flat],
+                        n_cells,
+                        cp.problem.dt,
+                        0.0,
+                        &registry.coefficients,
+                    );
+                    let reg = RegProgram::compile(&bound);
+                    let mut diags = Vec::new();
+                    pbte_dsl::analysis::check_native_against_bound(
+                        &bound,
+                        &reg,
+                        &format!("flat {flat}"),
+                        &mut diags,
+                    );
+                    panic!(
+                        "seed {seed}, flat {flat}, cell {cell}: native {:e} ({:#018x}) != \
+                         row {:e} ({:#018x}); symbolic re-check: {:?}",
+                        rhs_native[at],
+                        rhs_native[at].to_bits(),
+                        rhs_row[at],
+                        rhs_row[at].to_bits(),
+                        diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 #[allow(clippy::needless_range_loop)] // `flat` indexes three parallel structures
 fn all_tiers_agree_bitwise_with_the_symbolic_reference() {

@@ -1,0 +1,84 @@
+//! Degradation seam for the native tier: when `rustc` is unavailable the
+//! intensity phase must fall back to the row tier, record a structured
+//! `native/fallback` diagnostic, and complete the solve — never error.
+//!
+//! This lives in its own integration-test binary because the simulated
+//! missing compiler is communicated through process-wide environment
+//! variables (`PBTE_NATIVE_RUSTC`, `PBTE_NATIVE_CACHE_DIR`) that must be
+//! set before the first native preparation anywhere in the process, and
+//! because the in-process plan cache also memoizes *failures* per hash.
+
+use pbte_dsl::analysis::rules;
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::{KernelTier, Problem};
+use pbte_dsl::BoundaryCondition;
+use pbte_mesh::grid::UniformGrid;
+
+fn mini_bte(tier: KernelTier) -> Problem {
+    let mut p = Problem::new("fallback-mini");
+    p.domain(2);
+    p.mesh(UniformGrid::new_2d(6, 6, 1.0, 1.0).build());
+    p.set_steps(1e-3, 2);
+    let d = p.index("d", 4);
+    let b = p.index("b", 2);
+    let i_var = p.variable("I", &[d, b]);
+    let io = p.variable("Io", &[b]);
+    p.coefficient_array("Sx", &[d], vec![1.0, 0.0, -1.0, 0.0]);
+    p.coefficient_array("Sy", &[d], vec![0.0, 1.0, 0.0, -1.0]);
+    p.coefficient_array("vg", &[b], vec![1.0, 0.5]);
+    p.coefficient_scalar("tau", 2.0);
+    p.initial(i_var, |_, _| 1.0);
+    p.initial(io, |_, _| 1.0);
+    for side in ["left", "right", "top", "bottom"] {
+        p.boundary(i_var, side, BoundaryCondition::Value(1.0));
+    }
+    p.conservation_form(
+        i_var,
+        "(Io[b] - I[d,b]) / tau + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+    );
+    p.kernel_tier(tier);
+    p
+}
+
+#[test]
+#[cfg(all(unix, not(miri)))]
+fn missing_rustc_degrades_to_row_tier_with_a_diagnostic() {
+    // Simulate a host without a Rust compiler, and isolate the on-disk
+    // cache so a previously compiled plan for this problem can't satisfy
+    // the lookup before rustc would be invoked.
+    let cache = std::env::temp_dir().join(format!("pbte-native-fallback-{}", std::process::id()));
+    std::env::set_var("PBTE_NATIVE_RUSTC", "/nonexistent/pbte-no-such-rustc");
+    std::env::set_var("PBTE_NATIVE_CACHE_DIR", &cache);
+
+    let mut solver = mini_bte(KernelTier::Native)
+        .build(ExecTarget::CpuSeq)
+        .unwrap();
+    let fields = solver.fields().clone();
+    let bench = solver.compiled.intensity_bench(&fields, KernelTier::Native);
+
+    // The tier degraded rather than erroring...
+    assert_eq!(
+        bench.tier(),
+        KernelTier::Row,
+        "expected a fallback to the row tier without rustc"
+    );
+    // ...and the degradation is observable as a structured diagnostic.
+    let diag = bench
+        .native_fallback()
+        .expect("fallback must record a diagnostic");
+    assert_eq!(diag.rule, rules::NATIVE_FALLBACK);
+    assert!(
+        diag.message.contains("row"),
+        "diagnostic should name the tier it fell back to: {}",
+        diag.render()
+    );
+    drop(bench);
+
+    // A full solve on the degraded tier still completes.
+    let report = solver
+        .solve()
+        .expect("solve must complete on the fallback tier");
+    assert_eq!(report.steps, 2);
+
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -120,7 +120,12 @@ fn all_targets() -> Vec<ExecTarget> {
 #[test]
 fn translation_and_intervals_prove_clean_on_every_target_and_tier() {
     for target in all_targets() {
-        for tier in [KernelTier::Vm, KernelTier::Bound, KernelTier::Row] {
+        for tier in [
+            KernelTier::Vm,
+            KernelTier::Bound,
+            KernelTier::Row,
+            KernelTier::Native,
+        ] {
             let mut p = declared_problem(6, 2);
             p.kernel_tier(tier);
             let solver = p.build(target.clone()).unwrap();
@@ -184,6 +189,68 @@ fn misfused_reg_program_fires_exactly_the_reg_rule() {
         diags.iter().map(|d| d.render()).collect::<Vec<_>>()
     );
     assert_eq!(diags[0].rule, rules::TRANSLATION_REG);
+}
+
+/// The same flipped-orientation corruption, caught at the *native* seam:
+/// the statement list the native tier renders to Rust source is abstractly
+/// executed against the bound program before anything reaches rustc, so a
+/// corrupted lowering fires `translation/native-mismatch` — and only it —
+/// without ever compiling the bad source.
+#[test]
+fn misfused_native_lowering_fires_exactly_the_native_rule() {
+    let solver = declared_problem(6, 2).build(ExecTarget::CpuSeq).unwrap();
+    let cp = &solver.compiled;
+    let bound = cp.volume.bind(
+        &cp.idx_of_flat[0],
+        cp.mesh().n_cells(),
+        cp.problem.dt,
+        0.0,
+        &cp.problem.registry.coefficients,
+    );
+    let reg = RegProgram::compile(&bound);
+    let mut ops = reg.ops().to_vec();
+    let flipped = ops.iter_mut().find_map(|op| match op {
+        RegOp::AddConst { const_first, .. }
+        | RegOp::MulConst { const_first, .. }
+        | RegOp::LoadMulConst { const_first, .. } => {
+            *const_first = !*const_first;
+            Some(())
+        }
+        RegOp::LoadMul { load_first, .. } => {
+            *load_first = !*load_first;
+            Some(())
+        }
+        _ => None,
+    });
+    assert!(
+        flipped.is_some(),
+        "expected the fused row program to contain at least one superinstruction"
+    );
+    let tampered = RegProgram::from_raw_parts(ops, reg.n_regs());
+
+    let mut clean = Vec::new();
+    analysis::check_native_against_bound(
+        &bound,
+        &reg,
+        "volume kernel (native, flat 0)",
+        &mut clean,
+    );
+    assert!(clean.is_empty(), "untampered lowering must prove clean");
+
+    let mut diags = Vec::new();
+    analysis::check_native_against_bound(
+        &bound,
+        &tampered,
+        "volume kernel (native, flat 0)",
+        &mut diags,
+    );
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one diagnostic, got: {:?}",
+        diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+    );
+    assert_eq!(diags[0].rule, rules::TRANSLATION_NATIVE);
 }
 
 /// Replace the IR's source statement with one that dropped its terms; the

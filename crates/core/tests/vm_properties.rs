@@ -197,6 +197,23 @@ proptest! {
                         row[cell]
                     );
                 }
+                // Property 2c: the native tier's lowered statement list is
+                // *symbolically* equal to the bound program — the abstract
+                // interpretation the `--validate` chain runs before any
+                // generated source reaches rustc. This is purely symbolic
+                // (no compilation), so it runs everywhere, including miri.
+                let mut diags = Vec::new();
+                pbte_dsl::analysis::check_native_against_bound(
+                    &bound,
+                    &reg,
+                    "vm_properties",
+                    &mut diags,
+                );
+                prop_assert!(
+                    diags.is_empty(),
+                    "native lowering diverges symbolically for {e}: {:?}",
+                    diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+                );
             }
         }
     }
