@@ -34,12 +34,12 @@
 //!   count and is reported but not asserted.
 //!
 //! * kernel-span **tier attribution**: every `Kernel` span a target
-//!   records must carry one uniform `tier` attribute, and the CPU-lineage
-//!   targets (par, cells, bands) must attribute the same tier as seq —
+//!   records must carry one uniform `tier` attribute, and *every* target
+//!   — CPU and GPU lineage alike — must attribute the same tier as seq:
 //!   with `tier=native`, that proves the AOT kernels (or their documented
-//!   row fallback) actually ran everywhere. GPU targets route non-row
-//!   tiers through the device VM path, so their attribution is reported
-//!   but only checked for internal uniformity.
+//!   row fallback) actually ran everywhere. The device path evaluates the
+//!   bound tier's specialized programs in place of the generic stack VM,
+//!   so the attribution names the code that ran, not a lineage alias.
 //!
 //! Any violated assertion prints a `PARITY MISMATCH` line and the exit
 //! status is 1.
@@ -282,15 +282,16 @@ fn run_parity(
                 ok = false;
             }
         }
-        // Every target's kernel spans must attribute one tier uniformly;
-        // the CPU-lineage targets must attribute the same tier as seq
-        // (GPU targets route non-row tiers through the device VM path,
-        // so only their uniformity is asserted).
+        // Every target's kernel spans must attribute one tier uniformly
+        // and — GPU lineage included — name the same tier as seq: the
+        // device path runs the bound tier's specialized programs (and the
+        // fused row/native kernels) rather than a VM alias, so unequal
+        // attribution means different code ran.
         if tiers.len() > 1 {
             println!("PARITY MISMATCH: {tname} kernel spans attribute mixed tiers {tiers:?}");
             ok = false;
         }
-        if matches!(tname, "par" | "cells" | "bands") && tiers != seq_tiers {
+        if tiers != seq_tiers {
             println!(
                 "PARITY MISMATCH: {tname} kernel tier attribution {tiers:?} != seq {seq_tiers:?}"
             );

@@ -8,19 +8,24 @@
 //! For each scenario (the hot-spot domain of Figs 1–4 and the elongated
 //! domain of Fig 10), each temperature strategy (redundant / divided
 //! Newton), each target (seq, par, `cells:<r>`, `bands:<r>`, gpu async,
-//! gpu precompute, bands+gpu) and each kernel tier (vm, bound, row), the
+//! gpu precompute, bands+gpu), each kernel tier (vm, bound, row, native)
+//! and each time integrator (explicit, implicit θ=1, steady), the
 //! problem is compiled and `verify_plan` checks:
 //!
 //! 1. bytecode well-formedness and derived read sets vs the declared ones;
-//! 2. pairwise-disjoint write regions for the parallel split of the target;
+//! 2. pairwise-disjoint write regions for the parallel split of the target
+//!    (under an implicit integrator, additionally that the per-rank Krylov
+//!    work-vector scopes tile the dof grid exactly);
 //! 3. the transfer schedule against derived/declared access sets (GPU
 //!    targets only — no stale reads, no redundant transfers).
 //!
 //! Two opt-in passes extend the proof to the lowering pipeline itself:
 //!
 //! * `--validate` — translation validation: re-extract a canonical
-//!   symbolic expression from the IR and from all three compiled kernel
-//!   tiers and prove each equal to the DSL's expanded form;
+//!   symbolic expression from the IR and from all compiled kernel tiers
+//!   and prove each equal to the DSL's expanded form; implicit plans also
+//!   prove their attached JVP plan against a fresh symbolic linearization
+//!   and re-run the chain over it (`translation/jvp-mismatch`);
 //! * `--intervals` — numeric-safety abstract interpretation over the
 //!   interval domain (no NaN/Inf, no division by zero, function domains)
 //!   plus the CFL-style step-bound check.
@@ -35,7 +40,7 @@ use pbte_apps::arg_usize;
 use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
 use pbte_bte::temperature::TemperatureStrategy;
 use pbte_dsl::exec::ExecTarget;
-use pbte_dsl::problem::KernelTier;
+use pbte_dsl::problem::{Integrator, KernelTier};
 use pbte_dsl::{analysis, GpuStrategy};
 use pbte_gpu::DeviceSpec;
 use std::time::Instant;
@@ -80,7 +85,7 @@ fn targets(ranks: usize) -> Vec<(String, ExecTarget)> {
 
 /// Timing of the passes run on one plan, milliseconds.
 struct PlanTiming {
-    tags: [String; 4],
+    tags: [String; 5],
     verify_ms: f64,
     validate_ms: Option<f64>,
     intervals_ms: Option<f64>,
@@ -118,10 +123,21 @@ fn main() {
         ("row", KernelTier::Row),
         ("native", KernelTier::Native),
     ];
+    let integrators = [
+        ("explicit", Integrator::Explicit),
+        ("implicit", Integrator::Implicit { theta: 1.0 }),
+        (
+            "steady",
+            Integrator::Steady {
+                tol: 1e-6,
+                growth: 2.0,
+            },
+        ),
+    ];
 
     // Each diagnostic is paired with the plan it came from so both output
     // modes stay self-describing.
-    let mut all: Vec<([String; 4], pbte_dsl::Diagnostic)> = Vec::new();
+    let mut all: Vec<([String; 5], pbte_dsl::Diagnostic)> = Vec::new();
     let mut timings: Vec<PlanTiming> = Vec::new();
     let mut plans = 0usize;
     for (sname, scenario) in scenarios {
@@ -129,50 +145,59 @@ fn main() {
             let cfg = BteConfig::small(n, 8, 4, steps).with_temperature_strategy(strategy);
             for (tname, target) in targets(ranks) {
                 for (kname, tier) in tiers {
-                    let mut bte = scenario(&cfg);
-                    bte.problem.kernel_tier(tier);
-                    let solver = match bte.problem.build(target.clone()) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            eprintln!("{sname}/{stname}/{tname}/{kname}: build failed: {e:?}");
-                            std::process::exit(2);
-                        }
-                    };
-                    let cp = &solver.compiled;
-                    let tags = [
-                        sname.to_string(),
-                        stname.to_string(),
-                        tname.clone(),
-                        kname.to_string(),
-                    ];
+                    for (iname, integrator) in integrators {
+                        let mut bte = scenario(&cfg);
+                        bte.problem.kernel_tier(tier);
+                        bte.problem.integrator(integrator);
+                        let solver = match bte.problem.build(target.clone()) {
+                            Ok(s) => s,
+                            Err(e) => {
+                                eprintln!(
+                                    "{sname}/{stname}/{tname}/{kname}/{iname}: build failed: {e:?}"
+                                );
+                                std::process::exit(2);
+                            }
+                        };
+                        let cp = &solver.compiled;
+                        let tags = [
+                            sname.to_string(),
+                            stname.to_string(),
+                            tname.clone(),
+                            kname.to_string(),
+                            iname.to_string(),
+                        ];
 
-                    let t0 = Instant::now();
-                    let mut diags = cp.verify_plan(&solver.target);
-                    let verify_ms = ms(t0);
-                    let validate_ms = validate.then(|| {
                         let t0 = Instant::now();
-                        analysis::check_translation(cp, &solver.target, &mut diags);
-                        ms(t0)
-                    });
-                    let intervals_ms = intervals.then(|| {
-                        let t0 = Instant::now();
-                        analysis::check_intervals(cp, &mut diags);
-                        ms(t0)
-                    });
-                    timings.push(PlanTiming {
-                        tags: tags.clone(),
-                        verify_ms,
-                        validate_ms,
-                        intervals_ms,
-                    });
+                        let mut diags = cp.verify_plan(&solver.target);
+                        let verify_ms = ms(t0);
+                        let validate_ms = validate.then(|| {
+                            let t0 = Instant::now();
+                            analysis::check_translation(cp, &solver.target, &mut diags);
+                            ms(t0)
+                        });
+                        let intervals_ms = intervals.then(|| {
+                            let t0 = Instant::now();
+                            analysis::check_intervals(cp, &mut diags);
+                            ms(t0)
+                        });
+                        timings.push(PlanTiming {
+                            tags: tags.clone(),
+                            verify_ms,
+                            validate_ms,
+                            intervals_ms,
+                        });
 
-                    plans += 1;
-                    if !json {
-                        for d in &diags {
-                            println!("{sname}/{stname}/{tname}/{kname}: {}", d.render());
+                        plans += 1;
+                        if !json {
+                            for d in &diags {
+                                println!(
+                                    "{sname}/{stname}/{tname}/{kname}/{iname}: {}",
+                                    d.render()
+                                );
+                            }
                         }
+                        all.extend(diags.into_iter().map(|d| (tags.clone(), d)));
                     }
-                    all.extend(diags.into_iter().map(|d| (tags.clone(), d)));
                 }
             }
         }
@@ -187,6 +212,7 @@ fn main() {
                     ("strategy", &tags[1]),
                     ("target", &tags[2]),
                     ("tier", &tags[3]),
+                    ("integrator", &tags[4]),
                 ])
             })
             .collect();
@@ -195,11 +221,13 @@ fn main() {
             .map(|t| {
                 format!(
                     "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"target\":\"{}\",\"tier\":\"{}\",\
+                     \"integrator\":\"{}\",\
                      \"verify_ms\":{:.3},\"validate_ms\":{},\"intervals_ms\":{}}}",
                     t.tags[0],
                     t.tags[1],
                     t.tags[2],
                     t.tags[3],
+                    t.tags[4],
                     t.verify_ms,
                     json_f64(t.validate_ms),
                     json_f64(t.intervals_ms)

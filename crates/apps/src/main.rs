@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! pbte hotspot   [n=48] [steps=2000] [dirs=8] [bands=10] [target=par] [strategy=redundant]
-//!                [tier=row] [dt=auto|<seconds>]
+//!                [tier=row] [dt=auto|<seconds>] [integrator=explicit|implicit|steady]
 //! pbte elongated [n=24] [steps=3000] [target=par] [tier=row] [dt=auto|<seconds>]
+//!                [integrator=explicit|implicit|steady]
 //! pbte bte3d     [n=8]  [steps=400]
 //! pbte codegen   [target=seq|par|gpu|cells:<ranks>|bands:<ranks>]
 //! pbte info
@@ -18,17 +19,23 @@
 //! `tier` values: `vm`, `bound`, `row`, `native` (AOT-compiled plan
 //! kernels; falls back to `row` with a diagnostic when `rustc` is
 //! unavailable).
-//! `dt`: a literal step in seconds, or `auto` to clamp the step to the
-//! interval pass's advective bound (the scenario's conservative
-//! scattering-limited default stays in effect when the key is absent,
-//! preserving paper parity).
+//! `dt`: a literal step in seconds, or `auto` to let the interval pass
+//! pick the step — the advective CFL bound under explicit stepping, an
+//! accuracy-scaled multiple of it under the unconditionally stable
+//! implicit integrators (the scenario's conservative scattering-limited
+//! default stays in effect when the key is absent, preserving paper
+//! parity).
+//! `integrator` values: `explicit` (forward Euler, the default),
+//! `implicit` / `implicit:<theta>` (matrix-free θ-scheme, backward Euler
+//! at the default θ=1), `steady` / `steady:<tol>:<growth>`
+//! (pseudo-transient continuation to steady state).
 
 use pbte_apps::arg_usize;
 use pbte_bte::output::{render_ascii, summary, temperature_grid};
 use pbte_bte::scenario::{coarse_3d, elongated, hotspot_2d, BteConfig, BteProblem};
 use pbte_bte::temperature::TemperatureStrategy;
 use pbte_dsl::exec::{ExecTarget, Solver};
-use pbte_dsl::problem::KernelTier;
+use pbte_dsl::problem::{Integrator, KernelTier};
 use pbte_dsl::GpuStrategy;
 use pbte_gpu::DeviceSpec;
 use pbte_runtime::telemetry::Recorder;
@@ -78,6 +85,36 @@ fn parse_strategy(args: &[String]) -> TemperatureStrategy {
     }
 }
 
+fn parse_integrator(args: &[String]) -> Integrator {
+    let Some(spec) = args.iter().find_map(|a| a.strip_prefix("integrator=")) else {
+        return Integrator::Explicit;
+    };
+    let mut parts = spec.split(':');
+    match parts.next().unwrap_or("") {
+        "explicit" => Integrator::Explicit,
+        "implicit" => Integrator::Implicit {
+            theta: parts
+                .next()
+                .map(|t| t.parse().expect("integrator=implicit:<theta>"))
+                .unwrap_or(1.0),
+        },
+        "steady" => Integrator::Steady {
+            tol: parts
+                .next()
+                .map(|t| t.parse().expect("integrator=steady:<tol>:<growth>"))
+                .unwrap_or(1e-6),
+            growth: parts
+                .next()
+                .map(|g| g.parse().expect("integrator=steady:<tol>:<growth>"))
+                .unwrap_or(2.0),
+        },
+        other => {
+            eprintln!("unknown integrator `{other}`; using explicit");
+            Integrator::Explicit
+        }
+    }
+}
+
 fn parse_tier(args: &[String]) -> Option<KernelTier> {
     match args.iter().find_map(|a| a.strip_prefix("tier="))? {
         "vm" => Some(KernelTier::Vm),
@@ -92,13 +129,16 @@ fn parse_tier(args: &[String]) -> Option<KernelTier> {
 }
 
 /// Resolve the `dt=` key. A literal value is used verbatim; `auto`
-/// probe-compiles the scenario at its default step and clamps the step to
-/// the interval pass's advective bound (`dt ≤ width_min / vmax`). Returns
-/// the clamp notice when `auto` changed the step, so the caller can emit
-/// it as a telemetry event alongside the solve.
+/// probe-compiles the scenario at its default step and asks the interval
+/// pass for a recommendation: the advective CFL bound
+/// (`dt ≤ width_min / vmax`) under explicit stepping, an accuracy-scaled
+/// multiple of it when the chosen integrator is unconditionally stable.
+/// Returns the notice when `auto` changed the step, so the caller can
+/// emit it as a telemetry event alongside the solve.
 fn apply_dt(
     args: &[String],
     cfg: &mut BteConfig,
+    integrator: Integrator,
     build: impl Fn(&BteConfig) -> BteProblem,
 ) -> Option<String> {
     let spec = args.iter().find_map(|a| a.strip_prefix("dt="))?;
@@ -106,19 +146,23 @@ fn apply_dt(
         cfg.dt = Some(spec.parse().expect("dt=<seconds>|auto"));
         return None;
     }
-    let probe = build(cfg);
+    let mut probe = build(cfg);
     let default_dt = probe.problem.dt;
+    probe.problem.integrator(integrator);
     let solver = Solver::build(probe.problem, ExecTarget::CpuSeq).expect("probe compiles");
-    let bound = pbte_dsl::analysis::cfl_bound(&solver.compiled)
+    let rec = pbte_dsl::analysis::recommend_dt(&solver.compiled)
         .expect("advective scenario derives a CFL bound");
-    let dt_max = bound.dt_max();
-    cfg.dt = Some(dt_max);
-    (dt_max != default_dt).then(|| {
+    cfg.dt = Some(rec.dt);
+    (rec.dt != default_dt).then(|| {
         format!(
-            "dt=auto clamped the step to the advective bound: {dt_max:.3e} s \
-             (scenario default {default_dt:.3e} s, vmax {:.3e} m/s, \
-             min effective width {:.3e} m)",
-            bound.vmax, bound.width_min
+            "dt=auto set the step by the `{}` policy: {:.3e} s \
+             (scenario default {default_dt:.3e} s, CFL bound {:.3e} s, \
+             vmax {:.3e} m/s, min effective width {:.3e} m)",
+            rec.policy,
+            rec.dt,
+            rec.bound.dt_max(),
+            rec.bound.vmax,
+            rec.bound.width_min
         )
     })
 }
@@ -145,8 +189,12 @@ fn run_2d(
     if let Some(tier) = parse_tier(args) {
         bte.problem.kernel_tier(tier);
     }
+    bte.problem.integrator(parse_integrator(args));
     let vars = bte.vars;
     let mut solver = bte.solver(target).expect("valid scenario");
+    let integrator = solver.compiled.problem.integrator;
+    let dt_used = solver.compiled.problem.dt;
+    let cfl = pbte_dsl::analysis::cfl_bound(&solver.compiled);
     // A dt=auto clamp is observable two ways: a printed notice and a
     // warning event on the solve's telemetry timeline.
     let mut rec = match &dt_note {
@@ -173,6 +221,27 @@ fn run_2d(
         "temperature: {} solves, {} newton iters",
         report.work.temperature_solves, report.work.newton_iters
     );
+    // Time-integration summary: what stepped, how far, and where the
+    // stability wall would have been (dt=auto clamps surface here too).
+    let cfl_note = match &cfl {
+        Some(b) => format!(
+            "CFL bound {:.3e} s ({:.1}x)",
+            b.dt_max(),
+            dt_used / b.dt_max()
+        ),
+        None => "no CFL bound (non-advective)".into(),
+    };
+    let auto_note = if dt_note.is_some() { ", dt=auto" } else { "" };
+    println!(
+        "time integration: {} | dt {dt_used:.3e} s{auto_note} | {cfl_note}",
+        integrator.name()
+    );
+    if integrator.is_implicit() {
+        println!(
+            "krylov: {} rhs evals, {} jvp evals, {} iters",
+            report.work.rhs_evals, report.work.jvp_evals, report.work.krylov_iters
+        );
+    }
     println!("\nphase breakdown:\n{}", report.timer.breakdown().render());
 }
 
@@ -188,7 +257,7 @@ fn main() {
     match command {
         "hotspot" => {
             let mut cfg = cfg_from(rest, 48, 2000);
-            let dt_note = apply_dt(rest, &mut cfg, hotspot_2d);
+            let dt_note = apply_dt(rest, &mut cfg, parse_integrator(rest), hotspot_2d);
             let (nx, ny) = (cfg.nx, cfg.ny);
             println!(
                 "hot-spot scenario: {nx}x{ny} cells, {} dof/cell, {} steps",
@@ -201,7 +270,7 @@ fn main() {
             let mut cfg = cfg_from(rest, 24, 3000);
             cfg.nx = 3 * cfg.ny;
             cfg.lx = 3.0 * cfg.ly;
-            let dt_note = apply_dt(rest, &mut cfg, elongated);
+            let dt_note = apply_dt(rest, &mut cfg, parse_integrator(rest), elongated);
             let (nx, ny) = (cfg.nx, cfg.ny);
             println!("elongated scenario: {nx}x{ny} cells, {} steps", cfg.n_steps);
             run_2d(elongated(&cfg), rest, parse_target(rest), nx, ny, dt_note);
@@ -268,11 +337,13 @@ fn main() {
         _ => {
             println!(
                 "usage: pbte <hotspot|elongated|bte3d|codegen|info> [key=value ...]\n\
-                 keys: n, steps, dirs, bands, target, strategy, tier, dt\n\
+                 keys: n, steps, dirs, bands, target, strategy, tier, dt, integrator\n\
                  targets: seq | par | gpu | cells:<ranks> | bands:<ranks>\n\
                  strategies (temperature Newton under bands:<ranks>): redundant | divided\n\
                  tiers: vm | bound | row | native (AOT; falls back to row without rustc)\n\
-                 dt: <seconds> | auto (clamp to the interval pass's advective bound)"
+                 dt: <seconds> | auto (interval-pass recommendation: CFL bound when\n\
+                     explicit, accuracy-scaled when unconditionally stable)\n\
+                 integrators: explicit | implicit[:<theta>] | steady[:<tol>:<growth>]"
             );
         }
     }

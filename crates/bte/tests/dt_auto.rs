@@ -1,0 +1,146 @@
+//! Properties of the interval pass's `dt = auto` recommendation over the
+//! verify-sweep scenarios (hotspot, elongated) at several mesh shapes.
+//!
+//! * Explicit stepping: the recommendation IS the CFL bound, it is
+//!   accepted by the interval pass (no `intervals/cfl-exceeded`), and any
+//!   step strictly above the bound is flagged.
+//! * Unconditionally stable integrators (backward Euler, steady): the
+//!   recommendation is the accuracy-scaled multiple of the bound, and the
+//!   CFL rule is suppressed even far beyond the bound — there is no
+//!   stability wall to police.
+//! * The bound itself scales like the mesh: halving the cell width halves
+//!   `dt_max` (vmax is a material property, width_min is geometric).
+
+use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
+use pbte_dsl::analysis::{self, rules, ACCURACY_COURANT};
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::Integrator;
+
+type Scenario = fn(&BteConfig) -> BteProblem;
+
+const SCENARIOS: [(&str, Scenario); 2] = [("hotspot", hotspot_2d), ("elongated", elongated)];
+
+fn cfl_diags(bp: BteProblem) -> Vec<pbte_dsl::Diagnostic> {
+    let solver = bp.solver(ExecTarget::CpuSeq).unwrap();
+    let mut diags = Vec::new();
+    analysis::check_intervals(&solver.compiled, &mut diags);
+    diags
+        .into_iter()
+        .filter(|d| d.rule == rules::INTERVAL_CFL)
+        .collect()
+}
+
+#[test]
+fn recommended_dt_is_cfl_clean_under_explicit_and_scaled_when_stable() {
+    for (name, scenario) in SCENARIOS {
+        for n in [6, 12] {
+            let cfg = BteConfig::small(n, 4, 4, 2);
+            let solver = scenario(&cfg).solver(ExecTarget::CpuSeq).unwrap();
+            let bound = analysis::cfl_bound(&solver.compiled)
+                .unwrap_or_else(|| panic!("{name} n={n}: advective scenario has a CFL bound"));
+            assert!(
+                bound.dt_max().is_finite() && bound.dt_max() > 0.0,
+                "{name} n={n}: dt_max must be positive and finite"
+            );
+
+            // Explicit: recommendation == the bound, policy-tagged "cfl".
+            let rec = analysis::recommend_dt(&solver.compiled).unwrap();
+            assert_eq!(rec.policy, "cfl", "{name} n={n}");
+            assert_eq!(rec.dt.to_bits(), bound.dt_max().to_bits(), "{name} n={n}");
+
+            // Implicit: same bound, accuracy-scaled recommendation.
+            let mut bp = scenario(&cfg);
+            bp.problem.integrator(Integrator::Implicit { theta: 1.0 });
+            let isolver = bp.solver(ExecTarget::CpuSeq).unwrap();
+            let irec = analysis::recommend_dt(&isolver.compiled).unwrap();
+            assert_eq!(irec.policy, "accuracy", "{name} n={n}");
+            assert_eq!(
+                irec.dt.to_bits(),
+                (bound.dt_max() * ACCURACY_COURANT).to_bits(),
+                "{name} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cfl_rule_fires_above_the_bound_only_for_explicit_stepping() {
+    for (name, scenario) in SCENARIOS {
+        let cfg = BteConfig::small(8, 4, 4, 2);
+        let probe = scenario(&cfg).solver(ExecTarget::CpuSeq).unwrap();
+        let dt_max = analysis::cfl_bound(&probe.compiled).unwrap().dt_max();
+
+        // At (or below) the recommendation: clean.
+        let mut at_bound = cfg.clone();
+        at_bound.dt = Some(dt_max);
+        assert!(
+            cfl_diags(scenario(&at_bound)).is_empty(),
+            "{name}: dt at the bound must not be flagged"
+        );
+
+        // Strictly above: flagged under explicit stepping…
+        let mut over = cfg.clone();
+        over.dt = Some(dt_max * 1.01);
+        let diags = cfl_diags(scenario(&over));
+        assert!(
+            !diags.is_empty(),
+            "{name}: dt above the bound must raise {}",
+            rules::INTERVAL_CFL
+        );
+
+        // …but suppressed for every unconditionally stable integrator,
+        // even orders of magnitude past the wall.
+        for integrator in [
+            Integrator::Implicit { theta: 1.0 },
+            Integrator::Implicit { theta: 0.5 },
+            Integrator::Steady {
+                tol: 1e-6,
+                growth: 2.0,
+            },
+        ] {
+            let mut far = cfg.clone();
+            far.dt = Some(dt_max * 1e3);
+            let mut bp = scenario(&far);
+            bp.problem.integrator(integrator);
+            assert!(
+                cfl_diags(bp).is_empty(),
+                "{name}: {integrator:?} has no stability wall to police"
+            );
+        }
+
+        // Forward Euler in θ-clothing (θ < ½) is NOT unconditionally
+        // stable and keeps the rule.
+        let mut theta_low = cfg.clone();
+        theta_low.dt = Some(dt_max * 1.01);
+        let mut bp = scenario(&theta_low);
+        bp.problem.integrator(Integrator::Implicit { theta: 0.25 });
+        assert!(
+            !cfl_diags(bp).is_empty(),
+            "{name}: θ<1/2 keeps the CFL rule"
+        );
+    }
+}
+
+#[test]
+fn cfl_bound_scales_with_cell_width() {
+    for (name, scenario) in SCENARIOS {
+        let coarse = scenario(&BteConfig::small(6, 4, 4, 2))
+            .solver(ExecTarget::CpuSeq)
+            .unwrap();
+        let fine = scenario(&BteConfig::small(12, 4, 4, 2))
+            .solver(ExecTarget::CpuSeq)
+            .unwrap();
+        let bc = analysis::cfl_bound(&coarse.compiled).unwrap();
+        let bf = analysis::cfl_bound(&fine.compiled).unwrap();
+        assert_eq!(
+            bc.vmax.to_bits(),
+            bf.vmax.to_bits(),
+            "{name}: vmax is a material property, not a mesh property"
+        );
+        let ratio = bc.dt_max() / bf.dt_max();
+        assert!(
+            (ratio - 2.0).abs() < 1e-9,
+            "{name}: halving the cell width must halve dt_max (got ratio {ratio})"
+        );
+    }
+}

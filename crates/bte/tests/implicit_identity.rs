@@ -1,0 +1,141 @@
+//! Cross-target and cross-tier bit identity of the implicit integrators.
+//!
+//! Every Krylov scalar in the implicit path is an exact superaccumulator
+//! dot (limb transport over the reducer), and every RHS/JVP sweep routes
+//! through the same per-dof kernels as the explicit path, so the whole
+//! Newton–Krylov trajectory must agree *bit for bit* across all seven
+//! execution targets and all kernel tiers at fixed Krylov settings.
+//!
+//! The cross-target lanes freeze the temperature coupling (drop the
+//! post-step): under band partitioning the temperature update's partial
+//! energy allreduce reassociates additions — a documented ≈1-ulp effect
+//! that exists for the explicit path too and is orthogonal to the
+//! implicit machinery under test. Cell partitioning keeps callbacks
+//! cell-local, so an extra live-coupling lane pins DistCells to CpuSeq.
+
+use pbte_bte::scenario::{hotspot_2d, BteConfig, BteProblem};
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::Integrator;
+use pbte_dsl::{GpuStrategy, KernelTier};
+use pbte_gpu::DeviceSpec;
+
+fn seven_targets() -> Vec<ExecTarget> {
+    vec![
+        ExecTarget::CpuSeq,
+        ExecTarget::CpuParallel,
+        ExecTarget::DistCells { ranks: 2 },
+        ExecTarget::DistCells { ranks: 3 },
+        ExecTarget::DistBands {
+            ranks: 2,
+            index: "b".into(),
+        },
+        ExecTarget::DistBandsGpu {
+            ranks: 2,
+            index: "b".into(),
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::PrecomputeBoundary,
+        },
+        ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::PrecomputeBoundary,
+        },
+    ]
+}
+
+fn frozen(integrator: Integrator) -> BteProblem {
+    let mut bp = hotspot_2d(&BteConfig::small(6, 4, 4, 8));
+    bp.problem.post_steps.clear(); // freeze Io/beta/T at their initials
+    bp.problem.integrator(integrator);
+    bp
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: dof {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn implicit_bit_identical_across_seven_targets() {
+    let solve = |target: ExecTarget| {
+        let bp = frozen(Integrator::Implicit { theta: 1.0 });
+        let vars = bp.vars;
+        let mut s = bp.solver(target).unwrap();
+        s.solve().unwrap();
+        s.fields().slice(vars.i).to_vec()
+    };
+    let reference = solve(ExecTarget::CpuSeq);
+    for target in seven_targets().into_iter().skip(1) {
+        let label = format!("implicit {target:?}");
+        let got = solve(target);
+        assert_bits_eq(&reference, &got, &label);
+    }
+}
+
+#[test]
+fn steady_bit_identical_and_stops_identically_across_targets() {
+    let solve = |target: ExecTarget| {
+        let bp = frozen(Integrator::Steady {
+            tol: 1e-6,
+            growth: 2.0,
+        });
+        let vars = bp.vars;
+        let mut s = bp.solver(target).unwrap();
+        let rep = s.solve().unwrap();
+        (s.fields().slice(vars.i).to_vec(), rep.steps)
+    };
+    let (reference, ref_steps) = solve(ExecTarget::CpuSeq);
+    for target in seven_targets().into_iter().skip(1) {
+        let label = format!("steady {target:?}");
+        let (got, steps) = solve(target);
+        assert_eq!(
+            steps, ref_steps,
+            "{label}: SER stopped after {steps} pseudo-steps, CpuSeq after {ref_steps}"
+        );
+        assert_bits_eq(&reference, &got, &label);
+    }
+}
+
+#[test]
+fn implicit_kernel_tiers_are_bit_identical() {
+    let run_tier = |tier: KernelTier| {
+        let mut bp = hotspot_2d(&BteConfig::small(6, 4, 4, 8));
+        bp.problem.integrator(Integrator::Implicit { theta: 1.0 });
+        bp.problem.kernel_tier(tier);
+        let vars = bp.vars;
+        let mut s = bp.solver(ExecTarget::CpuSeq).unwrap();
+        s.solve().unwrap();
+        s.fields().slice(vars.i).to_vec()
+    };
+    let vm = run_tier(KernelTier::Vm);
+    let bound = run_tier(KernelTier::Bound);
+    let row = run_tier(KernelTier::Row);
+    let native = run_tier(KernelTier::Native);
+    assert_bits_eq(&vm, &bound, "implicit vm vs bound");
+    assert_bits_eq(&bound, &row, "implicit bound vs row");
+    assert_bits_eq(&row, &native, "implicit row vs native");
+}
+
+#[test]
+fn implicit_dist_cells_bit_identical_with_live_coupling() {
+    // Cell partitioning keeps the temperature update cell-local, so even
+    // with the full nonlinear coupling the distributed implicit solve
+    // must reproduce the sequential bits.
+    let solve = |target: ExecTarget| {
+        let mut bp = hotspot_2d(&BteConfig::small(6, 4, 4, 8));
+        bp.problem.integrator(Integrator::Implicit { theta: 1.0 });
+        let vars = bp.vars;
+        let mut s = bp.solver(target).unwrap();
+        s.solve().unwrap();
+        let f = s.fields();
+        (f.slice(vars.i).to_vec(), f.slice(vars.t).to_vec())
+    };
+    let (i_seq, t_seq) = solve(ExecTarget::CpuSeq);
+    let (i_dist, t_dist) = solve(ExecTarget::DistCells { ranks: 3 });
+    assert_bits_eq(&i_seq, &i_dist, "live-coupling cells: intensity");
+    assert_bits_eq(&t_seq, &t_dist, "live-coupling cells: temperature");
+}

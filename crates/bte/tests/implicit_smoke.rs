@@ -1,0 +1,65 @@
+//! Smoke tests for the implicit integration path.
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_dsl::exec::{CompiledProblem, ExecTarget};
+use pbte_dsl::problem::Integrator;
+
+#[test]
+fn implicit_compile_builds_jvp_plan() {
+    let mut bp = hotspot_2d(&BteConfig::small(6, 4, 4, 4));
+    bp.problem.integrator(Integrator::Implicit { theta: 1.0 });
+    let (cp, _fields) = CompiledProblem::compile(bp.problem).expect("compile");
+    let jcp = cp.jvp.as_ref().expect("jvp plan present");
+    assert!(jcp.jvp.is_none(), "jvp plan must not recurse");
+}
+
+#[test]
+fn implicit_matches_explicit_at_small_dt() {
+    let cfg = BteConfig::small(8, 4, 4, 20);
+    let mut exp = hotspot_2d(&cfg).solver(ExecTarget::CpuSeq).unwrap();
+    exp.solve().unwrap();
+    let t_exp = exp.fields().slice(hotspot_2d(&cfg).vars.t).to_vec();
+
+    let mut bp = hotspot_2d(&cfg);
+    bp.problem.integrator(Integrator::Implicit { theta: 1.0 });
+    let mut imp = bp.solver(ExecTarget::CpuSeq).unwrap();
+    let rep = imp.solve().unwrap();
+    let vars = hotspot_2d(&cfg).vars;
+    let t_imp = imp.fields().slice(vars.t).to_vec();
+    eprintln!(
+        "rhs_evals={} jvp_evals={} krylov_iters={}",
+        rep.work.rhs_evals, rep.work.jvp_evals, rep.work.krylov_iters
+    );
+    assert!(rep.work.jvp_evals > 0, "krylov must have run");
+    let mut max_rel: f64 = 0.0;
+    for (a, b) in t_exp.iter().zip(&t_imp) {
+        max_rel = max_rel.max((a - b).abs() / a.abs().max(1e-300));
+    }
+    eprintln!("max rel T diff explicit vs implicit: {max_rel:.3e}");
+    // First-order-in-dt disagreement only; both start at t_ref ~ 300 K.
+    assert!(max_rel < 1e-3, "implicit drifted: {max_rel}");
+}
+
+#[test]
+fn steady_converges_in_kinetic_regime() {
+    // Pseudo-transient continuation accelerates the intensity relaxation;
+    // the temperature coupling advances ~one mean free path of smoothing
+    // per pseudo-step, so convergence is fast when the domain is a few
+    // mean free paths across (sub-micron for silicon).
+    let mut cfg = BteConfig::small(12, 8, 4, 400);
+    cfg.n_steps = 400;
+    cfg.lx = 0.5e-6;
+    cfg.ly = 0.5e-6;
+    cfg.hot_width = 0.12e-6;
+    let mut bp = hotspot_2d(&cfg);
+    bp.problem.integrator(Integrator::Steady {
+        tol: 1e-3,
+        growth: 2.0,
+    });
+    let mut s = bp.solver(ExecTarget::CpuSeq).unwrap();
+    let rep = s.solve().unwrap();
+    eprintln!(
+        "steady steps={} rhs={} jvp={} krylov={}",
+        rep.steps, rep.work.rhs_evals, rep.work.jvp_evals, rep.work.krylov_iters
+    );
+    assert!(rep.steps < 400, "steady failed to converge early");
+}

@@ -493,7 +493,53 @@ pub fn cfl_bound(cp: &CompiledProblem) -> Option<CflBound> {
     Some(CflBound { vmax, width_min })
 }
 
+/// Accuracy-driven Courant multiple for the unconditionally stable
+/// integrators. Backward Euler (θ ≥ ½) damps every mode for any `dt > 0`,
+/// so `dt = auto` is free to step far past the stability wall; a fixed
+/// multiple of the CFL bound keeps the per-step linearization error small
+/// relative to the transient being resolved while cutting the step count
+/// by the same factor.
+pub const ACCURACY_COURANT: f64 = 50.0;
+
+/// What `dt = auto` should pick for this plan, and why.
+#[derive(Debug, Clone, Copy)]
+pub struct DtRecommendation {
+    /// The recommended step.
+    pub dt: f64,
+    /// Policy tag: `"cfl"` (stability-limited explicit stepping) or
+    /// `"accuracy"` (unconditionally stable integrator, accuracy-scaled).
+    pub policy: &'static str,
+    /// The underlying CFL-style bound.
+    pub bound: CflBound,
+}
+
+/// Recommend a step for `dt = auto`: the CFL bound itself for explicit
+/// stepping, [`ACCURACY_COURANT`]× the bound when the integrator is
+/// unconditionally stable. `None` when no bound can be derived.
+pub fn recommend_dt(cp: &CompiledProblem) -> Option<DtRecommendation> {
+    let bound = cfl_bound(cp)?;
+    if cp.problem.integrator.unconditionally_stable() {
+        Some(DtRecommendation {
+            dt: bound.dt_max() * ACCURACY_COURANT,
+            policy: "accuracy",
+            bound,
+        })
+    } else {
+        Some(DtRecommendation {
+            dt: bound.dt_max(),
+            policy: "cfl",
+            bound,
+        })
+    }
+}
+
 fn check_cfl(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
+    if cp.problem.integrator.unconditionally_stable() {
+        // No stability wall to police: for θ ≥ ½ and pseudo-transient
+        // stepping the CFL bound is an accuracy guideline consumed by
+        // `recommend_dt`, not a requirement.
+        return;
+    }
     let Some(bound) = cfl_bound(cp) else { return };
     let dt = cp.problem.dt;
     if dt > bound.dt_max() {

@@ -55,11 +55,12 @@ mod transfers;
 mod validate;
 
 pub use intervals::{cfl_bound, check_intervals, CflBound};
+pub use intervals::{recommend_dt, DtRecommendation, ACCURACY_COURANT};
 pub use races::{check_disjoint_writes, check_divided_slices, WriteRegion};
 pub use transfers::check_schedule;
 pub use validate::{
-    check_bound, check_ir, check_native_against_bound, check_reg_against_bound, check_translation,
-    check_vm,
+    check_bound, check_ir, check_jvp, check_native_against_bound, check_reg_against_bound,
+    check_translation, check_vm,
 };
 
 use crate::exec::{CompiledProblem, ExecTarget};
@@ -107,10 +108,17 @@ pub mod rules {
     /// The native tier's emitted expression tree diverged from the bound
     /// program (checked by abstract execution before `rustc` ever runs).
     pub const TRANSLATION_NATIVE: &str = "translation/native-mismatch";
+    /// The derived JVP plan (implicit integrators) disagrees with a fresh
+    /// linearization of the primal equation, or its own lowering chain
+    /// fails translation validation.
+    pub const TRANSLATION_JVP: &str = "translation/jvp-mismatch";
     /// The native tier could not be prepared (missing `rustc`, failed
     /// compilation, or an ineligible plan); execution fell back to the
     /// row tier.
     pub const NATIVE_FALLBACK: &str = "native/fallback";
+    /// The on-disk native plan cache exceeded its size cap and
+    /// least-recently-used compiled plans were deleted.
+    pub const NATIVE_CACHE_EVICT: &str = "native/cache-evict";
     /// A reciprocal (or negative power) is taken of an interval that
     /// contains zero.
     pub const INTERVAL_DIV_BY_ZERO: &str = "intervals/div-by-zero";

@@ -245,4 +245,70 @@ pub(super) fn check_target(cp: &CompiledProblem, target: &ExecTarget, out: &mut 
             }
         }
     }
+
+    if cp.problem.integrator.is_implicit() {
+        check_krylov_vectors(cp, target, out);
+    }
+}
+
+/// Prove the implicit driver's Krylov work-vector scopes tile the dof
+/// grid. Each rank updates its Krylov vectors (`r`, `r0`, `p`, `v`, `s`,
+/// `t`, `hat`) sequentially over its own dof scope and contributes an
+/// exact-dot partial over exactly that scope, so the per-rank scopes must
+/// be pairwise disjoint *and* covering: an overlap would double-count a
+/// dot partial, a gap would drop one — either silently changes every
+/// Krylov scalar on every rank.
+fn check_krylov_vectors(cp: &CompiledProblem, target: &ExecTarget, out: &mut Vec<Diagnostic>) {
+    let n_cells = cp.mesh().n_cells();
+    let n_flat = cp.n_flat;
+    let regions: Vec<WriteRegion> = match target {
+        ExecTarget::CpuSeq | ExecTarget::CpuParallel | ExecTarget::GpuHybrid { .. } => {
+            // Single-rank drivers: one sequential scope over the whole
+            // grid (only RHS/JVP sweeps are parallel, never vector ops).
+            vec![WriteRegion {
+                label: "local Krylov scope".into(),
+                flats: all(n_flat),
+                cells: all(n_cells),
+            }]
+        }
+        ExecTarget::DistCells { ranks } => {
+            if *ranks > n_cells {
+                return;
+            }
+            let partition = Partition::build(cp.mesh(), *ranks, PartitionMethod::Rcb);
+            (0..*ranks)
+                .map(|r| WriteRegion {
+                    label: format!("rank {r} Krylov scope (RCB cells)"),
+                    flats: all(n_flat),
+                    cells: partition.cells_of(r),
+                })
+                .collect()
+        }
+        ExecTarget::DistBands { ranks, index } | ExecTarget::DistBandsGpu { ranks, index, .. } => {
+            let Some(owned) = owned_flats_per_rank(cp, *ranks, index) else {
+                return;
+            };
+            owned
+                .into_iter()
+                .enumerate()
+                .map(|(r, flats)| WriteRegion {
+                    label: format!("rank {r} Krylov scope (bands of `{index}`)"),
+                    flats,
+                    cells: all(n_cells),
+                })
+                .collect()
+        }
+    };
+    for vec_name in ["r", "r0", "p", "v", "s", "t", "hat"] {
+        let mut diags =
+            check_disjoint_writes(&format!("krylov.{vec_name}"), n_flat, n_cells, &regions);
+        // A gap is a hard error here (it corrupts exact dots), unlike the
+        // generic under-cover warning for local write splits.
+        for d in &mut diags {
+            if d.rule == rules::INCOMPLETE_COVER {
+                d.severity = Severity::Error;
+            }
+        }
+        out.extend(diags);
+    }
 }

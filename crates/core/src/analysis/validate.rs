@@ -58,6 +58,8 @@ use pbte_symbolic::{parse, substitute, substitute_indices, Expr, ExprRef, Substi
 use std::collections::HashMap;
 
 /// Run the whole translation-validation chain for one compiled plan.
+/// When the plan carries a derived JVP plan (implicit integrators), the
+/// chain is also run over it — see [`check_jvp`].
 pub fn check_translation(cp: &CompiledProblem, target: &ExecTarget, out: &mut Vec<Diagnostic>) {
     let ir = ir::build_ir(cp, target);
     check_ir(cp, &ir, out);
@@ -65,6 +67,81 @@ pub fn check_translation(cp: &CompiledProblem, target: &ExecTarget, out: &mut Ve
     check_bound(cp, out);
     check_reg(cp, out);
     check_native(cp, out);
+    check_jvp(cp, target, out);
+}
+
+/// Translation validation of the derived Jacobian-vector-product plan.
+///
+/// Two seams are proven:
+///
+/// 1. **Derivation**: the linearized system attached to the plan must
+///    canonically equal a fresh symbolic linearization of the primal
+///    equation ([`crate::pipeline::jvp_system`]) — a stale or tampered
+///    JVP would make every Newton step solve the wrong linear system
+///    while still converging on trivial problems.
+/// 2. **Lowering**: the JVP plan is itself a full compiled plan, so the
+///    five-tier translation chain is re-run over it.
+///
+/// Findings from either seam are tagged `translation/jvp-mismatch` with a
+/// `jvp:`-prefixed location so consumers can attribute them to the
+/// linearization pipeline rather than the primal lowering.
+pub fn check_jvp(cp: &CompiledProblem, target: &ExecTarget, out: &mut Vec<Diagnostic>) {
+    let Some(jcp) = cp.jvp.as_deref() else { return };
+    let mut inner = Vec::new();
+
+    match crate::pipeline::jvp_system(&cp.problem, &cp.system) {
+        Ok(expected) => {
+            for (got, want, what) in [
+                (
+                    &jcp.system.volume_expr,
+                    &expected.volume_expr,
+                    "volume linearization",
+                ),
+                (
+                    &jcp.system.flux_expr,
+                    &expected.flux_expr,
+                    "flux linearization",
+                ),
+            ] {
+                if !canonical_eq(got, want) {
+                    inner.push(Diagnostic {
+                        severity: Severity::Error,
+                        rule: rules::TRANSLATION_JVP,
+                        entity: cp.system.unknown_name.clone(),
+                        location: what.to_string(),
+                        message: format!(
+                            "attached JVP plan computes `{got}` but a fresh \
+                             linearization of the primal equation gives `{want}`"
+                        ),
+                    });
+                }
+            }
+        }
+        Err(e) => inner.push(Diagnostic {
+            severity: Severity::Error,
+            rule: rules::TRANSLATION_JVP,
+            entity: cp.system.unknown_name.clone(),
+            location: "derivation".into(),
+            message: format!(
+                "a JVP plan is attached but the primal equation no longer \
+                 linearizes: {e}"
+            ),
+        }),
+    }
+
+    // The JVP plan's own lowering chain (its integrator is Explicit, so
+    // this does not recurse further).
+    let mut lowering = Vec::new();
+    check_translation(jcp, target, &mut lowering);
+    inner.extend(lowering.into_iter().map(|mut d| {
+        d.rule = rules::TRANSLATION_JVP;
+        d
+    }));
+
+    out.extend(inner.into_iter().map(|mut d| {
+        d.location = format!("jvp: {}", d.location);
+        d
+    }));
 }
 
 // ---------------------------------------------------------------------------
@@ -813,7 +890,7 @@ fn check_native(cp: &CompiledProblem, out: &mut Vec<Diagnostic>) {
 }
 
 /// Prove the native tier's emitted expression tree — the statement list
-/// [`crate::nativegen::lower_stmts`] produces, which is exactly what the
+/// `crate::nativegen::lower_stmts` produces, which is exactly what the
 /// text renderer prints and `rustc` compiles — raw-structurally equal to
 /// the bound program. Public so negative tests can seed a tampered
 /// `RegProgram` (via `RegProgram::from_raw_parts`) and prove the check

@@ -119,18 +119,35 @@ pub fn analyze_transfers(
     }
 
     // The unknown.
+    let unknown_name = registry.variables[unknown].name.clone();
     transfers.push(Transfer {
-        name: registry.variables[unknown].name.clone(),
+        name: unknown_name.clone(),
         to_device: true,
         policy: Policy::Once,
         reason: "unknown: initial condition upload".into(),
     });
+    // The host needs the fresh unknown back each step when a post-step
+    // callback reads it — and also when a boundary callback does (e.g. a
+    // reflection ghost reads the unknown; an opaque callback may): the
+    // next step's host-side ghost evaluation works from the host copy.
+    let boundary_reads_unknown = problem.boundary_conditions.iter().any(|(_, _, bc)| {
+        bc.declared_reads()
+            .map(|reads| reads.contains(&unknown_name))
+            .unwrap_or(true)
+    });
     if has_post_step {
         transfers.push(Transfer {
-            name: registry.variables[unknown].name.clone(),
+            name: unknown_name.clone(),
             to_device: false,
             policy: Policy::EveryStep,
             reason: "unknown: post-step callback reads it on the host".into(),
+        });
+    } else if boundary_reads_unknown {
+        transfers.push(Transfer {
+            name: unknown_name.clone(),
+            to_device: false,
+            policy: Policy::EveryStep,
+            reason: "unknown: boundary callbacks read it on the host".into(),
         });
     }
     match strategy {

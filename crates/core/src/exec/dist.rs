@@ -68,6 +68,15 @@ impl StepLinks for BandLinks<'_> {
     fn halo_exchange(&mut self, _fields: &mut Fields) -> f64 {
         0.0 // the defining property of equation partitioning
     }
+    fn comm_seconds(&self) -> f64 {
+        self.comm_seconds
+    }
+    fn comm_bytes(&self) -> u64 {
+        self.ctx.stats.bytes
+    }
+    fn drain_comm_spans(&mut self, rec: &mut Recorder, step: usize) {
+        drain_comm_spans(rec, &mut self.comm_spans, step);
+    }
 }
 
 /// Links for a cell-partitioned rank: halo exchange + reductions.
@@ -138,6 +147,15 @@ impl StepLinks for CellLinks<'_> {
         }
         secs
     }
+    fn comm_seconds(&self) -> f64 {
+        self.comm_seconds
+    }
+    fn comm_bytes(&self) -> u64 {
+        self.ctx.stats.bytes
+    }
+    fn drain_comm_spans(&mut self, rec: &mut Recorder, step: usize) {
+        drain_comm_spans(rec, &mut self.comm_spans, step);
+    }
 }
 
 /// Drain comm intervals a links object buffered into the rank recorder.
@@ -169,6 +187,9 @@ struct RankResult {
     device: Option<pbte_gpu::ProfileReport>,
     /// `(variable id, flat, values over all cells or owned cells)`.
     payload: Vec<(usize, usize, Vec<f64>)>,
+    /// Steps actually taken (pseudo-transient steady stops early; the
+    /// exact-reduction SER controller makes this identical on all ranks).
+    steps: usize,
 }
 
 /// Cell-partitioned solve.
@@ -220,26 +241,18 @@ pub fn solve_cells(
         send_lists.push(per_peer);
     }
 
+    if cp.problem.integrator.is_implicit() && cp.jvp.is_none() {
+        return Err(DslError::Invalid(
+            "implicit integrator requires a compiled JVP plan".into(),
+        ));
+    }
     let cfg = rec.config();
     let results: Vec<RankResult> = World::run(ranks, |ctx| {
         let rank = ctx.rank;
         let mut local = init_fields.clone();
         let my_cells = &owned[rank];
         let all_flats: Vec<usize> = (0..n_flat).collect();
-        let scope = Scope {
-            cells: my_cells,
-            flats: &all_flats,
-        };
-        let mut ghosts = vec![0.0; cp.boundary.len() * n_flat];
-        let mut rhs = vec![0.0; n_flat * local.n_cells];
-        let mut rhs2 = if cp.problem.stepper == TimeStepper::Rk2 {
-            vec![0.0; n_flat * local.n_cells]
-        } else {
-            Vec::new()
-        };
         let mut r = Recorder::from_config(cfg, rank as u32);
-        let mut kernels = super::rows::IntensityKernels::for_scope(cp, &all_flats);
-        let mut time = 0.0;
         let mut links = CellLinks {
             ctx,
             send_lists: &send_lists,
@@ -251,45 +264,86 @@ pub fn solve_cells(
             comm_spans: Vec::new(),
         };
 
-        let mut prev_bytes = 0u64;
-        for step in 0..cp.problem.n_steps {
-            links.comm_seconds = 0.0;
-            let (ti, tt, tc) = seq::step_scope(
+        let steps = if cp.problem.integrator.is_implicit() {
+            // Implicit / steady: the generic driver runs the θ-step with
+            // this rank's owned-cell scope; halos and exact-dot limb
+            // reductions flow through the links, so the Krylov iteration
+            // sees global scalars and stays rank-count-independent.
+            let jcp = cp.jvp.as_deref().expect("validated before World::run");
+            let d = super::implicit::Dofs {
+                cells: my_cells,
+                flats: &all_flats,
+                n_cells: local.n_cells,
+            };
+            let mut backend =
+                super::implicit::CpuBackend::new(cp, jcp, my_cells, &all_flats, false);
+            super::implicit::drive(
                 cp,
+                &mut backend,
                 &mut local,
-                &scope,
-                &mut ghosts,
-                &mut rhs,
-                &mut rhs2,
-                time,
-                step,
+                d,
                 None,
                 Some(my_cells),
                 &mut links,
                 &mut r,
                 1,
-                &mut kernels,
-            );
-            drain_comm_spans(&mut r, &mut links.comm_spans, step);
-            r.phase(phases::INTENSITY, ti);
-            // Reduction time inside callbacks is also communication.
-            let extra = (links.comm_seconds - tc).max(0.0);
-            let t_temp = (tt - extra).max(0.0);
-            r.phase(phases::TEMPERATURE, t_temp);
-            r.phase(phases::COMMUNICATION, links.comm_seconds);
-            let bytes = links.ctx.stats.bytes - prev_bytes;
-            prev_bytes = links.ctx.stats.bytes;
-            r.step_done(
-                step,
-                &[
-                    (phases::INTENSITY, ti),
-                    (phases::TEMPERATURE, t_temp),
-                    (phases::COMMUNICATION, links.comm_seconds),
-                ],
-                bytes,
-            );
-            time += cp.problem.dt;
-        }
+            )
+            .expect("integrator validated before World::run")
+        } else {
+            let scope = Scope {
+                cells: my_cells,
+                flats: &all_flats,
+            };
+            let mut ghosts = vec![0.0; cp.boundary.len() * n_flat];
+            let mut rhs = vec![0.0; n_flat * local.n_cells];
+            let mut rhs2 = if cp.problem.stepper == TimeStepper::Rk2 {
+                vec![0.0; n_flat * local.n_cells]
+            } else {
+                Vec::new()
+            };
+            let mut kernels = super::rows::IntensityKernels::for_scope(cp, &all_flats);
+            let mut time = 0.0;
+            let mut prev_bytes = 0u64;
+            for step in 0..cp.problem.n_steps {
+                links.comm_seconds = 0.0;
+                let (ti, tt, tc) = seq::step_scope(
+                    cp,
+                    &mut local,
+                    &scope,
+                    &mut ghosts,
+                    &mut rhs,
+                    &mut rhs2,
+                    time,
+                    step,
+                    None,
+                    Some(my_cells),
+                    &mut links,
+                    &mut r,
+                    1,
+                    &mut kernels,
+                );
+                drain_comm_spans(&mut r, &mut links.comm_spans, step);
+                r.phase(phases::INTENSITY, ti);
+                // Reduction time inside callbacks is also communication.
+                let extra = (links.comm_seconds - tc).max(0.0);
+                let t_temp = (tt - extra).max(0.0);
+                r.phase(phases::TEMPERATURE, t_temp);
+                r.phase(phases::COMMUNICATION, links.comm_seconds);
+                let bytes = links.ctx.stats.bytes - prev_bytes;
+                prev_bytes = links.ctx.stats.bytes;
+                r.step_done(
+                    step,
+                    &[
+                        (phases::INTENSITY, ti),
+                        (phases::TEMPERATURE, t_temp),
+                        (phases::COMMUNICATION, links.comm_seconds),
+                    ],
+                    bytes,
+                );
+                time += cp.problem.dt;
+            }
+            cp.problem.n_steps
+        };
 
         // Ship every variable's values on owned cells back to rank 0.
         let mut payload = Vec::new();
@@ -306,6 +360,7 @@ pub fn solve_cells(
             stats,
             device: None,
             payload,
+            steps,
         }
     });
 
@@ -358,6 +413,11 @@ pub fn solve_bands(
             "the GPU target supports the Euler stepper only".into(),
         ));
     }
+    if cp.problem.integrator.is_implicit() && cp.jvp.is_none() {
+        return Err(DslError::Invalid(
+            "implicit integrator requires a compiled JVP plan".into(),
+        ));
+    }
     let ranges = partition_bands(len, ranks);
     let n_flat = cp.n_flat;
     let init_fields: &Fields = fields;
@@ -390,8 +450,58 @@ pub fn solve_bands(
             comm_spans: Vec::new(),
         };
 
+        let mut steps = cp.problem.n_steps;
         let mut prev_bytes = 0u64;
-        if let Some((spec, strategy)) = &gpu_cfg {
+        if cp.problem.integrator.is_implicit() {
+            // Implicit / steady over the band partition: every rank sweeps
+            // its owned flats over all cells (no halo, by construction);
+            // the Krylov scalars are global through the links' exact limb
+            // reduction, so all ranks take identical trajectories.
+            let jcp = cp.jvp.as_deref().expect("validated before World::run");
+            let d = super::implicit::Dofs {
+                cells: &all_cells,
+                flats: my_flats,
+                n_cells: local.n_cells,
+            };
+            let owned = Some((index.to_string(), range.clone()));
+            steps = if let Some((spec, _strategy)) = &gpu_cfg {
+                let mut backend =
+                    super::gpu::GpuImplicitBackend::new(cp, jcp, &local, my_flats, spec.clone());
+                let steps = super::implicit::drive(
+                    cp,
+                    &mut backend,
+                    &mut local,
+                    d,
+                    owned,
+                    None,
+                    &mut links,
+                    &mut r,
+                    rayon::current_num_threads(),
+                )
+                .expect("integrator validated before World::run");
+                let prof = backend.finish();
+                r.phase(phases::INTENSITY_GPU, prof.kernel_time());
+                r.phase(phases::COMM_GPU, prof.transfer_time());
+                r.device_summary(super::gpu::device_summary_from(&prof, rank as u32));
+                device = Some(prof);
+                steps
+            } else {
+                let mut backend =
+                    super::implicit::CpuBackend::new(cp, jcp, &all_cells, my_flats, false);
+                super::implicit::drive(
+                    cp,
+                    &mut backend,
+                    &mut local,
+                    d,
+                    owned,
+                    None,
+                    &mut links,
+                    &mut r,
+                    1,
+                )
+                .expect("integrator validated before World::run")
+            };
+        } else if let Some((spec, strategy)) = &gpu_cfg {
             // GPU path: one simulated device per rank.
             let mut worker = GpuWorker::new(cp, &local, my_flats, spec.clone(), *strategy);
             for step in 0..cp.problem.n_steps {
@@ -489,6 +599,7 @@ pub fn solve_bands(
             stats,
             device,
             payload,
+            steps,
         }
     });
 
@@ -593,6 +704,11 @@ fn reduce_reports(
         timer.add(name, max);
     }
     let mut device: Option<pbte_gpu::ProfileReport> = None;
+    let steps = results
+        .iter()
+        .map(|r| r.steps)
+        .max()
+        .unwrap_or(cp.problem.n_steps);
     for r in results {
         comm.messages += r.stats.messages;
         comm.bytes += r.stats.bytes;
@@ -609,7 +725,7 @@ fn reduce_reports(
     // the per-rank sum, so merge the reduced timer rather than each rank's.
     rec.phases.merge(&timer);
     SolveReport {
-        steps: cp.problem.n_steps,
+        steps,
         timer,
         comm,
         work,

@@ -248,8 +248,15 @@ impl GpuWorker {
         let kernel_cost = estimate_kernel_cost(cp);
 
         let tier = cp.resolved_tier();
-        let row = matches!(tier, KernelTier::Row | KernelTier::Native)
-            .then(|| IntensityKernels::with_tier(cp, owned_flats, tier));
+        // Every non-VM tier carries per-flat compiled kernels: row/native
+        // run the fused `launch_rows` form, bound evaluates its bind-time
+        // specialized volume programs inside the device VM path — so the
+        // kernel spans' `tier` attribution always names the code that ran.
+        let row = matches!(
+            tier,
+            KernelTier::Row | KernelTier::Native | KernelTier::Bound
+        )
+        .then(|| IntensityKernels::with_tier(cp, owned_flats, tier));
 
         GpuWorker {
             device,
@@ -354,12 +361,16 @@ impl GpuWorker {
         }
         let mut inputs: Vec<&DeviceBuffer> = self.var_devs.iter().collect();
         inputs.push(&self.ghost_dev);
-        let t_kernel = if let Some(rowk) = &self.row {
+        let centroids = &cp.mesh().cell_centroids;
+        let fused = self
+            .row
+            .as_ref()
+            .filter(|k| matches!(k.tier, KernelTier::Row | KernelTier::Native));
+        let t_kernel = if let Some(rowk) = fused {
             // Fused row form: one block per owned flat, covering the whole
             // cell range, with the update folded in (`u + dt·rhs`, using
             // the same reciprocal-volume multiply as the CPU targets — the
             // precompute strategy is therefore bit-identical to them).
-            let centroids = &cp.mesh().cell_centroids;
             self.device.launch_rows(
                 "intensity_update",
                 owned_flats.len(),
@@ -405,6 +416,10 @@ impl GpuWorker {
                 },
             )
         } else {
+            // Device VM path; the bound tier's specialized volume programs
+            // slot in for the generic stack program (bind-time constant
+            // folding is bit-identical, proven by translation validation).
+            let boundk = self.row.as_ref();
             self.device.launch(
                 "intensity_update",
                 n_threads,
@@ -435,7 +450,10 @@ impl GpuWorker {
                         dt,
                         time,
                     };
-                    let source = volume_prog.eval(&vm);
+                    let source = match boundk {
+                        Some(bk) => bk.bound(k).eval(vars, cell, centroids[cell], time),
+                        None => volume_prog.eval(&vm),
+                    };
                     let u_here = vars[unknown][flat * n_cells + cell];
                     let mut flux_sum = 0.0;
                     let nf = geometry.n_faces[cell] as usize;
@@ -620,6 +638,218 @@ impl GpuWorker {
     }
 }
 
+/// Per-plan device state of the implicit backend: the primal RHS and the
+/// JVP are two different compiled programs with their own kernels, cost
+/// model, and ghost layout, but they read the same variable set.
+struct PlanState {
+    kernels: IntensityKernels,
+    cost: KernelCost,
+    ghost_dev: DeviceBuffer,
+    ghosts: Vec<f64>,
+    name: &'static str,
+}
+
+impl PlanState {
+    fn new(
+        device: &mut Device,
+        plan: &CompiledProblem,
+        owned_flats: &[usize],
+        name: &'static str,
+    ) -> PlanState {
+        PlanState {
+            // Scoped to the owned flats: `bound(k)`/`reg(k)` are indexed
+            // by scope position, which must match the launch row index.
+            kernels: IntensityKernels::for_scope(plan, owned_flats),
+            cost: estimate_kernel_cost(plan),
+            ghost_dev: device.alloc("ghosts", plan.boundary.len().max(1) * plan.n_flat),
+            ghosts: vec![0.0; plan.boundary.len() * plan.n_flat],
+            name,
+        }
+    }
+}
+
+/// Device-resident RHS engine for the implicit drivers (θ-scheme Newton
+/// and pseudo-transient steady state). The paper's hybrid split carries
+/// over unchanged: boundary ghosts and callbacks stay on the host, and
+/// every RHS/JVP sweep is one batched row kernel on the simulated device
+/// (`Device::launch_rows`, one block per owned flat covering the cell
+/// span — the grid shape the host-side kernel compiler emits).
+///
+/// Bit identity: each row evaluates through the *same* tier entry points
+/// as the CPU targets (`rows::rhs_span`, `rhs_span_native`,
+/// `seq::eval_rhs_dof_{bound,vm}`) with the un-fused RHS form, so Krylov
+/// trajectories on the device match the CPU bit for bit. (The explicit
+/// worker's VM closure divides by cell volume instead of multiplying by
+/// its reciprocal — that shortcut is deliberately not reused here.)
+pub(crate) struct GpuImplicitBackend {
+    device: Device,
+    owned_flats: Vec<usize>,
+    /// One buffer per variable, id order, re-uploaded per sweep for the
+    /// read set of the active plan.
+    var_devs: Vec<DeviceBuffer>,
+    out_dev: DeviceBuffer,
+    out_host: Vec<f64>,
+    main: PlanState,
+    jvp: PlanState,
+}
+
+impl GpuImplicitBackend {
+    pub(crate) fn new(
+        cp: &CompiledProblem,
+        jcp: &CompiledProblem,
+        fields: &Fields,
+        owned_flats: &[usize],
+        spec: DeviceSpec,
+    ) -> GpuImplicitBackend {
+        let mut device = Device::new(spec);
+        let n_cells = fields.n_cells;
+        let mut var_devs = Vec::with_capacity(fields.n_vars());
+        for v in 0..fields.n_vars() {
+            var_devs.push(device.alloc(
+                &cp.problem.registry.variables[v].name,
+                fields.slice(v).len(),
+            ));
+        }
+        let out_dev = device.alloc("rhs_out", owned_flats.len() * n_cells);
+        let main = PlanState::new(&mut device, cp, owned_flats, "rhs_sweep");
+        let jvp = PlanState::new(&mut device, jcp, owned_flats, "jvp_sweep");
+        GpuImplicitBackend {
+            device,
+            owned_flats: owned_flats.to_vec(),
+            var_devs,
+            out_dev,
+            out_host: vec![0.0; owned_flats.len() * n_cells],
+            main,
+            jvp,
+        }
+    }
+
+    /// Device profile after the run.
+    pub(crate) fn finish(&self) -> pbte_gpu::ProfileReport {
+        self.device.profile()
+    }
+}
+
+impl super::implicit::ImplicitBackend for GpuImplicitBackend {
+    fn rhs(
+        &mut self,
+        plan: &CompiledProblem,
+        which: super::implicit::Plan,
+        fields: &Fields,
+        time: f64,
+        out: &mut [f64],
+        work: &mut pbte_runtime::telemetry::WorkCounters,
+    ) {
+        let GpuImplicitBackend {
+            device,
+            owned_flats,
+            var_devs,
+            out_dev,
+            out_host,
+            main,
+            jvp,
+        } = self;
+        let ps = match which {
+            super::implicit::Plan::Main => main,
+            super::implicit::Plan::Jvp => jvp,
+        };
+        let n_cells = fields.n_cells;
+        let dt = plan.problem.dt;
+
+        // Host: boundary ghosts from the sweep's state (for the JVP plan
+        // these are the *linearized* boundary conditions).
+        seq::compute_ghosts(plan, fields, owned_flats, time, &mut ps.ghosts, work);
+
+        // H2D: the plan's read set and the ghosts. The unknown slot moves
+        // every sweep (it carries the Krylov direction); coefficient
+        // fields move too because callbacks rewrite them between sweeps.
+        for &v in &plan.system.read_variables {
+            let host = fields.slice(v).to_vec();
+            device.h2d(&host, &mut var_devs[v]);
+        }
+        let ghosts = ps.ghosts.clone();
+        device.h2d(&ghosts, &mut ps.ghost_dev);
+
+        ps.kernels.ensure(plan, n_cells, time);
+        let kernels = &ps.kernels;
+        let centroids = &plan.mesh().cell_centroids;
+        let n_vars = var_devs.len();
+        let mut inputs: Vec<&DeviceBuffer> = var_devs.iter().collect();
+        inputs.push(&ps.ghost_dev);
+        device.launch_rows(
+            ps.name,
+            owned_flats.len(),
+            n_cells,
+            ps.cost,
+            &inputs,
+            out_dev,
+            |k, bufs, row| {
+                let vars = &bufs[..n_vars];
+                let boundary = FluxBoundary::Ghosts(bufs[n_vars]);
+                let flat = owned_flats[k];
+                match kernels.tier {
+                    KernelTier::Native => {
+                        rows::rhs_span_native(
+                            kernels.native(),
+                            plan,
+                            vars,
+                            flat,
+                            boundary,
+                            0,
+                            row,
+                            None,
+                        );
+                    }
+                    KernelTier::Row => {
+                        let mut regs = kernels.scratch();
+                        rows::rhs_span(
+                            kernels.reg(k),
+                            plan,
+                            vars,
+                            n_cells,
+                            flat,
+                            boundary,
+                            0,
+                            row,
+                            centroids,
+                            time,
+                            None,
+                            &mut regs,
+                        );
+                    }
+                    KernelTier::Bound => {
+                        let bound = kernels.bound(k);
+                        let ghosts = bufs[n_vars];
+                        for (cell, o) in row.iter_mut().enumerate() {
+                            *o = seq::eval_rhs_dof_bound(
+                                plan, vars, n_cells, ghosts, cell, flat, dt, time, bound,
+                            );
+                        }
+                    }
+                    KernelTier::Vm => {
+                        let ghosts = bufs[n_vars];
+                        for (cell, o) in row.iter_mut().enumerate() {
+                            *o = seq::eval_rhs_dof_vm(
+                                plan, vars, n_cells, ghosts, cell, flat, dt, time,
+                            );
+                        }
+                    }
+                }
+            },
+        );
+        work.dof_updates += (owned_flats.len() * n_cells) as u64;
+        work.flux_evals += owned_flats.len() as u64 * plan.hot.nbr.len() as u64;
+
+        // D2H: scatter the compact row block into the caller's
+        // full-layout output.
+        device.d2h(out_dev, out_host);
+        for (k, &flat) in owned_flats.iter().enumerate() {
+            out[flat * n_cells..(flat + 1) * n_cells]
+                .copy_from_slice(&out_host[k * n_cells..(k + 1) * n_cells]);
+        }
+    }
+}
+
 /// Single-device hybrid solve.
 pub fn solve(
     cp: &CompiledProblem,
@@ -638,6 +868,52 @@ pub fn solve(
         strategy,
     });
     let all_flats: Vec<usize> = (0..cp.n_flat).collect();
+    if cp.problem.integrator.is_implicit() {
+        // Implicit / steady: the generic driver runs Newton–Krylov with
+        // every RHS/JVP sweep as a device row kernel. The boundary
+        // strategy degenerates here — matvecs need the complete flux, so
+        // the precompute-style split (ghosts on host, full flux on
+        // device) is always used; it is also the bit-identical one.
+        let jcp = cp.jvp.as_deref().ok_or_else(|| {
+            DslError::Invalid("implicit integrator requires a compiled JVP plan".into())
+        })?;
+        let n_cells = fields.n_cells;
+        let all_cells: Vec<usize> = (0..n_cells).collect();
+        let d = super::implicit::Dofs {
+            cells: &all_cells,
+            flats: &all_flats,
+            n_cells,
+        };
+        let mut backend = GpuImplicitBackend::new(cp, jcp, fields, &all_flats, spec);
+        let mut r = Recorder::from_config(rec.config(), rec.rank());
+        let mut links = super::LocalLinks;
+        let steps = super::implicit::drive(
+            cp,
+            &mut backend,
+            fields,
+            d,
+            None,
+            None,
+            &mut links,
+            &mut r,
+            rayon::current_num_threads(),
+        )?;
+        let prof = backend.finish();
+        // The driver accounts host wall-clock phases; the simulated
+        // device clock is layered on top, as the explicit path reports.
+        r.phase(phases::INTENSITY_GPU, prof.kernel_time());
+        r.phase(phases::COMM_GPU, prof.transfer_time());
+        r.device_summary(device_summary_from(&prof, 0));
+        let report = SolveReport {
+            steps,
+            timer: r.phases.clone(),
+            comm: Default::default(),
+            work: r.work,
+            device: Some(prof),
+        };
+        rec.absorb(r);
+        return Ok(report);
+    }
     let mut worker = GpuWorker::new(cp, fields, &all_flats, spec, strategy);
     let mut r = Recorder::from_config(rec.config(), rec.rank());
     let mut reducer = LocalReducer;

@@ -23,6 +23,7 @@
 
 pub mod dist;
 pub mod gpu;
+pub(crate) mod implicit;
 pub mod par;
 pub(crate) mod rows;
 pub mod seq;
@@ -83,6 +84,25 @@ pub trait StepLinks: crate::problem::Reducer {
     /// Refresh remote neighbor values of the unknown in `fields`.
     /// Returns the seconds spent communicating.
     fn halo_exchange(&mut self, fields: &mut Fields) -> f64;
+
+    /// Cumulative seconds spent communicating (halos *and* reductions)
+    /// since this links object was built. The implicit driver reads this
+    /// around each step to attribute Krylov dot-product reductions — which
+    /// flow through the `Reducer` interface, invisible to the
+    /// `halo_exchange` return value — to the communication phase.
+    fn comm_seconds(&self) -> f64 {
+        0.0
+    }
+
+    /// Cumulative bytes moved since construction.
+    fn comm_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Flush any buffered communication trace intervals into `rec`,
+    /// attributed to `step`. Distributed links buffer intervals because
+    /// the recorder is lent elsewhere while communication happens.
+    fn drain_comm_spans(&mut self, _rec: &mut pbte_runtime::telemetry::Recorder, _step: usize) {}
 }
 
 /// No-op links for single-address-space targets.
@@ -283,6 +303,54 @@ fn linearize_flux(cp: &CompiledProblem) -> Option<FluxLinearization> {
     })
 }
 
+/// Build the problem whose compilation yields the JVP plan: the original
+/// problem with *linearized* boundary conditions, no initial conditions
+/// and no step callbacks, pinned to the explicit integrator (the JVP of a
+/// JVP is never needed — recursion stops here).
+///
+/// Boundary linearization (the ghost value's derivative in the direction
+/// vector `v`):
+/// * a constant ghost (`Value`, or a declared callback reading no fields —
+///   e.g. an isothermal wall whose ghost depends only on wall temperature
+///   and time) is affine in the unknown with zero slope → ghost 0;
+/// * a declared callback reading the unknown (e.g. a specular symmetry
+///   wall reflecting `I`) is kept verbatim: such conditions are linear
+///   and homogeneous in the unknown, so evaluating them with `v` in the
+///   unknown's slot *is* the directional derivative;
+/// * an opaque `Callback` cannot be linearized — building an implicit
+///   plan over one is an error (declare its reads instead).
+fn linearized_problem(problem: &Problem) -> Result<Problem, DslError> {
+    let unknown_name = match &problem.equation {
+        Some((var, _)) => problem.registry.variables[*var].name.clone(),
+        None => return Err(DslError::Invalid("no conservationForm given".into())),
+    };
+    let mut jp = problem.clone();
+    jp.integrator = crate::problem::Integrator::Explicit;
+    jp.initials.clear();
+    jp.pre_steps.clear();
+    jp.post_steps.clear();
+    for (_, region, bc) in jp.boundary_conditions.iter_mut() {
+        let linearized = match bc {
+            BoundaryCondition::Value(_) => BoundaryCondition::Value(0.0),
+            BoundaryCondition::DeclaredCallback { reads, .. } => {
+                if reads.iter().any(|r| r == &unknown_name) {
+                    continue; // linear homogeneous in the unknown: keep
+                }
+                BoundaryCondition::Value(0.0)
+            }
+            BoundaryCondition::Callback(_) => {
+                return Err(DslError::Invalid(format!(
+                    "cannot linearize the opaque boundary callback on region \
+                     `{region}` for an implicit integrator; declare its reads \
+                     via BoundaryCondition::callback_reading"
+                )));
+            }
+        };
+        *bc = linearized;
+    }
+    Ok(jp)
+}
+
 /// The compiled, target-independent form of a problem.
 pub struct CompiledProblem {
     pub problem: Problem,
@@ -307,6 +375,14 @@ pub struct CompiledProblem {
     /// source for both the executors' work accounting and the static
     /// analyzer's host-side read/write sets.
     pub catalog: CallbackCatalog,
+    /// The compiled Jacobian-vector-product plan, present when the
+    /// problem selects an implicit integrator. Its `volume`/`flux`
+    /// programs evaluate `J·v` with the direction vector in the unknown's
+    /// slot; its boundary conditions are the *linearized* originals
+    /// (constant ghosts → 0, homogeneous reflections kept). Lowered
+    /// through the identical pipeline, so every kernel tier and the whole
+    /// translation-validation chain apply to it unchanged.
+    pub jvp: Option<Box<CompiledProblem>>,
 }
 
 /// Declared accesses of one pre/post-step callback (`None` = opaque,
@@ -428,9 +504,32 @@ impl HotGeometry {
 
 impl CompiledProblem {
     /// Lower a problem: run the pipeline, compile kernels, resolve BCs,
-    /// and apply initial conditions.
+    /// and apply initial conditions. When the problem selects an implicit
+    /// integrator, also derives and compiles the Jacobian-vector-product
+    /// plan (`CompiledProblem::jvp`).
     pub fn compile(problem: Problem) -> Result<(CompiledProblem, Fields), DslError> {
         let system = problem.analyze()?;
+        let jvp_sys = if problem.integrator.is_implicit() {
+            Some(crate::pipeline::jvp_system(&problem, &system)?)
+        } else {
+            None
+        };
+        let (mut cp, fields) = Self::compile_with_system(problem, system)?;
+        if let Some(js) = jvp_sys {
+            let jp = linearized_problem(&cp.problem)?;
+            let (jcp, _) = Self::compile_with_system(jp, js)?;
+            cp.jvp = Some(Box::new(jcp));
+        }
+        Ok((cp, fields))
+    }
+
+    /// Lower an already-analyzed system (the shared back half of
+    /// [`CompiledProblem::compile`], also used for the JVP plan, whose
+    /// [`DiscreteSystem`] is derived symbolically rather than parsed).
+    pub fn compile_with_system(
+        problem: Problem,
+        system: DiscreteSystem,
+    ) -> Result<(CompiledProblem, Fields), DslError> {
         let mesh = problem
             .mesh
             .as_ref()
@@ -543,6 +642,7 @@ impl CompiledProblem {
                 inv_volume: Vec::new(),
             },
             catalog: CallbackCatalog::default(),
+            jvp: None,
         };
         cp.catalog = CallbackCatalog::build(&cp.problem, &cp.boundary);
         cp.flux_lin = linearize_flux(&cp);

@@ -22,7 +22,7 @@ use std::time::Instant;
 /// `callback_faces` is hoisted by the caller (`seq::callback_face_count`)
 /// so the per-call accounting is a single add, shared with the sequential
 /// path's counting rule.
-fn compute_ghosts_par(
+pub(crate) fn compute_ghosts_par(
     cp: &CompiledProblem,
     fields: &Fields,
     time: f64,
@@ -58,7 +58,7 @@ fn compute_ghosts_par(
 /// capability brought to the temperature phase. Chunk boundaries don't
 /// change per-cell arithmetic, so results stay bit-identical to the
 /// sequential target.
-fn compute_rhs_par(
+pub(crate) fn compute_rhs_par(
     cp: &CompiledProblem,
     fields: &Fields,
     ghosts: &[f64],
@@ -200,7 +200,7 @@ fn compute_rhs_par_traced(
 }
 
 /// `u += coeff * rhs`, parallel over flats.
-fn axpy_par(fields: &mut Fields, unknown: usize, coeff: f64, rhs: &[f64]) {
+pub(crate) fn axpy_par(fields: &mut Fields, unknown: usize, coeff: f64, rhs: &[f64]) {
     let n_cells = fields.n_cells;
     fields
         .slice_mut(unknown)
@@ -220,6 +220,9 @@ pub fn solve(
     rec: &mut Recorder,
 ) -> Result<SolveReport, DslError> {
     cp.debug_verify(&super::ExecTarget::CpuParallel);
+    if cp.problem.integrator.is_implicit() {
+        return super::implicit::solve_cpu(cp, fields, rec, true);
+    }
     let n_cells = fields.n_cells;
     let mut ghosts = vec![0.0; cp.boundary.len() * cp.n_flat];
     let mut rhs = vec![0.0; cp.n_flat * n_cells];

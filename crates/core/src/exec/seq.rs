@@ -555,6 +555,9 @@ pub fn solve(
     rec: &mut Recorder,
 ) -> Result<SolveReport, DslError> {
     cp.debug_verify(&super::ExecTarget::CpuSeq);
+    if cp.problem.integrator.is_implicit() {
+        return super::implicit::solve_cpu(cp, fields, rec, false);
+    }
     let n_cells = fields.n_cells;
     let all_cells: Vec<usize> = (0..n_cells).collect();
     let all_flats: Vec<usize> = (0..cp.n_flat).collect();

@@ -2,7 +2,7 @@
 //!
 //! This is the paper's endgame made concrete — Finch emits *real* code
 //! (CUDA/C) for its targets, and this module does the same for the
-//! intensity phase: every per-flat [`RegProgram`](crate::bytecode::RegProgram)
+//! intensity phase: every per-flat [`RegProgram`]
 //! is lowered to one flat, fully-unrolled scalar Rust expression sequence
 //! (the fused superinstructions expanded honoring their
 //! `const_first`/`load_first` orientation flags so results stay
@@ -35,7 +35,7 @@
 //!
 //! If `rustc` is missing (override with `PBTE_NATIVE_RUSTC`), compilation
 //! fails, or the plan is ineligible (no flux linearization, time-dependent
-//! sources, per-step rebinding, function coefficients), [`prepare`]
+//! sources, per-step rebinding, function coefficients), `prepare`
 //! returns `Err` and the caller falls back to the row tier with a
 //! structured diagnostic (`native/fallback`) instead of erroring.
 
@@ -450,6 +450,138 @@ pub fn cache_dir() -> PathBuf {
     }
 }
 
+/// The on-disk plan cache size cap in bytes: `PBTE_NATIVE_CACHE_CAP`
+/// (bytes) if set and parseable, else 512 MiB. A cap of 0 disables
+/// eviction entirely.
+pub fn cache_cap_bytes() -> u64 {
+    std::env::var("PBTE_NATIVE_CACHE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512 * 1024 * 1024)
+}
+
+/// What one [`sweep_cache`] pass did.
+#[derive(Debug, Default)]
+pub struct CacheSweep {
+    /// Cache size before the sweep (all entry files, bytes).
+    pub bytes_before: u64,
+    /// Cache size after the sweep.
+    pub bytes_after: u64,
+    /// Hashes of the evicted plans, least recently used first.
+    pub evicted: Vec<String>,
+    /// Orphaned `*.tmp` files removed (crashed compiles).
+    pub stale_tmp: usize,
+}
+
+/// Age after which an orphaned `.tmp` compile output is presumed to
+/// belong to a dead process and is removed.
+const STALE_TMP_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// LRU size-cap sweep of the on-disk plan cache.
+///
+/// Entries are grouped by content hash (`<hash>.so` plus its `<hash>.rs`
+/// sidecar); recency is the newest mtime among an entry's files, which
+/// `compile_and_load` refreshes on every cache hit. When the cache
+/// exceeds `cap_bytes`, least-recently-used entries are deleted until it
+/// fits. Orphaned `.tmp` files older than an hour are always removed.
+/// A missing cache directory is an empty cache, not an error.
+pub fn sweep_cache(dir: &std::path::Path, cap_bytes: u64) -> std::io::Result<CacheSweep> {
+    let mut sweep = CacheSweep::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(it) => it,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(sweep),
+        Err(e) => return Err(e),
+    };
+    // hash → (bytes, newest mtime, files)
+    let mut plans: HashMap<String, (u64, std::time::SystemTime, Vec<PathBuf>)> = HashMap::new();
+    let now = std::time::SystemTime::now();
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        if name.ends_with(".tmp") {
+            if now.duration_since(mtime).unwrap_or_default() > STALE_TMP_AGE
+                && std::fs::remove_file(&path).is_ok()
+            {
+                sweep.stale_tmp += 1;
+            }
+            continue;
+        }
+        let Some(stem) = name
+            .strip_suffix(".so")
+            .or_else(|| name.strip_suffix(".rs"))
+        else {
+            continue; // not ours; never delete unknown files
+        };
+        sweep.bytes_before += meta.len();
+        let plan = plans
+            .entry(stem.to_string())
+            .or_insert((0, std::time::UNIX_EPOCH, Vec::new()));
+        plan.0 += meta.len();
+        plan.1 = plan.1.max(mtime);
+        plan.2.push(path);
+    }
+    sweep.bytes_after = sweep.bytes_before;
+    if cap_bytes == 0 || sweep.bytes_before <= cap_bytes {
+        return Ok(sweep);
+    }
+    let mut by_age: Vec<_> = plans.into_iter().collect();
+    by_age.sort_by_key(|(_, (_, mtime, _))| *mtime);
+    for (hash, (bytes, _, files)) in by_age {
+        if sweep.bytes_after <= cap_bytes {
+            break;
+        }
+        for f in files {
+            let _ = std::fs::remove_file(f);
+        }
+        sweep.bytes_after -= bytes;
+        sweep.evicted.push(hash);
+    }
+    Ok(sweep)
+}
+
+/// Refresh an entry's LRU clock (best effort; the sweep falls back to the
+/// write time when the touch fails, e.g. on a read-only cache).
+fn touch(path: &std::path::Path) {
+    if let Ok(f) = std::fs::File::options().write(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
+}
+
+/// Sweep the configured cache directory against the configured cap after
+/// a load, reporting evictions to stderr once per process as a rendered
+/// `native/cache-evict` diagnostic.
+fn sweep_after_load() {
+    let cap = cache_cap_bytes();
+    let dir = cache_dir();
+    match sweep_cache(&dir, cap) {
+        Ok(sweep) if !sweep.evicted.is_empty() => {
+            let diag = crate::analysis::Diagnostic {
+                severity: crate::analysis::Severity::Warning,
+                rule: crate::analysis::rules::NATIVE_CACHE_EVICT,
+                entity: String::new(),
+                location: dir.display().to_string(),
+                message: format!(
+                    "evicted {} cached plan(s) ({} -> {} bytes, cap {} bytes): {}",
+                    sweep.evicted.len(),
+                    sweep.bytes_before,
+                    sweep.bytes_after,
+                    cap,
+                    sweep.evicted.join(", ")
+                ),
+            };
+            static ONCE: std::sync::Once = std::sync::Once::new();
+            ONCE.call_once(|| eprintln!("{}", diag.render()));
+        }
+        _ => {}
+    }
+}
+
 #[cfg(all(unix, not(miri)))]
 mod dl {
     use std::os::raw::{c_char, c_int, c_void};
@@ -510,7 +642,12 @@ fn compile_and_load(source: &str, n_flat: usize, hash: u64) -> Result<Arc<Native
     let dir = cache_dir();
     std::fs::create_dir_all(&dir).map_err(|e| format!("cache dir {}: {e}", dir.display()))?;
     let so = dir.join(format!("{hash:016x}.so"));
-    if !so.exists() {
+    if so.exists() {
+        // Disk hit: refresh the entry's LRU clock so the size-cap sweep
+        // prefers plans nobody has loaded recently.
+        touch(&so);
+        touch(&dir.join(format!("{hash:016x}.rs")));
+    } else {
         let src_path = dir.join(format!("{hash:016x}.rs"));
         std::fs::write(&src_path, source)
             .map_err(|e| format!("write {}: {e}", src_path.display()))?;
@@ -601,6 +738,9 @@ pub(crate) fn prepare(cp: &CompiledProblem, n_cells: usize) -> Result<Arc<Native
     }
     let loaded = compile_and_load(&source, cp.n_flat, hash);
     cache.insert(hash, loaded.clone());
+    if loaded.is_ok() {
+        sweep_after_load();
+    }
     loaded
 }
 
@@ -608,6 +748,63 @@ pub(crate) fn prepare(cp: &CompiledProblem, n_cells: usize) -> Result<Arc<Native
 mod tests {
     use super::*;
     use crate::bytecode::RegProgram;
+
+    #[test]
+    fn cache_sweep_evicts_lru_entries_and_stale_tmps() {
+        let dir = std::env::temp_dir().join(format!("pbte-cache-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let now = std::time::SystemTime::now();
+        let age = |secs: u64| now - std::time::Duration::from_secs(secs);
+        // Three 100-byte plans (`.so` + `.rs` pair each), oldest first,
+        // plus an orphaned tmp from a "crashed" compile and a foreign
+        // file the sweep must never touch.
+        for (i, stamp) in [age(300), age(200), age(100)].iter().enumerate() {
+            for ext in ["so", "rs"] {
+                let p = dir.join(format!("{i:016x}.{ext}"));
+                std::fs::write(&p, [0u8; 50]).unwrap();
+                std::fs::File::options()
+                    .write(true)
+                    .open(&p)
+                    .unwrap()
+                    .set_modified(*stamp)
+                    .unwrap();
+            }
+        }
+        let tmp = dir.join("dead.12345.tmp");
+        std::fs::write(&tmp, [0u8; 10]).unwrap();
+        std::fs::File::options()
+            .write(true)
+            .open(&tmp)
+            .unwrap()
+            .set_modified(age(7200))
+            .unwrap();
+        std::fs::write(dir.join("README"), b"not a plan").unwrap();
+
+        // Cap at 150 bytes: the two oldest plans must go, the newest stays.
+        let sweep = sweep_cache(&dir, 150).unwrap();
+        assert_eq!(sweep.bytes_before, 300);
+        assert_eq!(sweep.bytes_after, 100);
+        assert_eq!(sweep.evicted, vec!["0000000000000000", "0000000000000001"]);
+        assert_eq!(sweep.stale_tmp, 1);
+        assert!(!dir.join(format!("{:016x}.so", 0)).exists());
+        assert!(dir.join(format!("{:016x}.so", 2)).exists());
+        assert!(dir.join(format!("{:016x}.rs", 2)).exists());
+        assert!(!tmp.exists());
+        assert!(
+            dir.join("README").exists(),
+            "foreign files are never deleted"
+        );
+
+        // Under the cap: nothing further happens; cap 0 disables eviction.
+        let idle = sweep_cache(&dir, 150).unwrap();
+        assert!(idle.evicted.is_empty());
+        let disabled = sweep_cache(&dir, 0).unwrap();
+        assert!(disabled.evicted.is_empty());
+        // A missing directory is an empty cache, not an error.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(sweep_cache(&dir, 1).unwrap().evicted.is_empty());
+    }
 
     #[test]
     fn fnv1a_is_stable() {

@@ -181,6 +181,171 @@ pub fn analyze(problem: &Problem, var: usize, src: &str) -> Result<DiscreteSyste
     })
 }
 
+/// Derive the Jacobian-vector-product system of an analyzed system.
+///
+/// The result is a [`DiscreteSystem`] whose volume and flux expressions
+/// evaluate `J·v` — the directional derivative of the spatial RHS — with
+/// the direction vector `v` riding in the unknown's storage slot. It is
+/// produced purely symbolically (via [`pbte_symbolic::diff_wrt`], which
+/// targets the *indexed* unknown and the `CELL1`/`CELL2` flux markers
+/// structurally) and then lowered through the ordinary pipeline: the JVP
+/// is just another program, so every kernel tier, every executor and the
+/// whole translation-validation chain apply to it unchanged.
+///
+/// Requirements, checked here and reported as [`DslError::Invalid`]:
+/// * every ∂(volume)/∂u and ∂(flux)/∂CELLᵢ coefficient must be free of
+///   `D_<f>` markers (a non-analyzable nesting such as `f(u)` with `f`
+///   unknown) and of the flux markers themselves (second derivatives);
+/// * the flux integrand may reference the unknown only through
+///   `CELL1(u)`/`CELL2(u)` — a bare `u` inside `surface(...)` has no
+///   face-local derivative.
+pub fn jvp_system(problem: &Problem, system: &DiscreteSystem) -> Result<DiscreteSystem, DslError> {
+    use pbte_symbolic::diff_wrt;
+    let registry = &problem.registry;
+    let u_sym = unknown_symbol(registry, system.unknown);
+    let cell1 = Expr::call("CELL1", vec![Rc::clone(&u_sym)]);
+    let cell2 = Expr::call("CELL2", vec![Rc::clone(&u_sym)]);
+
+    // Volume linearization: jvp_vol = (∂s/∂u)·v, with v in u's slot.
+    let dvol = diff_wrt(&system.volume_expr, &u_sym);
+    check_linearization(&dvol, "volume term ∂s/∂u")?;
+    let jvp_volume = simplify(&Expr::mul(vec![Rc::clone(&dvol), Rc::clone(&u_sym)]));
+
+    // Flux linearization: the integrand depends on the unknown only via
+    // the owner/neighbor markers, each of which is an independent input.
+    if contains_bare_unknown(&system.flux_expr, &u_sym) {
+        return Err(DslError::Invalid(format!(
+            "cannot linearize the flux for an implicit integrator: `{}` \
+             appears in a surface term outside CELL1/CELL2",
+            registry.variables[system.unknown].name
+        )));
+    }
+    let d1 = diff_wrt(&system.flux_expr, &cell1);
+    let d2 = diff_wrt(&system.flux_expr, &cell2);
+    check_linearization(&d1, "flux term ∂f/∂CELL1")?;
+    check_linearization(&d2, "flux term ∂f/∂CELL2")?;
+    let jvp_flux = simplify(&Expr::add(vec![
+        Expr::mul(vec![Rc::clone(&d1), Rc::clone(&cell1)]),
+        Expr::mul(vec![Rc::clone(&d2), Rc::clone(&cell2)]),
+    ]));
+
+    // Groups in the exact shape `analyze` produces, so the IR-level
+    // consistency obligations (`translation/ir-mismatch`) hold verbatim:
+    // Σ rhs_volume ≡ u + dt·volume, Σ rhs_surface ≡ −dt·flux, lhs ≡ −u.
+    let dt = Expr::sym("dt");
+    let mut rhs_volume = vec![Rc::clone(&u_sym)];
+    if !jvp_volume.is_num(0.0) {
+        rhs_volume.push(simplify(&Expr::mul(vec![
+            dt.clone(),
+            Rc::clone(&jvp_volume),
+        ])));
+    }
+    let rhs_surface = if jvp_flux.is_num(0.0) {
+        Vec::new()
+    } else {
+        vec![simplify(&Expr::mul(vec![
+            Expr::num(-1.0),
+            dt.clone(),
+            Rc::clone(&jvp_flux),
+        ]))]
+    };
+    let groups = TermGroups {
+        lhs_volume: vec![simplify(&Expr::neg(Rc::clone(&u_sym)))],
+        rhs_volume,
+        rhs_surface,
+    };
+    let expanded_form = simplify(&Expr::add(vec![
+        Expr::mul(vec![
+            Expr::num(-1.0),
+            Expr::sym("TIMEDERIVATIVE"),
+            Rc::clone(&u_sym),
+        ]),
+        Rc::clone(&jvp_volume),
+        Expr::mul(vec![Expr::sym("SURFACE"), Rc::clone(&jvp_flux)]),
+    ]));
+
+    // Referenced entities of the derivative programs. The unknown slot is
+    // always read (it carries the direction vector).
+    let mut read_variables = vec![system.unknown];
+    let mut read_coefficients = Vec::new();
+    let combined = Expr::add(vec![Rc::clone(&jvp_volume), Rc::clone(&jvp_flux)]);
+    for name in combined.symbol_names() {
+        if let Some(v) = registry.variable_id(&name) {
+            if !read_variables.contains(&v) {
+                read_variables.push(v);
+            }
+        } else if let Some(c) = registry.coefficient_id(&name) {
+            if !read_coefficients.contains(&c) {
+                read_coefficients.push(c);
+            }
+        }
+    }
+
+    Ok(DiscreteSystem {
+        unknown: system.unknown,
+        unknown_name: system.unknown_name.clone(),
+        volume_expr: jvp_volume,
+        flux_expr: jvp_flux,
+        expanded_form,
+        groups,
+        read_variables,
+        read_coefficients,
+    })
+}
+
+/// Reject derivative coefficients carrying `D_<f>` markers (unknown-call
+/// chain rule residue) or the flux markers themselves.
+fn check_linearization(d: &ExprRef, what: &str) -> Result<(), DslError> {
+    let mut bad: Option<String> = None;
+    d.visit(&mut |node| {
+        if let Expr::Call { name, .. } = node {
+            if bad.is_none() && (name.starts_with("D_") || name == "CELL1" || name == "CELL2") {
+                bad = Some(name.clone());
+            }
+        }
+    });
+    match bad {
+        Some(name) => Err(DslError::Invalid(format!(
+            "cannot linearize for an implicit integrator: {what} contains `{name}` \
+             (the dependence on the unknown is not symbolically analyzable)"
+        ))),
+        None => Ok(()),
+    }
+}
+
+/// Does the flux integrand reference the unknown outside the
+/// `CELL1`/`CELL2` markers? (Inside them is fine — that is the analyzable
+/// face-local dependence.)
+fn contains_bare_unknown(e: &ExprRef, u_sym: &ExprRef) -> bool {
+    if e.structurally_eq(u_sym) {
+        return true;
+    }
+    match e.as_ref() {
+        Expr::Num(_) | Expr::Sym { .. } => false,
+        Expr::Add(v) | Expr::Mul(v) | Expr::Vector(v) => {
+            v.iter().any(|x| contains_bare_unknown(x, u_sym))
+        }
+        Expr::Pow(b, x) => contains_bare_unknown(b, u_sym) || contains_bare_unknown(x, u_sym),
+        Expr::Call { name, args } => {
+            if name == "CELL1" || name == "CELL2" {
+                false
+            } else {
+                args.iter().any(|x| contains_bare_unknown(x, u_sym))
+            }
+        }
+        Expr::Cmp(_, a, b) => contains_bare_unknown(a, u_sym) || contains_bare_unknown(b, u_sym),
+        Expr::Conditional {
+            test,
+            if_true,
+            if_false,
+        } => {
+            contains_bare_unknown(test, u_sym)
+                || contains_bare_unknown(if_true, u_sym)
+                || contains_bare_unknown(if_false, u_sym)
+        }
+    }
+}
+
 /// The unknown with its declared index subscripts, e.g. `I[d,b]`.
 pub(crate) fn unknown_symbol(registry: &Registry, var: usize) -> ExprRef {
     let v = &registry.variables[var];

@@ -33,6 +33,89 @@ pub enum TimeStepper {
     Rk2,
 }
 
+/// Time-integration transform applied by the symbolic pipeline on top of
+/// the spatial discretization. Orthogonal to [`TimeStepper`] (which picks
+/// the *explicit* scheme): a non-explicit integrator replaces the stepper
+/// with an implicit θ-scheme or a pseudo-transient steady-state iteration,
+/// both driven by a symbolically generated Jacobian-vector product and a
+/// matrix-free Krylov solve (see `crate::exec::implicit`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Integrator {
+    /// Use the configured explicit [`TimeStepper`] (the default).
+    #[default]
+    Explicit,
+    /// θ-scheme: `u − u_n = dt·[(1−θ)·f(u_n, t) + θ·f(u, t+dt)]`.
+    /// θ = 1 is backward Euler (unconditionally stable, first order);
+    /// θ = ½ is Crank–Nicolson (A-stable, second order).
+    Implicit { theta: f64 },
+    /// Pseudo-transient continuation to steady state: repeated backward
+    /// Euler steps with the step size grown by switched-evolution
+    /// relaxation until `‖f(u)‖ ≤ tol·‖f(u₀)‖` (or `n_steps` pseudo-steps
+    /// were taken). `dt` seeds the first pseudo-step; `growth` caps the
+    /// per-step SER growth factor.
+    Steady { tol: f64, growth: f64 },
+}
+
+impl Integrator {
+    /// Stable lowercase name for CLI flags and telemetry attribution.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Integrator::Explicit => "explicit",
+            Integrator::Implicit { .. } => "implicit",
+            Integrator::Steady { .. } => "steady",
+        }
+    }
+
+    /// Whether this integrator solves an implicit system (and therefore
+    /// needs the JVP program and the Krylov machinery).
+    pub fn is_implicit(&self) -> bool {
+        !matches!(self, Integrator::Explicit)
+    }
+
+    /// Whether the scheme is unconditionally stable for any `dt > 0`
+    /// (the interval pass then treats the CFL bound as an accuracy
+    /// guideline, not a stability requirement).
+    pub fn unconditionally_stable(&self) -> bool {
+        match self {
+            Integrator::Explicit => false,
+            Integrator::Implicit { theta } => *theta >= 0.5,
+            Integrator::Steady { .. } => true,
+        }
+    }
+}
+
+/// Matrix-free Krylov settings for the implicit integrators. The defaults
+/// are deliberately tight: the per-step system is mildly nonsymmetric and
+/// Jacobi-preconditioned BiCGStab converges in a handful of iterations at
+/// BTE-typical scattering dominance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrylovConfig {
+    /// Relative residual tolerance `‖r‖ ≤ tol·‖b‖`.
+    pub tol: f64,
+    /// Iteration cap per linear solve.
+    pub max_iters: usize,
+    /// Newton iteration cap per implicit step (the BTE step system is
+    /// affine in the unknown, so 2 suffices: one solve + one re-check).
+    pub max_newton: usize,
+    /// Inexact-Newton forcing for the pseudo-transient steady driver:
+    /// each pseudo-step's linear system is only solved to this relative
+    /// residual (one solve, no verification pass). Steady pseudo-steps
+    /// are Picard iterates on the callback coupling — solving them to
+    /// `tol` wastes matvecs the outer iteration immediately discards.
+    pub steady_forcing: f64,
+}
+
+impl Default for KrylovConfig {
+    fn default() -> Self {
+        KrylovConfig {
+            tol: 1e-9,
+            max_iters: 400,
+            max_newton: 4,
+            steady_forcing: 1e-2,
+        }
+    }
+}
+
 /// How the hybrid GPU target handles boundary work (paper §III-D lists
 /// both options).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -330,11 +413,17 @@ impl From<pbte_symbolic::ParseError> for DslError {
 }
 
 /// A PDE problem under construction.
+#[derive(Clone)]
 pub struct Problem {
     pub name: String,
     pub dim: usize,
     pub solver_type: SolverType,
     pub stepper: TimeStepper,
+    /// Time-integration transform (explicit stepper / implicit θ-scheme /
+    /// pseudo-transient steady state).
+    pub integrator: Integrator,
+    /// Krylov settings for the implicit integrators.
+    pub krylov: KrylovConfig,
     pub dt: f64,
     pub n_steps: usize,
     pub mesh: Option<Mesh>,
@@ -375,6 +464,8 @@ impl Problem {
             dim: 2,
             solver_type: SolverType::FiniteVolume,
             stepper: TimeStepper::EulerExplicit,
+            integrator: Integrator::Explicit,
+            krylov: KrylovConfig::default(),
             dt: 1e-3,
             n_steps: 1,
             mesh: None,
@@ -435,6 +526,35 @@ impl Problem {
     /// `timeStepper(EULER_EXPLICIT)`.
     pub fn time_stepper(&mut self, t: TimeStepper) -> &mut Self {
         self.stepper = t;
+        self
+    }
+
+    /// Select the time-integration transform (default: explicit).
+    /// `Implicit { theta }` requires `0 ≤ θ ≤ 1` and θ > 0 (θ = 0 *is*
+    /// forward Euler — use [`Integrator::Explicit`], which skips the
+    /// Krylov machinery entirely).
+    pub fn integrator(&mut self, integrator: Integrator) -> &mut Self {
+        match integrator {
+            Integrator::Implicit { theta } => {
+                assert!(
+                    theta > 0.0 && theta <= 1.0,
+                    "implicit theta must lie in (0, 1], got {theta}"
+                );
+            }
+            Integrator::Steady { tol, growth } => {
+                assert!(tol > 0.0 && tol < 1.0, "steady tol must lie in (0, 1)");
+                assert!(growth >= 1.0, "SER growth factor must be ≥ 1");
+            }
+            Integrator::Explicit => {}
+        }
+        self.integrator = integrator;
+        self
+    }
+
+    /// Tune the matrix-free Krylov solve of the implicit integrators.
+    pub fn krylov(&mut self, cfg: KrylovConfig) -> &mut Self {
+        assert!(cfg.tol > 0.0 && cfg.max_iters > 0 && cfg.max_newton > 0);
+        self.krylov = cfg;
         self
     }
 

@@ -1,0 +1,480 @@
+//! Exact, order-independent accumulation of `f64` sums and dot products.
+//!
+//! The implicit integrators (`pbte_dsl::exec::implicit`) need Krylov
+//! inner products whose *bits* do not depend on how the degrees of
+//! freedom are partitioned: the same BiCGStab trajectory must fall out
+//! of a sequential sweep, a rayon split, four cell-partitioned ranks or
+//! a band-partitioned GPU run. Compensated summation is not enough —
+//! its result still depends on the visit order — so this module keeps a
+//! *complete* fixed-point image of the running sum instead:
+//!
+//! * every addend is split exactly into `hi + lo` with one `mul_add`
+//!   (two_prod), so products lose nothing;
+//! * each double is decomposed via its bit pattern into an integer
+//!   mantissa times a power of two and added into an array of signed
+//!   base-2³² limbs spanning the entire double range (a small
+//!   superaccumulator in the style of exact-BLAS reductions);
+//! * limb arrays are order-independent by construction (integer adds
+//!   commute), and after [`ExactAcc::renorm`] every limb fits in
+//!   (−2³¹, 2³¹), so the limbs survive a round-trip through `f64` and
+//!   an element-wise `allreduce_sum` across ≤ 2²⁰ ranks *exactly*
+//!   (partial sums stay below 2⁵³);
+//! * [`ExactAcc::value`] rounds the canonical fixed-point image to the
+//!   nearest double (ties to even) — one rounding for the whole sum.
+//!
+//! The cost is ~70 i64 adds per addend, which is irrelevant next to the
+//! RHS evaluations the dots sit between.
+
+/// Weight of limb `i` is `2^(LIMB_BASE + 32·i)`. The smallest magnitude
+/// an addend can contribute is 2⁻¹⁰⁷⁴ (a subnormal `lo` term), so the
+/// base sits one limb below; the largest is just under 2¹⁰²⁴ from `hi`
+/// and needs bits up to ~2¹⁰⁷⁷ once carries pile up.
+const LIMB_BASE: i32 = -1088;
+
+/// Limbs covering 2⁻¹⁰⁸⁸ … 2^(−1088+32·68) = 2¹⁰⁸⁸, plus headroom for
+/// carries out of the top during normalization.
+pub const N_LIMBS: usize = 70;
+
+/// Length of the `f64` transport image: the limbs plus one slot that
+/// counts non-finite addends (so NaN/∞ poisoning survives reduction).
+pub const TRANSPORT_LEN: usize = N_LIMBS + 1;
+
+/// Renormalize after this many raw limb additions: each add contributes
+/// < 2³² per limb, so limbs stay below 2³¹ + 2²⁴·2³² < 2⁵⁷ ≪ i64::MAX.
+const RENORM_EVERY: u32 = 1 << 24;
+
+/// An exact superaccumulator for `f64` sums and dot products.
+#[derive(Clone)]
+pub struct ExactAcc {
+    limbs: [i64; N_LIMBS],
+    pending: u32,
+    /// Count of non-finite addends seen (the sum is then NaN).
+    nonfinite: u64,
+}
+
+impl Default for ExactAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactAcc {
+    /// The empty sum.
+    pub fn new() -> ExactAcc {
+        ExactAcc {
+            limbs: [0; N_LIMBS],
+            pending: 0,
+            nonfinite: 0,
+        }
+    }
+
+    /// Add a single value exactly.
+    pub fn add(&mut self, x: f64) {
+        self.add_double(x);
+    }
+
+    /// Add the product `a·b` exactly (two_prod splitting: `hi` is the
+    /// rounded product, `lo = fma(a, b, −hi)` the exact residual).
+    pub fn add_prod(&mut self, a: f64, b: f64) {
+        let hi = a * b;
+        if !hi.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
+        let lo = a.mul_add(b, -hi);
+        self.add_double(hi);
+        self.add_double(lo);
+    }
+
+    fn add_double(&mut self, x: f64) {
+        if x == 0.0 {
+            return;
+        }
+        if !x.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
+        let bits = x.to_bits();
+        let exp_bits = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & 0x000f_ffff_ffff_ffff;
+        // value = m · 2^e2 with m an integer < 2⁵³.
+        let (m, e2) = if exp_bits == 0 {
+            (frac, -1074)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        let offset = (e2 - LIMB_BASE) as u32; // ≥ 0 by construction
+        let q = (offset / 32) as usize;
+        let r = offset % 32;
+        let v = (m as u128) << r; // < 2^(53+32) = 2⁸⁵
+        let neg = bits >> 63 == 1;
+        debug_assert!(q + 2 < N_LIMBS);
+        for (k, limb) in self.limbs[q..q + 3].iter_mut().enumerate() {
+            let chunk = ((v >> (32 * k)) & 0xffff_ffff) as i64;
+            *limb += if neg { -chunk } else { chunk };
+        }
+        self.pending += 1;
+        if self.pending >= RENORM_EVERY {
+            self.renorm();
+        }
+    }
+
+    /// Balanced carry propagation: afterwards every limb lies in
+    /// (−2³¹, 2³¹), the canonical transportable form.
+    pub fn renorm(&mut self) {
+        let mut carry: i64 = 0;
+        for limb in self.limbs.iter_mut() {
+            let x = *limb + carry;
+            let mut r = x.rem_euclid(1 << 32);
+            if r >= 1 << 31 {
+                r -= 1 << 32;
+            }
+            carry = (x - r) >> 32;
+            *limb = r;
+        }
+        // A nonzero final carry means the true sum overflows 2¹⁰⁸⁸ —
+        // far beyond f64 range — so saturate the top limb; `value()`
+        // then rounds to ±∞ as an ordinary overflow would.
+        if carry != 0 {
+            self.limbs[N_LIMBS - 1] = if carry > 0 {
+                i64::MAX / 2
+            } else {
+                i64::MIN / 2
+            };
+        }
+        self.pending = 0;
+    }
+
+    /// Write the balanced limb image into an `f64` buffer suitable for an
+    /// element-wise deterministic `allreduce_sum`: every limb is an
+    /// integer below 2³¹ in magnitude, so cross-rank sums (≤ 2²⁰ ranks)
+    /// stay below 2⁵³ and add exactly in any association.
+    pub fn to_transport(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), TRANSPORT_LEN);
+        self.renorm();
+        for (o, &l) in out.iter_mut().zip(self.limbs.iter()) {
+            *o = l as f64;
+        }
+        out[N_LIMBS] = self.nonfinite.min(1 << 20) as f64;
+    }
+
+    /// Rebuild an accumulator from a (possibly reduced) transport image.
+    pub fn from_transport(buf: &[f64]) -> ExactAcc {
+        assert_eq!(buf.len(), TRANSPORT_LEN);
+        let mut acc = ExactAcc::new();
+        for (l, &b) in acc.limbs.iter_mut().zip(buf.iter()) {
+            *l = b as i64;
+        }
+        acc.nonfinite = buf[N_LIMBS] as u64;
+        acc
+    }
+
+    /// Fold another accumulator in (exact merge).
+    pub fn merge(&mut self, other: &ExactAcc) {
+        for (a, &b) in self.limbs.iter_mut().zip(other.limbs.iter()) {
+            *a += b;
+        }
+        self.nonfinite += other.nonfinite;
+        self.pending += 1;
+        if self.pending >= RENORM_EVERY {
+            self.renorm();
+        }
+    }
+
+    /// Round the accumulated sum to the nearest `f64` (ties to even).
+    /// One rounding for the entire sum; independent of addend order.
+    pub fn value(&self) -> f64 {
+        if self.nonfinite > 0 {
+            return f64::NAN;
+        }
+        let mut limbs = self.limbs;
+        // Balanced form first (the accumulator may hold raw adds).
+        balance(&mut limbs);
+        // Sign = sign of the most significant nonzero limb (lower limbs
+        // cannot outweigh it: |Σ_{j<i} l_j·2^{32j}| < 2^{32i}).
+        let top = match limbs.iter().rposition(|&l| l != 0) {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        let negative = limbs[top] < 0;
+        if negative {
+            for l in limbs.iter_mut() {
+                *l = -*l;
+            }
+            balance(&mut limbs);
+        }
+        // Non-negative canonical form: limbs in [0, 2³²).
+        let mut carry: i64 = 0;
+        for l in limbs.iter_mut() {
+            let x = *l + carry;
+            let r = x.rem_euclid(1 << 32);
+            carry = (x - r) >> 32;
+            *l = r;
+        }
+        debug_assert_eq!(carry, 0, "positive canonical form cannot carry out");
+        let top = match limbs.iter().rposition(|&l| l != 0) {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        // Assemble a 96-bit window below the top limb + sticky bit.
+        let lo2 = if top >= 1 { limbs[top - 1] as u128 } else { 0 };
+        let lo1 = if top >= 2 { limbs[top - 2] as u128 } else { 0 };
+        let sticky_limbs = top.checked_sub(2).map(|n| &limbs[..n]).unwrap_or(&[]);
+        let mut sticky = sticky_limbs.iter().any(|&l| l != 0);
+        let acc: u128 = ((limbs[top] as u128) << 64) | (lo2 << 32) | lo1;
+        // acc · 2^window_exp is the value (up to sticky bits below).
+        let window_exp = LIMB_BASE + 32 * (top as i32 - 2);
+        let nbits = 128 - acc.leading_zeros() as i32;
+        // Keep 53 significand bits, round the rest half-to-even.
+        let (mut keep, mut exp) = if nbits > 53 {
+            let shift = (nbits - 53) as u32;
+            let keep = (acc >> shift) as u64;
+            let rem = acc & ((1u128 << shift) - 1);
+            let half = 1u128 << (shift - 1);
+            sticky |= rem & (half - 1) != 0;
+            let round_up = rem > half || (rem == half && (sticky || keep & 1 == 1));
+            (keep + round_up as u64, window_exp + shift as i32)
+        } else {
+            (acc as u64, window_exp)
+        };
+        // Rounding may have produced a 54-bit mantissa.
+        if keep == 1u64 << 53 {
+            keep >>= 1;
+            exp += 1;
+        }
+        let sign = if negative { -1.0 } else { 1.0 };
+        sign * ldexp(keep as f64, exp)
+    }
+}
+
+/// Balanced carry propagation on a raw limb array.
+fn balance(limbs: &mut [i64; N_LIMBS]) {
+    let mut carry: i64 = 0;
+    for limb in limbs.iter_mut() {
+        let x = *limb + carry;
+        let mut r = x.rem_euclid(1 << 32);
+        if r >= 1 << 31 {
+            r -= 1 << 32;
+        }
+        carry = (x - r) >> 32;
+        *limb = r;
+    }
+    if carry != 0 {
+        limbs[N_LIMBS - 1] = if carry > 0 {
+            i64::MAX / 2
+        } else {
+            i64::MIN / 2
+        };
+    }
+}
+
+/// `m · 2^e` without libm: exact power-of-two scaling in ≤ 3 multiplies
+/// (each factor is an exact power of two, so only the final multiply can
+/// round — and it rounds exactly once, into the subnormal range or ±∞).
+fn ldexp(m: f64, mut e: i32) -> f64 {
+    let mut x = m;
+    while e > 511 {
+        x *= f64::from_bits(((511 + 1023) as u64) << 52);
+        e -= 511;
+    }
+    while e < -511 {
+        // 2⁻⁵¹¹ is a normal power of two; multiplying by it is exact
+        // until the final step lands subnormal.
+        x *= f64::from_bits(((-511 + 1023) as u64) << 52);
+        e += 511;
+    }
+    x * f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// Exact dot product of two equal-length slices (one rounding total).
+pub fn exact_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut acc = ExactAcc::new();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc.add_prod(x, y);
+    }
+    acc.value()
+}
+
+/// Exact sum of a slice (one rounding total).
+pub fn exact_sum(xs: &[f64]) -> f64 {
+    let mut acc = ExactAcc::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn rand_f64(state: &mut u64, scale_bits: i32) -> f64 {
+        let u = splitmix64(state);
+        let mant = (u >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        let e = (splitmix64(state) % (2 * scale_bits as u64 + 1)) as i32 - scale_bits;
+        mant * f64::from_bits(((e + 1023) as u64) << 52)
+    }
+
+    #[test]
+    fn singletons_round_trip() {
+        let mut s = 42u64;
+        for _ in 0..1000 {
+            let x = rand_f64(&mut s, 600);
+            let mut acc = ExactAcc::new();
+            acc.add(x);
+            assert_eq!(acc.value().to_bits(), x.to_bits(), "x = {x:e}");
+        }
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            5e-324,
+            -5e-324,
+        ] {
+            let mut acc = ExactAcc::new();
+            acc.add(x);
+            // −0.0 canonicalizes to +0.0; value equality is what we need.
+            assert_eq!(acc.value(), x, "x = {x:e}");
+        }
+    }
+
+    #[test]
+    fn products_round_trip() {
+        let mut s = 7u64;
+        for _ in 0..1000 {
+            let a = rand_f64(&mut s, 300);
+            let b = rand_f64(&mut s, 300);
+            let mut acc = ExactAcc::new();
+            acc.add_prod(a, b);
+            // hi + lo reassembled and rounded once = rounded product.
+            let hi = a * b;
+            let lo = a.mul_add(b, -hi);
+            let mut reference = ExactAcc::new();
+            reference.add(hi);
+            reference.add(lo);
+            assert_eq!(acc.value().to_bits(), reference.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_integer_dots() {
+        // Integer-valued inputs: the exact result is computable in i128.
+        let mut s = 3u64;
+        for _ in 0..200 {
+            let a: Vec<f64> = (0..64)
+                .map(|_| (splitmix64(&mut s) % 2001) as f64 - 1000.0)
+                .collect();
+            let b: Vec<f64> = (0..64)
+                .map(|_| (splitmix64(&mut s) % 2001) as f64 - 1000.0)
+                .collect();
+            let exact: i128 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as i128) * (y as i128))
+                .sum();
+            assert_eq!(exact_dot(&a, &b), exact as f64);
+        }
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_exact() {
+        assert_eq!(exact_sum(&[1e308, 1.0, -1e308]), 1.0);
+        assert_eq!(exact_sum(&[3.0, 1e-300, -3.0]), 1e-300);
+        let v = [1e200, 2.5, -1e200, 1e-100, -1e-100];
+        assert_eq!(exact_sum(&v), 2.5);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        let two53 = 9007199254740992.0; // 2⁵³
+        assert_eq!(exact_sum(&[two53, 1.0]), two53); // halfway → even
+        assert_eq!(exact_sum(&[two53, 3.0]), two53 + 4.0); // halfway → even (up)
+        assert_eq!(exact_sum(&[two53, 1.0, 5e-324]), two53 + 2.0); // sticky breaks tie
+        assert_eq!(exact_sum(&[-two53, -1.0]), -two53);
+    }
+
+    #[test]
+    fn order_and_partition_invariance() {
+        let mut s = 99u64;
+        let a: Vec<f64> = (0..512).map(|_| rand_f64(&mut s, 400)).collect();
+        let b: Vec<f64> = (0..512).map(|_| rand_f64(&mut s, 400)).collect();
+        let forward = exact_dot(&a, &b);
+        // Reversed order.
+        let ar: Vec<f64> = a.iter().rev().copied().collect();
+        let br: Vec<f64> = b.iter().rev().copied().collect();
+        assert_eq!(forward.to_bits(), exact_dot(&ar, &br).to_bits());
+        // Partitioned into 4 "ranks", merged through the f64 transport
+        // image + element-wise summation (the allreduce contract).
+        let mut reduced = vec![0.0; TRANSPORT_LEN];
+        for chunk in 0..4 {
+            let lo = chunk * 128;
+            let mut acc = ExactAcc::new();
+            for i in lo..lo + 128 {
+                acc.add_prod(a[i], b[i]);
+            }
+            let mut img = vec![0.0; TRANSPORT_LEN];
+            acc.to_transport(&mut img);
+            for (r, v) in reduced.iter_mut().zip(img) {
+                *r += v;
+            }
+        }
+        let merged = ExactAcc::from_transport(&reduced).value();
+        assert_eq!(forward.to_bits(), merged.to_bits());
+    }
+
+    #[test]
+    fn nonfinite_poisons_deterministically() {
+        let mut acc = ExactAcc::new();
+        acc.add(1.0);
+        acc.add(f64::INFINITY);
+        assert!(acc.value().is_nan());
+        let mut img = vec![0.0; TRANSPORT_LEN];
+        acc.to_transport(&mut img);
+        assert!(ExactAcc::from_transport(&img).value().is_nan());
+        let mut acc = ExactAcc::new();
+        acc.add_prod(1e300, 1e300); // overflowing product
+        assert!(acc.value().is_nan());
+    }
+
+    #[test]
+    fn many_addends_trigger_renorm_safely() {
+        let mut acc = ExactAcc::new();
+        let mut total: i128 = 0;
+        let mut s = 5u64;
+        for _ in 0..100_000 {
+            let v = (splitmix64(&mut s) % 1_000_000) as i64 - 500_000;
+            total += v as i128;
+            acc.add(v as f64);
+        }
+        assert_eq!(acc.value(), total as f64);
+    }
+
+    #[test]
+    fn merge_matches_transport_reduction() {
+        let mut s = 11u64;
+        let xs: Vec<f64> = (0..256).map(|_| rand_f64(&mut s, 500)).collect();
+        let whole = exact_sum(&xs);
+        let mut left = ExactAcc::new();
+        let mut right = ExactAcc::new();
+        for &x in &xs[..128] {
+            left.add(x);
+        }
+        for &x in &xs[128..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(whole.to_bits(), left.value().to_bits());
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod calibrate;
 pub mod comm;
+pub mod exact;
 pub mod machine;
 pub mod telemetry;
 pub mod timer;

@@ -42,6 +42,14 @@ pub struct WorkCounters {
     pub newton_iters: u64,
     /// Per-cell temperature solves.
     pub temperature_solves: u64,
+    /// Full right-hand-side evaluations (one = every dof's RHS once).
+    /// Explicit Euler performs one per step; implicit integrators one
+    /// per Newton residual.
+    pub rhs_evals: u64,
+    /// Jacobian-vector-product evaluations (implicit integrators only).
+    pub jvp_evals: u64,
+    /// Krylov (BiCGStab) iterations across all implicit solves.
+    pub krylov_iters: u64,
 }
 
 impl WorkCounters {
@@ -52,6 +60,9 @@ impl WorkCounters {
         self.ghost_evals += other.ghost_evals;
         self.newton_iters += other.newton_iters;
         self.temperature_solves += other.temperature_solves;
+        self.rhs_evals += other.rhs_evals;
+        self.jvp_evals += other.jvp_evals;
+        self.krylov_iters += other.krylov_iters;
     }
 
     /// Counter increase since a `baseline` snapshot (counters are
@@ -63,6 +74,9 @@ impl WorkCounters {
             ghost_evals: self.ghost_evals - baseline.ghost_evals,
             newton_iters: self.newton_iters - baseline.newton_iters,
             temperature_solves: self.temperature_solves - baseline.temperature_solves,
+            rhs_evals: self.rhs_evals - baseline.rhs_evals,
+            jvp_evals: self.jvp_evals - baseline.jvp_evals,
+            krylov_iters: self.krylov_iters - baseline.krylov_iters,
         }
     }
 }
@@ -710,8 +724,15 @@ impl Recorder {
 fn work_json(w: &WorkCounters) -> String {
     format!(
         "{{\"dof_updates\":{},\"flux_evals\":{},\"ghost_evals\":{},\"newton_iters\":{},\
-         \"temperature_solves\":{}}}",
-        w.dof_updates, w.flux_evals, w.ghost_evals, w.newton_iters, w.temperature_solves
+         \"temperature_solves\":{},\"rhs_evals\":{},\"jvp_evals\":{},\"krylov_iters\":{}}}",
+        w.dof_updates,
+        w.flux_evals,
+        w.ghost_evals,
+        w.newton_iters,
+        w.temperature_solves,
+        w.rhs_evals,
+        w.jvp_evals,
+        w.krylov_iters
     )
 }
 

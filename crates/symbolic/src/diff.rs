@@ -99,6 +99,129 @@ fn diff_raw(e: &ExprRef, var: &str) -> ExprRef {
     }
 }
 
+/// `d e / d target`, simplified, where `target` is matched *structurally*
+/// rather than by name: it may be an indexed symbol (`I[d,b]`) or a whole
+/// call (`CELL1(I[d,b])`), which plain [`diff`] cannot target. This is how
+/// the implicit time integrators derive Jacobian-vector products: the
+/// unknown field and the flux cell markers are indexed entities, and the
+/// derivative "with respect to `CELL1(u)`" treats `CELL2(u)` as a constant.
+///
+/// An unknown call whose arguments *contain* the target (but are not it)
+/// differentiates to a `D_<name>` marker — same convention as [`diff`] —
+/// so a consumer can reject non-analyzable nesting explicitly instead of
+/// getting a silent zero.
+pub fn diff_wrt(e: &ExprRef, target: &ExprRef) -> ExprRef {
+    simplify(&diff_wrt_raw(e, target))
+}
+
+/// Does `e` contain `target` as a (structural) subexpression?
+pub fn contains_expr(e: &ExprRef, target: &ExprRef) -> bool {
+    if e.structurally_eq(target) {
+        return true;
+    }
+    match e.as_ref() {
+        Expr::Num(_) | Expr::Sym { .. } => false,
+        Expr::Add(v) | Expr::Mul(v) | Expr::Vector(v) => v.iter().any(|x| contains_expr(x, target)),
+        Expr::Pow(b, x) => contains_expr(b, target) || contains_expr(x, target),
+        Expr::Call { args, .. } => args.iter().any(|x| contains_expr(x, target)),
+        Expr::Cmp(_, a, b) => contains_expr(a, target) || contains_expr(b, target),
+        Expr::Conditional {
+            test,
+            if_true,
+            if_false,
+        } => {
+            contains_expr(test, target)
+                || contains_expr(if_true, target)
+                || contains_expr(if_false, target)
+        }
+    }
+}
+
+fn diff_wrt_raw(e: &ExprRef, target: &ExprRef) -> ExprRef {
+    if e.structurally_eq(target) {
+        return Expr::num(1.0);
+    }
+    if !contains_expr(e, target) {
+        return Expr::num(0.0);
+    }
+    match e.as_ref() {
+        // Handled above: the structural match and the constant case.
+        Expr::Num(_) | Expr::Sym { .. } => Expr::num(0.0),
+        Expr::Add(terms) => Expr::add(terms.iter().map(|t| diff_wrt_raw(t, target)).collect()),
+        Expr::Mul(factors) => {
+            let mut terms = Vec::with_capacity(factors.len());
+            for i in 0..factors.len() {
+                if !contains_expr(&factors[i], target) {
+                    continue; // that term of the product rule is zero
+                }
+                let mut fs: Vec<ExprRef> = Vec::with_capacity(factors.len());
+                for (j, f) in factors.iter().enumerate() {
+                    if i == j {
+                        fs.push(diff_wrt_raw(f, target));
+                    } else {
+                        fs.push(Rc::clone(f));
+                    }
+                }
+                terms.push(Expr::mul(fs));
+            }
+            Expr::add(terms)
+        }
+        Expr::Pow(base, exponent) => {
+            if let Some(n) = exponent.as_num() {
+                Expr::mul(vec![
+                    Expr::num(n),
+                    Expr::pow(Rc::clone(base), Expr::num(n - 1.0)),
+                    diff_wrt_raw(base, target),
+                ])
+            } else {
+                let term1 = Expr::mul(vec![
+                    diff_wrt_raw(exponent, target),
+                    Expr::call("log", vec![Rc::clone(base)]),
+                ]);
+                let term2 = Expr::mul(vec![
+                    Rc::clone(exponent),
+                    diff_wrt_raw(base, target),
+                    Expr::pow(Rc::clone(base), Expr::num(-1.0)),
+                ]);
+                Expr::mul(vec![Rc::clone(e), Expr::add(vec![term1, term2])])
+            }
+        }
+        Expr::Call { name, args } if args.len() == 1 => {
+            let inner = Rc::clone(&args[0]);
+            let dinner = diff_wrt_raw(&inner, target);
+            let outer: ExprRef = match name.as_str() {
+                "exp" => Expr::call("exp", vec![inner]),
+                "log" => Expr::pow(inner, Expr::num(-1.0)),
+                "sin" => Expr::call("cos", vec![inner]),
+                "cos" => Expr::neg(Expr::call("sin", vec![inner])),
+                "sqrt" => Expr::mul(vec![Expr::num(0.5), Expr::pow(inner, Expr::num(-0.5))]),
+                "sinh" => Expr::call("cosh", vec![inner]),
+                "cosh" => Expr::call("sinh", vec![inner]),
+                "tanh" => Expr::sub(
+                    Expr::num(1.0),
+                    Expr::pow(Expr::call("tanh", vec![inner]), Expr::num(2.0)),
+                ),
+                _ => Expr::call(format!("D_{name}"), vec![inner]),
+            };
+            Expr::mul(vec![outer, dinner])
+        }
+        Expr::Call { name, args } => Expr::call(format!("D_{name}"), args.clone()),
+        Expr::Cmp(..) => Expr::num(0.0),
+        Expr::Conditional {
+            test,
+            if_true,
+            if_false,
+        } => Expr::conditional(
+            Rc::clone(test),
+            diff_wrt_raw(if_true, target),
+            diff_wrt_raw(if_false, target),
+        ),
+        Expr::Vector(components) => {
+            Expr::vector(components.iter().map(|c| diff_wrt_raw(c, target)).collect())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +299,65 @@ mod tests {
     fn indexed_symbols_are_not_the_variable() {
         // x[d] is a different entity from the scalar x.
         assert!(d("x[d]", "x").is_num(0.0));
+    }
+
+    fn dw(src: &str, target: &str) -> ExprRef {
+        diff_wrt(&parse(src).unwrap(), &parse(target).unwrap())
+    }
+
+    #[test]
+    fn diff_wrt_targets_indexed_symbols() {
+        assert!(dw("I[d,b]", "I[d,b]").is_num(1.0));
+        assert!(dw("Io[b]", "I[d,b]").is_num(0.0));
+        // The BTE volume term: d/dI ((Io - I)·beta) = −beta.
+        let de = dw("(Io[b] - I[d,b]) * beta[b]", "I[d,b]");
+        assert!(de.structurally_eq(&simplify(&parse("-beta[b]").unwrap())));
+    }
+
+    #[test]
+    fn diff_wrt_targets_whole_calls() {
+        // Upwind flux: d/dCELL1 picks out the upwind branch coefficient.
+        let de = dw(
+            "conditional(vn > 0, vn * CELL1(I[d,b]), vn * CELL2(I[d,b]))",
+            "CELL1(I[d,b])",
+        );
+        match de.as_ref() {
+            Expr::Conditional {
+                if_true, if_false, ..
+            } => {
+                assert!(if_true.structurally_eq(&parse("vn").unwrap()));
+                assert!(if_false.is_num(0.0));
+            }
+            other => panic!("expected Conditional, got {other:?}"),
+        }
+        // CELL2(u) is a constant w.r.t. CELL1(u) even though both wrap u.
+        assert!(dw("CELL2(I[d,b])", "CELL1(I[d,b])").is_num(0.0));
+    }
+
+    #[test]
+    fn diff_wrt_marks_nonanalyzable_nesting() {
+        // A call *containing* the target (but not equal to it) produces a
+        // D_ marker so consumers can reject it.
+        let de = dw("CELL1(I[d,b])", "I[d,b]");
+        assert!(de.contains_call("D_CELL1"));
+        assert!(contains_expr(
+            &parse("a + CELL1(I[d,b])*2").unwrap(),
+            &parse("CELL1(I[d,b])").unwrap()
+        ));
+        assert!(!contains_expr(
+            &parse("a + CELL2(I[d,b])*2").unwrap(),
+            &parse("CELL1(I[d,b])").unwrap()
+        ));
+    }
+
+    #[test]
+    fn diff_wrt_product_and_chain_rules() {
+        let de = dw("vg[b] * I[d,b] * I[d,b]", "I[d,b]");
+        assert!(de.structurally_eq(&simplify(&parse("2 * vg[b] * I[d,b]").unwrap())));
+        // Chain rule through a known elementary function.
+        let e = parse("exp(2 * I[d,b])").unwrap();
+        let t = parse("I[d,b]").unwrap();
+        let de = diff_wrt(&e, &t);
+        assert!(de.structurally_eq(&simplify(&parse("2 * exp(2 * I[d,b])").unwrap())));
     }
 }

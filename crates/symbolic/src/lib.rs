@@ -30,7 +30,7 @@ pub mod parser;
 pub mod simplify;
 pub mod subs;
 
-pub use diff::diff;
+pub use diff::{contains_expr, diff, diff_wrt};
 pub use eval::{eval, EvalContext, EvalError};
 pub use expr::{CmpOp, Expr, ExprRef};
 pub use interval::{interval_eval, Interval, IntervalContext, IntervalError, IntervalEvalError};
