@@ -24,14 +24,16 @@
 //!   counters back to the sequential totals, except `temperature_solves`
 //!   under `RedundantNewton`, where every rank solves all cells and the
 //!   job total is exactly `ranks ×` the sequential count.
-//! * `newton_iters` is exactly equal on the bit-identical targets (seq,
-//!   par, cells, gpu:precompute). Band-parallel targets reassociate the
-//!   energy allreduce and gpu:async trades boundary staleness for
-//!   overlap, so their iteration counts are reported but not asserted.
-//! * `ghost_evals` is exactly equal on seq, par, bands and the gpu
-//!   targets. Cell-partitioned ranks each evaluate every boundary face
-//!   (faces are not partitioned), so their total inflates by the rank
-//!   count and is reported but not asserted.
+//! * `newton_iters` is exactly equal on *every* target, GPU lineage
+//!   included — the device path evaluates through the same tier entry
+//!   points as the CPU executors, so the temperature solves see
+//!   bit-identical intensity everywhere. Redundant banded ranks each run
+//!   the full solve, so their count is exactly `ranks ×` the sequential
+//!   one, like `temperature_solves`.
+//! * `ghost_evals` is exactly equal on every target except cells:
+//!   cell-partitioned ranks each evaluate every boundary face (faces are
+//!   not partitioned), so that total inflates by the rank count and is
+//!   reported but not asserted.
 //!
 //! * kernel-span **tier attribution**: every `Kernel` span a target
 //!   records must carry one uniform `tier` attribute, and *every* target
@@ -198,18 +200,25 @@ fn expectations(
         expected: solves,
         actual: got.temperature_solves,
     });
-    // Bit-identical targets must match Newton iteration-for-iteration.
-    if matches!(tname, "par" | "cells" | "gpu:precompute") {
-        ex.push(Expect {
-            target: tname,
-            counter: "newton_iters",
-            expected: seq.newton_iters,
-            actual: got.newton_iters,
-        });
-    }
+    // Newton parity is a hard assert everywhere, GPU lineage included:
+    // the device path evaluates through the same tier entry points as the
+    // CPU targets, so the temperature solves see bit-identical intensity
+    // and iterate identically. Redundant banded ranks each run the full
+    // solve, scaling the count like the solves themselves.
+    let newton = if banded && strategy == TemperatureStrategy::RedundantNewton {
+        ranks * seq.newton_iters
+    } else {
+        seq.newton_iters
+    };
+    ex.push(Expect {
+        target: tname,
+        counter: "newton_iters",
+        expected: newton,
+        actual: got.newton_iters,
+    });
     // Boundary faces are evaluated once per owned flat everywhere except
     // cell partitioning (faces are replicated across cell ranks).
-    if matches!(tname, "par" | "bands" | "gpu:async" | "gpu:precompute") {
+    if tname != "cells" {
         ex.push(Expect {
             target: tname,
             counter: "ghost_evals",

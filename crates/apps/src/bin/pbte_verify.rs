@@ -2,7 +2,7 @@
 //! over the paper's scenarios on every execution target and kernel tier.
 //!
 //! ```text
-//! pbte-verify [--json] [--validate] [--intervals] [n=12] [steps=4] [ranks=2]
+//! pbte-verify [--json] [--validate] [--intervals] [--synth] [--cost] [n=12] [steps=4] [ranks=2]
 //! ```
 //!
 //! For each scenario (the hot-spot domain of Figs 1–4 and the elongated
@@ -19,7 +19,7 @@
 //! 3. the transfer schedule against derived/declared access sets (GPU
 //!    targets only — no stale reads, no redundant transfers).
 //!
-//! Two opt-in passes extend the proof to the lowering pipeline itself:
+//! Four opt-in passes extend the proof to the lowering pipeline itself:
 //!
 //! * `--validate` — translation validation: re-extract a canonical
 //!   symbolic expression from the IR and from all compiled kernel tiers
@@ -28,7 +28,17 @@
 //!   and re-run the chain over it (`translation/jvp-mismatch`);
 //! * `--intervals` — numeric-safety abstract interpretation over the
 //!   interval domain (no NaN/Inf, no division by zero, function domains)
-//!   plus the CFL-style step-bound check.
+//!   plus the CFL-style step-bound check;
+//! * `--synth` — schedule synthesis with proof-carrying certificates:
+//!   derive the transfer schedule from the access facts, re-discharge
+//!   every certificate obligation (`schedule/unsound`,
+//!   `schedule/unjustified-transfer`), and diff the result against the
+//!   legacy hand-built schedule (`schedule/synth-mismatch`);
+//! * `--cost` — static cost model (bytes/step, kernel FLOPs and loads
+//!   per dof, Krylov iteration cost), with a runtime drift check on the
+//!   row-tier plans: each is solved and the model's predictions compared
+//!   against the recorded telemetry counters (`cost/model-drift` above
+//!   15% relative error).
 //!
 //! Exit status is non-zero if any diagnostic (warning or error) is
 //! produced, so CI can gate on a clean plan. `--json` emits an object
@@ -89,6 +99,8 @@ struct PlanTiming {
     verify_ms: f64,
     validate_ms: Option<f64>,
     intervals_ms: Option<f64>,
+    synth_ms: Option<f64>,
+    cost_ms: Option<f64>,
 }
 
 fn ms(t: Instant) -> f64 {
@@ -107,6 +119,8 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let validate = args.iter().any(|a| a == "--validate");
     let intervals = args.iter().any(|a| a == "--intervals");
+    let synth = args.iter().any(|a| a == "--synth");
+    let cost = args.iter().any(|a| a == "--cost");
     let n = arg_usize(&args, "n", 12);
     let steps = arg_usize(&args, "steps", 4);
     let ranks = arg_usize(&args, "ranks", 2);
@@ -140,6 +154,16 @@ fn main() {
     let mut all: Vec<([String; 5], pbte_dsl::Diagnostic)> = Vec::new();
     let mut timings: Vec<PlanTiming> = Vec::new();
     let mut plans = 0usize;
+    // --synth summary: how many GPU-lineage plans synthesized a schedule,
+    // how many came out byte-equal to the legacy one, and how many
+    // legacy-only transfers were explained away by liveness omissions.
+    let mut synth_plans = 0usize;
+    let mut synth_identical = 0usize;
+    let mut synth_explained = 0usize;
+    // --cost summary: drift checks run (row tier only) and the worst
+    // relative error observed between model and telemetry.
+    let mut cost_checks = 0usize;
+    let mut cost_max_err = 0.0f64;
     for (sname, scenario) in scenarios {
         for (stname, strategy) in strategies {
             let cfg = BteConfig::small(n, 8, 4, steps).with_temperature_strategy(strategy);
@@ -149,7 +173,7 @@ fn main() {
                         let mut bte = scenario(&cfg);
                         bte.problem.kernel_tier(tier);
                         bte.problem.integrator(integrator);
-                        let solver = match bte.problem.build(target.clone()) {
+                        let mut solver = match bte.problem.build(target.clone()) {
                             Ok(s) => s,
                             Err(e) => {
                                 eprintln!(
@@ -180,11 +204,58 @@ fn main() {
                             analysis::check_intervals(cp, &mut diags);
                             ms(t0)
                         });
+                        let synth_ms = synth.then(|| {
+                            let t0 = Instant::now();
+                            if let Some(rep) =
+                                analysis::verify_synthesis(cp, &solver.target, &mut diags)
+                            {
+                                synth_plans += 1;
+                                if rep.identical_to_legacy {
+                                    synth_identical += 1;
+                                }
+                                synth_explained += rep.explained.len();
+                            }
+                            ms(t0)
+                        });
+                        let cost_ms = cost.then(|| {
+                            let t0 = Instant::now();
+                            // The static model is computed for every plan;
+                            // the drift check solves the plan and compares
+                            // against telemetry on the row tier only, which
+                            // exercises every target/integrator at a
+                            // fraction of the full sweep's solve cost.
+                            let _ = analysis::estimate_cost(&solver.compiled, &solver.target);
+                            if kname == "row" {
+                                match solver.solve() {
+                                    Ok(report) => {
+                                        let (checks, drift) = analysis::check_cost_drift(
+                                            &solver.compiled,
+                                            &solver.target,
+                                            &report,
+                                        );
+                                        for c in &checks {
+                                            cost_max_err = cost_max_err.max(c.relative_error());
+                                        }
+                                        cost_checks += checks.len();
+                                        diags.extend(drift);
+                                    }
+                                    Err(e) => {
+                                        eprintln!(
+                                            "{sname}/{stname}/{tname}/{kname}/{iname}: solve failed: {e:?}"
+                                        );
+                                        std::process::exit(2);
+                                    }
+                                }
+                            }
+                            ms(t0)
+                        });
                         timings.push(PlanTiming {
                             tags: tags.clone(),
                             verify_ms,
                             validate_ms,
                             intervals_ms,
+                            synth_ms,
+                            cost_ms,
                         });
 
                         plans += 1;
@@ -222,7 +293,8 @@ fn main() {
                 format!(
                     "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"target\":\"{}\",\"tier\":\"{}\",\
                      \"integrator\":\"{}\",\
-                     \"verify_ms\":{:.3},\"validate_ms\":{},\"intervals_ms\":{}}}",
+                     \"verify_ms\":{:.3},\"validate_ms\":{},\"intervals_ms\":{},\
+                     \"synth_ms\":{},\"cost_ms\":{}}}",
                     t.tags[0],
                     t.tags[1],
                     t.tags[2],
@@ -230,19 +302,51 @@ fn main() {
                     t.tags[4],
                     t.verify_ms,
                     json_f64(t.validate_ms),
-                    json_f64(t.intervals_ms)
+                    json_f64(t.intervals_ms),
+                    json_f64(t.synth_ms),
+                    json_f64(t.cost_ms)
                 )
             })
             .collect();
+        let synth_json = if synth {
+            format!(
+                ",\"synth\":{{\"plans\":{synth_plans},\"identical\":{synth_identical},\
+                 \"explained_omissions\":{synth_explained}}}"
+            )
+        } else {
+            String::new()
+        };
+        let cost_json = if cost {
+            format!(",\"cost\":{{\"checks\":{cost_checks},\"max_rel_err\":{cost_max_err:.4}}}")
+        } else {
+            String::new()
+        };
         println!(
-            "{{\"diagnostics\":[{}],\"timings\":[{}]}}",
+            "{{\"diagnostics\":[{}],\"timings\":[{}]{synth_json}{cost_json}}}",
             diag_items.join(","),
             timing_items.join(",")
         );
-    } else if all.is_empty() {
-        println!("verified {plans} plans: no diagnostics");
     } else {
-        println!("verified {plans} plans: {} diagnostic(s)", all.len());
+        if all.is_empty() {
+            println!("verified {plans} plans: no diagnostics");
+        } else {
+            println!("verified {plans} plans: {} diagnostic(s)", all.len());
+        }
+        if synth {
+            println!(
+                "synthesized {synth_plans} schedules: {synth_identical} identical to legacy, \
+                 {} smaller (all legacy-only transfers covered by {synth_explained} liveness omissions)",
+                synth_plans - synth_identical
+            );
+        }
+        if cost {
+            println!(
+                "cost model: {cost_checks} telemetry drift checks, max relative error {:.1}% \
+                 (tolerance {:.0}%)",
+                cost_max_err * 1e2,
+                analysis::DRIFT_TOLERANCE * 1e2
+            );
+        }
     }
     if !all.is_empty() {
         std::process::exit(1);

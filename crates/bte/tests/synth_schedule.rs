@@ -1,0 +1,175 @@
+//! Property tests for the schedule synthesis pass.
+//!
+//! Across the full verification sweep (both scenarios, both temperature
+//! strategies, all seven targets, all four kernel tiers, all three
+//! integrators) the synthesized transfer schedule must be
+//! certificate-clean, diff-clean against the legacy hand-built schedule,
+//! and never schedule *more* transfers than the legacy analysis did. On
+//! top of the static properties, swapping the executors between the
+//! synthesized and the legacy schedule (`use_legacy_schedule`) must leave
+//! every target's trajectory bit-identical — the schedules move the same
+//! data, so the arithmetic cannot notice which one drove the copies.
+
+use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
+use pbte_bte::temperature::TemperatureStrategy;
+use pbte_dsl::dataflow::Policy;
+use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::problem::{Integrator, KernelTier};
+use pbte_dsl::{analysis, GpuStrategy};
+use pbte_gpu::DeviceSpec;
+
+fn targets(ranks: usize) -> Vec<(String, ExecTarget)> {
+    vec![
+        ("seq".into(), ExecTarget::CpuSeq),
+        ("par".into(), ExecTarget::CpuParallel),
+        (format!("cells:{ranks}"), ExecTarget::DistCells { ranks }),
+        (
+            format!("bands:{ranks}"),
+            ExecTarget::DistBands {
+                ranks,
+                index: "b".into(),
+            },
+        ),
+        (
+            "gpu:async".into(),
+            ExecTarget::GpuHybrid {
+                spec: DeviceSpec::a6000(),
+                strategy: GpuStrategy::AsyncBoundary,
+            },
+        ),
+        (
+            "gpu:precompute".into(),
+            ExecTarget::GpuHybrid {
+                spec: DeviceSpec::a6000(),
+                strategy: GpuStrategy::PrecomputeBoundary,
+            },
+        ),
+        (
+            format!("bands-gpu:{ranks}"),
+            ExecTarget::DistBandsGpu {
+                ranks,
+                index: "b".into(),
+                spec: DeviceSpec::a6000(),
+                strategy: GpuStrategy::AsyncBoundary,
+            },
+        ),
+    ]
+}
+
+fn target_strategy(target: &ExecTarget) -> Option<GpuStrategy> {
+    match target {
+        ExecTarget::GpuHybrid { strategy, .. } | ExecTarget::DistBandsGpu { strategy, .. } => {
+            Some(*strategy)
+        }
+        _ => None,
+    }
+}
+
+fn live_transfers(schedule: &pbte_dsl::dataflow::TransferSchedule) -> usize {
+    schedule
+        .transfers
+        .iter()
+        .filter(|t| t.policy != Policy::Never)
+        .count()
+}
+
+/// The full 336-combo sweep: every GPU-lineage plan synthesizes a
+/// certificate-clean schedule that is never larger than the legacy one,
+/// and any legacy-only transfer is explained by a liveness omission.
+#[test]
+fn synthesis_is_certified_and_minimal_across_the_sweep() {
+    type Scenario = fn(&BteConfig) -> BteProblem;
+    let scenarios: [(&str, Scenario); 2] = [("hotspot", hotspot_2d), ("elongated", elongated)];
+    let strategies = [
+        ("redundant", TemperatureStrategy::RedundantNewton),
+        ("divided", TemperatureStrategy::DividedNewton),
+    ];
+    let tiers = [
+        ("vm", KernelTier::Vm),
+        ("bound", KernelTier::Bound),
+        ("row", KernelTier::Row),
+        ("native", KernelTier::Native),
+    ];
+    let integrators = [
+        ("explicit", Integrator::Explicit),
+        ("implicit", Integrator::Implicit { theta: 1.0 }),
+        (
+            "steady",
+            Integrator::Steady {
+                tol: 1e-6,
+                growth: 2.0,
+            },
+        ),
+    ];
+    let mut synthesized = 0usize;
+    for (sname, scenario) in scenarios {
+        for (stname, strategy) in strategies {
+            let cfg = BteConfig::small(6, 8, 4, 2).with_temperature_strategy(strategy);
+            for (tname, target) in targets(2) {
+                for (kname, tier) in tiers {
+                    for (iname, integrator) in integrators {
+                        let mut bte = scenario(&cfg);
+                        bte.problem.kernel_tier(tier);
+                        bte.problem.integrator(integrator);
+                        let solver = bte.problem.build(target.clone()).unwrap_or_else(|e| {
+                            panic!("{sname}/{stname}/{tname}/{kname}/{iname}: {e:?}")
+                        });
+                        let cp = &solver.compiled;
+                        let mut diags = Vec::new();
+                        let Some(rep) = analysis::verify_synthesis(cp, &solver.target, &mut diags)
+                        else {
+                            assert!(diags.is_empty(), "CPU-only targets add nothing: {diags:?}");
+                            continue;
+                        };
+                        synthesized += 1;
+                        assert!(
+                            diags.is_empty(),
+                            "{sname}/{stname}/{tname}/{kname}/{iname}: {:?}",
+                            diags.iter().map(|d| d.render()).collect::<Vec<_>>()
+                        );
+                        let gpu_strategy = target_strategy(&solver.target).unwrap();
+                        let legacy = cp.transfer_schedule_legacy(gpu_strategy);
+                        assert!(
+                            live_transfers(&rep.schedule) <= live_transfers(&legacy),
+                            "{sname}/{stname}/{tname}/{kname}/{iname}: synthesis may only \
+                             shrink the schedule"
+                        );
+                        assert!(
+                            rep.identical_to_legacy || !rep.explained.is_empty(),
+                            "{sname}/{stname}/{tname}/{kname}/{iname}: a smaller schedule \
+                             must explain the transfers it dropped"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // 2 scenarios × 2 strategies × 3 GPU-lineage targets × 4 tiers × 3
+    // integrators.
+    assert_eq!(synthesized, 144, "every GPU-lineage plan synthesizes");
+}
+
+/// Solving with the synthesized schedule (the default) and with the
+/// legacy hand-built one must produce bit-identical final states on
+/// every target.
+#[test]
+fn synthesized_schedule_preserves_trajectories_bit_for_bit() {
+    for (tname, target) in targets(2) {
+        let run = |legacy: bool| -> Vec<u64> {
+            let cfg = BteConfig::small(8, 8, 4, 3);
+            let mut bte = hotspot_2d(&cfg);
+            bte.problem.use_legacy_schedule(legacy);
+            let mut solver = bte.problem.build(target.clone()).expect("valid scenario");
+            solver.solve().expect("solve succeeds");
+            let fields = solver.fields();
+            (0..fields.n_vars())
+                .flat_map(|v| fields.slice(v).iter().map(|x| x.to_bits()))
+                .collect()
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "{tname}: synthesized vs legacy schedule changed the trajectory"
+        );
+    }
+}

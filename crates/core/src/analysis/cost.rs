@@ -1,0 +1,493 @@
+//! Static cost model over the synthesized plan, validated against
+//! executed telemetry.
+//!
+//! The same facts the schedule synthesis consumes — the transfer
+//! schedule, the compiled kernel programs per tier, the hot-loop face
+//! geometry, and the integrator structure — price a plan *before it
+//! runs*: bytes moved per step, kernel FLOPs/loads per dof, and the cost
+//! of one Krylov iteration for implicit plans. [`check_cost_drift`] then
+//! compares the model's structural predictions against the exact
+//! [`WorkCounters`](pbte_runtime::telemetry::WorkCounters) and device
+//! [`ProfileReport`](pbte_gpu::ProfileReport) a solve recorded; relative
+//! error above [`DRIFT_TOLERANCE`] is a `cost/model-drift` diagnostic —
+//! either the model or an executor's accounting has silently changed.
+
+use super::transfers::GHOSTS;
+use super::{rules, Diagnostic, Severity};
+use crate::bytecode::{BoundOp, Op, RegOp, RegProgram};
+use crate::dataflow::{Policy, TransferSchedule};
+use crate::exec::{CompiledProblem, ExecTarget, SolveReport};
+use crate::problem::{KernelTier, TimeStepper};
+
+/// Relative error above which a prediction counts as model drift.
+pub const DRIFT_TOLERANCE: f64 = 0.15;
+
+/// Static prediction of a plan's per-step work and data movement.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// The tier the executor will actually run (after clamping).
+    pub tier: KernelTier,
+    /// Dof updates per RHS sweep: `n_flat × n_cells`.
+    pub dof_per_sweep: u64,
+    /// Upwind flux evaluations per sweep: `n_flat ×` total face visits.
+    pub flux_per_sweep: u64,
+    /// Ghost evaluations per sweep: callback faces `× n_flat`.
+    pub ghost_per_sweep: u64,
+    /// Explicit stages per time step (Euler 1, RK2/Heun 2).
+    pub stages_per_step: u64,
+    /// Kernel FLOPs per dof update (volume + per-face flux), averaged
+    /// over flats for the bound/fused tiers.
+    pub flops_per_dof: f64,
+    /// Array loads per dof update, same averaging.
+    pub loads_per_dof: f64,
+    /// One-time upload bytes (GPU targets): `Once` H2D slices.
+    pub setup_h2d_bytes: u64,
+    /// Per-step upload bytes: `EveryStep` H2D slices.
+    pub step_h2d_bytes: u64,
+    /// Per-step download bytes: `EveryStep` D2H slices.
+    pub step_d2h_bytes: u64,
+    /// True for implicit / pseudo-transient integrators.
+    pub implicit: bool,
+    /// JVP sweeps per Krylov (BiCGStab) iteration: exactly 2
+    /// (`v = A·p`, `t = A·s`).
+    pub jvp_per_krylov_iter: u64,
+    /// FLOPs of one Krylov iteration's JVP work (2 sweeps).
+    pub flops_per_krylov_iter: f64,
+    /// Implicit GPU targets: upload bytes of one main RHS sweep (the
+    /// plan's read variables plus its ghost array — re-uploaded every
+    /// sweep because host callbacks may rewrite them between sweeps).
+    pub sweep_h2d_bytes: u64,
+    /// Implicit GPU targets: upload bytes of one JVP sweep (the JVP
+    /// plan's read set; the unknown slot carries the Krylov direction).
+    pub jvp_sweep_h2d_bytes: u64,
+    /// Implicit GPU targets: download bytes of one sweep's result rows.
+    pub sweep_d2h_bytes: u64,
+}
+
+impl CostModel {
+    /// Render as an aligned block for `pbte-verify --cost`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  tier {:<7} {} dof/sweep, {} flux/sweep, {} ghost/sweep, {} stage(s)/step",
+            self.tier.name(),
+            self.dof_per_sweep,
+            self.flux_per_sweep,
+            self.ghost_per_sweep,
+            self.stages_per_step
+        );
+        let _ = writeln!(
+            out,
+            "  kernel: {:.1} flops/dof, {:.1} loads/dof",
+            self.flops_per_dof, self.loads_per_dof
+        );
+        if self.setup_h2d_bytes + self.step_h2d_bytes + self.step_d2h_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  transfers: {} B setup H2D, {} B/step H2D, {} B/step D2H",
+                self.setup_h2d_bytes, self.step_h2d_bytes, self.step_d2h_bytes
+            );
+        }
+        if self.implicit {
+            let _ = writeln!(
+                out,
+                "  krylov: {} JVP sweeps/iter, {:.0} flops/iter",
+                self.jvp_per_krylov_iter, self.flops_per_krylov_iter
+            );
+        }
+        if self.sweep_h2d_bytes + self.jvp_sweep_h2d_bytes + self.sweep_d2h_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  implicit transfers: {} B/sweep H2D main, {} B/sweep H2D JVP, {} B/sweep D2H",
+                self.sweep_h2d_bytes, self.jvp_sweep_h2d_bytes, self.sweep_d2h_bytes
+            );
+        }
+        out
+    }
+}
+
+/// Bytes of one host/device copy of `name`: a variable's full slice, or
+/// the ghost array. Coefficients cost nothing at run time — they are
+/// baked into the bound kernels at compile time, so their `Once` upload
+/// in the schedule is a compile-time embedding, not a runtime copy.
+fn entity_bytes(cp: &CompiledProblem, name: &str) -> u64 {
+    let registry = &cp.problem.registry;
+    if name == GHOSTS {
+        return (cp.boundary.len() * cp.n_flat * 8) as u64;
+    }
+    registry
+        .variables
+        .iter()
+        .find(|v| v.name == name)
+        .map(|v| (registry.flat_len(&v.indices) * cp.mesh().n_cells() * 8) as u64)
+        .unwrap_or(0)
+}
+
+/// Per-dof FLOP and load counts for the tier's actual instruction
+/// streams: the generic programs for the VM tier, the per-flat bound or
+/// fused register programs otherwise (the native tier compiles the same
+/// register programs to machine code, so its counts equal the Row
+/// tier's).
+fn kernel_op_costs(cp: &CompiledProblem, tier: KernelTier) -> (f64, f64) {
+    let n_cells = cp.mesh().n_cells();
+    let faces_per_cell = cp.hot.nbr.len() as f64 / n_cells.max(1) as f64;
+    // Flux side: the linearized hot loop does an αβγ FMA pair plus the
+    // area multiply per face (~6 flops, 1 neighbor load); the VM fallback
+    // replays the generic flux program per face.
+    let (flux_flops, flux_loads) = if cp.flux_lin.is_some() {
+        (6.0, 1.0)
+    } else {
+        let loads = cp
+            .flux
+            .ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::LoadVar { .. } | Op::LoadU1 | Op::LoadU2 | Op::LoadCoef { .. }
+                )
+            })
+            .count() as f64;
+        (cp.flux.flops as f64 + 4.0, loads)
+    };
+
+    let (volume_flops, volume_loads) = match tier {
+        KernelTier::Vm => {
+            let loads = cp
+                .volume
+                .ops
+                .iter()
+                .filter(|op| {
+                    matches!(
+                        op,
+                        Op::LoadVar { .. } | Op::LoadU1 | Op::LoadU2 | Op::LoadCoef { .. }
+                    )
+                })
+                .count() as f64;
+            (cp.volume.flops as f64, loads)
+        }
+        KernelTier::Bound => {
+            let (mut flops, mut loads) = (0usize, 0usize);
+            for flat in 0..cp.n_flat {
+                let b = cp.volume.bind(
+                    &cp.idx_of_flat[flat],
+                    n_cells,
+                    cp.problem.dt,
+                    0.0,
+                    &cp.problem.registry.coefficients,
+                );
+                for op in b.ops() {
+                    match op {
+                        BoundOp::Load { .. } => loads += 1,
+                        BoundOp::Const(_) | BoundOp::CoefFn(_) => {}
+                        _ => flops += 1,
+                    }
+                }
+            }
+            let n = cp.n_flat.max(1) as f64;
+            (flops as f64 / n, loads as f64 / n)
+        }
+        KernelTier::Row | KernelTier::Native => {
+            let (mut flops, mut loads) = (0usize, 0usize);
+            for flat in 0..cp.n_flat {
+                let b = cp.volume.bind(
+                    &cp.idx_of_flat[flat],
+                    n_cells,
+                    cp.problem.dt,
+                    0.0,
+                    &cp.problem.registry.coefficients,
+                );
+                let r = RegProgram::compile(&b);
+                for op in r.ops() {
+                    match op {
+                        RegOp::Load { .. } => loads += 1,
+                        RegOp::Const { .. } | RegOp::CoefFn { .. } => {}
+                        RegOp::LoadMul { .. } => {
+                            loads += 1;
+                            flops += 1;
+                        }
+                        RegOp::LoadMulConst { .. } => {
+                            loads += 1;
+                            flops += 1;
+                        }
+                        _ => flops += 1,
+                    }
+                }
+            }
+            let n = cp.n_flat.max(1) as f64;
+            (flops as f64 / n, loads as f64 / n)
+        }
+    };
+    // Per dof: one volume evaluation, one flux evaluation per face, the
+    // inv-volume multiply-subtract, and the unknown's own load.
+    (
+        volume_flops + faces_per_cell * flux_flops + 2.0,
+        volume_loads + faces_per_cell * flux_loads + 1.0,
+    )
+}
+
+/// Price a plan statically. Transfer-byte predictions are nonzero only
+/// for targets with a device lineage (they come straight from the
+/// synthesized schedule); sweep work is target-independent — the parity
+/// tests pin every executor to the same counter totals.
+pub fn estimate_cost(cp: &CompiledProblem, target: &ExecTarget) -> CostModel {
+    let n_cells = cp.mesh().n_cells();
+    let tier = cp.resolved_tier();
+    let dof_per_sweep = (cp.n_flat * n_cells) as u64;
+    let flux_per_sweep = (cp.n_flat * cp.hot.nbr.len()) as u64;
+    let ghost_per_sweep = (cp.catalog.callback_faces * cp.n_flat) as u64;
+    let stages_per_step = match cp.problem.stepper {
+        TimeStepper::EulerExplicit => 1,
+        TimeStepper::Rk2 => 2,
+    };
+    let (flops_per_dof, loads_per_dof) = kernel_op_costs(cp, tier);
+
+    let (setup_h2d, step_h2d, step_d2h) = match target {
+        ExecTarget::GpuHybrid { strategy, .. } | ExecTarget::DistBandsGpu { strategy, .. } => {
+            let schedule = cp.transfer_schedule(*strategy);
+            sum_schedule_bytes(cp, &schedule)
+        }
+        _ => (0, 0, 0),
+    };
+
+    let implicit = cp.problem.integrator.is_implicit();
+    // The implicit device backend re-uploads the active plan's read set
+    // plus its ghost array before every sweep and downloads the result
+    // rows after (see `GpuImplicitBackend::rhs`); the schedule's per-step
+    // model doesn't apply because sweeps, not steps, drive the traffic.
+    let gpu = matches!(
+        target,
+        ExecTarget::GpuHybrid { .. } | ExecTarget::DistBandsGpu { .. }
+    );
+    let (sweep_h2d, jvp_sweep_h2d, sweep_d2h) = if implicit && gpu {
+        let jvp_plan = cp.jvp.as_deref().unwrap_or(cp);
+        (
+            implicit_sweep_h2d_bytes(cp),
+            implicit_sweep_h2d_bytes(jvp_plan),
+            (cp.n_flat * n_cells * 8) as u64,
+        )
+    } else {
+        (0, 0, 0)
+    };
+    let sweep_flops = flops_per_dof * dof_per_sweep as f64;
+    CostModel {
+        tier,
+        dof_per_sweep,
+        flux_per_sweep,
+        ghost_per_sweep,
+        stages_per_step,
+        flops_per_dof,
+        loads_per_dof,
+        setup_h2d_bytes: setup_h2d,
+        step_h2d_bytes: step_h2d,
+        step_d2h_bytes: step_d2h,
+        implicit,
+        jvp_per_krylov_iter: 2,
+        flops_per_krylov_iter: 2.0 * sweep_flops,
+        sweep_h2d_bytes: sweep_h2d,
+        jvp_sweep_h2d_bytes: jvp_sweep_h2d,
+        sweep_d2h_bytes: sweep_d2h,
+    }
+}
+
+/// Upload bytes of one implicit sweep for `plan`: every variable in the
+/// plan's read set (full slice) plus the plan's ghost array — exactly the
+/// copies `GpuImplicitBackend::rhs` issues.
+fn implicit_sweep_h2d_bytes(plan: &CompiledProblem) -> u64 {
+    let registry = &plan.problem.registry;
+    let n_cells = plan.mesh().n_cells();
+    let vars: u64 = plan
+        .system
+        .read_variables
+        .iter()
+        .map(|&v| (registry.flat_len(&registry.variables[v].indices) * n_cells * 8) as u64)
+        .sum();
+    vars + (plan.boundary.len() * plan.n_flat * 8) as u64
+}
+
+fn sum_schedule_bytes(cp: &CompiledProblem, schedule: &TransferSchedule) -> (u64, u64, u64) {
+    let mut setup_h2d = 0;
+    let mut step_h2d = 0;
+    let mut step_d2h = 0;
+    for t in &schedule.transfers {
+        let bytes = entity_bytes(cp, &t.name);
+        match (t.to_device, t.policy) {
+            (true, Policy::Once) => setup_h2d += bytes,
+            (true, Policy::EveryStep) => step_h2d += bytes,
+            (false, Policy::EveryStep) => step_d2h += bytes,
+            _ => {}
+        }
+    }
+    (setup_h2d, step_h2d, step_d2h)
+}
+
+/// One prediction/observation pair from the drift check.
+#[derive(Debug, Clone)]
+pub struct CostCheck {
+    pub counter: &'static str,
+    pub predicted: f64,
+    pub observed: f64,
+    /// Absolute half-width of the prediction interval. Zero for point
+    /// predictions; nonzero where the driver structure only pins a range
+    /// (BiCGStab's terminal iteration costs one or two JVPs depending on
+    /// which residual test fires). Drift is measured from the interval's
+    /// nearest edge.
+    pub slack: f64,
+}
+
+impl CostCheck {
+    pub fn relative_error(&self) -> f64 {
+        let miss = ((self.predicted - self.observed).abs() - self.slack).max(0.0);
+        if self.observed == 0.0 {
+            if miss == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            miss / self.observed
+        }
+    }
+}
+
+/// Compare the static model against a finished solve's telemetry.
+///
+/// Explicit plans predict the work counters outright from the step and
+/// stage structure. Implicit plans predict the *relations* the driver
+/// structure fixes — each residual or JVP evaluation is one full sweep —
+/// using the observed Newton/Krylov iteration counts (those depend on
+/// the data, not the structure). Distributed counters are rank-aggregated
+/// by the recorder while each rank sweeps only its `1/ranks` share, so
+/// implicit sweep predictions divide by the rank count; the cells
+/// partition computes the ghost array redundantly on every rank, so its
+/// ghost prediction multiplies by it. GPU byte totals come from the
+/// synthesized schedule (explicit) or the per-sweep upload/download sets
+/// of the implicit backend.
+pub fn check_cost_drift(
+    cp: &CompiledProblem,
+    target: &ExecTarget,
+    report: &SolveReport,
+) -> (Vec<CostCheck>, Vec<Diagnostic>) {
+    let model = estimate_cost(cp, target);
+    let steps = report.steps as f64;
+    let ranks = match target {
+        ExecTarget::DistCells { ranks }
+        | ExecTarget::DistBands { ranks, .. }
+        | ExecTarget::DistBandsGpu { ranks, .. } => *ranks as f64,
+        _ => 1.0,
+    };
+    let mut checks = Vec::new();
+
+    if model.implicit {
+        // `rhs_evals`/`jvp_evals` count one increment per rank per sweep;
+        // each rank's sweep covers its own dof share only.
+        let sweeps = (report.work.rhs_evals + report.work.jvp_evals) as f64;
+        checks.push(CostCheck {
+            counter: "dof_updates",
+            predicted: sweeps * model.dof_per_sweep as f64 / ranks,
+            observed: report.work.dof_updates as f64,
+            slack: 0.0,
+        });
+        checks.push(CostCheck {
+            counter: "flux_evals",
+            predicted: sweeps * model.flux_per_sweep as f64 / ranks,
+            observed: report.work.flux_evals as f64,
+            slack: 0.0,
+        });
+        // BiCGStab counts an iteration after its *first* matvec; exiting
+        // on the half-step residual test skips the second, so each Newton
+        // solve's terminal iteration costs one or two JVPs:
+        // jvp ∈ [2·krylov − newton, 2·krylov]. The model predicts the
+        // interval midpoint with the half-width as slack.
+        let hw = 0.5 * report.work.newton_iters.min(report.work.krylov_iters) as f64;
+        checks.push(CostCheck {
+            counter: "jvp_evals",
+            predicted: (model.jvp_per_krylov_iter * report.work.krylov_iters) as f64 - hw,
+            observed: report.work.jvp_evals as f64,
+            slack: hw,
+        });
+    } else {
+        let sweeps = steps * model.stages_per_step as f64;
+        checks.push(CostCheck {
+            counter: "dof_updates",
+            predicted: sweeps * model.dof_per_sweep as f64,
+            observed: report.work.dof_updates as f64,
+            slack: 0.0,
+        });
+        checks.push(CostCheck {
+            counter: "flux_evals",
+            predicted: sweeps * model.flux_per_sweep as f64,
+            observed: report.work.flux_evals as f64,
+            slack: 0.0,
+        });
+        // The cells partition keeps every flat on every rank, so each
+        // rank evaluates the full ghost array; band partitions split the
+        // flats and their per-rank counts sum to one sweep's worth.
+        let ghost_ranks = if matches!(target, ExecTarget::DistCells { .. }) {
+            ranks
+        } else {
+            1.0
+        };
+        checks.push(CostCheck {
+            counter: "ghost_evals",
+            predicted: sweeps * model.ghost_per_sweep as f64 * ghost_ranks,
+            observed: report.work.ghost_evals as f64,
+            slack: 0.0,
+        });
+    }
+
+    if let (Some(prof), ExecTarget::GpuHybrid { .. }) = (&report.device, target) {
+        let (h2d, d2h) = if model.implicit {
+            let rhs = report.work.rhs_evals as f64;
+            let jvp = report.work.jvp_evals as f64;
+            (
+                rhs * model.sweep_h2d_bytes as f64 + jvp * model.jvp_sweep_h2d_bytes as f64,
+                (rhs + jvp) * model.sweep_d2h_bytes as f64,
+            )
+        } else {
+            (
+                model.setup_h2d_bytes as f64 + steps * model.step_h2d_bytes as f64,
+                steps * model.step_d2h_bytes as f64,
+            )
+        };
+        checks.push(CostCheck {
+            counter: "h2d_bytes",
+            predicted: h2d,
+            observed: prof.h2d.bytes as f64,
+            slack: 0.0,
+        });
+        checks.push(CostCheck {
+            counter: "d2h_bytes",
+            predicted: d2h,
+            observed: prof.d2h.bytes as f64,
+            slack: 0.0,
+        });
+    }
+
+    let diags = checks
+        .iter()
+        .filter(|c| c.relative_error() > DRIFT_TOLERANCE)
+        .map(|c| Diagnostic {
+            severity: Severity::Error,
+            rule: rules::COST_MODEL_DRIFT,
+            entity: c.counter.to_string(),
+            location: format!("{target:?}"),
+            message: format!(
+                "model predicted {:.0}{} but the solve recorded {:.0} ({:.0}% error, \
+                 tolerance {:.0}%)",
+                c.predicted,
+                if c.slack > 0.0 {
+                    format!("±{:.0}", c.slack)
+                } else {
+                    String::new()
+                },
+                c.observed,
+                c.relative_error() * 100.0,
+                DRIFT_TOLERANCE * 100.0
+            ),
+        })
+        .collect();
+    (checks, diags)
+}

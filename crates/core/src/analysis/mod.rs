@@ -49,14 +49,23 @@
 //! [`Severity::Warning`].
 
 mod access;
+mod cost;
 mod intervals;
 mod races;
+mod synth;
 mod transfers;
 mod validate;
 
+pub use access::KernelReadSite;
+pub use cost::{check_cost_drift, estimate_cost, CostCheck, CostModel, DRIFT_TOLERANCE};
 pub use intervals::{cfl_bound, check_intervals, CflBound};
 pub use intervals::{recommend_dt, DtRecommendation, ACCURACY_COURANT};
 pub use races::{check_disjoint_writes, check_divided_slices, WriteRegion};
+pub use synth::{
+    band_owned_flats, check_certificate, diff_against_legacy, synthesize_partition,
+    synthesize_schedule, thread_chunk_len, LivenessArg, Omission, ReadSite, ScheduleCertificate,
+    ScheduleDiff, SynthesizedPartition, TransferCert, WriteSite,
+};
 pub use transfers::check_schedule;
 pub use validate::{
     check_bound, check_ir, check_jvp, check_native_against_bound, check_reg_against_bound,
@@ -132,6 +141,19 @@ pub mod rules {
     pub const INTERVAL_MISSING_RANGE: &str = "intervals/missing-range";
     /// The scenario's dt exceeds the derived CFL-style step bound.
     pub const INTERVAL_CFL: &str = "intervals/cfl-exceeded";
+    /// A synthesized schedule leaves an access obligation unserved — a
+    /// transfer is missing and no valid liveness argument covers the
+    /// omission.
+    pub const SCHEDULE_UNSOUND: &str = "schedule/unsound";
+    /// A scheduled transfer whose certificate is absent or whose cited
+    /// read/write site does not hold against the plan's facts.
+    pub const SCHEDULE_UNJUSTIFIED: &str = "schedule/unjustified-transfer";
+    /// The synthesized schedule disagrees with the legacy hand-built one
+    /// beyond what its omission certificates explain.
+    pub const SCHEDULE_SYNTH_MISMATCH: &str = "schedule/synth-mismatch";
+    /// A static cost-model prediction diverged from recorded telemetry
+    /// beyond tolerance.
+    pub const COST_MODEL_DRIFT: &str = "cost/model-drift";
 }
 
 /// How bad a finding is.
@@ -251,4 +273,42 @@ pub fn verify_plan(cp: &CompiledProblem, target: &ExecTarget) -> Vec<Diagnostic>
         transfers::check_ir(cp, target, &schedule, &mut out);
     }
     out
+}
+
+/// Result of the synthesis pass on one plan (`pbte-verify --synth`).
+pub struct SynthReport {
+    /// The synthesized schedule (what the executors consume by default).
+    pub schedule: crate::dataflow::TransferSchedule,
+    /// Its proof-carrying certificate.
+    pub certificate: ScheduleCertificate,
+    /// Legacy-only transfers proven unnecessary by omission certificates.
+    pub explained: Vec<String>,
+    /// True when synthesized and legacy schedules carry identical
+    /// `(name, direction, policy)` triples.
+    pub identical_to_legacy: bool,
+}
+
+/// Synthesize the schedule for every GPU strategy the target carries,
+/// re-discharge its certificate, and diff it against the legacy
+/// hand-built schedule. Non-GPU targets have no transfer obligations and
+/// return `None`. Diagnostics (`schedule/unsound`,
+/// `schedule/unjustified-transfer`, `schedule/synth-mismatch`) append to
+/// `out`.
+pub fn verify_synthesis(
+    cp: &CompiledProblem,
+    target: &ExecTarget,
+    out: &mut Vec<Diagnostic>,
+) -> Option<SynthReport> {
+    let strategy = target_strategy(target)?;
+    let (schedule, certificate) = synth::synthesize_schedule(cp, strategy);
+    out.extend(synth::check_certificate(cp, &schedule, &certificate));
+    let legacy = cp.transfer_schedule_legacy(strategy);
+    let diff = synth::diff_against_legacy(cp, &legacy, &schedule, &certificate);
+    out.extend(diff.diagnostics);
+    Some(SynthReport {
+        schedule,
+        certificate,
+        explained: diff.explained,
+        identical_to_legacy: diff.identical,
+    })
 }

@@ -12,7 +12,7 @@
 
 use super::{rules, Diagnostic, Severity};
 use crate::exec::{CompiledProblem, ExecTarget};
-use pbte_mesh::partition::{partition_bands, Partition, PartitionMethod};
+use pbte_mesh::partition::{Partition, PartitionMethod};
 
 /// One parallel worker's write footprint over an entity's dof grid: the
 /// cross product of `flats` and `cells`.
@@ -114,123 +114,23 @@ fn all(n: usize) -> Vec<usize> {
     (0..n).collect()
 }
 
-/// Owned flats per rank under band partitioning of `index` — the same
-/// rule the band-distributed executor applies.
-fn owned_flats_per_rank(
-    cp: &CompiledProblem,
-    ranks: usize,
-    index: &str,
-) -> Option<Vec<Vec<usize>>> {
-    let registry = &cp.problem.registry;
-    let index_id = registry.index_id(index)?;
-    let unknown = cp.system.unknown;
-    let slot = registry.variables[unknown]
-        .indices
-        .iter()
-        .position(|&i| i == index_id)?;
-    let len = registry.indices[index_id].len;
-    let ranges = partition_bands(len, ranks);
-    Some(
-        ranges
-            .iter()
-            .map(|range| {
-                (0..cp.n_flat)
-                    .filter(|&flat| range.contains(&cp.idx_of_flat[flat][slot]))
-                    .collect()
-            })
-            .collect(),
-    )
-}
-
-/// Rebuild the write split `target` uses for the unknown and prove it
-/// disjoint; for band-distributed targets additionally prove the
-/// divided-Newton cell slices of declared-writing post-step callbacks.
+/// Prove the write split `target` uses for the unknown disjoint; for
+/// band-distributed targets additionally prove the divided-Newton cell
+/// slices of declared-writing post-step callbacks. The region family
+/// itself is derived by [`super::synth::synthesize_partition`] from the
+/// same helpers the executors call, so the proof covers the executed
+/// split rather than a reconstruction of it.
 pub(super) fn check_target(cp: &CompiledProblem, target: &ExecTarget, out: &mut Vec<Diagnostic>) {
     let n_cells = cp.mesh().n_cells();
-    let n_flat = cp.n_flat;
-    let unknown = &cp.system.unknown_name;
-    let regions: Vec<WriteRegion> = match target {
-        ExecTarget::CpuSeq => vec![WriteRegion {
-            label: "sequential".into(),
-            flats: all(n_flat),
-            cells: all(n_cells),
-        }],
-        ExecTarget::CpuParallel => {
-            // The rayon split: per-flat blocks, each cell range divided
-            // into `threads` contiguous chunks.
-            let threads = rayon::current_num_threads().max(1);
-            let chunk = n_cells.div_ceil(threads).max(1);
-            let mut regions = Vec::new();
-            let mut start = 0usize;
-            let mut ci = 0usize;
-            while start < n_cells {
-                let end = (start + chunk).min(n_cells);
-                regions.push(WriteRegion {
-                    label: format!("thread chunk {ci}"),
-                    flats: all(n_flat),
-                    cells: (start..end).collect(),
-                });
-                start = end;
-                ci += 1;
-            }
-            regions
-        }
-        ExecTarget::DistCells { ranks } => {
-            if *ranks > n_cells {
-                return; // build() rejects this configuration before solving
-            }
-            let partition = Partition::build(cp.mesh(), *ranks, PartitionMethod::Rcb);
-            (0..*ranks)
-                .map(|r| WriteRegion {
-                    label: format!("rank {r} (RCB cells)"),
-                    flats: all(n_flat),
-                    cells: partition.cells_of(r),
-                })
-                .collect()
-        }
-        ExecTarget::DistBands { ranks, index } => {
-            let Some(owned) = owned_flats_per_rank(cp, *ranks, index) else {
-                return; // build() rejects unknown/unpartitionable indices
-            };
-            owned
-                .into_iter()
-                .enumerate()
-                .map(|(r, flats)| WriteRegion {
-                    label: format!("rank {r} (bands of `{index}`)"),
-                    flats,
-                    cells: all(n_cells),
-                })
-                .collect()
-        }
-        ExecTarget::GpuHybrid { .. } => {
-            // launch_rows: one device row kernel per flat, each writing
-            // its contiguous n_cells-long block of the unknown.
-            (0..n_flat)
-                .map(|flat| WriteRegion {
-                    label: format!("device row {flat}"),
-                    flats: vec![flat],
-                    cells: all(n_cells),
-                })
-                .collect()
-        }
-        ExecTarget::DistBandsGpu { ranks, index, .. } => {
-            let Some(owned) = owned_flats_per_rank(cp, *ranks, index) else {
-                return;
-            };
-            let mut regions = Vec::new();
-            for (r, flats) in owned.into_iter().enumerate() {
-                for flat in flats {
-                    regions.push(WriteRegion {
-                        label: format!("rank {r} device row {flat}"),
-                        flats: vec![flat],
-                        cells: all(n_cells),
-                    });
-                }
-            }
-            regions
-        }
+    let Some(partition) = super::synth::synthesize_partition(cp, target) else {
+        return; // build() rejects this configuration before solving
     };
-    out.extend(check_disjoint_writes(unknown, n_flat, n_cells, &regions));
+    out.extend(check_disjoint_writes(
+        &partition.entity,
+        partition.n_flat,
+        partition.n_cells,
+        &partition.regions,
+    ));
 
     // Divided-Newton slices: any post-step callback on a band-distributed
     // target may divide its per-cell work by the rank slice formula.
@@ -285,7 +185,7 @@ fn check_krylov_vectors(cp: &CompiledProblem, target: &ExecTarget, out: &mut Vec
                 .collect()
         }
         ExecTarget::DistBands { ranks, index } | ExecTarget::DistBandsGpu { ranks, index, .. } => {
-            let Some(owned) = owned_flats_per_rank(cp, *ranks, index) else {
+            let Some(owned) = super::synth::band_owned_flats(cp, *ranks, index) else {
                 return;
             };
             owned

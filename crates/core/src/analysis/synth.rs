@@ -1,0 +1,1073 @@
+//! Schedule and partition **synthesis** with proof-carrying certificates.
+//!
+//! Until PR 7 the transfer schedule was hand-built by `crate::dataflow`
+//! and only *checked* after the fact by [`super::transfers`] — so a
+//! "builder forgot a case" gap (the callback-read D2H miss PR 7 fixed)
+//! survived until an identity test happened to trip it. This module
+//! closes that loop in the spirit of translation validation: the
+//! [`TransferSchedule`] and the parallel [`WriteRegion`] partitioning are
+//! *derived* from the access/dataflow facts the verifier already
+//! computes, and every derivation ships a machine-checkable certificate:
+//!
+//! * each scheduled transfer is justified by a **concrete read site** on
+//!   the receiving side (a bytecode instruction for device reads, a named
+//!   callback for host reads) plus the **write site** that produces —
+//!   and, for per-step transfers, re-produces — the data on the sending
+//!   side;
+//! * each omission is justified by a **liveness argument** (nobody reads
+//!   it there / nobody rewrites it after the one-time copy).
+//!
+//! [`check_certificate`] re-discharges both obligation families against
+//! the facts themselves (bytecode, callback catalog, strategy structure),
+//! independent of how the schedule was produced: a transfer whose cited
+//! justification does not hold is `schedule/unjustified-transfer`
+//! (minimality), an obligation with neither a transfer nor a valid
+//! liveness argument is `schedule/unsound` (stale-freedom).
+//! [`diff_against_legacy`] compares the synthesized schedule against the
+//! retired hand-built one (`schedule/synth-mismatch`), accepting
+//! legacy-only entries exactly when a certificate omission proves them
+//! unnecessary.
+
+use super::access::{kernel_read_sites, site_loads_entity, KernelReadSite};
+use super::races::WriteRegion;
+use super::transfers::{build_sides, Sides, GHOSTS};
+use super::{rules, Diagnostic, Severity};
+use crate::dataflow::{Policy, Transfer, TransferSchedule};
+use crate::exec::{CompiledProblem, ExecTarget};
+use crate::problem::GpuStrategy;
+use pbte_mesh::partition::{partition_bands, Partition, PartitionMethod};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Certificate types
+// ---------------------------------------------------------------------------
+
+/// The concrete site that consumes the data a transfer moves, on the
+/// receiving side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadSite {
+    /// Device: instruction `site.pc` of kernel `site.kernel` loads it.
+    Kernel(KernelReadSite),
+    /// Device: the flux kernel's boundary-face path indexes the ghost
+    /// array (precompute strategy).
+    GhostLookup,
+    /// Host: the named pre/post-step callback reads it. `conservative`
+    /// marks an opaque callback (no declared read set — assumed to read
+    /// everything).
+    StepCallback { name: String, conservative: bool },
+    /// Host: a boundary-condition callback reads it (e.g. a specular
+    /// reflection of the unknown).
+    BoundaryCallback { conservative: bool },
+    /// Device: no single bytecode site — justified by the equation-level
+    /// declaration (cross-checked against bytecode by the access pass).
+    Declared,
+}
+
+/// The write that makes the transfer *necessary*: who produced the data
+/// on the sending side, and — for per-step transfers — re-produces it
+/// between steps, invalidating the receiver's copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteSite {
+    /// Host initial conditions, before step 0 (justifies `Once` H2D).
+    Initialization,
+    /// The named host step callback rewrites it each step.
+    StepCallback { name: String, conservative: bool },
+    /// The async strategy's host combine rewrites the unknown each step.
+    AsyncCombine,
+    /// The host's per-step boundary-ghost evaluation rewrites the ghost
+    /// array (precompute strategy).
+    GhostEval,
+    /// The device kernel writes it each step (justifies D2H).
+    DeviceKernel,
+}
+
+/// Certificate for one scheduled transfer: the `(name, to_device,
+/// policy)` triple it covers plus the read/write sites justifying it.
+#[derive(Debug, Clone)]
+pub struct TransferCert {
+    pub name: String,
+    pub to_device: bool,
+    pub policy: Policy,
+    pub read: ReadSite,
+    pub write: WriteSite,
+}
+
+/// Liveness argument for a transfer the schedule deliberately omits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivenessArg {
+    /// No device-side read exists → no upload at all.
+    DeviceNeverReads,
+    /// The device reads it but no host code rewrites it after the
+    /// one-time upload → no per-step upload.
+    HostNeverRewrites,
+    /// The device never writes it → no download.
+    DeviceNeverWrites,
+    /// The device writes it but no host code reads it between device
+    /// writes → no download.
+    HostNeverReads,
+}
+
+/// One justified omission: the `(entity, direction)` slot left empty and
+/// the liveness argument for why that is sound.
+#[derive(Debug, Clone)]
+pub struct Omission {
+    pub name: String,
+    pub to_device: bool,
+    pub liveness: LivenessArg,
+}
+
+/// The machine-checkable certificate accompanying a synthesized
+/// schedule. Total over the plan's entity universe (every registered
+/// variable, every registered coefficient, and the ghost pseudo-entity)
+/// in both directions: every slot is either a [`TransferCert`] or an
+/// [`Omission`].
+#[derive(Debug, Clone)]
+pub struct ScheduleCertificate {
+    pub strategy: GpuStrategy,
+    pub transfers: Vec<TransferCert>,
+    pub omissions: Vec<Omission>,
+}
+
+impl ReadSite {
+    fn describe(&self) -> String {
+        match self {
+            ReadSite::Kernel(s) => format!("{} kernel op {} loads it", s.kernel, s.pc),
+            ReadSite::GhostLookup => "flux kernel boundary path reads the ghost array".into(),
+            ReadSite::StepCallback { name, conservative } => {
+                if *conservative {
+                    format!("opaque callback `{name}` may read it")
+                } else {
+                    format!("callback `{name}` declares reading it")
+                }
+            }
+            ReadSite::BoundaryCallback { conservative } => {
+                if *conservative {
+                    "an opaque boundary callback may read it".into()
+                } else {
+                    "a boundary callback declares reading it".into()
+                }
+            }
+            ReadSite::Declared => "the equation analysis declares the kernel reads it".into(),
+        }
+    }
+}
+
+impl WriteSite {
+    fn describe(&self) -> String {
+        match self {
+            WriteSite::Initialization => "written by host initialization before step 0".into(),
+            WriteSite::StepCallback { name, conservative } => {
+                if *conservative {
+                    format!("opaque callback `{name}` may rewrite it each step")
+                } else {
+                    format!("callback `{name}` declares rewriting it each step")
+                }
+            }
+            WriteSite::AsyncCombine => {
+                "the async strategy's host combine rewrites it each step".into()
+            }
+            WriteSite::GhostEval => "host ghost evaluation rewrites it each step".into(),
+            WriteSite::DeviceKernel => "the device kernel writes it each step".into(),
+        }
+    }
+}
+
+impl LivenessArg {
+    fn describe(&self) -> &'static str {
+        match self {
+            LivenessArg::DeviceNeverReads => "no device kernel reads it",
+            LivenessArg::HostNeverRewrites => "no host code rewrites it after the one-time upload",
+            LivenessArg::DeviceNeverWrites => "the device never writes it",
+            LivenessArg::HostNeverReads => "no host code reads it between device writes",
+        }
+    }
+}
+
+impl ScheduleCertificate {
+    /// Render the certificate as the comment block carried alongside the
+    /// schedule (one line per justified transfer, one per omission).
+    pub fn render(&self) -> String {
+        let mut out = String::from("// schedule certificate:\n");
+        for t in &self.transfers {
+            let dir = if t.to_device { "H2D" } else { "D2H" };
+            out.push_str(&format!(
+                "//   {dir} {:?} {:<12} — read: {}; write: {}\n",
+                t.policy,
+                t.name,
+                t.read.describe(),
+                t.write.describe()
+            ));
+        }
+        for o in &self.omissions {
+            let dir = if o.to_device { "H2D" } else { "D2H" };
+            out.push_str(&format!(
+                "//   omit {dir} {:<12} — {}\n",
+                o.name,
+                o.liveness.describe()
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fact lookups shared by synthesis and certificate checking
+// ---------------------------------------------------------------------------
+
+/// The first host site that reads `name` each step, mirroring the
+/// precedence of [`build_sides`]'s possible-read set: step callbacks in
+/// registration order, then boundary callbacks.
+fn host_read_site(cp: &CompiledProblem, name: &str) -> Option<ReadSite> {
+    for step in &cp.catalog.steps {
+        match &step.reads {
+            Some(r) if r.iter().any(|n| n == name) => {
+                return Some(ReadSite::StepCallback {
+                    name: step.name.clone(),
+                    conservative: false,
+                })
+            }
+            None => {
+                return Some(ReadSite::StepCallback {
+                    name: step.name.clone(),
+                    conservative: true,
+                })
+            }
+            _ => {}
+        }
+    }
+    match &cp.catalog.boundary_reads {
+        Some(r) if r.iter().any(|n| n == name) => Some(ReadSite::BoundaryCallback {
+            conservative: false,
+        }),
+        None => Some(ReadSite::BoundaryCallback { conservative: true }),
+        _ => None,
+    }
+}
+
+/// The first host site that rewrites `name` each step. Opaque callbacks
+/// may rewrite any variable except the unknown (only the kernel — or the
+/// async combine — writes that), mirroring [`build_sides`].
+fn host_write_site(cp: &CompiledProblem, name: &str, unknown: &str) -> Option<WriteSite> {
+    for step in &cp.catalog.steps {
+        match &step.writes {
+            Some(w) if w.iter().any(|n| n == name) => {
+                return Some(WriteSite::StepCallback {
+                    name: step.name.clone(),
+                    conservative: false,
+                })
+            }
+            None if name != unknown => {
+                return Some(WriteSite::StepCallback {
+                    name: step.name.clone(),
+                    conservative: true,
+                })
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True when the cited read site holds against the plan's facts.
+fn read_site_holds(
+    cp: &CompiledProblem,
+    strategy: GpuStrategy,
+    entity: &str,
+    to_device: bool,
+    site: &ReadSite,
+) -> bool {
+    match site {
+        // Device-side consumers justify uploads only.
+        ReadSite::Kernel(s) => to_device && site_loads_entity(cp, s, entity),
+        ReadSite::GhostLookup => {
+            to_device && entity == GHOSTS && strategy == GpuStrategy::PrecomputeBoundary
+        }
+        ReadSite::Declared => {
+            let registry = &cp.problem.registry;
+            to_device
+                && (cp
+                    .system
+                    .read_variables
+                    .iter()
+                    .any(|&v| registry.variables[v].name == entity)
+                    || cp
+                        .system
+                        .read_coefficients
+                        .iter()
+                        .any(|&c| registry.coefficients[c].name == entity))
+        }
+        // Host-side consumers justify downloads only.
+        ReadSite::StepCallback { name, conservative } => {
+            !to_device
+                && cp.catalog.steps.iter().any(|s| {
+                    s.name == *name
+                        && match &s.reads {
+                            Some(r) => !conservative && r.iter().any(|n| n == entity),
+                            None => *conservative,
+                        }
+                })
+        }
+        ReadSite::BoundaryCallback { conservative } => {
+            !to_device
+                && match &cp.catalog.boundary_reads {
+                    Some(r) => !conservative && r.iter().any(|n| n == entity),
+                    None => *conservative,
+                }
+        }
+    }
+}
+
+/// True when the cited write site holds against the plan's facts —
+/// including the policy-level obligation that a per-step transfer cites a
+/// per-step writer, not initialization.
+fn write_site_holds(
+    cp: &CompiledProblem,
+    strategy: GpuStrategy,
+    entity: &str,
+    to_device: bool,
+    policy: Policy,
+    site: &WriteSite,
+    unknown: &str,
+) -> bool {
+    match site {
+        WriteSite::Initialization => to_device && policy == Policy::Once,
+        WriteSite::StepCallback { name, conservative } => {
+            to_device
+                && policy == Policy::EveryStep
+                && cp.catalog.steps.iter().any(|s| {
+                    s.name == *name
+                        && match &s.writes {
+                            Some(w) => !conservative && w.iter().any(|n| n == entity),
+                            None => *conservative && entity != unknown,
+                        }
+                })
+        }
+        WriteSite::AsyncCombine => {
+            to_device
+                && policy == Policy::EveryStep
+                && entity == unknown
+                && strategy == GpuStrategy::AsyncBoundary
+        }
+        WriteSite::GhostEval => {
+            to_device
+                && policy == Policy::EveryStep
+                && entity == GHOSTS
+                && strategy == GpuStrategy::PrecomputeBoundary
+        }
+        WriteSite::DeviceKernel => !to_device && entity == unknown,
+    }
+}
+
+/// True when an omission's liveness claim holds against the facts.
+fn liveness_holds(sides: &Sides, name: &str, arg: LivenessArg) -> bool {
+    match arg {
+        LivenessArg::DeviceNeverReads => !sides.device_reads.contains(name),
+        LivenessArg::HostNeverRewrites => {
+            sides.device_reads.contains(name) && !sides.host_writes_possible.contains(name)
+        }
+        LivenessArg::DeviceNeverWrites => !sides.device_writes.contains(name),
+        LivenessArg::HostNeverReads => {
+            sides.device_writes.contains(name) && !sides.host_reads_possible.contains(name)
+        }
+    }
+}
+
+/// The entity universe certificates must be total over: every registered
+/// variable and coefficient plus the ghost pseudo-entity.
+fn entity_universe(cp: &CompiledProblem) -> Vec<String> {
+    let registry = &cp.problem.registry;
+    let mut names: Vec<String> = registry.variables.iter().map(|v| v.name.clone()).collect();
+    names.extend(registry.coefficients.iter().map(|c| c.name.clone()));
+    names.push(GHOSTS.into());
+    names
+}
+
+// ---------------------------------------------------------------------------
+// Schedule synthesis
+// ---------------------------------------------------------------------------
+
+/// Derive the transfer schedule for `strategy` from the access facts,
+/// together with its certificate. This replaces the hand-built
+/// `dataflow::analyze_transfers` as the source of truth (the legacy
+/// builder is retained only as the diff baseline).
+///
+/// Derivation rules, in schedule order:
+///
+/// 1. every coefficient the kernel reads → `Once` H2D (coefficients are
+///    immutable by construction: they live in the registry, not in
+///    `Fields`, so no host code can rewrite one);
+/// 2. the unknown → `Once` H2D (initial condition);
+/// 3. the unknown → `EveryStep` D2H iff some host site reads it between
+///    steps (a step callback or a boundary callback — declared, or
+///    assumed for opaque ones);
+/// 4. strategy-structural transfers: async re-uploads the host-combined
+///    unknown, precompute uploads the host-evaluated ghost array;
+/// 5. every other kernel-read variable → `EveryStep` H2D iff some host
+///    site rewrites it between steps, else `Once`.
+///
+/// Rules 3 and 5 are where synthesis is *finer* than the legacy builder,
+/// which keyed both on the mere existence of a post-step callback: a
+/// declared callback that provably never reads the unknown (or never
+/// writes a given variable) now yields an omission instead of a
+/// transfer, certified by the corresponding liveness argument.
+pub fn synthesize_schedule(
+    cp: &CompiledProblem,
+    strategy: GpuStrategy,
+) -> (TransferSchedule, ScheduleCertificate) {
+    let registry = &cp.problem.registry;
+    let sides = build_sides(cp, strategy);
+    let sites = kernel_read_sites(cp);
+    let unknown_name = registry.variables[cp.system.unknown].name.clone();
+
+    let kernel_site = |name: &str| -> ReadSite {
+        sites
+            .get(name)
+            .map(|s| ReadSite::Kernel(*s))
+            .unwrap_or(ReadSite::Declared)
+    };
+
+    let mut transfers = Vec::new();
+    let mut certs = Vec::new();
+    let mut push = |t: Transfer, read: ReadSite, write: WriteSite| {
+        certs.push(TransferCert {
+            name: t.name.clone(),
+            to_device: t.to_device,
+            policy: t.policy,
+            read,
+            write,
+        });
+        transfers.push(t);
+    };
+
+    // 1. Kernel-read coefficients: immutable, one device copy.
+    for &c in &cp.system.read_coefficients {
+        let name = registry.coefficients[c].name.clone();
+        let read = kernel_site(&name);
+        push(
+            Transfer {
+                name,
+                to_device: true,
+                policy: Policy::Once,
+                reason: "coefficient: immutable, cached on device".into(),
+            },
+            read,
+            WriteSite::Initialization,
+        );
+    }
+
+    // 2. The unknown's initial condition.
+    push(
+        Transfer {
+            name: unknown_name.clone(),
+            to_device: true,
+            policy: Policy::Once,
+            reason: "unknown: initial condition upload".into(),
+        },
+        kernel_site(&unknown_name),
+        WriteSite::Initialization,
+    );
+
+    // 3. The unknown returns to the host iff some host site reads it.
+    if let Some(read) = host_read_site(cp, &unknown_name) {
+        let reason = match &read {
+            ReadSite::StepCallback { .. } => "unknown: post-step callback reads it on the host",
+            _ => "unknown: boundary callbacks read it on the host",
+        };
+        push(
+            Transfer {
+                name: unknown_name.clone(),
+                to_device: false,
+                policy: Policy::EveryStep,
+                reason: reason.into(),
+            },
+            read,
+            WriteSite::DeviceKernel,
+        );
+    }
+
+    // 4. Strategy-structural transfers.
+    match strategy {
+        GpuStrategy::AsyncBoundary => {
+            push(
+                Transfer {
+                    name: unknown_name.clone(),
+                    to_device: true,
+                    policy: Policy::EveryStep,
+                    reason: "unknown: host combines the boundary contribution".into(),
+                },
+                kernel_site(&unknown_name),
+                WriteSite::AsyncCombine,
+            );
+        }
+        GpuStrategy::PrecomputeBoundary => {
+            push(
+                Transfer {
+                    name: GHOSTS.into(),
+                    to_device: true,
+                    policy: Policy::EveryStep,
+                    reason: "boundary ghost values computed by CPU callbacks".into(),
+                },
+                ReadSite::GhostLookup,
+                WriteSite::GhostEval,
+            );
+        }
+    }
+
+    // 5. Other kernel-read variables: per-step iff a host site rewrites
+    //    them, one-time otherwise.
+    for &v in &cp.system.read_variables {
+        if v == cp.system.unknown {
+            continue;
+        }
+        let name = registry.variables[v].name.clone();
+        let read = kernel_site(&name);
+        match host_write_site(cp, &name, &unknown_name) {
+            Some(write) => push(
+                Transfer {
+                    name,
+                    to_device: true,
+                    policy: Policy::EveryStep,
+                    reason: "mutable variable: rewritten by post-step callback".into(),
+                },
+                read,
+                write,
+            ),
+            None => push(
+                Transfer {
+                    name,
+                    to_device: true,
+                    policy: Policy::Once,
+                    reason: "variable never written after initialization".into(),
+                },
+                read,
+                WriteSite::Initialization,
+            ),
+        }
+    }
+
+    // Omissions: make the certificate total over the entity universe.
+    let h2d_every: BTreeSet<&str> = transfers
+        .iter()
+        .filter(|t| t.to_device && t.policy == Policy::EveryStep)
+        .map(|t| t.name.as_str())
+        .collect();
+    let h2d_any: BTreeSet<&str> = transfers
+        .iter()
+        .filter(|t| t.to_device)
+        .map(|t| t.name.as_str())
+        .collect();
+    let d2h_every: BTreeSet<&str> = transfers
+        .iter()
+        .filter(|t| !t.to_device && t.policy == Policy::EveryStep)
+        .map(|t| t.name.as_str())
+        .collect();
+    let mut omissions = Vec::new();
+    for name in entity_universe(cp) {
+        if !h2d_any.contains(name.as_str()) {
+            omissions.push(Omission {
+                name: name.clone(),
+                to_device: true,
+                liveness: LivenessArg::DeviceNeverReads,
+            });
+        } else if !h2d_every.contains(name.as_str()) {
+            omissions.push(Omission {
+                name: name.clone(),
+                to_device: true,
+                liveness: LivenessArg::HostNeverRewrites,
+            });
+        }
+        if !d2h_every.contains(name.as_str()) {
+            omissions.push(Omission {
+                liveness: if sides.device_writes.contains(&name) {
+                    LivenessArg::HostNeverReads
+                } else {
+                    LivenessArg::DeviceNeverWrites
+                },
+                name,
+                to_device: false,
+            });
+        }
+    }
+
+    (
+        TransferSchedule {
+            strategy,
+            transfers,
+        },
+        ScheduleCertificate {
+            strategy,
+            transfers: certs,
+            omissions,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Certificate checking
+// ---------------------------------------------------------------------------
+
+/// Re-discharge a schedule's certificate against the plan's facts.
+///
+/// * **Minimality** (`schedule/unjustified-transfer`): every scheduled
+///   transfer must carry a certificate entry whose read site and write
+///   site both hold — re-validated against the bytecode and the callback
+///   catalog, not against the synthesizer's bookkeeping.
+/// * **Soundness** (`schedule/unsound`): every `(entity, direction)`
+///   obligation derived from the access facts must be served by a
+///   transfer, or covered by an omission whose liveness argument holds.
+///
+/// Severity follows the verifier's policy: a violation that exists only
+/// under the conservative widening of opaque callbacks is a warning, a
+/// violation of declared/derived accesses an error.
+pub fn check_certificate(
+    cp: &CompiledProblem,
+    schedule: &TransferSchedule,
+    cert: &ScheduleCertificate,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let strategy = schedule.strategy;
+    let sides = build_sides(cp, strategy);
+    let registry = &cp.problem.registry;
+    let unknown_name = registry.variables[cp.system.unknown].name.clone();
+
+    // --- Minimality: every transfer justified by a valid certificate. ---
+    let mut used = vec![false; cert.transfers.len()];
+    for t in &schedule.transfers {
+        if t.policy == Policy::Never {
+            continue;
+        }
+        let loc = format!(
+            "{} {} ({:?})",
+            if t.to_device { "H2D" } else { "D2H" },
+            t.name,
+            t.policy
+        );
+        let found = cert.transfers.iter().enumerate().find(|(i, c)| {
+            !used[*i] && c.name == t.name && c.to_device == t.to_device && c.policy == t.policy
+        });
+        let Some((i, c)) = found else {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::SCHEDULE_UNJUSTIFIED,
+                entity: t.name.clone(),
+                location: loc,
+                message: "scheduled transfer carries no certificate entry".into(),
+            });
+            continue;
+        };
+        used[i] = true;
+        if !read_site_holds(cp, strategy, &t.name, t.to_device, &c.read) {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::SCHEDULE_UNJUSTIFIED,
+                entity: t.name.clone(),
+                location: loc.clone(),
+                message: format!("cited read site does not hold: {}", c.read.describe()),
+            });
+        }
+        if !write_site_holds(
+            cp,
+            strategy,
+            &t.name,
+            t.to_device,
+            t.policy,
+            &c.write,
+            &unknown_name,
+        ) {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::SCHEDULE_UNJUSTIFIED,
+                entity: t.name.clone(),
+                location: loc,
+                message: format!("cited write site does not hold: {}", c.write.describe()),
+            });
+        }
+    }
+    for (i, c) in cert.transfers.iter().enumerate() {
+        if !used[i] {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::SCHEDULE_UNJUSTIFIED,
+                entity: c.name.clone(),
+                location: "certificate".into(),
+                message: "certificate justifies a transfer the schedule does not contain".into(),
+            });
+        }
+    }
+
+    // --- Soundness: every obligation served or validly omitted. ---
+    let h2d_every: BTreeSet<&str> = schedule.each_step_h2d().into_iter().collect();
+    let h2d_any: BTreeSet<&str> = schedule
+        .transfers
+        .iter()
+        .filter(|t| t.to_device && t.policy != Policy::Never)
+        .map(|t| t.name.as_str())
+        .collect();
+    let d2h_every: BTreeSet<&str> = schedule.each_step_d2h().into_iter().collect();
+    let omission = |name: &str, to_device: bool| {
+        cert.omissions
+            .iter()
+            .find(|o| o.name == name && o.to_device == to_device)
+    };
+    let unsound =
+        |name: &str, location: &str, declared: bool, message: String, out: &mut Vec<Diagnostic>| {
+            out.push(Diagnostic {
+                severity: if declared {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
+                rule: rules::SCHEDULE_UNSOUND,
+                entity: name.to_string(),
+                location: location.to_string(),
+                message,
+            });
+        };
+
+    for e in &sides.device_reads {
+        let rewritten = sides.host_writes_possible.contains(e);
+        let declared_write = sides.host_writes_declared.contains(e);
+        if rewritten && !h2d_every.contains(e.as_str()) {
+            let covered = omission(e, true).is_some_and(|o| liveness_holds(&sides, e, o.liveness));
+            if !covered {
+                let why = match omission(e, true) {
+                    Some(o) => format!(
+                        "per-step upload omitted, but the liveness argument \
+                         \"{}\" does not hold (a host site rewrites it each step)",
+                        o.liveness.describe()
+                    ),
+                    None => "per-step upload omitted with no liveness argument, but a \
+                             host site rewrites it each step"
+                        .into(),
+                };
+                unsound(e, "device kernel read", declared_write, why, &mut out);
+            }
+        } else if !rewritten && !h2d_any.contains(e.as_str()) {
+            let covered = omission(e, true).is_some_and(|o| liveness_holds(&sides, e, o.liveness));
+            if !covered {
+                unsound(
+                    e,
+                    "device kernel read",
+                    true,
+                    "the kernel reads this entity but it is neither uploaded nor \
+                     covered by a valid liveness argument"
+                        .into(),
+                    &mut out,
+                );
+            }
+        }
+    }
+    for e in &sides.device_writes {
+        let host_reads = sides.host_reads_possible.contains(e);
+        let declared_read = sides.host_reads_declared.contains(e);
+        if host_reads && !d2h_every.contains(e.as_str()) {
+            let covered = omission(e, false).is_some_and(|o| liveness_holds(&sides, e, o.liveness));
+            if !covered {
+                let why = match omission(e, false) {
+                    Some(o) => format!(
+                        "per-step download omitted, but the liveness argument \
+                         \"{}\" does not hold (a host site reads it each step)",
+                        o.liveness.describe()
+                    ),
+                    None => "per-step download omitted with no liveness argument, but a \
+                             host site reads it each step"
+                        .into(),
+                };
+                unsound(e, "host callback read", declared_read, why, &mut out);
+            }
+        }
+    }
+
+    // --- Totality: every universe slot is either scheduled or omitted. ---
+    for name in entity_universe(cp) {
+        if !h2d_any.contains(name.as_str()) && omission(&name, true).is_none() {
+            unsound(
+                &name,
+                "certificate",
+                true,
+                "no upload scheduled and no omission recorded: the certificate is \
+                 not total over the entity universe"
+                    .into(),
+                &mut out,
+            );
+        }
+        if !d2h_every.contains(name.as_str()) && omission(&name, false).is_none() {
+            unsound(
+                &name,
+                "certificate",
+                true,
+                "no download scheduled and no omission recorded: the certificate is \
+                 not total over the entity universe"
+                    .into(),
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Legacy diff
+// ---------------------------------------------------------------------------
+
+/// Outcome of diffing the synthesized schedule against the hand-built
+/// legacy one.
+#[derive(Debug, Clone)]
+pub struct ScheduleDiff {
+    /// `schedule/synth-mismatch` findings: synthesis-only transfers, or
+    /// legacy-only transfers not covered by a valid omission.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Legacy-only transfers the certificate proves unnecessary — the
+    /// explained part of a strictly-smaller synthesized schedule.
+    pub explained: Vec<String>,
+    /// True when both schedules contain exactly the same
+    /// `(name, direction, policy)` triples.
+    pub identical: bool,
+}
+
+/// Compare the synthesized schedule against the legacy hand-built one.
+/// Transfers are compared as `(name, direction, policy)` triples (reason
+/// strings are informational). A legacy-only triple is accepted — and
+/// reported in `explained` — exactly when the certificate carries an
+/// omission for it whose liveness argument holds; anything else is a
+/// `schedule/synth-mismatch` error.
+pub fn diff_against_legacy(
+    cp: &CompiledProblem,
+    legacy: &TransferSchedule,
+    synth: &TransferSchedule,
+    cert: &ScheduleCertificate,
+) -> ScheduleDiff {
+    let sides = build_sides(cp, synth.strategy);
+    let triple = |t: &Transfer| (t.name.clone(), t.to_device, t.policy);
+    let mut legacy_only: Vec<(String, bool, Policy)> =
+        legacy.transfers.iter().map(triple).collect();
+    let mut synth_only = Vec::new();
+    for t in &synth.transfers {
+        let key = triple(t);
+        match legacy_only.iter().position(|k| *k == key) {
+            Some(at) => {
+                legacy_only.remove(at);
+            }
+            None => synth_only.push(key),
+        }
+    }
+    let identical = legacy_only.is_empty() && synth_only.is_empty();
+
+    let mut diagnostics = Vec::new();
+    let mut explained = Vec::new();
+    for (name, to_device, policy) in synth_only {
+        diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            rule: rules::SCHEDULE_SYNTH_MISMATCH,
+            entity: name.clone(),
+            location: format!("{} ({policy:?})", if to_device { "H2D" } else { "D2H" }),
+            message: "synthesis scheduled a transfer the hand-built schedule never had".into(),
+        });
+    }
+    for (name, to_device, policy) in legacy_only {
+        let covered = cert
+            .omissions
+            .iter()
+            .find(|o| o.name == name && o.to_device == to_device)
+            .filter(|o| liveness_holds(&sides, &name, o.liveness));
+        match covered {
+            Some(o) => explained.push(format!(
+                "{} {} ({:?}) dropped: {}",
+                if to_device { "H2D" } else { "D2H" },
+                name,
+                policy,
+                o.liveness.describe()
+            )),
+            None => diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                rule: rules::SCHEDULE_SYNTH_MISMATCH,
+                entity: name.clone(),
+                location: format!("{} ({policy:?})", if to_device { "H2D" } else { "D2H" }),
+                message: "hand-built schedule contains a transfer synthesis dropped \
+                          without a valid liveness argument"
+                    .into(),
+            }),
+        }
+    }
+    ScheduleDiff {
+        diagnostics,
+        explained,
+        identical,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition synthesis
+// ---------------------------------------------------------------------------
+
+/// The parallel write split synthesized for a target over the unknown's
+/// `(flat, cell)` dof grid, with the derivation rule that produced it.
+/// This is the *same* family the executors run (they call the shared
+/// helpers below), so the disjointness proof in the races pass covers
+/// the executed split, not a reconstruction of it.
+#[derive(Debug)]
+pub struct SynthesizedPartition {
+    pub entity: String,
+    pub n_flat: usize,
+    pub n_cells: usize,
+    pub regions: Vec<WriteRegion>,
+    /// The rule by which the regions were derived from the plan facts.
+    pub derivation: String,
+}
+
+/// Contiguous-chunk length the threaded executor divides each flat's cell
+/// range into. Shared by `exec::par` (the executed split) and the
+/// partition synthesis (the proven split) so the two cannot drift.
+pub fn thread_chunk_len(n_cells: usize, threads: usize) -> usize {
+    n_cells.div_ceil(threads.max(1)).max(1)
+}
+
+/// Owned flats per rank under band partitioning of `index` — shared by
+/// `exec::dist` (the executed ownership) and the partition synthesis.
+/// `None` when `index` is not an index of the unknown (build rejects such
+/// targets before solving).
+pub fn band_owned_flats(
+    cp: &CompiledProblem,
+    ranks: usize,
+    index: &str,
+) -> Option<Vec<Vec<usize>>> {
+    let registry = &cp.problem.registry;
+    let index_id = registry.index_id(index)?;
+    let slot = registry.variables[cp.system.unknown]
+        .indices
+        .iter()
+        .position(|&i| i == index_id)?;
+    let ranges = partition_bands(registry.indices[index_id].len, ranks);
+    Some(
+        ranges
+            .iter()
+            .map(|range| {
+                (0..cp.n_flat)
+                    .filter(|&flat| range.contains(&cp.idx_of_flat[flat][slot]))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+/// All flats / all cells of an extent.
+fn all(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Synthesize the write split `target` uses for the unknown. `None` when
+/// the target configuration is one `build()` rejects before solving
+/// (more ranks than cells, an unpartitionable index).
+pub fn synthesize_partition(
+    cp: &CompiledProblem,
+    target: &ExecTarget,
+) -> Option<SynthesizedPartition> {
+    let n_cells = cp.mesh().n_cells();
+    let n_flat = cp.n_flat;
+    let (regions, derivation): (Vec<WriteRegion>, String) = match target {
+        ExecTarget::CpuSeq => (
+            vec![WriteRegion {
+                label: "sequential".into(),
+                flats: all(n_flat),
+                cells: all(n_cells),
+            }],
+            "single sequential worker owns the whole dof grid".into(),
+        ),
+        ExecTarget::CpuParallel => {
+            // The rayon split: per-flat blocks, each cell range divided
+            // into contiguous chunks of the shared chunk length.
+            let threads = rayon::current_num_threads().max(1);
+            let chunk = thread_chunk_len(n_cells, threads);
+            let mut regions = Vec::new();
+            let mut start = 0usize;
+            let mut ci = 0usize;
+            while start < n_cells {
+                let end = (start + chunk).min(n_cells);
+                regions.push(WriteRegion {
+                    label: format!("thread chunk {ci}"),
+                    flats: all(n_flat),
+                    cells: (start..end).collect(),
+                });
+                start = end;
+                ci += 1;
+            }
+            (
+                regions,
+                format!(
+                    "cell range divided into ⌈{n_cells}/{threads}⌉-cell contiguous \
+                     chunks (thread_chunk_len)"
+                ),
+            )
+        }
+        ExecTarget::DistCells { ranks } => {
+            if *ranks > n_cells {
+                return None;
+            }
+            let partition = Partition::build(cp.mesh(), *ranks, PartitionMethod::Rcb);
+            (
+                (0..*ranks)
+                    .map(|r| WriteRegion {
+                        label: format!("rank {r} (RCB cells)"),
+                        flats: all(n_flat),
+                        cells: partition.cells_of(r),
+                    })
+                    .collect(),
+                format!("RCB mesh partition over {ranks} ranks"),
+            )
+        }
+        ExecTarget::DistBands { ranks, index } => {
+            let owned = band_owned_flats(cp, *ranks, index)?;
+            (
+                owned
+                    .into_iter()
+                    .enumerate()
+                    .map(|(r, flats)| WriteRegion {
+                        label: format!("rank {r} (bands of `{index}`)"),
+                        flats,
+                        cells: all(n_cells),
+                    })
+                    .collect(),
+                format!("band partition of index `{index}` over {ranks} ranks"),
+            )
+        }
+        ExecTarget::GpuHybrid { .. } => (
+            // launch_rows: one device row kernel per flat, each writing
+            // its contiguous n_cells-long block of the unknown.
+            (0..n_flat)
+                .map(|flat| WriteRegion {
+                    label: format!("device row {flat}"),
+                    flats: vec![flat],
+                    cells: all(n_cells),
+                })
+                .collect(),
+            "one device row kernel per flat (launch_rows)".into(),
+        ),
+        ExecTarget::DistBandsGpu { ranks, index, .. } => {
+            let owned = band_owned_flats(cp, *ranks, index)?;
+            let mut regions = Vec::new();
+            for (r, flats) in owned.into_iter().enumerate() {
+                for flat in flats {
+                    regions.push(WriteRegion {
+                        label: format!("rank {r} device row {flat}"),
+                        flats: vec![flat],
+                        cells: all(n_cells),
+                    });
+                }
+            }
+            (
+                regions,
+                format!(
+                    "band partition of `{index}` over {ranks} ranks, one device row \
+                     kernel per owned flat"
+                ),
+            )
+        }
+    };
+    Some(SynthesizedPartition {
+        entity: cp.system.unknown_name.clone(),
+        n_flat,
+        n_cells,
+        regions,
+        derivation,
+    })
+}

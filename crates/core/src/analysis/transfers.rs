@@ -28,21 +28,24 @@ use crate::problem::GpuStrategy;
 use std::collections::BTreeSet;
 
 /// Name of the boundary-ghost pseudo-entity in schedules.
-const GHOSTS: &str = "ghosts";
+pub(super) const GHOSTS: &str = "ghosts";
 
 /// Per-side access sets, by entity name. `*_possible` includes the
 /// conservative widening for opaque callbacks; `*_declared` only what is
-/// provably accessed.
-struct Sides {
-    device_reads: BTreeSet<String>,
-    device_writes: BTreeSet<String>,
-    host_reads_declared: BTreeSet<String>,
-    host_reads_possible: BTreeSet<String>,
-    host_writes_declared: BTreeSet<String>,
-    host_writes_possible: BTreeSet<String>,
+/// provably accessed. Shared with the synthesis pass ([`super::synth`]),
+/// which derives the schedule from these same facts — the checker below
+/// then re-discharges the obligations against them independently of how
+/// the schedule was produced.
+pub(super) struct Sides {
+    pub(super) device_reads: BTreeSet<String>,
+    pub(super) device_writes: BTreeSet<String>,
+    pub(super) host_reads_declared: BTreeSet<String>,
+    pub(super) host_reads_possible: BTreeSet<String>,
+    pub(super) host_writes_declared: BTreeSet<String>,
+    pub(super) host_writes_possible: BTreeSet<String>,
 }
 
-fn build_sides(cp: &CompiledProblem, strategy: GpuStrategy) -> Sides {
+pub(super) fn build_sides(cp: &CompiledProblem, strategy: GpuStrategy) -> Sides {
     let registry = &cp.problem.registry;
     let (var_reads, coef_reads, unknown) = cp.system.access_summary(registry);
     let all_vars: BTreeSet<String> = registry.variables.iter().map(|v| v.name.clone()).collect();

@@ -418,20 +418,15 @@ pub fn solve_bands(
             "implicit integrator requires a compiled JVP plan".into(),
         ));
     }
+    let _ = slot; // ownership derivation shared with the race analysis below
     let ranges = partition_bands(len, ranks);
     let n_flat = cp.n_flat;
     let init_fields: &Fields = fields;
 
-    // Owned flats per rank: all flats whose partitioned-index value falls
-    // in the rank's range.
-    let owned_flats: Vec<Vec<usize>> = ranges
-        .iter()
-        .map(|range| {
-            (0..n_flat)
-                .filter(|&flat| range.contains(&cp.idx_of_flat[flat][slot]))
-                .collect()
-        })
-        .collect();
+    // Owned flats per rank: the same synthesized band partition the
+    // static analysis proves disjoint — executor and proof cannot drift.
+    let owned_flats: Vec<Vec<usize>> =
+        crate::analysis::band_owned_flats(cp, ranks, index).expect("index validated above");
 
     let cfg = rec.config();
     let results: Vec<RankResult> = World::run(ranks, |ctx| {
@@ -536,6 +531,7 @@ pub fn solve_bands(
                 );
                 time += cp.problem.dt;
             }
+            worker.flush(cp, &mut local);
             let prof = worker.finish();
             r.device_summary(super::gpu::device_summary_from(&prof, rank as u32));
             device = Some(prof);

@@ -185,9 +185,15 @@ pub(crate) struct GpuWorker {
     ghosts: Vec<f64>,
     /// Host-side kernel result scratch.
     unew_host: Vec<f64>,
-    /// Variables the CPU writes each step (H2D per step): every read
-    /// variable except the unknown, when post-step callbacks exist.
+    /// Variables the CPU rewrites each step (H2D per step), from the
+    /// synthesized transfer schedule's `EveryStep` H2D set.
     step_h2d_vars: Vec<usize>,
+    /// Schedule-derived per-step movements: the async strategy's
+    /// host-combined unknown re-upload, the precompute strategy's ghost
+    /// upload, and the unknown's download for host readers.
+    h2d_unknown_each_step: bool,
+    h2d_ghosts_each_step: bool,
+    d2h_unknown_each_step: bool,
     /// Row kernels when the compiler selected the fused tier — the
     /// "generated kernel" then evaluates whole cell rows per block instead
     /// of re-interpreting the VM per thread.
@@ -211,33 +217,57 @@ impl GpuWorker {
         let n_cells = fields.n_cells;
         let geometry = Geometry::build(cp);
 
-        let step_h2d_vars: Vec<usize> = if cp.problem.post_steps.is_empty() {
-            Vec::new()
-        } else {
-            cp.system
-                .read_variables
-                .iter()
-                .copied()
-                .filter(|&v| v != cp.system.unknown)
-                .collect()
-        };
+        // The movement sets come straight from the synthesized,
+        // certificate-backed transfer schedule — the worker no longer
+        // re-derives them from the access sets itself. Coefficient
+        // entries map to no variable id (they are baked into the bound
+        // kernels at compile time) and drop out of `var_id`.
+        let registry = &cp.problem.registry;
+        let schedule = cp.transfer_schedule(strategy);
+        let unknown_name = registry.variables[cp.system.unknown].name.as_str();
+        let var_id = |name: &str| registry.variables.iter().position(|v| v.name == name);
+        let each_h2d = schedule.each_step_h2d();
+        let step_h2d_vars: Vec<usize> = each_h2d
+            .iter()
+            .filter(|n| **n != unknown_name && **n != "ghosts")
+            .filter_map(|n| var_id(n))
+            .collect();
+        let h2d_unknown_each_step = each_h2d.contains(&unknown_name);
+        let h2d_ghosts_each_step = each_h2d.contains(&"ghosts");
+        let d2h_unknown_each_step = schedule.each_step_d2h().contains(&unknown_name);
+        let once_h2d: Vec<usize> = schedule
+            .transfers
+            .iter()
+            .filter(|t| t.to_device && t.policy == crate::dataflow::Policy::Once)
+            .filter_map(|t| var_id(&t.name))
+            .collect();
+        // The strategy-structural movements must be present: the async
+        // combine rewrites the unknown on the host, precompute evaluates
+        // ghosts there. A schedule violating this would fail
+        // `schedule/unsound` before ever reaching an executor.
+        debug_assert_eq!(
+            h2d_unknown_each_step,
+            strategy == GpuStrategy::AsyncBoundary,
+            "synthesized schedule disagrees with the async strategy's structural re-upload"
+        );
+        debug_assert_eq!(
+            h2d_ghosts_each_step,
+            strategy == GpuStrategy::PrecomputeBoundary,
+            "synthesized schedule disagrees with the precompute strategy's ghost upload"
+        );
 
-        // One buffer per variable. Only schedule-justified uploads happen
-        // here: the unknown (initial condition) and kernel-read variables
-        // that are static after init. Variables re-uploaded every step get
+        // One buffer per variable; only `Policy::Once` H2D entries get
+        // their setup copy here. Variables re-uploaded every step get
         // their first copy in `step()`, and variables the kernel never
-        // reads get an allocation but no transfer — this is exactly the
-        // `Policy::Once` set of the automatic schedule, which the dynamic
-        // transfer-oracle test holds the profiler log to.
+        // reads get an allocation but no transfer — the dynamic
+        // transfer-oracle test holds the profiler log to exactly this.
         let mut var_devs = Vec::with_capacity(fields.n_vars());
         for v in 0..fields.n_vars() {
             let mut buf = device.alloc(
                 &cp.problem.registry.variables[v].name,
                 fields.slice(v).len(),
             );
-            let once_upload = v == cp.system.unknown
-                || (cp.system.read_variables.contains(&v) && !step_h2d_vars.contains(&v));
-            if once_upload {
+            if once_h2d.contains(&v) {
                 device.h2d(fields.slice(v), &mut buf);
             }
             var_devs.push(buf);
@@ -270,6 +300,9 @@ impl GpuWorker {
             ghosts: vec![0.0; cp.boundary.len() * cp.n_flat],
             unew_host: vec![0.0; owned_flats.len() * n_cells],
             step_h2d_vars,
+            h2d_unknown_each_step,
+            h2d_ghosts_each_step,
+            d2h_unknown_each_step,
             row,
         }
     }
@@ -326,20 +359,18 @@ impl GpuWorker {
             let host = fields.slice(v).to_vec();
             self.device.h2d(&host, &mut self.var_devs[v]);
         }
-        match self.strategy {
-            GpuStrategy::AsyncBoundary => {
-                let host = fields.slice(unknown).to_vec();
-                self.device.h2d_rows(
-                    &host,
-                    &mut self.var_devs[unknown],
-                    n_cells,
-                    &self.owned_flats,
-                );
-            }
-            GpuStrategy::PrecomputeBoundary => {
-                let ghosts = self.ghosts.clone();
-                self.device.h2d(&ghosts, &mut self.ghost_dev);
-            }
+        if self.h2d_unknown_each_step {
+            let host = fields.slice(unknown).to_vec();
+            self.device.h2d_rows(
+                &host,
+                &mut self.var_devs[unknown],
+                n_cells,
+                &self.owned_flats,
+            );
+        }
+        if self.h2d_ghosts_each_step {
+            let ghosts = self.ghosts.clone();
+            self.device.h2d(&ghosts, &mut self.ghost_dev);
         }
         let t_after_h2d = self.device.elapsed();
 
@@ -558,7 +589,13 @@ impl GpuWorker {
                 .scatter_rows(unew, unknown_buf, n_cells, &self.owned_flats);
         }
 
-        // D2H: the updated unknown returns to the host for the post-step.
+        // D2H: the updated unknown returns to the host. Under the async
+        // strategy the download is structural — the host combine *is* the
+        // strategy and needs the kernel's interior result regardless of
+        // whether any callback reads the unknown afterwards. Under
+        // precompute it is purely schedule-driven; when the schedule
+        // omits it (no host reader), `flush` reconciles the host copy
+        // after the final step instead.
         match self.strategy {
             GpuStrategy::AsyncBoundary => {
                 let mut host = std::mem::take(&mut self.unew_host);
@@ -575,14 +612,16 @@ impl GpuWorker {
                 self.unew_host = host;
             }
             GpuStrategy::PrecomputeBoundary => {
-                let mut host = fields.slice(unknown).to_vec();
-                self.device.d2h_rows(
-                    &self.var_devs[unknown],
-                    &mut host,
-                    n_cells,
-                    &self.owned_flats,
-                );
-                fields.replace(unknown, host);
+                if self.d2h_unknown_each_step {
+                    let mut host = fields.slice(unknown).to_vec();
+                    self.device.d2h_rows(
+                        &self.var_devs[unknown],
+                        &mut host,
+                        n_cells,
+                        &self.owned_flats,
+                    );
+                    fields.replace(unknown, host);
+                }
             }
         }
         let t_transfer = (t_after_h2d - dev_t0) + (self.device.elapsed() - t_after_h2d - t_kernel);
@@ -630,6 +669,25 @@ impl GpuWorker {
             transfer: t_transfer,
             host: t_host,
         }
+    }
+
+    /// Reconcile the host copy of the unknown after the final step when
+    /// the schedule (validly) omitted the per-step download — the
+    /// certificate's `HostNeverReads` argument covers the steps *between*
+    /// device writes, not the caller's final read of `fields`.
+    pub(crate) fn flush(&mut self, cp: &CompiledProblem, fields: &mut Fields) {
+        if self.d2h_unknown_each_step || self.strategy != GpuStrategy::PrecomputeBoundary {
+            return;
+        }
+        let unknown = cp.system.unknown;
+        let mut host = fields.slice(unknown).to_vec();
+        self.device.d2h_rows(
+            &self.var_devs[unknown],
+            &mut host,
+            fields.n_cells,
+            &self.owned_flats,
+        );
+        fields.replace(unknown, host);
     }
 
     /// Device profile after the run.
@@ -935,6 +993,7 @@ pub fn solve(
         );
         time += cp.problem.dt;
     }
+    worker.flush(cp, fields);
     let prof = worker.finish();
     r.device_summary(device_summary_from(&prof, 0));
     let report = SolveReport {

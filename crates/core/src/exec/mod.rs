@@ -723,7 +723,22 @@ impl CompiledProblem {
     }
 
     /// Automatic host↔device transfer schedule for a GPU strategy.
+    ///
+    /// Source of truth is the certificate-backed synthesis pass
+    /// ([`crate::analysis::synthesize_schedule`]); the legacy hand-built
+    /// analyzer is kept only as the diff baseline and behind the
+    /// [`Problem::use_legacy_schedule`](crate::problem::Problem) escape
+    /// hatch.
     pub fn transfer_schedule(&self, strategy: GpuStrategy) -> TransferSchedule {
+        if self.problem.use_legacy_schedule {
+            return self.transfer_schedule_legacy(strategy);
+        }
+        crate::analysis::synthesize_schedule(self, strategy).0
+    }
+
+    /// The legacy hand-built schedule (`crate::dataflow`), retained as
+    /// the baseline `pbte-verify --synth` diffs the synthesis against.
+    pub fn transfer_schedule_legacy(&self, strategy: GpuStrategy) -> TransferSchedule {
         crate::dataflow::analyze_transfers(&self.problem, &self.system, strategy)
     }
 

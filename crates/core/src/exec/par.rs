@@ -73,7 +73,9 @@ pub(crate) fn compute_rhs_par(
     kernels.ensure(cp, n_cells, time);
     let kernels = &*kernels;
     let threads = rayon::current_num_threads().max(1);
-    let chunk = n_cells.div_ceil(threads).max(1);
+    // Shared with the partition synthesis (`analysis::thread_chunk_len`)
+    // so the proven split is the executed split.
+    let chunk = crate::analysis::thread_chunk_len(n_cells, threads);
     match kernels.tier {
         KernelTier::Row => {
             let centroids = &cp.mesh().cell_centroids;

@@ -454,6 +454,12 @@ pub struct Problem {
     /// (`crate::analysis::check_intervals`). Purely declarative: nothing
     /// clamps values at runtime.
     pub ranges: Vec<(String, f64, f64)>,
+    /// Escape hatch: consume the legacy hand-built transfer schedule
+    /// (`crate::dataflow::analyze_transfers`) instead of the synthesized,
+    /// certificate-backed one. The synthesis pass diffs against the
+    /// legacy schedule on every verified plan, so this should only ever
+    /// be needed to bisect a synthesis regression.
+    pub use_legacy_schedule: bool,
 }
 
 impl Problem {
@@ -481,7 +487,15 @@ impl Problem {
             kernel_tier: None,
             rebind_per_step: false,
             ranges: Vec::new(),
+            use_legacy_schedule: false,
         }
+    }
+
+    /// Opt back into the legacy hand-built transfer schedule (see the
+    /// field doc on [`Problem::use_legacy_schedule`]).
+    pub fn use_legacy_schedule(&mut self, on: bool) -> &mut Self {
+        self.use_legacy_schedule = on;
+        self
     }
 
     /// Declare the physical range of an entity (variable or function

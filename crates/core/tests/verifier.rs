@@ -221,6 +221,103 @@ fn transfer_nothing_reads_is_redundant() {
 }
 
 #[test]
+fn reverted_callback_read_d2h_fires_stale_read_and_unsound() {
+    let solver = declared_problem(6, 2).build(gpu_target()).unwrap();
+    let cp = &solver.compiled;
+    let (schedule, cert) = analysis::synthesize_schedule(cp, GpuStrategy::AsyncBoundary);
+    assert!(
+        analysis::check_certificate(cp, &schedule, &cert).is_empty(),
+        "untampered synthesis must verify clean"
+    );
+    assert!(analysis::check_schedule(cp, &schedule).is_empty());
+
+    // Seeded revert: the synthesizer "forgets" the temperature callback's
+    // read of I — the unknown's D2H disappears from the schedule and its
+    // certificate entry with it, with no omission recorded in its place.
+    let mut bad = schedule.clone();
+    bad.transfers.retain(|t| t.name != "I" || t.to_device);
+    let mut bad_cert = cert.clone();
+    bad_cert.transfers.retain(|c| c.name != "I" || c.to_device);
+
+    let sched_diags = analysis::check_schedule(cp, &bad);
+    assert_eq!(sched_diags.len(), 1, "{sched_diags:?}");
+    assert_eq!(sched_diags[0].rule, rules::STALE_READ);
+
+    let cert_diags = analysis::check_certificate(cp, &bad, &bad_cert);
+    assert!(
+        !cert_diags.is_empty(),
+        "the certificate checker must refuse"
+    );
+    assert!(
+        cert_diags.iter().all(|d| d.rule == rules::SCHEDULE_UNSOUND),
+        "only soundness findings expected: {cert_diags:?}"
+    );
+    assert!(
+        cert_diags
+            .iter()
+            .any(|d| d.entity == "I" && d.severity == Severity::Error),
+        "the declared host read of I makes the omission a hard error: {cert_diags:?}"
+    );
+
+    // The seam as a whole fires exactly the two rules it exists to fire.
+    let fired: std::collections::BTreeSet<&str> = sched_diags
+        .iter()
+        .chain(&cert_diags)
+        .map(|d| d.rule)
+        .collect();
+    assert_eq!(
+        fired,
+        [rules::STALE_READ, rules::SCHEDULE_UNSOUND]
+            .into_iter()
+            .collect()
+    );
+}
+
+#[test]
+fn tampered_certificate_is_unjustified() {
+    use pbte_dsl::analysis::ReadSite;
+
+    let solver = declared_problem(6, 2).build(gpu_target()).unwrap();
+    let cp = &solver.compiled;
+    let (schedule, cert) = analysis::synthesize_schedule(cp, GpuStrategy::AsyncBoundary);
+
+    // (a) A transfer the certificate does not justify.
+    let mut padded = schedule.clone();
+    padded.transfers.push(Transfer {
+        name: "T".into(),
+        to_device: true,
+        policy: Policy::EveryStep,
+        reason: "seeded defect".into(),
+    });
+    let diags = analysis::check_certificate(cp, &padded, &cert);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == rules::SCHEDULE_UNJUSTIFIED && d.entity == "T"),
+        "uncertified transfer must be rejected: {diags:?}"
+    );
+
+    // (b) A certificate entry citing a read site that does not hold.
+    let mut lying = cert.clone();
+    let entry = lying
+        .transfers
+        .iter_mut()
+        .find(|c| c.name == "I" && !c.to_device)
+        .expect("the unknown's D2H is certified");
+    entry.read = ReadSite::StepCallback {
+        name: "nonexistent".into(),
+        conservative: false,
+    };
+    let diags = analysis::check_certificate(cp, &schedule, &lying);
+    assert!(
+        diags.iter().any(|d| d.rule == rules::SCHEDULE_UNJUSTIFIED
+            && d.entity == "I"
+            && d.message.contains("read site")),
+        "fabricated read site must be rejected: {diags:?}"
+    );
+}
+
+#[test]
 fn diagnostics_render_as_json() {
     let regions = vec![
         WriteRegion {

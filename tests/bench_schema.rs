@@ -1,0 +1,153 @@
+//! Schema validation for the committed benchmark result files.
+//!
+//! `BENCH_intensity.json` and `BENCH_timeint.json` are written by the
+//! bench binaries and committed as the record of the paper-scale runs;
+//! downstream tooling (EXPERIMENTS.md tables, the CI artifact diff)
+//! parses them by key. This test pins the schema so a bench refactor
+//! that drops or renames a field — or commits a physically impossible
+//! value — fails in the verify job instead of silently breaking the
+//! record.
+
+use serde::Value;
+use std::path::Path;
+
+fn load(name: &str) -> Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+fn is_str(v: &Value, key: &str) -> bool {
+    matches!(v.get(key), Some(Value::Str(_)))
+}
+
+fn pos_f64(v: &Value, key: &str, ctx: &str) -> f64 {
+    let x = v
+        .get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("{ctx}: missing numeric `{key}`"));
+    assert!(x.is_finite() && x > 0.0, "{ctx}: `{key}` = {x} must be > 0");
+    x
+}
+
+fn nonneg_u64(v: &Value, key: &str, ctx: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("{ctx}: missing non-negative integer `{key}`"))
+}
+
+#[test]
+fn bench_intensity_schema() {
+    let v = load("BENCH_intensity.json");
+    assert!(is_str(&v, "scenario"), "scenario name");
+    let nx = nonneg_u64(&v, "nx", "intensity");
+    let ny = nonneg_u64(&v, "ny", "intensity");
+    let ndirs = nonneg_u64(&v, "ndirs", "intensity");
+    let nbands = nonneg_u64(&v, "nbands", "intensity");
+    let n_dof = nonneg_u64(&v, "n_dof", "intensity");
+    assert_eq!(
+        n_dof,
+        nx * ny * ndirs * nbands,
+        "n_dof must equal nx·ny·ndirs·nbands"
+    );
+
+    let tiers = v.get("tiers").expect("tiers object");
+    assert!(matches!(tiers, Value::Obj(_)), "tiers is an object");
+    for tier in ["vm", "bound_rebind", "bound_cached", "row", "native"] {
+        let t = tiers
+            .get(tier)
+            .unwrap_or_else(|| panic!("tier `{tier}` present"));
+        let min = pos_f64(t, "min_ns_per_dof", tier);
+        let mean = pos_f64(t, "mean_ns_per_dof", tier);
+        assert!(min <= mean, "{tier}: min {min} ≤ mean {mean}");
+    }
+    pos_f64(&v, "speedup_row_over_interpreter", "intensity");
+    pos_f64(&v, "speedup_native_over_row", "intensity");
+}
+
+#[test]
+fn bench_timeint_schema() {
+    let v = load("BENCH_timeint.json");
+    assert!(is_str(&v, "scenario"), "scenario name");
+    let quick = match v.get("quick") {
+        Some(Value::Bool(b)) => *b,
+        other => panic!("`quick` must be a boolean, got {other:?}"),
+    };
+    for key in ["nx", "ny", "ndirs", "nbands", "n_dof"] {
+        assert!(nonneg_u64(&v, key, "timeint") > 0, "{key} > 0");
+    }
+    let horizon = pos_f64(&v, "horizon_s", "timeint");
+    let dt_cfl = pos_f64(&v, "dt_cfl_s", "timeint");
+    let dt_stable = pos_f64(&v, "dt_stable_s", "timeint");
+    assert!(
+        dt_stable <= dt_cfl,
+        "the stabilized step {dt_stable} cannot exceed the CFL bound {dt_cfl}"
+    );
+
+    let lanes = v.get("lanes").expect("lanes object");
+    assert!(matches!(lanes, Value::Obj(_)), "lanes is an object");
+    for lane in ["explicit", "implicit", "steady"] {
+        let l = lanes
+            .get(lane)
+            .unwrap_or_else(|| panic!("lane `{lane}` present"));
+        assert!(is_str(l, "integrator"), "{lane}: integrator label");
+        pos_f64(l, "dt_s", lane);
+        assert!(nonneg_u64(l, "steps", lane) > 0, "{lane}: steps > 0");
+        let reached = pos_f64(l, "reached_t_s", lane);
+        // The steady lane stops at its tolerance, possibly well short of
+        // the horizon; the transient lanes must cover it.
+        if lane != "steady" {
+            assert!(
+                reached >= 0.99 * horizon,
+                "{lane}: reached {reached} covers the horizon {horizon}"
+            );
+        }
+        assert!(
+            nonneg_u64(l, "step_equivalents", lane) > 0,
+            "{lane}: step_equivalents > 0"
+        );
+        for counter in ["rhs_evals", "jvp_evals", "krylov_iters"] {
+            nonneg_u64(l, counter, lane);
+        }
+        // Implicit lanes must actually have exercised the Krylov path.
+        if lane != "explicit" {
+            assert!(
+                nonneg_u64(l, "krylov_iters", lane) > 0,
+                "{lane}: implicit lane records Krylov iterations"
+            );
+        }
+        pos_f64(l, "wall_s", lane);
+        let t_mean = pos_f64(l, "t_mean_K", lane);
+        let t_max = pos_f64(l, "t_max_K", lane);
+        assert!(t_max >= t_mean, "{lane}: t_max ≥ t_mean");
+    }
+
+    for key in [
+        "work_ratio_implicit",
+        "work_ratio_steady",
+        "wall_ratio_implicit",
+        "wall_ratio_steady",
+        "max_dT_implicit_K",
+        "max_dT_steady_K",
+        "stated_tol_implicit_K",
+        "stated_tol_steady_K",
+    ] {
+        pos_f64(&v, key, "timeint");
+    }
+    // The accuracy claims the bench asserts at full scale must also hold
+    // in the committed record.
+    if !quick {
+        assert!(
+            v.get("max_dT_implicit_K").and_then(Value::as_f64)
+                <= v.get("stated_tol_implicit_K").and_then(Value::as_f64),
+            "implicit lane within its stated tolerance"
+        );
+        assert!(
+            v.get("max_dT_steady_K").and_then(Value::as_f64)
+                <= v.get("stated_tol_steady_K").and_then(Value::as_f64),
+            "steady lane within its stated tolerance"
+        );
+    }
+}
