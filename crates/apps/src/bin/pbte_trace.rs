@@ -7,14 +7,30 @@
 //! pbte-trace [scenario=hotspot|elongated] [target=seq|par|cells|bands|
 //!            gpu:async|gpu:precompute|bands-gpu] [n=12] [steps=3]
 //!            [ranks=2] [strategy=redundant|divided]
-//!            [tier=vm|bound|row|native] [out=DIR]
+//!            [tier=vm|bound|row|native] [out=DIR] [stream=FILE]
 //!            [--no-health] [--parity]
+//! pbte-trace --follow file=FILE [wait=30]
+//! pbte-trace top file=FILE
 //! ```
 //!
 //! **Default mode** runs one scenario on one target with the buffered
 //! sink and the physics health probes installed, writes `DIR/trace.json`
 //! (load it at <https://ui.perfetto.dev>) and `DIR/summary.jsonl`, prints
 //! the phase/work/device summary, and exits 1 if any health probe fired.
+//! With `stream=FILE` the run *also* attaches the streaming sink and a
+//! live metrics registry: every span, per-step summary, event and metrics
+//! snapshot is pushed through the bounded ring onto `FILE` as
+//! length-prefixed JSONL frames while the solve runs.
+//!
+//! **`--follow` mode** tails a stream file — typically one being written
+//! by a concurrent `stream=` run — and renders rolling per-phase rates,
+//! work throughput, predicted-vs-observed cost annotations on
+//! kernel/transfer spans, and any warning events, until the `run_end`
+//! frame arrives (or the stream goes idle for `wait` seconds).
+//!
+//! **`top` mode** reads a (complete or in-progress) stream file once and
+//! prints the aggregate view: total seconds per phase, the hottest spans
+//! by cumulative duration, total work counters and drop accounting.
 //!
 //! **`--parity` mode** runs the scenario on *every* target shape and
 //! asserts the tiered counter-equality contract (see `DESIGN.md`):
@@ -54,7 +70,12 @@ use pbte_dsl::exec::{Recorder, SolveReport};
 use pbte_dsl::problem::KernelTier;
 use pbte_dsl::{ExecTarget, GpuStrategy, Solver, WorkCounters};
 use pbte_gpu::DeviceSpec;
+use pbte_runtime::telemetry::metrics::MetricsRegistry;
+use pbte_runtime::telemetry::stream::{StreamConfig, StreamFrame, StreamReader, StreamWriter};
 use pbte_runtime::telemetry::SpanKind;
+use serde::Value;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 type Scenario = fn(&BteConfig) -> BteProblem;
 
@@ -310,8 +331,385 @@ fn run_parity(
     ok
 }
 
+// ---------------------------------------------------------------------------
+// Stream-frame helpers (follow / top modes)
+// ---------------------------------------------------------------------------
+
+fn jstr<'a>(v: &'a Value, key: &str) -> &'a str {
+    match v.get(key) {
+        Some(Value::Str(s)) => s,
+        _ => "",
+    }
+}
+
+fn jf64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0)
+}
+
+fn ju64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(|x| x.as_u64()).unwrap_or(0)
+}
+
+/// `attrs` sub-object of a span frame as (key, value) string pairs.
+fn span_attrs(v: &Value) -> Vec<(&str, &str)> {
+    match v.get("attrs") {
+        Some(Value::Obj(entries)) => entries
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Value::Str(s) => Some((k.as_str(), s.as_str())),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn attr<'a>(attrs: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+/// Predicted-vs-observed annotation for a kernel or transfer span, when
+/// the span carries the cost-model attrs.
+fn cost_annotation(cat: &str, attrs: &[(&str, &str)]) -> Option<String> {
+    match cat {
+        "kernel" => {
+            let pred: f64 = attr(attrs, "pred_flops")?.parse().ok()?;
+            match attr(attrs, "obs_flops").and_then(|v| v.parse::<f64>().ok()) {
+                Some(obs) if pred > 0.0 => Some(format!(
+                    "pred {pred:.3e} flops, obs {obs:.3e} ({:+.1}%)",
+                    100.0 * (obs - pred) / pred
+                )),
+                _ => Some(format!("pred {pred:.3e} flops")),
+            }
+        }
+        "transfer" => {
+            let pred: f64 = attr(attrs, "pred_bytes")?.parse().ok()?;
+            match attr(attrs, "bytes").and_then(|v| v.parse::<f64>().ok()) {
+                Some(obs) if pred > 0.0 => Some(format!(
+                    "pred {pred:.0} B, obs {obs:.0} B ({:+.1}%)",
+                    100.0 * (obs - pred) / pred
+                )),
+                _ => Some(format!("pred {pred:.0} B")),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Rolling aggregation over stream frames shared by follow and top.
+#[derive(Default)]
+struct StreamAgg {
+    label: String,
+    steps: u64,
+    last_step_time: f64,
+    /// Cumulative seconds per phase, insertion-ordered.
+    phase_total: Vec<(String, f64)>,
+    /// Cumulative span (count, seconds) per (category, name).
+    span_total: Vec<(String, String, u64, f64)>,
+    dof: u64,
+    flux: u64,
+    comm_bytes: u64,
+    events: u64,
+    snapshots: u64,
+    run_end: Option<(u64, u64)>,
+}
+
+impl StreamAgg {
+    fn add_phase(&mut self, name: &str, secs: f64) {
+        match self.phase_total.iter_mut().find(|(n, _)| n == name) {
+            Some((_, t)) => *t += secs,
+            None => self.phase_total.push((name.to_string(), secs)),
+        }
+    }
+
+    /// Returns the printable annotation when the frame was a kernel or
+    /// transfer span carrying cost attrs.
+    fn ingest(&mut self, frame: &Value) -> Option<String> {
+        match jstr(frame, "frame") {
+            "run_start" => {
+                self.label = jstr(frame, "label").to_string();
+                None
+            }
+            "step" => {
+                self.steps += 1;
+                self.last_step_time = jf64(frame, "time");
+                if let Some(Value::Obj(phases)) = frame.get("phases") {
+                    for (name, secs) in phases {
+                        self.add_phase(name, secs.as_f64().unwrap_or(0.0));
+                    }
+                }
+                if let Some(work) = frame.get("work") {
+                    self.dof += ju64(work, "dof_updates");
+                    self.flux += ju64(work, "flux_evals");
+                }
+                self.comm_bytes += ju64(frame, "comm_bytes");
+                None
+            }
+            "span" => {
+                let (cat, name) = (jstr(frame, "cat"), jstr(frame, "name"));
+                let dur = jf64(frame, "dur");
+                match self
+                    .span_total
+                    .iter_mut()
+                    .find(|(c, n, _, _)| c == cat && n == name)
+                {
+                    Some((_, _, count, secs)) => {
+                        *count += 1;
+                        *secs += dur;
+                    }
+                    None => self
+                        .span_total
+                        .push((cat.to_string(), name.to_string(), 1, dur)),
+                }
+                let attrs = span_attrs(frame);
+                cost_annotation(cat, &attrs).map(|a| format!("{cat} {name}: {a}"))
+            }
+            "event" => {
+                self.events += 1;
+                None
+            }
+            "metrics" => {
+                self.snapshots += 1;
+                None
+            }
+            "run_end" => {
+                self.run_end = Some((ju64(frame, "frames"), ju64(frame, "dropped")));
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// One rolling rate line over a window of `wall` seconds in which
+    /// `steps`/`dof`/`bytes` were retired and `phases` seconds spent.
+    fn rate_line(wall: f64, steps: u64, dof: u64, bytes: u64, phases: &[(String, f64)]) -> String {
+        let busy: f64 = phases.iter().map(|(_, t)| t).sum();
+        let mut parts: Vec<String> = phases
+            .iter()
+            .filter(|(_, t)| *t > 0.0)
+            .map(|(n, t)| format!("{n} {:.0}%", 100.0 * t / busy.max(1e-12)))
+            .collect();
+        if parts.is_empty() {
+            parts.push("idle".into());
+        }
+        let wall = wall.max(1e-9);
+        format!(
+            "{} | {:.1} step/s, {:.2e} dof/s, {:.1e} B/s comm",
+            parts.join(", "),
+            steps as f64 / wall,
+            dof as f64 / wall,
+            bytes as f64 / wall,
+        )
+    }
+}
+
+/// Tail `file`, rendering rolling per-phase rates until `run_end` or
+/// `wait` idle seconds.
+fn follow(file: &str, wait_s: u64) -> ! {
+    let path = Path::new(file);
+    let wait = Duration::from_secs(wait_s.max(1));
+    let open_deadline = Instant::now() + wait;
+    let mut reader = loop {
+        match StreamReader::open(path) {
+            Ok(r) => break r,
+            Err(e) => {
+                if Instant::now() >= open_deadline {
+                    eprintln!("follow: cannot open {file}: {e}");
+                    std::process::exit(2);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    println!("following {file} (idle timeout {wait_s}s)");
+    let mut agg = StreamAgg::default();
+    let mut idle_since = Instant::now();
+    let mut prev_time = 0.0f64;
+    let mut prev = (0u64, 0u64, 0u64); // steps, dof, comm_bytes
+    let mut prev_phases: Vec<(String, f64)> = Vec::new();
+    // Last printed cost annotation per span key — re-print only on change.
+    let mut printed: Vec<(String, String)> = Vec::new();
+    loop {
+        let frames = match reader.poll() {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("follow: read error: {e}");
+                std::process::exit(2);
+            }
+        };
+        if frames.is_empty() {
+            if idle_since.elapsed() >= wait {
+                println!("follow: stream idle for {wait_s}s, stopping");
+                std::process::exit(0);
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        idle_since = Instant::now();
+        let mut annotations: Vec<String> = Vec::new();
+        for json in &frames {
+            let Ok(frame) = serde_json::from_str::<Value>(json) else {
+                continue;
+            };
+            if jstr(&frame, "frame") == "event" {
+                println!(
+                    "  event [{}] {}: {}",
+                    jstr(&frame, "severity"),
+                    jstr(&frame, "name"),
+                    jstr(&frame, "message")
+                );
+            }
+            if let Some(a) = agg.ingest(&frame) {
+                annotations.push(a);
+            }
+            if !agg.label.is_empty() && agg.steps == 0 && jstr(&frame, "frame") == "run_start" {
+                println!("run: {}", agg.label);
+            }
+        }
+        for a in annotations {
+            let key = a.split(':').next().unwrap_or(&a).to_string();
+            match printed.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, last)) if *last == a => {}
+                Some((_, last)) => {
+                    println!("  {a}");
+                    *last = a;
+                }
+                None => {
+                    println!("  {a}");
+                    printed.push((key, a));
+                }
+            }
+        }
+        if agg.steps > prev.0 {
+            let window: Vec<(String, f64)> = agg
+                .phase_total
+                .iter()
+                .map(|(n, t)| {
+                    let p = prev_phases
+                        .iter()
+                        .find(|(pn, _)| pn == n)
+                        .map(|(_, pt)| *pt)
+                        .unwrap_or(0.0);
+                    (n.clone(), t - p)
+                })
+                .collect();
+            let wall = agg.last_step_time - prev_time;
+            println!(
+                "step {:>5} | {}",
+                agg.steps,
+                StreamAgg::rate_line(
+                    wall,
+                    agg.steps - prev.0,
+                    agg.dof - prev.1,
+                    agg.comm_bytes - prev.2,
+                    &window,
+                )
+            );
+            prev_time = agg.last_step_time;
+            prev = (agg.steps, agg.dof, agg.comm_bytes);
+            prev_phases = agg.phase_total.clone();
+        }
+        if let Some((frames_written, dropped)) = agg.run_end {
+            println!(
+                "run_end: {} step(s), {frames_written} frame(s), {dropped} dropped",
+                agg.steps
+            );
+            std::process::exit(0);
+        }
+    }
+}
+
+/// Read a stream file once and print the aggregate summary view.
+fn top(file: &str) -> ! {
+    let mut reader = match StreamReader::open(Path::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("top: cannot open {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let frames = match reader.poll() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("top: read error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut agg = StreamAgg::default();
+    let mut warned: Vec<String> = Vec::new();
+    for json in &frames {
+        let Ok(frame) = serde_json::from_str::<Value>(json) else {
+            continue;
+        };
+        if jstr(&frame, "frame") == "event" && jstr(&frame, "severity") != "info" {
+            warned.push(format!(
+                "[{}] {}: {}",
+                jstr(&frame, "severity"),
+                jstr(&frame, "name"),
+                jstr(&frame, "message")
+            ));
+        }
+        agg.ingest(&frame);
+    }
+    if !agg.label.is_empty() {
+        println!("run: {}", agg.label);
+    }
+    println!(
+        "{} frame(s), {} step(s), {} event(s), {} metrics snapshot(s)",
+        frames.len(),
+        agg.steps,
+        agg.events,
+        agg.snapshots
+    );
+    let busy: f64 = agg.phase_total.iter().map(|(_, t)| t).sum();
+    println!("phases:");
+    let mut phases = agg.phase_total.clone();
+    phases.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, secs) in &phases {
+        println!(
+            "  {name:<28} {secs:>10.6}s  {:>5.1}%",
+            100.0 * secs / busy.max(1e-12)
+        );
+    }
+    let mut spans = agg.span_total.clone();
+    spans.sort_by(|a, b| b.3.total_cmp(&a.3));
+    println!("hottest spans:");
+    for (cat, name, count, secs) in spans.iter().take(10) {
+        println!("  {cat:<10} {name:<24} x{count:<6} {secs:>10.6}s");
+    }
+    println!(
+        "work: {} dof update(s), {} flux eval(s), {} comm byte(s)",
+        agg.dof, agg.flux, agg.comm_bytes
+    );
+    match agg.run_end {
+        Some((f, d)) => println!("run_end: {f} frame(s) written, {d} dropped"),
+        None => println!("no run_end frame: stream truncated or still in progress"),
+    }
+    for w in &warned {
+        println!("warning {w}");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|a| a == "top").unwrap_or(false) {
+        let file = arg_str(&args, "file", "");
+        if file.is_empty() {
+            eprintln!("usage: pbte-trace top file=STREAM");
+            std::process::exit(2);
+        }
+        top(file);
+    }
+    if args.iter().any(|a| a == "--follow") {
+        let file = arg_str(&args, "file", "");
+        if file.is_empty() {
+            eprintln!("usage: pbte-trace --follow file=STREAM [wait=30]");
+            std::process::exit(2);
+        }
+        let wait = arg_usize(&args, "wait", 30) as u64;
+        follow(file, wait);
+    }
     let parity = args.iter().any(|a| a == "--parity");
     let health = !args.iter().any(|a| a == "--no-health");
     let sname = arg_str(&args, "scenario", "hotspot");
@@ -360,8 +758,39 @@ fn main() {
         std::process::exit(2);
     };
 
+    let stream_path = arg_str(&args, "stream", "").to_string();
     let mut rec = Recorder::buffered();
+    let registry = MetricsRegistry::new();
+    let writer = if stream_path.is_empty() {
+        None
+    } else {
+        if let Some(parent) = Path::new(&stream_path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        let w = StreamWriter::create(Path::new(&stream_path), StreamConfig::default())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot create stream file {stream_path}: {e}");
+                std::process::exit(2);
+            });
+        rec.attach_stream(w.sink());
+        rec.attach_metrics(&registry);
+        w.sink().push(StreamFrame::RunStart {
+            time: rec.now(),
+            label: format!("{sname}/{tname}"),
+        });
+        Some(w)
+    };
     let (report, diags) = run_one(scenario, &cfg, target, tier, health, &mut rec);
+    if let Some(w) = writer {
+        let stats = w.finish().unwrap_or_else(|e| {
+            eprintln!("stream writer failed: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "stream: {} frame(s) written, {} dropped, {} byte(s) -> {stream_path}",
+            stats.frames_written, stats.dropped, stats.bytes
+        );
+    }
     print_report(tname, &report);
     println!("  kernel tier attribution: {:?}", kernel_tiers(&rec));
     println!(
@@ -377,6 +806,14 @@ fn main() {
     std::fs::write(&trace_path, rec.chrome_trace()).expect("write trace.json");
     std::fs::write(&summary_path, rec.summary_jsonl()).expect("write summary.jsonl");
     println!("wrote {trace_path} (open at https://ui.perfetto.dev) and {summary_path}");
+
+    // Telemetry self-diagnostics (nonmonotonic timers, truncated
+    // buffers, live cost drift) are reported but — unlike the physics
+    // health probes — do not fail the run: they describe observability
+    // quality, not solution quality.
+    for d in pbte_dsl::exec::telemetry_diagnostics(&rec) {
+        println!("telemetry: {}", d.render());
+    }
 
     if !diags.is_empty() {
         for d in &diags {

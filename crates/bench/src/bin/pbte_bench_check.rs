@@ -1,0 +1,87 @@
+//! Benchmark regression sentinel CLI.
+//!
+//! Compares a freshly generated `BENCH_intensity.json` or
+//! `BENCH_timeint.json` against the committed baseline using the
+//! noise-aware statistics in [`pbte_bench::sentinel`], prints a
+//! per-series verdict table, optionally writes the machine-readable
+//! verdict document, and exits nonzero on a confirmed regression.
+//!
+//! ```text
+//! pbte-bench-check kind=intensity baseline=BENCH_intensity.json \
+//!     fresh=/tmp/BENCH_intensity.json [json=verdict.json] [--report-only]
+//! ```
+//!
+//! `--report-only` (CI pull-request mode) still prints and writes the
+//! verdict but always exits 0, so a regression surfaces as an artifact
+//! and a log line rather than a red build on an unmerged branch.
+
+use pbte_bench::sentinel::{compare, SentinelPolicy};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pbte-bench-check kind=intensity|timeint baseline=FILE fresh=FILE \
+         [json=FILE] [threshold=0.10] [--report-only]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut kind = None;
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut json_out = None;
+    let mut report_only = false;
+    let mut policy = SentinelPolicy::default();
+    for arg in std::env::args().skip(1) {
+        if arg == "--report-only" || arg == "report-only=1" {
+            report_only = true;
+            continue;
+        }
+        match arg.split_once('=') {
+            Some(("kind", v)) => kind = Some(v.to_string()),
+            Some(("baseline", v)) => baseline = Some(v.to_string()),
+            Some(("fresh", v)) => fresh = Some(v.to_string()),
+            Some(("json", v)) => json_out = Some(v.to_string()),
+            Some(("threshold", v)) => match v.parse::<f64>() {
+                Ok(t) if t > 0.0 => policy.rel_threshold = t,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let (Some(kind), Some(baseline), Some(fresh)) = (kind, baseline, fresh) else {
+        usage();
+    };
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("pbte-bench-check: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base_doc = read(&baseline);
+    let fresh_doc = read(&fresh);
+
+    let report = match compare(&kind, &base_doc, &fresh_doc, policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pbte-bench-check: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    print!("{}", report.render());
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("pbte-bench-check: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let code = report.exit_code();
+    if report_only && code != 0 {
+        println!("report-only mode: suppressing exit code {code}");
+        std::process::exit(0);
+    }
+    std::process::exit(code);
+}

@@ -1,0 +1,671 @@
+//! Benchmark regression sentinel: noise-aware comparison of a fresh
+//! `BENCH_intensity.json` / `BENCH_timeint.json` against the committed
+//! baseline.
+//!
+//! The statistics follow the interleaved-sampling lesson recorded in
+//! EXPERIMENTS.md: under slow harness drift (frequency scaling, competing
+//! load) the *mean* of a sample series inflates while the *min* — the
+//! least-contended observation — stays put. A genuine code regression
+//! moves both. The classification rule is therefore:
+//!
+//! * `min` up beyond the threshold → **Regression** (confirmed);
+//! * `mean` up but `min` flat → **Noise** (drift, not code);
+//! * `min` down beyond the threshold → **Improved**;
+//! * otherwise → **Ok**.
+//!
+//! Series that carry only a single wall-clock sample (`wall_s` in the
+//! time-integration bench) cannot separate drift from slowdown, so they
+//! get a threshold widened by [`SentinelPolicy::single_sample_factor`].
+//! Exact work counters (steps, RHS/JVP evaluations, Krylov iterations)
+//! are deterministic — any movement beyond a tight tolerance is a
+//! behavioral change, not noise.
+//!
+//! Two files are comparable only when their identity keys (scenario and
+//! problem dimensions) match; otherwise every series is **Incomparable**
+//! and the sentinel refuses to issue a verdict rather than comparing
+//! different problems.
+
+use serde::Value;
+use std::fmt;
+
+/// Verdict for one benchmark series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within threshold both ways.
+    Ok,
+    /// Primary statistic improved beyond the threshold.
+    Improved,
+    /// Mean moved but min held: harness drift, not a code change.
+    Noise,
+    /// Confirmed slowdown (or exact-counter growth).
+    Regression,
+    /// Identity keys differ or the series is missing on one side.
+    Incomparable,
+}
+
+impl Verdict {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Noise => "noise",
+            Verdict::Regression => "regression",
+            Verdict::Incomparable => "incomparable",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Thresholds for the classification rule.
+#[derive(Debug, Clone, Copy)]
+pub struct SentinelPolicy {
+    /// Relative threshold on the min statistic of a sampled series.
+    pub rel_threshold: f64,
+    /// Relative tolerance for deterministic counters and physics outputs.
+    pub exact_threshold: f64,
+    /// Widening factor for single-sample wall-clock series.
+    pub single_sample_factor: f64,
+}
+
+impl Default for SentinelPolicy {
+    fn default() -> Self {
+        SentinelPolicy {
+            rel_threshold: 0.10,
+            exact_threshold: 0.02,
+            single_sample_factor: 5.0,
+        }
+    }
+}
+
+/// Min/mean pair extracted from an interleaved sample series.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesStats {
+    pub min: f64,
+    pub mean: f64,
+}
+
+/// Comparison result for one series.
+#[derive(Debug, Clone)]
+pub struct SeriesVerdict {
+    /// Path-like series name, e.g. `tiers/row/ns_per_dof`.
+    pub name: String,
+    /// `"sampled"`, `"single"`, or `"exact"`.
+    pub kind: &'static str,
+    /// Baseline primary statistic (min for sampled series).
+    pub base: f64,
+    /// Fresh primary statistic.
+    pub fresh: f64,
+    /// Relative delta of the primary statistic, `(fresh - base) / base`.
+    pub delta: f64,
+    /// Relative delta of the mean, for sampled series.
+    pub mean_delta: Option<f64>,
+    /// Threshold the delta was judged against.
+    pub threshold: f64,
+    pub verdict: Verdict,
+    pub note: String,
+}
+
+/// Full sentinel report: one verdict per series plus the policy used.
+#[derive(Debug)]
+pub struct SentinelReport {
+    /// `"intensity"` or `"timeint"`.
+    pub kind: String,
+    pub policy: SentinelPolicy,
+    pub series: Vec<SeriesVerdict>,
+}
+
+fn rel(base: f64, fresh: f64) -> f64 {
+    if base == 0.0 {
+        if fresh == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (fresh - base) / base.abs()
+    }
+}
+
+/// Classify a sampled (min, mean) pair — the core drift-vs-regression
+/// rule (lower is better).
+pub fn classify_sampled(
+    base: SeriesStats,
+    fresh: SeriesStats,
+    policy: &SentinelPolicy,
+) -> (Verdict, String) {
+    let dmin = rel(base.min, fresh.min);
+    let dmean = rel(base.mean, fresh.mean);
+    let thr = policy.rel_threshold;
+    if dmin > thr {
+        (
+            Verdict::Regression,
+            format!("min up {:+.1}% (mean {:+.1}%)", 100.0 * dmin, 100.0 * dmean),
+        )
+    } else if dmean > thr {
+        (
+            Verdict::Noise,
+            format!(
+                "mean up {:+.1}% but min only {:+.1}%: harness drift",
+                100.0 * dmean,
+                100.0 * dmin
+            ),
+        )
+    } else if dmin < -thr {
+        (Verdict::Improved, format!("min down {:+.1}%", 100.0 * dmin))
+    } else {
+        (Verdict::Ok, format!("min {:+.1}%", 100.0 * dmin))
+    }
+}
+
+fn sampled_verdict(
+    name: String,
+    base: SeriesStats,
+    fresh: SeriesStats,
+    policy: &SentinelPolicy,
+) -> SeriesVerdict {
+    let (verdict, note) = classify_sampled(base, fresh, policy);
+    SeriesVerdict {
+        name,
+        kind: "sampled",
+        base: base.min,
+        fresh: fresh.min,
+        delta: rel(base.min, fresh.min),
+        mean_delta: Some(rel(base.mean, fresh.mean)),
+        threshold: policy.rel_threshold,
+        verdict,
+        note,
+    }
+}
+
+fn single_verdict(name: String, base: f64, fresh: f64, policy: &SentinelPolicy) -> SeriesVerdict {
+    let d = rel(base, fresh);
+    let thr = policy.rel_threshold * policy.single_sample_factor;
+    let verdict = if d > thr {
+        Verdict::Regression
+    } else if d < -thr {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    };
+    SeriesVerdict {
+        name,
+        kind: "single",
+        base,
+        fresh,
+        delta: d,
+        mean_delta: None,
+        threshold: thr,
+        verdict,
+        note: format!(
+            "single sample {:+.1}% (threshold ±{:.0}%)",
+            100.0 * d,
+            100.0 * thr
+        ),
+    }
+}
+
+fn exact_verdict(name: String, base: f64, fresh: f64, policy: &SentinelPolicy) -> SeriesVerdict {
+    let d = rel(base, fresh);
+    let thr = policy.exact_threshold;
+    let verdict = if d > thr {
+        Verdict::Regression
+    } else if d < -thr {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    };
+    SeriesVerdict {
+        name,
+        kind: "exact",
+        base,
+        fresh,
+        delta: d,
+        mean_delta: None,
+        threshold: thr,
+        verdict,
+        note: format!("deterministic counter {:+.2}%", 100.0 * d),
+    }
+}
+
+fn incomparable(name: String, note: String) -> SeriesVerdict {
+    SeriesVerdict {
+        name,
+        kind: "exact",
+        base: f64::NAN,
+        fresh: f64::NAN,
+        delta: f64::NAN,
+        mean_delta: None,
+        threshold: 0.0,
+        verdict: Verdict::Incomparable,
+        note,
+    }
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(|x| x.as_f64())
+}
+
+/// Object entries under `key`, empty for missing keys or non-objects.
+fn entries<'a>(v: &'a Value, key: &str) -> &'a [(String, Value)] {
+    match v.get(key) {
+        Some(Value::Obj(e)) => e,
+        _ => &[],
+    }
+}
+
+fn show(v: Option<&Value>) -> String {
+    v.map(|x| serde_json::to_string(x).unwrap_or_default())
+        .unwrap_or_else(|| "absent".into())
+}
+
+/// Identity keys that must match for two reports to be comparable.
+fn identity_mismatch(base: &Value, fresh: &Value, keys: &[&str]) -> Option<String> {
+    keys.iter()
+        .find(|&&k| base.get(k) != fresh.get(k))
+        .map(|&k| {
+            format!(
+                "identity key `{k}` differs: baseline {} vs fresh {}",
+                show(base.get(k)),
+                show(fresh.get(k)),
+            )
+        })
+}
+
+/// Compare two `BENCH_intensity.json` documents.
+pub fn compare_intensity(base: &Value, fresh: &Value, policy: SentinelPolicy) -> SentinelReport {
+    let mut series = Vec::new();
+    let identity = ["scenario", "nx", "ny", "ndirs", "nbands", "n_dof"];
+    if let Some(why) = identity_mismatch(base, fresh, &identity) {
+        series.push(incomparable("identity".into(), why));
+        return SentinelReport {
+            kind: "intensity".into(),
+            policy,
+            series,
+        };
+    }
+    let base_tiers = entries(base, "tiers");
+    let fresh_tiers = entries(fresh, "tiers");
+    for (tier, b) in base_tiers {
+        let name = format!("tiers/{tier}/ns_per_dof");
+        let Some((_, f)) = fresh_tiers.iter().find(|(k, _)| k == tier) else {
+            // The native tier legitimately degrades on hosts without
+            // rustc; its absence is reported but never silently passed.
+            series.push(incomparable(name, "series missing from fresh run".into()));
+            continue;
+        };
+        match (
+            num(b, "min_ns_per_dof"),
+            num(b, "mean_ns_per_dof"),
+            num(f, "min_ns_per_dof"),
+            num(f, "mean_ns_per_dof"),
+        ) {
+            (Some(bmin), Some(bmean), Some(fmin), Some(fmean)) => {
+                series.push(sampled_verdict(
+                    name,
+                    SeriesStats {
+                        min: bmin,
+                        mean: bmean,
+                    },
+                    SeriesStats {
+                        min: fmin,
+                        mean: fmean,
+                    },
+                    &policy,
+                ));
+            }
+            _ => series.push(incomparable(name, "malformed tier entry".into())),
+        }
+    }
+    for (tier, _) in fresh_tiers {
+        if !base_tiers.iter().any(|(k, _)| k == tier) {
+            series.push(incomparable(
+                format!("tiers/{tier}/ns_per_dof"),
+                "series missing from baseline".into(),
+            ));
+        }
+    }
+    SentinelReport {
+        kind: "intensity".into(),
+        policy,
+        series,
+    }
+}
+
+/// Compare two `BENCH_timeint.json` documents.
+pub fn compare_timeint(base: &Value, fresh: &Value, policy: SentinelPolicy) -> SentinelReport {
+    let mut series = Vec::new();
+    let identity = [
+        "scenario",
+        "quick",
+        "nx",
+        "ny",
+        "ndirs",
+        "nbands",
+        "n_dof",
+        "horizon_s",
+    ];
+    if let Some(why) = identity_mismatch(base, fresh, &identity) {
+        series.push(incomparable("identity".into(), why));
+        return SentinelReport {
+            kind: "timeint".into(),
+            policy,
+            series,
+        };
+    }
+    let base_lanes = entries(base, "lanes");
+    let fresh_lanes = entries(fresh, "lanes");
+    const COUNTERS: [&str; 5] = [
+        "steps",
+        "step_equivalents",
+        "rhs_evals",
+        "jvp_evals",
+        "krylov_iters",
+    ];
+    const PHYSICS: [&str; 2] = ["t_mean_K", "t_max_K"];
+    for (lane, b) in base_lanes {
+        let Some((_, f)) = fresh_lanes.iter().find(|(k, _)| k == lane) else {
+            series.push(incomparable(
+                format!("lanes/{lane}"),
+                "lane missing from fresh run".into(),
+            ));
+            continue;
+        };
+        match (num(b, "wall_s"), num(f, "wall_s")) {
+            (Some(bw), Some(fw)) => series.push(single_verdict(
+                format!("lanes/{lane}/wall_s"),
+                bw,
+                fw,
+                &policy,
+            )),
+            _ => series.push(incomparable(
+                format!("lanes/{lane}/wall_s"),
+                "missing wall_s".into(),
+            )),
+        }
+        for key in COUNTERS.iter().chain(PHYSICS.iter()) {
+            if let (Some(bv), Some(fv)) = (num(b, key), num(f, key)) {
+                series.push(exact_verdict(
+                    format!("lanes/{lane}/{key}"),
+                    bv,
+                    fv,
+                    &policy,
+                ));
+            }
+        }
+    }
+    for (lane, _) in fresh_lanes {
+        if !base_lanes.iter().any(|(k, _)| k == lane) {
+            series.push(incomparable(
+                format!("lanes/{lane}"),
+                "lane missing from baseline".into(),
+            ));
+        }
+    }
+    SentinelReport {
+        kind: "timeint".into(),
+        policy,
+        series,
+    }
+}
+
+/// Parse + dispatch on `kind` (`"intensity"` or `"timeint"`).
+pub fn compare(
+    kind: &str,
+    baseline_json: &str,
+    fresh_json: &str,
+    policy: SentinelPolicy,
+) -> Result<SentinelReport, String> {
+    let base: Value = serde_json::from_str(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let fresh: Value = serde_json::from_str(fresh_json).map_err(|e| format!("fresh: {e}"))?;
+    match kind {
+        "intensity" => Ok(compare_intensity(&base, &fresh, policy)),
+        "timeint" => Ok(compare_timeint(&base, &fresh, policy)),
+        other => Err(format!("unknown bench kind `{other}` (intensity|timeint)")),
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl SentinelReport {
+    /// Confirmed regressions only (Noise and Ok pass).
+    pub fn regressions(&self) -> Vec<&SeriesVerdict> {
+        self.series
+            .iter()
+            .filter(|s| s.verdict == Verdict::Regression)
+            .collect()
+    }
+
+    /// Series the sentinel could not compare.
+    pub fn incomparable(&self) -> Vec<&SeriesVerdict> {
+        self.series
+            .iter()
+            .filter(|s| s.verdict == Verdict::Incomparable)
+            .collect()
+    }
+
+    /// Nonzero when a confirmed regression (or an identity mismatch)
+    /// means the run must not pass.
+    pub fn exit_code(&self) -> i32 {
+        if !self.regressions().is_empty() || !self.incomparable().is_empty() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Machine-readable verdict document (for CI artifacts). Non-finite
+    /// deltas (incomparable series) serialize as `null`.
+    pub fn to_json(&self) -> String {
+        let series: Vec<Value> = self
+            .series
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("name", Value::Str(s.name.clone())),
+                    ("kind", Value::Str(s.kind.to_string())),
+                    ("base", Value::Float(s.base)),
+                    ("fresh", Value::Float(s.fresh)),
+                    ("delta", Value::Float(s.delta)),
+                    (
+                        "mean_delta",
+                        s.mean_delta.map(Value::Float).unwrap_or(Value::Null),
+                    ),
+                    ("threshold", Value::Float(s.threshold)),
+                    ("verdict", Value::Str(s.verdict.as_str().to_string())),
+                    ("note", Value::Str(s.note.clone())),
+                ])
+            })
+            .collect();
+        let doc = obj(vec![
+            ("sentinel", Value::Str("pbte-bench-check".into())),
+            ("kind", Value::Str(self.kind.clone())),
+            (
+                "policy",
+                obj(vec![
+                    ("rel_threshold", Value::Float(self.policy.rel_threshold)),
+                    ("exact_threshold", Value::Float(self.policy.exact_threshold)),
+                    (
+                        "single_sample_factor",
+                        Value::Float(self.policy.single_sample_factor),
+                    ),
+                ]),
+            ),
+            ("series", Value::Arr(series)),
+            ("regressions", Value::UInt(self.regressions().len() as u64)),
+            (
+                "incomparable",
+                Value::UInt(self.incomparable().len() as u64),
+            ),
+            ("pass", Value::Bool(self.exit_code() == 0)),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("verdict document serializes")
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = format!("bench sentinel: {} series\n", self.kind);
+        for s in &self.series {
+            out.push_str(&format!(
+                "  {:<14} {:<34} {}\n",
+                format!("[{}]", s.verdict),
+                s.name,
+                s.note
+            ));
+        }
+        let n_reg = self.regressions().len();
+        let n_inc = self.incomparable().len();
+        if n_reg > 0 {
+            out.push_str(&format!("CONFIRMED REGRESSIONS: {n_reg}\n"));
+        }
+        if n_inc > 0 {
+            out.push_str(&format!("incomparable series: {n_inc}\n"));
+        }
+        if n_reg == 0 && n_inc == 0 {
+            out.push_str("no confirmed regression\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intensity_doc(nx: u64, scale_min: f64, scale_mean: f64) -> Value {
+        let tier = |min: f64, mean: f64| {
+            obj(vec![
+                ("min_ns_per_dof", Value::Float(min * scale_min)),
+                ("mean_ns_per_dof", Value::Float(mean * scale_mean)),
+            ])
+        };
+        obj(vec![
+            ("scenario", Value::Str("fig4_hotspot_2d".into())),
+            ("nx", Value::UInt(nx)),
+            ("ny", Value::UInt(48)),
+            ("ndirs", Value::UInt(12)),
+            ("nbands", Value::UInt(8)),
+            ("n_dof", Value::UInt(221184)),
+            (
+                "tiers",
+                obj(vec![("vm", tier(42.0, 46.0)), ("row", tier(14.5, 15.5))]),
+            ),
+        ])
+    }
+
+    /// Contiguous harness drift — mean inflated, min flat — must read as
+    /// Noise and pass, reproducing the PR-6 interleaving lesson.
+    #[test]
+    fn contiguous_drift_is_noise_not_regression() {
+        let base = intensity_doc(48, 1.0, 1.0);
+        let fresh = intensity_doc(48, 1.01, 1.25);
+        let report = compare_intensity(&base, &fresh, SentinelPolicy::default());
+        assert!(report.series.iter().all(|s| s.verdict == Verdict::Noise));
+        assert!(report.regressions().is_empty());
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    /// A genuine slowdown moves the min too: confirmed Regression,
+    /// nonzero exit.
+    #[test]
+    fn genuine_slowdown_is_flagged() {
+        let base = intensity_doc(48, 1.0, 1.0);
+        let fresh = intensity_doc(48, 1.30, 1.30);
+        let report = compare_intensity(&base, &fresh, SentinelPolicy::default());
+        assert_eq!(report.regressions().len(), 2);
+        assert_eq!(report.exit_code(), 1);
+        let doc: Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(doc.get("pass"), Some(&Value::Bool(false)));
+        assert!(report.render().contains("CONFIRMED REGRESSIONS"));
+    }
+
+    #[test]
+    fn improvement_and_ok_pass() {
+        let base = intensity_doc(48, 1.0, 1.0);
+        let better = intensity_doc(48, 0.8, 0.8);
+        let report = compare_intensity(&base, &better, SentinelPolicy::default());
+        assert!(report.series.iter().all(|s| s.verdict == Verdict::Improved));
+        assert_eq!(report.exit_code(), 0);
+
+        let same = intensity_doc(48, 1.02, 1.03);
+        let report = compare_intensity(&base, &same, SentinelPolicy::default());
+        assert!(report.series.iter().all(|s| s.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_incomparable() {
+        let base = intensity_doc(48, 1.0, 1.0);
+        let fresh = intensity_doc(12, 1.0, 1.0);
+        let report = compare_intensity(&base, &fresh, SentinelPolicy::default());
+        assert_eq!(report.series.len(), 1);
+        assert_eq!(report.series[0].verdict, Verdict::Incomparable);
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    fn timeint_doc(wall: f64, krylov: f64) -> Value {
+        obj(vec![
+            ("scenario", Value::Str("kinetic_hotspot_2d".into())),
+            ("quick", Value::Bool(true)),
+            ("nx", Value::UInt(32)),
+            ("ny", Value::UInt(32)),
+            ("ndirs", Value::UInt(8)),
+            ("nbands", Value::UInt(4)),
+            ("n_dof", Value::UInt(40960)),
+            ("horizon_s", Value::Float(1.0e-7)),
+            (
+                "lanes",
+                obj(vec![(
+                    "implicit",
+                    obj(vec![
+                        ("wall_s", Value::Float(wall)),
+                        ("steps", Value::UInt(80)),
+                        ("step_equivalents", Value::UInt(1421)),
+                        ("rhs_evals", Value::UInt(160)),
+                        ("jvp_evals", Value::UInt(1261)),
+                        ("krylov_iters", Value::Float(krylov)),
+                        ("t_mean_K", Value::Float(305.9)),
+                        ("t_max_K", Value::Float(334.6)),
+                    ]),
+                )]),
+            ),
+        ])
+    }
+
+    /// Single wall-clock samples get the widened threshold; deterministic
+    /// counters get the tight one.
+    #[test]
+    fn timeint_wall_is_tolerant_but_counters_are_not() {
+        let base = timeint_doc(5.8, 659.0);
+        // Wall 40% slower (within the 50% single-sample band), counters
+        // identical: pass.
+        let fresh = timeint_doc(8.1, 659.0);
+        let report = compare_timeint(&base, &fresh, SentinelPolicy::default());
+        assert_eq!(report.exit_code(), 0, "{}", report.render());
+        // Krylov iterations up 10%: behavioral change, confirmed.
+        let fresh = timeint_doc(5.8, 725.0);
+        let report = compare_timeint(&base, &fresh, SentinelPolicy::default());
+        assert_eq!(report.regressions().len(), 1);
+        assert!(report.regressions()[0].name.contains("krylov_iters"));
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn compare_dispatches_and_rejects_unknown_kind() {
+        let base = serde_json::to_string(&intensity_doc(48, 1.0, 1.0)).unwrap();
+        let fresh = serde_json::to_string(&intensity_doc(48, 1.0, 1.0)).unwrap();
+        let report = compare("intensity", &base, &fresh, SentinelPolicy::default()).unwrap();
+        assert_eq!(report.exit_code(), 0);
+        assert!(compare("frobnicate", &base, &fresh, SentinelPolicy::default()).is_err());
+    }
+}

@@ -65,6 +65,26 @@ pub struct CostModel {
 }
 
 impl CostModel {
+    /// The live per-step expectation handed to the telemetry recorder:
+    /// the same structural predictions `check_cost_drift` validates
+    /// post-hoc, packaged for mid-run annotation (kernel `pred_flops`,
+    /// transfer `pred_bytes`) and per-step drift events. The per-step
+    /// counter check is off for implicit/steady plans, whose per-step
+    /// work is data-dependent; span annotation still applies there.
+    pub fn expectation(&self) -> pbte_runtime::telemetry::CostExpectation {
+        pbte_runtime::telemetry::CostExpectation {
+            flops_per_dof: self.flops_per_dof,
+            dof_per_sweep: self.dof_per_sweep,
+            flux_per_sweep: self.flux_per_sweep,
+            ghost_per_sweep: self.ghost_per_sweep,
+            stages_per_step: self.stages_per_step as u32,
+            step_h2d_bytes: self.step_h2d_bytes,
+            step_d2h_bytes: self.step_d2h_bytes,
+            per_step_check: !self.implicit,
+            tolerance: DRIFT_TOLERANCE,
+        }
+    }
+
     /// Render as an aligned block for `pbte-verify --cost`.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;

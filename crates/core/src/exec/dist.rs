@@ -247,12 +247,22 @@ pub fn solve_cells(
         ));
     }
     let cfg = rec.config();
+    let seed = rec.seed();
+    // One cost estimate for the whole job; each rank narrows it to its
+    // owned scope (transfer-byte terms are dropped — they only apply to
+    // the single-device target where the full-problem schedule is exact).
+    let base_cost = rec
+        .enabled()
+        .then(|| super::live_cost(cp, &super::ExecTarget::DistCells { ranks }));
     let results: Vec<RankResult> = World::run(ranks, |ctx| {
         let rank = ctx.rank;
         let mut local = init_fields.clone();
         let my_cells = &owned[rank];
         let all_flats: Vec<usize> = (0..n_flat).collect();
-        let mut r = Recorder::from_config(cfg, rank as u32);
+        let mut r = seed.recorder(rank as u32);
+        if let Some(base) = base_cost {
+            r.set_cost_expectation(super::scope_cost(base, cp, my_cells, &all_flats));
+        }
         let mut links = CellLinks {
             ctx,
             send_lists: &send_lists,
@@ -385,18 +395,19 @@ pub fn solve_bands(
     gpu_cfg: Option<(DeviceSpec, GpuStrategy)>,
     rec: &mut Recorder,
 ) -> Result<SolveReport, DslError> {
-    match &gpu_cfg {
-        Some((spec, strategy)) => cp.debug_verify(&super::ExecTarget::DistBandsGpu {
+    let target = match &gpu_cfg {
+        Some((spec, strategy)) => super::ExecTarget::DistBandsGpu {
             ranks,
             index: index.to_string(),
             spec: spec.clone(),
             strategy: *strategy,
-        }),
-        None => cp.debug_verify(&super::ExecTarget::DistBands {
+        },
+        None => super::ExecTarget::DistBands {
             ranks,
             index: index.to_string(),
-        }),
-    }
+        },
+    };
+    cp.debug_verify(&target);
     let registry = &cp.problem.registry;
     let index_id = registry
         .index_id(index)
@@ -429,12 +440,17 @@ pub fn solve_bands(
         crate::analysis::band_owned_flats(cp, ranks, index).expect("index validated above");
 
     let cfg = rec.config();
+    let seed = rec.seed();
+    let base_cost = rec.enabled().then(|| super::live_cost(cp, &target));
     let results: Vec<RankResult> = World::run(ranks, |ctx| {
         let rank = ctx.rank;
         let mut local = init_fields.clone();
         let my_flats = &owned_flats[rank];
         let all_cells: Vec<usize> = (0..local.n_cells).collect();
-        let mut r = Recorder::from_config(cfg, rank as u32);
+        let mut r = seed.recorder(rank as u32);
+        if let Some(base) = base_cost {
+            r.set_cost_expectation(super::scope_cost(base, cp, &all_cells, my_flats));
+        }
         let mut device = None;
         let mut time = 0.0;
         let range = ranges[rank].clone();

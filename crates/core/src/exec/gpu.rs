@@ -325,6 +325,7 @@ impl GpuWorker {
         let unknown = cp.system.unknown;
         let dt = cp.problem.dt;
         let dev_t0 = self.device.elapsed();
+        let h2d0 = self.device.h2d_bytes();
 
         // Host: pre-step callbacks + boundary ghosts from the old state.
         // The device is idle while callbacks run, so the host thread pool
@@ -373,6 +374,7 @@ impl GpuWorker {
             self.device.h2d(&ghosts, &mut self.ghost_dev);
         }
         let t_after_h2d = self.device.elapsed();
+        let h2d_obs = self.device.h2d_bytes() - h2d0;
 
         // Kernel launch: one thread per owned dof.
         let n_threads = self.owned_flats.len() * n_cells;
@@ -539,6 +541,10 @@ impl GpuWorker {
                             .unwrap_or("vm")
                             .to_string(),
                     ),
+                    (
+                        "obs_flops",
+                        format!("{:.4e}", self.kernel_cost.total_flops(n_threads)),
+                    ),
                 ],
             );
         }
@@ -596,6 +602,7 @@ impl GpuWorker {
         // precompute it is purely schedule-driven; when the schedule
         // omits it (no host reader), `flush` reconciles the host copy
         // after the final step instead.
+        let d2h0 = self.device.d2h_bytes();
         match self.strategy {
             GpuStrategy::AsyncBoundary => {
                 let mut host = std::mem::take(&mut self.unew_host);
@@ -624,6 +631,7 @@ impl GpuWorker {
                 }
             }
         }
+        let d2h_obs = self.device.d2h_bytes() - d2h0;
         let t_transfer = (t_after_h2d - dev_t0) + (self.device.elapsed() - t_after_h2d - t_kernel);
         if rec.enabled() {
             let strat = match self.strategy {
@@ -636,7 +644,11 @@ impl GpuWorker {
                 dev_t0,
                 t_after_h2d - dev_t0,
                 Track::Device(0),
-                vec![("step", step.to_string()), ("strategy", strat.to_string())],
+                vec![
+                    ("step", step.to_string()),
+                    ("strategy", strat.to_string()),
+                    ("bytes", h2d_obs.to_string()),
+                ],
             );
             rec.span(
                 SpanKind::Transfer,
@@ -644,8 +656,14 @@ impl GpuWorker {
                 t_after_kernel,
                 self.device.elapsed() - t_after_kernel,
                 Track::Device(0),
-                vec![("step", step.to_string()), ("strategy", strat.to_string())],
+                vec![
+                    ("step", step.to_string()),
+                    ("strategy", strat.to_string()),
+                    ("bytes", d2h_obs.to_string()),
+                ],
             );
+            rec.transfer_drift(step, "h2d", h2d_obs);
+            rec.transfer_drift(step, "d2h", d2h_obs);
         }
 
         // Host: post-step callbacks (temperature update).
@@ -921,10 +939,11 @@ pub fn solve(
             "the GPU target supports the Euler stepper only".into(),
         ));
     }
-    cp.debug_verify(&super::ExecTarget::GpuHybrid {
+    let target = super::ExecTarget::GpuHybrid {
         spec: spec.clone(),
         strategy,
-    });
+    };
+    cp.debug_verify(&target);
     let all_flats: Vec<usize> = (0..cp.n_flat).collect();
     if cp.problem.integrator.is_implicit() {
         // Implicit / steady: the generic driver runs Newton–Krylov with
@@ -943,7 +962,10 @@ pub fn solve(
             n_cells,
         };
         let mut backend = GpuImplicitBackend::new(cp, jcp, fields, &all_flats, spec);
-        let mut r = Recorder::from_config(rec.config(), rec.rank());
+        let mut r = rec.child();
+        if r.enabled() {
+            r.set_cost_expectation(super::live_cost(cp, &target));
+        }
         let mut links = super::LocalLinks;
         let steps = super::implicit::drive(
             cp,
@@ -973,7 +995,10 @@ pub fn solve(
         return Ok(report);
     }
     let mut worker = GpuWorker::new(cp, fields, &all_flats, spec, strategy);
-    let mut r = Recorder::from_config(rec.config(), rec.rank());
+    let mut r = rec.child();
+    if r.enabled() {
+        r.set_cost_expectation(super::live_cost(cp, &target));
+    }
     let mut reducer = LocalReducer;
     let mut time = 0.0;
     let threads = rayon::current_num_threads();

@@ -851,7 +851,17 @@ pub(crate) fn solve_cpu(
         1
     };
     let mut backend = CpuBackend::new(cp, jcp, &all_cells, &all_flats, parallel);
-    let mut r = Recorder::from_config(rec.config(), rec.rank());
+    let mut r = rec.child();
+    if r.enabled() {
+        let target = if parallel {
+            super::ExecTarget::CpuParallel
+        } else {
+            super::ExecTarget::CpuSeq
+        };
+        // Implicit per-step work is data-dependent; this annotates kernel
+        // spans with predicted sweep flops without per-step drift checks.
+        r.set_cost_expectation(super::live_cost(cp, &target));
+    }
     let mut links = super::LocalLinks;
     let steps = drive(
         cp,

@@ -139,7 +139,73 @@ pub use pbte_runtime::telemetry::WorkCounters;
 /// The unified telemetry sink and its `Copy` configuration, re-exported
 /// so downstream crates (benches, inspectors) can drive
 /// [`Solver::solve_traced`] without a direct `pbte-runtime` dependency.
-pub use pbte_runtime::telemetry::{Recorder, TraceConfig};
+pub use pbte_runtime::telemetry::{CostExpectation, Recorder, RecorderSeed, TraceConfig};
+
+/// The live cost expectation for a full-problem solve on `target`: the
+/// static cost model's per-step predictions (PR 8) packaged for mid-run
+/// annotation and drift detection. Executors attach this to their child
+/// recorders when a trace sink is active, so kernel/transfer span frames
+/// carry `pred_flops`/`pred_bytes` and [`Recorder::step_done`] can emit
+/// `cost/live-drift` events the moment observed work diverges — without
+/// waiting for the post-hoc `pbte-verify --cost` pass.
+pub fn live_cost(cp: &CompiledProblem, target: &ExecTarget) -> CostExpectation {
+    crate::analysis::estimate_cost(cp, target).expectation()
+}
+
+/// Scope a full-problem cost expectation to one rank's (cells × flats)
+/// share. Dof and flux sweeps shrink to the owned sets; ghost
+/// evaluations scale with the owned flats (the ghost loop covers every
+/// callback face for each flat in scope, on every rank). Per-step
+/// transfer-byte predictions are zeroed: the synthesized schedule prices
+/// the whole problem and per-rank shares are not proportional (full
+/// coefficient slices move beside owned unknown rows), so only the
+/// single-device target keeps byte-level drift detection.
+pub(crate) fn scope_cost(
+    mut c: CostExpectation,
+    cp: &CompiledProblem,
+    cells: &[usize],
+    flats: &[usize],
+) -> CostExpectation {
+    let faces: u64 = cells
+        .iter()
+        .map(|&cell| (cp.hot.offsets[cell + 1] - cp.hot.offsets[cell]) as u64)
+        .sum();
+    c.dof_per_sweep = (cells.len() * flats.len()) as u64;
+    c.flux_per_sweep = flats.len() as u64 * faces;
+    c.ghost_per_sweep = (cp.catalog.callback_faces * flats.len()) as u64;
+    c.step_h2d_bytes = 0;
+    c.step_d2h_bytes = 0;
+    c
+}
+
+/// Convert the structured warning events a solve's recorder collected
+/// into plan-verifier-style [`Diagnostic`](crate::analysis::Diagnostic)s,
+/// so `pbte-trace` (and CI
+/// health gates) report telemetry health through the same channel as the
+/// static analyses. Only events with a known stable rule id are lifted;
+/// free-form informational markers stay in the trace.
+pub fn telemetry_diagnostics(rec: &Recorder) -> Vec<crate::analysis::Diagnostic> {
+    use pbte_runtime::telemetry::{rules, EventSeverity};
+    rec.events()
+        .iter()
+        .filter(|e| e.severity == EventSeverity::Warning)
+        .filter_map(|e| {
+            let rule = match e.name.as_str() {
+                rules::NONMONOTONIC_TIMER => rules::NONMONOTONIC_TIMER,
+                rules::BUFFER_TRUNCATED => rules::BUFFER_TRUNCATED,
+                rules::COST_LIVE_DRIFT => rules::COST_LIVE_DRIFT,
+                _ => return None,
+            };
+            Some(crate::analysis::Diagnostic {
+                severity: crate::analysis::Severity::Warning,
+                rule,
+                entity: format!("rank {}", e.rank),
+                location: format!("t={:.3}s", e.time),
+                message: e.message.clone(),
+            })
+        })
+        .collect()
+}
 
 /// Result of a solve.
 #[derive(Debug)]

@@ -196,6 +196,7 @@ fn compute_rhs_par_traced(
             vec![
                 ("step", step.to_string()),
                 ("tier", kernels.tier.name().to_string()),
+                ("dofs", (cp.n_flat * fields.n_cells).to_string()),
             ],
         );
     }
@@ -233,7 +234,10 @@ pub fn solve(
     } else {
         Vec::new()
     };
-    let mut r = Recorder::from_config(rec.config(), rec.rank());
+    let mut r = rec.child();
+    if r.enabled() {
+        r.set_cost_expectation(super::live_cost(cp, &super::ExecTarget::CpuParallel));
+    }
     let mut reducer = LocalReducer;
     let dt = cp.problem.dt;
     let unknown = cp.system.unknown;

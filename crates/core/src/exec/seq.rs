@@ -349,6 +349,7 @@ pub(crate) fn compute_rhs_traced(
             vec![
                 ("step", step.to_string()),
                 ("tier", kernels.tier.name().to_string()),
+                ("dofs", (scope.flats.len() * scope.cells.len()).to_string()),
             ],
         );
     }
@@ -573,8 +574,12 @@ pub fn solve(
         Vec::new()
     };
     // Solve into a child recorder so the report covers exactly this run
-    // even when the caller's recorder spans several solves.
-    let mut r = Recorder::from_config(rec.config(), rec.rank());
+    // even when the caller's recorder spans several solves. The child
+    // shares the caller's stream/metrics sinks, so frames flow out live.
+    let mut r = rec.child();
+    if r.enabled() {
+        r.set_cost_expectation(super::live_cost(cp, &super::ExecTarget::CpuSeq));
+    }
     let mut links = super::LocalLinks;
     let mut kernels = IntensityKernels::for_scope(cp, &all_flats);
     let mut time = 0.0;

@@ -50,6 +50,17 @@ impl Device {
         self.allocated
     }
 
+    /// Cumulative host→device bytes moved so far (profiler counter) —
+    /// cheap enough to sample around a step for per-step observed bytes.
+    pub fn h2d_bytes(&self) -> u64 {
+        self.profiler.h2d_bytes()
+    }
+
+    /// Cumulative device→host bytes moved so far.
+    pub fn d2h_bytes(&self) -> u64 {
+        self.profiler.d2h_bytes()
+    }
+
     /// Allocate a zero-initialized device buffer.
     ///
     /// # Panics

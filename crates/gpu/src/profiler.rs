@@ -106,6 +106,14 @@ impl Profiler {
         s.sim_time += sim_time;
     }
 
+    pub(crate) fn h2d_bytes(&self) -> u64 {
+        self.h2d.bytes
+    }
+
+    pub(crate) fn d2h_bytes(&self) -> u64 {
+        self.d2h.bytes
+    }
+
     pub(crate) fn report(&self, spec: &DeviceSpec) -> ProfileReport {
         ProfileReport {
             kernels: self.kernels.clone(),

@@ -1,0 +1,368 @@
+//! Live metrics registry: named counters, gauges and log-bucketed
+//! histograms shared across ranks, with periodic delta snapshots.
+//!
+//! Registration (name → handle lookup) takes a mutex, so executors
+//! register once up front — the [`MetricsHandles`](super::MetricsHandles)
+//! bundle a recorder
+//! carries is built at attach time. Recording through a handle is a
+//! single relaxed atomic op; [`LocalCounter`] batches further for
+//! per-thread hot loops and flushes on drop.
+//!
+//! [`MetricsRegistry::snapshot_delta`] produces the *increase* since the
+//! previous snapshot (gauges report their current value), which the
+//! streaming sink emits as periodic `metrics` frames.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::{json_f64, json_str};
+
+/// Buckets in a [`LogHistogram`]: bucket `i` counts values whose bit
+/// length is `i` (bucket 0 holds zero).
+pub const LOG_HIST_BUCKETS: usize = 65;
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle storing an `f64` as bits.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` observations (e.g. span duration in
+/// nanoseconds). Bucket `i` counts values with bit length `i`, so the
+/// bucket's lower bound is `2^(i-1)`.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG_HIST_BUCKETS],
+}
+
+impl LogHistogram {
+    fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Count one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current bucket counts.
+    pub fn counts(&self) -> [u64; LOG_HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Batching wrapper over a [`Counter`] for per-thread hot loops: adds
+/// accumulate locally and reach the shared cell on [`LocalCounter::flush`]
+/// or drop.
+#[derive(Debug)]
+pub struct LocalCounter {
+    shared: Counter,
+    local: u64,
+}
+
+impl LocalCounter {
+    /// Wrap a shared counter.
+    pub fn new(shared: Counter) -> LocalCounter {
+        LocalCounter { shared, local: 0 }
+    }
+
+    /// Add locally (no atomic op).
+    pub fn add(&mut self, n: u64) {
+        self.local += n;
+    }
+
+    /// Publish the local tally to the shared counter.
+    pub fn flush(&mut self) {
+        if self.local > 0 {
+            self.shared.add(self.local);
+            self.local = 0;
+        }
+    }
+}
+
+impl Drop for LocalCounter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
+    /// Counter and histogram values at the previous snapshot, for deltas.
+    last_counters: Mutex<BTreeMap<String, u64>>,
+    last_hists: Mutex<BTreeMap<String, [u64; LOG_HIST_BUCKETS]>>,
+}
+
+/// Shared registry of named metrics. Cloning shares the registry.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.counters.lock().map(|c| c.len()).unwrap_or(0);
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &n)
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.counters.lock().unwrap();
+        Counter(Arc::clone(m.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.gauges.lock().unwrap();
+        Gauge(Arc::clone(m.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or create the log histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        let mut m = self.inner.hists.lock().unwrap();
+        Arc::clone(
+            m.entry(name.to_string())
+                .or_insert_with(|| Arc::new(LogHistogram::new())),
+        )
+    }
+
+    /// Delta snapshot: counter and histogram *increases* since the last
+    /// snapshot, plus current gauge values. Zero-delta series are
+    /// omitted so idle metrics cost nothing on the wire.
+    pub fn snapshot_delta(&self, time: f64, rank: u32) -> MetricsSnapshot {
+        let mut counters = Vec::new();
+        {
+            let cur = self.inner.counters.lock().unwrap();
+            let mut last = self.inner.last_counters.lock().unwrap();
+            for (name, cell) in cur.iter() {
+                let v = cell.load(Ordering::Relaxed);
+                let prev = last.insert(name.clone(), v).unwrap_or(0);
+                if v > prev {
+                    counters.push((name.clone(), v - prev));
+                }
+            }
+        }
+        let mut gauges = Vec::new();
+        {
+            let cur = self.inner.gauges.lock().unwrap();
+            for (name, cell) in cur.iter() {
+                gauges.push((name.clone(), f64::from_bits(cell.load(Ordering::Relaxed))));
+            }
+        }
+        let mut hists = Vec::new();
+        {
+            let cur = self.inner.hists.lock().unwrap();
+            let mut last = self.inner.last_hists.lock().unwrap();
+            for (name, h) in cur.iter() {
+                let counts = h.counts();
+                let prev = last
+                    .insert(name.clone(), counts)
+                    .unwrap_or([0; LOG_HIST_BUCKETS]);
+                let delta: Vec<(u32, u64)> = counts
+                    .iter()
+                    .zip(prev.iter())
+                    .enumerate()
+                    .filter(|(_, (c, p))| c > p)
+                    .map(|(i, (c, p))| (i as u32, c - p))
+                    .collect();
+                if !delta.is_empty() {
+                    hists.push((name.clone(), delta));
+                }
+            }
+        }
+        MetricsSnapshot {
+            time,
+            rank,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+}
+
+/// One delta snapshot of the registry, emitted periodically as a
+/// `metrics` stream frame.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Seconds from the trace epoch.
+    pub time: f64,
+    /// Rank that triggered the snapshot.
+    pub rank: u32,
+    /// `(name, increase since previous snapshot)`.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, current value)`.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, sparse bucket deltas as (bucket, increase))`.
+    pub hists: Vec<(String, Vec<(u32, u64)>)>,
+}
+
+impl MetricsSnapshot {
+    /// Serialize to one JSON object (`"frame":"metrics"`).
+    pub fn to_json(&self) -> String {
+        let mut c = String::new();
+        for (k, v) in &self.counters {
+            if !c.is_empty() {
+                c.push(',');
+            }
+            c.push_str(&format!("{}:{v}", json_str(k)));
+        }
+        let mut g = String::new();
+        for (k, v) in &self.gauges {
+            if !g.is_empty() {
+                g.push(',');
+            }
+            g.push_str(&format!("{}:{}", json_str(k), json_f64(*v)));
+        }
+        let mut h = String::new();
+        for (k, buckets) in &self.hists {
+            if !h.is_empty() {
+                h.push(',');
+            }
+            let pairs: Vec<String> = buckets.iter().map(|(i, n)| format!("[{i},{n}]")).collect();
+            h.push_str(&format!("{}:[{}]", json_str(k), pairs.join(",")));
+        }
+        format!(
+            "{{\"frame\":\"metrics\",\"time\":{},\"rank\":{},\"counters\":{{{c}}},\
+             \"gauges\":{{{g}}},\"hists\":{{{h}}}}}",
+            json_f64(self.time),
+            self.rank
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_and_snapshot_deltas() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("spans/kernel");
+        let b = reg.counter("spans/kernel");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+
+        let snap = reg.snapshot_delta(0.0, 0);
+        assert_eq!(snap.counters, vec![("spans/kernel".to_string(), 4)]);
+        // No increase → omitted from the next delta.
+        let snap2 = reg.snapshot_delta(1.0, 0);
+        assert!(snap2.counters.is_empty());
+        a.add(2);
+        let snap3 = reg.snapshot_delta(2.0, 0);
+        assert_eq!(snap3.counters, vec![("spans/kernel".to_string(), 2)]);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("dt_s");
+        g.set(1e-9);
+        g.set(2.5e-9);
+        assert_eq!(g.get(), 2.5e-9);
+        let snap = reg.snapshot_delta(0.0, 0);
+        assert_eq!(snap.gauges, vec![("dt_s".to_string(), 2.5e-9)]);
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_bit_length() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("span_ns");
+        h.record(0);
+        h.record(900);
+        h.record(1100);
+        let counts = h.counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[10], 1); // 900 has bit length 10
+        assert_eq!(counts[11], 1); // 1100 has bit length 11
+        let snap = reg.snapshot_delta(0.0, 0);
+        assert_eq!(snap.hists.len(), 1);
+        assert_eq!(snap.hists[0].1, vec![(0, 1), (10, 1), (11, 1)]);
+    }
+
+    #[test]
+    fn local_counter_flushes_on_drop() {
+        let reg = MetricsRegistry::new();
+        let shared = reg.counter("work/dof");
+        {
+            let mut local = LocalCounter::new(shared.clone());
+            local.add(5);
+            local.add(7);
+            assert_eq!(shared.get(), 0, "batched: not yet visible");
+        }
+        assert_eq!(shared.get(), 12);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let snap = MetricsSnapshot {
+            time: 1.5,
+            rank: 2,
+            counters: vec![("a".into(), 3)],
+            gauges: vec![("g".into(), 0.5)],
+            hists: vec![("h".into(), vec![(4, 2)])],
+        };
+        let j = snap.to_json();
+        assert!(j.contains("\"frame\":\"metrics\""));
+        assert!(j.contains("\"a\":3"));
+        assert!(j.contains("\"g\":0.5"));
+        assert!(j.contains("\"h\":[[4,2]]"));
+    }
+}

@@ -15,17 +15,53 @@
 //!   [`PhaseTimer`] seconds — executors need both for their
 //!   `SolveReport` regardless — but every span/event/histogram/step
 //!   record call returns before allocating anything.
-//! * The **buffered sink** retains everything in memory; exporters
+//! * The **buffered sink** retains everything in memory, bounded by the
+//!   [`TraceConfig`] span/event caps (overflow increments drop counters
+//!   and surfaces one [`rules::BUFFER_TRUNCATED`] warning); exporters
 //!   ([`Recorder::chrome_trace`], [`Recorder::summary_jsonl`]) render it
 //!   after the run. Nothing is written during the solve loop.
+//! * The **streaming sink** ([`stream::StreamSink`], attached with
+//!   [`Recorder::attach_stream`]) forwards every span/event/step frame
+//!   to a bounded lock-free ring drained by a background writer thread;
+//!   the hot path never blocks on I/O — a full ring drops the frame and
+//!   counts it. Both sinks can be active at once.
+//! * A [`metrics::MetricsRegistry`] attached with
+//!   [`Recorder::attach_metrics`] maintains live counters/gauges/
+//!   histograms fed by the same span hooks, snapshotted periodically
+//!   into the stream as delta frames.
+//! * A [`CostExpectation`] (derived from the static cost model) makes
+//!   the recorder annotate kernel/transfer spans with predicted
+//!   flops/bytes and emit a [`rules::COST_LIVE_DRIFT`] warning when
+//!   observed per-step work drifts from the prediction mid-run.
 //! * Ranks record into **child recorders** sharing the parent's epoch
-//!   ([`TraceConfig`] is `Copy` so it crosses the `World::run` closure),
-//!   merged afterwards with [`Recorder::absorb_rank`].
+//!   and sinks ([`Recorder::seed`] / [`RecorderSeed::recorder`] carry
+//!   them across the `World::run` closure), merged afterwards with
+//!   [`Recorder::absorb_rank`].
+
+pub mod metrics;
+pub mod stream;
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::timer::PhaseTimer;
+use metrics::{LogHistogram, MetricsRegistry};
+use stream::{StreamFrame, StreamSink};
+
+/// Stable rule identifiers for telemetry-originated diagnostics, so
+/// downstream tooling (`pbte-trace`, CI asserts) can match on them.
+pub mod rules {
+    /// A phase timer was handed a negative duration (simulated-clock
+    /// rounding) and saturated it to zero.
+    pub const NONMONOTONIC_TIMER: &str = "telemetry/nonmonotonic-timer";
+    /// The in-memory buffered sink hit its retention cap and started
+    /// dropping spans (streamed frames are unaffected).
+    pub const BUFFER_TRUNCATED: &str = "telemetry/buffer-truncated";
+    /// Observed per-step work or transfer bytes drifted from the static
+    /// cost model's prediction beyond tolerance, mid-run.
+    pub const COST_LIVE_DRIFT: &str = "cost/live-drift";
+}
 
 /// Work counters validating that every execution target performs the same
 /// computation. Moved here from `pbte-dsl::exec` so host callbacks, the
@@ -102,6 +138,18 @@ pub enum SpanKind {
     HaloExchange,
 }
 
+/// Every span kind, in metric-index order.
+pub const SPAN_KINDS: [SpanKind; 8] = [
+    SpanKind::Step,
+    SpanKind::Phase,
+    SpanKind::Kernel,
+    SpanKind::Transfer,
+    SpanKind::Callback,
+    SpanKind::Allreduce,
+    SpanKind::NewtonSolve,
+    SpanKind::HaloExchange,
+];
+
 impl SpanKind {
     /// Stable category string for trace consumers.
     pub fn category(self) -> &'static str {
@@ -114,6 +162,19 @@ impl SpanKind {
             SpanKind::Allreduce => "allreduce",
             SpanKind::NewtonSolve => "newton",
             SpanKind::HaloExchange => "halo",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SpanKind::Step => 0,
+            SpanKind::Phase => 1,
+            SpanKind::Kernel => 2,
+            SpanKind::Transfer => 3,
+            SpanKind::Callback => 4,
+            SpanKind::Allreduce => 5,
+            SpanKind::NewtonSolve => 6,
+            SpanKind::HaloExchange => 7,
         }
     }
 }
@@ -130,7 +191,7 @@ pub enum Track {
 }
 
 impl Track {
-    fn tid(self) -> u64 {
+    pub(crate) fn tid(self) -> u64 {
         match self {
             Track::Host => 0,
             Track::Device(d) => 1 + d as u64,
@@ -174,7 +235,7 @@ pub enum EventSeverity {
 }
 
 impl EventSeverity {
-    fn label(self) -> &'static str {
+    pub(crate) fn label(self) -> &'static str {
         match self {
             EventSeverity::Info => "info",
             EventSeverity::Warning => "warning",
@@ -187,7 +248,8 @@ impl EventSeverity {
 pub struct Event {
     /// Severity for downstream filtering.
     pub severity: EventSeverity,
-    /// Short machine-friendly name (e.g. `negative-phase-time`).
+    /// Short machine-friendly name, rule-style for structured
+    /// diagnostics (e.g. `telemetry/nonmonotonic-timer`).
     pub name: String,
     /// Human-readable detail.
     pub message: String,
@@ -249,12 +311,27 @@ pub struct Sample {
     pub value: f64,
 }
 
+/// Default in-memory retention cap for spans (per recorder tree).
+pub const DEFAULT_SPAN_CAP: usize = 1 << 20;
+/// Default in-memory retention cap for events.
+pub const DEFAULT_EVENT_CAP: usize = 1 << 16;
+/// Default period (in steps) between streamed metrics snapshots.
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 16;
+/// At most this many `cost/live-drift` warnings per recorder, so a
+/// systematically wrong prediction cannot flood the event buffer.
+const MAX_DRIFT_WARNS: u32 = 8;
+
 /// `Copy` recorder configuration, shared across `World::run` closures so
 /// every rank's child recorder uses the same epoch.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceConfig {
+    /// Spans/events/histograms are recorded at all (to memory and/or a
+    /// stream); `buffer` additionally retains them in memory.
     enabled: bool,
+    buffer: bool,
     epoch: Instant,
+    max_spans: usize,
+    max_events: usize,
 }
 
 impl TraceConfig {
@@ -262,7 +339,10 @@ impl TraceConfig {
     pub fn disabled() -> TraceConfig {
         TraceConfig {
             enabled: false,
+            buffer: false,
             epoch: Instant::now(),
+            max_spans: DEFAULT_SPAN_CAP,
+            max_events: DEFAULT_EVENT_CAP,
         }
     }
 
@@ -270,11 +350,25 @@ impl TraceConfig {
     pub fn enabled_now() -> TraceConfig {
         TraceConfig {
             enabled: true,
-            epoch: Instant::now(),
+            buffer: true,
+            ..TraceConfig::disabled()
         }
     }
 
-    /// Whether spans/events/histograms are retained.
+    /// Cap the number of spans retained in memory (drops beyond it are
+    /// counted and surface one [`rules::BUFFER_TRUNCATED`] warning).
+    pub fn with_span_cap(mut self, cap: usize) -> TraceConfig {
+        self.max_spans = cap;
+        self
+    }
+
+    /// Cap the number of events retained in memory.
+    pub fn with_event_cap(mut self, cap: usize) -> TraceConfig {
+        self.max_events = cap;
+        self
+    }
+
+    /// Whether spans/events/histograms are recorded at all.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
@@ -292,6 +386,112 @@ impl TraceConfig {
     }
 }
 
+/// Per-step cost expectations derived from the static cost model (PR 8),
+/// scoped to one rank's share of the problem. When attached to a
+/// [`Recorder`], kernel spans gain a `pred_flops` attribute, `h2d`/`d2h`
+/// transfer spans gain `pred_bytes`, and [`Recorder::step_done`] checks
+/// the observed per-step work against the prediction, emitting a
+/// [`rules::COST_LIVE_DRIFT`] warning beyond `tolerance`.
+#[derive(Debug, Clone, Copy)]
+pub struct CostExpectation {
+    /// Floating-point operations per dof update.
+    pub flops_per_dof: f64,
+    /// Dof updates per RHS sweep on this rank.
+    pub dof_per_sweep: u64,
+    /// Interior flux evaluations per sweep on this rank.
+    pub flux_per_sweep: u64,
+    /// Ghost/boundary evaluations per sweep on this rank.
+    pub ghost_per_sweep: u64,
+    /// RHS sweeps per time step (1 Euler, 2 RK2).
+    pub stages_per_step: u32,
+    /// Predicted host→device bytes per step (0 for CPU targets).
+    pub step_h2d_bytes: u64,
+    /// Predicted device→host bytes per step (0 for CPU targets).
+    pub step_d2h_bytes: u64,
+    /// Check observed per-step counters against the prediction. Off for
+    /// integrators whose per-step work is data-dependent (implicit /
+    /// steady), where only span annotation applies.
+    pub per_step_check: bool,
+    /// Relative drift beyond which [`rules::COST_LIVE_DRIFT`] fires.
+    pub tolerance: f64,
+}
+
+/// Pre-registered metric handles the recorder updates on the hot path
+/// (registration takes a lock; recording is a relaxed atomic op).
+#[derive(Debug, Clone)]
+pub struct MetricsHandles {
+    registry: MetricsRegistry,
+    spans: [metrics::Counter; SPAN_KINDS.len()],
+    span_ns: Arc<LogHistogram>,
+    steps: metrics::Counter,
+    events: metrics::Counter,
+    comm_bytes: metrics::Counter,
+    dof_updates: metrics::Counter,
+    flux_evals: metrics::Counter,
+    newton_iters: metrics::Counter,
+    rhs_evals: metrics::Counter,
+    krylov_iters: metrics::Counter,
+}
+
+impl MetricsHandles {
+    fn build(registry: &MetricsRegistry) -> MetricsHandles {
+        MetricsHandles {
+            registry: registry.clone(),
+            spans: std::array::from_fn(|i| {
+                registry.counter(&format!("spans/{}", SPAN_KINDS[i].category()))
+            }),
+            span_ns: registry.histogram("span_ns"),
+            steps: registry.counter("steps"),
+            events: registry.counter("events"),
+            comm_bytes: registry.counter("comm_bytes"),
+            dof_updates: registry.counter("work/dof_updates"),
+            flux_evals: registry.counter("work/flux_evals"),
+            newton_iters: registry.counter("work/newton_iters"),
+            rhs_evals: registry.counter("work/rhs_evals"),
+            krylov_iters: registry.counter("work/krylov_iters"),
+        }
+    }
+
+    /// The registry these handles publish into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+/// Everything needed to build per-rank child recorders that share the
+/// parent's epoch *and* sinks: `Copy` config plus cloned stream/metrics
+/// handles. `Clone + Send + Sync`, so `World::run` closures can capture
+/// one by reference.
+#[derive(Debug, Clone)]
+pub struct RecorderSeed {
+    cfg: TraceConfig,
+    stream: Option<StreamSink>,
+    metrics: Option<MetricsRegistry>,
+    cost: Option<CostExpectation>,
+    snapshot_every: usize,
+}
+
+impl RecorderSeed {
+    /// Build the child recorder for `rank`.
+    pub fn recorder(&self, rank: u32) -> Recorder {
+        let mut r = Recorder::from_config(self.cfg, rank);
+        if let Some(s) = &self.stream {
+            r.attach_stream(s.clone());
+        }
+        if let Some(m) = &self.metrics {
+            r.attach_metrics(m);
+        }
+        r.cost = self.cost;
+        r.snapshot_every = self.snapshot_every;
+        r
+    }
+
+    /// Shared config (epoch, caps, sink mode).
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+}
+
 /// Number of buckets in iteration histograms ([`Recorder::observe`]
 /// clamps values to `0..=HIST_BUCKETS-1`; the last bucket is overflow).
 pub const HIST_BUCKETS: usize = 32;
@@ -300,10 +500,12 @@ pub const HIST_BUCKETS: usize = 32;
 /// writes through.
 ///
 /// `work` and `phases` are always live (they are the `SolveReport`
-/// inputs); everything else is buffered only when the config is enabled.
+/// inputs); everything else is recorded only when a sink (buffered
+/// and/or streaming) is active.
 #[derive(Debug, Clone)]
 pub struct Recorder {
     enabled: bool,
+    buffer: bool,
     epoch: Instant,
     rank: u32,
     /// Work counters — the single accounting path for all executors and
@@ -317,6 +519,17 @@ pub struct Recorder {
     samples: Vec<Sample>,
     hists: BTreeMap<&'static str, [u64; HIST_BUCKETS]>,
     devices: Vec<DeviceSummary>,
+    max_spans: usize,
+    max_events: usize,
+    dropped_spans: u64,
+    dropped_events: u64,
+    truncate_warned: bool,
+    stream: Option<StreamSink>,
+    metrics: Option<MetricsHandles>,
+    cost: Option<CostExpectation>,
+    drift_warns: u32,
+    last_step_work: WorkCounters,
+    snapshot_every: usize,
 }
 
 impl Default for Recorder {
@@ -336,10 +549,12 @@ impl Recorder {
         Recorder::from_config(TraceConfig::enabled_now(), 0)
     }
 
-    /// Child recorder for `rank`, sharing `cfg`'s epoch.
+    /// Child recorder for `rank`, sharing `cfg`'s epoch (no sinks — use
+    /// [`RecorderSeed::recorder`] to inherit stream/metrics handles).
     pub fn from_config(cfg: TraceConfig, rank: u32) -> Recorder {
         Recorder {
             enabled: cfg.enabled,
+            buffer: cfg.buffer,
             epoch: cfg.epoch,
             rank,
             work: WorkCounters::default(),
@@ -350,6 +565,17 @@ impl Recorder {
             samples: Vec::new(),
             hists: BTreeMap::new(),
             devices: Vec::new(),
+            max_spans: cfg.max_spans,
+            max_events: cfg.max_events,
+            dropped_spans: 0,
+            dropped_events: 0,
+            truncate_warned: false,
+            stream: None,
+            metrics: None,
+            cost: None,
+            drift_warns: 0,
+            last_step_work: WorkCounters::default(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
         }
     }
 
@@ -357,11 +583,78 @@ impl Recorder {
     pub fn config(&self) -> TraceConfig {
         TraceConfig {
             enabled: self.enabled,
+            buffer: self.buffer,
             epoch: self.epoch,
+            max_spans: self.max_spans,
+            max_events: self.max_events,
         }
     }
 
-    /// Whether spans/events/histograms are being retained.
+    /// Seed carrying config *and* sink handles, for building per-rank
+    /// children across thread boundaries.
+    pub fn seed(&self) -> RecorderSeed {
+        RecorderSeed {
+            cfg: self.config(),
+            stream: self.stream.clone(),
+            metrics: self.metrics.as_ref().map(|m| m.registry.clone()),
+            cost: self.cost,
+            snapshot_every: self.snapshot_every,
+        }
+    }
+
+    /// Child recorder with this recorder's rank, config and sinks.
+    pub fn child(&self) -> Recorder {
+        self.seed().recorder(self.rank)
+    }
+
+    /// Attach a streaming sink: spans/events/steps are forwarded as
+    /// frames from now on. Enables recording even if buffering is off.
+    pub fn attach_stream(&mut self, sink: StreamSink) {
+        self.stream = Some(sink);
+        self.enabled = true;
+    }
+
+    /// Attach a live metrics registry: span/step/event hooks update
+    /// pre-registered counters from now on.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(MetricsHandles::build(registry));
+    }
+
+    /// Set per-step cost expectations (span annotation + live drift
+    /// detection).
+    pub fn set_cost_expectation(&mut self, cost: CostExpectation) {
+        self.cost = Some(cost);
+    }
+
+    /// Emit a streamed metrics snapshot every `every` steps (rank 0
+    /// only; default [`DEFAULT_SNAPSHOT_EVERY`]).
+    pub fn set_snapshot_every(&mut self, every: usize) {
+        self.snapshot_every = every.max(1);
+    }
+
+    /// The attached streaming sink, if any.
+    pub fn stream(&self) -> Option<&StreamSink> {
+        self.stream.as_ref()
+    }
+
+    /// The attached metric handles, if any.
+    pub fn metrics(&self) -> Option<&MetricsHandles> {
+        self.metrics.as_ref()
+    }
+
+    /// Spans dropped by the in-memory cap (not counting stream drops,
+    /// which the [`StreamSink`] tracks itself).
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+
+    /// Events dropped by the in-memory cap.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Whether spans/events/histograms are being recorded (buffered
+    /// and/or streamed).
     pub fn enabled(&self) -> bool {
         self.enabled
     }
@@ -382,12 +675,12 @@ impl Recorder {
     }
 
     /// Add `seconds` to `phase`. Negative durations (simulated-clock
-    /// rounding) saturate to zero and leave a warning event rather than
-    /// aborting the run.
+    /// rounding) saturate to zero and leave a structured
+    /// [`rules::NONMONOTONIC_TIMER`] warning rather than aborting.
     pub fn phase(&mut self, phase: &str, seconds: f64) {
         let secs = if seconds < 0.0 {
             self.warn(
-                "negative-phase-time",
+                rules::NONMONOTONIC_TIMER,
                 format!("clamped {seconds:.3e}s for phase '{phase}' to zero"),
             );
             0.0
@@ -398,7 +691,9 @@ impl Recorder {
     }
 
     /// Record a closed span. No-op under the null sink; negative
-    /// durations clamp to zero.
+    /// durations clamp to zero. Kernel and `h2d`/`d2h` transfer spans
+    /// are annotated with the cost model's predictions when a
+    /// [`CostExpectation`] is attached.
     pub fn span(
         &mut self,
         kind: SpanKind,
@@ -406,12 +701,31 @@ impl Recorder {
         t0: f64,
         dur: f64,
         track: Track,
-        attrs: Vec<(&'static str, String)>,
+        mut attrs: Vec<(&'static str, String)>,
     ) {
         if !self.enabled {
             return;
         }
-        self.spans.push(Span {
+        if let Some(c) = &self.cost {
+            match kind {
+                SpanKind::Kernel => {
+                    let flops = c.flops_per_dof * c.dof_per_sweep as f64;
+                    attrs.push(("pred_flops", format!("{flops:.4e}")));
+                }
+                SpanKind::Transfer => {
+                    let pred = match name {
+                        "h2d" => c.step_h2d_bytes,
+                        "d2h" => c.step_d2h_bytes,
+                        _ => 0,
+                    };
+                    if pred > 0 {
+                        attrs.push(("pred_bytes", pred.to_string()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let span = Span {
             kind,
             name: name.to_string(),
             t0,
@@ -419,7 +733,42 @@ impl Recorder {
             rank: self.rank,
             track,
             attrs,
-        });
+        };
+        if let Some(m) = &self.metrics {
+            m.spans[kind.index()].inc();
+            m.span_ns.record((span.dur * 1e9) as u64);
+        }
+        match (&self.stream, self.buffer) {
+            (Some(s), true) => {
+                s.push(StreamFrame::Span(span.clone()));
+                self.push_span_buffered(span);
+            }
+            (Some(s), false) => s.push(StreamFrame::Span(span)),
+            (None, _) => self.push_span_buffered(span),
+        }
+    }
+
+    fn push_span_buffered(&mut self, span: Span) {
+        if !self.buffer {
+            return;
+        }
+        if self.spans.len() < self.max_spans {
+            self.spans.push(span);
+        } else {
+            self.dropped_spans += 1;
+            if !self.truncate_warned {
+                self.truncate_warned = true;
+                self.warn(
+                    rules::BUFFER_TRUNCATED,
+                    format!(
+                        "in-memory span buffer reached its cap of {}; further spans \
+                         are dropped from the buffered sink (streamed frames and \
+                         counters are unaffected)",
+                        self.max_spans
+                    ),
+                );
+            }
+        }
     }
 
     /// Record an instantaneous informational event.
@@ -437,13 +786,26 @@ impl Recorder {
             return;
         }
         let time = self.now();
-        self.events.push(Event {
+        let ev = Event {
             severity,
             name: name.to_string(),
             message,
             time,
             rank: self.rank,
-        });
+        };
+        if let Some(m) = &self.metrics {
+            m.events.inc();
+        }
+        if let Some(s) = &self.stream {
+            s.push(StreamFrame::Event(ev.clone()));
+        }
+        if self.buffer {
+            if self.events.len() < self.max_events {
+                self.events.push(ev);
+            } else {
+                self.dropped_events += 1;
+            }
+        }
     }
 
     /// Count one observation of `value` into the named histogram
@@ -495,18 +857,116 @@ impl Recorder {
     }
 
     /// Close a step: snapshot cumulative counters plus this step's phase
-    /// seconds into a [`StepRecord`].
+    /// seconds into a [`StepRecord`], stream a `step` frame (with the
+    /// per-step work *delta*), update live metrics, and check the cost
+    /// expectation.
     pub fn step_done(&mut self, step: usize, phases: &[(&str, f64)], comm_bytes: u64) {
         if !self.enabled {
             return;
         }
-        self.steps.push(StepRecord {
-            step,
-            rank: self.rank,
-            phases: phases.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
-            work: self.work,
-            comm_bytes,
-        });
+        let delta = self.work.since(&self.last_step_work);
+        self.last_step_work = self.work;
+        if let Some(m) = &self.metrics {
+            m.steps.inc();
+            m.comm_bytes.add(comm_bytes);
+            m.dof_updates.add(delta.dof_updates);
+            m.flux_evals.add(delta.flux_evals);
+            m.newton_iters.add(delta.newton_iters);
+            m.rhs_evals.add(delta.rhs_evals);
+            m.krylov_iters.add(delta.krylov_iters);
+        }
+        if let Some(s) = &self.stream {
+            s.push(StreamFrame::Step {
+                step,
+                rank: self.rank,
+                time: self.epoch.elapsed().as_secs_f64(),
+                phases: phases.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                work: delta,
+                comm_bytes,
+            });
+            if self.rank == 0 && (step + 1) % self.snapshot_every == 0 {
+                if let Some(m) = &self.metrics {
+                    let snap = m
+                        .registry
+                        .snapshot_delta(self.epoch.elapsed().as_secs_f64(), self.rank);
+                    s.push(StreamFrame::Metrics(snap));
+                }
+            }
+        }
+        self.check_step_cost(step, &delta);
+        if self.buffer {
+            self.steps.push(StepRecord {
+                step,
+                rank: self.rank,
+                phases: phases.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                work: self.work,
+                comm_bytes,
+            });
+        }
+    }
+
+    fn check_step_cost(&mut self, step: usize, delta: &WorkCounters) {
+        let Some(c) = self.cost else { return };
+        if !c.per_step_check || self.drift_warns >= MAX_DRIFT_WARNS {
+            return;
+        }
+        let stages = c.stages_per_step as u64;
+        let checks = [
+            ("dof_updates", delta.dof_updates, c.dof_per_sweep * stages),
+            ("flux_evals", delta.flux_evals, c.flux_per_sweep * stages),
+            ("ghost_evals", delta.ghost_evals, c.ghost_per_sweep * stages),
+        ];
+        for (label, observed, predicted) in checks {
+            if predicted == 0 {
+                continue;
+            }
+            let drift = (observed as f64 - predicted as f64).abs() / predicted as f64;
+            if drift > c.tolerance {
+                self.drift_warns += 1;
+                self.warn(
+                    rules::COST_LIVE_DRIFT,
+                    format!(
+                        "step {step}: observed {observed} {label} vs predicted \
+                         {predicted} ({:+.1}% drift, tolerance {:.0}%)",
+                        (observed as f64 / predicted as f64 - 1.0) * 100.0,
+                        c.tolerance * 100.0
+                    ),
+                );
+                if self.drift_warns >= MAX_DRIFT_WARNS {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Check observed transfer bytes for one step against the cost
+    /// model's prediction (`dir` is `"h2d"` or `"d2h"`), emitting
+    /// [`rules::COST_LIVE_DRIFT`] beyond tolerance.
+    pub fn transfer_drift(&mut self, step: usize, dir: &str, observed_bytes: u64) {
+        let Some(c) = self.cost else { return };
+        if self.drift_warns >= MAX_DRIFT_WARNS {
+            return;
+        }
+        let predicted = match dir {
+            "h2d" => c.step_h2d_bytes,
+            _ => c.step_d2h_bytes,
+        };
+        if predicted == 0 {
+            return;
+        }
+        let drift = (observed_bytes as f64 - predicted as f64).abs() / predicted as f64;
+        if drift > c.tolerance {
+            self.drift_warns += 1;
+            self.warn(
+                rules::COST_LIVE_DRIFT,
+                format!(
+                    "step {step}: observed {observed_bytes} {dir} bytes vs predicted \
+                     {predicted} ({:+.1}% drift, tolerance {:.0}%)",
+                    (observed_bytes as f64 / predicted as f64 - 1.0) * 100.0,
+                    c.tolerance * 100.0
+                ),
+            );
+        }
     }
 
     /// Merge a per-rank child recorder: counters plus every buffer, but
@@ -527,11 +987,22 @@ impl Recorder {
     }
 
     fn absorb_buffers(&mut self, child: Recorder) {
-        if !self.enabled {
+        self.dropped_spans += child.dropped_spans;
+        self.dropped_events += child.dropped_events;
+        self.drift_warns += child.drift_warns;
+        if !self.buffer {
             return;
         }
-        self.spans.extend(child.spans);
-        self.events.extend(child.events);
+        for s in child.spans {
+            self.push_span_buffered(s);
+        }
+        for e in child.events {
+            if self.events.len() < self.max_events {
+                self.events.push(e);
+            } else {
+                self.dropped_events += 1;
+            }
+        }
         self.steps.extend(child.steps);
         self.samples.extend(child.samples);
         self.devices.extend(child.devices);
@@ -721,7 +1192,7 @@ impl Recorder {
     }
 }
 
-fn work_json(w: &WorkCounters) -> String {
+pub(crate) fn work_json(w: &WorkCounters) -> String {
     format!(
         "{{\"dof_updates\":{},\"flux_evals\":{},\"ghost_evals\":{},\"newton_iters\":{},\
          \"temperature_solves\":{},\"rhs_evals\":{},\"jvp_evals\":{},\"krylov_iters\":{}}}",
@@ -736,7 +1207,7 @@ fn work_json(w: &WorkCounters) -> String {
     )
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -754,12 +1225,9 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
-        let s = format!("{v}");
-        // JSON has no bare `1e300`-style problems, but ensure a decimal
-        // representation parsers accept (Rust's Display always is).
-        s
+        format!("{v}")
     } else {
         "null".to_string()
     }
@@ -787,12 +1255,12 @@ mod tests {
     }
 
     #[test]
-    fn negative_phase_saturates_and_warns() {
+    fn negative_phase_saturates_and_warns_with_stable_rule() {
         let mut r = Recorder::buffered();
         r.phase("communication", -1e-9);
         assert_eq!(r.phases.get("communication"), 0.0);
         assert_eq!(r.events().len(), 1);
-        assert_eq!(r.events()[0].name, "negative-phase-time");
+        assert_eq!(r.events()[0].name, rules::NONMONOTONIC_TIMER);
         assert!(matches!(r.events()[0].severity, EventSeverity::Warning));
         // Positive time still accumulates afterwards.
         r.phase("communication", 2.0);
@@ -888,5 +1356,125 @@ mod tests {
         let d = w.since(&base);
         assert_eq!(d.flux_evals, 15);
         assert_eq!(d.newton_iters, 3);
+    }
+
+    #[test]
+    fn span_cap_drops_and_warns_once() {
+        let cfg = TraceConfig::enabled_now().with_span_cap(3);
+        let mut r = Recorder::from_config(cfg, 0);
+        for i in 0..5 {
+            r.span(SpanKind::Kernel, "k", i as f64, 1.0, Track::Host, vec![]);
+        }
+        assert_eq!(r.spans().len(), 3);
+        assert_eq!(r.dropped_spans(), 2);
+        let truncations: Vec<_> = r
+            .events()
+            .iter()
+            .filter(|e| e.name == rules::BUFFER_TRUNCATED)
+            .collect();
+        assert_eq!(truncations.len(), 1, "warned exactly once");
+    }
+
+    #[test]
+    fn span_cap_applies_across_absorbed_children() {
+        let cfg = TraceConfig::enabled_now().with_span_cap(2);
+        let mut parent = Recorder::from_config(cfg, 0);
+        let mut child = Recorder::from_config(parent.config(), 1);
+        for i in 0..4 {
+            child.span(SpanKind::Phase, "p", i as f64, 1.0, Track::Host, vec![]);
+        }
+        // The child already enforced its own cap (2 kept, 2 dropped).
+        parent.absorb_rank(child);
+        assert_eq!(parent.spans().len(), 2);
+        assert_eq!(parent.dropped_spans(), 2);
+    }
+
+    #[test]
+    fn stream_only_recorder_is_enabled_and_streams_spans() {
+        let sink = stream::StreamSink::bounded(16);
+        let mut r = Recorder::null();
+        assert!(!r.enabled());
+        r.attach_stream(sink.clone());
+        assert!(r.enabled(), "stream attachment enables recording");
+        r.span(SpanKind::Kernel, "k", 0.0, 1.0, Track::Host, vec![]);
+        r.step_done(0, &[("a", 1.0)], 7);
+        assert!(r.spans().is_empty(), "not buffered");
+        assert!(r.step_records().is_empty(), "not buffered");
+        assert_eq!(sink.pushed(), 2, "span + step frames streamed");
+    }
+
+    #[test]
+    fn child_seed_carries_stream_and_metrics() {
+        let sink = stream::StreamSink::bounded(16);
+        let registry = MetricsRegistry::new();
+        let mut parent = Recorder::buffered();
+        parent.attach_stream(sink.clone());
+        parent.attach_metrics(&registry);
+        let seed = parent.seed();
+        let mut child = seed.recorder(3);
+        child.span(
+            SpanKind::HaloExchange,
+            "halo exchange",
+            0.0,
+            1.0,
+            Track::Host,
+            vec![],
+        );
+        assert_eq!(sink.pushed(), 1);
+        assert_eq!(registry.counter("spans/halo").get(), 1);
+    }
+
+    #[test]
+    fn cost_expectation_annotates_and_detects_drift() {
+        let mut r = Recorder::buffered();
+        r.set_cost_expectation(CostExpectation {
+            flops_per_dof: 10.0,
+            dof_per_sweep: 100,
+            flux_per_sweep: 300,
+            ghost_per_sweep: 0,
+            stages_per_step: 1,
+            step_h2d_bytes: 1000,
+            step_d2h_bytes: 0,
+            per_step_check: true,
+            tolerance: 0.15,
+        });
+        r.span(SpanKind::Kernel, "k", 0.0, 1.0, Track::Host, vec![]);
+        r.span(SpanKind::Transfer, "h2d", 0.0, 1.0, Track::Host, vec![]);
+        let kernel = &r.spans()[0];
+        assert!(
+            kernel.attrs.iter().any(|(k, v)| *k == "pred_flops"
+                && v.parse::<f64>().map(|x| (x - 1000.0).abs() < 1e-6) == Ok(true)),
+            "kernel span annotated with predicted flops"
+        );
+        let h2d = &r.spans()[1];
+        assert!(h2d
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "pred_bytes" && v == "1000"));
+
+        // A clean step: exactly the predicted work.
+        r.work.dof_updates += 100;
+        r.work.flux_evals += 300;
+        r.step_done(0, &[], 0);
+        assert!(
+            !r.events().iter().any(|e| e.name == rules::COST_LIVE_DRIFT),
+            "no drift on a clean step"
+        );
+
+        // A drifted step: half the predicted dof updates.
+        r.work.dof_updates += 50;
+        r.work.flux_evals += 300;
+        r.step_done(1, &[], 0);
+        assert!(
+            r.events().iter().any(|e| e.name == rules::COST_LIVE_DRIFT),
+            "live drift detected"
+        );
+
+        // Transfer drift helper: within tolerance stays quiet.
+        let before = r.events().len();
+        r.transfer_drift(2, "h2d", 1010);
+        assert_eq!(r.events().len(), before);
+        r.transfer_drift(2, "h2d", 5000);
+        assert!(r.events().len() > before);
     }
 }

@@ -11,6 +11,12 @@
 use serde::Value;
 use std::path::Path;
 
+use pbte_bench::sentinel::{compare, SentinelPolicy};
+use pbte_bte::scenario::{hotspot_2d, BteConfig};
+use pbte_dsl::exec::Recorder;
+use pbte_dsl::{ExecTarget, Solver};
+use pbte_runtime::telemetry::stream::{StreamConfig, StreamReader, StreamWriter};
+
 fn load(name: &str) -> Value {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -150,4 +156,142 @@ fn bench_timeint_schema() {
             "steady lane within its stated tolerance"
         );
     }
+}
+
+/// The sentinel's machine-readable verdict document (the CI artifact
+/// `pbte-bench-check json=` writes) has a pinned schema: consumers key
+/// on `pass`, `regressions` and the per-series `verdict` strings.
+#[test]
+fn sentinel_verdict_schema() {
+    let doc = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_intensity.json"),
+    )
+    .expect("committed intensity record");
+    // Self-comparison: every series must come back comparable and pass.
+    let report = compare("intensity", &doc, &doc, SentinelPolicy::default()).expect("compares");
+    assert_eq!(report.exit_code(), 0, "identical records pass");
+
+    let v: Value = serde_json::from_str(&report.to_json()).expect("verdict is valid JSON");
+    assert_eq!(
+        v.get("sentinel"),
+        Some(&Value::Str("pbte-bench-check".into()))
+    );
+    assert!(is_str(&v, "kind"), "bench kind");
+    let policy = v.get("policy").expect("policy object");
+    for key in ["rel_threshold", "exact_threshold", "single_sample_factor"] {
+        pos_f64(policy, key, "policy");
+    }
+    let Some(Value::Arr(series)) = v.get("series") else {
+        panic!("series array missing");
+    };
+    assert!(!series.is_empty(), "at least one series compared");
+    for s in series {
+        assert!(is_str(s, "name") && is_str(s, "kind") && is_str(s, "note"));
+        for key in ["base", "fresh", "delta", "threshold"] {
+            assert!(
+                s.get(key).and_then(Value::as_f64).is_some(),
+                "series `{key}` is numeric"
+            );
+        }
+        let verdict = match s.get("verdict") {
+            Some(Value::Str(x)) => x.as_str(),
+            other => panic!("verdict must be a string, got {other:?}"),
+        };
+        assert!(
+            ["ok", "improved", "noise", "regression", "incomparable"].contains(&verdict),
+            "unknown verdict `{verdict}`"
+        );
+    }
+    nonneg_u64(&v, "regressions", "verdict");
+    nonneg_u64(&v, "incomparable", "verdict");
+    assert_eq!(v.get("pass"), Some(&Value::Bool(true)));
+}
+
+/// The telemetry stream file is length-prefixed JSONL; this pins the
+/// frame schema `pbte-trace --follow` and external tails consume: the
+/// discriminator set, and the per-variant required keys.
+#[test]
+fn stream_frame_schema() {
+    let path = std::env::temp_dir().join(format!("pbte-frame-schema-{}.pbts", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let writer = StreamWriter::create(
+        &path,
+        StreamConfig {
+            capacity: 4096,
+            snapshot_every: 16,
+        },
+    )
+    .expect("stream file created");
+    let mut rec = Recorder::buffered();
+    rec.attach_stream(writer.sink());
+    let bte = hotspot_2d(&BteConfig::small(10, 8, 4, 3));
+    let mut solver = Solver::build(bte.problem, ExecTarget::CpuSeq).expect("builds");
+    solver.solve_traced(&mut rec).expect("solves");
+    writer.finish().expect("writer finishes");
+
+    let mut reader = StreamReader::open(&path).expect("reader opens");
+    let frames = reader.poll().expect("poll");
+    assert!(!frames.is_empty(), "frames written");
+    let mut saw_step = false;
+    let mut saw_span = false;
+    let mut saw_run_end = false;
+    for f in &frames {
+        let v: Value = serde_json::from_str(f).expect("frame parses");
+        let kind = match v.get("frame") {
+            Some(Value::Str(k)) => k.as_str(),
+            other => panic!("frame discriminator must be a string, got {other:?}"),
+        };
+        match kind {
+            "run_start" => {
+                assert!(is_str(&v, "label") && v.get("time").and_then(Value::as_f64).is_some());
+            }
+            "step" => {
+                saw_step = true;
+                nonneg_u64(&v, "step", "step frame");
+                nonneg_u64(&v, "rank", "step frame");
+                nonneg_u64(&v, "comm_bytes", "step frame");
+                assert!(matches!(v.get("phases"), Some(Value::Obj(_))));
+                let work = v.get("work").expect("work object");
+                for key in [
+                    "dof_updates",
+                    "flux_evals",
+                    "ghost_evals",
+                    "newton_iters",
+                    "temperature_solves",
+                    "rhs_evals",
+                    "jvp_evals",
+                    "krylov_iters",
+                ] {
+                    nonneg_u64(work, key, "step work");
+                }
+            }
+            "span" => {
+                saw_span = true;
+                assert!(is_str(&v, "cat") && is_str(&v, "name"));
+                assert!(v.get("t0").and_then(Value::as_f64).is_some());
+                assert!(v.get("dur").and_then(Value::as_f64).is_some());
+                nonneg_u64(&v, "rank", "span frame");
+                nonneg_u64(&v, "tid", "span frame");
+                assert!(matches!(v.get("attrs"), Some(Value::Obj(_))));
+            }
+            "event" => {
+                assert!(is_str(&v, "severity") && is_str(&v, "name") && is_str(&v, "message"));
+            }
+            "metrics" => {
+                assert!(matches!(v.get("counters"), Some(Value::Obj(_))));
+                assert!(matches!(v.get("gauges"), Some(Value::Obj(_))));
+                assert!(matches!(v.get("hists"), Some(Value::Obj(_))));
+            }
+            "run_end" => {
+                saw_run_end = true;
+                nonneg_u64(&v, "frames", "run_end");
+                nonneg_u64(&v, "dropped", "run_end");
+            }
+            other => panic!("unknown frame discriminator `{other}`"),
+        }
+    }
+    assert!(saw_step && saw_span && saw_run_end, "core frames present");
+    let _ = std::fs::remove_file(&path);
 }

@@ -15,10 +15,12 @@
 use pbte_bte::health::{rules, HealthProbes};
 use pbte_bte::scenario::{hotspot_2d, BteConfig, BteProblem};
 use pbte_bte::temperature::TemperatureStrategy;
-use pbte_dsl::exec::{CompiledProblem, Recorder};
-use pbte_dsl::problem::{LocalReducer, StepContext};
-use pbte_dsl::{ExecTarget, GpuStrategy, Severity, SolveReport, Solver, WorkCounters};
+use pbte_dsl::exec::{CompiledProblem, CostExpectation, Recorder, TraceConfig};
+use pbte_dsl::problem::{Integrator, LocalReducer, StepContext};
+use pbte_dsl::{ExecTarget, GpuStrategy, KernelTier, Severity, SolveReport, Solver, WorkCounters};
 use pbte_gpu::DeviceSpec;
+use pbte_runtime::telemetry::stream::{StreamConfig, StreamReader, StreamSink, StreamWriter};
+use pbte_runtime::telemetry::{metrics::MetricsRegistry, rules as trules, SPAN_KINDS};
 use serde::Value;
 
 fn config() -> BteConfig {
@@ -27,6 +29,17 @@ fn config() -> BteConfig {
 
 fn run(target: ExecTarget, rec: &mut Recorder) -> SolveReport {
     let bte = hotspot_2d(&config());
+    let mut solver = Solver::build(bte.problem, target).expect("builds");
+    solver.solve_traced(rec).expect("solves")
+}
+
+fn run_custom(
+    target: ExecTarget,
+    rec: &mut Recorder,
+    tweak: impl FnOnce(&mut BteProblem),
+) -> SolveReport {
+    let mut bte = hotspot_2d(&config());
+    tweak(&mut bte);
     let mut solver = Solver::build(bte.problem, target).expect("builds");
     solver.solve_traced(rec).expect("solves")
 }
@@ -291,4 +304,325 @@ fn newton_histogram_is_recorded_and_consistent() {
         weighted, report.work.newton_iters,
         "bucket-weighted sum equals the iteration counter (no overflow bucket hit)"
     );
+}
+
+/// Categories of every complete (`"X"`) event in the recorder's Chrome
+/// trace, plus the names of every instant (`"i"`) marker.
+fn trace_cats_and_markers(rec: &Recorder) -> (Vec<String>, Vec<String>) {
+    let root: Value = serde_json::from_str(&rec.chrome_trace()).expect("trace parses");
+    let Some(Value::Arr(events)) = root.get("traceEvents") else {
+        panic!("traceEvents missing");
+    };
+    let mut cats = Vec::new();
+    let mut markers = Vec::new();
+    for ev in events {
+        let ph = match ev.get("ph") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => continue,
+        };
+        let str_of = |key: &str| match ev.get(key) {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("event `{key}` must be a string, got {other:?}"),
+        };
+        match ph {
+            "X" => cats.push(str_of("cat")),
+            "i" => markers.push(str_of("name")),
+            _ => {}
+        }
+    }
+    (cats, markers)
+}
+
+#[test]
+fn chrome_trace_covers_every_span_kind() {
+    // Three runs together exercise all eight span kinds: the GPU target
+    // draws kernel/transfer on the device track, the cell-partitioned
+    // target adds halo exchanges and allreduces, and the implicit
+    // integrator adds the Newton/Krylov solve machinery. The dt=auto
+    // clamp notice is recorded exactly the way `pbte` wires it: a
+    // warning event on the recorder before the solve.
+    let mut gpu = Recorder::buffered();
+    run(
+        ExecTarget::GpuHybrid {
+            spec: DeviceSpec::a6000(),
+            strategy: GpuStrategy::AsyncBoundary,
+        },
+        &mut gpu,
+    );
+    let mut cells = Recorder::buffered();
+    run(ExecTarget::DistCells { ranks: 2 }, &mut cells);
+    let mut bands = Recorder::buffered();
+    run(
+        ExecTarget::DistBands {
+            ranks: 2,
+            index: "b".into(),
+        },
+        &mut bands,
+    );
+    let mut implicit = Recorder::buffered();
+    implicit.warn(
+        "dt/auto-clamp",
+        "dt=auto clamped to the CFL bound".to_string(),
+    );
+    let report = run_custom(ExecTarget::CpuSeq, &mut implicit, |bte| {
+        bte.problem.integrator(Integrator::Implicit { theta: 1.0 });
+    });
+
+    let mut cats: Vec<String> = Vec::new();
+    let mut markers: Vec<String> = Vec::new();
+    for rec in [&gpu, &cells, &bands, &implicit] {
+        let (c, m) = trace_cats_and_markers(rec);
+        cats.extend(c);
+        markers.extend(m);
+    }
+    for kind in SPAN_KINDS {
+        assert!(
+            cats.iter().any(|c| c == kind.category()),
+            "span kind `{}` missing from the combined golden trace",
+            kind.category()
+        );
+    }
+    assert!(
+        markers.iter().any(|m| m == "dt/auto-clamp"),
+        "dt=auto clamp warning renders as an instant marker"
+    );
+
+    // The implicit run exercised the Krylov path and recorded it both as
+    // a counter and as a per-iteration residual series.
+    assert!(report.work.krylov_iters > 0, "implicit run ran Krylov");
+    assert!(
+        implicit
+            .spans()
+            .iter()
+            .any(|s| s.name == "krylov_solve" && s.kind.category() == "kernel"),
+        "krylov_solve kernel span present"
+    );
+    assert!(
+        implicit
+            .samples()
+            .iter()
+            .any(|s| s.name == "krylov_residual"),
+        "krylov_residual samples present"
+    );
+}
+
+#[test]
+fn native_tier_kernel_spans_carry_tier_and_cost_attribution() {
+    let mut rec = Recorder::buffered();
+    run_custom(ExecTarget::CpuSeq, &mut rec, |bte| {
+        bte.problem.kernel_tier(KernelTier::Native);
+    });
+    let kernels: Vec<_> = rec
+        .spans()
+        .iter()
+        .filter(|s| s.kind.category() == "kernel")
+        .collect();
+    assert!(!kernels.is_empty(), "kernel spans recorded");
+    let tiered = kernels
+        .iter()
+        .find(|s| s.attrs.iter().any(|(k, _)| *k == "tier"))
+        .expect("kernel span carries a tier attribute");
+    let tier = &tiered
+        .attrs
+        .iter()
+        .find(|(k, _)| *k == "tier")
+        .expect("tier attr")
+        .1;
+    assert_eq!(tier, "native", "native tier attributed on the span");
+    assert!(
+        tiered.attrs.iter().any(|(k, _)| *k == "pred_flops"),
+        "cost expectation annotates the kernel with predicted flops"
+    );
+}
+
+#[test]
+fn stream_file_round_trips_under_a_concurrent_reader() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let path =
+        std::env::temp_dir().join(format!("pbte-telemetry-stream-{}.pbts", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let writer = StreamWriter::create(
+        &path,
+        StreamConfig {
+            capacity: 4096,
+            snapshot_every: 4,
+        },
+    )
+    .expect("stream file created");
+
+    // A live consumer tails the file while the solve is still writing
+    // it — exactly the `pbte-trace --follow` situation.
+    let done = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let path = path.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut r = StreamReader::open(&path).expect("reader opens");
+            let mut frames = Vec::new();
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                frames.extend(r.poll().expect("poll"));
+                if finished {
+                    return frames;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+
+    let registry = MetricsRegistry::new();
+    let mut rec = Recorder::buffered();
+    rec.attach_stream(writer.sink());
+    rec.attach_metrics(&registry);
+    rec.set_snapshot_every(1);
+    run(ExecTarget::CpuSeq, &mut rec);
+    let stats = writer.finish().expect("writer finishes");
+    done.store(true, Ordering::Release);
+    let frames = reader.join().expect("reader thread");
+
+    assert_eq!(stats.dropped, 0, "ample ring capacity: nothing dropped");
+    assert!(stats.frames_written > 0 && stats.bytes > 0);
+
+    let mut steps = 0u64;
+    let mut spans = 0u64;
+    let mut snapshots = 0u64;
+    let mut run_end = None;
+    for f in &frames {
+        let v: Value = serde_json::from_str(f).expect("frame is valid JSON");
+        let Some(Value::Str(kind)) = v.get("frame") else {
+            panic!("frame discriminator missing: {f}");
+        };
+        match kind.as_str() {
+            "step" => {
+                steps += 1;
+                assert!(v.get("work").is_some() && v.get("phases").is_some());
+            }
+            "span" => {
+                spans += 1;
+                assert!(
+                    matches!(v.get("cat"), Some(Value::Str(_)))
+                        && v.get("dur").and_then(Value::as_f64).is_some()
+                );
+            }
+            "metrics" => snapshots += 1,
+            "run_end" => {
+                run_end = v.get("frames").and_then(Value::as_u64);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(steps, config().n_steps as u64, "one step frame per step");
+    assert!(spans > 0, "span frames streamed");
+    assert!(snapshots > 0, "periodic metrics snapshots streamed");
+    assert_eq!(
+        run_end,
+        Some(stats.frames_written),
+        "run_end frame accounts for every written frame"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stalled_writer_drops_frames_without_blocking_the_solve() {
+    // A bounded sink with no draining thread models a wedged writer:
+    // the ring fills almost immediately, and from then on every push
+    // must return instantly and count a drop instead of blocking.
+    let sink = StreamSink::bounded(8);
+    let mut rec = Recorder::buffered();
+    rec.attach_stream(sink.clone());
+    let report = run(ExecTarget::CpuSeq, &mut rec);
+    assert!(report.work.dof_updates > 0, "solve completed");
+    assert!(sink.dropped() > 0, "backpressure surfaced as drop counts");
+    assert!(
+        sink.pushed() <= 8,
+        "with nothing draining, accepted frames cannot exceed the ring"
+    );
+    // The buffered twin of the same recorder kept the full record.
+    assert!(!rec.spans().is_empty());
+}
+
+#[test]
+fn buffered_sink_cap_surfaces_truncation_diagnostic() {
+    let cfg = TraceConfig::enabled_now().with_span_cap(4);
+    let mut rec = Recorder::from_config(cfg, 0);
+    run(ExecTarget::CpuSeq, &mut rec);
+    assert!(
+        rec.spans().len() <= 4,
+        "buffer capped at the configured size, kept {}",
+        rec.spans().len()
+    );
+    assert!(rec.dropped_spans() > 0, "overflow counted");
+    assert!(
+        rec.events()
+            .iter()
+            .any(|e| e.name == trules::BUFFER_TRUNCATED),
+        "truncation surfaced as a structured event"
+    );
+    let diags = pbte_dsl::exec::telemetry_diagnostics(&rec);
+    assert!(
+        diags.iter().any(|d| d.rule == trules::BUFFER_TRUNCATED),
+        "and as a Diagnostic with the stable rule id: {diags:?}"
+    );
+}
+
+#[test]
+fn cost_drift_fires_beyond_tolerance_and_stays_quiet_within() {
+    let cost = CostExpectation {
+        flops_per_dof: 10.0,
+        dof_per_sweep: 1000,
+        flux_per_sweep: 900,
+        ghost_per_sweep: 0,
+        stages_per_step: 2,
+        step_h2d_bytes: 4096,
+        step_d2h_bytes: 0,
+        per_step_check: true,
+        tolerance: 0.05,
+    };
+
+    // Within tolerance: no drift warning.
+    let mut quiet = Recorder::buffered();
+    quiet.set_cost_expectation(cost);
+    quiet.work.dof_updates = 2000; // exactly dof_per_sweep × stages
+    quiet.work.flux_evals = 1800;
+    quiet.step_done(0, &[("solve for intensity", 1e-3)], 0);
+    quiet.transfer_drift(0, "h2d", 4096);
+    assert!(
+        !quiet
+            .events()
+            .iter()
+            .any(|e| e.name == trules::COST_LIVE_DRIFT),
+        "matching observation must not warn: {:?}",
+        quiet.events()
+    );
+
+    // 50% more dof updates than predicted: the per-step check fires.
+    let mut loud = Recorder::buffered();
+    loud.set_cost_expectation(cost);
+    loud.work.dof_updates = 3000;
+    loud.work.flux_evals = 1800;
+    loud.step_done(0, &[("solve for intensity", 1e-3)], 0);
+    let drift: Vec<_> = loud
+        .events()
+        .iter()
+        .filter(|e| e.name == trules::COST_LIVE_DRIFT)
+        .collect();
+    assert_eq!(drift.len(), 1, "exactly one drift warning: {drift:?}");
+    assert!(drift[0].message.contains("dof_updates"));
+
+    // Transfer-byte drift is checked independently.
+    let mut bytes = Recorder::buffered();
+    bytes.set_cost_expectation(cost);
+    bytes.transfer_drift(3, "h2d", 8192);
+    assert!(
+        bytes
+            .events()
+            .iter()
+            .any(|e| e.name == trules::COST_LIVE_DRIFT),
+        "doubled transfer volume fires the byte drift check"
+    );
+    // Drift warnings map to structured diagnostics for `pbte-trace`.
+    let diags = pbte_dsl::exec::telemetry_diagnostics(&bytes);
+    assert!(diags.iter().any(|d| d.rule == trules::COST_LIVE_DRIFT));
 }
