@@ -4,7 +4,8 @@
 //! cross-target work-counter consistency check.
 //!
 //! ```text
-//! pbte-trace [scenario=hotspot|elongated] [target=seq|par|cells|bands|
+//! pbte-trace [scenario=hotspot|elongated|FILE.pbte]
+//!            [target=seq|par|cells|bands|
 //!            gpu:async|gpu:precompute|bands-gpu] [n=12] [steps=3]
 //!            [ranks=2] [strategy=redundant|divided]
 //!            [tier=vm|bound|row|native] [out=DIR] [stream=FILE]
@@ -12,6 +13,15 @@
 //! pbte-trace --follow file=FILE [wait=30]
 //! pbte-trace top file=FILE
 //! ```
+//!
+//! `scenario=` also accepts a path to a textual `.pbte` scenario file
+//! (anything ending in `.pbte`). The file carries its own mesh, material,
+//! time axis, strategy and integrator, so `n=`, `steps=` and `strategy=`
+//! are ignored for it; `target=` and `tier=` still apply. Because the
+//! file is untrusted input, the compiled plan is run through the
+//! verification gate (plan obligations, dimensional analysis, interval
+//! analysis) first — any error-severity finding refuses the run with
+//! exit status 1 before a single step executes.
 //!
 //! **Default mode** runs one scenario on one target with the buffered
 //! sink and the physics health probes installed, writes `DIR/trace.json`
@@ -64,6 +74,7 @@
 
 use pbte_apps::{arg_str, arg_usize};
 use pbte_bte::health::HealthProbes;
+use pbte_bte::pbte::ScenarioSpec;
 use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
 use pbte_bte::temperature::TemperatureStrategy;
 use pbte_dsl::exec::{Recorder, SolveReport};
@@ -85,6 +96,16 @@ fn scenario_by_name(name: &str) -> Option<Scenario> {
         "elongated" => Some(elongated as Scenario),
         _ => None,
     }
+}
+
+/// Where the traced problem comes from: a built-in builder driven by the
+/// CLI's `n=`/`steps=`/`strategy=` knobs, or a `.pbte` file that carries
+/// its own mesh, material, time axis and strategy (those knobs are
+/// ignored, and the compiled plan must pass the verification gate —
+/// plan obligations, units, intervals — before it is allowed to run).
+enum ScenarioSource {
+    Builtin(Scenario),
+    Pbte(Box<ScenarioSpec>),
 }
 
 fn target_by_name(name: &str, ranks: usize) -> Option<ExecTarget> {
@@ -117,14 +138,20 @@ fn target_by_name(name: &str, ranks: usize) -> Option<ExecTarget> {
 /// Build the scenario, optionally install the health probes, solve under
 /// `rec`, and return the report plus any health diagnostics.
 fn run_one(
-    scenario: Scenario,
+    source: &ScenarioSource,
     cfg: &BteConfig,
     target: ExecTarget,
     tier: Option<KernelTier>,
     health: bool,
     rec: &mut Recorder,
 ) -> (SolveReport, Vec<pbte_dsl::Diagnostic>) {
-    let mut bte = scenario(cfg);
+    let mut bte = match source {
+        ScenarioSource::Builtin(scenario) => scenario(cfg),
+        ScenarioSource::Pbte(spec) => spec.build().unwrap_or_else(|e| {
+            eprintln!("scenario build failed: {e}");
+            std::process::exit(2);
+        }),
+    };
     if let Some(t) = tier {
         bte.problem.kernel_tier(t);
     }
@@ -140,6 +167,22 @@ fn run_one(
             std::process::exit(2);
         }
     };
+    if matches!(source, ScenarioSource::Pbte(_)) {
+        // Untrusted textual input: the exact compiled plan must pass the
+        // verification gate before a single step runs.
+        let mut gate = solver.compiled.verify_plan(&solver.target);
+        pbte_dsl::analysis::check_units(&solver.compiled, &mut gate);
+        pbte_dsl::analysis::check_intervals(&solver.compiled, &mut gate);
+        if !gate.is_empty() {
+            for d in &gate {
+                eprintln!("verify: {}", d.render());
+            }
+            if gate.iter().any(|d| d.severity == pbte_dsl::Severity::Error) {
+                eprintln!("scenario refused by verifier");
+                std::process::exit(1);
+            }
+        }
+    }
     let report = match solver.solve_traced(rec) {
         Ok(r) => r,
         Err(e) => {
@@ -285,7 +328,8 @@ fn run_parity(
         "bands-gpu",
     ];
     let mut rec = Recorder::buffered();
-    let (seq_report, _) = run_one(scenario, cfg, ExecTarget::CpuSeq, tier, false, &mut rec);
+    let source = ScenarioSource::Builtin(scenario);
+    let (seq_report, _) = run_one(&source, cfg, ExecTarget::CpuSeq, tier, false, &mut rec);
     print_report("seq", &seq_report);
     let seq = seq_report.work;
     let seq_tiers = kernel_tiers(&rec);
@@ -299,7 +343,7 @@ fn run_parity(
     for tname in names.into_iter().skip(1) {
         let target = target_by_name(tname, ranks).unwrap();
         let mut rec = Recorder::buffered();
-        let (report, _) = run_one(scenario, cfg, target, tier, false, &mut rec);
+        let (report, _) = run_one(&source, cfg, target, tier, false, &mut rec);
         print_report(tname, &report);
         let tiers = kernel_tiers(&rec);
         println!("  kernel tier attribution: {tiers:?}");
@@ -734,13 +778,26 @@ fn main() {
         }
     };
 
-    let Some(scenario) = scenario_by_name(sname) else {
-        eprintln!("unknown scenario `{sname}` (use hotspot or elongated)");
-        std::process::exit(2);
+    let source = if sname.ends_with(".pbte") {
+        let spec = ScenarioSpec::from_file(Path::new(sname)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        ScenarioSource::Pbte(Box::new(spec))
+    } else {
+        let Some(scenario) = scenario_by_name(sname) else {
+            eprintln!("unknown scenario `{sname}` (use hotspot, elongated or a .pbte file)");
+            std::process::exit(2);
+        };
+        ScenarioSource::Builtin(scenario)
     };
     let cfg = BteConfig::small(n, 8, 4, steps).with_temperature_strategy(strategy);
 
     if parity {
+        let ScenarioSource::Builtin(scenario) = source else {
+            eprintln!("--parity drives every target shape from the n=/ranks= knobs; use a built-in scenario");
+            std::process::exit(2);
+        };
         println!("parity check: scenario={sname} n={n} steps={steps} ranks={ranks}");
         if run_parity(scenario, &cfg, ranks, strategy, tier) {
             println!("parity OK: all targets agree");
@@ -780,7 +837,7 @@ fn main() {
         });
         Some(w)
     };
-    let (report, diags) = run_one(scenario, &cfg, target, tier, health, &mut rec);
+    let (report, diags) = run_one(&source, &cfg, target, tier, health, &mut rec);
     if let Some(w) = writer {
         let stats = w.finish().unwrap_or_else(|e| {
             eprintln!("stream writer failed: {e}");

@@ -2,7 +2,7 @@
 //! over the paper's scenarios on every execution target and kernel tier.
 //!
 //! ```text
-//! pbte-verify [--json] [--validate] [--intervals] [--synth] [--cost] [n=12] [steps=4] [ranks=2]
+//! pbte-verify [--json] [--validate] [--intervals] [--synth] [--cost] [--units] [n=12] [steps=4] [ranks=2]
 //! ```
 //!
 //! For each scenario (the hot-spot domain of Figs 1–4 and the elongated
@@ -19,7 +19,15 @@
 //! 3. the transfer schedule against derived/declared access sets (GPU
 //!    targets only — no stale reads, no redundant transfers).
 //!
-//! Four opt-in passes extend the proof to the lowering pipeline itself:
+//! The sweep then repeats over the textual scenario library
+//! (`examples/scenarios/*.pbte`, tagged `pbte:<name>`): every committed
+//! `.pbte` file — including the unstructured-Gmsh and 3-D MEDIT die
+//! scenarios — is parsed and compiled for every target and kernel tier
+//! with the strategy and integrator the file itself declares, so the
+//! textual front-end rides the same proof obligations as the built-in
+//! builders.
+//!
+//! Five opt-in passes extend the proof to the lowering pipeline itself:
 //!
 //! * `--validate` — translation validation: re-extract a canonical
 //!   symbolic expression from the IR and from all compiled kernel tiers
@@ -29,6 +37,12 @@
 //! * `--intervals` — numeric-safety abstract interpretation over the
 //!   interval domain (no NaN/Inf, no division by zero, function domains)
 //!   plus the CFL-style step-bound check;
+//! * `--units` — dimensional analysis over the SI dimension domain:
+//!   every symbol in the discretized equation is seeded from its declared
+//!   unit (`declare_unit` / a `.pbte` `[units]` section) and the volume
+//!   and flux terms are proven to carry the d(unknown)/dt balance
+//!   dimension (`units/mismatch`, `units/transcendental-arg`,
+//!   `units/undeclared-symbol`);
 //! * `--synth` — schedule synthesis with proof-carrying certificates:
 //!   derive the transfer schedule from the access facts, re-discharge
 //!   every certificate obligation (`schedule/unsound`,
@@ -47,12 +61,14 @@
 //! milliseconds.
 
 use pbte_apps::arg_usize;
+use pbte_bte::pbte::ScenarioSpec;
 use pbte_bte::scenario::{elongated, hotspot_2d, BteConfig, BteProblem};
 use pbte_bte::temperature::TemperatureStrategy;
-use pbte_dsl::exec::ExecTarget;
+use pbte_dsl::exec::{ExecTarget, Solver};
 use pbte_dsl::problem::{Integrator, KernelTier};
 use pbte_dsl::{analysis, GpuStrategy};
 use pbte_gpu::DeviceSpec;
+use std::path::Path;
 use std::time::Instant;
 
 fn targets(ranks: usize) -> Vec<(String, ExecTarget)> {
@@ -99,8 +115,37 @@ struct PlanTiming {
     verify_ms: f64,
     validate_ms: Option<f64>,
     intervals_ms: Option<f64>,
+    units_ms: Option<f64>,
     synth_ms: Option<f64>,
     cost_ms: Option<f64>,
+}
+
+/// Which opt-in passes the sweep runs.
+struct Flags {
+    json: bool,
+    validate: bool,
+    intervals: bool,
+    units: bool,
+    synth: bool,
+    cost: bool,
+}
+
+/// Accumulated sweep state, shared by the built-in and `.pbte` lanes.
+#[derive(Default)]
+struct Sweep {
+    all: Vec<([String; 5], pbte_dsl::Diagnostic)>,
+    timings: Vec<PlanTiming>,
+    plans: usize,
+    // --synth summary: how many GPU-lineage plans synthesized a schedule,
+    // how many came out byte-equal to the legacy one, and how many
+    // legacy-only transfers were explained away by liveness omissions.
+    synth_plans: usize,
+    synth_identical: usize,
+    synth_explained: usize,
+    // --cost summary: drift checks run (row tier only) and the worst
+    // relative error observed between model and telemetry.
+    cost_checks: usize,
+    cost_max_err: f64,
 }
 
 fn ms(t: Instant) -> f64 {
@@ -114,13 +159,123 @@ fn json_f64(v: Option<f64>) -> String {
     }
 }
 
+/// Run every requested pass on one compiled plan.
+fn run_plan(solver: &mut Solver, tags: [String; 5], flags: &Flags, sw: &mut Sweep) {
+    let cp = &solver.compiled;
+
+    let t0 = Instant::now();
+    let mut diags = cp.verify_plan(&solver.target);
+    let verify_ms = ms(t0);
+    let validate_ms = flags.validate.then(|| {
+        let t0 = Instant::now();
+        analysis::check_translation(cp, &solver.target, &mut diags);
+        ms(t0)
+    });
+    let intervals_ms = flags.intervals.then(|| {
+        let t0 = Instant::now();
+        analysis::check_intervals(cp, &mut diags);
+        ms(t0)
+    });
+    let units_ms = flags.units.then(|| {
+        let t0 = Instant::now();
+        analysis::check_units(cp, &mut diags);
+        ms(t0)
+    });
+    let synth_ms = flags.synth.then(|| {
+        let t0 = Instant::now();
+        if let Some(rep) = analysis::verify_synthesis(cp, &solver.target, &mut diags) {
+            sw.synth_plans += 1;
+            if rep.identical_to_legacy {
+                sw.synth_identical += 1;
+            }
+            sw.synth_explained += rep.explained.len();
+        }
+        ms(t0)
+    });
+    let cost_ms = flags.cost.then(|| {
+        let t0 = Instant::now();
+        // The static model is computed for every plan; the drift check
+        // solves the plan and compares against telemetry on the row tier
+        // only, which exercises every target/integrator at a fraction of
+        // the full sweep's solve cost.
+        let _ = analysis::estimate_cost(&solver.compiled, &solver.target);
+        if tags[3] == "row" {
+            match solver.solve() {
+                Ok(report) => {
+                    let (checks, drift) =
+                        analysis::check_cost_drift(&solver.compiled, &solver.target, &report);
+                    for c in &checks {
+                        sw.cost_max_err = sw.cost_max_err.max(c.relative_error());
+                    }
+                    sw.cost_checks += checks.len();
+                    diags.extend(drift);
+                }
+                Err(e) => {
+                    eprintln!("{}: solve failed: {e:?}", tags.join("/"));
+                    std::process::exit(2);
+                }
+            }
+        }
+        ms(t0)
+    });
+    sw.timings.push(PlanTiming {
+        tags: tags.clone(),
+        verify_ms,
+        validate_ms,
+        intervals_ms,
+        units_ms,
+        synth_ms,
+        cost_ms,
+    });
+
+    sw.plans += 1;
+    if !flags.json {
+        for d in &diags {
+            println!("{}: {}", tags.join("/"), d.render());
+        }
+    }
+    sw.all.extend(diags.into_iter().map(|d| (tags.clone(), d)));
+}
+
+/// The committed textual scenario library, sorted for stable ordering.
+fn scenario_library() -> Vec<(String, ScenarioSpec)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios");
+    let mut files: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "pbte"))
+            .collect(),
+        Err(e) => {
+            eprintln!("scenario library {} unreadable: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+            match ScenarioSpec::from_file(&path) {
+                Ok(spec) => (stem, spec),
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let validate = args.iter().any(|a| a == "--validate");
-    let intervals = args.iter().any(|a| a == "--intervals");
-    let synth = args.iter().any(|a| a == "--synth");
-    let cost = args.iter().any(|a| a == "--cost");
+    let flags = Flags {
+        json: args.iter().any(|a| a == "--json"),
+        validate: args.iter().any(|a| a == "--validate"),
+        intervals: args.iter().any(|a| a == "--intervals"),
+        units: args.iter().any(|a| a == "--units"),
+        synth: args.iter().any(|a| a == "--synth"),
+        cost: args.iter().any(|a| a == "--cost"),
+    };
     let n = arg_usize(&args, "n", 12);
     let steps = arg_usize(&args, "steps", 4);
     let ranks = arg_usize(&args, "ranks", 2);
@@ -149,21 +304,7 @@ fn main() {
         ),
     ];
 
-    // Each diagnostic is paired with the plan it came from so both output
-    // modes stay self-describing.
-    let mut all: Vec<([String; 5], pbte_dsl::Diagnostic)> = Vec::new();
-    let mut timings: Vec<PlanTiming> = Vec::new();
-    let mut plans = 0usize;
-    // --synth summary: how many GPU-lineage plans synthesized a schedule,
-    // how many came out byte-equal to the legacy one, and how many
-    // legacy-only transfers were explained away by liveness omissions.
-    let mut synth_plans = 0usize;
-    let mut synth_identical = 0usize;
-    let mut synth_explained = 0usize;
-    // --cost summary: drift checks run (row tier only) and the worst
-    // relative error observed between model and telemetry.
-    let mut cost_checks = 0usize;
-    let mut cost_max_err = 0.0f64;
+    let mut sw = Sweep::default();
     for (sname, scenario) in scenarios {
         for (stname, strategy) in strategies {
             let cfg = BteConfig::small(n, 8, 4, steps).with_temperature_strategy(strategy);
@@ -173,16 +314,6 @@ fn main() {
                         let mut bte = scenario(&cfg);
                         bte.problem.kernel_tier(tier);
                         bte.problem.integrator(integrator);
-                        let mut solver = match bte.problem.build(target.clone()) {
-                            Ok(s) => s,
-                            Err(e) => {
-                                eprintln!(
-                                    "{sname}/{stname}/{tname}/{kname}/{iname}: build failed: {e:?}"
-                                );
-                                std::process::exit(2);
-                            }
-                        };
-                        let cp = &solver.compiled;
                         let tags = [
                             sname.to_string(),
                             stname.to_string(),
@@ -190,92 +321,61 @@ fn main() {
                             kname.to_string(),
                             iname.to_string(),
                         ];
-
-                        let t0 = Instant::now();
-                        let mut diags = cp.verify_plan(&solver.target);
-                        let verify_ms = ms(t0);
-                        let validate_ms = validate.then(|| {
-                            let t0 = Instant::now();
-                            analysis::check_translation(cp, &solver.target, &mut diags);
-                            ms(t0)
-                        });
-                        let intervals_ms = intervals.then(|| {
-                            let t0 = Instant::now();
-                            analysis::check_intervals(cp, &mut diags);
-                            ms(t0)
-                        });
-                        let synth_ms = synth.then(|| {
-                            let t0 = Instant::now();
-                            if let Some(rep) =
-                                analysis::verify_synthesis(cp, &solver.target, &mut diags)
-                            {
-                                synth_plans += 1;
-                                if rep.identical_to_legacy {
-                                    synth_identical += 1;
-                                }
-                                synth_explained += rep.explained.len();
+                        let mut solver = match bte.problem.build(target.clone()) {
+                            Ok(s) => s,
+                            Err(e) => {
+                                eprintln!("{}: build failed: {e:?}", tags.join("/"));
+                                std::process::exit(2);
                             }
-                            ms(t0)
-                        });
-                        let cost_ms = cost.then(|| {
-                            let t0 = Instant::now();
-                            // The static model is computed for every plan;
-                            // the drift check solves the plan and compares
-                            // against telemetry on the row tier only, which
-                            // exercises every target/integrator at a
-                            // fraction of the full sweep's solve cost.
-                            let _ = analysis::estimate_cost(&solver.compiled, &solver.target);
-                            if kname == "row" {
-                                match solver.solve() {
-                                    Ok(report) => {
-                                        let (checks, drift) = analysis::check_cost_drift(
-                                            &solver.compiled,
-                                            &solver.target,
-                                            &report,
-                                        );
-                                        for c in &checks {
-                                            cost_max_err = cost_max_err.max(c.relative_error());
-                                        }
-                                        cost_checks += checks.len();
-                                        diags.extend(drift);
-                                    }
-                                    Err(e) => {
-                                        eprintln!(
-                                            "{sname}/{stname}/{tname}/{kname}/{iname}: solve failed: {e:?}"
-                                        );
-                                        std::process::exit(2);
-                                    }
-                                }
-                            }
-                            ms(t0)
-                        });
-                        timings.push(PlanTiming {
-                            tags: tags.clone(),
-                            verify_ms,
-                            validate_ms,
-                            intervals_ms,
-                            synth_ms,
-                            cost_ms,
-                        });
-
-                        plans += 1;
-                        if !json {
-                            for d in &diags {
-                                println!(
-                                    "{sname}/{stname}/{tname}/{kname}/{iname}: {}",
-                                    d.render()
-                                );
-                            }
-                        }
-                        all.extend(diags.into_iter().map(|d| (tags.clone(), d)));
+                        };
+                        run_plan(&mut solver, tags, &flags, &mut sw);
                     }
                 }
             }
         }
     }
 
-    if json {
-        let diag_items: Vec<String> = all
+    // The textual library: each file carries its own strategy, integrator,
+    // mesh source, and declarations; the sweep still varies target and
+    // kernel tier.
+    for (stem, spec) in scenario_library() {
+        let stname = match spec.strategy {
+            TemperatureStrategy::RedundantNewton => "redundant",
+            TemperatureStrategy::DividedNewton => "divided",
+        };
+        let iname = spec.integrator.name();
+        for (tname, target) in targets(ranks) {
+            for (kname, tier) in tiers {
+                let tags = [
+                    format!("pbte:{stem}"),
+                    stname.to_string(),
+                    tname.clone(),
+                    kname.to_string(),
+                    iname.to_string(),
+                ];
+                let mut bte = match spec.build() {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("{}: build failed: {e}", tags.join("/"));
+                        std::process::exit(2);
+                    }
+                };
+                bte.problem.kernel_tier(tier);
+                let mut solver = match bte.problem.build(target.clone()) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{}: build failed: {e:?}", tags.join("/"));
+                        std::process::exit(2);
+                    }
+                };
+                run_plan(&mut solver, tags, &flags, &mut sw);
+            }
+        }
+    }
+
+    if flags.json {
+        let diag_items: Vec<String> = sw
+            .all
             .iter()
             .map(|(tags, d)| {
                 d.to_json_tagged(&[
@@ -287,14 +387,15 @@ fn main() {
                 ])
             })
             .collect();
-        let timing_items: Vec<String> = timings
+        let timing_items: Vec<String> = sw
+            .timings
             .iter()
             .map(|t| {
                 format!(
                     "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"target\":\"{}\",\"tier\":\"{}\",\
                      \"integrator\":\"{}\",\
                      \"verify_ms\":{:.3},\"validate_ms\":{},\"intervals_ms\":{},\
-                     \"synth_ms\":{},\"cost_ms\":{}}}",
+                     \"units_ms\":{},\"synth_ms\":{},\"cost_ms\":{}}}",
                     t.tags[0],
                     t.tags[1],
                     t.tags[2],
@@ -303,21 +404,25 @@ fn main() {
                     t.verify_ms,
                     json_f64(t.validate_ms),
                     json_f64(t.intervals_ms),
+                    json_f64(t.units_ms),
                     json_f64(t.synth_ms),
                     json_f64(t.cost_ms)
                 )
             })
             .collect();
-        let synth_json = if synth {
+        let synth_json = if flags.synth {
             format!(
-                ",\"synth\":{{\"plans\":{synth_plans},\"identical\":{synth_identical},\
-                 \"explained_omissions\":{synth_explained}}}"
+                ",\"synth\":{{\"plans\":{},\"identical\":{},\"explained_omissions\":{}}}",
+                sw.synth_plans, sw.synth_identical, sw.synth_explained
             )
         } else {
             String::new()
         };
-        let cost_json = if cost {
-            format!(",\"cost\":{{\"checks\":{cost_checks},\"max_rel_err\":{cost_max_err:.4}}}")
+        let cost_json = if flags.cost {
+            format!(
+                ",\"cost\":{{\"checks\":{},\"max_rel_err\":{:.4}}}",
+                sw.cost_checks, sw.cost_max_err
+            )
         } else {
             String::new()
         };
@@ -327,28 +432,36 @@ fn main() {
             timing_items.join(",")
         );
     } else {
-        if all.is_empty() {
-            println!("verified {plans} plans: no diagnostics");
+        if sw.all.is_empty() {
+            println!("verified {} plans: no diagnostics", sw.plans);
         } else {
-            println!("verified {plans} plans: {} diagnostic(s)", all.len());
-        }
-        if synth {
             println!(
-                "synthesized {synth_plans} schedules: {synth_identical} identical to legacy, \
-                 {} smaller (all legacy-only transfers covered by {synth_explained} liveness omissions)",
-                synth_plans - synth_identical
+                "verified {} plans: {} diagnostic(s)",
+                sw.plans,
+                sw.all.len()
             );
         }
-        if cost {
+        if flags.synth {
             println!(
-                "cost model: {cost_checks} telemetry drift checks, max relative error {:.1}% \
+                "synthesized {} schedules: {} identical to legacy, \
+                 {} smaller (all legacy-only transfers covered by {} liveness omissions)",
+                sw.synth_plans,
+                sw.synth_identical,
+                sw.synth_plans - sw.synth_identical,
+                sw.synth_explained
+            );
+        }
+        if flags.cost {
+            println!(
+                "cost model: {} telemetry drift checks, max relative error {:.1}% \
                  (tolerance {:.0}%)",
-                cost_max_err * 1e2,
+                sw.cost_checks,
+                sw.cost_max_err * 1e2,
                 analysis::DRIFT_TOLERANCE * 1e2
             );
         }
     }
-    if !all.is_empty() {
+    if !sw.all.is_empty() {
         std::process::exit(1);
     }
 }

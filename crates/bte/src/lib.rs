@@ -28,6 +28,8 @@
 //! * [`scenario`] — problem builders: the 525 µm hot-spot domain (Figs
 //!   1–2), the elongated corner-heated domain (Fig 10), and a coarse 3-D
 //!   configuration;
+//! * [`pbte`] — the textual `.pbte` scenario front-end (fuzzed parser,
+//!   verified before any plan compiles);
 //! * [`output`] — temperature-field extraction and rendering;
 //! * [`validation`] — kinetic-theory bulk quantities (thermal
 //!   conductivity, dominant mean free path) checked against silicon
@@ -42,6 +44,7 @@ pub mod equilibrium;
 pub mod health;
 pub mod material;
 pub mod output;
+pub mod pbte;
 pub mod scattering;
 pub mod scenario;
 pub mod temperature;

@@ -149,8 +149,165 @@ fn declare_ranges(p: &mut Problem, material: &Material, t_min: f64, t_max: f64) 
     p.declare_range("T", t_min, t_max);
 }
 
+/// Declare the SI units the dimensional-analysis pass
+/// (`pbte-verify --units`) seeds the equation from. Directional
+/// intensities and their equilibria are W·m⁻² (spectrally integrated per
+/// band), scattering rates are s⁻¹, group velocities m·s⁻¹, temperatures
+/// K, and the direction cosines `Sx`/`Sy`/`Sz` are dimensionless.
+pub(crate) fn declare_units(p: &mut Problem) {
+    p.declare_unit("I", "W/m^2");
+    p.declare_unit("Io", "W/m^2");
+    p.declare_unit("beta", "1/s");
+    p.declare_unit("T", "K");
+    p.declare_unit("vg", "m/s");
+    p.declare_unit("Sx", "1");
+    p.declare_unit("Sy", "1");
+    p.declare_unit("Sz", "1");
+}
+
+/// The paper's 2-D conservation form, verbatim.
+pub(crate) const EQUATION_2D: &str =
+    "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))";
+
+/// The 3-D conservation form (adds the `Sz` direction cosine).
+pub(crate) const EQUATION_3D: &str =
+    "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d];Sz[d]], I[d,b]))";
+
+/// Inputs to [`build_custom`] beyond the boundary conditions: the shared
+/// scaffolding every BTE scenario (hard-coded or parsed from a `.pbte`
+/// file) is assembled from. Declaration order inside `build_custom` is
+/// part of the contract — the `.pbte` equivalence test pins the textual
+/// hotspot to a bit-identical trajectory against [`hotspot_2d`], which
+/// both routes through here.
+pub(crate) struct Scaffold {
+    pub name: String,
+    pub material: Arc<Material>,
+    pub mesh: pbte_mesh::Mesh,
+    /// Time step, s.
+    pub dt: f64,
+    pub n_steps: usize,
+    /// Initial temperature field; `None` = uniform `t_ref`.
+    pub init_t: Option<Arc<dyn Fn(Point) -> f64 + Send + Sync>>,
+    /// Reference (cold/initial) temperature, K.
+    pub t_ref: f64,
+    /// Temperature-table envelope for the interval-range declarations.
+    pub t_min: f64,
+    pub t_max: f64,
+    /// Conservation-form source string ([`EQUATION_2D`]/[`EQUATION_3D`]
+    /// or a `.pbte` file's own).
+    pub equation: String,
+    /// Apply §III-C's band-outermost `assembly_loops` ordering (the 2-D
+    /// builders do; the coarse 3-D builder keeps the default order).
+    pub band_outer_loops: bool,
+    pub strategy: TemperatureStrategy,
+}
+
 /// Shared scaffolding: mesh + entities + equation + init + post-step.
 /// The boundary conditions differ per scenario and are applied by `bc`.
+pub(crate) fn build_custom(
+    sc: Scaffold,
+    bc: impl FnOnce(&mut Problem, usize, &Arc<Material>),
+) -> BteProblem {
+    let Scaffold {
+        name,
+        material,
+        mesh,
+        dt,
+        n_steps,
+        init_t,
+        t_ref,
+        t_min,
+        t_max,
+        equation,
+        band_outer_loops,
+        strategy,
+    } = sc;
+    let dim = mesh.dim;
+
+    let mut p = Problem::new(&name);
+    p.domain(dim);
+    p.solver_type(SolverType::FiniteVolume);
+    p.time_stepper(TimeStepper::EulerExplicit);
+    p.set_steps(dt, n_steps);
+    p.mesh(mesh);
+
+    // Indices and variables — the appendix listing.
+    let n_bands = material.n_bands();
+    let ndirs = material.n_dirs();
+    let d = p.index("d", ndirs);
+    let b = p.index("b", n_bands);
+    let i_var = p.variable("I", &[d, b]);
+    let io_var = p.variable("Io", &[b]);
+    let beta_var = p.variable("beta", &[b]);
+    let t_var = p.variable("T", &[]);
+    p.coefficient_array("Sx", &[d], material.direction_component(0));
+    p.coefficient_array("Sy", &[d], material.direction_component(1));
+    if dim == 3 {
+        p.coefficient_array("Sz", &[d], material.direction_component(2));
+    }
+    p.coefficient_array("vg", &[b], material.vg_array());
+
+    // Initial condition: local equilibrium at the initial temperature
+    // field (uniform `t_ref` unless the scenario supplies one — e.g. the
+    // `.pbte` pulse-train relaxation).
+    let t0: Arc<dyn Fn(Point) -> f64 + Send + Sync> =
+        init_t.unwrap_or_else(|| Arc::new(move |_| t_ref));
+    let m = material.clone();
+    let f = t0.clone();
+    p.initial(i_var, move |pt, idx| m.table.io(idx[1], f(pt)));
+    let m = material.clone();
+    let f = t0.clone();
+    p.initial(io_var, move |pt, idx| m.table.io(idx[0], f(pt)));
+    let m = material.clone();
+    let f = t0.clone();
+    p.initial(beta_var, move |pt, idx| {
+        let band = &m.bands[idx[0]];
+        crate::scattering::scattering_rate(&band.branch(), band.omega_center, f(pt))
+    });
+    let f = t0.clone();
+    p.initial(t_var, move |pt, _| f(pt));
+
+    // Scenario-specific boundary conditions.
+    bc(&mut p, i_var, &material);
+
+    if band_outer_loops {
+        // §III-C's band-outermost ordering
+        // (`assemblyLoops([band, "cells", direction])`): each (band,
+        // direction) plane is then walked contiguously in the index-major
+        // storage, which measures ~1.6x faster than the appendix's
+        // cells-outer ordering at real BTE shapes on this host. At small
+        // problem sizes the ranking flips — the `assembly_loop_order`
+        // ablation bench shows both regimes, which is exactly why the DSL
+        // exposes the knob.
+        p.assembly_loops(&["b", "cells", "d"]);
+    }
+
+    // The post-step temperature update.
+    let vars = BteVars {
+        i: i_var,
+        io: io_var,
+        beta: beta_var,
+        t: t_var,
+    };
+    TemperatureUpdate::new(material.clone(), vars)
+        .with_strategy(strategy)
+        .install(&mut p);
+
+    // The conservation form — verbatim from the paper (or the `.pbte`
+    // file's own PDE string).
+    p.conservation_form(i_var, &equation);
+
+    declare_ranges(&mut p, &material, t_min, t_max);
+    declare_units(&mut p);
+
+    BteProblem {
+        problem: p,
+        material,
+        vars,
+    }
+}
+
+/// 2-D grid scaffolding from a [`BteConfig`].
 fn build_2d(
     name: &str,
     cfg: &BteConfig,
@@ -166,76 +323,24 @@ fn build_2d(
     let mesh = UniformGrid::new_2d(cfg.nx, cfg.ny, cfg.lx, cfg.ly).build();
     let dx_min = (cfg.lx / cfg.nx as f64).min(cfg.ly / cfg.ny as f64);
     let dt = cfg.dt.unwrap_or_else(|| material.stable_dt(dx_min, t_max));
-
-    let mut p = Problem::new(name);
-    p.domain(2);
-    p.solver_type(SolverType::FiniteVolume);
-    p.time_stepper(TimeStepper::EulerExplicit);
-    p.set_steps(dt, cfg.n_steps);
-    p.mesh(mesh);
-
-    // Indices and variables — the appendix listing.
-    let n_bands = material.n_bands();
-    let d = p.index("d", cfg.ndirs);
-    let b = p.index("b", n_bands);
-    let i_var = p.variable("I", &[d, b]);
-    let io_var = p.variable("Io", &[b]);
-    let beta_var = p.variable("beta", &[b]);
-    let t_var = p.variable("T", &[]);
-    p.coefficient_array("Sx", &[d], material.direction_component(0));
-    p.coefficient_array("Sy", &[d], material.direction_component(1));
-    p.coefficient_array("vg", &[b], material.vg_array());
-
-    // Initial condition: equilibrium at t_ref.
-    let m = material.clone();
-    let t_ref = cfg.t_ref;
-    p.initial(i_var, move |_, idx| m.table.io(idx[1], t_ref));
-    let m = material.clone();
-    p.initial(io_var, move |_, idx| m.table.io(idx[0], t_ref));
-    let m = material.clone();
-    p.initial(beta_var, move |_, idx| {
-        let band = &m.bands[idx[0]];
-        crate::scattering::scattering_rate(&band.branch(), band.omega_center, t_ref)
-    });
-    p.initial(t_var, move |_, _| t_ref);
-
-    // Scenario-specific boundary conditions.
-    bc(&mut p, i_var, &material, cfg);
-
-    // §III-C's band-outermost ordering
-    // (`assemblyLoops([band, "cells", direction])`): each (band,
-    // direction) plane is then walked contiguously in the index-major
-    // storage, which measures ~1.6x faster than the appendix's
-    // cells-outer ordering at real BTE shapes on this host. At small
-    // problem sizes the ranking flips — the `assembly_loop_order`
-    // ablation bench shows both regimes, which is exactly why the DSL
-    // exposes the knob.
-    p.assembly_loops(&["b", "cells", "d"]);
-
-    // The post-step temperature update.
-    let vars = BteVars {
-        i: i_var,
-        io: io_var,
-        beta: beta_var,
-        t: t_var,
-    };
-    TemperatureUpdate::new(material.clone(), vars)
-        .with_strategy(cfg.temperature_strategy)
-        .install(&mut p);
-
-    // The conservation form — verbatim from the paper.
-    p.conservation_form(
-        i_var,
-        "(Io[b] - I[d,b]) * beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
-    );
-
-    declare_ranges(&mut p, &material, t_min, t_max);
-
-    BteProblem {
-        problem: p,
-        material,
-        vars,
-    }
+    let cfg2 = cfg.clone();
+    build_custom(
+        Scaffold {
+            name: name.to_string(),
+            material,
+            mesh,
+            dt,
+            n_steps: cfg.n_steps,
+            init_t: None,
+            t_ref: cfg.t_ref,
+            t_min,
+            t_max,
+            equation: EQUATION_2D.to_string(),
+            band_outer_loops: true,
+            strategy: cfg.temperature_strategy,
+        },
+        move |p, i_var, material| bc(p, i_var, material, &cfg2),
+    )
 }
 
 /// The paper's Figs 1–2 domain: cold isothermal bottom wall at `t_ref`,
@@ -301,65 +406,30 @@ pub fn coarse_3d(
     ));
     let mesh = UniformGrid::new_3d(n, n, n, l, l, l).build();
     let dt = material.stable_dt(l / n as f64, t_hot + 10.0);
-
-    let mut p = Problem::new("bte-3d");
-    p.domain(3);
-    p.time_stepper(TimeStepper::EulerExplicit);
-    p.set_steps(dt, n_steps);
-    p.mesh(mesh);
-
-    let n_bands = material.n_bands();
-    let ndirs = material.n_dirs();
-    let d = p.index("d", ndirs);
-    let b = p.index("b", n_bands);
-    let i_var = p.variable("I", &[d, b]);
-    let io_var = p.variable("Io", &[b]);
-    let beta_var = p.variable("beta", &[b]);
-    let t_var = p.variable("T", &[]);
-    p.coefficient_array("Sx", &[d], material.direction_component(0));
-    p.coefficient_array("Sy", &[d], material.direction_component(1));
-    p.coefficient_array("Sz", &[d], material.direction_component(2));
-    p.coefficient_array("vg", &[b], material.vg_array());
-
-    let m = material.clone();
-    p.initial(i_var, move |_, idx| m.table.io(idx[1], t_ref));
-    let m = material.clone();
-    p.initial(io_var, move |_, idx| m.table.io(idx[0], t_ref));
-    let m = material.clone();
-    p.initial(beta_var, move |_, idx| {
-        let band = &m.bands[idx[0]];
-        crate::scattering::scattering_rate(&band.branch(), band.omega_center, t_ref)
-    });
-    p.initial(t_var, move |_, _| t_ref);
-
-    let hot = gaussian_wall(t_ref, t_hot, Point::new(l * 0.5, l * 0.5, l), 50e-6);
-    p.boundary(i_var, "front", isothermal(material.clone(), move |_| t_ref));
-    p.boundary(i_var, "back", isothermal(material.clone(), hot));
-    for side in ["left", "right", "top", "bottom"] {
-        p.boundary(i_var, side, symmetry(material.clone()));
-    }
-
-    let vars = BteVars {
-        i: i_var,
-        io: io_var,
-        beta: beta_var,
-        t: t_var,
-    };
-    TemperatureUpdate::new(material.clone(), vars).install(&mut p);
-
-    p.conservation_form(
-        i_var,
-        "(Io[b] - I[d,b]) * beta[b] + \
-         surface(vg[b]*upwind([Sx[d];Sy[d];Sz[d]], I[d,b]))",
-    );
-
-    declare_ranges(&mut p, &material, t_ref - 60.0, t_hot + 60.0);
-
-    BteProblem {
-        problem: p,
-        material,
-        vars,
-    }
+    build_custom(
+        Scaffold {
+            name: "bte-3d".to_string(),
+            material,
+            mesh,
+            dt,
+            n_steps,
+            init_t: None,
+            t_ref,
+            t_min: t_ref - 60.0,
+            t_max: t_hot + 60.0,
+            equation: EQUATION_3D.to_string(),
+            band_outer_loops: false,
+            strategy: TemperatureStrategy::RedundantNewton,
+        },
+        move |p, i_var, material| {
+            let hot = gaussian_wall(t_ref, t_hot, Point::new(l * 0.5, l * 0.5, l), 50e-6);
+            p.boundary(i_var, "front", isothermal(material.clone(), move |_| t_ref));
+            p.boundary(i_var, "back", isothermal(material.clone(), hot));
+            for side in ["left", "right", "top", "bottom"] {
+                p.boundary(i_var, side, symmetry(material.clone()));
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,94 @@
+//! The textual `hotspot.pbte` scenario must be indistinguishable from the
+//! hard-coded `hotspot_2d` builder: same compiled plan parameters and a
+//! bit-identical trajectory. Both paths assemble through
+//! `scenario::build_custom`, so this test pins the `.pbte` front-end's
+//! translation (mesh, material, dt = auto, boundary conditions, their
+//! declaration order) rather than a numerical tolerance.
+
+use pbte_bte::pbte::ScenarioSpec;
+use pbte_bte::scenario::hotspot_2d;
+use pbte_bte::BteConfig;
+use pbte_dsl::ExecTarget;
+use std::path::{Path, PathBuf};
+
+fn scenario_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/scenarios")
+        .join(name)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: dof {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn hotspot_pbte_matches_hardcoded_builder_bit_for_bit() {
+    let spec = ScenarioSpec::from_file(scenario_path("hotspot.pbte")).unwrap();
+    let textual = spec.build().unwrap();
+    let hardcoded = hotspot_2d(&BteConfig::small(12, 8, 4, 4));
+
+    let tv = textual.vars;
+    let hv = hardcoded.vars;
+    assert_eq!(tv.i, hv.i);
+    assert_eq!(tv.t, hv.t);
+
+    let mut ts = textual.solver(ExecTarget::CpuSeq).unwrap();
+    let mut hs = hardcoded.solver(ExecTarget::CpuSeq).unwrap();
+    assert_eq!(
+        ts.compiled.problem.dt.to_bits(),
+        hs.compiled.problem.dt.to_bits()
+    );
+    assert_eq!(ts.compiled.problem.n_steps, hs.compiled.problem.n_steps);
+    assert_eq!(ts.compiled.problem.name, hs.compiled.problem.name);
+    assert_eq!(ts.compiled.problem.ranges, hs.compiled.problem.ranges);
+    assert_eq!(ts.compiled.problem.units, hs.compiled.problem.units);
+
+    // Initial state (intensity, equilibrium, scattering rate, temperature)
+    // must already coincide; then the whole trajectory does.
+    for (var, what) in [(tv.i, "initial I"), (tv.t, "initial T")] {
+        assert_bits_eq(ts.fields().slice(var), hs.fields().slice(var), what);
+    }
+    ts.solve().unwrap();
+    hs.solve().unwrap();
+    for (var, what) in [
+        (tv.i, "final I"),
+        (tv.io, "final Io"),
+        (tv.beta, "final beta"),
+        (tv.t, "final T"),
+    ] {
+        assert_bits_eq(ts.fields().slice(var), hs.fields().slice(var), what);
+    }
+}
+
+/// Every scenario in the committed library parses, builds, passes the
+/// verification gate, and runs its first steps on the sequential target.
+#[test]
+fn scenario_library_builds_and_verifies() {
+    let dir = scenario_path("");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "pbte"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        seen += 1;
+        let spec =
+            ScenarioSpec::from_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (mut solver, diags) = spec
+            .build_verified(ExecTarget::CpuSeq)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(diags.is_empty(), "{}: {diags:?}", path.display());
+        solver
+            .solve()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", path.display()));
+    }
+    assert!(seen >= 4, "scenario library shrank: {seen} files");
+}

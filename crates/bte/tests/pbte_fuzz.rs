@@ -1,0 +1,148 @@
+//! Fuzz harness for the `.pbte` parse chain: the scenario parser itself,
+//! and the two nested grammars it drives — the symbolic expression parser
+//! (`[pde] equation =`) and the dimension-spec parser (`[units]`).
+//!
+//! The property is crash-freedom: any byte sequence must come back as
+//! `Ok`/`Err`, never a panic, abort, or runaway allocation. Only the
+//! parse chain runs here — `ScenarioSpec::build()` touches the
+//! filesystem and allocates meshes, so it is exercised by the scenario
+//! library tests instead, keeping this harness free of OOM-by-design
+//! inputs. Four generators:
+//!
+//! 1. raw arbitrary bytes (lossy-decoded),
+//! 2. the committed scenario corpus under byte-level mutation,
+//! 3. grammar-fragment splices (valid-ish documents with hostile values),
+//! 4. a deterministic deep-nesting regression for the parser depth cap.
+//!
+//! The proptest shim is deterministic and seeded per test name, so CI
+//! failures reproduce locally.
+
+use pbte_bte::pbte::parse_pbte;
+use pbte_symbolic::Dim;
+use proptest::prelude::*;
+use std::path::Path;
+
+fn corpus() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "pbte"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "scenario corpus missing");
+    files
+        .into_iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_pbte(&text);
+    }
+
+    #[test]
+    fn nested_grammars_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = pbte_symbolic::parse(&text);
+        let _ = Dim::parse(&text);
+    }
+
+    #[test]
+    fn mutated_corpus_never_panics(
+        which in any::<usize>(),
+        edits in prop::collection::vec((any::<u8>(), any::<usize>(), any::<u8>()), 1..16),
+    ) {
+        let files = corpus();
+        let mut bytes = files[which % files.len()].clone().into_bytes();
+        for (op, pos, b) in edits {
+            if bytes.is_empty() {
+                bytes.push(b);
+                continue;
+            }
+            let pos = pos % bytes.len();
+            match op % 4 {
+                0 => bytes[pos] = b,
+                1 => bytes.insert(pos, b),
+                2 => {
+                    bytes.remove(pos);
+                }
+                _ => {
+                    let end = (pos + 1 + b as usize).min(bytes.len());
+                    bytes.drain(pos..end);
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_pbte(&text);
+    }
+
+    #[test]
+    fn grammar_fragment_splices_never_panic(picks in prop::collection::vec(any::<u16>(), 1..64)) {
+        const FRAGMENTS: &[&str] = &[
+            "[scenario]\n",
+            "[mesh]\n",
+            "[material]\n",
+            "[time]\n",
+            "[pde]\n",
+            "[boundary]\n",
+            "[initial]\n",
+            "[units]\n",
+            "[ranges]\n",
+            "[",
+            "name = x\n",
+            "strategy = divided\n",
+            "integrator = steady:0:0\n",
+            "kind = grid\n",
+            "kind = gmsh\nfile = /dev/null\n",
+            "nx = 99999999999999999999999\n",
+            "lx = 1e999\n",
+            "t_ref = nan\n",
+            "t_hot = -inf\n",
+            "dt = auto\n",
+            "steps = 0\n",
+            "equation = exp(",
+            "equation = I[d,b]^I[d,b]^I[d,b]\n",
+            "equation = upwind([Sx[d];Sy[d]], I[d,b])\n",
+            "I = W/m^",
+            "I = W/m^2\n",
+            "T = K*K/K^3\n",
+            "beta = 1/\n",
+            "top = hotspots 1 2 3 @ 4,5\n",
+            "top = hotspots 1 2 3 @\n",
+            "bottom = isothermal\n",
+            "left = symmetry trailing\n",
+            "temperature = pulses 0 0 0 @ 0,0,0,0\n",
+            "x = 1 2\n",
+            " = \n",
+            "x = y = z\n",
+            "# comment\n",
+            "\u{0}\u{7f}\u{fffd}\n",
+        ];
+        let mut s = String::new();
+        for p in picks {
+            s.push_str(FRAGMENTS[p as usize % FRAGMENTS.len()]);
+        }
+        let _ = parse_pbte(&s);
+    }
+}
+
+/// The expression parser's recursion-depth cap must turn pathological
+/// nesting into an error, not a stack overflow — through the `.pbte`
+/// surface, not just the unit tests next to the parser.
+#[test]
+fn deeply_nested_equation_is_rejected_not_overflowed() {
+    for (open, close) in [("(", ")"), ("-", ""), ("exp(", ")")] {
+        let src = format!(
+            "[pde]\nequation = {}I{}\n",
+            open.repeat(50_000),
+            close.repeat(50_000)
+        );
+        assert!(parse_pbte(&src).is_err());
+    }
+}

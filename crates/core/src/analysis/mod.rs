@@ -41,6 +41,18 @@
 //!    interval containing zero, and domain validity for `exp`/`log`/
 //!    `sqrt`/`pow`; a CFL-style step bound is derived from the flux
 //!    linearization and the scenario `dt` checked against it.
+//! 6. **Schedule synthesis + cost** (`synth`, `cost`): the GPU transfer
+//!    schedule is re-derived from the access facts under a proof-carrying
+//!    certificate and diffed against the legacy hand-built one; the
+//!    static cost model is checked against recorded telemetry.
+//! 7. **Dimensional consistency** (`units`): the discretized equation is
+//!    abstractly interpreted over the SI dimension domain, seeded from
+//!    the units declared on entities, proving every sum/comparison
+//!    combines equal dimensions, every transcendental argument is
+//!    dimensionless, and both the volume and flux terms balance
+//!    d(unknown)/dt. This is the pass that guards the textual `.pbte`
+//!    scenario front-end: a W·m⁻² vs W·m⁻³ source mixup is caught before
+//!    a plan ever compiles.
 //!
 //! Severity policy: violations of *declared or derived* accesses are
 //! [`Severity::Error`] (executors panic on them in debug builds);
@@ -54,6 +66,7 @@ mod intervals;
 mod races;
 mod synth;
 mod transfers;
+mod units;
 mod validate;
 
 pub use access::KernelReadSite;
@@ -67,6 +80,7 @@ pub use synth::{
     ScheduleDiff, SynthesizedPartition, TransferCert, WriteSite,
 };
 pub use transfers::check_schedule;
+pub use units::check_units;
 pub use validate::{
     check_bound, check_ir, check_jvp, check_native_against_bound, check_reg_against_bound,
     check_translation, check_vm,
@@ -154,6 +168,17 @@ pub mod rules {
     /// A static cost-model prediction diverged from recorded telemetry
     /// beyond tolerance.
     pub const COST_MODEL_DRIFT: &str = "cost/model-drift";
+    /// Two operands of a sum, comparison, `min`/`max`, or conditional
+    /// carry different SI dimensions, a power over a dimensionful base
+    /// has a non-static exponent, or a term fails the d(unknown)/dt
+    /// balance.
+    pub const UNITS_MISMATCH: &str = "units/mismatch";
+    /// A transcendental (`exp`, `log`, trig, hyperbolic) applied to a
+    /// dimensionful argument.
+    pub const UNITS_TRANSCENDENTAL: &str = "units/transcendental-arg";
+    /// The equation mentions a symbol (or calls a function) with no
+    /// declared unit; the dimensional proof is skipped.
+    pub const UNITS_UNDECLARED: &str = "units/undeclared-symbol";
 }
 
 /// How bad a finding is.

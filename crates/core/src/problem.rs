@@ -12,6 +12,7 @@ use crate::entities::{Coefficient, CoefficientValue, Index, Location, Registry, 
 use crate::exec::{ExecTarget, Solver};
 use crate::pipeline::{self, DiscreteSystem};
 use pbte_mesh::{Mesh, Point};
+use pbte_symbolic::Dim;
 use std::fmt;
 use std::sync::Arc;
 
@@ -454,6 +455,12 @@ pub struct Problem {
     /// (`crate::analysis::check_intervals`). Purely declarative: nothing
     /// clamps values at runtime.
     pub ranges: Vec<(String, f64, f64)>,
+    /// Declared physical units `(entity name, SI dimension)` for
+    /// variables, coefficients, and any free symbols in boundary or
+    /// source expressions, consumed by the dimensional-analysis pass
+    /// (`crate::analysis::check_units`). Like `ranges`, purely
+    /// declarative.
+    pub units: Vec<(String, Dim)>,
     /// Escape hatch: consume the legacy hand-built transfer schedule
     /// (`crate::dataflow::analyze_transfers`) instead of the synthesized,
     /// certificate-backed one. The synthesis pass diffs against the
@@ -487,6 +494,7 @@ impl Problem {
             kernel_tier: None,
             rebind_per_step: false,
             ranges: Vec::new(),
+            units: Vec::new(),
             use_legacy_schedule: false,
         }
     }
@@ -509,6 +517,21 @@ impl Problem {
         );
         self.ranges.retain(|(n, _, _)| n != name);
         self.ranges.push((name.to_string(), lo, hi));
+        self
+    }
+
+    /// Declare the SI unit of an entity (variable, coefficient, or free
+    /// symbol) for the dimensional-analysis pass. The specification uses
+    /// the grammar of [`Dim::parse`] (`"W/m^2"`, `"1/s"`, `"K"`, `"1"`).
+    /// Panics on an unparseable specification — unit declarations are
+    /// written by scenario authors, and a typo should fail loudly at
+    /// build time, exactly like the finite/ordered assertion on
+    /// [`Problem::declare_range`].
+    pub fn declare_unit(&mut self, name: &str, spec: &str) -> &mut Self {
+        let dim =
+            Dim::parse(spec).unwrap_or_else(|e| panic!("bad unit spec `{spec}` for {name}: {e}"));
+        self.units.retain(|(n, _)| n != name);
+        self.units.push((name.to_string(), dim));
         self
     }
 

@@ -1,0 +1,189 @@
+//! Golden-fixture round-trip tests for the Gmsh and MEDIT importers.
+//!
+//! The fixtures are the committed meshes the `.pbte` scenario library
+//! references (`examples/meshes/`): a perturbed-quad 2-D die for the
+//! hot-spot array scenario and a 6×6×3 hex die for the 3-D scenario.
+//! They were produced by `regenerate_fixtures` (run with
+//! `cargo test -p pbte-mesh --test importers -- --ignored` after changing
+//! the writers) so the on-disk bytes pin the writer format: geometry
+//! invariants, write→parse round-trips, and a 2-rank partition all have
+//! to keep working against files that do not change underneath them.
+
+use pbte_mesh::{gmsh, medit, Mesh, Partition, PartitionMethod, Point, UniformGrid};
+
+const LX: f64 = 525e-6;
+const LY: f64 = 525e-6;
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/meshes")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing committed fixture {} ({e}); regenerate with \
+             `cargo test -p pbte-mesh --test importers -- --ignored`",
+            path.display()
+        )
+    })
+}
+
+/// The hot-spot-array die: a 12×12 quad mesh over 525 µm × 525 µm with
+/// every interior vertex displaced by a deterministic pseudo-random
+/// offset (≤ ⅛ cell width per axis), so the mesh is genuinely
+/// unstructured — no two interior faces share an orientation — while the
+/// quads stay convex and the boundary stays a perfect square.
+fn perturbed_hotspot_mesh() -> Mesh {
+    let n = 12;
+    let h = LX / n as f64;
+    let base = UniformGrid::new_2d(n, n, LX, LY).build();
+    let mut verts: Vec<Point> = base.vertices.clone();
+    for (i, v) in verts.iter_mut().enumerate() {
+        let eps = 1e-12;
+        let interior = v.x > eps && v.x < LX - eps && v.y > eps && v.y < LY - eps;
+        if !interior {
+            continue;
+        }
+        // Two splitmix64-style hashes of the vertex index, mapped to
+        // [-1, 1): reproducible across runs, platforms, and reorderings.
+        let unit = |seed: u64| -> f64 {
+            let mut x = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            ((x >> 40) as f64) / ((1u64 << 23) as f64) - 1.0
+        };
+        v.x += unit(1) * 0.125 * h;
+        v.y += unit(2) * 0.125 * h;
+    }
+    let cells: Vec<Vec<usize>> = (0..base.n_cells())
+        .map(|c| base.cell_vertices(c).to_vec())
+        .collect();
+    let mut mesh = Mesh::from_cells(2, verts, &cells);
+    let eps = 0.1 * h;
+    mesh.add_boundary_region("left", move |c| c.x < eps);
+    mesh.add_boundary_region("right", move |c| c.x > LX - eps);
+    mesh.add_boundary_region("bottom", move |c| c.y < eps);
+    mesh.add_boundary_region("top", move |c| c.y > LY - eps);
+    mesh
+}
+
+/// The elongated 3-D die: 300 µm × 300 µm × 100 µm hex grid. MEDIT has
+/// no named regions; on re-import the grid's left/right/bottom/top/
+/// front/back come back as `ref_1` … `ref_6` in that order.
+fn die3d_mesh() -> Mesh {
+    UniformGrid::new_3d(6, 6, 3, 300e-6, 300e-6, 100e-6).build()
+}
+
+/// Rewrite the committed fixtures from the generators above. Ignored:
+/// run explicitly after a writer change, then commit the result.
+#[test]
+#[ignore]
+fn regenerate_fixtures() {
+    let dir = fixture_path("");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        fixture_path("hotspot_array.msh"),
+        gmsh::write_msh(&perturbed_hotspot_mesh()),
+    )
+    .unwrap();
+    std::fs::write(fixture_path("die3d.mesh"), medit::write_mesh(&die3d_mesh())).unwrap();
+}
+
+#[test]
+fn gmsh_fixture_geometry() {
+    let m = gmsh::parse_msh(&read_fixture("hotspot_array.msh")).unwrap();
+    assert_eq!(m.dim, 2);
+    assert_eq!(m.n_cells(), 144);
+    assert!(m.validate().is_empty(), "{:?}", m.validate());
+    assert!(m.cell_volumes.iter().all(|&v| v > 0.0));
+    // Interior perturbation cannot change the covered area: the quads
+    // still tile the exact 525 µm square.
+    assert!((m.total_volume() - LX * LY).abs() < 1e-15);
+    for region in ["left", "right", "bottom", "top"] {
+        let rid = m
+            .region_id(region)
+            .unwrap_or_else(|| panic!("fixture lost region {region}"));
+        assert_eq!(m.boundary_regions[rid].faces.len(), 12);
+    }
+    // It really is unstructured: the perturbation moved interior faces.
+    let distinct_volumes: std::collections::BTreeSet<u64> =
+        m.cell_volumes.iter().map(|v| v.to_bits()).collect();
+    assert!(distinct_volumes.len() > 100);
+}
+
+#[test]
+fn gmsh_fixture_roundtrip() {
+    let m = gmsh::parse_msh(&read_fixture("hotspot_array.msh")).unwrap();
+    let again = gmsh::parse_msh(&gmsh::write_msh(&m)).unwrap();
+    assert_eq!(again.n_cells(), m.n_cells());
+    assert_eq!(again.n_faces(), m.n_faces());
+    assert_eq!(again.cell_volumes, m.cell_volumes);
+    for r in &m.boundary_regions {
+        let rid = again.region_id(&r.name).unwrap();
+        assert_eq!(again.boundary_regions[rid].faces.len(), r.faces.len());
+    }
+}
+
+#[test]
+fn medit_fixture_geometry() {
+    let m = medit::parse_mesh(&read_fixture("die3d.mesh")).unwrap();
+    assert_eq!(m.dim, 3);
+    assert_eq!(m.n_cells(), 6 * 6 * 3);
+    assert!(m.validate().is_empty(), "{:?}", m.validate());
+    assert!(m.cell_volumes.iter().all(|&v| v > 0.0));
+    assert!((m.total_volume() - 300e-6 * 300e-6 * 100e-6).abs() < 1e-18);
+    // left/right/bottom/top are 6×3 faces, front/back 6×6.
+    for (region, faces) in [
+        ("ref_1", 18),
+        ("ref_2", 18),
+        ("ref_3", 18),
+        ("ref_4", 18),
+        ("ref_5", 36),
+        ("ref_6", 36),
+    ] {
+        let rid = m
+            .region_id(region)
+            .unwrap_or_else(|| panic!("fixture lost region {region}"));
+        assert_eq!(m.boundary_regions[rid].faces.len(), faces, "{region}");
+    }
+}
+
+#[test]
+fn medit_fixture_roundtrip() {
+    let m = medit::parse_mesh(&read_fixture("die3d.mesh")).unwrap();
+    let again = medit::parse_mesh(&medit::write_mesh(&m)).unwrap();
+    assert_eq!(again.n_cells(), m.n_cells());
+    assert_eq!(again.n_faces(), m.n_faces());
+    assert_eq!(again.cell_volumes, m.cell_volumes);
+    assert_eq!(again.boundary_regions.len(), m.boundary_regions.len());
+}
+
+#[test]
+fn fixtures_partition_across_two_ranks() {
+    for (mesh, name) in [
+        (
+            gmsh::parse_msh(&read_fixture("hotspot_array.msh")).unwrap(),
+            "gmsh",
+        ),
+        (
+            medit::parse_mesh(&read_fixture("die3d.mesh")).unwrap(),
+            "medit",
+        ),
+    ] {
+        for method in [PartitionMethod::Rcb, PartitionMethod::GreedyGraph] {
+            let p = Partition::build(&mesh, 2, method);
+            assert_eq!(p.n_parts, 2, "{name}");
+            let sizes = p.sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), mesh.n_cells());
+            assert!(sizes.iter().all(|&s| s > 0), "{name}: empty part");
+            assert!(p.imbalance() < 1.2, "{name}: imbalance {}", p.imbalance());
+            assert!(p.edge_cut(&mesh) > 0);
+        }
+    }
+}

@@ -29,6 +29,7 @@ pub mod lexer;
 pub mod parser;
 pub mod simplify;
 pub mod subs;
+pub mod units;
 
 pub use diff::{contains_expr, diff, diff_wrt};
 pub use eval::{eval, EvalContext, EvalError};
@@ -37,3 +38,4 @@ pub use interval::{interval_eval, Interval, IntervalContext, IntervalError, Inte
 pub use parser::{parse, ParseError};
 pub use simplify::{canonical_eq, simplify};
 pub use subs::{substitute, substitute_indices, SubstitutionMap};
+pub use units::{dim_eval, Dim, DimEvalError, DimParseError, InferredDim, Rat, UnitContext};

@@ -33,7 +33,18 @@ pub enum ParseError {
         found: String,
         expected: &'static str,
     },
+    /// Expression nesting exceeded [`MAX_DEPTH`]. The recursive-descent
+    /// parser otherwise consumes native stack proportional to nesting
+    /// depth, which adversarial input (`((((…`) could drive to an
+    /// uncatchable stack-overflow abort.
+    TooDeep {
+        /// Byte offset where the limit was exceeded.
+        offset: usize,
+    },
 }
+
+/// Maximum expression nesting depth accepted by [`parse`].
+pub const MAX_DEPTH: usize = 200;
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -46,6 +57,10 @@ impl fmt::Display for ParseError {
             } => write!(
                 f,
                 "unexpected {found} at offset {offset}, expected {expected}"
+            ),
+            ParseError::TooDeep { offset } => write!(
+                f,
+                "expression nesting exceeds {MAX_DEPTH} levels at offset {offset}"
             ),
         }
     }
@@ -62,7 +77,11 @@ impl From<LexError> for ParseError {
 /// Parse a complete expression string.
 pub fn parse(src: &str) -> Result<ExprRef, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.parse_cmp()?;
     p.expect_eof()?;
     Ok(e)
@@ -71,6 +90,7 @@ pub fn parse(src: &str) -> Result<ExprRef, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -123,7 +143,29 @@ impl Parser {
         }
     }
 
+    /// Bounded recursive descent: `parse_cmp` and `parse_unary` are the
+    /// two cycles through which nesting recurses, so both pass through
+    /// this guard.
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(ParseError::TooDeep {
+                offset: self.offset(),
+            });
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
     fn parse_cmp(&mut self) -> Result<ExprRef, ParseError> {
+        self.descend(Self::parse_cmp_inner)
+    }
+
+    fn parse_cmp_inner(&mut self) -> Result<ExprRef, ParseError> {
         let lhs = self.parse_sum()?;
         let op = match self.peek() {
             TokenKind::Lt => CmpOp::Lt,
@@ -173,6 +215,10 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<ExprRef, ParseError> {
+        self.descend(Self::parse_unary_inner)
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<ExprRef, ParseError> {
         if self.eat(&TokenKind::Minus) {
             // A minus directly on a numeric literal folds into the literal
             // (so `-1` is `Num(-1)`, matching printed forms); anything else
@@ -370,6 +416,22 @@ mod tests {
         assert!(e.contains_call("f"));
         assert!(e.contains_call("g"));
         assert!(e.contains_symbol("h"));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = format!("{}x{}", "(".repeat(100_000), ")".repeat(100_000));
+        assert!(matches!(parse(&deep), Err(ParseError::TooDeep { .. })));
+        // Long unary-minus chains recurse through `parse_unary` without
+        // passing `parse_cmp`; the guard must catch those too.
+        let minuses = format!("{}x", "-".repeat(100_000));
+        assert!(matches!(parse(&minuses), Err(ParseError::TooDeep { .. })));
+        // Power towers recurse through the exponent position.
+        let tower = "x^".repeat(100_000) + "2";
+        assert!(matches!(parse(&tower), Err(ParseError::TooDeep { .. })));
+        // Reasonable nesting still parses.
+        let ok = format!("{}x{}", "(".repeat(50), ")".repeat(50));
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Schema pin for `pbte-verify --json` — the machine-readable verifier
+//! document CI archives and diffs. The verify job keys on `diagnostics`
+//! (tagged findings) and `timings` (per-plan pass costs), so a verifier
+//! refactor that renames a field, drops the per-pass timing columns, or
+//! loses the `.pbte` scenario lanes must fail here rather than silently
+//! emptying the CI artifact.
+//!
+//! Runs the real binary over a shrunken built-in sweep (`n=6 steps=2`)
+//! with the dimensional-analysis pass enabled; the committed scenario
+//! library rides along at its own (file-defined) sizes.
+
+use serde::Value;
+use std::process::Command;
+
+fn run_verify() -> Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_pbte-verify"))
+        .args(["n=6", "steps=2", "--units", "--json"])
+        .output()
+        .expect("pbte-verify runs");
+    assert!(
+        out.status.success(),
+        "pbte-verify failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    serde_json::from_str(text.trim()).expect("output is valid JSON")
+}
+
+fn str_of<'a>(v: &'a Value, key: &str, ctx: &str) -> &'a str {
+    match v.get(key) {
+        Some(Value::Str(s)) => s.as_str(),
+        other => panic!("{ctx}: `{key}` must be a string, got {other:?}"),
+    }
+}
+
+#[test]
+fn verify_json_schema() {
+    let v = run_verify();
+
+    // A clean tree produces an empty diagnostics array — present, not
+    // omitted. (Its entry schema is pinned by `Diagnostic::to_json`
+    // unit tests; here we pin that the key and shape survive.)
+    let Some(Value::Arr(diags)) = v.get("diagnostics") else {
+        panic!("diagnostics array missing");
+    };
+    for d in diags {
+        for key in ["scenario", "strategy", "target", "tier", "integrator"] {
+            str_of(d, key, "diagnostic");
+        }
+        for key in ["severity", "rule", "entity", "location", "message"] {
+            str_of(d, key, "diagnostic");
+        }
+    }
+    assert!(
+        diags.is_empty(),
+        "committed tree must verify clean: {diags:?}"
+    );
+
+    let Some(Value::Arr(timings)) = v.get("timings") else {
+        panic!("timings array missing");
+    };
+    assert!(!timings.is_empty(), "at least one plan timed");
+
+    let mut builtin = 0usize;
+    let mut pbte = 0usize;
+    for t in timings {
+        let scenario = str_of(t, "scenario", "timing");
+        if scenario.starts_with("pbte:") {
+            pbte += 1;
+        } else {
+            builtin += 1;
+        }
+        assert!(
+            ["redundant", "divided"].contains(&str_of(t, "strategy", "timing")),
+            "strategy tag"
+        );
+        str_of(t, "target", "timing");
+        assert!(
+            ["vm", "bound", "row", "native"].contains(&str_of(t, "tier", "timing")),
+            "tier tag"
+        );
+        assert!(
+            ["explicit", "implicit", "steady"].contains(&str_of(t, "integrator", "timing")),
+            "integrator tag"
+        );
+        // The base obligation pass always runs; --units adds its column;
+        // the passes we did not request must be explicit nulls so the
+        // artifact diff can tell "not run" from "ran in 0 ms".
+        let verify_ms = t
+            .get("verify_ms")
+            .and_then(Value::as_f64)
+            .expect("verify_ms numeric");
+        assert!(verify_ms >= 0.0 && verify_ms.is_finite());
+        let units_ms = t
+            .get("units_ms")
+            .and_then(Value::as_f64)
+            .expect("units_ms numeric when --units is on");
+        assert!(units_ms >= 0.0 && units_ms.is_finite());
+        for key in ["validate_ms", "intervals_ms", "synth_ms", "cost_ms"] {
+            assert_eq!(
+                t.get(key),
+                Some(&Value::Null),
+                "`{key}` must be null when its pass is off"
+            );
+        }
+    }
+
+    // Built-in lanes: 2 scenarios × 2 strategies × 7 targets × 4 tiers ×
+    // 3 integrators. Textual lanes: ≥ 4 committed scenarios × 7 targets ×
+    // 4 tiers (each file fixes its own strategy and integrator).
+    assert_eq!(builtin, 2 * 2 * 7 * 4 * 3, "built-in sweep shape");
+    assert!(pbte >= 4 * 7 * 4, "scenario library lanes shrank: {pbte}");
+
+    // Passes that were off must not fabricate summary blocks.
+    assert!(v.get("synth").is_none(), "no synth block without --synth");
+    assert!(v.get("cost").is_none(), "no cost block without --cost");
+}
